@@ -1,0 +1,78 @@
+// Ablation bench (DESIGN.md §6): what does the competition actually buy?
+//
+// Compares the paper's Hedge+memory selection against an EXP3 bandit
+// variant, uniformly random gradual quantization, and memory-share-only
+// selection — all walking the same ladder with identical recovery
+// budgets.  Also sweeps the Hedge learning rate γ.  The paper's implicit
+// claim: the accuracy-driven competition beats blind orderings at equal
+// compression.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ccq;
+using namespace ccq::bench;
+
+struct Outcome {
+  float final_acc;
+  float worst_valley;
+  double compression;
+};
+
+Outcome run_rule(const Split& split, core::SelectionRule rule, double gamma) {
+  const quant::BitLadder ladder({8, 2});
+  auto model =
+      make_model(Arch::kResNet20, 10, quant::Policy::kPact, ladder);
+  pretrain_baseline(model, split, Arch::kResNet20, "cifar",
+                    quant::Policy::kPact, 12);
+  auto config = ccq_config();
+  config.selection = rule;
+  config.gamma = gamma;
+  const auto r = core::run_ccq(model, split.train, split.val, config);
+  Outcome out{r.final_accuracy, 1.0f, r.final_compression};
+  for (const auto& step : r.steps) {
+    out.worst_valley =
+        std::min(out.worst_valley, step.val_acc_before_recovery);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: competition selection rules and γ "
+               "(ResNet20 / synthetic CIFAR, ladder 8→2) ===\n\n";
+  const Split split = cifar_split();
+
+  Table table({"selection rule", "gamma", "final top-1", "worst valley top-1",
+               "compression"});
+  const struct {
+    core::SelectionRule rule;
+    double gamma;
+  } runs[] = {
+      {core::SelectionRule::kHedgeMemory, 1.0},
+      {core::SelectionRule::kHedgeMemory, 4.0},
+      {core::SelectionRule::kHedgeMemory, 16.0},
+      {core::SelectionRule::kExp3Memory, 4.0},
+      {core::SelectionRule::kRandom, 4.0},
+      {core::SelectionRule::kMemoryOnly, 4.0},
+  };
+  float hedge_acc = 0.0f, random_acc = 0.0f;
+  for (const auto& run : runs) {
+    const Outcome o = run_rule(split, run.rule, run.gamma);
+    table.add_row({core::selection_rule_str(run.rule),
+                   Table::fmt(run.gamma, 1), Table::fmt(100.0 * o.final_acc),
+                   Table::fmt(100.0 * o.worst_valley),
+                   Table::fmt(o.compression, 1) + "x"});
+    if (run.rule == core::SelectionRule::kHedgeMemory && run.gamma == 4.0) {
+      hedge_acc = o.final_acc;
+    }
+    if (run.rule == core::SelectionRule::kRandom) random_acc = o.final_acc;
+  }
+  emit(table, "ablation_selection");
+  std::cout << "\nhedge(γ=4) − random = "
+            << Table::fmt(100.0 * (hedge_acc - random_acc))
+            << " top-1 points (accuracy-driven competition should be ≥ "
+               "blind ordering)\n";
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Shared scenario builders for the paper-reproduction benches.
+//
+// Every bench binary reproduces one table or figure (see DESIGN.md §4).
+// The scenarios here pin down the datasets, architectures and pretrained
+// checkpoints so that all benches run against the same substrate.  The
+// CCQ_BENCH_SCALE env var (0 = smoke, 1 = default, 2 = long) scales
+// sample counts and epochs; shapes of the results are stable across
+// scales, absolute numbers sharpen with more budget.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "ccq/common/env.hpp"
+#include "ccq/common/table.hpp"
+#include "ccq/core/baselines.hpp"
+#include "ccq/core/ccq.hpp"
+#include "ccq/data/synthetic.hpp"
+#include "ccq/models/resnet.hpp"
+#include "ccq/models/simple.hpp"
+
+namespace ccq::bench {
+
+/// Multiplier applied to sample counts / epochs by the scale knob.
+inline double scale_factor() {
+  switch (ccq::bench_scale()) {
+    case 0: return 0.3;
+    case 2: return 3.0;
+    default: return 1.0;
+  }
+}
+
+inline int scaled(int base) {
+  const int v = static_cast<int>(base * scale_factor());
+  return std::max(1, v);
+}
+
+/// Labelled dataset pair.
+struct Split {
+  data::Dataset train;
+  data::Dataset val;
+};
+
+/// CIFAR10 stand-in sized for ResNet20-class runs (DESIGN.md §2).
+inline Split cifar_split() {
+  data::SyntheticConfig config;
+  config.num_classes = 10;
+  config.samples_per_class = static_cast<std::size_t>(scaled(55));
+  config.height = config.width = 16;
+  config.pixel_noise = 0.38f;
+  config.jitter = 2.6f;  // hard enough that precision matters
+  config.seed = 1234;
+  data::Dataset train = data::make_synthetic_vision(config);
+  data::Dataset val = train.take_tail(train.size() / 5);
+  return {std::move(train), std::move(val)};
+}
+
+/// ImageNet stand-in: more classes, higher variance (DESIGN.md §2).
+inline Split imagenet_split() {
+  data::SyntheticConfig config;
+  config.num_classes = 20;
+  config.samples_per_class = static_cast<std::size_t>(scaled(40));
+  config.height = config.width = 16;
+  config.pixel_noise = 0.40f;
+  config.jitter = 2.8f;
+  config.seed = 4321;
+  data::Dataset train = data::make_synthetic_vision(config);
+  data::Dataset val = train.take_tail(train.size() / 5);
+  return {std::move(train), std::move(val)};
+}
+
+enum class Arch { kResNet20, kResNet18, kResNet50, kSimpleCnn };
+
+inline std::string arch_str(Arch arch) {
+  switch (arch) {
+    case Arch::kResNet20: return "ResNet20";
+    case Arch::kResNet18: return "ResNet18";
+    case Arch::kResNet50: return "ResNet50";
+    case Arch::kSimpleCnn: return "SimpleCNN";
+  }
+  return "?";
+}
+
+/// Build a quantizable model for a scenario.
+inline models::QuantModel make_model(Arch arch, std::size_t num_classes,
+                                     quant::Policy policy,
+                                     const quant::BitLadder& ladder,
+                                     std::uint64_t seed = 7) {
+  models::ModelConfig config;
+  config.num_classes = num_classes;
+  config.image_size = 16;
+  config.seed = seed;
+  quant::QuantFactory factory{.policy = policy};
+  switch (arch) {
+    case Arch::kResNet20:
+      config.width_multiplier = 0.25f;
+      return models::make_resnet20(config, factory, ladder);
+    case Arch::kResNet18:
+      config.width_multiplier = 0.125f;
+      return models::make_resnet18(config, factory, ladder);
+    case Arch::kResNet50:
+      config.width_multiplier = 0.0625f;
+      return models::make_resnet50(config, factory, ladder);
+    case Arch::kSimpleCnn:
+      config.width_multiplier = 0.5f;
+      return models::make_simple_cnn(config, factory, ladder);
+  }
+  throw Error("unreachable arch");
+}
+
+/// Pretraining configuration for fp32 baselines.
+inline core::TrainConfig pretrain_config(int epochs) {
+  core::TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 32;
+  config.sgd = {.lr = 0.03, .momentum = 0.9, .weight_decay = 5e-4};
+  // Step-decay at 2/3 of the budget so the baseline settles instead of
+  // bouncing at a high rate.
+  config.lr_decay_every = std::max(2, 2 * epochs / 3);
+  return config;
+}
+
+/// Fine-tuning configuration used by one-shot baselines and CCQ recovery.
+inline core::TrainConfig finetune_config(int epochs) {
+  core::TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 32;
+  config.sgd = {.lr = 0.01, .momentum = 0.9, .weight_decay = 5e-4};
+  return config;
+}
+
+/// Checkpoint path for a pretrained (arch, dataset, policy) combination.
+inline std::string cache_path(Arch arch, const std::string& dataset,
+                              quant::Policy policy) {
+  const std::string dir = env_str("CCQ_CACHE_DIR", "ccq_cache");
+  return dir + "/" + arch_str(arch) + "_" + dataset + "_" +
+         quant::policy_str(policy) + "_s" + std::to_string(bench_scale()) +
+         ".bin";
+}
+
+/// Pretrain (or load) the fp32 baseline for a scenario; returns baseline
+/// validation accuracy.
+inline float pretrain_baseline(models::QuantModel& model, const Split& split,
+                               Arch arch, const std::string& dataset,
+                               quant::Policy policy, int epochs) {
+  const auto result = core::pretrain_cached(
+      model, split.train, split.val, pretrain_config(scaled(epochs)),
+      cache_path(arch, dataset, policy));
+  return result.accuracy;
+}
+
+/// Default CCQ configuration for bench runs.
+inline core::CcqConfig ccq_config() {
+  core::CcqConfig config;
+  config.probes_per_step = 4;
+  config.probe_samples = 96;
+  config.gamma = 4.0;
+  config.max_recovery_epochs = scaled(2);
+  config.initial_recovery_epochs = 1;
+  config.recovery_drop_threshold = 0.01f;
+  config.finetune = finetune_config(1);
+  config.hybrid_lr.base_lr = 0.01;
+  config.hybrid_lr.bump_factor = 5.0;
+  config.hybrid_lr.patience = 3;
+  config.seed = 2020;
+  return config;
+}
+
+/// Emit a table to stdout and to bench_out/<name>.csv.
+inline void emit(const Table& table, const std::string& name) {
+  table.print(std::cout);
+  const std::string dir = env_str("CCQ_BENCH_OUT", "bench_out");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + name + ".csv";
+  if (table.save_csv(path)) {
+    std::cout << "[csv] " << path << "\n";
+  }
+}
+
+}  // namespace ccq::bench

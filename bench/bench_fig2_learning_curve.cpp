@@ -1,0 +1,75 @@
+// Fig 2 reproduction: the competitive-collaborative learning curve.
+//
+// The figure's signature shape: a *valley* right after each competition
+// step quantizes a layer (accuracy drops), then a *peak* as collaboration
+// (fine-tuning all layers) recovers it.  We emit the full per-epoch
+// series with event markers and verify the valley/peak structure.
+#include "bench_common.hpp"
+
+#include "ccq/common/json.hpp"
+
+int main() {
+  using namespace ccq;
+  using namespace ccq::bench;
+  std::cout << "=== Fig 2: learning curve (valleys = quantization, peaks = "
+               "recovery; ResNet20 / synthetic CIFAR) ===\n\n";
+  const Split split = cifar_split();
+  const quant::BitLadder ladder({8, 4, 2});
+  auto model =
+      make_model(Arch::kResNet20, 10, quant::Policy::kPact, ladder);
+  pretrain_baseline(model, split, Arch::kResNet20, "cifar",
+                    quant::Policy::kPact, 12);
+  auto config = ccq_config();
+  const auto r = core::run_ccq(model, split.train, split.val, config);
+
+  Table curve({"epoch", "val_top1", "train_loss", "lr", "event"});
+  for (const auto& stat : r.curve) {
+    curve.add_row({std::to_string(stat.epoch),
+                   Table::fmt(100.0 * stat.val_accuracy),
+                   Table::fmt(stat.train_loss, 4), Table::fmt(stat.lr, 5),
+                   stat.event});
+  }
+  emit(curve, "fig2_learning_curve");
+
+  // Machine-readable run record (per-step trace) for plotting tools.
+  Json record = Json::object();
+  record.set("baseline_top1", 100.0 * r.baseline_accuracy);
+  record.set("final_top1", 100.0 * r.final_accuracy);
+  record.set("compression", r.final_compression);
+  Json steps_json = Json::array();
+  for (const auto& s : r.steps) {
+    Json step = Json::object();
+    step.set("step", s.step);
+    step.set("layer", s.layer_name);
+    step.set("bits", s.new_bits);
+    step.set("valley_top1", 100.0 * s.val_acc_before_recovery);
+    step.set("peak_top1", 100.0 * s.val_acc_after_recovery);
+    step.set("recovery_epochs", s.recovery_epochs);
+    step.set("compression", s.compression);
+    steps_json.push_back(std::move(step));
+  }
+  record.set("steps", std::move(steps_json));
+  const std::string json_path =
+      env_str("CCQ_BENCH_OUT", "bench_out") + "/fig2_run.json";
+  if (record.save(json_path)) std::cout << "[json] " << json_path << "\n";
+
+  // Quantify the valley→peak recovery the figure illustrates.
+  int recovered = 0;
+  double total_valley_depth = 0.0;
+  for (const auto& step : r.steps) {
+    total_valley_depth +=
+        std::max(0.0f, r.baseline_accuracy - step.val_acc_before_recovery);
+    if (step.val_acc_after_recovery >= step.val_acc_before_recovery) {
+      ++recovered;
+    }
+  }
+  std::cout << "\nsteps: " << r.steps.size() << ", recovery-helped in "
+            << recovered << " steps, mean valley depth "
+            << Table::fmt(100.0 * total_valley_depth /
+                          std::max<std::size_t>(1, r.steps.size()))
+            << " top-1 points\n";
+  std::cout << "final: acc " << Table::fmt(100.0 * r.final_accuracy)
+            << " vs baseline " << Table::fmt(100.0 * r.baseline_accuracy)
+            << ", compression " << Table::fmt(r.final_compression) << "x\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig 4 reproduction: the hybrid learning-rate schedule.
+//
+// §IV.g: fine-tuning starts at a constant learning rate; when the
+// validation metric plateaus, the rate is *raised* and cosine-decayed
+// back — a perturbation that kicks the quantized network out of its local
+// optimum.  We fine-tune a fully-quantized ResNet20 and emit the (epoch,
+// lr, val-acc) series, comparing against a constant-lr control.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ccq;
+using namespace ccq::bench;
+
+std::vector<core::EpochStat> finetune_with(models::QuantModel& model,
+                                           const Split& split,
+                                           nn::LrSchedule* schedule,
+                                           int epochs) {
+  auto config = finetune_config(epochs);
+  return core::train(model, split.train, split.val, config, schedule);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig 4: hybrid learning-rate schedule on a quantized "
+               "network (ResNet20 / synthetic CIFAR) ===\n\n";
+  const Split split = cifar_split();
+  const quant::BitLadder ladder({8, 4, 2});
+  const int epochs = scaled(18);
+
+  // Quantize everything to 2 bits one-shot so fine-tuning has a real
+  // plateau to escape.
+  auto hybrid_model =
+      make_model(Arch::kResNet20, 10, quant::Policy::kPact, ladder);
+  pretrain_baseline(hybrid_model, split, Arch::kResNet20, "cifar",
+                    quant::Policy::kPact, 12);
+  hybrid_model.registry().set_all(ladder.size() - 1);
+
+  auto const_model =
+      make_model(Arch::kResNet20, 10, quant::Policy::kPact, ladder);
+  pretrain_baseline(const_model, split, Arch::kResNet20, "cifar",
+                    quant::Policy::kPact, 12);
+  const_model.registry().set_all(ladder.size() - 1);
+
+  nn::HybridPlateauCosineLr hybrid({.base_lr = 0.01,
+                                    .bump_factor = 8.0,
+                                    .patience = 2,
+                                    .min_delta = 1e-3,
+                                    .cosine_period = 4});
+  const auto hybrid_stats =
+      finetune_with(hybrid_model, split, &hybrid, epochs);
+  const auto const_stats = finetune_with(const_model, split, nullptr, epochs);
+
+  Table table({"epoch", "hybrid lr", "hybrid val top-1", "constant lr",
+               "constant val top-1"});
+  int bumps = 0;
+  for (int e = 0; e < epochs; ++e) {
+    const auto& h = hybrid_stats[static_cast<std::size_t>(e)];
+    const auto& c = const_stats[static_cast<std::size_t>(e)];
+    if (e > 0 &&
+        h.lr > hybrid_stats[static_cast<std::size_t>(e - 1)].lr * 1.5) {
+      ++bumps;
+    }
+    table.add_row({std::to_string(e), Table::fmt(h.lr, 5),
+                   Table::fmt(100.0 * h.val_accuracy), Table::fmt(c.lr, 5),
+                   Table::fmt(100.0 * c.val_accuracy)});
+  }
+  emit(table, "fig4_hybrid_lr");
+
+  float best_hybrid = 0.0f, best_const = 0.0f;
+  for (const auto& s : hybrid_stats) {
+    best_hybrid = std::max(best_hybrid, s.val_accuracy);
+  }
+  for (const auto& s : const_stats) {
+    best_const = std::max(best_const, s.val_accuracy);
+  }
+  std::cout << "\nlr bumps observed: " << bumps
+            << " (the Fig 4 saw-tooth); best top-1 hybrid "
+            << Table::fmt(100.0 * best_hybrid) << " vs constant "
+            << Table::fmt(100.0 * best_const) << "\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Kernel microbenchmarks (google-benchmark): regression guards for the
+// numerical primitives every experiment runs on — GEMM, im2col-lowered
+// convolution, the quantizers, and the competition probe path.
+#include <benchmark/benchmark.h>
+
+#include "ccq/nn/conv.hpp"
+#include "ccq/quant/calibrate.hpp"
+#include "ccq/quant/weight_hooks.hpp"
+#include "ccq/tensor/gemm.hpp"
+
+namespace {
+
+using namespace ccq;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ConvForward(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  nn::Conv2d conv(channels, channels, 3, 1, 1, false, rng);
+  Tensor x = Tensor::randn({8, channels, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 8 *
+      static_cast<std::int64_t>(conv.macs_per_sample(16, 16)));
+}
+BENCHMARK(BM_ConvForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ConvBackward(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  nn::Conv2d conv(channels, channels, 3, 1, 1, false, rng);
+  Tensor x = Tensor::randn({8, channels, 16, 16}, rng);
+  Tensor y = conv.forward(x);
+  Tensor gy = Tensor::randn(y.shape(), rng);
+  for (auto _ : state) {
+    conv.weight().zero_grad();
+    Tensor gx = conv.backward(gy);
+    benchmark::DoNotOptimize(gx.data().data());
+  }
+}
+BENCHMARK(BM_ConvBackward)->Arg(8)->Arg(16);
+
+template <typename Hook>
+void BM_WeightQuantizer(benchmark::State& state) {
+  Hook hook;
+  hook.set_bits(static_cast<int>(state.range(0)));
+  Rng rng(4);
+  Tensor w = Tensor::randn({64 * 64 * 9}, rng, 0.2f);
+  for (auto _ : state) {
+    Tensor q = hook.quantize(w);
+    benchmark::DoNotOptimize(q.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.numel()));
+}
+BENCHMARK_TEMPLATE(BM_WeightQuantizer, quant::DoReFaWeightHook)->Arg(2)->Arg(8);
+BENCHMARK_TEMPLATE(BM_WeightQuantizer, quant::SawbWeightHook)->Arg(2)->Arg(8);
+BENCHMARK_TEMPLATE(BM_WeightQuantizer, quant::LqNetsWeightHook)->Arg(2)->Arg(8);
+BENCHMARK_TEMPLATE(BM_WeightQuantizer, quant::MinMaxWeightHook)->Arg(2)->Arg(8);
+
+void BM_KlCalibration(benchmark::State& state) {
+  Rng rng(5);
+  Tensor w = Tensor::randn({20000}, rng, 0.1f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quant::kl_calibrate_clip(w, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_KlCalibration)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Minimal command-line argument parser for the ccq tools.
+//
+// Grammar: `tool <command> [--key value]... [--flag]...`.  Unknown keys
+// are collected and can be rejected by the caller; typed getters fall
+// back to defaults.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ccq {
+
+class Args {
+ public:
+  /// Parse argv (argv[0] skipped).  The first non-flag token becomes the
+  /// command; `--key value` pairs and bare `--flag`s follow.
+  Args(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_flag(const std::string& key) const { return has(key); }
+
+  /// Comma-separated integer list, e.g. --ladder 8,4,2.
+  std::vector<int> get_int_list(const std::string& key,
+                                std::vector<int> fallback) const;
+
+  /// Keys that were provided but never queried (typo detection).
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace ccq

@@ -1,0 +1,23 @@
+#include "ccq/common/env.hpp"
+
+#include <cstdlib>
+
+namespace ccq {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<int>(parsed);
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::string{v};
+}
+
+int bench_scale() { return env_int("CCQ_BENCH_SCALE", 1); }
+
+}  // namespace ccq

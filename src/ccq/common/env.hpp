@@ -1,0 +1,18 @@
+// Environment-variable helpers for sizing experiments.
+#pragma once
+
+#include <string>
+
+namespace ccq {
+
+/// Read an integer env var, falling back to `fallback` when unset/invalid.
+int env_int(const char* name, int fallback);
+
+/// Read a string env var, falling back when unset.
+std::string env_str(const char* name, const std::string& fallback);
+
+/// Bench scale knob: 0 = smoke (CI), 1 = default, 2 = long runs.
+/// Read from $CCQ_BENCH_SCALE.
+int bench_scale();
+
+}  // namespace ccq

@@ -1,0 +1,47 @@
+// Error handling primitives shared across the CCQ libraries.
+//
+// We use exceptions for contract violations (shape mismatches, invalid
+// configuration) because the library is host-side tooling, not a
+// hard-real-time kernel.  `CCQ_CHECK` is the single choke point so that
+// every failure carries file/line context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ccq {
+
+/// Exception type thrown on any contract violation inside the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise(const char* file, int line, const char* cond,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace ccq
+
+/// Check a condition; on failure throw ccq::Error with context.
+/// Usage: CCQ_CHECK(a == b) << optional stream-style message is NOT
+/// supported; pass the message as the second argument instead:
+///   CCQ_CHECK(a == b, "shapes differ");
+#define CCQ_CHECK(cond, ...)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::ccq::detail::raise(__FILE__, __LINE__, #cond,                     \
+                           ::std::string{__VA_ARGS__});                   \
+    }                                                                     \
+  } while (false)
+
+/// Check that is kept in release builds too (alias; all checks are kept).
+#define CCQ_ASSERT(cond, ...) CCQ_CHECK(cond, ##__VA_ARGS__)

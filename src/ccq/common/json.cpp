@@ -1,0 +1,168 @@
+#include "ccq/common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "ccq/common/error.hpp"
+
+namespace ccq {
+
+Json Json::array() {
+  Json j;
+  j.value_ = std::make_shared<Array>();
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.value_ = std::make_shared<Object>();
+  return j;
+}
+
+bool Json::is_array() const {
+  return std::holds_alternative<std::shared_ptr<Array>>(value_);
+}
+
+bool Json::is_object() const {
+  return std::holds_alternative<std::shared_ptr<Object>>(value_);
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return std::get<std::shared_ptr<Array>>(value_)->items.size();
+  if (is_object()) {
+    return std::get<std::shared_ptr<Object>>(value_)->fields.size();
+  }
+  return 0;
+}
+
+Json& Json::push_back(Json v) {
+  CCQ_CHECK(is_array(), "push_back on a non-array JSON value");
+  auto& items = std::get<std::shared_ptr<Array>>(value_)->items;
+  items.push_back(std::move(v));
+  return items.back();
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  CCQ_CHECK(is_object(), "set on a non-object JSON value");
+  auto& fields = std::get<std::shared_ptr<Object>>(value_)->fields;
+  for (auto& [k, existing] : fields) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  fields.emplace_back(key, std::move(v));
+  return fields.back().second;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    value_ = std::make_shared<Object>();
+  }
+  CCQ_CHECK(is_object(), "operator[] on a non-object JSON value");
+  auto& fields = std::get<std::shared_ptr<Object>>(value_)->fields;
+  for (auto& [k, existing] : fields) {
+    if (k == key) return existing;
+  }
+  fields.emplace_back(key, Json());
+  return fields.back().second;
+}
+
+void Json::append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent < 0 ? "" : "\n" + std::string(static_cast<std::size_t>(indent) *
+                                               (static_cast<std::size_t>(depth) + 1),
+                                           ' ');
+  const std::string close_pad =
+      indent < 0 ? "" : "\n" + std::string(static_cast<std::size_t>(indent) *
+                                               static_cast<std::size_t>(depth),
+                                           ' ');
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (std::holds_alternative<bool>(value_)) {
+    out += std::get<bool>(value_) ? "true" : "false";
+  } else if (std::holds_alternative<double>(value_)) {
+    const double v = std::get<double>(value_);
+    if (!std::isfinite(v)) {
+      out += "null";  // JSON has no NaN/Inf
+    } else if (v == std::floor(v) && std::fabs(v) < 1e15) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.0f", v);
+      out += buf;
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.10g", v);
+      out += buf;
+    }
+  } else if (std::holds_alternative<std::string>(value_)) {
+    append_escaped(out, std::get<std::string>(value_));
+  } else if (is_array()) {
+    const auto& items = std::get<std::shared_ptr<Array>>(value_)->items;
+    if (items.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i != 0) out += ',';
+      out += pad;
+      items[i].dump_to(out, indent, depth + 1);
+    }
+    out += close_pad;
+    out += ']';
+  } else {
+    const auto& fields = std::get<std::shared_ptr<Object>>(value_)->fields;
+    if (fields.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i != 0) out += ',';
+      out += pad;
+      append_escaped(out, fields[i].first);
+      out += indent < 0 ? ":" : ": ";
+      fields[i].second.dump_to(out, indent, depth + 1);
+    }
+    out += close_pad;
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+bool Json::save(const std::string& path, int indent) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << dump(indent) << '\n';
+  return static_cast<bool>(os);
+}
+
+}  // namespace ccq

@@ -1,0 +1,71 @@
+// Minimal JSON writer for experiment reports.
+//
+// The bench harnesses emit machine-readable run records (per-step CCQ
+// traces, table rows) alongside the console tables so results can be
+// plotted or diffed without re-running experiments.  Writing only — no
+// parsing is needed in this repo.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ccq {
+
+/// A JSON value (object keys stay in insertion order).
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool v) : value_(v) {}
+  Json(double v) : value_(v) {}
+  Json(int v) : value_(static_cast<double>(v)) {}
+  Json(long v) : value_(static_cast<double>(v)) {}
+  Json(std::size_t v) : value_(static_cast<double>(v)) {}
+  Json(const char* v) : value_(std::string(v)) {}
+  Json(std::string v) : value_(std::move(v)) {}
+
+  /// Build an array.
+  static Json array();
+  /// Build an object.
+  static Json object();
+
+  /// Append to an array (must be an array).
+  Json& push_back(Json v);
+  /// Set an object field (must be an object); returns the stored value.
+  Json& set(const std::string& key, Json v);
+  /// Access an object field (creates the object on demand).
+  Json& operator[](const std::string& key);
+
+  bool is_array() const;
+  bool is_object() const;
+  std::size_t size() const;
+
+  /// Serialise; `indent` < 0 means compact single-line output.
+  std::string dump(int indent = 2) const;
+
+  /// Convenience: write to a file; returns false on IO error.
+  bool save(const std::string& path, int indent = 2) const;
+
+ private:
+  struct Array;
+  struct Object;
+  using Value = std::variant<std::nullptr_t, bool, double, std::string,
+                             std::shared_ptr<Array>, std::shared_ptr<Object>>;
+
+  struct Array {
+    std::vector<Json> items;
+  };
+  struct Object {
+    std::vector<std::pair<std::string, Json>> fields;
+  };
+
+  void dump_to(std::string& out, int indent, int depth) const;
+  static void append_escaped(std::string& out, const std::string& s);
+
+  Value value_;
+};
+
+}  // namespace ccq

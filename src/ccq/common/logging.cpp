@@ -1,0 +1,33 @@
+#include "ccq/common/logging.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace ccq {
+
+namespace {
+
+LogLevel parse_env_level() {
+  const char* env = std::getenv("CCQ_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  const std::string v{env};
+  if (v == "trace") return LogLevel::kTrace;
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+LogLevel& level_ref() {
+  static LogLevel level = parse_env_level();
+  return level;
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_ref(); }
+void set_log_level(LogLevel level) { level_ref() = level; }
+
+}  // namespace ccq

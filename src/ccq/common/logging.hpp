@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// The CCQ controller narrates long-running experiments (competition
+// rounds, recovery epochs); benches set the level from the environment
+// variable CCQ_LOG (trace|debug|info|warn|error, default info).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ccq {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log level (process-wide). Initialised from $CCQ_LOG once.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag) : enabled_(level >= log_level()) {
+    if (enabled_) os_ << '[' << tag << "] ";
+  }
+  ~LogLine() {
+    if (enabled_) std::cerr << os_.str() << '\n';
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace ccq
+
+#define CCQ_LOG_TRACE ::ccq::detail::LogLine(::ccq::LogLevel::kTrace, "trace")
+#define CCQ_LOG_DEBUG ::ccq::detail::LogLine(::ccq::LogLevel::kDebug, "debug")
+#define CCQ_LOG_INFO ::ccq::detail::LogLine(::ccq::LogLevel::kInfo, "info")
+#define CCQ_LOG_WARN ::ccq::detail::LogLine(::ccq::LogLevel::kWarn, "warn")
+#define CCQ_LOG_ERROR ::ccq::detail::LogLine(::ccq::LogLevel::kError, "error")

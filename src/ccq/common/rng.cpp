@@ -1,0 +1,99 @@
+#include "ccq/common/rng.hpp"
+
+#include <cmath>
+
+#include "ccq/common/error.hpp"
+
+namespace ccq {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  CCQ_CHECK(n > 0, "uniform_int needs n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  std::uint64_t r = next_u64();
+  while (r >= limit) r = next_u64();
+  return r % n;
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  while (u == 0.0) u = uniform();  // avoid log(0)
+  const double v = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u));
+  const double theta = 2.0 * M_PI * v;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  CCQ_CHECK(!weights.empty(), "categorical over empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    CCQ_CHECK(w >= 0.0, "categorical weight must be non-negative");
+    total += w;
+  }
+  CCQ_CHECK(total > 0.0, "categorical weights all zero");
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  // Floating-point slack: return last positive-weight index.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace ccq

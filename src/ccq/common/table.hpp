@@ -1,0 +1,39 @@
+// Plain-text table printer used by the bench harnesses to render the
+// paper's tables and figure series as aligned console output plus a CSV
+// sidecar for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccq {
+
+/// Accumulates rows of strings and prints them as an aligned table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Add a data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no alignment, comma separated, quoted when needed).
+  void print_csv(std::ostream& os) const;
+
+  /// Write the CSV form to a file; returns false on IO failure.
+  bool save_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Format helper: fixed-precision float to string.
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ccq

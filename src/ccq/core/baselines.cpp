@@ -1,0 +1,100 @@
+#include "ccq/core/baselines.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ccq/common/logging.hpp"
+#include "ccq/nn/loss.hpp"
+#include "ccq/quant/uniform.hpp"
+
+namespace ccq::core {
+
+OneShotResult one_shot_quantize(models::QuantModel& model,
+                                const data::Dataset& train_set,
+                                const data::Dataset& val_set,
+                                const TrainConfig& finetune,
+                                std::size_t ladder_pos) {
+  model.registry().set_all(ladder_pos);
+  train(model, train_set, val_set, finetune);
+  OneShotResult result;
+  result.accuracy = evaluate(model, val_set).accuracy;
+  result.compression = model.registry().compression_ratio();
+  return result;
+}
+
+std::vector<double> fisher_sensitivity(models::QuantModel& model,
+                                       const data::Dataset& train_set,
+                                       std::size_t sample_count) {
+  quant::LayerRegistry& registry = model.registry();
+  // One forward/backward over a sample batch accumulates gradients.
+  std::vector<std::size_t> indices;
+  const std::size_t take = std::min(sample_count, train_set.size());
+  for (std::size_t i = 0; i < take; ++i) indices.push_back(i);
+  const data::Batch batch = train_set.gather(indices);
+
+  for (auto* p : model.parameters()) p->zero_grad();
+  model.set_training(true);
+  nn::SoftmaxCrossEntropy loss;
+  const Tensor logits = model.forward(batch.images);
+  loss.forward(logits, batch.labels);
+  model.backward(loss.backward());
+
+  // Map parameter gradients back to registry units by name.
+  std::vector<double> sensitivity(registry.size(), 0.0);
+  auto params = model.parameters();
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const auto& unit = registry.unit(i);
+    const nn::Parameter* weight = nullptr;
+    for (const auto* p : params) {
+      if (p->name == unit.name + ".weight") {
+        weight = p;
+        break;
+      }
+    }
+    CCQ_CHECK(weight != nullptr, "no weight parameter for " + unit.name);
+    const double fisher = static_cast<double>(weight->grad.sqnorm()) /
+                          static_cast<double>(weight->numel());
+    // Quantization perturbation at the ladder floor: ‖w − Q(w)‖²/n with a
+    // max-|w| clip (policy-independent estimate).
+    const float clip = std::max(
+        {std::abs(weight->value.max()), std::abs(weight->value.min()), 1e-8f});
+    const double perturb = static_cast<double>(quant::quantization_mse(
+        weight->value, registry.ladder().final_bits(), clip));
+    sensitivity[i] = fisher * perturb;
+  }
+  for (auto* p : model.parameters()) p->zero_grad();
+  return sensitivity;
+}
+
+OneShotResult hawq_proxy_quantize(models::QuantModel& model,
+                                  const data::Dataset& train_set,
+                                  const data::Dataset& val_set,
+                                  const TrainConfig& finetune) {
+  quant::LayerRegistry& registry = model.registry();
+  const auto sensitivity = fisher_sensitivity(model, train_set);
+
+  // Rank layers by sensitivity (descending) and split the ranking evenly
+  // across ladder levels: most sensitive at N(0), least at N(K−1).
+  std::vector<std::size_t> order(registry.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sensitivity[a] > sensitivity[b];
+  });
+  const std::size_t levels = registry.ladder().size();
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::size_t pos =
+        std::min(levels - 1, rank * levels / order.size());
+    if (!registry.unit(order[rank]).frozen) {
+      registry.set_ladder_pos(order[rank], pos);
+    }
+  }
+  CCQ_LOG_INFO << "HAWQ-proxy bits: " << registry.bits_str();
+
+  train(model, train_set, val_set, finetune);
+  OneShotResult result;
+  result.accuracy = evaluate(model, val_set).accuracy;
+  result.compression = registry.compression_ratio();
+  return result;
+}
+
+}  // namespace ccq::core

@@ -1,0 +1,44 @@
+// Baselines CCQ is compared against in Tables I and II.
+//
+//   * One-shot: snap every layer straight to the target precision and
+//     fine-tune (how DoReFa/WRPN/PACT/… are normally trained).
+//   * HAWQ-proxy: mixed-precision assignment ordered by a second-order
+//     sensitivity *proxy* (per-layer Fisher information — mean squared
+//     gradient — times the layer's quantization perturbation), standing
+//     in for HAWQ's Hessian eigenvalue analysis; bits are assigned by
+//     sensitivity rank under a model-size budget, then fine-tuned.
+#pragma once
+
+#include "ccq/core/trainer.hpp"
+
+namespace ccq::core {
+
+struct OneShotResult {
+  float accuracy = 0.0f;
+  double compression = 1.0;
+};
+
+/// Set every non-frozen layer to ladder position `pos` (default: the
+/// floor) and fine-tune for `epochs`.
+OneShotResult one_shot_quantize(models::QuantModel& model,
+                                const data::Dataset& train_set,
+                                const data::Dataset& val_set,
+                                const TrainConfig& finetune,
+                                std::size_t ladder_pos);
+
+/// Per-layer sensitivity: mean over a batch of ‖∂L/∂W_m‖² (Fisher proxy)
+/// scaled by the layer's quantization error at the ladder floor — cheap
+/// stand-in for HAWQ's Hessian trace.
+std::vector<double> fisher_sensitivity(models::QuantModel& model,
+                                       const data::Dataset& train_set,
+                                       std::size_t sample_count = 256);
+
+/// HAWQ-style mixed-precision assignment: most sensitive layers get the
+/// ladder's highest precision, least sensitive the lowest, splitting the
+/// ranked list evenly across ladder levels.  Fine-tunes afterwards.
+OneShotResult hawq_proxy_quantize(models::QuantModel& model,
+                                  const data::Dataset& train_set,
+                                  const data::Dataset& val_set,
+                                  const TrainConfig& finetune);
+
+}  // namespace ccq::core

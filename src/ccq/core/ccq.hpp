@@ -1,0 +1,87 @@
+// The Competitive-Collaborative Quantization controller — Algorithm 1 of
+// the paper, with Eq. (7) memory-aware selection and the adaptive
+// recovery scheme of §IV.f.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ccq/core/hedge.hpp"
+#include "ccq/core/trainer.hpp"
+
+namespace ccq::core {
+
+enum class RecoveryMode {
+  kManual,    ///< fixed fine-tuning epoch count per quantization step
+  kAdaptive,  ///< fine-tune until validation accuracy recovers a threshold
+};
+
+/// How the competition picks the layer to quantize (ablations of the
+/// paper's design; DESIGN.md §6).
+enum class SelectionRule {
+  kHedgeMemory,  ///< the paper: Hedge probes + Eq. 7 memory mixing
+  kExp3Memory,   ///< bandit variant: importance-weighted (ξ/p) updates
+  kRandom,       ///< uniform over awake layers, no probes (ablation)
+  kMemoryOnly,   ///< proportional to memory share, no probes (ablation)
+};
+
+std::string selection_rule_str(SelectionRule rule);
+
+struct CcqConfig {
+  // ---- competition (Algorithm 1 lines 6–11) ----
+  SelectionRule selection = SelectionRule::kHedgeMemory;
+  int probes_per_step = 8;   ///< U: probe evaluations per quantization step
+  double gamma = 4.0;        ///< Hedge learning rate γ
+  std::size_t probe_samples = 256;  ///< validation subset size for probes
+
+  // ---- memory-aware mixing (Eq. 7) ----
+  bool memory_aware = true;
+  double lambda_start = 0.7;  ///< λ at the first quantization step
+  double lambda_end = 0.1;    ///< λ at the last step (linear decay)
+
+  // ---- collaboration (lines 14–18) ----
+  RecoveryMode recovery = RecoveryMode::kAdaptive;
+  int manual_recovery_epochs = 1;     ///< S_t when recovery == kManual
+  float recovery_drop_threshold = 0.01f;  ///< recover to baseline − this
+  int max_recovery_epochs = 4;        ///< budget cap per step (adaptive)
+  TrainConfig finetune;               ///< optimizer/loader settings
+  nn::HybridPlateauCosineLr::Config hybrid_lr;  ///< §IV.g schedule
+
+  // ---- initial quantization ----
+  int initial_recovery_epochs = 1;  ///< fine-tune after the N(0) snap
+
+  // ---- loop control ----
+  int max_steps = -1;  ///< −1: run until every layer sleeps
+  std::uint64_t seed = 2020;
+};
+
+/// One quantization step's record (drives Table I/II and Fig 1–3).
+struct StepRecord {
+  int step = 0;
+  std::size_t layer = 0;
+  std::string layer_name;
+  int new_bits = 0;
+  double lambda = 0.0;
+  float val_acc_before_recovery = 0.0f;  ///< the Fig 2 "valley"
+  float val_acc_after_recovery = 0.0f;   ///< the Fig 2 "peak"
+  int recovery_epochs = 0;
+  double compression = 1.0;
+  std::vector<double> pick_probabilities;  ///< distribution at pick time
+};
+
+struct CcqResult {
+  float baseline_accuracy = 0.0f;  ///< after initial N(0) quantization
+  float final_accuracy = 0.0f;
+  double final_compression = 1.0;
+  std::vector<StepRecord> steps;
+  std::vector<EpochStat> curve;  ///< full per-epoch trace (Fig 2)
+  std::vector<int> final_bits;   ///< per registered layer
+};
+
+/// Run Algorithm 1 on a (typically pretrained) model.  The model's
+/// registry defines the layer set and the bit ladder; frozen layers are
+/// never touched (they compete as permanently sleeping experts).
+CcqResult run_ccq(models::QuantModel& model, const data::Dataset& train_set,
+                  const data::Dataset& val_set, const CcqConfig& config);
+
+}  // namespace ccq::core

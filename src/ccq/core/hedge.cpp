@@ -1,0 +1,81 @@
+#include "ccq/core/hedge.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ccq/common/error.hpp"
+
+namespace ccq::core {
+
+HedgeCompetition::HedgeCompetition(std::size_t num_layers, double gamma)
+    : pi_(num_layers, 1.0), gamma_(gamma) {
+  CCQ_CHECK(num_layers > 0, "competition needs at least one layer");
+  CCQ_CHECK(gamma > 0.0, "gamma must be positive");
+}
+
+void HedgeCompetition::update(std::size_t m, double xi) {
+  CCQ_CHECK(m < pi_.size(), "layer index out of range");
+  CCQ_CHECK(std::isfinite(xi), "non-finite validation loss");
+  pi_[m] *= std::exp(-gamma_ * xi);
+  // Keep the weight vector away from total underflow: if everything has
+  // decayed below a threshold, rescale (the distribution is invariant).
+  const double max_pi = *std::max_element(pi_.begin(), pi_.end());
+  if (max_pi < 1e-100 && max_pi > 0.0) {
+    for (auto& w : pi_) w /= max_pi;
+  }
+}
+
+std::vector<double> HedgeCompetition::probabilities(
+    const std::vector<bool>& awake) const {
+  CCQ_CHECK(awake.size() == pi_.size(), "awake mask size mismatch");
+  std::vector<double> p(pi_.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t m = 0; m < pi_.size(); ++m) {
+    if (awake[m]) total += pi_[m];
+  }
+  CCQ_CHECK(total > 0.0, "all experts are sleeping");
+  for (std::size_t m = 0; m < pi_.size(); ++m) {
+    if (awake[m]) p[m] = pi_[m] / total;
+  }
+  return p;
+}
+
+std::vector<double> HedgeCompetition::memory_mixed_probabilities(
+    const std::vector<bool>& awake, const std::vector<double>& memory_share,
+    double lambda) const {
+  CCQ_CHECK(memory_share.size() == pi_.size(), "memory share size mismatch");
+  CCQ_CHECK(lambda >= 0.0 && lambda <= 1.0, "lambda must be in [0, 1]");
+  std::vector<double> p = probabilities(awake);
+  // Renormalise the memory shares over awake layers so the mixture stays
+  // a distribution even when big layers are already asleep.
+  double mem_total = 0.0;
+  for (std::size_t m = 0; m < p.size(); ++m) {
+    if (awake[m]) mem_total += memory_share[m];
+  }
+  std::vector<double> mixed(p.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t m = 0; m < p.size(); ++m) {
+    if (!awake[m]) continue;
+    const double mem =
+        mem_total > 0.0 ? memory_share[m] / mem_total : 0.0;
+    mixed[m] = (1.0 - lambda) * p[m] + lambda * mem;
+    total += mixed[m];
+  }
+  CCQ_CHECK(total > 0.0, "degenerate mixed distribution");
+  for (auto& v : mixed) v /= total;
+  return mixed;
+}
+
+std::size_t HedgeCompetition::sample(const std::vector<double>& probs,
+                                     Rng& rng) {
+  return rng.categorical(probs);
+}
+
+double lambda_at_step(double start, double end, int step, int total_steps) {
+  CCQ_CHECK(total_steps > 0, "total_steps must be positive");
+  const double t = std::clamp(
+      static_cast<double>(step) / static_cast<double>(total_steps), 0.0, 1.0);
+  return start + (end - start) * t;
+}
+
+}  // namespace ccq::core

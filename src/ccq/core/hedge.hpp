@@ -1,0 +1,58 @@
+// Exponential-weights competition learner (paper §III.B, Algorithm 1
+// lines 6–11).
+//
+// Each layer is an expert; its weight π_m decays exponentially in the
+// validation loss observed when that layer is probed one ladder level
+// down: π_m ← π_m · exp(−γ ξ_m).  Layers already at the ladder floor are
+// *sleeping experts*: they keep their weight but are excluded from the
+// distribution until (never, in CCQ's monotone setting) they wake.
+// Eq. (7)'s memory-aware mixing and the λ schedule also live here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ccq/common/rng.hpp"
+
+namespace ccq::core {
+
+/// Hedge / exponentially-weighted-average forecaster over layers with
+/// sleeping experts.
+class HedgeCompetition {
+ public:
+  /// `gamma` is the learning rate of the exponential update.
+  HedgeCompetition(std::size_t num_layers, double gamma);
+
+  std::size_t size() const { return pi_.size(); }
+  double gamma() const { return gamma_; }
+
+  /// Record a probe result: layer `m` incurred validation loss `xi`.
+  void update(std::size_t m, double xi);
+
+  /// Current distribution over awake layers (Eq. 6).  `awake[m]` must be
+  /// false for sleeping experts; their probability is 0.  Throws if every
+  /// layer sleeps.
+  std::vector<double> probabilities(const std::vector<bool>& awake) const;
+
+  /// Eq. (7): p_new = (1−λ)·p + λ·memory_share, restricted to awake
+  /// layers and renormalised (sleeping layers keep probability 0).
+  std::vector<double> memory_mixed_probabilities(
+      const std::vector<bool>& awake, const std::vector<double>& memory_share,
+      double lambda) const;
+
+  /// Sample an index from a probability vector.
+  static std::size_t sample(const std::vector<double>& probs, Rng& rng);
+
+  /// Raw expert weights (for inspection/tests).
+  const std::vector<double>& weights() const { return pi_; }
+
+ private:
+  std::vector<double> pi_;
+  double gamma_;
+};
+
+/// Linear λ decay (paper §IV.c): λ(t) goes from `start` to `end` over
+/// `total_steps` quantization steps.
+double lambda_at_step(double start, double end, int step, int total_steps);
+
+}  // namespace ccq::core

@@ -1,0 +1,160 @@
+#include "ccq/core/hessian.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ccq/common/logging.hpp"
+#include "ccq/nn/loss.hpp"
+#include "ccq/quant/uniform.hpp"
+
+namespace ccq::core {
+
+namespace {
+
+/// Find the weight parameter backing a registry unit.
+nn::Parameter* find_weight(models::QuantModel& model, std::size_t layer) {
+  const std::string want = model.registry().unit(layer).name + ".weight";
+  for (auto* p : model.parameters()) {
+    if (p->name == want) return p;
+  }
+  throw Error("no weight parameter for layer " + want);
+}
+
+/// Gradient of the mean loss over `batch` w.r.t. one layer's weights at
+/// the current parameters.
+Tensor layer_gradient(models::QuantModel& model, const data::Batch& batch,
+                      nn::Parameter& weight) {
+  for (auto* p : model.parameters()) p->zero_grad();
+  model.set_training(true);
+  nn::SoftmaxCrossEntropy loss;
+  const Tensor logits = model.forward(batch.images);
+  loss.forward(logits, batch.labels);
+  model.backward(loss.backward());
+  return weight.grad;
+}
+
+}  // namespace
+
+double hessian_top_eigenvalue(models::QuantModel& model,
+                              const data::Dataset& train_set,
+                              std::size_t layer,
+                              const HessianConfig& config) {
+  CCQ_CHECK(config.power_iterations > 0, "need at least one iteration");
+  CCQ_CHECK(config.fd_eps > 0.0, "fd_eps must be positive");
+  nn::Parameter& weight = *find_weight(model, layer);
+  const std::size_t n = weight.numel();
+
+  std::vector<std::size_t> indices;
+  const std::size_t take = std::min(config.sample_count, train_set.size());
+  for (std::size_t i = 0; i < take; ++i) indices.push_back(i);
+  const data::Batch batch = train_set.gather(indices);
+
+  Rng rng(config.seed + layer * 7919);
+  Tensor v = Tensor::randn({n}, rng);
+  v *= 1.0f / std::sqrt(std::max(v.sqnorm(), 1e-20f));
+
+  const Tensor original = weight.value;
+  double eigenvalue = 0.0;
+  for (int it = 0; it < config.power_iterations; ++it) {
+    // Central-difference Hessian-vector product.
+    const float eps = static_cast<float>(config.fd_eps);
+    Tensor perturbed = original;
+    {
+      auto wp = perturbed.data();
+      auto vp = v.data();
+      for (std::size_t i = 0; i < n; ++i) wp[i] += eps * vp[i];
+    }
+    weight.value = perturbed;
+    const Tensor g_plus =
+        layer_gradient(model, batch, weight).reshaped({n});
+    {
+      auto wp = perturbed.data();
+      auto vp = v.data();
+      for (std::size_t i = 0; i < n; ++i) wp[i] -= 2.0f * eps * vp[i];
+    }
+    weight.value = perturbed;
+    const Tensor g_minus =
+        layer_gradient(model, batch, weight).reshaped({n});
+    weight.value = original;
+
+    Tensor hv = g_plus;
+    hv -= g_minus;
+    hv *= 1.0f / (2.0f * eps);
+
+    // Rayleigh quotient (v is unit-norm).
+    double quotient = 0.0;
+    {
+      auto hp = hv.data();
+      auto vp = v.data();
+      for (std::size_t i = 0; i < n; ++i) {
+        quotient += static_cast<double>(hp[i]) * vp[i];
+      }
+    }
+    eigenvalue = quotient;
+
+    const float norm = std::sqrt(hv.sqnorm());
+    if (norm < 1e-12f) break;  // zero curvature block
+    hv *= 1.0f / norm;
+    v = std::move(hv);
+  }
+  // Clear the gradients the probes accumulated.
+  for (auto* p : model.parameters()) p->zero_grad();
+  return eigenvalue;
+}
+
+std::vector<double> hessian_spectrum(models::QuantModel& model,
+                                     const data::Dataset& train_set,
+                                     const HessianConfig& config) {
+  std::vector<double> spectrum(model.registry().size(), 0.0);
+  for (std::size_t m = 0; m < spectrum.size(); ++m) {
+    spectrum[m] = hessian_top_eigenvalue(model, train_set, m, config);
+    CCQ_LOG_DEBUG << "layer " << model.registry().unit(m).name
+                  << " lambda_max ~= " << spectrum[m];
+  }
+  return spectrum;
+}
+
+HawqResult hawq_hessian_quantize(models::QuantModel& model,
+                                 const data::Dataset& train_set,
+                                 const data::Dataset& val_set,
+                                 const TrainConfig& finetune,
+                                 const HessianConfig& config) {
+  quant::LayerRegistry& registry = model.registry();
+  HawqResult result;
+  result.eigenvalues = hessian_spectrum(model, train_set, config);
+
+  // HAWQ sensitivity: curvature × quantization perturbation at the floor.
+  std::vector<double> sensitivity(registry.size(), 0.0);
+  for (std::size_t m = 0; m < registry.size(); ++m) {
+    nn::Parameter& weight = *find_weight(model, m);
+    const float clip = std::max({std::fabs(weight.value.max()),
+                                 std::fabs(weight.value.min()), 1e-8f});
+    const double perturb =
+        static_cast<double>(quant::quantization_mse(
+            weight.value, registry.ladder().final_bits(), clip)) *
+        static_cast<double>(weight.numel());
+    sensitivity[m] = std::max(result.eigenvalues[m], 0.0) * perturb;
+  }
+
+  std::vector<std::size_t> order(registry.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sensitivity[a] > sensitivity[b];
+  });
+  const std::size_t levels = registry.ladder().size();
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::size_t pos = std::min(levels - 1, rank * levels / order.size());
+    if (!registry.unit(order[rank]).frozen) {
+      registry.set_ladder_pos(order[rank], pos);
+    }
+  }
+  CCQ_LOG_INFO << "HAWQ (power-iteration) bits: " << registry.bits_str();
+
+  train(model, train_set, val_set, finetune);
+  result.accuracy = evaluate(model, val_set).accuracy;
+  result.compression = registry.compression_ratio();
+  return result;
+}
+
+}  // namespace ccq::core

@@ -1,0 +1,53 @@
+// Per-layer Hessian analysis for the HAWQ baseline.
+//
+// HAWQ (Dong et al. 2019) ranks layers by the top eigenvalue of the
+// layer's Hessian block and gives sensitive layers more bits.  The paper
+// positions CCQ against it ("we do not need any second-order
+// information").  To compare fairly we implement the second-order side
+// too: a matrix-free power iteration where each Hessian-vector product
+// is a central finite difference of gradients,
+//     H_m v ≈ (g_m(w + εv) − g_m(w − εv)) / 2ε,
+// which needs only the forward/backward machinery the library already
+// has (no autograd-of-autograd).
+#pragma once
+
+#include "ccq/core/trainer.hpp"
+
+namespace ccq::core {
+
+struct HessianConfig {
+  int power_iterations = 8;
+  double fd_eps = 1e-3;          ///< finite-difference step (scaled by ‖v‖=1)
+  std::size_t sample_count = 128;  ///< training samples for the loss
+  std::uint64_t seed = 33;
+};
+
+/// Estimate the top Hessian eigenvalue of one registered layer's weight
+/// block at the current parameters.
+double hessian_top_eigenvalue(models::QuantModel& model,
+                              const data::Dataset& train_set,
+                              std::size_t layer,
+                              const HessianConfig& config = {});
+
+/// Top eigenvalue for every registered layer.
+std::vector<double> hessian_spectrum(models::QuantModel& model,
+                                     const data::Dataset& train_set,
+                                     const HessianConfig& config = {});
+
+/// HAWQ-style mixed-precision baseline using the true power-iteration
+/// eigenvalues (cf. `hawq_proxy_quantize`, which uses the cheap Fisher
+/// proxy): sensitivity_m = λ_max(H_m) · ‖w_m − Q(w_m)‖², layers ranked
+/// and assigned ladder levels, then fine-tuned.
+struct HawqResult {
+  float accuracy = 0.0f;
+  double compression = 1.0;
+  std::vector<double> eigenvalues;
+};
+
+HawqResult hawq_hessian_quantize(models::QuantModel& model,
+                                 const data::Dataset& train_set,
+                                 const data::Dataset& val_set,
+                                 const TrainConfig& finetune,
+                                 const HessianConfig& config = {});
+
+}  // namespace ccq::core

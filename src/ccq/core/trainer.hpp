@@ -1,0 +1,80 @@
+// Training / evaluation loops shared by pretraining, the CCQ
+// collaboration stage and every baseline.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ccq/data/dataset.hpp"
+#include "ccq/models/model.hpp"
+#include "ccq/nn/optim.hpp"
+#include "ccq/nn/schedule.hpp"
+
+namespace ccq::core {
+
+struct EvalResult {
+  float loss = 0.0f;
+  float accuracy = 0.0f;
+};
+
+/// Forward-only evaluation over a dataset in eval mode (chunked so memory
+/// stays bounded).  This is also the competition's probe primitive.
+EvalResult evaluate(models::QuantModel& model, const data::Dataset& dataset,
+                    std::size_t chunk = 128);
+
+/// Evaluate on a fixed pre-gathered batch (used for fast probes on a
+/// validation subset — paper §III.B calls this "a simple feed-forward on
+/// a small validation set").
+EvalResult evaluate_batch(models::QuantModel& model, const data::Batch& batch,
+                          std::size_t chunk = 128);
+
+/// One epoch of SGD over the loader; returns mean training loss.
+float train_epoch(models::QuantModel& model, nn::Sgd& optimizer,
+                  data::DataLoader& loader);
+
+/// Per-epoch statistics recorded during any training run.
+struct EpochStat {
+  int epoch = 0;
+  float train_loss = 0.0f;
+  float val_loss = 0.0f;
+  float val_accuracy = 0.0f;
+  double lr = 0.0;
+  std::string event;  ///< e.g. "quantize conv3 -> 4b" markers for Fig 2
+};
+
+struct TrainConfig {
+  int epochs = 10;
+  std::size_t batch_size = 32;
+  nn::SgdConfig sgd;
+  data::Augment augment;
+  std::uint64_t seed = 99;
+  /// When > 0 (and no explicit schedule is passed to train()), the
+  /// learning rate is multiplied by `lr_decay` every `lr_decay_every`
+  /// epochs — the standard step schedule used for baseline pretraining.
+  int lr_decay_every = 0;
+  double lr_decay = 0.1;
+};
+
+/// Train from the current parameters; returns the per-epoch curve.
+std::vector<EpochStat> train(models::QuantModel& model,
+                             const data::Dataset& train_set,
+                             const data::Dataset& val_set,
+                             const TrainConfig& config,
+                             nn::LrSchedule* schedule = nullptr);
+
+/// Pretrain-with-cache: if `cache_path` exists, load parameters instead
+/// of training; otherwise train and save.  Returns the fp32 baseline
+/// validation result either way.
+EvalResult pretrain_cached(models::QuantModel& model,
+                           const data::Dataset& train_set,
+                           const data::Dataset& val_set,
+                           const TrainConfig& config,
+                           const std::string& cache_path);
+
+/// Save / load all model parameters by name.
+void save_parameters(models::QuantModel& model, const std::string& path);
+bool load_parameters(models::QuantModel& model, const std::string& path);
+
+}  // namespace ccq::core

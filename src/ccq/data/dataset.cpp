@@ -1,0 +1,153 @@
+#include "ccq/data/dataset.hpp"
+
+#include <numeric>
+
+namespace ccq::data {
+
+Dataset::Dataset(std::size_t channels, std::size_t height, std::size_t width,
+                 std::size_t num_classes)
+    : channels_(channels),
+      height_(height),
+      width_(width),
+      num_classes_(num_classes) {
+  CCQ_CHECK(channels > 0 && height > 0 && width > 0 && num_classes > 0,
+            "invalid dataset geometry");
+}
+
+void Dataset::add(Tensor image, int label) {
+  CCQ_CHECK(image.rank() == 3 && image.dim(0) == channels_ &&
+                image.dim(1) == height_ && image.dim(2) == width_,
+            "image shape mismatch");
+  CCQ_CHECK(label >= 0 && static_cast<std::size_t>(label) < num_classes_,
+            "label out of range");
+  images_.push_back(std::move(image));
+  labels_.push_back(label);
+}
+
+const Tensor& Dataset::image(std::size_t i) const {
+  CCQ_CHECK(i < images_.size(), "image index out of range");
+  return images_[i];
+}
+
+int Dataset::label(std::size_t i) const {
+  CCQ_CHECK(i < labels_.size(), "label index out of range");
+  return labels_[i];
+}
+
+Batch Dataset::gather(const std::vector<std::size_t>& indices) const {
+  Batch batch;
+  batch.images = Tensor({indices.size(), channels_, height_, width_});
+  batch.labels.reserve(indices.size());
+  const std::size_t sample = channels_ * height_ * width_;
+  float* dst = batch.images.data().data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const Tensor& img = image(indices[i]);
+    const float* src = img.data().data();
+    std::copy(src, src + sample, dst + i * sample);
+    batch.labels.push_back(labels_[indices[i]]);
+  }
+  return batch;
+}
+
+Batch Dataset::all() const {
+  std::vector<std::size_t> indices(size());
+  std::iota(indices.begin(), indices.end(), 0);
+  return gather(indices);
+}
+
+Dataset Dataset::take_tail(std::size_t count) {
+  CCQ_CHECK(count <= size(), "tail larger than dataset");
+  Dataset tail(channels_, height_, width_, num_classes_);
+  const std::size_t start = size() - count;
+  for (std::size_t i = start; i < size(); ++i) {
+    tail.add(std::move(images_[i]), labels_[i]);
+  }
+  images_.resize(start);
+  labels_.resize(start);
+  return tail;
+}
+
+DataLoader::DataLoader(const Dataset& dataset, std::size_t batch_size,
+                       Augment augment, Rng rng)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      augment_(augment),
+      rng_(rng),
+      order_(dataset.size()) {
+  CCQ_CHECK(batch_size > 0, "batch size must be positive");
+  std::iota(order_.begin(), order_.end(), 0);
+  start_epoch();
+}
+
+void DataLoader::start_epoch() {
+  rng_.shuffle(order_);
+  cursor_ = 0;
+}
+
+std::size_t DataLoader::batches_per_epoch() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+Tensor DataLoader::augment_image(const Tensor& image) {
+  const std::size_t c = dataset_.channels(), h = dataset_.height(),
+                    w = dataset_.width();
+  Tensor out = image;
+  if (augment_.pad_crop > 0) {
+    // Shift by an offset in [-pad, pad] in each axis, zero-filling.
+    const long pad = static_cast<long>(augment_.pad_crop);
+    const long dy = static_cast<long>(rng_.uniform_int(2 * pad + 1)) - pad;
+    const long dx = static_cast<long>(rng_.uniform_int(2 * pad + 1)) - pad;
+    if (dy != 0 || dx != 0) {
+      Tensor shifted({c, h, w});
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        for (std::size_t y = 0; y < h; ++y) {
+          const long sy = static_cast<long>(y) + dy;
+          if (sy < 0 || sy >= static_cast<long>(h)) continue;
+          for (std::size_t x = 0; x < w; ++x) {
+            const long sx = static_cast<long>(x) + dx;
+            if (sx < 0 || sx >= static_cast<long>(w)) continue;
+            shifted(ch, y, x) = out(ch, static_cast<std::size_t>(sy),
+                                    static_cast<std::size_t>(sx));
+          }
+        }
+      }
+      out = std::move(shifted);
+    }
+  }
+  if (augment_.horizontal_flip && rng_.uniform() < 0.5) {
+    Tensor flipped({c, h, w});
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+          flipped(ch, y, x) = out(ch, y, w - 1 - x);
+        }
+      }
+    }
+    out = std::move(flipped);
+  }
+  return out;
+}
+
+bool DataLoader::next(Batch& out) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t take =
+      std::min(batch_size_, order_.size() - cursor_);
+  const std::size_t c = dataset_.channels(), h = dataset_.height(),
+                    w = dataset_.width();
+  const std::size_t sample = c * h * w;
+  out.images = Tensor({take, c, h, w});
+  out.labels.clear();
+  out.labels.reserve(take);
+  float* dst = out.images.data().data();
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t idx = order_[cursor_ + i];
+    const Tensor aug = augment_image(dataset_.image(idx));
+    const float* src = aug.data().data();
+    std::copy(src, src + sample, dst + i * sample);
+    out.labels.push_back(dataset_.label(idx));
+  }
+  cursor_ += take;
+  return true;
+}
+
+}  // namespace ccq::data

@@ -1,0 +1,87 @@
+// Dataset and batching abstractions.
+//
+// The paper evaluates on CIFAR10 and ImageNet, neither of which ships
+// with this repo; DESIGN.md §2 documents the synthetic substitutes.  The
+// abstractions here are dataset-agnostic: an in-memory labelled image
+// store plus a shuffling mini-batch loader with optional train-time
+// augmentation (pad-crop and horizontal flip, the paper's §IV.a setup).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ccq/common/rng.hpp"
+#include "ccq/tensor/tensor.hpp"
+
+namespace ccq::data {
+
+/// One mini-batch: NCHW images plus integer labels.
+struct Batch {
+  Tensor images;
+  std::vector<int> labels;
+  std::size_t size() const { return labels.size(); }
+};
+
+/// In-memory labelled image dataset (CHW float images in [0, 1]).
+class Dataset {
+ public:
+  Dataset(std::size_t channels, std::size_t height, std::size_t width,
+          std::size_t num_classes);
+
+  void add(Tensor image, int label);
+  std::size_t size() const { return labels_.size(); }
+  std::size_t channels() const { return channels_; }
+  std::size_t height() const { return height_; }
+  std::size_t width() const { return width_; }
+  std::size_t num_classes() const { return num_classes_; }
+
+  const Tensor& image(std::size_t i) const;
+  int label(std::size_t i) const;
+
+  /// Assemble a batch from explicit indices (no augmentation).
+  Batch gather(const std::vector<std::size_t>& indices) const;
+
+  /// The whole dataset as one batch (for small validation sets).
+  Batch all() const;
+
+  /// Split off the last `count` samples into a new dataset (train/val).
+  Dataset take_tail(std::size_t count);
+
+ private:
+  std::size_t channels_, height_, width_, num_classes_;
+  std::vector<Tensor> images_;
+  std::vector<int> labels_;
+};
+
+/// Train-time augmentation configuration (paper §IV.a).
+struct Augment {
+  bool horizontal_flip = true;
+  std::size_t pad_crop = 2;  ///< zero-pad margin before random crop; 0 = off
+};
+
+/// Shuffling mini-batch iterator with augmentation.
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, std::size_t batch_size, Augment augment,
+             Rng rng);
+
+  /// Reshuffle and restart an epoch.
+  void start_epoch();
+
+  /// Fetch the next batch; returns false at epoch end.
+  bool next(Batch& out);
+
+  std::size_t batches_per_epoch() const;
+
+ private:
+  Tensor augment_image(const Tensor& image);
+
+  const Dataset& dataset_;
+  std::size_t batch_size_;
+  Augment augment_;
+  Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace ccq::data

@@ -1,0 +1,175 @@
+#include "ccq/data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccq::data {
+
+namespace {
+
+/// Per-class texture program parameters, drawn once per class.
+struct ClassStyle {
+  int family = 0;            ///< texture family index
+  float theta = 0.0f;        ///< stripe / spiral orientation
+  float freq = 3.0f;         ///< spatial frequency
+  float cx = 0.5f, cy = 0.5f;  ///< feature centre (relative)
+  float color[3] = {0.5f, 0.5f, 0.5f};
+  float color2[3] = {0.5f, 0.5f, 0.5f};
+  float blob[4][2] = {};     ///< blob centres (relative)
+};
+
+/// Distinct hues around the colour wheel, converted to RGB.
+void hue_to_rgb(float hue, float out[3]) {
+  const float h = hue * 6.0f;
+  const int sector = static_cast<int>(h) % 6;
+  const float f = h - std::floor(h);
+  const float q = 1.0f - f;
+  switch (sector) {
+    case 0: out[0] = 1; out[1] = f; out[2] = 0; break;
+    case 1: out[0] = q; out[1] = 1; out[2] = 0; break;
+    case 2: out[0] = 0; out[1] = 1; out[2] = f; break;
+    case 3: out[0] = 0; out[1] = q; out[2] = 1; break;
+    case 4: out[0] = f; out[1] = 0; out[2] = 1; break;
+    default: out[0] = 1; out[1] = 0; out[2] = q; break;
+  }
+}
+
+ClassStyle make_style(std::size_t cls, std::size_t num_classes, Rng& rng) {
+  ClassStyle s;
+  s.family = static_cast<int>(cls % 6);
+  s.theta = static_cast<float>(rng.uniform(0.0, M_PI));
+  s.freq = static_cast<float>(rng.uniform(2.0, 5.5));
+  s.cx = static_cast<float>(rng.uniform(0.3, 0.7));
+  s.cy = static_cast<float>(rng.uniform(0.3, 0.7));
+  hue_to_rgb(static_cast<float>(cls) / static_cast<float>(num_classes),
+             s.color);
+  hue_to_rgb(std::fmod(static_cast<float>(cls) /
+                               static_cast<float>(num_classes) +
+                           0.37f,
+                       1.0f),
+             s.color2);
+  for (auto& b : s.blob) {
+    b[0] = static_cast<float>(rng.uniform(0.15, 0.85));
+    b[1] = static_cast<float>(rng.uniform(0.15, 0.85));
+  }
+  return s;
+}
+
+/// Texture intensity in [0,1] at relative coordinates (u, v).
+float texture_value(const ClassStyle& s, float u, float v, float phase,
+                    float jx, float jy) {
+  const float x = u - s.cx - jx;
+  const float y = v - s.cy - jy;
+  switch (s.family) {
+    case 0: {  // oriented stripes
+      const float t = x * std::cos(s.theta) + y * std::sin(s.theta);
+      return 0.5f + 0.5f * std::sin(2.0f * static_cast<float>(M_PI) *
+                                        s.freq * t +
+                                    phase);
+    }
+    case 1: {  // checkerboard
+      const int ix = static_cast<int>(std::floor((u - jx) * s.freq * 2.0f));
+      const int iy = static_cast<int>(std::floor((v - jy) * s.freq * 2.0f));
+      return ((ix + iy) & 1) != 0 ? 1.0f : 0.0f;
+    }
+    case 2: {  // radial rings
+      const float r = std::sqrt(x * x + y * y);
+      return 0.5f + 0.5f * std::sin(2.0f * static_cast<float>(M_PI) *
+                                        s.freq * 2.0f * r +
+                                    phase);
+    }
+    case 3: {  // Gaussian blobs
+      float acc = 0.0f;
+      for (const auto& b : s.blob) {
+        const float dx = u - b[0] - jx;
+        const float dy = v - b[1] - jy;
+        acc += std::exp(-(dx * dx + dy * dy) * 60.0f);
+      }
+      return std::min(1.0f, acc);
+    }
+    case 4: {  // gradient × sinusoid
+      const float g = 0.5f * (u + v);
+      return g * (0.5f + 0.5f * std::sin(2.0f * static_cast<float>(M_PI) *
+                                             s.freq * (u - v) +
+                                         phase));
+    }
+    default: {  // spiral
+      const float r = std::sqrt(x * x + y * y) + 1e-6f;
+      const float ang = std::atan2(y, x);
+      return 0.5f + 0.5f * std::sin(s.freq * ang +
+                                    10.0f * r + phase);
+    }
+  }
+}
+
+}  // namespace
+
+Dataset make_synthetic_vision(const SyntheticConfig& config) {
+  CCQ_CHECK(config.num_classes > 0 && config.samples_per_class > 0,
+            "empty synthetic dataset requested");
+  Rng master(config.seed);
+  std::vector<ClassStyle> styles;
+  styles.reserve(config.num_classes);
+  for (std::size_t c = 0; c < config.num_classes; ++c) {
+    styles.push_back(make_style(c, config.num_classes, master));
+  }
+
+  Dataset ds(3, config.height, config.width, config.num_classes);
+  const float inv_h = 1.0f / static_cast<float>(config.height);
+  const float inv_w = 1.0f / static_cast<float>(config.width);
+  // Interleave classes so a train/val tail split stays class-balanced.
+  for (std::size_t i = 0; i < config.samples_per_class; ++i) {
+    for (std::size_t c = 0; c < config.num_classes; ++c) {
+      const ClassStyle& s = styles[c];
+      const float phase = static_cast<float>(
+          master.uniform(0.0, 2.0 * M_PI) * config.jitter);
+      const float jx =
+          static_cast<float>(master.normal(0.0, 0.08 * config.jitter));
+      const float jy =
+          static_cast<float>(master.normal(0.0, 0.08 * config.jitter));
+      const float cshift =
+          static_cast<float>(master.normal(0.0, 0.1 * config.jitter));
+      Tensor img({3, config.height, config.width});
+      for (std::size_t y = 0; y < config.height; ++y) {
+        for (std::size_t x = 0; x < config.width; ++x) {
+          const float u = (static_cast<float>(x) + 0.5f) * inv_w;
+          const float v = (static_cast<float>(y) + 0.5f) * inv_h;
+          const float t = texture_value(s, u, v, phase, jx, jy);
+          for (std::size_t ch = 0; ch < 3; ++ch) {
+            float value = t * s.color[ch] + (1.0f - t) * s.color2[ch] + cshift;
+            value += static_cast<float>(
+                master.normal(0.0, config.pixel_noise));
+            img(ch, y, x) = std::clamp(value, 0.0f, 1.0f);
+          }
+        }
+      }
+      ds.add(std::move(img), static_cast<int>(c));
+    }
+  }
+  return ds;
+}
+
+Dataset make_synthetic_cifar(std::size_t samples_per_class, std::uint64_t seed,
+                             std::size_t image_size) {
+  SyntheticConfig config;
+  config.num_classes = 10;
+  config.samples_per_class = samples_per_class;
+  config.height = config.width = image_size;
+  config.seed = seed;
+  return make_synthetic_vision(config);
+}
+
+Dataset make_synthetic_imagenet(std::size_t samples_per_class,
+                                std::uint64_t seed, std::size_t num_classes,
+                                std::size_t image_size) {
+  SyntheticConfig config;
+  config.num_classes = num_classes;
+  config.samples_per_class = samples_per_class;
+  config.height = config.width = image_size;
+  config.pixel_noise = 0.1f;
+  config.jitter = 0.6f;  // harder task: more intra-class variance
+  config.seed = seed;
+  return make_synthetic_vision(config);
+}
+
+}  // namespace ccq::data

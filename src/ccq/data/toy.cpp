@@ -1,0 +1,58 @@
+#include "ccq/data/toy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccq::data {
+
+Dataset make_two_spirals(std::size_t samples_per_class, float noise,
+                         std::uint64_t seed) {
+  CCQ_CHECK(samples_per_class > 0, "empty spiral dataset");
+  Rng rng(seed);
+  Dataset ds(1, 1, 2, 2);  // 2 features as a 1×1×2 image
+  for (std::size_t i = 0; i < samples_per_class; ++i) {
+    const float t = 0.5f + 3.0f * static_cast<float>(i) /
+                               static_cast<float>(samples_per_class);
+    for (int cls = 0; cls < 2; ++cls) {
+      const float phase = cls == 0 ? 0.0f : static_cast<float>(M_PI);
+      const float angle = t * 2.5f + phase;
+      Tensor point({1, 1, 2});
+      // Scale into roughly [0, 1] so quantized activations behave.
+      point(0, 0, 0) = 0.5f + 0.12f * t * std::cos(angle) +
+                       static_cast<float>(rng.normal(0.0, noise));
+      point(0, 0, 1) = 0.5f + 0.12f * t * std::sin(angle) +
+                       static_cast<float>(rng.normal(0.0, noise));
+      ds.add(std::move(point), cls);
+    }
+  }
+  return ds;
+}
+
+Dataset make_gaussian_blobs(std::size_t num_classes,
+                            std::size_t samples_per_class, std::size_t dims,
+                            float spread, std::uint64_t seed) {
+  CCQ_CHECK(num_classes > 0 && samples_per_class > 0 && dims > 0,
+            "empty blob dataset");
+  Rng rng(seed);
+  // Class centres drawn once, kept inside [0.2, 0.8]^d.
+  std::vector<std::vector<float>> centres(num_classes,
+                                          std::vector<float>(dims));
+  for (auto& centre : centres) {
+    for (auto& x : centre) x = static_cast<float>(rng.uniform(0.2, 0.8));
+  }
+  Dataset ds(1, 1, dims, num_classes);
+  for (std::size_t i = 0; i < samples_per_class; ++i) {
+    for (std::size_t cls = 0; cls < num_classes; ++cls) {
+      Tensor point({1, 1, dims});
+      for (std::size_t d = 0; d < dims; ++d) {
+        point(0, 0, d) = std::clamp(
+            centres[cls][d] + static_cast<float>(rng.normal(0.0, spread)),
+            0.0f, 1.0f);
+      }
+      ds.add(std::move(point), static_cast<int>(cls));
+    }
+  }
+  return ds;
+}
+
+}  // namespace ccq::data

@@ -1,0 +1,21 @@
+// Tiny non-vision datasets for MLP tests and examples.
+//
+// Rendered into the common Dataset format as 1×1×D "images" so every
+// loader/trainer works unchanged.
+#pragma once
+
+#include "ccq/data/dataset.hpp"
+
+namespace ccq::data {
+
+/// Two interleaved spirals in 2-D (binary classification); a classic
+/// nonlinear benchmark an MLP needs hidden units for.
+Dataset make_two_spirals(std::size_t samples_per_class, float noise = 0.05f,
+                         std::uint64_t seed = 99);
+
+/// k isotropic Gaussian blobs in `dims` dimensions.
+Dataset make_gaussian_blobs(std::size_t num_classes,
+                            std::size_t samples_per_class, std::size_t dims,
+                            float spread = 0.15f, std::uint64_t seed = 100);
+
+}  // namespace ccq::data

@@ -1,0 +1,61 @@
+#include "ccq/hw/fixed_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccq::hw {
+
+std::vector<std::int32_t> encode(const Tensor& values,
+                                 const FixedPointFormat& format) {
+  CCQ_CHECK(format.bits >= 2 && format.bits <= 31, "bits out of range");
+  CCQ_CHECK(format.scale > 0.0f, "scale must be positive");
+  std::vector<std::int32_t> codes;
+  codes.reserve(values.numel());
+  const auto lo = static_cast<float>(format.min_code());
+  const auto hi = static_cast<float>(format.max_code());
+  for (float v : values.data()) {
+    const float code = std::clamp(std::round(v / format.scale), lo, hi);
+    codes.push_back(static_cast<std::int32_t>(code));
+  }
+  return codes;
+}
+
+Tensor decode(const std::vector<std::int32_t>& codes, const Shape& shape,
+              const FixedPointFormat& format) {
+  CCQ_CHECK(codes.size() == shape_numel(shape), "code count mismatch");
+  Tensor out(shape);
+  auto data = out.data();
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    data[i] = static_cast<float>(codes[i]) * format.scale;
+  }
+  return out;
+}
+
+float integer_dot(const std::vector<std::int32_t>& a,
+                  const FixedPointFormat& fa,
+                  const std::vector<std::int32_t>& b,
+                  const FixedPointFormat& fb) {
+  CCQ_CHECK(a.size() == b.size(), "integer_dot length mismatch");
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<std::int64_t>(a[i]) * static_cast<std::int64_t>(b[i]);
+  }
+  return static_cast<float>(static_cast<double>(acc) *
+                            static_cast<double>(fa.scale) *
+                            static_cast<double>(fb.scale));
+}
+
+bool representable(const Tensor& values, const FixedPointFormat& format,
+                   float tol) {
+  for (float v : values.data()) {
+    const float code = std::round(v / format.scale);
+    if (code > static_cast<float>(format.max_code()) ||
+        code < static_cast<float>(format.min_code())) {
+      return false;
+    }
+    if (std::fabs(code * format.scale - v) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace ccq::hw

@@ -1,0 +1,48 @@
+// Bit-true fixed-point arithmetic.
+//
+// The float "simulated quantization" used during training must agree with
+// what an integer datapath would compute.  This module provides the
+// integer view: encode a quantized float tensor into k-bit codes, run an
+// integer MAC (the hardware the Fig 5 power model prices), and decode —
+// tests assert the result matches the float path bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ccq/tensor/tensor.hpp"
+
+namespace ccq::hw {
+
+/// Symmetric fixed-point format: value = code · scale, code ∈
+/// [−(2^(bits−1)−1), +(2^(bits−1)−1)].
+struct FixedPointFormat {
+  int bits = 8;
+  float scale = 1.0f;
+
+  std::int32_t max_code() const { return (1 << (bits - 1)) - 1; }
+  std::int32_t min_code() const { return -max_code(); }
+};
+
+/// Encode floats to integer codes (round-to-nearest, saturating).
+std::vector<std::int32_t> encode(const Tensor& values,
+                                 const FixedPointFormat& format);
+
+/// Decode integer codes back to floats.
+Tensor decode(const std::vector<std::int32_t>& codes, const Shape& shape,
+              const FixedPointFormat& format);
+
+/// Bit-true dot product: Σ a_i·b_i in 64-bit integer accumulation, then
+/// rescaled by both scales.  This is what one output element of a conv /
+/// linear layer computes on an integer MAC array.
+float integer_dot(const std::vector<std::int32_t>& a,
+                  const FixedPointFormat& fa,
+                  const std::vector<std::int32_t>& b,
+                  const FixedPointFormat& fb);
+
+/// Check that every element of `values` is representable in `format`
+/// (i.e. encode→decode is the identity) within `tol`.
+bool representable(const Tensor& values, const FixedPointFormat& format,
+                   float tol = 1e-6f);
+
+}  // namespace ccq::hw

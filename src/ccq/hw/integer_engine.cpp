@@ -1,0 +1,396 @@
+#include "ccq/hw/integer_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "ccq/nn/conv.hpp"
+#include "ccq/nn/linear.hpp"
+#include "ccq/nn/norm.hpp"
+#include "ccq/nn/pool.hpp"
+#include "ccq/quant/act_quant.hpp"
+
+namespace ccq::hw {
+
+namespace {
+
+constexpr float kInputScale = 1.0f / 255.0f;  // 8-bit input quantization
+
+/// Infer the uniform grid spacing of a quantized tensor from its distinct
+/// values.  Returns 0 when the tensor is constant (degenerate layer).
+float infer_step(const Tensor& q) {
+  std::set<float> values(q.data().begin(), q.data().end());
+  float step = 0.0f;
+  float prev = 0.0f;
+  bool first = true;
+  for (float v : values) {
+    if (!first) {
+      const float gap = v - prev;
+      if (gap > 1e-12f && (step == 0.0f || gap < step)) step = gap;
+    }
+    prev = v;
+    first = false;
+  }
+  return step;
+}
+
+/// Encode a grid-valued tensor as doubled integer codes: q = (step/2)·c.
+/// Doubling covers both zero-centred grids (codes even) and half-offset
+/// grids like DoReFa's (codes odd).
+std::vector<std::int32_t> encode_doubled(const Tensor& q, float step) {
+  std::vector<std::int32_t> codes;
+  codes.reserve(q.numel());
+  const float half = step / 2.0f;
+  for (float v : q.data()) {
+    codes.push_back(static_cast<std::int32_t>(std::lround(v / half)));
+  }
+  return codes;
+}
+
+struct FoldedBn {
+  std::vector<float> scale;  ///< γ/σ per channel
+  std::vector<float> shift;  ///< β − γμ/σ per channel
+};
+
+FoldedBn fold_bn(const nn::BatchNorm2d* bn, std::size_t channels) {
+  FoldedBn folded;
+  folded.scale.assign(channels, 1.0f);
+  folded.shift.assign(channels, 0.0f);
+  if (bn == nullptr) return folded;
+  // Access running stats / affine params through the public interface.
+  const Tensor& mean = bn->running_mean();
+  const Tensor& var = bn->running_var();
+  auto* mutable_bn = const_cast<nn::BatchNorm2d*>(bn);
+  const Tensor& gamma = mutable_bn->gamma().value;
+  const Tensor& beta = mutable_bn->beta().value;
+  for (std::size_t c = 0; c < channels; ++c) {
+    const float inv_std = 1.0f / std::sqrt(var.at(c) + 1e-5f);
+    folded.scale[c] = gamma.at(c) * inv_std;
+    folded.shift[c] = beta.at(c) - gamma.at(c) * mean.at(c) * inv_std;
+  }
+  return folded;
+}
+
+/// Activation metadata from a quantized activation module.
+void read_act(nn::Module* module, IntLayerPlan& plan) {
+  if (auto* pact = dynamic_cast<quant::PactActivation*>(module)) {
+    plan.has_act = true;
+    plan.act_bits = pact->bits();
+    plan.act_clip = std::max(pact->alpha(), 1e-3f);
+  } else if (auto* clip = dynamic_cast<quant::ClipActQuant*>(module)) {
+    plan.has_act = true;
+    plan.act_bits = clip->bits();
+    plan.act_clip = clip->clip();
+  } else {
+    throw Error("unsupported activation module in integer engine: " +
+                module->type_name());
+  }
+}
+
+float act_scale(const IntLayerPlan& plan) {
+  CCQ_CHECK(plan.has_act, "layer has no activation grid");
+  CCQ_CHECK(plan.act_bits < 16, "activation not quantized");
+  return plan.act_clip /
+         static_cast<float>((1u << plan.act_bits) - 1u);
+}
+
+}  // namespace
+
+IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
+  IntegerNetwork net;
+  nn::Sequential& seq = model.net();
+  float input_scale = kInputScale;  // scale of the incoming activations
+
+  auto compile_weights = [&](nn::Parameter& weight,
+                             nn::QuantizerHook* hook,
+                             std::size_t out_channels,
+                             const FoldedBn& bn,
+                             const Tensor* conv_bias,
+                             IntLayerPlan& plan) {
+    CCQ_CHECK(hook != nullptr, "layer has no weight quantizer");
+    CCQ_CHECK(hook->bits() < 16,
+              "integer engine requires quantized weights (<16 bits)");
+    const Tensor q = hook->quantize(weight.value);
+    float step = infer_step(q);
+    if (step == 0.0f) step = 1.0f;  // constant (all-zero) weights
+    plan.weight_codes = encode_doubled(q, step);
+    plan.weight_bits = hook->bits();
+    plan.channel_scale.assign(out_channels, 0.0f);
+    plan.bias.assign(out_channels, 0.0f);
+    for (std::size_t c = 0; c < out_channels; ++c) {
+      plan.channel_scale[c] =
+          (step / 2.0f) * input_scale * bn.scale[c];
+      const float base_bias =
+          conv_bias != nullptr ? conv_bias->at(c) : 0.0f;
+      plan.bias[c] = base_bias * bn.scale[c] + bn.shift[c];
+    }
+  };
+
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    nn::Module& module = seq.child(i);
+    const std::string type = module.type_name();
+    if (type == "Conv2d") {
+      auto& conv = dynamic_cast<nn::Conv2d&>(module);
+      IntLayerPlan plan;
+      plan.kind = IntLayerPlan::Kind::kConv;
+      plan.in_channels = conv.in_channels();
+      plan.out_channels = conv.out_channels();
+      plan.kernel = conv.kernel();
+      plan.stride = conv.stride();
+      plan.pad = conv.pad();
+      // Optional BN directly after.
+      const nn::BatchNorm2d* bn = nullptr;
+      if (i + 1 < seq.size() &&
+          seq.child(i + 1).type_name() == "BatchNorm2d") {
+        bn = &dynamic_cast<nn::BatchNorm2d&>(seq.child(i + 1));
+        ++i;
+      }
+      // Optional quantized activation after that.
+      if (i + 1 < seq.size() &&
+          (seq.child(i + 1).type_name() == "PactActivation" ||
+           seq.child(i + 1).type_name() == "ClipActQuant")) {
+        read_act(&seq.child(i + 1), plan);
+        ++i;
+      }
+      const FoldedBn folded = fold_bn(bn, plan.out_channels);
+      compile_weights(conv.weight(), conv.weight_quantizer(),
+                      plan.out_channels, folded,
+                      conv.has_bias() ? &conv.bias().value : nullptr, plan);
+      if (plan.has_act) input_scale = act_scale(plan);
+      net.plans_.push_back(std::move(plan));
+    } else if (type == "Linear") {
+      auto& fc = dynamic_cast<nn::Linear&>(module);
+      IntLayerPlan plan;
+      plan.kind = IntLayerPlan::Kind::kLinear;
+      plan.in_features = fc.in_features();
+      plan.out_features = fc.out_features();
+      if (i + 1 < seq.size() &&
+          (seq.child(i + 1).type_name() == "PactActivation" ||
+           seq.child(i + 1).type_name() == "ClipActQuant")) {
+        read_act(&seq.child(i + 1), plan);
+        ++i;
+      }
+      const FoldedBn identity = fold_bn(nullptr, plan.out_features);
+      compile_weights(fc.weight(), fc.weight_quantizer(), plan.out_features,
+                      identity, fc.has_bias() ? &fc.bias().value : nullptr,
+                      plan);
+      if (plan.has_act) input_scale = act_scale(plan);
+      net.plans_.push_back(std::move(plan));
+    } else if (type == "MaxPool2d") {
+      auto& pool = dynamic_cast<nn::MaxPool2d&>(module);
+      IntLayerPlan plan;
+      plan.kind = IntLayerPlan::Kind::kMaxPool;
+      plan.pool_kernel = pool.kernel();
+      plan.pool_stride = pool.stride();
+      net.plans_.push_back(plan);
+    } else if (type == "AvgPool2d") {
+      auto& pool = dynamic_cast<nn::AvgPool2d&>(module);
+      IntLayerPlan plan;
+      plan.kind = IntLayerPlan::Kind::kAvgPool;
+      plan.pool_kernel = pool.kernel();
+      plan.pool_stride = pool.stride();
+      net.plans_.push_back(plan);
+    } else if (type == "GlobalAvgPool") {
+      IntLayerPlan plan;
+      plan.kind = IntLayerPlan::Kind::kGlobalAvgPool;
+      net.plans_.push_back(plan);
+    } else if (type == "Flatten") {
+      IntLayerPlan plan;
+      plan.kind = IntLayerPlan::Kind::kFlatten;
+      net.plans_.push_back(plan);
+    } else if (type == "Residual") {
+      throw Error(
+          "integer engine supports sequential topologies only; residual "
+          "graphs run through the float simulation path");
+    } else {
+      throw Error("integer engine: unsupported module " + type);
+    }
+  }
+  CCQ_CHECK(!net.plans_.empty(), "empty model");
+  return net;
+}
+
+const IntLayerPlan& IntegerNetwork::plan(std::size_t i) const {
+  CCQ_CHECK(i < plans_.size(), "plan index out of range");
+  return plans_[i];
+}
+
+namespace {
+
+/// Quantize a float activation tensor onto a uniform grid and return the
+/// integer codes (as exact floats, ready for im2col).
+Tensor to_codes(const Tensor& x, float scale) {
+  Tensor codes(x.shape());
+  auto xp = x.data();
+  auto cp = codes.data();
+  for (std::size_t i = 0; i < xp.size(); ++i) {
+    cp[i] = std::round(xp[i] / scale);
+  }
+  return codes;
+}
+
+/// Apply the layer's activation quantizer to a float tensor.
+void apply_act(Tensor& x, const IntLayerPlan& plan) {
+  if (!plan.has_act) return;
+  auto xp = x.data();
+  if (plan.act_bits >= 16) {
+    for (auto& v : xp) v = std::clamp(v, 0.0f, plan.act_clip);
+    return;
+  }
+  const float n = static_cast<float>((1u << plan.act_bits) - 1u);
+  const float s = plan.act_clip / n;
+  for (auto& v : xp) {
+    v = std::clamp(std::round(std::clamp(v, 0.0f, plan.act_clip) / s),
+                   0.0f, n) *
+        s;
+  }
+}
+
+}  // namespace
+
+Tensor IntegerNetwork::forward(const Tensor& x) const {
+  CCQ_CHECK(x.rank() == 4, "integer engine expects NCHW input");
+  Tensor act = x;
+  float scale = kInputScale;
+  // Snap the input onto its 8-bit grid (standard input quantization).
+  {
+    auto p = act.data();
+    for (auto& v : p) {
+      v = std::clamp(std::round(v / kInputScale), 0.0f, 255.0f) *
+          kInputScale;
+    }
+  }
+
+  for (const auto& plan : plans_) {
+    switch (plan.kind) {
+      case IntLayerPlan::Kind::kConv: {
+        const std::size_t n = act.dim(0), h = act.dim(2), w = act.dim(3);
+        const ConvGeometry g{.in_channels = plan.in_channels,
+                             .in_h = h,
+                             .in_w = w,
+                             .kernel = plan.kernel,
+                             .stride = plan.stride,
+                             .pad = plan.pad};
+        const std::size_t oh = g.out_h(), ow = g.out_w();
+        const std::size_t patch = g.patch_size(), spatial = g.out_spatial();
+        Tensor codes = to_codes(act, scale);
+        Tensor out({n, plan.out_channels, oh, ow});
+        std::vector<float> cols(patch * spatial);
+        for (std::size_t img = 0; img < n; ++img) {
+          const float* src =
+              codes.data().data() + img * plan.in_channels * h * w;
+          im2col(src, g, cols.data());
+          float* dst =
+              out.data().data() + img * plan.out_channels * spatial;
+          for (std::size_t oc = 0; oc < plan.out_channels; ++oc) {
+            const std::int32_t* wrow = plan.weight_codes.data() + oc * patch;
+            for (std::size_t s = 0; s < spatial; ++s) {
+              std::int64_t acc = 0;  // the integer MAC datapath
+              for (std::size_t p = 0; p < patch; ++p) {
+                acc += static_cast<std::int64_t>(wrow[p]) *
+                       static_cast<std::int64_t>(
+                           std::lround(cols[p * spatial + s]));
+              }
+              dst[oc * spatial + s] =
+                  static_cast<float>(acc) * plan.channel_scale[oc] +
+                  plan.bias[oc];
+            }
+          }
+        }
+        act = std::move(out);
+        apply_act(act, plan);
+        if (plan.has_act && plan.act_bits < 16) scale = act_scale(plan);
+        break;
+      }
+      case IntLayerPlan::Kind::kLinear: {
+        CCQ_CHECK(act.rank() == 2 && act.dim(1) == plan.in_features,
+                  "linear input mismatch in integer engine");
+        const std::size_t n = act.dim(0);
+        Tensor codes = to_codes(act, scale);
+        Tensor out({n, plan.out_features});
+        for (std::size_t img = 0; img < n; ++img) {
+          const float* arow = codes.data().data() + img * plan.in_features;
+          for (std::size_t oc = 0; oc < plan.out_features; ++oc) {
+            const std::int32_t* wrow =
+                plan.weight_codes.data() + oc * plan.in_features;
+            std::int64_t acc = 0;
+            for (std::size_t p = 0; p < plan.in_features; ++p) {
+              acc += static_cast<std::int64_t>(wrow[p]) *
+                     static_cast<std::int64_t>(std::lround(arow[p]));
+            }
+            out(img, oc) =
+                static_cast<float>(acc) * plan.channel_scale[oc] +
+                plan.bias[oc];
+          }
+        }
+        act = std::move(out);
+        apply_act(act, plan);
+        if (plan.has_act && plan.act_bits < 16) scale = act_scale(plan);
+        break;
+      }
+      case IntLayerPlan::Kind::kMaxPool: {
+        nn::MaxPool2d pool(plan.pool_kernel, plan.pool_stride);
+        act = pool.forward(act);
+        break;
+      }
+      case IntLayerPlan::Kind::kAvgPool: {
+        nn::AvgPool2d pool(plan.pool_kernel, plan.pool_stride);
+        act = pool.forward(act);
+        // Averaging leaves the grid; requantize onto the current scale
+        // (what a fixed-point datapath does after a mean).
+        auto p = act.data();
+        for (auto& v : p) v = std::round(v / scale) * scale;
+        break;
+      }
+      case IntLayerPlan::Kind::kGlobalAvgPool: {
+        nn::GlobalAvgPool gap;
+        act = gap.forward(act);
+        auto p = act.data();
+        for (auto& v : p) v = std::round(v / scale) * scale;
+        break;
+      }
+      case IntLayerPlan::Kind::kFlatten: {
+        act = act.reshaped({act.dim(0), act.numel() / act.dim(0)});
+        break;
+      }
+    }
+  }
+  return act;
+}
+
+std::size_t IntegerNetwork::macs_per_sample(std::size_t h,
+                                            std::size_t w) const {
+  std::size_t total = 0;
+  std::size_t cur_h = h, cur_w = w;
+  for (const auto& plan : plans_) {
+    switch (plan.kind) {
+      case IntLayerPlan::Kind::kConv: {
+        const ConvGeometry g{.in_channels = plan.in_channels,
+                             .in_h = cur_h,
+                             .in_w = cur_w,
+                             .kernel = plan.kernel,
+                             .stride = plan.stride,
+                             .pad = plan.pad};
+        total += plan.out_channels * g.patch_size() * g.out_spatial();
+        cur_h = g.out_h();
+        cur_w = g.out_w();
+        break;
+      }
+      case IntLayerPlan::Kind::kLinear:
+        total += plan.in_features * plan.out_features;
+        break;
+      case IntLayerPlan::Kind::kMaxPool:
+      case IntLayerPlan::Kind::kAvgPool:
+        cur_h = (cur_h - plan.pool_kernel) / plan.pool_stride + 1;
+        cur_w = (cur_w - plan.pool_kernel) / plan.pool_stride + 1;
+        break;
+      case IntLayerPlan::Kind::kGlobalAvgPool:
+      case IntLayerPlan::Kind::kFlatten:
+        cur_h = cur_w = 1;
+        break;
+    }
+  }
+  return total;
+}
+
+}  // namespace ccq::hw

@@ -1,0 +1,85 @@
+// Integer inference engine: the deployment view of a quantized model.
+//
+// During training this library *simulates* quantization in float.  A
+// real accelerator (the one the Fig 5 power model prices) instead runs
+// integer MACs over weight/activation codes and rescales per output
+// channel.  This engine builds that datapath from a trained QuantModel:
+//
+//   * BatchNorm is folded into the preceding conv/linear (per-channel
+//     scale γ/σ and bias β − γμ/σ, using the running statistics);
+//   * quantized weights are stored as k-bit integer codes plus a
+//     per-layer scale (per-channel after folding);
+//   * every convolution / fully-connected inner product is computed with
+//     64-bit integer accumulation over the codes (`hw::integer_dot`
+//     semantics), then rescaled;
+//   * activations are re-quantized onto the next layer's input grid.
+//
+// Tests assert parity with the float-simulated forward pass — the
+// property that makes training-time accuracy numbers meaningful for the
+// deployed network.
+//
+// Scope: sequential topologies (conv/linear + BN + quantized activation,
+// pooling, flatten, global-average-pool).  Residual graphs still run
+// through the float simulation path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ccq/models/model.hpp"
+#include "ccq/tensor/im2col.hpp"
+
+namespace ccq::hw {
+
+/// One compiled layer of the integer network.
+struct IntLayerPlan {
+  enum class Kind { kConv, kLinear, kMaxPool, kAvgPool, kGlobalAvgPool,
+                    kFlatten };
+  Kind kind = Kind::kConv;
+
+  // Conv/linear payload -------------------------------------------------
+  std::vector<std::int32_t> weight_codes;  ///< k-bit signed codes
+  int weight_bits = 32;
+  /// Per-output-channel effective scale: weight_scale · (γ/σ) folded.
+  std::vector<float> channel_scale;
+  /// Folded bias per output channel (β − γμ/σ plus original bias).
+  std::vector<float> bias;
+  std::size_t in_channels = 0, out_channels = 0;
+  std::size_t kernel = 1, stride = 1, pad = 0;
+  std::size_t in_features = 0, out_features = 0;
+
+  // Activation re-quantization ------------------------------------------
+  bool has_act = false;
+  int act_bits = 32;
+  float act_clip = 0.0f;  ///< PACT α or fixed clip
+
+  // Pool payload ---------------------------------------------------------
+  std::size_t pool_kernel = 2, pool_stride = 2;
+};
+
+/// Compiled integer network.
+class IntegerNetwork {
+ public:
+  /// Compile a *sequential* quantized model (throws ccq::Error when the
+  /// topology contains residual blocks or unsupported modules).  The
+  /// model must be in eval state conceptually: BN running statistics are
+  /// baked in.
+  static IntegerNetwork compile(models::QuantModel& model);
+
+  /// Run inference over an (N, C, H, W) batch; returns (N, classes)
+  /// logits.  All conv/linear arithmetic is integer.
+  Tensor forward(const Tensor& x) const;
+
+  std::size_t layer_count() const { return plans_.size(); }
+  const IntLayerPlan& plan(std::size_t i) const;
+
+  /// Total integer MAC operations for one sample at the compiled input
+  /// geometry (populated during the first forward).
+  std::size_t macs_per_sample(std::size_t h, std::size_t w) const;
+
+ private:
+  std::vector<IntLayerPlan> plans_;
+};
+
+}  // namespace ccq::hw

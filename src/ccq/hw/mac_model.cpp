@@ -1,0 +1,106 @@
+#include "ccq/hw/mac_model.hpp"
+
+#include <algorithm>
+
+namespace ccq::hw {
+
+namespace {
+
+constexpr double kGatesPerFullAdder = 9.0;   // NAND2-equivalents
+constexpr double kFp32MantissaBits = 24.0;   // implicit-1 + 23 fraction
+constexpr double kAccumGuardBits = 8.0;      // accumulator headroom
+
+/// Gate count of an integer (bw × ba) MAC.
+double int_mac_gates(int weight_bits, int act_bits) {
+  const double bw = weight_bits, ba = act_bits;
+  const double multiplier = bw * ba * kGatesPerFullAdder;
+  const double accumulator = (bw + ba + kAccumGuardBits) * kGatesPerFullAdder;
+  return multiplier + accumulator;
+}
+
+/// Gate count of an fp32 fused MAC.
+double fp32_mac_gates() {
+  const double mantissa =
+      kFp32MantissaBits * kFp32MantissaBits * kGatesPerFullAdder;
+  const double exponent = 2.0 * 8.0 * kGatesPerFullAdder;  // add + compare
+  const double normalise = 350.0;  // barrel shifter + LZC + rounding
+  return mantissa + exponent + normalise;
+}
+
+}  // namespace
+
+MacCost mac_cost(int weight_bits, int act_bits, const TechConfig& tech) {
+  CCQ_CHECK(weight_bits >= 1 && act_bits >= 1, "invalid MAC precision");
+  const bool fp = weight_bits >= 32 || act_bits >= 32;
+  MacCost cost;
+  cost.gates = fp ? fp32_mac_gates()
+                  : int_mac_gates(weight_bits, act_bits);
+  cost.energy_j =
+      cost.gates * tech.switching_activity * tech.energy_per_gate_toggle_j;
+  cost.area_um2 = cost.gates * tech.area_per_gate_um2;
+  cost.leakage_w = cost.gates * tech.leakage_per_gate_w;
+  return cost;
+}
+
+PowerReport network_power(const std::vector<LayerMacs>& layers,
+                          double inferences_per_second,
+                          const TechConfig& tech) {
+  CCQ_CHECK(!layers.empty(), "empty layer profile");
+  CCQ_CHECK(inferences_per_second > 0.0, "rate must be positive");
+  PowerReport report;
+  report.per_layer_w.reserve(layers.size());
+  for (const auto& layer : layers) {
+    const MacCost cost = mac_cost(layer.weight_bits, layer.act_bits, tech);
+    // Dynamic power at the requested inference rate plus the leakage of
+    // one MAC unit per layer (the minimal iso-throughput datapath).
+    const double watts =
+        static_cast<double>(layer.macs) * cost.energy_j *
+            inferences_per_second +
+        cost.leakage_w;
+    report.per_layer_w.push_back(watts);
+    report.total_w += watts;
+  }
+  report.first_layer_w = report.per_layer_w.front();
+  report.last_layer_w = report.per_layer_w.back();
+  for (std::size_t i = 1; i + 1 < report.per_layer_w.size(); ++i) {
+    report.middle_w += report.per_layer_w[i];
+  }
+  if (report.per_layer_w.size() == 1) {
+    report.last_layer_w = 0.0;  // avoid double counting a 1-layer net
+  }
+  return report;
+}
+
+std::vector<LayerMacs> profile_registry(const quant::LayerRegistry& registry) {
+  std::vector<LayerMacs> layers;
+  layers.reserve(registry.size());
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const auto& unit = registry.unit(i);
+    LayerMacs lm;
+    lm.name = unit.name;
+    lm.macs = unit.macs;
+    lm.weight_bits = unit.weight_hook->bits();
+    lm.act_bits = unit.act != nullptr ? unit.act->bits() : lm.weight_bits;
+    layers.push_back(lm);
+  }
+  return layers;
+}
+
+std::vector<LayerMacs> uniform_profile(const quant::LayerRegistry& registry,
+                                       int weight_bits, int act_bits,
+                                       bool fp_first_last) {
+  auto layers = profile_registry(registry);
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const bool edge = i == 0 || i + 1 == layers.size();
+    if (fp_first_last && edge) {
+      layers[i].weight_bits = 32;
+      layers[i].act_bits = 32;
+    } else {
+      layers[i].weight_bits = weight_bits;
+      layers[i].act_bits = act_bits;
+    }
+  }
+  return layers;
+}
+
+}  // namespace ccq::hw

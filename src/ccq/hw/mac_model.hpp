@@ -1,0 +1,84 @@
+// First-order gate-level MAC cost model (DESIGN.md §2 substitution for
+// the paper's DesignWare 32 nm synthesis).
+//
+// The paper's Fig 5 compares iso-throughput power of networks whose first
+// and last layers stay at fp32 against fully-quantized mixed-precision
+// ones.  We reproduce the *relative* numbers from structural gate counts:
+//   * integer MAC: a (bw × ba) array multiplier (one full-adder cell per
+//     partial-product bit, Baugh-Wooley signed) plus an accumulator adder
+//     sized for the product plus guard bits;
+//   * fp32 MAC: 24×24 mantissa multiplier, exponent add, normalisation
+//     shifter and rounding — the usual ~20 % overhead on top of the
+//     mantissa array.
+// Energy = gates × switching activity × per-gate toggle energy (32 nm
+// class constants).  Iso-throughput power multiplies per-inference energy
+// by a fixed inference rate, exactly the paper's reporting condition.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ccq/quant/registry.hpp"
+
+namespace ccq::hw {
+
+/// Technology constants (32 nm class; absolute values are first-order,
+/// ratios are what Fig 5 relies on).
+struct TechConfig {
+  double energy_per_gate_toggle_j = 1.2e-15;  ///< CV²/2-ish per gate
+  double switching_activity = 0.15;           ///< average toggle rate
+  double area_per_gate_um2 = 0.6;             ///< NAND2-equivalent area
+  double leakage_per_gate_w = 2.0e-9;         ///< static power per gate
+};
+
+/// Structural cost of one multiply-accumulate unit.
+struct MacCost {
+  double gates = 0.0;
+  double energy_j = 0.0;   ///< dynamic energy per MAC operation
+  double area_um2 = 0.0;
+  double leakage_w = 0.0;
+};
+
+/// Cost of a MAC with the given weight/activation precisions.  Bits ≥ 32
+/// selects the fp32 unit.
+MacCost mac_cost(int weight_bits, int act_bits,
+                 const TechConfig& tech = TechConfig{});
+
+/// Per-layer workload description for the power estimator.
+struct LayerMacs {
+  std::string name;
+  std::size_t macs = 0;  ///< MACs per inference
+  int weight_bits = 32;
+  int act_bits = 32;
+};
+
+/// Power of a network at a fixed inference rate.
+struct PowerReport {
+  double total_w = 0.0;
+  double first_layer_w = 0.0;
+  double last_layer_w = 0.0;
+  double middle_w = 0.0;  ///< everything between first and last
+  std::vector<double> per_layer_w;
+};
+
+/// Iso-throughput power: Σ_l macs_l · E(bits_l) · rate (+ leakage of the
+/// widest unit the layer needs, amortised).
+PowerReport network_power(const std::vector<LayerMacs>& layers,
+                          double inferences_per_second,
+                          const TechConfig& tech = TechConfig{});
+
+/// Extract the per-layer workload from a quantized model registry.
+/// Activation bits come from the paired activation quantizer (the input
+/// activations of layer l are produced by layer l−1's quantizer; as in
+/// the paper we report the layer's own W/A pair).
+std::vector<LayerMacs> profile_registry(const quant::LayerRegistry& registry);
+
+/// Convenience: same profile but with every layer forced to `w`/`a` bits,
+/// optionally keeping first and last at fp32 (the paper's fp-Nb-fp
+/// configurations).
+std::vector<LayerMacs> uniform_profile(const quant::LayerRegistry& registry,
+                                       int weight_bits, int act_bits,
+                                       bool fp_first_last);
+
+}  // namespace ccq::hw

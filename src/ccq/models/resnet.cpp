@@ -1,0 +1,256 @@
+#include "ccq/models/resnet.hpp"
+
+#include <cmath>
+
+#include "ccq/nn/conv.hpp"
+#include "ccq/nn/linear.hpp"
+#include "ccq/nn/norm.hpp"
+#include "ccq/nn/pool.hpp"
+
+namespace ccq::models {
+
+namespace {
+
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::Linear;
+using nn::Sequential;
+
+std::size_t scaled(std::size_t channels, float width_multiplier) {
+  const auto s = static_cast<std::size_t>(
+      std::lround(static_cast<double>(channels) * width_multiplier));
+  return std::max<std::size_t>(4, s);
+}
+
+/// Incremental network builder: tracks spatial dims for MAC accounting
+/// and registers every quantizable unit in execution order.
+struct Builder {
+  const quant::QuantFactory& factory;
+  quant::LayerRegistry& reg;
+  bool start_at_fp;
+  Rng rng;
+  std::size_t h, w;
+  int index = 0;
+
+  std::string next_name(const std::string& kind) {
+    return kind + std::to_string(index++);
+  }
+
+  /// Create a conv with an attached weight hook; returns the module and
+  /// the registry slot (activation filled in by the caller).
+  std::unique_ptr<Conv2d> conv(std::size_t in, std::size_t out,
+                               std::size_t k, std::size_t stride,
+                               std::size_t pad, quant::QuantUnit& slot) {
+    const std::string name = next_name("conv");
+    auto hook = factory.make_weight_hook(name);
+    auto layer = std::make_unique<Conv2d>(in, out, k, stride, pad,
+                                          /*bias=*/false, rng, name);
+    layer->set_weight_quantizer(hook);
+    slot.name = name;
+    slot.weight_hook = std::move(hook);
+    slot.weight_count = layer->weight().numel();
+    slot.macs = layer->macs_per_sample(h, w);
+    return layer;
+  }
+
+  std::unique_ptr<quant::QuantAct> act() {
+    return factory.make_activation(next_name("act"));
+  }
+
+  void register_unit(quant::QuantUnit unit) {
+    reg.add(std::move(unit), start_at_fp);
+  }
+
+  /// Basic block: conv3x3 — bn — act — conv3x3 — bn (+ shortcut) — act.
+  nn::ModulePtr basic_block(std::size_t in, std::size_t out,
+                            std::size_t stride) {
+    quant::QuantUnit u1, u2;
+    auto main = std::make_unique<Sequential>();
+    auto c1 = conv(in, out, 3, stride, 1, u1);
+    auto a1 = act();
+    u1.act = a1.get();
+    main->add_module(std::move(c1));
+    main->add<BatchNorm2d>(out, 0.1f, 1e-5f, next_name("bn"));
+    main->add_module(std::move(a1));
+
+    // conv2 sees the post-stride spatial dims.
+    const std::size_t h0 = h, w0 = w;
+    h = (h + 2 - 3) / stride + 1;
+    w = (w + 2 - 3) / stride + 1;
+    auto c2 = conv(out, out, 3, 1, 1, u2);
+    main->add_module(std::move(c2));
+    main->add<BatchNorm2d>(out, 0.1f, 1e-5f, next_name("bn"));
+
+    nn::ModulePtr shortcut;
+    quant::QuantUnit us;
+    bool has_proj = stride != 1 || in != out;
+    if (has_proj) {
+      auto sc = std::make_unique<Sequential>();
+      // Projection shortcut operates on the block input dims.
+      const std::size_t hs = h, ws = w;
+      h = h0;
+      w = w0;
+      auto cs = conv(in, out, 1, stride, 0, us);
+      h = hs;
+      w = ws;
+      sc->add_module(std::move(cs));
+      sc->add<BatchNorm2d>(out, 0.1f, 1e-5f, next_name("bn"));
+      shortcut = std::move(sc);
+    }
+
+    auto a2 = act();
+    u2.act = a2.get();
+    register_unit(std::move(u1));
+    register_unit(std::move(u2));
+    if (has_proj) register_unit(std::move(us));
+    return std::make_unique<nn::Residual>(std::move(main),
+                                          std::move(shortcut), std::move(a2));
+  }
+
+  /// Bottleneck block: 1×1 reduce — 3×3 (stride) — 1×1 expand (×4).
+  nn::ModulePtr bottleneck_block(std::size_t in, std::size_t mid,
+                                 std::size_t stride) {
+    const std::size_t out = mid * 4;
+    quant::QuantUnit u1, u2, u3;
+    auto main = std::make_unique<Sequential>();
+    auto c1 = conv(in, mid, 1, 1, 0, u1);
+    auto a1 = act();
+    u1.act = a1.get();
+    main->add_module(std::move(c1));
+    main->add<BatchNorm2d>(mid, 0.1f, 1e-5f, next_name("bn"));
+    main->add_module(std::move(a1));
+
+    auto c2 = conv(mid, mid, 3, stride, 1, u2);
+    auto a2 = act();
+    u2.act = a2.get();
+    main->add_module(std::move(c2));
+    main->add<BatchNorm2d>(mid, 0.1f, 1e-5f, next_name("bn"));
+    main->add_module(std::move(a2));
+
+    const std::size_t h0 = h, w0 = w;
+    h = (h + 2 - 3) / stride + 1;
+    w = (w + 2 - 3) / stride + 1;
+    auto c3 = conv(mid, out, 1, 1, 0, u3);
+    main->add_module(std::move(c3));
+    main->add<BatchNorm2d>(out, 0.1f, 1e-5f, next_name("bn"));
+
+    nn::ModulePtr shortcut;
+    quant::QuantUnit us;
+    const bool has_proj = stride != 1 || in != out;
+    if (has_proj) {
+      auto sc = std::make_unique<Sequential>();
+      const std::size_t hs = h, ws = w;
+      h = h0;
+      w = w0;
+      auto cs = conv(in, out, 1, stride, 0, us);
+      h = hs;
+      w = ws;
+      sc->add_module(std::move(cs));
+      sc->add<BatchNorm2d>(out, 0.1f, 1e-5f, next_name("bn"));
+      shortcut = std::move(sc);
+    }
+
+    auto a3 = act();
+    u3.act = a3.get();
+    register_unit(std::move(u1));
+    register_unit(std::move(u2));
+    register_unit(std::move(u3));
+    if (has_proj) register_unit(std::move(us));
+    return std::make_unique<nn::Residual>(std::move(main),
+                                          std::move(shortcut), std::move(a3));
+  }
+};
+
+/// Generic residual-network assembler.
+QuantModel build_resnet(const std::string& name, const ModelConfig& config,
+                        const quant::QuantFactory& factory,
+                        const quant::BitLadder& ladder,
+                        const std::vector<int>& stage_blocks,
+                        const std::vector<std::size_t>& stage_widths,
+                        bool bottleneck) {
+  CCQ_CHECK(stage_blocks.size() == stage_widths.size(),
+            "stage plan mismatch");
+  auto net = std::make_unique<Sequential>();
+  auto registry = std::make_unique<quant::LayerRegistry>(ladder);
+  Builder b{factory, *registry, config.start_at_fp, Rng(config.seed),
+            config.image_size, config.image_size};
+
+  // Stem: 3×3 conv (CIFAR style; DESIGN.md covers the ImageNet stem
+  // substitution), then BN + quantized activation.
+  const std::size_t stem_ch = scaled(stage_widths[0], config.width_multiplier);
+  quant::QuantUnit stem_unit;
+  auto stem = b.conv(config.in_channels, stem_ch, 3, 1, 1, stem_unit);
+  auto stem_act = b.act();
+  stem_unit.act = stem_act.get();
+  net->add_module(std::move(stem));
+  net->add<BatchNorm2d>(stem_ch, 0.1f, 1e-5f, b.next_name("bn"));
+  net->add_module(std::move(stem_act));
+  b.register_unit(std::move(stem_unit));
+
+  std::size_t in_ch = stem_ch;
+  for (std::size_t stage = 0; stage < stage_blocks.size(); ++stage) {
+    const std::size_t width =
+        scaled(stage_widths[stage], config.width_multiplier);
+    for (int block = 0; block < stage_blocks[stage]; ++block) {
+      const std::size_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      if (bottleneck) {
+        net->add_module(b.bottleneck_block(in_ch, width, stride));
+        in_ch = width * 4;
+      } else {
+        net->add_module(b.basic_block(in_ch, width, stride));
+        in_ch = width;
+      }
+    }
+  }
+
+  net->add<nn::GlobalAvgPool>();
+  const std::string fc_name = b.next_name("fc");
+  auto fc_hook = factory.make_weight_hook(fc_name);
+  auto fc = std::make_unique<Linear>(in_ch, config.num_classes, /*bias=*/true,
+                                     b.rng, fc_name);
+  fc->set_weight_quantizer(fc_hook);
+  quant::QuantUnit fc_unit;
+  fc_unit.name = fc_name;
+  fc_unit.weight_hook = std::move(fc_hook);
+  fc_unit.weight_count = fc->weight().numel();
+  fc_unit.macs = fc->macs_per_sample();
+  fc_unit.act = nullptr;  // logits are not re-activated
+  net->add_module(std::move(fc));
+  b.register_unit(std::move(fc_unit));
+
+  return QuantModel(name, config, std::move(net), std::move(registry));
+}
+
+}  // namespace
+
+QuantModel make_resnet_cifar(int blocks_per_stage, const ModelConfig& config,
+                             const quant::QuantFactory& factory,
+                             const quant::BitLadder& ladder,
+                             const std::string& name) {
+  CCQ_CHECK(blocks_per_stage >= 1, "need at least one block per stage");
+  return build_resnet(name, config, factory, ladder,
+                      {blocks_per_stage, blocks_per_stage, blocks_per_stage},
+                      {16, 32, 64}, /*bottleneck=*/false);
+}
+
+QuantModel make_resnet20(const ModelConfig& config,
+                         const quant::QuantFactory& factory,
+                         const quant::BitLadder& ladder) {
+  return make_resnet_cifar(3, config, factory, ladder, "ResNet20");
+}
+
+QuantModel make_resnet18(const ModelConfig& config,
+                         const quant::QuantFactory& factory,
+                         const quant::BitLadder& ladder) {
+  return build_resnet("ResNet18", config, factory, ladder, {2, 2, 2, 2},
+                      {64, 128, 256, 512}, /*bottleneck=*/false);
+}
+
+QuantModel make_resnet50(const ModelConfig& config,
+                         const quant::QuantFactory& factory,
+                         const quant::BitLadder& ladder) {
+  return build_resnet("ResNet50", config, factory, ladder, {3, 4, 6, 3},
+                      {64, 128, 256, 512}, /*bottleneck=*/true);
+}
+
+}  // namespace ccq::models

@@ -1,0 +1,43 @@
+// ResNet family builders (He et al. 2016) with quantization wiring.
+//
+// Topologies match the paper's evaluation set:
+//   * ResNet20  — CIFAR variant: 3×3 stem, 3 stages × 3 basic blocks,
+//                 widths {16, 32, 64}·w.
+//   * ResNet18  — ImageNet variant: stages [2,2,2,2] of basic blocks,
+//                 widths {64, 128, 256, 512}·w (CIFAR-style 3×3 stem —
+//                 DESIGN.md documents the 224→32 spatial substitution).
+//   * ResNet50  — stages [3,4,6,3] of bottleneck blocks (expansion 4).
+//
+// Every conv/linear weight gets a policy weight-hook; every activation is
+// the policy's quantized activation.  Projection shortcuts are registered
+// as weight-only units (no paired activation).  The first and the last
+// layer are registered like any other — quantizing them is the point of
+// the paper's Fig 5.
+#pragma once
+
+#include "ccq/models/model.hpp"
+
+namespace ccq::models {
+
+/// CIFAR-style ResNet-(6n+2): n basic blocks per stage, 3 stages.
+QuantModel make_resnet_cifar(int blocks_per_stage, const ModelConfig& config,
+                             const quant::QuantFactory& factory,
+                             const quant::BitLadder& ladder,
+                             const std::string& name);
+
+/// ResNet20 (n = 3).
+QuantModel make_resnet20(const ModelConfig& config,
+                         const quant::QuantFactory& factory,
+                         const quant::BitLadder& ladder);
+
+/// ResNet18: basic blocks, stage plan [2,2,2,2], width {64,…,512}·w.
+QuantModel make_resnet18(const ModelConfig& config,
+                         const quant::QuantFactory& factory,
+                         const quant::BitLadder& ladder);
+
+/// ResNet50: bottleneck blocks, stage plan [3,4,6,3], expansion 4.
+QuantModel make_resnet50(const ModelConfig& config,
+                         const quant::QuantFactory& factory,
+                         const quant::BitLadder& ladder);
+
+}  // namespace ccq::models

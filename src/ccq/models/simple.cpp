@@ -1,0 +1,111 @@
+#include "ccq/models/simple.hpp"
+
+#include <cmath>
+
+#include "ccq/nn/conv.hpp"
+#include "ccq/nn/linear.hpp"
+#include "ccq/nn/norm.hpp"
+#include "ccq/nn/pool.hpp"
+
+namespace ccq::models {
+
+namespace {
+
+std::size_t scaled(std::size_t channels, float width_multiplier) {
+  const auto s = static_cast<std::size_t>(
+      std::lround(static_cast<double>(channels) * width_multiplier));
+  return std::max<std::size_t>(4, s);
+}
+
+}  // namespace
+
+QuantModel make_simple_cnn(const ModelConfig& config,
+                           const quant::QuantFactory& factory,
+                           const quant::BitLadder& ladder) {
+  auto net = std::make_unique<nn::Sequential>();
+  auto registry = std::make_unique<quant::LayerRegistry>(ladder);
+  Rng rng(config.seed);
+
+  std::size_t h = config.image_size, w = config.image_size;
+  std::size_t in_ch = config.in_channels;
+  int index = 0;
+  auto add_conv_block = [&](std::size_t out_ch, std::size_t stride) {
+    const std::string name = "conv" + std::to_string(index);
+    auto hook = factory.make_weight_hook(name);
+    auto layer = std::make_unique<nn::Conv2d>(in_ch, out_ch, 3, stride, 1,
+                                              /*bias=*/false, rng, name);
+    layer->set_weight_quantizer(hook);
+    auto act = factory.make_activation("act" + std::to_string(index));
+    quant::QuantUnit unit;
+    unit.name = name;
+    unit.weight_hook = std::move(hook);
+    unit.act = act.get();
+    unit.weight_count = layer->weight().numel();
+    unit.macs = layer->macs_per_sample(h, w);
+    net->add_module(std::move(layer));
+    net->add<nn::BatchNorm2d>(out_ch, 0.1f, 1e-5f,
+                              "bn" + std::to_string(index));
+    net->add_module(std::move(act));
+    registry->add(std::move(unit), config.start_at_fp);
+    h = (h + 2 - 3) / stride + 1;
+    w = (w + 2 - 3) / stride + 1;
+    in_ch = out_ch;
+    ++index;
+  };
+
+  add_conv_block(scaled(16, config.width_multiplier), 1);
+  add_conv_block(scaled(32, config.width_multiplier), 2);
+  add_conv_block(scaled(48, config.width_multiplier), 2);
+  add_conv_block(scaled(64, config.width_multiplier), 2);
+  net->add<nn::GlobalAvgPool>();
+
+  auto fc_hook = factory.make_weight_hook("fc");
+  auto fc = std::make_unique<nn::Linear>(in_ch, config.num_classes,
+                                         /*bias=*/true, rng, "fc");
+  fc->set_weight_quantizer(fc_hook);
+  quant::QuantUnit fc_unit;
+  fc_unit.name = "fc";
+  fc_unit.weight_hook = std::move(fc_hook);
+  fc_unit.weight_count = fc->weight().numel();
+  fc_unit.macs = fc->macs_per_sample();
+  net->add_module(std::move(fc));
+  registry->add(std::move(fc_unit), config.start_at_fp);
+
+  return QuantModel("SimpleCNN", config, std::move(net), std::move(registry));
+}
+
+QuantModel make_mlp(const ModelConfig& config,
+                    const quant::QuantFactory& factory,
+                    const quant::BitLadder& ladder, std::size_t hidden) {
+  auto net = std::make_unique<nn::Sequential>();
+  auto registry = std::make_unique<quant::LayerRegistry>(ladder);
+  Rng rng(config.seed);
+  const std::size_t in_features =
+      config.in_channels * config.image_size * config.image_size;
+
+  net->add<nn::Flatten>();
+  std::size_t dims[3] = {in_features, hidden, hidden};
+  std::size_t outs[3] = {hidden, hidden, config.num_classes};
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "fc" + std::to_string(i);
+    auto hook = factory.make_weight_hook(name);
+    auto layer = std::make_unique<nn::Linear>(dims[i], outs[i], /*bias=*/true,
+                                              rng, name);
+    layer->set_weight_quantizer(hook);
+    quant::QuantUnit unit;
+    unit.name = name;
+    unit.weight_hook = std::move(hook);
+    unit.weight_count = layer->weight().numel();
+    unit.macs = layer->macs_per_sample();
+    net->add_module(std::move(layer));
+    if (i < 2) {
+      auto act = factory.make_activation("act" + std::to_string(i));
+      unit.act = act.get();
+      net->add_module(std::move(act));
+    }
+    registry->add(std::move(unit), config.start_at_fp);
+  }
+  return QuantModel("MLP", config, std::move(net), std::move(registry));
+}
+
+}  // namespace ccq::models

@@ -1,0 +1,21 @@
+// Small reference models for examples, tests and fast experiments.
+#pragma once
+
+#include "ccq/models/model.hpp"
+
+namespace ccq::models {
+
+/// Four-conv CNN (stem + 3 stages) + linear head.  Fast enough for unit
+/// tests and the quickstart example, with enough layers (5 quantizable
+/// units) for a meaningful competition.
+QuantModel make_simple_cnn(const ModelConfig& config,
+                           const quant::QuantFactory& factory,
+                           const quant::BitLadder& ladder);
+
+/// Two-hidden-layer MLP over flattened images (3 quantizable units).
+QuantModel make_mlp(const ModelConfig& config,
+                    const quant::QuantFactory& factory,
+                    const quant::BitLadder& ladder,
+                    std::size_t hidden = 64);
+
+}  // namespace ccq::models

@@ -1,0 +1,26 @@
+#include "ccq/nn/activation.hpp"
+
+namespace ccq::nn {
+
+Tensor ReLU::forward(const Tensor& x) {
+  mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  const float* xp = x.data().data();
+  float* mp = mask_.data().data();
+  float* yp = y.data().data();
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const bool on = xp[i] > 0.0f;
+    mp[i] = on ? 1.0f : 0.0f;
+    yp[i] = on ? xp[i] : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  CCQ_CHECK(same_shape(grad_out, mask_), "ReLU grad shape mismatch");
+  Tensor g = grad_out;
+  g *= mask_;
+  return g;
+}
+
+}  // namespace ccq::nn

@@ -1,0 +1,22 @@
+// Elementwise activations.
+//
+// Quantized activations (DoReFa clip, PACT with learnable clip) live in
+// ccq::quant; this header provides the full-precision baseline.
+#pragma once
+
+#include "ccq/nn/module.hpp"
+
+namespace ccq::nn {
+
+/// Rectified linear unit.
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;  ///< 1 where x > 0
+};
+
+}  // namespace ccq::nn

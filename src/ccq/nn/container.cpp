@@ -1,0 +1,106 @@
+#include "ccq/nn/container.hpp"
+
+namespace ccq::nn {
+
+Module& Sequential::add_module(ModulePtr m) {
+  CCQ_CHECK(m != nullptr, "cannot add a null module");
+  children_.push_back(std::move(m));
+  return *children_.back();
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor y = x;
+  for (auto& child : children_) y = child->forward(y);
+  return y;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Sequential::collect_parameters(std::vector<Parameter*>& out) {
+  for (auto& child : children_) child->collect_parameters(out);
+}
+
+void Sequential::collect_buffers(std::vector<NamedBuffer>& out) {
+  for (auto& child : children_) child->collect_buffers(out);
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& child : children_) child->set_training(training);
+}
+
+Module& Sequential::child(std::size_t i) {
+  CCQ_CHECK(i < children_.size(), "child index out of range");
+  return *children_[i];
+}
+
+void Sequential::visit(const std::function<void(Module&)>& fn) {
+  fn(*this);
+  for (auto& child : children_) child->visit(fn);
+}
+
+Residual::Residual(ModulePtr main, ModulePtr shortcut, ModulePtr activation)
+    : main_(std::move(main)),
+      shortcut_(std::move(shortcut)),
+      activation_(std::move(activation)) {
+  CCQ_CHECK(main_ != nullptr, "residual block needs a main path");
+}
+
+Tensor Residual::forward(const Tensor& x) {
+  Tensor y = main_->forward(x);
+  if (shortcut_ != nullptr) {
+    y += shortcut_->forward(x);
+  } else {
+    CCQ_CHECK(same_shape(y, x),
+              "identity shortcut requires matching shapes; use a projection");
+    y += x;
+  }
+  if (activation_ != nullptr) y = activation_->forward(y);
+  return y;
+}
+
+Tensor Residual::backward(const Tensor& grad_out) {
+  Tensor g = activation_ != nullptr ? activation_->backward(grad_out)
+                                    : grad_out;
+  Tensor gx = main_->backward(g);
+  if (shortcut_ != nullptr) {
+    gx += shortcut_->backward(g);
+  } else {
+    gx += g;
+  }
+  return gx;
+}
+
+void Residual::collect_parameters(std::vector<Parameter*>& out) {
+  main_->collect_parameters(out);
+  if (shortcut_ != nullptr) shortcut_->collect_parameters(out);
+  if (activation_ != nullptr) activation_->collect_parameters(out);
+}
+
+void Residual::collect_buffers(std::vector<NamedBuffer>& out) {
+  main_->collect_buffers(out);
+  if (shortcut_ != nullptr) shortcut_->collect_buffers(out);
+  if (activation_ != nullptr) activation_->collect_buffers(out);
+}
+
+void Residual::set_training(bool training) {
+  Module::set_training(training);
+  main_->set_training(training);
+  if (shortcut_ != nullptr) shortcut_->set_training(training);
+  if (activation_ != nullptr) activation_->set_training(training);
+}
+
+void Residual::visit(const std::function<void(Module&)>& fn) {
+  fn(*this);
+  main_->visit(fn);
+  if (shortcut_ != nullptr) shortcut_->visit(fn);
+  if (activation_ != nullptr) activation_->visit(fn);
+}
+
+}  // namespace ccq::nn

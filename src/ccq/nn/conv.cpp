@@ -1,0 +1,148 @@
+#include "ccq/nn/conv.hpp"
+
+#include "ccq/nn/init.hpp"
+#include "ccq/tensor/gemm.hpp"
+
+namespace ccq::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad,
+               bool bias, Rng& rng, std::string name)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias) {
+  CCQ_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+            "invalid conv configuration");
+  Tensor w({out_channels, in_channels, kernel, kernel});
+  he_normal(w, in_channels * kernel * kernel, rng);
+  weight_ = Parameter(name + ".weight", std::move(w));
+  if (has_bias_) {
+    bias_ = Parameter(name + ".bias", Tensor({out_channels}));
+  }
+}
+
+ConvGeometry Conv2d::geometry(std::size_t h, std::size_t w) const {
+  return ConvGeometry{.in_channels = in_channels_,
+                      .in_h = h,
+                      .in_w = w,
+                      .kernel = kernel_,
+                      .stride = stride_,
+                      .pad = pad_};
+}
+
+std::size_t Conv2d::macs_per_sample(std::size_t in_h, std::size_t in_w) const {
+  const auto g = geometry(in_h, in_w);
+  return out_channels_ * g.patch_size() * g.out_spatial();
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  CCQ_CHECK(x.rank() == 4, "Conv2d expects NCHW input");
+  CCQ_CHECK(x.dim(1) == in_channels_, "Conv2d channel mismatch");
+  input_ = x;
+  qweight_ =
+      weight_hook_ ? weight_hook_->quantize(weight_.value) : weight_.value;
+
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const auto g = geometry(h, w);
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t patch = g.patch_size(), spatial = g.out_spatial();
+
+  Tensor y({n, out_channels_, oh, ow});
+  std::vector<float> cols(patch * spatial);
+  const float* wp = qweight_.data().data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* xi = x.data().data() + i * in_channels_ * h * w;
+    float* yi = y.data().data() + i * out_channels_ * spatial;
+    im2col(xi, g, cols.data());
+    gemm(out_channels_, spatial, patch, 1.0f, wp, patch, cols.data(), spatial,
+         0.0f, yi, spatial);
+    if (has_bias_) {
+      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        const float b = bias_.value.at(oc);
+        float* row = yi + oc * spatial;
+        for (std::size_t s = 0; s < spatial; ++s) row[s] += b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  CCQ_CHECK(input_.rank() == 4, "backward before forward");
+  const std::size_t n = input_.dim(0);
+  const std::size_t h = input_.dim(2), w = input_.dim(3);
+  const auto g = geometry(h, w);
+  const std::size_t patch = g.patch_size(), spatial = g.out_spatial();
+  CCQ_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == n &&
+                grad_out.dim(1) == out_channels_ &&
+                grad_out.dim(2) * grad_out.dim(3) == spatial,
+            "Conv2d grad shape mismatch");
+
+  Tensor grad_in(input_.shape());
+  Tensor grad_qw(weight_.value.shape());  // dL/d(quantized weights)
+  std::vector<float> cols(patch * spatial);
+  std::vector<float> cols_grad(patch * spatial);
+  const float* wp = qweight_.data().data();
+  float* gwp = grad_qw.data().data();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* xi = input_.data().data() + i * in_channels_ * h * w;
+    const float* gyi = grad_out.data().data() + i * out_channels_ * spatial;
+    float* gxi = grad_in.data().data() + i * in_channels_ * h * w;
+
+    // dW += gy (out × spatial) · colsᵀ (spatial × patch)
+    im2col(xi, g, cols.data());
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float* gyrow = gyi + oc * spatial;
+      float* gwrow = gwp + oc * patch;
+      for (std::size_t p = 0; p < patch; ++p) {
+        const float* crow = cols.data() + p * spatial;
+        float acc = 0.0f;
+        for (std::size_t s = 0; s < spatial; ++s) acc += gyrow[s] * crow[s];
+        gwrow[p] += acc;
+      }
+    }
+
+    // dcols = Wᵀ (patch × out) · gy (out × spatial), then scatter via col2im.
+    std::fill(cols_grad.begin(), cols_grad.end(), 0.0f);
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float* wrow = wp + oc * patch;
+      const float* gyrow = gyi + oc * spatial;
+      for (std::size_t p = 0; p < patch; ++p) {
+        const float wv = wrow[p];
+        if (wv == 0.0f) continue;
+        float* dst = cols_grad.data() + p * spatial;
+        for (std::size_t s = 0; s < spatial; ++s) dst[s] += wv * gyrow[s];
+      }
+    }
+    col2im(cols_grad.data(), g, gxi);
+
+    if (has_bias_) {
+      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        const float* gyrow = gyi + oc * spatial;
+        float acc = 0.0f;
+        for (std::size_t s = 0; s < spatial; ++s) acc += gyrow[s];
+        bias_.grad.at(oc) += acc;
+      }
+    }
+  }
+
+  // Route the weight gradient through the quantizer's STE (identity when
+  // no hook is attached).
+  Tensor grad_w = weight_hook_
+                      ? weight_hook_->backward(weight_.value, std::move(grad_qw))
+                      : std::move(grad_qw);
+  weight_.grad += grad_w;
+  return grad_in;
+}
+
+void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+  if (weight_hook_) weight_hook_->collect_parameters(out);
+}
+
+}  // namespace ccq::nn

@@ -1,0 +1,53 @@
+#include "ccq/nn/gradcheck.hpp"
+
+#include <cmath>
+
+namespace ccq::nn {
+
+namespace {
+
+GradCheckResult check_entries(Tensor& values, const Tensor& analytic,
+                              const std::function<double()>& loss_fn,
+                              double eps, std::size_t max_entries) {
+  GradCheckResult result;
+  const std::size_t n = values.numel();
+  CCQ_CHECK(analytic.numel() == n, "gradient size mismatch");
+  const std::size_t stride = std::max<std::size_t>(1, n / max_entries);
+  auto v = values.data();
+  auto g = analytic.data();
+  for (std::size_t i = 0; i < n; i += stride) {
+    const float original = v[i];
+    v[i] = original + static_cast<float>(eps);
+    const double plus = loss_fn();
+    v[i] = original - static_cast<float>(eps);
+    const double minus = loss_fn();
+    v[i] = original;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    const double abs_err = std::fabs(numeric - g[i]);
+    const double denom = std::max({std::fabs(numeric),
+                                   static_cast<double>(std::fabs(g[i])),
+                                   1e-6});
+    result.max_abs_err =
+        std::max(result.max_abs_err, static_cast<float>(abs_err));
+    result.max_rel_err =
+        std::max(result.max_rel_err, static_cast<float>(abs_err / denom));
+    ++result.checked;
+  }
+  return result;
+}
+
+}  // namespace
+
+GradCheckResult check_parameter_grad(Parameter& param,
+                                     const std::function<double()>& loss_fn,
+                                     double eps, std::size_t max_entries) {
+  return check_entries(param.value, param.grad, loss_fn, eps, max_entries);
+}
+
+GradCheckResult check_input_grad(Tensor& x, const Tensor& analytic,
+                                 const std::function<double()>& loss_fn,
+                                 double eps, std::size_t max_entries) {
+  return check_entries(x, analytic, loss_fn, eps, max_entries);
+}
+
+}  // namespace ccq::nn

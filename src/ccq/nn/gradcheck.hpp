@@ -1,0 +1,34 @@
+// Numerical gradient checking for tests.
+#pragma once
+
+#include <functional>
+
+#include "ccq/nn/module.hpp"
+
+namespace ccq::nn {
+
+/// Result of comparing analytic vs central-difference gradients.
+struct GradCheckResult {
+  float max_abs_err = 0.0f;
+  float max_rel_err = 0.0f;
+  std::size_t checked = 0;
+};
+
+/// Compare a parameter's analytic gradient (already accumulated in
+/// `param.grad` by the caller's backward pass) against central
+/// differences of `loss_fn`, which must re-run the full forward pass and
+/// return the scalar loss.  Only `max_entries` evenly-spaced entries are
+/// probed to keep tests fast.
+GradCheckResult check_parameter_grad(Parameter& param,
+                                     const std::function<double()>& loss_fn,
+                                     double eps = 1e-3,
+                                     std::size_t max_entries = 24);
+
+/// Same idea for input gradients: `analytic` holds dL/dx, `x` is mutated
+/// in place for probing and restored afterwards.
+GradCheckResult check_input_grad(Tensor& x, const Tensor& analytic,
+                                 const std::function<double()>& loss_fn,
+                                 double eps = 1e-3,
+                                 std::size_t max_entries = 24);
+
+}  // namespace ccq::nn

@@ -1,0 +1,20 @@
+#include "ccq/nn/init.hpp"
+
+#include <cmath>
+
+namespace ccq::nn {
+
+void he_normal(Tensor& w, std::size_t fan_in, Rng& rng) {
+  CCQ_CHECK(fan_in > 0, "he_normal needs fan_in > 0");
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (auto& v : w.data()) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void xavier_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                    Rng& rng) {
+  CCQ_CHECK(fan_in + fan_out > 0, "xavier needs positive fans");
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (auto& v : w.data()) v = static_cast<float>(rng.uniform(-a, a));
+}
+
+}  // namespace ccq::nn

@@ -1,0 +1,16 @@
+// Weight initialisation helpers.
+#pragma once
+
+#include "ccq/common/rng.hpp"
+#include "ccq/tensor/tensor.hpp"
+
+namespace ccq::nn {
+
+/// He (Kaiming) normal initialisation: N(0, sqrt(2/fan_in)).
+void he_normal(Tensor& w, std::size_t fan_in, Rng& rng);
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6/(fan_in+fan_out)).
+void xavier_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                    Rng& rng);
+
+}  // namespace ccq::nn

@@ -1,0 +1,47 @@
+// Fully-connected layer.
+#pragma once
+
+#include <memory>
+
+#include "ccq/nn/module.hpp"
+
+namespace ccq::nn {
+
+/// y = x · Wᵀ + b over (N, in_features) inputs.  Weights are stored
+/// (out_features × in_features).  Supports a weight quantizer hook.
+class Linear : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, bool bias,
+         Rng& rng, std::string name = "fc");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  std::string type_name() const override { return "Linear"; }
+
+  void set_weight_quantizer(std::shared_ptr<QuantizerHook> hook) {
+    weight_hook_ = std::move(hook);
+  }
+  QuantizerHook* weight_quantizer() const { return weight_hook_.get(); }
+
+  Parameter& weight() { return weight_; }
+  const Parameter& weight() const { return weight_; }
+  bool has_bias() const { return has_bias_; }
+  Parameter& bias() { return bias_; }
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+  std::size_t macs_per_sample() const { return in_features_ * out_features_; }
+
+ private:
+  std::size_t in_features_, out_features_;
+  bool has_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  std::shared_ptr<QuantizerHook> weight_hook_;
+
+  Tensor input_;
+  Tensor qweight_;
+};
+
+}  // namespace ccq::nn

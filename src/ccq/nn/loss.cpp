@@ -1,0 +1,72 @@
+#include "ccq/nn/loss.hpp"
+
+#include <cmath>
+
+#include "ccq/common/error.hpp"
+
+namespace ccq::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<int>& labels) {
+  CCQ_CHECK(logits.rank() == 2, "loss expects (N, C) logits");
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  CCQ_CHECK(n > 0, "loss over an empty batch");
+  CCQ_CHECK(labels.size() == n, "label count mismatch");
+  probs_ = Tensor(logits.shape());
+  labels_ = labels;
+  const float* lp = logits.data().data();
+  float* pp = probs_.data().data();
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = lp + i * c;
+    float* prow = pp + i * c;
+    const int label = labels[i];
+    CCQ_CHECK(label >= 0 && static_cast<std::size_t>(label) < c,
+              "label out of range");
+    float maxv = row[0];
+    for (std::size_t j = 1; j < c; ++j) maxv = std::max(maxv, row[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      prow[j] = std::exp(row[j] - maxv);
+      denom += prow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t j = 0; j < c; ++j) prow[j] *= inv;
+    total += -std::log(
+        std::max(static_cast<double>(prow[label]), 1e-12));
+  }
+  return static_cast<float>(total / static_cast<double>(n));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  CCQ_CHECK(!probs_.empty(), "backward before forward");
+  const std::size_t n = probs_.dim(0), c = probs_.dim(1);
+  Tensor grad = probs_;
+  float* gp = grad.data().data();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gp[i * c + static_cast<std::size_t>(labels_[i])] -= 1.0f;
+    for (std::size_t j = 0; j < c; ++j) gp[i * c + j] *= inv_n;
+  }
+  return grad;
+}
+
+float SoftmaxCrossEntropy::accuracy(const Tensor& logits,
+                                    const std::vector<int>& labels) {
+  CCQ_CHECK(logits.rank() == 2, "accuracy expects (N, C) logits");
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  CCQ_CHECK(labels.size() == n, "label count mismatch");
+  const float* lp = logits.data().data();
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = lp + i * c;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (static_cast<int>(best) == labels[i]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(n);
+}
+
+}  // namespace ccq::nn

@@ -1,0 +1,25 @@
+// Softmax cross-entropy loss with integer class labels.
+#pragma once
+
+#include <vector>
+
+#include "ccq/tensor/tensor.hpp"
+
+namespace ccq::nn {
+
+/// Combined log-softmax + NLL over (N, C) logits; numerically stable.
+/// forward() returns the mean loss; backward() returns dL/dlogits.
+class SoftmaxCrossEntropy {
+ public:
+  float forward(const Tensor& logits, const std::vector<int>& labels);
+  Tensor backward() const;
+
+  /// Fraction of rows whose argmax equals the label (uses last forward).
+  static float accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+}  // namespace ccq::nn

@@ -1,0 +1,131 @@
+// Module graph for the NN substrate.
+//
+// The paper trains ResNets with quantization-aware training.  We model a
+// network as a tree of `Module`s (containers own children by unique_ptr)
+// with explicit `forward` / `backward` passes that cache whatever the
+// backward pass needs.  There is no general autograd tape: the layer set
+// the paper needs (conv / linear / BN / activations / pooling / residual
+// add) has well-known closed-form backward rules, and an explicit graph
+// keeps memory behaviour predictable on the single-core target.
+//
+// Quantization plugs in through `QuantizerHook`: a layer that owns
+// weights consults its hook (if any) to obtain the quantized weights used
+// in forward/backward, and routes the weight gradient back through the
+// hook's straight-through estimator.  This is exactly the paper's
+// "policy-agnostic" seam: DoReFa/WRPN/PACT/… are hooks, and the CCQ
+// controller changes a layer's precision by re-configuring its hook.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccq/tensor/tensor.hpp"
+
+namespace ccq::nn {
+
+/// A learnable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  /// Multiplier on the optimizer's weight decay (0 exempts BN scales and
+  /// PACT clip values, following common practice).
+  float weight_decay_scale = 1.0f;
+  /// Multiplier on the optimizer's learning rate.
+  float lr_scale = 1.0f;
+
+  Parameter() = default;
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+  std::size_t numel() const { return value.numel(); }
+};
+
+/// Weight-quantization seam (implemented by ccq::quant policies).
+class QuantizerHook {
+ public:
+  virtual ~QuantizerHook() = default;
+
+  /// Quantize latent weights `w` for use in this forward pass.  May keep
+  /// state for the backward mapping (called once per forward).
+  virtual Tensor quantize(const Tensor& w) = 0;
+
+  /// Map dL/d(quantized w) back to dL/d(latent w).  The default is the
+  /// plain straight-through estimator (identity).
+  virtual Tensor backward(const Tensor& w, Tensor grad_q) {
+    (void)w;
+    return grad_q;
+  }
+
+  /// Current weight bit width (32 means "not quantized").
+  virtual int bits() const = 0;
+
+  /// Hooks with learnable state (e.g. LSQ step size) expose it here so
+  /// the owning layer registers it with the optimizer.
+  virtual void collect_parameters(std::vector<Parameter*>& out) { (void)out; }
+};
+
+/// Base class for all network components.
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  /// Compute outputs; must cache anything backward needs.
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Given dL/d(output), return dL/d(input) and accumulate parameter
+  /// gradients.  Must be called after the matching forward.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Append this module's own parameters (containers recurse).
+  virtual void collect_parameters(std::vector<Parameter*>& out) { (void)out; }
+
+  /// Convenience: gather all parameters in the subtree.
+  std::vector<Parameter*> parameters() {
+    std::vector<Parameter*> out;
+    collect_parameters(out);
+    return out;
+  }
+
+  /// Named non-learnable state that checkpoints must persist (BatchNorm
+  /// running statistics).  Containers recurse.
+  using NamedBuffer = std::pair<std::string, Tensor*>;
+  virtual void collect_buffers(std::vector<NamedBuffer>& out) { (void)out; }
+
+  std::vector<NamedBuffer> buffers() {
+    std::vector<NamedBuffer> out;
+    collect_buffers(out);
+    return out;
+  }
+
+  /// Total learnable scalar count in the subtree.
+  std::size_t parameter_count() {
+    std::size_t n = 0;
+    for (const auto* p : parameters()) n += p->numel();
+    return n;
+  }
+
+  /// Switch train/eval behaviour (BN statistics, etc.). Containers recurse.
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// Short type tag for diagnostics ("Conv2d", "BatchNorm2d", …).
+  virtual std::string type_name() const = 0;
+
+  /// Depth-first visit of this module and (for containers) its subtree.
+  /// Used by the quantization registry to discover quantizable layers.
+  virtual void visit(const std::function<void(Module&)>& fn) { fn(*this); }
+
+ protected:
+  bool training_ = true;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace ccq::nn

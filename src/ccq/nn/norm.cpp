@@ -1,0 +1,137 @@
+#include "ccq/nn/norm.hpp"
+
+#include <cmath>
+
+namespace ccq::nn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float eps,
+                         std::string name)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      name_(name),
+      gamma_(name + ".gamma", Tensor({channels}, 1.0f)),
+      beta_(name + ".beta", Tensor({channels})),
+      running_mean_({channels}),
+      running_var_({channels}, 1.0f) {
+  // BN affine parameters are conventionally exempt from weight decay.
+  gamma_.weight_decay_scale = 0.0f;
+  beta_.weight_decay_scale = 0.0f;
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+  CCQ_CHECK(x.rank() == 4 && x.dim(1) == channels_,
+            "BatchNorm2d expects (N, C, H, W) with C=" +
+                std::to_string(channels_));
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t plane = h * w;
+  const std::size_t count = n * plane;
+  Tensor y(x.shape());
+  const float* xp = x.data().data();
+  float* yp = y.data().data();
+
+  if (training_) {
+    input_ = x;
+    batch_mean_.assign(channels_, 0.0f);
+    batch_inv_std_.assign(channels_, 0.0f);
+    xhat_ = Tensor(x.shape());
+    float* xh = xhat_.data().data();
+    for (std::size_t c = 0; c < channels_; ++c) {
+      double sum = 0.0, sqsum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* src = xp + (i * channels_ + c) * plane;
+        for (std::size_t s = 0; s < plane; ++s) {
+          sum += src[s];
+          sqsum += static_cast<double>(src[s]) * src[s];
+        }
+      }
+      const double mean = sum / static_cast<double>(count);
+      const double var =
+          std::max(0.0, sqsum / static_cast<double>(count) - mean * mean);
+      const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
+      batch_mean_[c] = static_cast<float>(mean);
+      batch_inv_std_[c] = inv_std;
+      running_mean_.at(c) = (1.0f - momentum_) * running_mean_.at(c) +
+                            momentum_ * static_cast<float>(mean);
+      running_var_.at(c) = (1.0f - momentum_) * running_var_.at(c) +
+                           momentum_ * static_cast<float>(var);
+      const float g = gamma_.value.at(c), b = beta_.value.at(c);
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* src = xp + (i * channels_ + c) * plane;
+        float* hat = xh + (i * channels_ + c) * plane;
+        float* dst = yp + (i * channels_ + c) * plane;
+        for (std::size_t s = 0; s < plane; ++s) {
+          const float xhv = (src[s] - static_cast<float>(mean)) * inv_std;
+          hat[s] = xhv;
+          dst[s] = g * xhv + b;
+        }
+      }
+    }
+  } else {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float inv_std =
+          1.0f / std::sqrt(running_var_.at(c) + eps_);
+      const float mean = running_mean_.at(c);
+      const float g = gamma_.value.at(c), b = beta_.value.at(c);
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* src = xp + (i * channels_ + c) * plane;
+        float* dst = yp + (i * channels_ + c) * plane;
+        for (std::size_t s = 0; s < plane; ++s) {
+          dst[s] = g * (src[s] - mean) * inv_std + b;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  CCQ_CHECK(training_, "BatchNorm2d backward only defined in training mode");
+  CCQ_CHECK(same_shape(grad_out, input_), "BatchNorm2d grad shape mismatch");
+  const std::size_t n = input_.dim(0), h = input_.dim(2), w = input_.dim(3);
+  const std::size_t plane = h * w;
+  const float count = static_cast<float>(n * plane);
+  Tensor grad_in(input_.shape());
+  const float* gy = grad_out.data().data();
+  const float* xh = xhat_.data().data();
+  float* gx = grad_in.data().data();
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    // Accumulate dγ = Σ gy·x̂ and dβ = Σ gy.
+    double sum_gy = 0.0, sum_gy_xhat = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t base = (i * channels_ + c) * plane;
+      for (std::size_t s = 0; s < plane; ++s) {
+        sum_gy += gy[base + s];
+        sum_gy_xhat += static_cast<double>(gy[base + s]) * xh[base + s];
+      }
+    }
+    gamma_.grad.at(c) += static_cast<float>(sum_gy_xhat);
+    beta_.grad.at(c) += static_cast<float>(sum_gy);
+
+    // dx = (γ/σ) * (gy − mean(gy) − x̂·mean(gy·x̂))
+    const float g_over_std = gamma_.value.at(c) * batch_inv_std_[c];
+    const float mean_gy = static_cast<float>(sum_gy) / count;
+    const float mean_gy_xhat = static_cast<float>(sum_gy_xhat) / count;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t base = (i * channels_ + c) * plane;
+      for (std::size_t s = 0; s < plane; ++s) {
+        gx[base + s] = g_over_std * (gy[base + s] - mean_gy -
+                                     xh[base + s] * mean_gy_xhat);
+      }
+    }
+  }
+  return grad_in;
+}
+
+void BatchNorm2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+void BatchNorm2d::collect_buffers(std::vector<NamedBuffer>& out) {
+  out.emplace_back(name_ + ".running_mean", &running_mean_);
+  out.emplace_back(name_ + ".running_var", &running_var_);
+}
+
+}  // namespace ccq::nn

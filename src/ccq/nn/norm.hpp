@@ -1,0 +1,41 @@
+// Batch normalisation.
+#pragma once
+
+#include "ccq/nn/module.hpp"
+
+namespace ccq::nn {
+
+/// BatchNorm over (N, C, H, W): per-channel statistics across N·H·W.
+/// Training mode uses batch statistics and maintains running estimates;
+/// eval mode uses the running estimates.  Scale/shift (γ, β) are
+/// learnable and exempt from weight decay.
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f, std::string name = "bn");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_buffers(std::vector<NamedBuffer>& out) override;
+  std::string type_name() const override { return "BatchNorm2d"; }
+
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  float momentum_, eps_;
+  std::string name_;
+  Parameter gamma_, beta_;
+  Tensor running_mean_, running_var_;
+
+  // Forward cache (training mode).
+  Tensor input_;
+  Tensor xhat_;
+  std::vector<float> batch_mean_, batch_inv_std_;
+};
+
+}  // namespace ccq::nn

@@ -1,0 +1,90 @@
+#include "ccq/nn/optim.hpp"
+
+#include <cmath>
+
+namespace ccq::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, SgdConfig config)
+    : config_(config) {
+  rebind(std::move(params));
+}
+
+void Sgd::rebind(std::vector<Parameter*> params) {
+  params_ = std::move(params);
+  velocity_.clear();
+  velocity_.reserve(params_.size());
+  for (const auto* p : params_) {
+    CCQ_CHECK(p != nullptr, "null parameter");
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t idx = 0; idx < params_.size(); ++idx) {
+    Parameter& p = *params_[idx];
+    Tensor& vel = velocity_[idx];
+    auto w = p.value.data();
+    auto g = p.grad.data();
+    auto v = vel.data();
+    const float wd =
+        static_cast<float>(config_.weight_decay) * p.weight_decay_scale;
+    const float lr = static_cast<float>(config_.lr) * p.lr_scale;
+    const float mom = static_cast<float>(config_.momentum);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const float grad = g[i] + wd * w[i];
+      v[i] = mom * v[i] + grad;
+      const float update = config_.nesterov ? grad + mom * v[i] : v[i];
+      w[i] -= lr * update;
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (auto* p : params_) p->zero_grad();
+}
+
+Adam::Adam(std::vector<Parameter*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto* p : params_) {
+    CCQ_CHECK(p != nullptr, "null parameter");
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const double b1 = config_.beta1, b2 = config_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(step_count_));
+  for (std::size_t idx = 0; idx < params_.size(); ++idx) {
+    Parameter& p = *params_[idx];
+    auto w = p.value.data();
+    auto g = p.grad.data();
+    auto m = m_[idx].data();
+    auto v = v_[idx].data();
+    const float lr = static_cast<float>(config_.lr) * p.lr_scale;
+    const float wd =
+        static_cast<float>(config_.weight_decay) * p.weight_decay_scale;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      m[i] = static_cast<float>(b1) * m[i] +
+             static_cast<float>(1.0 - b1) * g[i];
+      v[i] = static_cast<float>(b2) * v[i] +
+             static_cast<float>(1.0 - b2) * g[i] * g[i];
+      const double mhat = m[i] / bias1;
+      const double vhat = v[i] / bias2;
+      // Decoupled weight decay (AdamW): shrink directly, not via grads.
+      w[i] -= lr * static_cast<float>(mhat /
+                                      (std::sqrt(vhat) + config_.eps)) +
+              lr * wd * w[i];
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (auto* p : params_) p->zero_grad();
+}
+
+}  // namespace ccq::nn

@@ -1,0 +1,71 @@
+// Stochastic gradient descent, the optimizer the paper fine-tunes with.
+#pragma once
+
+#include <vector>
+
+#include "ccq/nn/module.hpp"
+
+namespace ccq::nn {
+
+struct SgdConfig {
+  double lr = 0.1;
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+  bool nesterov = false;
+};
+
+/// SGD with momentum and decoupled per-parameter weight-decay/lr scaling
+/// (Parameter::weight_decay_scale / lr_scale).
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, SgdConfig config);
+
+  /// Apply one update from the accumulated gradients.
+  void step();
+
+  /// Clear all gradients.
+  void zero_grad();
+
+  double lr() const { return config_.lr; }
+  void set_lr(double lr) { config_.lr = lr; }
+  const SgdConfig& config() const { return config_; }
+
+  /// Re-bind to a (possibly changed) parameter list, resetting momentum.
+  void rebind(std::vector<Parameter*> params);
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig config_;
+};
+
+struct AdamConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;  ///< decoupled (AdamW-style)
+};
+
+/// Adam with decoupled weight decay.  Used by some fine-tuning recipes;
+/// honours the same per-parameter scaling knobs as Sgd.
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, AdamConfig config);
+
+  void step();
+  void zero_grad();
+
+  double lr() const { return config_.lr; }
+  void set_lr(double lr) { config_.lr = lr; }
+  const AdamConfig& config() const { return config_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  AdamConfig config_;
+  long step_count_ = 0;
+};
+
+}  // namespace ccq::nn

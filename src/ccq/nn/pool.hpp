@@ -1,0 +1,63 @@
+// Pooling and shape-adapter layers.
+#pragma once
+
+#include <vector>
+
+#include "ccq/nn/module.hpp"
+
+namespace ccq::nn {
+
+/// Max pooling with square window/stride over (N, C, H, W).
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(std::size_t kernel, std::size_t stride);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "MaxPool2d"; }
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
+
+ private:
+  std::size_t kernel_, stride_;
+  Shape in_shape_;
+  std::vector<std::size_t> argmax_;  ///< flat input index per output element
+};
+
+/// Average pooling with square window/stride over (N, C, H, W).
+class AvgPool2d : public Module {
+ public:
+  AvgPool2d(std::size_t kernel, std::size_t stride);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "AvgPool2d"; }
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
+
+ private:
+  std::size_t kernel_, stride_;
+  Shape in_shape_;
+};
+
+/// Global average pooling: (N, C, H, W) → (N, C).
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape in_shape_;
+};
+
+/// Flatten: (N, …) → (N, prod(…)).
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "Flatten"; }
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace ccq::nn

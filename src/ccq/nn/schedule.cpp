@@ -1,0 +1,101 @@
+#include "ccq/nn/schedule.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "ccq/common/error.hpp"
+
+namespace ccq::nn {
+
+StepDecayLr::StepDecayLr(double base_lr, int step_epochs, double gamma)
+    : base_lr_(base_lr), gamma_(gamma), step_epochs_(step_epochs) {
+  CCQ_CHECK(step_epochs > 0, "step_epochs must be positive");
+}
+
+double StepDecayLr::next(double) {
+  const double lr = base_lr_ * std::pow(gamma_, epoch_ / step_epochs_);
+  ++epoch_;
+  return lr;
+}
+
+CosineRestartLr::CosineRestartLr(double base_lr, double min_lr, int period)
+    : base_lr_(base_lr), min_lr_(min_lr), period_(period) {
+  CCQ_CHECK(period > 0, "cosine period must be positive");
+}
+
+double CosineRestartLr::next(double) {
+  const int phase = epoch_ % period_;
+  const double t = static_cast<double>(phase) / static_cast<double>(period_);
+  const double lr =
+      min_lr_ + 0.5 * (base_lr_ - min_lr_) * (1.0 + std::cos(M_PI * t));
+  ++epoch_;
+  return lr;
+}
+
+WarmupLr::WarmupLr(double base_lr, int warmup_epochs, LrSchedule* inner)
+    : base_lr_(base_lr), warmup_epochs_(warmup_epochs), inner_(inner) {
+  CCQ_CHECK(warmup_epochs >= 0, "warmup length must be non-negative");
+}
+
+double WarmupLr::next(double metric) {
+  if (epoch_ < warmup_epochs_) {
+    ++epoch_;
+    return base_lr_ * static_cast<double>(epoch_) /
+           static_cast<double>(warmup_epochs_);
+  }
+  ++epoch_;
+  return inner_ != nullptr ? inner_->next(metric) : base_lr_;
+}
+
+void WarmupLr::reset() {
+  epoch_ = 0;
+  if (inner_ != nullptr) inner_->reset();
+}
+
+HybridPlateauCosineLr::HybridPlateauCosineLr(Config config)
+    : config_(config) {
+  CCQ_CHECK(config_.patience > 0, "patience must be positive");
+  CCQ_CHECK(config_.cosine_period > 0, "cosine period must be positive");
+  CCQ_CHECK(config_.bump_factor >= 1.0, "bump must not lower the rate");
+  reset();
+}
+
+void HybridPlateauCosineLr::reset() {
+  best_metric_ = -std::numeric_limits<double>::infinity();
+  stall_epochs_ = 0;
+  cosine_left_ = 0;
+}
+
+double HybridPlateauCosineLr::next(double metric) {
+  if (cosine_left_ > 0) {
+    // Decay from bump·base back to base over the remaining excursion.
+    const int done = config_.cosine_period - cosine_left_;
+    const double t =
+        static_cast<double>(done) / static_cast<double>(config_.cosine_period);
+    const double peak = config_.base_lr * config_.bump_factor;
+    const double lr =
+        config_.base_lr +
+        0.5 * (peak - config_.base_lr) * (1.0 + std::cos(M_PI * t));
+    --cosine_left_;
+    // The excursion often finds a better optimum; track the metric so a
+    // fresh plateau is required before the next bump.
+    if (metric > best_metric_ + config_.min_delta) best_metric_ = metric;
+    return lr;
+  }
+
+  if (metric > best_metric_ + config_.min_delta) {
+    best_metric_ = metric;
+    stall_epochs_ = 0;
+  } else {
+    ++stall_epochs_;
+  }
+  if (stall_epochs_ >= config_.patience) {
+    stall_epochs_ = 0;
+    // Peak now; the remaining period-1 epochs decay back to base.
+    cosine_left_ = config_.cosine_period - 1;
+    return config_.base_lr * config_.bump_factor;
+  }
+  return config_.base_lr;
+}
+
+}  // namespace ccq::nn

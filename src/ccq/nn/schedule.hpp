@@ -1,0 +1,105 @@
+// Learning-rate schedules.
+//
+// The paper's collaboration (fine-tuning) stage uses a *hybrid* schedule
+// (§IV.g, Fig 4): hold a constant learning rate, and when the validation
+// metric plateaus, briefly *raise* the learning rate and decay it back
+// with a cosine — a perturbation that kicks the network out of the local
+// minimum quantization pushed it into (motivated by SGDR warm restarts).
+#pragma once
+
+#include <vector>
+
+namespace ccq::nn {
+
+/// Stateful per-epoch learning-rate policy.  `next(metric)` is called once
+/// per epoch with the current validation metric (higher = better) and
+/// returns the learning rate to use for the *next* epoch.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual double next(double metric) = 0;
+  virtual void reset() = 0;
+};
+
+/// Fixed learning rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(double lr) : lr_(lr) {}
+  double next(double) override { return lr_; }
+  void reset() override {}
+
+ private:
+  double lr_;
+};
+
+/// Multiply the rate by `gamma` every `step_epochs` epochs.
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(double base_lr, int step_epochs, double gamma);
+  double next(double) override;
+  void reset() override { epoch_ = 0; }
+
+ private:
+  double base_lr_, gamma_;
+  int step_epochs_;
+  int epoch_ = 0;
+};
+
+/// Cosine annealing from `base_lr` down to `min_lr` over `period` epochs,
+/// then restart (SGDR-style warm restarts).
+class CosineRestartLr : public LrSchedule {
+ public:
+  CosineRestartLr(double base_lr, double min_lr, int period);
+  double next(double) override;
+  void reset() override { epoch_ = 0; }
+
+ private:
+  double base_lr_, min_lr_;
+  int period_;
+  int epoch_ = 0;
+};
+
+/// Linear warmup to `base_lr` over `warmup_epochs`, then delegate to an
+/// inner schedule (or hold constant when none is given).
+class WarmupLr : public LrSchedule {
+ public:
+  WarmupLr(double base_lr, int warmup_epochs, LrSchedule* inner = nullptr);
+  double next(double metric) override;
+  void reset() override;
+
+ private:
+  double base_lr_;
+  int warmup_epochs_;
+  LrSchedule* inner_;
+  int epoch_ = 0;
+};
+
+/// Paper §IV.g hybrid schedule: constant `base_lr` until the metric fails
+/// to improve by `min_delta` for `patience` consecutive epochs, then jump
+/// to `bump_factor`·base_lr and cosine-decay back to base_lr over
+/// `cosine_period` epochs; afterwards resume plateau watching.
+class HybridPlateauCosineLr : public LrSchedule {
+ public:
+  struct Config {
+    double base_lr = 1e-4;
+    double bump_factor = 10.0;
+    int patience = 3;
+    double min_delta = 1e-4;
+    int cosine_period = 5;
+  };
+
+  explicit HybridPlateauCosineLr(Config config);
+  double next(double metric) override;
+  void reset() override;
+
+  /// True while a cosine excursion is in flight (exposed for tests/plots).
+  bool in_cosine_phase() const { return cosine_left_ > 0; }
+
+ private:
+  Config config_;
+  double best_metric_;
+  int stall_epochs_ = 0;
+  int cosine_left_ = 0;
+};
+
+}  // namespace ccq::nn

@@ -1,0 +1,90 @@
+#include "ccq/quant/act_quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccq::quant {
+
+ClipActQuant::ClipActQuant(float clip) : clip_(clip) {
+  CCQ_CHECK(clip > 0.0f, "activation clip must be positive");
+}
+
+Tensor ClipActQuant::forward(const Tensor& x) {
+  input_ = x;
+  Tensor y(x.shape());
+  auto xp = x.data();
+  auto yp = y.data();
+  if (bits_ >= 32) {
+    for (std::size_t i = 0; i < xp.size(); ++i) {
+      yp[i] = std::clamp(xp[i], 0.0f, clip_);
+    }
+  } else {
+    for (std::size_t i = 0; i < xp.size(); ++i) {
+      yp[i] = quantize_unsigned(xp[i], bits_, clip_);
+    }
+  }
+  return y;
+}
+
+Tensor ClipActQuant::backward(const Tensor& grad_out) {
+  CCQ_CHECK(same_shape(grad_out, input_), "ClipActQuant grad mismatch");
+  Tensor g = grad_out;
+  auto xp = input_.data();
+  auto gp = g.data();
+  for (std::size_t i = 0; i < xp.size(); ++i) {
+    if (xp[i] <= 0.0f || xp[i] >= clip_) gp[i] = 0.0f;
+  }
+  return g;
+}
+
+PactActivation::PactActivation(float alpha_init, std::string name)
+    : alpha_(name + ".alpha", Tensor({1}, alpha_init)) {
+  CCQ_CHECK(alpha_init > 0.0f, "alpha must start positive");
+  // PACT regularises α with ordinary L2 so it shrinks toward a tight clip.
+  alpha_.weight_decay_scale = 1.0f;
+}
+
+Tensor PactActivation::forward(const Tensor& x) {
+  input_ = x;
+  const float a = std::max(alpha_.value.at(0), 1e-3f);
+  Tensor y(x.shape());
+  auto xp = x.data();
+  auto yp = y.data();
+  if (bits_ >= 32) {
+    for (std::size_t i = 0; i < xp.size(); ++i) {
+      yp[i] = std::clamp(xp[i], 0.0f, a);
+    }
+  } else {
+    for (std::size_t i = 0; i < xp.size(); ++i) {
+      yp[i] = quantize_unsigned(xp[i], bits_, a);
+    }
+  }
+  return y;
+}
+
+Tensor PactActivation::backward(const Tensor& grad_out) {
+  CCQ_CHECK(same_shape(grad_out, input_), "PactActivation grad mismatch");
+  const float a = std::max(alpha_.value.at(0), 1e-3f);
+  Tensor g = grad_out;
+  auto xp = input_.data();
+  auto gp = g.data();
+  double alpha_grad = 0.0;
+  for (std::size_t i = 0; i < xp.size(); ++i) {
+    if (xp[i] >= a) {
+      // Saturated high: output is exactly α, so dL/dα += gy.
+      alpha_grad += gp[i];
+      gp[i] = 0.0f;
+    } else if (xp[i] <= 0.0f) {
+      gp[i] = 0.0f;
+    }
+    // else: STE pass-through inside (0, α).
+  }
+  alpha_.grad.at(0) += static_cast<float>(alpha_grad);
+  return g;
+}
+
+void PactActivation::collect_parameters(std::vector<nn::Parameter*>& out) {
+  out.push_back(&alpha_);
+}
+
+}  // namespace ccq::quant

@@ -1,0 +1,64 @@
+// Quantized activation modules.
+//
+// These replace ReLU in quantization-aware models.  Bit width is mutable
+// at runtime (the CCQ controller steps it down the ladder); 32 bits means
+// the clip still applies but no discretisation happens, which is how the
+// paper's "fp" activations behave under each policy.
+#pragma once
+
+#include "ccq/nn/module.hpp"
+#include "ccq/quant/uniform.hpp"
+
+namespace ccq::quant {
+
+/// Common interface: an activation whose precision can be changed.
+class QuantAct : public nn::Module {
+ public:
+  virtual void set_bits(int bits) {
+    CCQ_CHECK(bits >= 1 && bits <= 32, "activation bits out of range");
+    bits_ = bits;
+  }
+  int bits() const { return bits_; }
+
+ protected:
+  int bits_ = 32;
+};
+
+/// DoReFa / WRPN style activation: clip to [0, clip] (default 1) and
+/// quantize on the unsigned grid.  Backward is STE inside the clip range.
+class ClipActQuant : public QuantAct {
+ public:
+  explicit ClipActQuant(float clip = 1.0f);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "ClipActQuant"; }
+  float clip() const { return clip_; }
+
+ private:
+  float clip_;
+  Tensor input_;
+};
+
+/// PACT (Choi et al. 2018): y = clip(x, 0, α) quantized to k bits, with a
+/// *learnable* clipping value α.  dL/dα receives the gradient from every
+/// saturated element (x ≥ α); α is L2-regularised by giving it a normal
+/// weight-decay scale.  This is the policy the paper finds strongest,
+/// because α re-adapts after every CCQ precision step (§IV.b).
+class PactActivation : public QuantAct {
+ public:
+  explicit PactActivation(float alpha_init = 6.0f,
+                          std::string name = "pact");
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<nn::Parameter*>& out) override;
+  std::string type_name() const override { return "PactActivation"; }
+
+  float alpha() const { return alpha_.value.at(0); }
+  nn::Parameter& alpha_param() { return alpha_; }
+
+ private:
+  nn::Parameter alpha_;
+  Tensor input_;
+};
+
+}  // namespace ccq::quant

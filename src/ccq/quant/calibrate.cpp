@@ -1,0 +1,127 @@
+#include "ccq/quant/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ccq/quant/uniform.hpp"
+
+namespace ccq::quant {
+
+float aciq_kappa(int bits, WeightDist dist) {
+  CCQ_CHECK(bits >= 2 && bits <= 8, "ACIQ table covers 2..8 bits");
+  // Optimal clipping multipliers from Banner et al. (2018), Table/fig. —
+  // α* = κ·σ (Gaussian) or α* = κ·b (Laplace), b the Laplace diversity.
+  static constexpr float kGauss[] = {1.71f, 2.15f, 2.55f, 2.93f,
+                                     3.28f, 3.61f, 3.92f};
+  static constexpr float kLaplace[] = {2.83f, 3.89f, 5.03f, 6.20f,
+                                       7.41f, 8.64f, 9.89f};
+  const int idx = bits - 2;
+  return dist == WeightDist::kGaussian ? kGauss[idx] : kLaplace[idx];
+}
+
+float aciq_clip(const Tensor& w, int bits, WeightDist dist) {
+  CCQ_CHECK(w.numel() > 0, "empty tensor");
+  const double n = static_cast<double>(w.numel());
+  double mean = 0.0;
+  for (float v : w.data()) mean += v;
+  mean /= n;
+  double scale = 0.0;
+  if (dist == WeightDist::kGaussian) {
+    for (float v : w.data()) scale += (v - mean) * (v - mean);
+    scale = std::sqrt(scale / n);
+  } else {
+    for (float v : w.data()) scale += std::fabs(v - mean);
+    scale /= n;
+  }
+  const float clip = aciq_kappa(bits, dist) * static_cast<float>(scale);
+  return std::max(clip, 1e-8f);
+}
+
+namespace {
+
+/// KL(P ‖ Q) over two histograms after normalisation; zero-P bins are
+/// skipped, zero-Q bins with P mass incur a large (smoothed) penalty.
+double kl_divergence(const std::vector<double>& p,
+                     const std::vector<double>& q) {
+  double psum = 0.0, qsum = 0.0;
+  for (double v : p) psum += v;
+  for (double v : q) qsum += v;
+  if (psum <= 0.0 || qsum <= 0.0) return 1e30;
+  double kl = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double pi = p[i] / psum;
+    if (pi <= 0.0) continue;
+    const double qi = std::max(q[i] / qsum, 1e-12);
+    kl += pi * std::log(pi / qi);
+  }
+  return kl;
+}
+
+}  // namespace
+
+float kl_calibrate_clip(const Tensor& w, int bits, int num_bins) {
+  CCQ_CHECK(w.numel() > 0, "empty tensor");
+  CCQ_CHECK(bits >= 2 && bits < 16, "kl_calibrate_clip bits out of range");
+  CCQ_CHECK(num_bins >= 16, "need a reasonable histogram resolution");
+  const float max_abs = std::max({std::fabs(w.max()), std::fabs(w.min())});
+  if (max_abs <= 0.0f) return 1e-8f;
+
+  // Histogram of |w|.
+  std::vector<double> hist(static_cast<std::size_t>(num_bins), 0.0);
+  const double bin_w = static_cast<double>(max_abs) / num_bins;
+  for (float v : w.data()) {
+    auto bin = static_cast<std::size_t>(std::fabs(v) / bin_w);
+    if (bin >= hist.size()) bin = hist.size() - 1;
+    hist[bin] += 1.0;
+  }
+
+  const int levels = 1 << (bits - 1);  // magnitude levels of the grid
+  // Search thresholds from 2·levels upward: at i == levels the merge is
+  // one-bin-per-level, Q equals P exactly and KL is trivially zero for
+  // *any* amount of folded tail — a degenerate optimum that would always
+  // pick the tightest clip at high precision.
+  const int start = std::min(num_bins, std::max(2 * levels, num_bins / 8));
+  // At high precision every threshold has near-zero divergence; without a
+  // tolerance the argmin is decided by numerical noise and can select an
+  // absurdly tight clip.  Prefer the *widest* clip within tolerance of
+  // the optimum (outliers are only cut when they genuinely cost KL).
+  constexpr double kTieTolerance = 1e-6;
+  double best_kl = 1e30;
+  int best_i = num_bins;
+  for (int i = start; i <= num_bins; ++i) {
+    // Reference P: first i bins, outliers folded into the last bin.
+    std::vector<double> p(hist.begin(), hist.begin() + i);
+    for (int j = i; j < num_bins; ++j) p[static_cast<std::size_t>(i) - 1] += hist[static_cast<std::size_t>(j)];
+
+    // Quantized Q: merge the i bins into `levels` groups, then spread each
+    // group's mass uniformly back over its non-empty source bins.
+    std::vector<double> q(static_cast<std::size_t>(i), 0.0);
+    const double group = static_cast<double>(i) / levels;
+    for (int l = 0; l < levels; ++l) {
+      const int lo = static_cast<int>(std::floor(l * group));
+      const int hi = std::min(i, static_cast<int>(std::floor((l + 1) * group)));
+      double mass = 0.0;
+      int nonempty = 0;
+      for (int j = lo; j < hi; ++j) {
+        mass += p[static_cast<std::size_t>(j)];
+        if (p[static_cast<std::size_t>(j)] > 0.0) ++nonempty;
+      }
+      if (nonempty == 0) continue;
+      const double share = mass / nonempty;
+      for (int j = lo; j < hi; ++j) {
+        if (p[static_cast<std::size_t>(j)] > 0.0) q[static_cast<std::size_t>(j)] = share;
+      }
+    }
+    const double kl = kl_divergence(p, q);
+    if (kl < best_kl - kTieTolerance) {
+      best_kl = kl;
+      best_i = i;
+    } else if (kl <= best_kl + kTieTolerance && i > best_i) {
+      best_i = i;  // tie: keep the wider clip
+    }
+  }
+  return static_cast<float>(best_i * bin_w);
+}
+
+}  // namespace ccq::quant

@@ -1,0 +1,33 @@
+// Static (post-training) clip calibration — the "static quantization"
+// family from the paper's related work (§II.a).
+//
+//   * ACIQ (Banner et al. 2018): closed-form optimal clip assuming the
+//     weights follow a Gaussian or Laplace distribution.
+//   * KL / TensorRT (Migacz 2017): histogram search minimising the KL
+//     divergence between the original and the quantized distribution.
+//
+// Both produce a clip value that can be installed into a MinMaxWeightHook
+// for one-shot post-training quantization experiments and serve as the
+// quantization-error-driven baselines CCQ is contrasted against.
+#pragma once
+
+#include "ccq/tensor/tensor.hpp"
+
+namespace ccq::quant {
+
+enum class WeightDist { kGaussian, kLaplace };
+
+/// ACIQ analytic clip: α* = κ(bits) · scale, where scale is σ (Gaussian)
+/// or b = E|w−μ| (Laplace) and κ comes from the paper's optimal-clipping
+/// solution.
+float aciq_clip(const Tensor& w, int bits, WeightDist dist);
+
+/// The κ multiplier ACIQ uses for a bit width (exposed for tests).
+float aciq_kappa(int bits, WeightDist dist);
+
+/// KL-divergence calibration over a |w| histogram (TensorRT style).
+/// Returns the clip threshold whose quantized distribution diverges least
+/// from the original.  `num_bins` controls search resolution.
+float kl_calibrate_clip(const Tensor& w, int bits, int num_bins = 512);
+
+}  // namespace ccq::quant

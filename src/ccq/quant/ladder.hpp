@@ -1,0 +1,52 @@
+// The bit-precision ladder N(0) > N(1) > … > N(K−1) (paper §III.B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ccq/common/error.hpp"
+
+namespace ccq::quant {
+
+/// Strictly decreasing sequence of bit widths each layer steps down
+/// through.  32 at the front means "start from full precision".
+class BitLadder {
+ public:
+  /// Default ladder used by the experiments: 8 → 6 → 4 → 3 → 2.
+  BitLadder() : BitLadder({8, 6, 4, 3, 2}) {}
+
+  explicit BitLadder(std::vector<int> levels) : levels_(std::move(levels)) {
+    CCQ_CHECK(!levels_.empty(), "empty bit ladder");
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      CCQ_CHECK(levels_[i] >= 1 && levels_[i] <= 32, "bit width out of range");
+      if (i > 0) {
+        CCQ_CHECK(levels_[i] < levels_[i - 1],
+                  "ladder must be strictly decreasing");
+      }
+    }
+  }
+
+  std::size_t size() const { return levels_.size(); }
+  int bits_at(std::size_t pos) const {
+    CCQ_CHECK(pos < levels_.size(), "ladder position out of range");
+    return levels_[pos];
+  }
+  int initial_bits() const { return levels_.front(); }
+  int final_bits() const { return levels_.back(); }
+  bool is_last(std::size_t pos) const { return pos + 1 >= levels_.size(); }
+  const std::vector<int>& levels() const { return levels_; }
+
+  std::string str() const {
+    std::string out;
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      if (i != 0) out += "→";
+      out += std::to_string(levels_[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<int> levels_;
+};
+
+}  // namespace ccq::quant

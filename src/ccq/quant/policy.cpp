@@ -1,0 +1,70 @@
+#include "ccq/quant/policy.hpp"
+
+namespace ccq::quant {
+
+std::string policy_str(Policy policy) {
+  switch (policy) {
+    case Policy::kDoReFa: return "DoReFa";
+    case Policy::kWrpn: return "WRPN";
+    case Policy::kPact: return "PACT";
+    case Policy::kPactSawb: return "PACT-SAWB";
+    case Policy::kLqNets: return "LQ-Nets";
+    case Policy::kLsq: return "LSQ";
+    case Policy::kMinMax: return "MinMax";
+    case Policy::kPerChannel: return "PerChannel";
+  }
+  return "unknown";
+}
+
+Policy policy_from_str(const std::string& name) {
+  if (name == "DoReFa" || name == "dorefa") return Policy::kDoReFa;
+  if (name == "WRPN" || name == "wrpn") return Policy::kWrpn;
+  if (name == "PACT" || name == "pact") return Policy::kPact;
+  if (name == "PACT-SAWB" || name == "sawb") return Policy::kPactSawb;
+  if (name == "LQ-Nets" || name == "lqnets") return Policy::kLqNets;
+  if (name == "LSQ" || name == "lsq") return Policy::kLsq;
+  if (name == "MinMax" || name == "minmax") return Policy::kMinMax;
+  if (name == "PerChannel" || name == "perchannel") return Policy::kPerChannel;
+  throw Error("unknown quantization policy: " + name);
+}
+
+std::shared_ptr<WeightQuantHook> QuantFactory::make_weight_hook(
+    const std::string& name) const {
+  switch (policy) {
+    case Policy::kDoReFa:
+    case Policy::kPact:
+      return std::make_shared<DoReFaWeightHook>();
+    case Policy::kWrpn:
+      return std::make_shared<WrpnWeightHook>();
+    case Policy::kPactSawb:
+      return std::make_shared<SawbWeightHook>();
+    case Policy::kLqNets:
+      return std::make_shared<LqNetsWeightHook>();
+    case Policy::kLsq:
+      return std::make_shared<LsqWeightHook>(name);
+    case Policy::kMinMax:
+      return std::make_shared<MinMaxWeightHook>();
+    case Policy::kPerChannel:
+      return std::make_shared<PerChannelWeightHook>();
+  }
+  throw Error("unreachable policy");
+}
+
+std::unique_ptr<QuantAct> QuantFactory::make_activation(
+    const std::string& name) const {
+  switch (policy) {
+    case Policy::kDoReFa:
+    case Policy::kWrpn:
+    case Policy::kMinMax:
+      return std::make_unique<ClipActQuant>(fixed_act_clip);
+    case Policy::kPact:
+    case Policy::kPactSawb:
+    case Policy::kLqNets:
+    case Policy::kLsq:
+    case Policy::kPerChannel:
+      return std::make_unique<PactActivation>(pact_alpha_init, name);
+  }
+  throw Error("unreachable policy");
+}
+
+}  // namespace ccq::quant

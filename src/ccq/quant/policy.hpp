@@ -1,0 +1,48 @@
+// Quantization policy selection — the paper's "policy-agnostic" seam.
+//
+// A `Policy` names one of the quantization-aware-training schemes from
+// the paper's comparison set; `QuantFactory` builds the matching weight
+// hook and activation module for a layer.  The CCQ framework itself never
+// looks inside a policy: it only moves layers down the bit ladder.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ccq/quant/act_quant.hpp"
+#include "ccq/quant/weight_hooks.hpp"
+
+namespace ccq::quant {
+
+enum class Policy {
+  kDoReFa,    ///< DoReFa weights + [0,1]-clipped quantized activations
+  kWrpn,      ///< WRPN weights + [0,1]-clipped quantized activations
+  kPact,      ///< DoReFa weights + PACT learnable-clip activations
+  kPactSawb,  ///< SAWB weights + PACT activations (PACT-SAWB, Choi '18b)
+  kLqNets,    ///< LQ-Nets alternating-fit weights + PACT activations
+  kLsq,       ///< LSQ learnable-step weights + PACT activations
+  kMinMax,    ///< naive max-|w| clip + [0,1]-clipped activations
+  kPerChannel,  ///< per-output-channel max-|w| grids + PACT activations
+};
+
+std::string policy_str(Policy policy);
+Policy policy_from_str(const std::string& name);
+
+/// Builds per-layer quantizer objects for a chosen policy.
+struct QuantFactory {
+  Policy policy = Policy::kPact;
+  /// Initial PACT clip (when the policy uses PACT activations).
+  float pact_alpha_init = 6.0f;
+  /// Fixed clip for DoReFa/WRPN-style activations.  The original papers
+  /// clip to [0, 1]; on unit-variance BN outputs a hard 1.0 ceiling
+  /// discards most of the signal and stalls training on our substrate, so
+  /// the default widens the range (the grid merely rescales — the
+  /// quantization structure is unchanged; see DESIGN.md substitutions).
+  float fixed_act_clip = 2.0f;
+
+  std::shared_ptr<WeightQuantHook> make_weight_hook(
+      const std::string& name) const;
+  std::unique_ptr<QuantAct> make_activation(const std::string& name) const;
+};
+
+}  // namespace ccq::quant

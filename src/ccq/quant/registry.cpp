@@ -1,0 +1,124 @@
+#include "ccq/quant/registry.hpp"
+
+namespace ccq::quant {
+
+QuantUnit& LayerRegistry::add(QuantUnit unit, bool start_at_fp) {
+  CCQ_CHECK(unit.weight_hook != nullptr, "unit needs a weight hook");
+  CCQ_CHECK(unit.weight_count > 0, "unit needs a weight count");
+  units_.push_back(std::move(unit));
+  QuantUnit& u = units_.back();
+  if (start_at_fp) {
+    u.ladder_pos = 0;
+    u.weight_hook->set_bits(32);
+    if (u.act != nullptr) u.act->set_bits(32);
+  } else {
+    set_ladder_pos(units_.size() - 1, 0);
+  }
+  return u;
+}
+
+QuantUnit& LayerRegistry::unit(std::size_t i) {
+  CCQ_CHECK(i < units_.size(), "unit index out of range");
+  return units_[i];
+}
+
+const QuantUnit& LayerRegistry::unit(std::size_t i) const {
+  CCQ_CHECK(i < units_.size(), "unit index out of range");
+  return units_[i];
+}
+
+int LayerRegistry::bits_of(std::size_t i) const {
+  return unit(i).weight_hook->bits();
+}
+
+void LayerRegistry::set_ladder_pos(std::size_t i, std::size_t pos) {
+  QuantUnit& u = unit(i);
+  CCQ_CHECK(!u.frozen, "cannot move a frozen layer: " + u.name);
+  CCQ_CHECK(pos < ladder_.size(), "ladder position out of range");
+  u.ladder_pos = pos;
+  const int bits = ladder_.bits_at(pos);
+  u.weight_hook->set_bits(bits);
+  if (u.act != nullptr) u.act->set_bits(bits);
+}
+
+void LayerRegistry::set_all(std::size_t pos) {
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    if (!units_[i].frozen) set_ladder_pos(i, pos);
+  }
+}
+
+void LayerRegistry::step_down(std::size_t i) {
+  const QuantUnit& u = unit(i);
+  CCQ_CHECK(!sleeping(i), "cannot step a sleeping layer: " + u.name);
+  set_ladder_pos(i, u.ladder_pos + 1);
+}
+
+bool LayerRegistry::sleeping(std::size_t i) const {
+  const QuantUnit& u = unit(i);
+  return u.frozen || ladder_.is_last(u.ladder_pos);
+}
+
+bool LayerRegistry::all_sleeping() const {
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    if (!sleeping(i)) return false;
+  }
+  return true;
+}
+
+void LayerRegistry::force_bits(std::size_t i, int bits) {
+  QuantUnit& u = unit(i);
+  u.weight_hook->set_bits(bits);
+  if (u.act != nullptr) u.act->set_bits(bits);
+  u.frozen = true;
+}
+
+std::size_t LayerRegistry::total_weights() const {
+  std::size_t total = 0;
+  for (const auto& u : units_) total += u.weight_count;
+  return total;
+}
+
+double LayerRegistry::compression_ratio() const {
+  CCQ_CHECK(!units_.empty(), "empty registry");
+  double fp_bits = 0.0, quant_bits = 0.0;
+  for (const auto& u : units_) {
+    fp_bits += 32.0 * static_cast<double>(u.weight_count);
+    quant_bits += static_cast<double>(u.weight_hook->bits()) *
+                  static_cast<double>(u.weight_count);
+  }
+  return fp_bits / quant_bits;
+}
+
+std::vector<double> LayerRegistry::memory_shares() const {
+  std::vector<double> shares(units_.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    shares[i] = static_cast<double>(units_[i].weight_count) *
+                static_cast<double>(units_[i].weight_hook->bits());
+    total += shares[i];
+  }
+  if (total > 0.0) {
+    for (auto& s : shares) s /= total;
+  }
+  return shares;
+}
+
+std::string LayerRegistry::bits_str() const {
+  std::string out;
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(bits_of(i));
+  }
+  return out;
+}
+
+LayerRegistry::ProbeGuard::ProbeGuard(LayerRegistry& registry, std::size_t i)
+    : registry_(registry), index_(i), saved_pos_(registry.unit(i).ladder_pos) {
+  registry_.step_down(index_);
+}
+
+LayerRegistry::ProbeGuard::~ProbeGuard() {
+  registry_.set_ladder_pos(index_, saved_pos_);
+}
+
+}  // namespace ccq::quant

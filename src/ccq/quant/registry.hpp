@@ -1,0 +1,99 @@
+// Layer registry: the CCQ controller's view of a quantizable network.
+//
+// Model builders register one `QuantUnit` per quantizable layer (a conv
+// or linear weight hook, its paired activation quantizer, the parameter
+// count and per-sample MAC count).  The registry owns the *precision
+// state*: where each layer sits on the bit ladder, which layers are
+// frozen, and the resulting model compression ratio (weights-only, like
+// the paper's Table II "Model Compression" column).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccq/quant/act_quant.hpp"
+#include "ccq/quant/ladder.hpp"
+#include "ccq/quant/weight_hooks.hpp"
+
+namespace ccq::quant {
+
+/// One quantizable layer as seen by the controller.
+struct QuantUnit {
+  std::string name;
+  std::shared_ptr<WeightQuantHook> weight_hook;  ///< shared with the layer
+  QuantAct* act = nullptr;      ///< activation quantizer; null for last layer
+  std::size_t weight_count = 0; ///< scalars in the layer's weight tensor
+  std::size_t macs = 0;         ///< per-sample MACs (for the power model)
+  std::size_t ladder_pos = 0;   ///< current position on the bit ladder
+  bool frozen = false;          ///< excluded from competition (forced bits)
+};
+
+class LayerRegistry {
+ public:
+  explicit LayerRegistry(BitLadder ladder) : ladder_(std::move(ladder)) {}
+
+  /// Register a unit; its hook/activation are set to the ladder's initial
+  /// bits unless `start_at_fp` leaves them at 32.
+  QuantUnit& add(QuantUnit unit, bool start_at_fp = false);
+
+  std::size_t size() const { return units_.size(); }
+  QuantUnit& unit(std::size_t i);
+  const QuantUnit& unit(std::size_t i) const;
+  const BitLadder& ladder() const { return ladder_; }
+
+  /// Current weight bits of layer i (reads the hook).
+  int bits_of(std::size_t i) const;
+
+  /// Move layer i to ladder position `pos` (sets weight and act bits).
+  void set_ladder_pos(std::size_t i, std::size_t pos);
+
+  /// Put every non-frozen layer at ladder position `pos`.
+  void set_all(std::size_t pos);
+
+  /// Step layer i one ladder level down. Requires !at_floor(i).
+  void step_down(std::size_t i);
+
+  /// True when layer i is at the bottom of the ladder (or frozen) — a
+  /// "sleeping expert" in the paper's competition.
+  bool sleeping(std::size_t i) const;
+  bool all_sleeping() const;
+
+  /// Pin layer i to an explicit bit width and exclude it from the
+  /// competition (used for fp-first/last baselines).
+  void force_bits(std::size_t i, int bits);
+
+  /// Σ weight_count over all units.
+  std::size_t total_weights() const;
+
+  /// Paper's model compression: 32·Σp / Σ(p·bits) over registered layers.
+  double compression_ratio() const;
+
+  /// Memory share of each layer at its current precision — the
+  /// |Q_m|/Σ|Q_i| term of Eq. (7).
+  std::vector<double> memory_shares() const;
+
+  /// Bit summary, e.g. "8,8,4,…" in registration order.
+  std::string bits_str() const;
+
+  /// RAII probe: temporarily steps layer i one level down (competition's
+  /// "quantize to the next level and evaluate"), restoring on destruction.
+  class ProbeGuard {
+   public:
+    ProbeGuard(LayerRegistry& registry, std::size_t i);
+    ~ProbeGuard();
+    ProbeGuard(const ProbeGuard&) = delete;
+    ProbeGuard& operator=(const ProbeGuard&) = delete;
+
+   private:
+    LayerRegistry& registry_;
+    std::size_t index_;
+    std::size_t saved_pos_;
+  };
+
+ private:
+  BitLadder ladder_;
+  std::vector<QuantUnit> units_;
+};
+
+}  // namespace ccq::quant

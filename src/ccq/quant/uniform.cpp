@@ -1,0 +1,59 @@
+#include "ccq/quant/uniform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccq::quant {
+
+float quantize_unit(float x, int bits) {
+  CCQ_CHECK(bits >= 1 && bits < 32, "quantize_unit bits out of range");
+  const float n = unsigned_levels(bits);
+  const float clipped = std::clamp(x, 0.0f, 1.0f);
+  return std::round(clipped * n) / n;
+}
+
+float quantize_unsigned(float x, int bits, float clip) {
+  CCQ_CHECK(clip > 0.0f, "clip must be positive");
+  if (bits >= 32) return std::clamp(x, 0.0f, clip);
+  return clip * quantize_unit(x / clip, bits);
+}
+
+float quantize_symmetric(float x, int bits, float clip) {
+  CCQ_CHECK(clip > 0.0f, "clip must be positive");
+  if (bits >= 32) return std::clamp(x, -clip, clip);
+  CCQ_CHECK(bits >= 2, "symmetric grid needs at least 2 bits");
+  const float n = symmetric_levels(bits);
+  const float step = clip / n;
+  const float clipped = std::clamp(x, -clip, clip);
+  return std::round(clipped / step) * step;
+}
+
+Tensor quantize_symmetric(const Tensor& w, int bits, float clip) {
+  Tensor q = w;
+  q.apply([bits, clip](float v) { return quantize_symmetric(v, bits, clip); });
+  return q;
+}
+
+float quantization_mse(const Tensor& w, int bits, float clip) {
+  CCQ_CHECK(w.numel() > 0, "empty tensor");
+  double acc = 0.0;
+  for (float v : w.data()) {
+    const float q = quantize_symmetric(v, bits, clip);
+    acc += static_cast<double>(v - q) * (v - q);
+  }
+  return static_cast<float>(acc / static_cast<double>(w.numel()));
+}
+
+std::vector<float> symmetric_grid(int bits, float clip) {
+  CCQ_CHECK(bits >= 2 && bits < 32, "grid bits out of range");
+  const int n = static_cast<int>(symmetric_levels(bits));
+  std::vector<float> grid;
+  grid.reserve(static_cast<std::size_t>(2 * n + 1));
+  const float step = clip / static_cast<float>(n);
+  for (int i = -n; i <= n; ++i) {
+    grid.push_back(static_cast<float>(i) * step);
+  }
+  return grid;
+}
+
+}  // namespace ccq::quant

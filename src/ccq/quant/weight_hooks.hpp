@@ -1,0 +1,170 @@
+// Weight quantizers, one per policy from the paper's comparison set.
+//
+// Every hook simulates low-precision weights in float (quantization-aware
+// training) and implements a straight-through estimator for the backward
+// pass.  `set_bits` is the knob the CCQ controller turns: 32 restores
+// full precision, anything lower snaps the layer onto that grid.
+//
+// Policies (paper §II / Table I–II):
+//   DoReFa  — tanh-normalised weights on the unit grid (Zhou et al. '16;
+//             scale-preserving by default here, see the class comment)
+//   WRPN    — hard clip to [−1, 1] then uniform grid (Mishra et al. '17)
+//   SAWB    — statistics-aware clip α = c1·√E[w²] − c2·E[|w|] (Choi '18)
+//   LQ-Nets — per-layer scale learned by alternating minimisation of the
+//             quantization MSE (Zhang et al. '18, 1-D basis case)
+//   LSQ     — learnable step size trained by SGD with the LSQ gradient
+//             (Esser et al. '19)
+//   MinMax  — plain symmetric max-|w| clip (the naive baseline; also the
+//             carrier for ACIQ/KL statically-calibrated clips)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ccq/nn/module.hpp"
+#include "ccq/quant/uniform.hpp"
+
+namespace ccq::quant {
+
+/// Base of all weight hooks: holds the bit width and policy name.
+class WeightQuantHook : public nn::QuantizerHook {
+ public:
+  int bits() const override { return bits_; }
+  virtual void set_bits(int bits) {
+    CCQ_CHECK(bits >= 2 && bits <= 32, "weight bits out of range");
+    bits_ = bits;
+  }
+  virtual std::string policy_name() const = 0;
+
+ protected:
+  int bits_ = 32;
+};
+
+/// DoReFa: w_q = 2·quantize_k(tanh(w)/(2·max|tanh(w)|) + ½) − 1.
+/// Backward: plain STE through the whole transform.
+///
+/// The original transform *normalises* the layer to [−1, 1]; networks
+/// trained from scratch absorb that scale into BN.  CCQ instead quantizes
+/// *pretrained* networks gradually, where an abrupt per-layer rescale
+/// invalidates the downstream BN running statistics (the initial 8-bit
+/// step would no longer be lossless).  With `scale_preserving` (default)
+/// the output is multiplied back by max|tanh(w)| — the same grid up to a
+/// per-layer constant, but the N(0) snap keeps the network calibrated.
+class DoReFaWeightHook : public WeightQuantHook {
+ public:
+  explicit DoReFaWeightHook(bool scale_preserving = true)
+      : scale_preserving_(scale_preserving) {}
+  Tensor quantize(const Tensor& w) override;
+  std::string policy_name() const override { return "DoReFa"; }
+
+ private:
+  bool scale_preserving_;
+};
+
+/// WRPN: clip to [−1, 1], then symmetric grid with 2^(k−1)−1 steps.
+/// Backward: STE, zeroed where |w| > 1 (the clip is saturating).
+class WrpnWeightHook : public WeightQuantHook {
+ public:
+  Tensor quantize(const Tensor& w) override;
+  Tensor backward(const Tensor& w, Tensor grad_q) override;
+  std::string policy_name() const override { return "WRPN"; }
+};
+
+/// SAWB: symmetric clip derived from the first two absolute moments with
+/// per-bit-width coefficients fitted for bell-shaped weight distributions.
+class SawbWeightHook : public WeightQuantHook {
+ public:
+  Tensor quantize(const Tensor& w) override;
+  Tensor backward(const Tensor& w, Tensor grad_q) override;
+  std::string policy_name() const override { return "SAWB"; }
+
+  /// The clip value chosen on the last forward (for tests/inspection).
+  float last_clip() const { return last_clip_; }
+  /// α(c1, c2) for a given bit width (exposed for tests).
+  static float clip_for(const Tensor& w, int bits);
+
+ private:
+  float last_clip_ = 0.0f;
+};
+
+/// LQ-Nets (1-D): alternate assignment/scale steps to minimise ‖w−q‖².
+class LqNetsWeightHook : public WeightQuantHook {
+ public:
+  Tensor quantize(const Tensor& w) override;
+  Tensor backward(const Tensor& w, Tensor grad_q) override;
+  std::string policy_name() const override { return "LQ-Nets"; }
+
+  float last_scale() const { return last_scale_; }
+  /// Alternating scale fit (exposed for tests). Returns the clip = s·n.
+  static float fit_scale(const Tensor& w, int bits, int iterations = 5);
+
+ private:
+  float last_scale_ = 0.0f;
+};
+
+/// LSQ: the step size is a learnable parameter updated by SGD using the
+/// gradient from Esser et al. (2019), with the 1/√(n·Q_max) gradient
+/// scale folded into Parameter::lr_scale.
+class LsqWeightHook : public WeightQuantHook {
+ public:
+  explicit LsqWeightHook(std::string name = "lsq");
+  Tensor quantize(const Tensor& w) override;
+  Tensor backward(const Tensor& w, Tensor grad_q) override;
+  void collect_parameters(std::vector<nn::Parameter*>& out) override;
+  std::string policy_name() const override { return "LSQ"; }
+
+  /// Changing precision re-arms the statistics-based step initialisation:
+  /// a step fitted for 8-bit codes is an order of magnitude too small for
+  /// a 2-bit grid and would collapse the layer.
+  void set_bits(int bits) override {
+    if (bits != bits_) initialised_ = false;
+    WeightQuantHook::set_bits(bits);
+  }
+
+  float step() const { return step_.value.at(0); }
+
+ private:
+  nn::Parameter step_;
+  bool initialised_ = false;
+};
+
+/// Per-output-channel symmetric max-|w| quantization — the granularity
+/// TensorRT/HAWQ-era deployments use.  Each output channel (row of the
+/// flattened weight matrix) gets its own clip, which costs one scale per
+/// channel but removes the cross-channel dynamic-range coupling that
+/// hurts per-tensor grids at low bits.  Extension beyond the paper
+/// (DESIGN.md §6); the per-channel vs per-tensor gap is unit-tested.
+class PerChannelWeightHook : public WeightQuantHook {
+ public:
+  Tensor quantize(const Tensor& w) override;
+  Tensor backward(const Tensor& w, Tensor grad_q) override;
+  std::string policy_name() const override { return "PerChannel"; }
+
+  const std::vector<float>& last_clips() const { return last_clips_; }
+
+ private:
+  std::vector<float> last_clips_;
+};
+
+/// Symmetric clip at a fixed value; clip = max|w| when `auto_clip`, else
+/// whatever a static calibrator (ACIQ / KL) installed via `set_clip`.
+class MinMaxWeightHook : public WeightQuantHook {
+ public:
+  explicit MinMaxWeightHook(bool auto_clip = true) : auto_clip_(auto_clip) {}
+  Tensor quantize(const Tensor& w) override;
+  Tensor backward(const Tensor& w, Tensor grad_q) override;
+  std::string policy_name() const override { return "MinMax"; }
+
+  void set_clip(float clip) {
+    CCQ_CHECK(clip > 0.0f, "clip must be positive");
+    clip_ = clip;
+    auto_clip_ = false;
+  }
+  float clip() const { return clip_; }
+
+ private:
+  bool auto_clip_;
+  float clip_ = 1.0f;
+};
+
+}  // namespace ccq::quant

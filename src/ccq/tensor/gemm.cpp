@@ -1,0 +1,102 @@
+#include "ccq/tensor/gemm.hpp"
+
+#include <algorithm>
+
+namespace ccq {
+
+namespace {
+
+// Block sizes chosen so an (MC×KC) A-panel plus a (KC×NC) B-panel fit in
+// L2 on typical x86 cores.
+constexpr std::size_t kMc = 64;
+constexpr std::size_t kKc = 128;
+constexpr std::size_t kNc = 256;
+
+}  // namespace
+
+void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
+          const float* a, std::size_t lda, const float* b, std::size_t ldb,
+          float beta, float* c, std::size_t ldc) {
+  // Scale C by beta first so the accumulation loop is pure FMA.
+  if (beta == 0.0f) {
+    for (std::size_t i = 0; i < m; ++i) {
+      std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+  } else if (beta != 1.0f) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+    }
+  }
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t nc = std::min(kNc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      for (std::size_t ic = 0; ic < m; ic += kMc) {
+        const std::size_t mc = std::min(kMc, m - ic);
+        for (std::size_t i = 0; i < mc; ++i) {
+          const float* arow = a + (ic + i) * lda + pc;
+          float* crow = c + (ic + i) * ldc + jc;
+          for (std::size_t p = 0; p < kc; ++p) {
+            const float av = alpha * arow[p];
+            if (av == 0.0f) continue;
+            const float* brow = b + (pc + p) * ldb + jc;
+            for (std::size_t j = 0; j < nc; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  CCQ_CHECK(a.rank() == 2 && b.rank() == 2, "matmul needs rank-2 tensors");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  CCQ_CHECK(b.dim(0) == k, "matmul inner dimensions differ");
+  Tensor c({m, n});
+  gemm(m, n, k, 1.0f, a.data().data(), k, b.data().data(), n, 0.0f,
+       c.data().data(), n);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  CCQ_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_tn needs rank-2 tensors");
+  CCQ_CHECK(b.dim(0) == a.dim(0), "matmul_tn inner dimensions differ");
+  // Explicit transpose then plain GEMM keeps the inner loops contiguous;
+  // the transpose cost is negligible next to the multiply.
+  return matmul(transpose2d(a), b);
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  CCQ_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_nt needs rank-2 tensors");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  CCQ_CHECK(b.dim(1) == k, "matmul_nt inner dimensions differ");
+  Tensor c({m, n});
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  float* cp = c.data().data();
+  // Dot-product formulation: rows of both A and B are contiguous.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* arow = ap + i * k;
+      const float* brow = bp + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      cp[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  CCQ_CHECK(a.rank() == 2, "transpose2d needs a rank-2 tensor");
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  const float* ap = a.data().data();
+  float* tp = t.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) tp[j * m + i] = ap[i * n + j];
+  }
+  return t;
+}
+
+}  // namespace ccq

@@ -1,0 +1,33 @@
+// Blocked single-precision GEMM.
+//
+// All convolutions in the NN substrate lower to matrix multiply via
+// im2col, so this kernel dominates experiment runtime.  It is a simple
+// cache-blocked triple loop (no intrinsics) tuned for the single-core CPU
+// this repo targets; the microbench `bench_kernels` guards regressions.
+#pragma once
+
+#include <cstddef>
+
+#include "ccq/tensor/tensor.hpp"
+
+namespace ccq {
+
+/// C[m,n] = alpha * sum_k A[m,k] * B[k,n] + beta * C[m,n]
+/// Raw-pointer core; row-major with leading dimensions lda/ldb/ldc.
+void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
+          const float* a, std::size_t lda, const float* b, std::size_t ldb,
+          float beta, float* c, std::size_t ldc);
+
+/// C = A(m×k) · B(k×n) for rank-2 tensors. Shapes are validated.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = Aᵀ(m×k) · B(k×n) where A is stored k-major as (k×m).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C = A(m×k) · Bᵀ(k×n) where B is stored n-major as (n×k).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Rank-2 transpose.
+Tensor transpose2d(const Tensor& a);
+
+}  // namespace ccq

@@ -1,0 +1,44 @@
+// im2col / col2im lowering for convolution.
+//
+// Convolution forward becomes: columns = im2col(x); y = W_mat · columns.
+// Backward w.r.t. the input inverts the lowering with col2im (scatter-add).
+#pragma once
+
+#include <cstddef>
+
+#include "ccq/tensor/tensor.hpp"
+
+namespace ccq {
+
+/// Static geometry of a 2-D convolution (square kernel/stride/pad).
+struct ConvGeometry {
+  std::size_t in_channels = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+  std::size_t kernel = 1;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  std::size_t out_h() const {
+    CCQ_CHECK(in_h + 2 * pad >= kernel, "conv kernel larger than padded input");
+    return (in_h + 2 * pad - kernel) / stride + 1;
+  }
+  std::size_t out_w() const {
+    CCQ_CHECK(in_w + 2 * pad >= kernel, "conv kernel larger than padded input");
+    return (in_w + 2 * pad - kernel) / stride + 1;
+  }
+  /// Rows of the lowered column matrix: C·k·k.
+  std::size_t patch_size() const { return in_channels * kernel * kernel; }
+  /// Columns of the lowered matrix: out_h·out_w.
+  std::size_t out_spatial() const { return out_h() * out_w(); }
+};
+
+/// Lower one image (C,H,W flattened in `image`) to a (patch_size ×
+/// out_spatial) column matrix written to `columns`.
+void im2col(const float* image, const ConvGeometry& g, float* columns);
+
+/// Scatter-add a column matrix back to image gradient layout.  `image`
+/// must be pre-zeroed by the caller (we accumulate).
+void col2im(const float* columns, const ConvGeometry& g, float* image);
+
+}  // namespace ccq

@@ -1,0 +1,89 @@
+#include "ccq/tensor/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace ccq {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'C', 'Q', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  CCQ_CHECK(static_cast<bool>(is), "truncated tensor stream");
+  return v;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint32_t>(t.rank()));
+  for (std::size_t d : t.shape()) write_pod(os, static_cast<std::uint64_t>(d));
+  const auto data = t.data();
+  os.write(reinterpret_cast<const char*>(data.data()),
+           static_cast<std::streamsize>(data.size() * sizeof(float)));
+  CCQ_CHECK(static_cast<bool>(os), "tensor write failed");
+}
+
+Tensor read_tensor(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  CCQ_CHECK(static_cast<bool>(is) && std::equal(magic, magic + 4, kMagic),
+            "bad tensor magic");
+  const auto version = read_pod<std::uint32_t>(is);
+  CCQ_CHECK(version == kVersion, "unsupported tensor format version");
+  const auto rank = read_pod<std::uint32_t>(is);
+  CCQ_CHECK(rank <= 8, "implausible tensor rank");
+  Shape shape(rank);
+  for (auto& d : shape) {
+    d = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+  }
+  Tensor t(shape);
+  auto data = t.data();
+  is.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  CCQ_CHECK(static_cast<bool>(is), "truncated tensor data");
+  return t;
+}
+
+void save_tensors(const std::string& path, const TensorMap& tensors) {
+  std::ofstream os(path, std::ios::binary);
+  CCQ_CHECK(static_cast<bool>(os), "cannot open for write: " + path);
+  write_pod(os, static_cast<std::uint64_t>(tensors.size()));
+  for (const auto& [name, tensor] : tensors) {
+    write_pod(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_tensor(os, tensor);
+  }
+  CCQ_CHECK(static_cast<bool>(os), "checkpoint write failed: " + path);
+}
+
+TensorMap load_tensors(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CCQ_CHECK(static_cast<bool>(is), "cannot open for read: " + path);
+  const auto count = read_pod<std::uint64_t>(is);
+  TensorMap out;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    CCQ_CHECK(static_cast<bool>(is), "truncated checkpoint name");
+    out.emplace(std::move(name), read_tensor(is));
+  }
+  return out;
+}
+
+}  // namespace ccq

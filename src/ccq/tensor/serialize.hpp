@@ -1,0 +1,29 @@
+// Binary tensor (de)serialisation for checkpoints.
+//
+// Format (little-endian): magic "CCQT", u32 version, u32 rank,
+// u64 dims[rank], f32 data[numel].  A checkpoint file is a sequence of
+// (u32 name_len, name bytes, tensor) records.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "ccq/tensor/tensor.hpp"
+
+namespace ccq {
+
+/// Write a single tensor record to a stream.
+void write_tensor(std::ostream& os, const Tensor& t);
+
+/// Read a single tensor record; throws ccq::Error on malformed input.
+Tensor read_tensor(std::istream& is);
+
+/// Named tensor collection (e.g. all parameters of a model).
+using TensorMap = std::map<std::string, Tensor>;
+
+/// Save / load a named collection to a file path.
+void save_tensors(const std::string& path, const TensorMap& tensors);
+TensorMap load_tensors(const std::string& path);
+
+}  // namespace ccq

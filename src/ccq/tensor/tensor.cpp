@@ -1,0 +1,253 @@
+#include "ccq/tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+namespace ccq {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  CCQ_CHECK(data_.size() == shape_numel(shape_),
+            "value count does not match shape " + shape_str(shape_));
+}
+
+Tensor Tensor::from(std::initializer_list<float> values) {
+  return Tensor({values.size()}, std::vector<float>(values));
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t d) const {
+  CCQ_CHECK(d < shape_.size(), "dim index out of range");
+  return shape_[d];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(new_shape));
+  return t;
+}
+
+void Tensor::reshape(Shape new_shape) {
+  CCQ_CHECK(shape_numel(new_shape) == data_.size(),
+            "reshape must preserve element count: " + shape_str(shape_) +
+                " -> " + shape_str(new_shape));
+  shape_ = std::move(new_shape);
+}
+
+float& Tensor::at(std::size_t flat_index) {
+  CCQ_CHECK(flat_index < data_.size(), "flat index out of range");
+  return data_[flat_index];
+}
+
+float Tensor::at(std::size_t flat_index) const {
+  CCQ_CHECK(flat_index < data_.size(), "flat index out of range");
+  return data_[flat_index];
+}
+
+void Tensor::check_rank(std::size_t want) const {
+  CCQ_CHECK(shape_.size() == want,
+            "rank mismatch: have " + shape_str(shape_));
+}
+
+std::size_t Tensor::flat2(std::size_t i, std::size_t j) const {
+  CCQ_CHECK(i < shape_[0] && j < shape_[1], "index out of range");
+  return i * shape_[1] + j;
+}
+
+std::size_t Tensor::flat3(std::size_t i, std::size_t j, std::size_t k) const {
+  CCQ_CHECK(i < shape_[0] && j < shape_[1] && k < shape_[2],
+            "index out of range");
+  return (i * shape_[1] + j) * shape_[2] + k;
+}
+
+std::size_t Tensor::flat4(std::size_t i, std::size_t j, std::size_t k,
+                          std::size_t l) const {
+  CCQ_CHECK(i < shape_[0] && j < shape_[1] && k < shape_[2] && l < shape_[3],
+            "index out of range");
+  return ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l;
+}
+
+float& Tensor::operator()(std::size_t i) {
+  check_rank(1);
+  CCQ_CHECK(i < shape_[0], "index out of range");
+  return data_[i];
+}
+float& Tensor::operator()(std::size_t i, std::size_t j) {
+  check_rank(2);
+  return data_[flat2(i, j)];
+}
+float& Tensor::operator()(std::size_t i, std::size_t j, std::size_t k) {
+  check_rank(3);
+  return data_[flat3(i, j, k)];
+}
+float& Tensor::operator()(std::size_t i, std::size_t j, std::size_t k,
+                          std::size_t l) {
+  check_rank(4);
+  return data_[flat4(i, j, k, l)];
+}
+float Tensor::operator()(std::size_t i) const {
+  check_rank(1);
+  CCQ_CHECK(i < shape_[0], "index out of range");
+  return data_[i];
+}
+float Tensor::operator()(std::size_t i, std::size_t j) const {
+  check_rank(2);
+  return data_[flat2(i, j)];
+}
+float Tensor::operator()(std::size_t i, std::size_t j, std::size_t k) const {
+  check_rank(3);
+  return data_[flat3(i, j, k)];
+}
+float Tensor::operator()(std::size_t i, std::size_t j, std::size_t k,
+                         std::size_t l) const {
+  check_rank(4);
+  return data_[flat4(i, j, k, l)];
+}
+
+Tensor& Tensor::operator+=(const Tensor& rhs) {
+  CCQ_CHECK(same_shape(*this, rhs), "shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& rhs) {
+  CCQ_CHECK(same_shape(*this, rhs), "shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& rhs) {
+  CCQ_CHECK(same_shape(*this, rhs), "shape mismatch in *=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator+=(float rhs) {
+  for (auto& v : data_) v += rhs;
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float rhs) {
+  for (auto& v : data_) v *= rhs;
+  return *this;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+float Tensor::sum() const {
+  double acc = 0.0;  // accumulate in double for stability
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  CCQ_CHECK(!data_.empty(), "mean of empty tensor");
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  CCQ_CHECK(!data_.empty(), "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  CCQ_CHECK(!data_.empty(), "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::size_t Tensor::argmax() const {
+  CCQ_CHECK(!data_.empty(), "argmax of empty tensor");
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+float Tensor::sqnorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::abs_mean() const {
+  CCQ_CHECK(!data_.empty(), "abs_mean of empty tensor");
+  double acc = 0.0;
+  for (float v : data_) acc += std::fabs(v);
+  return static_cast<float>(acc / static_cast<double>(data_.size()));
+}
+
+bool Tensor::has_nonfinite() const {
+  return std::any_of(data_.begin(), data_.end(),
+                     [](float v) { return !std::isfinite(v); });
+}
+
+Tensor operator+(Tensor lhs, const Tensor& rhs) { return lhs += rhs; }
+Tensor operator-(Tensor lhs, const Tensor& rhs) { return lhs -= rhs; }
+Tensor operator*(Tensor lhs, const Tensor& rhs) { return lhs *= rhs; }
+Tensor operator*(Tensor lhs, float rhs) { return lhs *= rhs; }
+Tensor operator*(float lhs, Tensor rhs) { return rhs *= lhs; }
+
+bool same_shape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  CCQ_CHECK(same_shape(a, b), "max_abs_diff shape mismatch");
+  float worst = 0.0f;
+  auto da = a.data();
+  auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    worst = std::max(worst, std::fabs(da[i] - db[i]));
+  }
+  return worst;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t) {
+  os << "Tensor" << shape_str(t.shape()) << " {";
+  const auto d = t.data();
+  const std::size_t show = std::min<std::size_t>(d.size(), 8);
+  for (std::size_t i = 0; i < show; ++i) {
+    if (i != 0) os << ", ";
+    os << d[i];
+  }
+  if (d.size() > show) os << ", …";
+  return os << '}';
+}
+
+}  // namespace ccq

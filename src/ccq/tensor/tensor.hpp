@@ -1,0 +1,147 @@
+// Dense row-major float tensor.
+//
+// This is the numerical substrate for the whole reproduction: layers,
+// quantizers and the CCQ controller all operate on `Tensor`.  Design
+// choices, in order of importance for this repo:
+//   * value semantics and contiguous storage — easy to reason about,
+//     trivially serialisable, cache friendly for the GEMM-backed conv;
+//   * float32 element type only — the paper quantizes *simulated* low
+//     precision values stored in float (quantization-aware training with
+//     a straight-through estimator), so a single element type suffices;
+//   * explicit shape checks that throw `ccq::Error` — silent broadcasting
+//     bugs are the classic failure mode of hand-rolled NN code.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ccq/common/error.hpp"
+#include "ccq/common/rng.hpp"
+
+namespace ccq {
+
+/// Shape of a tensor: dimension sizes, outermost first.
+using Shape = std::vector<std::size_t>;
+
+/// Number of elements a shape describes (product of dims; 1 for scalars).
+std::size_t shape_numel(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]" rendering.
+std::string shape_str(const Shape& shape);
+
+/// Dense row-major float tensor with value semantics.
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, zero elements).
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape with every element set to `fill`.
+  Tensor(Shape shape, float fill);
+
+  /// Tensor wrapping a copy of the provided values. Sizes must match.
+  Tensor(Shape shape, std::vector<float> values);
+
+  // ---- factories -------------------------------------------------------
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  /// 1-D tensor from an initializer list.
+  static Tensor from(std::initializer_list<float> values);
+  /// i.i.d. N(0, stddev^2) entries.
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0f);
+  /// i.i.d. U[lo, hi) entries.
+  static Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi);
+
+  // ---- structure -------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  /// Size of dimension `d` (bounds-checked).
+  std::size_t dim(std::size_t d) const;
+
+  /// Same data, new shape; element counts must match.
+  Tensor reshaped(Shape new_shape) const;
+  /// In-place reshape; element counts must match.
+  void reshape(Shape new_shape);
+
+  // ---- element access ---------------------------------------------------
+  std::span<float> data() { return {data_.data(), data_.size()}; }
+  std::span<const float> data() const { return {data_.data(), data_.size()}; }
+  float& at(std::size_t flat_index);
+  float at(std::size_t flat_index) const;
+
+  /// Indexed access for common ranks (bounds-checked).
+  float& operator()(std::size_t i);
+  float& operator()(std::size_t i, std::size_t j);
+  float& operator()(std::size_t i, std::size_t j, std::size_t k);
+  float& operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t l);
+  float operator()(std::size_t i) const;
+  float operator()(std::size_t i, std::size_t j) const;
+  float operator()(std::size_t i, std::size_t j, std::size_t k) const;
+  float operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const;
+
+  // ---- in-place arithmetic ----------------------------------------------
+  Tensor& operator+=(const Tensor& rhs);
+  Tensor& operator-=(const Tensor& rhs);
+  Tensor& operator*=(const Tensor& rhs);  ///< elementwise
+  Tensor& operator+=(float rhs);
+  Tensor& operator*=(float rhs);
+
+  /// Set every element to `v`.
+  void fill(float v);
+  /// y[i] = f(x[i]) applied in place.
+  template <typename F>
+  void apply(F&& f) {
+    for (auto& v : data_) v = f(v);
+  }
+
+  // ---- reductions --------------------------------------------------------
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  /// Index of the maximum element (first on ties). Requires numel > 0.
+  std::size_t argmax() const;
+  /// Square of the L2 norm.
+  float sqnorm() const;
+  /// Mean of |x|.
+  float abs_mean() const;
+
+  /// True if any element is NaN or infinite.
+  bool has_nonfinite() const;
+
+ private:
+  void check_rank(std::size_t want) const;
+  std::size_t flat2(std::size_t i, std::size_t j) const;
+  std::size_t flat3(std::size_t i, std::size_t j, std::size_t k) const;
+  std::size_t flat4(std::size_t i, std::size_t j, std::size_t k,
+                    std::size_t l) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// ---- out-of-place arithmetic ---------------------------------------------
+Tensor operator+(Tensor lhs, const Tensor& rhs);
+Tensor operator-(Tensor lhs, const Tensor& rhs);
+Tensor operator*(Tensor lhs, const Tensor& rhs);  ///< elementwise
+Tensor operator*(Tensor lhs, float rhs);
+Tensor operator*(float lhs, Tensor rhs);
+
+/// Exact shape equality.
+bool same_shape(const Tensor& a, const Tensor& b);
+
+/// max |a[i] - b[i]|; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+}  // namespace ccq

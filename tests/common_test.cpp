@@ -1,0 +1,209 @@
+// Unit tests for ccq::common — RNG, table printer, env helpers, errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "ccq/common/env.hpp"
+#include "ccq/common/error.hpp"
+#include "ccq/common/rng.hpp"
+#include "ccq/common/table.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentred) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntCoversRangeWithoutBias) {
+  Rng rng(13);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(5)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+  }
+}
+
+TEST(RngTest, UniformIntRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(0), Error);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalScalesByMeanStddev) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.03);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(23);
+  std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, CategoricalRejectsDegenerateInput) {
+  Rng rng(1);
+  EXPECT_THROW(rng.categorical({}), Error);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), Error);
+  EXPECT_THROW(rng.categorical({1.0, -1.0}), Error);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.split();
+  // The child stream should not replay the parent's next outputs.
+  EXPECT_NE(child.next_u64(), a.next_u64());
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthIsValidated) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TableTest, CsvQuotesSpecialCharacters) {
+  Table t({"name"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, FmtRendersFixedPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(10.0, 1), "10.0");
+}
+
+TEST(TableTest, SaveCsvWritesFile) {
+  Table t({"x"});
+  t.add_row({"1"});
+  const std::string path = "/tmp/ccq_table_test.csv";
+  ASSERT_TRUE(t.save_csv(path));
+  std::remove(path.c_str());
+}
+
+TEST(EnvTest, IntFallsBackWhenUnset) {
+  unsetenv("CCQ_TEST_UNSET_VAR");
+  EXPECT_EQ(env_int("CCQ_TEST_UNSET_VAR", 5), 5);
+}
+
+TEST(EnvTest, IntParsesValue) {
+  setenv("CCQ_TEST_INT_VAR", "42", 1);
+  EXPECT_EQ(env_int("CCQ_TEST_INT_VAR", 5), 42);
+  setenv("CCQ_TEST_INT_VAR", "not-a-number", 1);
+  EXPECT_EQ(env_int("CCQ_TEST_INT_VAR", 5), 5);
+  unsetenv("CCQ_TEST_INT_VAR");
+}
+
+TEST(EnvTest, StrFallsBackWhenUnset) {
+  unsetenv("CCQ_TEST_STR_VAR");
+  EXPECT_EQ(env_str("CCQ_TEST_STR_VAR", "fb"), "fb");
+  setenv("CCQ_TEST_STR_VAR", "hello", 1);
+  EXPECT_EQ(env_str("CCQ_TEST_STR_VAR", "fb"), "hello");
+  unsetenv("CCQ_TEST_STR_VAR");
+}
+
+TEST(ErrorTest, CheckThrowsWithContext) {
+  try {
+    CCQ_CHECK(1 == 2, "my message");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("my message"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckPassesSilently) {
+  EXPECT_NO_THROW(CCQ_CHECK(true));
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,154 @@
+// Failure-injection tests: how the stack behaves on degenerate inputs,
+// pathological states and boundary topologies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "ccq/core/ccq.hpp"
+#include "ccq/data/synthetic.hpp"
+#include "ccq/models/simple.hpp"
+#include "ccq/nn/loss.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(FailureInjectionTest, HedgeRejectsNanProbeLoss) {
+  core::HedgeCompetition hedge(3, 1.0);
+  EXPECT_THROW(hedge.update(0, std::numeric_limits<double>::quiet_NaN()),
+               Error);
+  EXPECT_THROW(hedge.update(0, std::numeric_limits<double>::infinity()),
+               Error);
+}
+
+TEST(FailureInjectionTest, LossRejectsEmptyBatch) {
+  nn::SoftmaxCrossEntropy loss;
+  Tensor empty({0, 4});
+  EXPECT_THROW(loss.forward(empty, {}), Error);
+}
+
+TEST(FailureInjectionTest, SingleClassDatasetTrainsWithoutCrashing) {
+  data::Dataset ds(3, 8, 8, 1);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    ds.add(Tensor::rand_uniform({3, 8, 8}, rng, 0.0f, 1.0f), 0);
+  }
+  data::Dataset val = ds.take_tail(5);
+  models::ModelConfig mc;
+  mc.num_classes = 1;
+  mc.image_size = 8;
+  mc.width_multiplier = 0.25f;
+  quant::QuantFactory factory{.policy = quant::Policy::kPact};
+  auto model = models::make_mlp(mc, factory, quant::BitLadder({8, 2}), 8);
+  core::TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 8;
+  const auto stats = core::train(model, ds, val, cfg);
+  EXPECT_EQ(stats.size(), 1u);
+  EXPECT_FLOAT_EQ(stats[0].val_accuracy, 1.0f);  // only one class to get
+}
+
+TEST(FailureInjectionTest, TinyImagesSurviveTheConvStack) {
+  // 4×4 inputs through SimpleCNN's three stride-2 stages bottom out at
+  // 1×1 — the geometry code must not underflow.
+  models::ModelConfig mc;
+  mc.num_classes = 3;
+  mc.image_size = 4;
+  mc.width_multiplier = 0.25f;
+  quant::QuantFactory factory{.policy = quant::Policy::kPact};
+  auto model =
+      models::make_simple_cnn(mc, factory, quant::BitLadder({8, 2}));
+  Rng rng(2);
+  Tensor x = Tensor::rand_uniform({2, 3, 4, 4}, rng, 0.0f, 1.0f);
+  EXPECT_EQ(model.forward(x).shape(), (Shape{2, 3}));
+}
+
+TEST(FailureInjectionTest, CcqWithZeroMaxStepsDoesNothing) {
+  data::SyntheticConfig dc;
+  dc.num_classes = 3;
+  dc.samples_per_class = 12;
+  dc.height = dc.width = 8;
+  data::Dataset train = data::make_synthetic_vision(dc);
+  data::Dataset val = train.take_tail(9);
+  models::ModelConfig mc;
+  mc.num_classes = 3;
+  mc.image_size = 8;
+  quant::QuantFactory factory{.policy = quant::Policy::kPact};
+  auto model = models::make_mlp(mc, factory, quant::BitLadder({8, 2}), 8);
+  core::CcqConfig config;
+  config.max_steps = 0;
+  config.initial_recovery_epochs = 1;
+  config.probe_samples = 9;
+  config.finetune.batch_size = 8;
+  const auto r = core::run_ccq(model, train, val, config);
+  EXPECT_TRUE(r.steps.empty());
+  // Everything still snapped to N(0).
+  for (int bits : r.final_bits) EXPECT_EQ(bits, 8);
+}
+
+TEST(FailureInjectionTest, AllLayersFrozenMakesCcqANoop) {
+  data::SyntheticConfig dc;
+  dc.num_classes = 3;
+  dc.samples_per_class = 12;
+  dc.height = dc.width = 8;
+  data::Dataset train = data::make_synthetic_vision(dc);
+  data::Dataset val = train.take_tail(9);
+  models::ModelConfig mc;
+  mc.num_classes = 3;
+  mc.image_size = 8;
+  quant::QuantFactory factory{.policy = quant::Policy::kPact};
+  auto model = models::make_mlp(mc, factory, quant::BitLadder({8, 2}), 8);
+  for (std::size_t i = 0; i < model.registry().size(); ++i) {
+    model.registry().force_bits(i, 8);
+  }
+  core::CcqConfig config;
+  config.initial_recovery_epochs = 1;
+  config.probe_samples = 9;
+  config.finetune.batch_size = 8;
+  const auto r = core::run_ccq(model, train, val, config);
+  EXPECT_TRUE(r.steps.empty());
+}
+
+TEST(FailureInjectionTest, ExplodedWeightsStillQuantizeFinite) {
+  // Quantizers must stay finite even on absurd weight magnitudes.
+  Rng rng(3);
+  Tensor w = Tensor::randn({128}, rng, 1e6f);
+  for (quant::Policy policy :
+       {quant::Policy::kDoReFa, quant::Policy::kWrpn, quant::Policy::kPact,
+        quant::Policy::kPactSawb, quant::Policy::kLqNets, quant::Policy::kLsq,
+        quant::Policy::kMinMax}) {
+    quant::QuantFactory factory{.policy = policy};
+    auto hook = factory.make_weight_hook("t");
+    hook->set_bits(2);
+    const Tensor q = hook->quantize(w);
+    EXPECT_FALSE(q.has_nonfinite()) << quant::policy_str(policy);
+  }
+}
+
+TEST(FailureInjectionTest, DenormalWeightsQuantizeFinite) {
+  Tensor w({64}, 1e-38f);
+  for (quant::Policy policy :
+       {quant::Policy::kPactSawb, quant::Policy::kLqNets,
+        quant::Policy::kMinMax}) {
+    quant::QuantFactory factory{.policy = policy};
+    auto hook = factory.make_weight_hook("t");
+    hook->set_bits(3);
+    const Tensor q = hook->quantize(w);
+    EXPECT_FALSE(q.has_nonfinite()) << quant::policy_str(policy);
+  }
+}
+
+TEST(FailureInjectionTest, EvaluateOnMismatchedModelThrows) {
+  data::Dataset ds(3, 8, 8, 2);
+  Rng rng(4);
+  ds.add(Tensor::rand_uniform({3, 8, 8}, rng, 0.0f, 1.0f), 0);
+  models::ModelConfig mc;
+  mc.num_classes = 2;
+  mc.image_size = 16;  // expects 16×16 input features
+  quant::QuantFactory factory{.policy = quant::Policy::kPact};
+  auto model = models::make_mlp(mc, factory, quant::BitLadder({8, 2}), 8);
+  EXPECT_THROW(core::evaluate(model, ds), Error);
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,163 @@
+// Tests for the GEMM kernel and the im2col/col2im lowering.
+#include <gtest/gtest.h>
+
+#include "ccq/tensor/gemm.hpp"
+#include "ccq/tensor/im2col.hpp"
+
+namespace ccq {
+namespace {
+
+/// Reference O(n³) matmul for cross-checking the blocked kernel.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a(i, p) * b(p, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(GemmTest, MatchesNaiveSmall) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(GemmTest, MatchesNaiveOnOddSizes) {
+  Rng rng(1);
+  // Sizes straddle the blocking boundaries (64/128/256).
+  for (auto [m, k, n] : {std::tuple<int, int, int>{65, 130, 257},
+                         {1, 1, 1},
+                         {7, 300, 3},
+                         {128, 64, 256}}) {
+    Tensor a = Tensor::randn({static_cast<std::size_t>(m),
+                              static_cast<std::size_t>(k)},
+                             rng);
+    Tensor b = Tensor::randn({static_cast<std::size_t>(k),
+                              static_cast<std::size_t>(n)},
+                             rng);
+    EXPECT_LT(max_abs_diff(matmul(a, b), naive_matmul(a, b)), 1e-3f)
+        << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(GemmTest, BetaAccumulates) {
+  Tensor a({1, 2}, std::vector<float>{1, 1});
+  Tensor b({2, 1}, std::vector<float>{1, 1});
+  Tensor c({1, 1}, std::vector<float>{10});
+  gemm(1, 1, 2, 1.0f, a.data().data(), 2, b.data().data(), 1, 1.0f,
+       c.data().data(), 1);
+  EXPECT_FLOAT_EQ(c(0, 0), 12.0f);
+}
+
+TEST(GemmTest, AlphaScales) {
+  Tensor a({1, 1}, std::vector<float>{3});
+  Tensor b({1, 1}, std::vector<float>{4});
+  Tensor c({1, 1});
+  gemm(1, 1, 1, 0.5f, a.data().data(), 1, b.data().data(), 1, 0.0f,
+       c.data().data(), 1);
+  EXPECT_FLOAT_EQ(c(0, 0), 6.0f);
+}
+
+TEST(GemmTest, ShapeValidation) {
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  EXPECT_THROW(matmul(a, b), Error);
+  Tensor c({2, 3, 1});
+  EXPECT_THROW(matmul(c, a), Error);
+}
+
+TEST(GemmTest, TransposedVariantsAgree) {
+  Rng rng(2);
+  Tensor a = Tensor::randn({5, 7}, rng);
+  Tensor b = Tensor::randn({5, 6}, rng);
+  // matmul_tn(a, b) == aᵀ·b
+  Tensor expected = naive_matmul(transpose2d(a), b);
+  EXPECT_LT(max_abs_diff(matmul_tn(a, b), expected), 1e-4f);
+
+  Tensor d = Tensor::randn({6, 7}, rng);
+  // matmul_nt(aᵀ·shape..., d) == x·dᵀ with x (5×7), d (6×7)
+  Tensor x = Tensor::randn({5, 7}, rng);
+  Tensor expected2 = naive_matmul(x, transpose2d(d));
+  EXPECT_LT(max_abs_diff(matmul_nt(x, d), expected2), 1e-4f);
+}
+
+TEST(GemmTest, TransposeRoundTrip) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({4, 9}, rng);
+  EXPECT_EQ(max_abs_diff(transpose2d(transpose2d(a)), a), 0.0f);
+}
+
+TEST(ConvGeometryTest, OutputDims) {
+  ConvGeometry g{.in_channels = 3, .in_h = 32, .in_w = 32, .kernel = 3,
+                 .stride = 1, .pad = 1};
+  EXPECT_EQ(g.out_h(), 32u);
+  EXPECT_EQ(g.out_w(), 32u);
+  g.stride = 2;
+  EXPECT_EQ(g.out_h(), 16u);
+  EXPECT_EQ(g.patch_size(), 27u);
+}
+
+TEST(ConvGeometryTest, KernelLargerThanInputThrows) {
+  ConvGeometry g{.in_channels = 1, .in_h = 2, .in_w = 2, .kernel = 5,
+                 .stride = 1, .pad = 0};
+  EXPECT_THROW(g.out_h(), Error);
+}
+
+TEST(Im2ColTest, IdentityKernelCopiesImage) {
+  // 1×1 kernel, stride 1, no pad: columns == image.
+  ConvGeometry g{.in_channels = 2, .in_h = 3, .in_w = 3, .kernel = 1,
+                 .stride = 1, .pad = 0};
+  std::vector<float> image(18);
+  for (std::size_t i = 0; i < image.size(); ++i) image[i] = static_cast<float>(i);
+  std::vector<float> cols(g.patch_size() * g.out_spatial());
+  im2col(image.data(), g, cols.data());
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    EXPECT_EQ(cols[i], image[i]);
+  }
+}
+
+TEST(Im2ColTest, PaddingProducesZeros) {
+  ConvGeometry g{.in_channels = 1, .in_h = 2, .in_w = 2, .kernel = 3,
+                 .stride = 1, .pad = 1};
+  std::vector<float> image{1, 2, 3, 4};
+  std::vector<float> cols(g.patch_size() * g.out_spatial());
+  im2col(image.data(), g, cols.data());
+  // Kernel position (0,0) at output (0,0) reads the padded corner.
+  EXPECT_EQ(cols[0], 0.0f);
+  // Centre kernel position (1,1) at output (0,0) reads pixel (0,0).
+  const std::size_t centre_row = 1 * 3 + 1;
+  EXPECT_EQ(cols[centre_row * g.out_spatial() + 0], 1.0f);
+}
+
+TEST(Im2ColTest, Col2ImIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint identity,
+  // which is exactly what conv backward relies on.
+  Rng rng(4);
+  ConvGeometry g{.in_channels = 3, .in_h = 6, .in_w = 5, .kernel = 3,
+                 .stride = 2, .pad = 1};
+  const std::size_t img_n = g.in_channels * g.in_h * g.in_w;
+  const std::size_t col_n = g.patch_size() * g.out_spatial();
+  Tensor x = Tensor::randn({img_n}, rng);
+  Tensor y = Tensor::randn({col_n}, rng);
+  std::vector<float> cols(col_n);
+  im2col(x.data().data(), g, cols.data());
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < col_n; ++i) lhs += cols[i] * y(i);
+  std::vector<float> back(img_n, 0.0f);
+  col2im(y.data().data(), g, back.data());
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < img_n; ++i) rhs += x(i) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+}  // namespace
+}  // namespace ccq

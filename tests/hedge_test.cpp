@@ -1,0 +1,171 @@
+// Tests for the exponential-weights competition (paper Eq. 6/7).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccq/core/hedge.hpp"
+#include "ccq/common/error.hpp"
+
+namespace ccq::core {
+namespace {
+
+std::vector<bool> all_awake(std::size_t n) { return std::vector<bool>(n, true); }
+
+TEST(HedgeTest, StartsUniform) {
+  HedgeCompetition h(4, 1.0);
+  const auto p = h.probabilities(all_awake(4));
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(HedgeTest, ProbabilitiesFormSimplex) {
+  HedgeCompetition h(5, 2.0);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    h.update(rng.uniform_int(5), rng.uniform(0.0, 3.0));
+  }
+  const auto p = h.probabilities(all_awake(5));
+  double total = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HedgeTest, HigherLossLowersProbability) {
+  HedgeCompetition h(2, 1.0);
+  h.update(0, 2.0);  // layer 0 hurts accuracy more
+  h.update(1, 0.5);
+  const auto p = h.probabilities(all_awake(2));
+  EXPECT_LT(p[0], p[1]);
+  // Exact Hedge ratio: exp(−2)/exp(−0.5).
+  EXPECT_NEAR(p[0] / p[1], std::exp(-2.0) / std::exp(-0.5), 1e-9);
+}
+
+TEST(HedgeTest, GammaSharpensTheDistribution) {
+  HedgeCompetition soft(2, 0.5);
+  HedgeCompetition sharp(2, 5.0);
+  for (auto* h : {&soft, &sharp}) {
+    h->update(0, 1.0);
+    h->update(1, 0.2);
+  }
+  const auto ps = soft.probabilities(all_awake(2));
+  const auto ph = sharp.probabilities(all_awake(2));
+  EXPECT_GT(ph[1], ps[1]);  // sharper → more mass on the better layer
+}
+
+TEST(HedgeTest, SleepingExpertsGetZeroProbability) {
+  HedgeCompetition h(3, 1.0);
+  std::vector<bool> awake{true, false, true};
+  const auto p = h.probabilities(awake);
+  EXPECT_EQ(p[1], 0.0);
+  EXPECT_NEAR(p[0] + p[2], 1.0, 1e-12);
+}
+
+TEST(HedgeTest, AllSleepingThrows) {
+  HedgeCompetition h(2, 1.0);
+  EXPECT_THROW(h.probabilities({false, false}), Error);
+}
+
+TEST(HedgeTest, SleepingWeightIsPreserved) {
+  // A layer that sleeps keeps its weight; when the mask changes it
+  // re-enters with its historical record intact.
+  HedgeCompetition h(2, 1.0);
+  h.update(0, 3.0);
+  const auto p_masked = h.probabilities({false, true});
+  EXPECT_EQ(p_masked[0], 0.0);
+  const auto p_full = h.probabilities(all_awake(2));
+  EXPECT_LT(p_full[0], p_full[1]);
+}
+
+TEST(HedgeTest, UnderflowGuardKeepsDistributionValid) {
+  HedgeCompetition h(2, 50.0);
+  for (int i = 0; i < 200; ++i) {
+    h.update(0, 10.0);
+    h.update(1, 9.0);
+  }
+  const auto p = h.probabilities(all_awake(2));
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(HedgeTest, RejectsInvalidInput) {
+  EXPECT_THROW(HedgeCompetition(0, 1.0), Error);
+  EXPECT_THROW(HedgeCompetition(2, 0.0), Error);
+  HedgeCompetition h(2, 1.0);
+  EXPECT_THROW(h.update(5, 1.0), Error);
+  EXPECT_THROW(h.update(0, std::nan("")), Error);
+}
+
+TEST(MemoryMixTest, LambdaZeroIsPureHedge) {
+  HedgeCompetition h(3, 1.0);
+  h.update(0, 1.0);
+  const auto base = h.probabilities(all_awake(3));
+  const auto mixed =
+      h.memory_mixed_probabilities(all_awake(3), {0.5, 0.3, 0.2}, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(mixed[i], base[i], 1e-12);
+}
+
+TEST(MemoryMixTest, LambdaOneIsPureMemory) {
+  HedgeCompetition h(3, 1.0);
+  h.update(0, 5.0);  // hedge says avoid layer 0…
+  const auto mixed =
+      h.memory_mixed_probabilities(all_awake(3), {0.6, 0.3, 0.1}, 1.0);
+  // …but λ=1 ignores the hedge entirely (Eq. 7 with λ=1).
+  EXPECT_NEAR(mixed[0], 0.6, 1e-12);
+  EXPECT_NEAR(mixed[1], 0.3, 1e-12);
+  EXPECT_NEAR(mixed[2], 0.1, 1e-12);
+}
+
+TEST(MemoryMixTest, BigLayersFavouredAtHighLambda) {
+  HedgeCompetition h(2, 1.0);
+  const auto low = h.memory_mixed_probabilities(all_awake(2), {0.9, 0.1}, 0.1);
+  const auto high = h.memory_mixed_probabilities(all_awake(2), {0.9, 0.1}, 0.9);
+  EXPECT_GT(high[0], low[0]);
+}
+
+TEST(MemoryMixTest, RenormalisesOverAwakeLayers) {
+  HedgeCompetition h(3, 1.0);
+  const auto mixed = h.memory_mixed_probabilities(
+      {true, false, true}, {0.5, 0.4, 0.1}, 1.0);
+  EXPECT_EQ(mixed[1], 0.0);
+  // Awake shares 0.5 and 0.1 renormalise to 5/6 and 1/6.
+  EXPECT_NEAR(mixed[0], 5.0 / 6.0, 1e-12);
+  EXPECT_NEAR(mixed[2], 1.0 / 6.0, 1e-12);
+}
+
+TEST(MemoryMixTest, ValidatesLambda) {
+  HedgeCompetition h(2, 1.0);
+  EXPECT_THROW(
+      h.memory_mixed_probabilities(all_awake(2), {0.5, 0.5}, -0.1), Error);
+  EXPECT_THROW(
+      h.memory_mixed_probabilities(all_awake(2), {0.5, 0.5}, 1.1), Error);
+}
+
+TEST(SampleTest, FollowsDistribution) {
+  Rng rng(2);
+  std::vector<double> p{0.7, 0.0, 0.3};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[HedgeCompetition::sample(p, rng)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / 20000.0, 0.7, 0.02);
+}
+
+TEST(LambdaScheduleTest, LinearDecayEndpointsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(lambda_at_step(0.7, 0.1, 0, 10), 0.7);
+  EXPECT_DOUBLE_EQ(lambda_at_step(0.7, 0.1, 10, 10), 0.1);
+  double prev = 1.0;
+  for (int t = 0; t <= 10; ++t) {
+    const double l = lambda_at_step(0.7, 0.1, t, 10);
+    EXPECT_LE(l, prev);
+    prev = l;
+  }
+  // Clamps beyond the end.
+  EXPECT_DOUBLE_EQ(lambda_at_step(0.7, 0.1, 99, 10), 0.1);
+  EXPECT_THROW(lambda_at_step(0.7, 0.1, 0, 0), Error);
+}
+
+}  // namespace
+}  // namespace ccq::core

@@ -1,0 +1,133 @@
+// Tests for the power-iteration Hessian analysis and the HAWQ baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ccq/core/hessian.hpp"
+#include "ccq/data/synthetic.hpp"
+#include "ccq/data/toy.hpp"
+#include "ccq/models/simple.hpp"
+
+namespace ccq::core {
+namespace {
+
+struct HessianSetup {
+  data::Dataset train;
+  data::Dataset val;
+  models::QuantModel model;
+};
+
+HessianSetup make_setup() {
+  data::SyntheticConfig dc;
+  dc.num_classes = 4;
+  dc.samples_per_class = 40;
+  dc.height = dc.width = 8;
+  dc.seed = 3;
+  data::Dataset train = data::make_synthetic_vision(dc);
+  data::Dataset val = train.take_tail(40);
+
+  quant::QuantFactory factory{.policy = quant::Policy::kPact};
+  models::ModelConfig mc;
+  mc.num_classes = 4;
+  mc.image_size = 8;
+  mc.width_multiplier = 0.25f;
+  auto model = models::make_mlp(mc, factory, quant::BitLadder({8, 4, 2}), 16);
+
+  TrainConfig pre;
+  pre.epochs = 5;
+  pre.batch_size = 16;
+  pre.sgd = {.lr = 0.05, .momentum = 0.9, .weight_decay = 1e-4};
+  core::train(model, train, val, pre);
+  return HessianSetup{std::move(train), std::move(val), std::move(model)};
+}
+
+TEST(HessianTest, EigenvaluesAreFiniteAndMostlyPositive) {
+  HessianSetup s = make_setup();
+  HessianConfig config;
+  config.power_iterations = 5;
+  config.sample_count = 80;
+  const auto spectrum = hessian_spectrum(s.model, s.train, config);
+  ASSERT_EQ(spectrum.size(), s.model.registry().size());
+  for (double lambda : spectrum) {
+    EXPECT_TRUE(std::isfinite(lambda));
+  }
+  // At a trained (near-minimum) point the top curvature should be
+  // positive for at least one layer.
+  EXPECT_GT(*std::max_element(spectrum.begin(), spectrum.end()), 0.0);
+}
+
+TEST(HessianTest, DeterministicForFixedSeed) {
+  HessianSetup s = make_setup();
+  HessianConfig config;
+  config.power_iterations = 4;
+  config.sample_count = 60;
+  const double a = hessian_top_eigenvalue(s.model, s.train, 0, config);
+  const double b = hessian_top_eigenvalue(s.model, s.train, 0, config);
+  EXPECT_NEAR(a, b, 1e-6 * std::max(1.0, std::fabs(a)));
+}
+
+TEST(HessianTest, RestoresWeightsAndGradients) {
+  HessianSetup s = make_setup();
+  auto params = s.model.parameters();
+  std::vector<Tensor> before;
+  for (auto* p : params) before.push_back(p->value);
+  HessianConfig config;
+  config.power_iterations = 3;
+  config.sample_count = 40;
+  hessian_top_eigenvalue(s.model, s.train, 1, config);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(max_abs_diff(params[i]->value, before[i]), 0.0f)
+        << params[i]->name;
+    EXPECT_EQ(params[i]->grad.max(), 0.0f);
+    EXPECT_EQ(params[i]->grad.min(), 0.0f);
+  }
+}
+
+TEST(HessianTest, PowerIterationConvergesTowardTopCurvature) {
+  // More iterations should not *decrease* the Rayleigh quotient much:
+  // power iteration climbs toward the dominant eigenvalue.
+  HessianSetup s = make_setup();
+  HessianConfig few;
+  few.power_iterations = 1;
+  few.sample_count = 80;
+  HessianConfig many = few;
+  many.power_iterations = 10;
+  const double l1 = hessian_top_eigenvalue(s.model, s.train, 0, few);
+  const double l10 = hessian_top_eigenvalue(s.model, s.train, 0, many);
+  EXPECT_GE(l10, l1 - 0.1 * std::fabs(l1) - 1e-6);
+}
+
+TEST(HessianTest, ValidatesConfig) {
+  HessianSetup s = make_setup();
+  HessianConfig bad;
+  bad.power_iterations = 0;
+  EXPECT_THROW(hessian_top_eigenvalue(s.model, s.train, 0, bad), Error);
+  bad.power_iterations = 1;
+  bad.fd_eps = 0.0;
+  EXPECT_THROW(hessian_top_eigenvalue(s.model, s.train, 0, bad), Error);
+}
+
+TEST(HawqHessianTest, ProducesMixedPrecisionAndReasonableAccuracy) {
+  HessianSetup s = make_setup();
+  TrainConfig ft;
+  ft.epochs = 3;
+  ft.batch_size = 16;
+  ft.sgd = {.lr = 0.02, .momentum = 0.9, .weight_decay = 1e-4};
+  HessianConfig config;
+  config.power_iterations = 4;
+  config.sample_count = 60;
+  const HawqResult r =
+      hawq_hessian_quantize(s.model, s.train, s.val, ft, config);
+  EXPECT_EQ(r.eigenvalues.size(), s.model.registry().size());
+  EXPECT_GT(r.compression, 1.0);
+  std::set<int> bits;
+  for (std::size_t i = 0; i < s.model.registry().size(); ++i) {
+    bits.insert(s.model.registry().bits_of(i));
+  }
+  EXPECT_GT(bits.size(), 1u);  // genuinely mixed precision
+  EXPECT_GT(r.accuracy, 0.3f);
+}
+
+}  // namespace
+}  // namespace ccq::core

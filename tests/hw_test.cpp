@@ -1,0 +1,186 @@
+// Tests for the hardware MAC model (Fig 5 substrate) and the bit-true
+// fixed-point arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccq/hw/fixed_point.hpp"
+#include "ccq/hw/mac_model.hpp"
+#include "ccq/quant/uniform.hpp"
+
+namespace ccq::hw {
+namespace {
+
+TEST(MacCostTest, EnergyGrowsWithPrecision) {
+  double prev = 0.0;
+  for (int bits : {2, 3, 4, 6, 8, 16}) {
+    const MacCost c = mac_cost(bits, bits);
+    EXPECT_GT(c.energy_j, prev) << bits;
+    prev = c.energy_j;
+  }
+}
+
+TEST(MacCostTest, Fp32DominatesLowPrecision) {
+  const MacCost fp = mac_cost(32, 32);
+  const MacCost b2 = mac_cost(2, 2);
+  const MacCost b4 = mac_cost(4, 4);
+  const MacCost b8 = mac_cost(8, 8);
+  // The paper reports fp32 MACs cost 4–56× more than quantized ones;
+  // our structural model must land in that decade.
+  EXPECT_GT(fp.energy_j / b2.energy_j, 20.0);
+  EXPECT_LT(fp.energy_j / b2.energy_j, 80.0);
+  EXPECT_GT(fp.energy_j / b8.energy_j, 4.0);
+  EXPECT_GT(fp.energy_j / b4.energy_j, fp.energy_j / b8.energy_j);
+}
+
+TEST(MacCostTest, MixedPrecisionIsBetween) {
+  const double e22 = mac_cost(2, 2).energy_j;
+  const double e28 = mac_cost(2, 8).energy_j;
+  const double e88 = mac_cost(8, 8).energy_j;
+  EXPECT_GT(e28, e22);
+  EXPECT_LT(e28, e88);
+}
+
+TEST(MacCostTest, AnyFp32SideSelectsFpUnit) {
+  EXPECT_EQ(mac_cost(32, 4).gates, mac_cost(32, 32).gates);
+  EXPECT_EQ(mac_cost(4, 32).gates, mac_cost(32, 32).gates);
+}
+
+TEST(MacCostTest, AreaAndLeakageScaleWithGates) {
+  const MacCost a = mac_cost(2, 2);
+  const MacCost b = mac_cost(8, 8);
+  EXPECT_GT(b.area_um2, a.area_um2);
+  EXPECT_GT(b.leakage_w, a.leakage_w);
+  EXPECT_NEAR(b.area_um2 / a.area_um2, b.gates / a.gates, 1e-9);
+}
+
+TEST(MacCostTest, InvalidPrecisionThrows) {
+  EXPECT_THROW(mac_cost(0, 4), Error);
+  EXPECT_THROW(mac_cost(4, 0), Error);
+}
+
+std::vector<LayerMacs> three_layer_net() {
+  return {
+      {"first", 1000000, 32, 32},
+      {"mid", 4000000, 2, 2},
+      {"last", 500000, 32, 32},
+  };
+}
+
+TEST(NetworkPowerTest, FpEdgesDominateQuantizedMiddle) {
+  // The paper's Fig 5 headline: fp first/last layers consume 4–56× the
+  // power of all the quantized middle layers combined.
+  const PowerReport r = network_power(three_layer_net(), 100.0);
+  const double edges = r.first_layer_w + r.last_layer_w;
+  EXPECT_GT(edges / r.middle_w, 4.0);
+  EXPECT_NEAR(r.total_w, edges + r.middle_w, r.total_w * 1e-9);
+}
+
+TEST(NetworkPowerTest, FullyQuantizedBeatsPartial) {
+  auto partial = three_layer_net();
+  auto full = three_layer_net();
+  full[0].weight_bits = full[0].act_bits = 6;
+  full[2].weight_bits = full[2].act_bits = 2;
+  const double p_partial = network_power(partial, 100.0).total_w;
+  const double p_full = network_power(full, 100.0).total_w;
+  EXPECT_LT(p_full, p_partial / 3.0);
+}
+
+TEST(NetworkPowerTest, PowerScalesWithRate) {
+  const auto layers = three_layer_net();
+  const double p1 = network_power(layers, 100.0).total_w;
+  const double p2 = network_power(layers, 200.0).total_w;
+  EXPECT_GT(p2, 1.8 * p1);  // leakage breaks exact 2× linearity
+}
+
+TEST(NetworkPowerTest, ValidatesInput) {
+  EXPECT_THROW(network_power({}, 100.0), Error);
+  EXPECT_THROW(network_power(three_layer_net(), 0.0), Error);
+}
+
+TEST(FixedPointTest, EncodeDecodeRoundTripOnGrid) {
+  FixedPointFormat fmt{.bits = 4, .scale = 0.25f};
+  Tensor values({5}, std::vector<float>{-1.75f, -0.25f, 0.0f, 0.5f, 1.75f});
+  const auto codes = encode(values, fmt);
+  const Tensor back = decode(codes, values.shape(), fmt);
+  EXPECT_EQ(max_abs_diff(back, values), 0.0f);
+  EXPECT_TRUE(representable(values, fmt));
+}
+
+TEST(FixedPointTest, SaturatesOutOfRange) {
+  FixedPointFormat fmt{.bits = 3, .scale = 1.0f};  // codes −3..3
+  Tensor values({2}, std::vector<float>{10.0f, -10.0f});
+  const auto codes = encode(values, fmt);
+  EXPECT_EQ(codes[0], 3);
+  EXPECT_EQ(codes[1], -3);
+  EXPECT_FALSE(representable(values, fmt));
+}
+
+TEST(FixedPointTest, IntegerDotMatchesFloatOnQuantizedData) {
+  // The crucial bit-exactness property: float "simulated quantization"
+  // and the integer datapath agree.
+  Rng rng(1);
+  const int bits = 4;
+  const float clip = 0.7f;
+  const float scale = clip / quant::symmetric_levels(bits);
+  Tensor w = quant::quantize_symmetric(Tensor::randn({256}, rng, 0.3f), bits,
+                                       clip);
+  Tensor x = quant::quantize_symmetric(Tensor::randn({256}, rng, 0.5f), bits,
+                                       clip);
+  FixedPointFormat fmt{.bits = bits, .scale = scale};
+  ASSERT_TRUE(representable(w, fmt, 1e-5f));
+  ASSERT_TRUE(representable(x, fmt, 1e-5f));
+  const float hw_result = integer_dot(encode(w, fmt), fmt, encode(x, fmt), fmt);
+  double sw_result = 0.0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    sw_result += static_cast<double>(w.at(i)) * x.at(i);
+  }
+  EXPECT_NEAR(hw_result, sw_result, 1e-3f);
+}
+
+TEST(FixedPointTest, ValidatesFormat) {
+  Tensor v({1});
+  EXPECT_THROW(encode(v, {.bits = 1, .scale = 1.0f}), Error);
+  EXPECT_THROW(encode(v, {.bits = 4, .scale = 0.0f}), Error);
+  EXPECT_THROW(integer_dot({1, 2}, {}, {1}, {}), Error);
+}
+
+TEST(ProfileTest, UniformProfileRespectsEdgeFlag) {
+  std::vector<LayerMacs> layers = three_layer_net();
+  // Build a fake registry-free check through uniform_profile semantics by
+  // constructing a real registry.
+  quant::LayerRegistry reg{quant::BitLadder({8, 4, 2})};
+  for (int i = 0; i < 3; ++i) {
+    quant::QuantUnit u;
+    u.name = "l" + std::to_string(i);
+    u.weight_hook = std::make_shared<quant::MinMaxWeightHook>();
+    u.weight_count = 100;
+    u.macs = 1000;
+    reg.add(std::move(u));
+  }
+  const auto fp_edges = uniform_profile(reg, 4, 4, /*fp_first_last=*/true);
+  EXPECT_EQ(fp_edges[0].weight_bits, 32);
+  EXPECT_EQ(fp_edges[1].weight_bits, 4);
+  EXPECT_EQ(fp_edges[2].weight_bits, 32);
+  const auto full = uniform_profile(reg, 4, 4, /*fp_first_last=*/false);
+  EXPECT_EQ(full[0].weight_bits, 4);
+  EXPECT_EQ(full[2].weight_bits, 4);
+}
+
+TEST(ProfileTest, RegistryProfileTracksCurrentBits) {
+  quant::LayerRegistry reg{quant::BitLadder({8, 4, 2})};
+  quant::QuantUnit u;
+  u.name = "conv";
+  u.weight_hook = std::make_shared<quant::MinMaxWeightHook>();
+  u.weight_count = 100;
+  u.macs = 5000;
+  reg.add(std::move(u));
+  reg.step_down(0);
+  const auto profile = profile_registry(reg);
+  ASSERT_EQ(profile.size(), 1u);
+  EXPECT_EQ(profile[0].weight_bits, 4);
+  EXPECT_EQ(profile[0].macs, 5000u);
+}
+
+}  // namespace
+}  // namespace ccq::hw

@@ -1,0 +1,190 @@
+// Tests for the integer inference engine: BN folding, code extraction,
+// and — the headline property — parity with the float-simulated
+// quantized forward pass.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccq/core/trainer.hpp"
+#include "ccq/nn/loss.hpp"
+#include "ccq/data/synthetic.hpp"
+#include "ccq/hw/integer_engine.hpp"
+#include "ccq/models/resnet.hpp"
+#include "ccq/models/simple.hpp"
+
+namespace ccq::hw {
+namespace {
+
+/// Snap a batch of images to the engine's 8-bit input grid so the float
+/// reference sees exactly the same inputs.
+Tensor snap_input(Tensor x) {
+  x.apply([](float v) {
+    return std::clamp(std::round(v * 255.0f), 0.0f, 255.0f) / 255.0f;
+  });
+  return x;
+}
+
+struct EngineSetup {
+  data::Dataset train;
+  data::Dataset val;
+  models::QuantModel model;
+};
+
+EngineSetup make_setup(quant::Policy policy, std::size_t ladder_floor_pos,
+                 bool use_cnn = true) {
+  data::SyntheticConfig dc;
+  dc.num_classes = 5;
+  dc.samples_per_class = 30;
+  dc.height = dc.width = 8;
+  dc.seed = 77;
+  data::Dataset train = data::make_synthetic_vision(dc);
+  data::Dataset val = train.take_tail(30);
+
+  models::ModelConfig mc;
+  mc.num_classes = 5;
+  mc.image_size = 8;
+  mc.width_multiplier = 0.25f;
+  quant::QuantFactory factory{.policy = policy};
+  quant::BitLadder ladder({8, 4, 2});
+  auto model = use_cnn ? models::make_simple_cnn(mc, factory, ladder)
+                       : models::make_mlp(mc, factory, ladder, 16);
+
+  core::TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = 16;
+  cfg.sgd = {.lr = 0.05, .momentum = 0.9, .weight_decay = 1e-4};
+  core::train(model, train, val, cfg);
+  model.registry().set_all(ladder_floor_pos);
+  // A couple of quantization-aware epochs so BN stats and PACT clips
+  // settle on the quantized network.
+  core::TrainConfig ft;
+  ft.epochs = 2;
+  ft.batch_size = 16;
+  ft.sgd = {.lr = 0.01, .momentum = 0.9, .weight_decay = 1e-4};
+  core::train(model, train, val, ft);
+  return EngineSetup{std::move(train), std::move(val), std::move(model)};
+}
+
+void expect_parity(EngineSetup& s, float logit_tol, float min_label_agreement) {
+  IntegerNetwork net = IntegerNetwork::compile(s.model);
+  const data::Batch batch = s.val.all();
+  const Tensor x = snap_input(batch.images);
+
+  s.model.set_training(false);
+  const Tensor ref = s.model.forward(x);
+  const Tensor out = net.forward(x);
+  ASSERT_EQ(out.shape(), ref.shape());
+
+  // Logit-level closeness.
+  float max_err = 0.0f;
+  std::size_t agree = 0;
+  const std::size_t n = out.dim(0), c = out.dim(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t best_ref = 0, best_out = 0;
+    for (std::size_t j = 0; j < c; ++j) {
+      max_err = std::max(max_err, std::fabs(out(i, j) - ref(i, j)));
+      if (ref(i, j) > ref(i, best_ref)) best_ref = j;
+      if (out(i, j) > out(i, best_out)) best_out = j;
+    }
+    if (best_ref == best_out) ++agree;
+  }
+  EXPECT_LT(max_err, logit_tol);
+  EXPECT_GE(static_cast<float>(agree) / static_cast<float>(n),
+            min_label_agreement);
+}
+
+TEST(IntegerEngineTest, CompilesSimpleCnn) {
+  EngineSetup s = make_setup(quant::Policy::kMinMax, 1);
+  IntegerNetwork net = IntegerNetwork::compile(s.model);
+  // 4 conv + gap + fc = 6 plans (BN/act folded into conv plans).
+  EXPECT_EQ(net.layer_count(), 6u);
+  EXPECT_EQ(net.plan(0).kind, IntLayerPlan::Kind::kConv);
+  EXPECT_TRUE(net.plan(0).has_act);
+  EXPECT_EQ(net.plan(5).kind, IntLayerPlan::Kind::kLinear);
+  EXPECT_FALSE(net.plan(5).has_act);
+}
+
+TEST(IntegerEngineTest, WeightCodesFitTheBitWidth) {
+  EngineSetup s = make_setup(quant::Policy::kMinMax, 2);  // 2-bit floor
+  IntegerNetwork net = IntegerNetwork::compile(s.model);
+  for (std::size_t l = 0; l < net.layer_count(); ++l) {
+    const auto& plan = net.plan(l);
+    if (plan.kind != IntLayerPlan::Kind::kConv &&
+        plan.kind != IntLayerPlan::Kind::kLinear) {
+      continue;
+    }
+    // Doubled codes of a 2-bit symmetric grid lie in {−2, 0, 2}.
+    for (std::int32_t code : plan.weight_codes) {
+      EXPECT_LE(std::abs(code), 2 * ((1 << (plan.weight_bits - 1)) - 1));
+    }
+  }
+}
+
+TEST(IntegerEngineTest, ParityMinMax4Bit) {
+  EngineSetup s = make_setup(quant::Policy::kMinMax, 1);
+  expect_parity(s, 0.05f, 0.95f);
+}
+
+TEST(IntegerEngineTest, ParityMinMax2Bit) {
+  EngineSetup s = make_setup(quant::Policy::kMinMax, 2);
+  expect_parity(s, 0.05f, 0.95f);
+}
+
+TEST(IntegerEngineTest, ParityPact4Bit) {
+  // PACT uses DoReFa's half-offset weight grid — exercises code doubling.
+  EngineSetup s = make_setup(quant::Policy::kPact, 1);
+  expect_parity(s, 0.05f, 0.95f);
+}
+
+TEST(IntegerEngineTest, ParityWrpn8Bit) {
+  EngineSetup s = make_setup(quant::Policy::kWrpn, 0);
+  expect_parity(s, 0.05f, 0.95f);
+}
+
+TEST(IntegerEngineTest, ParityMlp) {
+  EngineSetup s = make_setup(quant::Policy::kMinMax, 1, /*use_cnn=*/false);
+  expect_parity(s, 0.02f, 0.99f);
+}
+
+TEST(IntegerEngineTest, AccuracyMatchesFloatSimulation) {
+  EngineSetup s = make_setup(quant::Policy::kPact, 1);
+  IntegerNetwork net = IntegerNetwork::compile(s.model);
+  const data::Batch batch = s.val.all();
+  const Tensor x = snap_input(batch.images);
+  s.model.set_training(false);
+  const Tensor ref = s.model.forward(x);
+  const Tensor out = net.forward(x);
+  const float ref_acc = nn::SoftmaxCrossEntropy::accuracy(ref, batch.labels);
+  const float int_acc = nn::SoftmaxCrossEntropy::accuracy(out, batch.labels);
+  EXPECT_NEAR(ref_acc, int_acc, 0.05f);
+}
+
+TEST(IntegerEngineTest, MacsPerSampleMatchesRegistry) {
+  EngineSetup s = make_setup(quant::Policy::kMinMax, 1);
+  IntegerNetwork net = IntegerNetwork::compile(s.model);
+  std::size_t registry_macs = 0;
+  for (std::size_t i = 0; i < s.model.registry().size(); ++i) {
+    registry_macs += s.model.registry().unit(i).macs;
+  }
+  EXPECT_EQ(net.macs_per_sample(8, 8), registry_macs);
+}
+
+TEST(IntegerEngineTest, RejectsResidualTopologies) {
+  models::ModelConfig mc;
+  mc.num_classes = 5;
+  mc.image_size = 8;
+  mc.width_multiplier = 0.25f;
+  quant::QuantFactory factory{.policy = quant::Policy::kMinMax};
+  auto resnet = models::make_resnet20(mc, factory, quant::BitLadder({8, 4, 2}));
+  resnet.registry().set_all(2);
+  EXPECT_THROW(IntegerNetwork::compile(resnet), Error);
+}
+
+TEST(IntegerEngineTest, RejectsFullPrecisionLayers) {
+  EngineSetup s = make_setup(quant::Policy::kMinMax, 1);
+  s.model.registry().force_bits(0, 32);
+  EXPECT_THROW(IntegerNetwork::compile(s.model), Error);
+}
+
+}  // namespace
+}  // namespace ccq::hw

@@ -1,0 +1,97 @@
+// Tests for the JSON report writer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "ccq/common/error.hpp"
+#include "ccq/common/json.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(JsonTest, Scalars) {
+  EXPECT_EQ(Json(nullptr).dump(-1), "null");
+  EXPECT_EQ(Json(true).dump(-1), "true");
+  EXPECT_EQ(Json(false).dump(-1), "false");
+  EXPECT_EQ(Json(42).dump(-1), "42");
+  EXPECT_EQ(Json(3.5).dump(-1), "3.5");
+  EXPECT_EQ(Json("hi").dump(-1), "\"hi\"");
+}
+
+TEST(JsonTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::nan("")).dump(-1), "null");
+  EXPECT_EQ(Json(1.0 / 0.0).dump(-1), "null");
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").dump(-1), "\"a\\\"b\"");
+  EXPECT_EQ(Json("line\nbreak").dump(-1), "\"line\\nbreak\"");
+  EXPECT_EQ(Json("back\\slash").dump(-1), "\"back\\\\slash\"");
+}
+
+TEST(JsonTest, ArraysCompact) {
+  Json a = Json::array();
+  a.push_back(1);
+  a.push_back("two");
+  a.push_back(Json::array());
+  EXPECT_EQ(a.dump(-1), "[1,\"two\",[]]");
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  Json o = Json::object();
+  o.set("zulu", 1);
+  o.set("alpha", 2);
+  EXPECT_EQ(o.dump(-1), "{\"zulu\":1,\"alpha\":2}");
+}
+
+TEST(JsonTest, SetOverwritesExistingKey) {
+  Json o = Json::object();
+  o.set("k", 1);
+  o.set("k", 2);
+  EXPECT_EQ(o.dump(-1), "{\"k\":2}");
+  EXPECT_EQ(o.size(), 1u);
+}
+
+TEST(JsonTest, IndexOperatorAutoCreates) {
+  Json o = Json::object();
+  o["nested"]["value"] = Json(7);
+  EXPECT_EQ(o.dump(-1), "{\"nested\":{\"value\":7}}");
+}
+
+TEST(JsonTest, PrettyPrintingIndents) {
+  Json o = Json::object();
+  o.set("a", 1);
+  const std::string pretty = o.dump(2);
+  EXPECT_NE(pretty.find("{\n  \"a\": 1\n}"), std::string::npos);
+}
+
+TEST(JsonTest, TypeErrorsThrow) {
+  Json scalar(1);
+  EXPECT_THROW(scalar.push_back(2), Error);
+  EXPECT_THROW(scalar.set("k", 2), Error);
+  Json arr = Json::array();
+  EXPECT_THROW(arr["k"], Error);
+}
+
+TEST(JsonTest, SaveWritesFile) {
+  Json o = Json::object();
+  o.set("ok", true);
+  const std::string path = "/tmp/ccq_json_test.json";
+  ASSERT_TRUE(o.save(path));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"ok\": true"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JsonTest, LargeIntegersStayExact) {
+  EXPECT_EQ(Json(1000000).dump(-1), "1000000");
+  EXPECT_EQ(Json(static_cast<std::size_t>(123456789)).dump(-1), "123456789");
+}
+
+}  // namespace
+}  // namespace ccq

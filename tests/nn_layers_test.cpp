@@ -1,0 +1,380 @@
+// Layer-level tests: forward references and numerical gradient checks
+// for every module in ccq::nn.
+#include <gtest/gtest.h>
+
+#include "ccq/nn/activation.hpp"
+#include "ccq/nn/container.hpp"
+#include "ccq/nn/conv.hpp"
+#include "ccq/nn/gradcheck.hpp"
+#include "ccq/nn/linear.hpp"
+#include "ccq/nn/norm.hpp"
+#include "ccq/nn/pool.hpp"
+
+namespace ccq::nn {
+namespace {
+
+/// Scalar loss used by gradient checks: ½‖f(x)‖² with fixed per-element
+/// coefficients so every output contributes a distinct gradient.
+float weighted_sqloss(const Tensor& y) {
+  double acc = 0.0;
+  auto d = y.data();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double w = 0.1 + 0.01 * static_cast<double>(i % 17);
+    acc += 0.5 * w * d[i] * d[i];
+  }
+  return static_cast<float>(acc);
+}
+
+Tensor weighted_sqloss_grad(const Tensor& y) {
+  Tensor g(y.shape());
+  auto d = y.data();
+  auto gd = g.data();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const float w = 0.1f + 0.01f * static_cast<float>(i % 17);
+    gd[i] = w * d[i];
+  }
+  return g;
+}
+
+/// Run forward+backward, then gradient-check the module's parameters and
+/// its input gradient against central differences.
+void check_module_grads(Module& module, Tensor x, float tol = 2e-2f,
+                        double eps = 1e-3) {
+  module.set_training(true);
+  auto loss_fn = [&]() {
+    return static_cast<double>(weighted_sqloss(module.forward(x)));
+  };
+  const Tensor y = module.forward(x);
+  for (auto* p : module.parameters()) p->zero_grad();
+  const Tensor gx = module.backward(weighted_sqloss_grad(y));
+
+  for (auto* p : module.parameters()) {
+    const auto r = check_parameter_grad(*p, loss_fn, eps);
+    EXPECT_GT(r.checked, 0u);
+    EXPECT_LT(r.max_rel_err, tol) << "parameter " << p->name;
+  }
+  const auto ri = check_input_grad(x, gx, loss_fn, eps);
+  EXPECT_LT(ri.max_rel_err, tol) << "input gradient";
+}
+
+// ---- Conv2d ----------------------------------------------------------------
+
+/// Direct convolution reference.
+Tensor naive_conv(const Tensor& x, const Tensor& w, std::size_t stride,
+                  std::size_t pad) {
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), wdt = x.dim(3);
+  const std::size_t oc = w.dim(0), k = w.dim(2);
+  const std::size_t oh = (h + 2 * pad - k) / stride + 1;
+  const std::size_t ow = (wdt + 2 * pad - k) / stride + 1;
+  Tensor y({n, oc, oh, ow});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t o = 0; o < oc; ++o)
+      for (std::size_t oy = 0; oy < oh; ++oy)
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (std::size_t ic = 0; ic < c; ++ic)
+            for (std::size_t ky = 0; ky < k; ++ky)
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const long iy = static_cast<long>(oy * stride + ky) -
+                                static_cast<long>(pad);
+                const long ix = static_cast<long>(ox * stride + kx) -
+                                static_cast<long>(pad);
+                if (iy < 0 || ix < 0 || iy >= static_cast<long>(h) ||
+                    ix >= static_cast<long>(wdt)) {
+                  continue;
+                }
+                acc += x(i, ic, static_cast<std::size_t>(iy),
+                         static_cast<std::size_t>(ix)) *
+                       w(o, ic, ky, kx);
+              }
+          y(i, o, oy, ox) = acc;
+        }
+  return y;
+}
+
+TEST(Conv2dTest, ForwardMatchesNaive) {
+  Rng rng(1);
+  for (auto [stride, pad] : {std::pair<std::size_t, std::size_t>{1, 1},
+                             {2, 1},
+                             {1, 0},
+                             {2, 0}}) {
+    Conv2d conv(3, 4, 3, stride, pad, /*bias=*/false, rng);
+    Tensor x = Tensor::randn({2, 3, 7, 6}, rng);
+    const Tensor y = conv.forward(x);
+    const Tensor ref = naive_conv(x, conv.weight().value, stride, pad);
+    ASSERT_EQ(y.shape(), ref.shape());
+    EXPECT_LT(max_abs_diff(y, ref), 1e-4f)
+        << "stride=" << stride << " pad=" << pad;
+  }
+}
+
+TEST(Conv2dTest, BiasIsAddedPerChannel) {
+  Rng rng(2);
+  Conv2d conv(1, 2, 1, 1, 0, /*bias=*/true, rng);
+  conv.weight().value.fill(0.0f);
+  conv.bias().value.at(0) = 1.5f;
+  conv.bias().value.at(1) = -2.0f;
+  Tensor x = Tensor::randn({1, 1, 2, 2}, rng);
+  const Tensor y = conv.forward(x);
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y(0, 1, 1, 1), -2.0f);
+}
+
+TEST(Conv2dTest, GradCheck) {
+  Rng rng(3);
+  Conv2d conv(2, 3, 3, 1, 1, /*bias=*/true, rng);
+  check_module_grads(conv, Tensor::randn({2, 2, 5, 5}, rng, 0.7f));
+}
+
+TEST(Conv2dTest, GradCheckStrided) {
+  Rng rng(4);
+  Conv2d conv(2, 2, 3, 2, 1, /*bias=*/false, rng);
+  check_module_grads(conv, Tensor::randn({1, 2, 6, 6}, rng, 0.7f));
+}
+
+TEST(Conv2dTest, MacsPerSample) {
+  Rng rng(5);
+  Conv2d conv(3, 8, 3, 1, 1, false, rng);
+  // 8 out-channels × 27 patch × 16 output pixels
+  EXPECT_EQ(conv.macs_per_sample(4, 4), 8u * 27u * 16u);
+}
+
+TEST(Conv2dTest, RejectsWrongChannelCount) {
+  Rng rng(6);
+  Conv2d conv(3, 4, 3, 1, 1, false, rng);
+  EXPECT_THROW(conv.forward(Tensor({1, 2, 5, 5})), Error);
+  EXPECT_THROW(conv.forward(Tensor({5, 5})), Error);
+}
+
+// ---- Linear ----------------------------------------------------------------
+
+TEST(LinearTest, ForwardIsAffine) {
+  Rng rng(7);
+  Linear fc(2, 2, true, rng);
+  fc.weight().value = Tensor({2, 2}, std::vector<float>{1, 2, 3, 4});
+  fc.bias().value = Tensor({2}, std::vector<float>{10, 20});
+  Tensor x({1, 2}, std::vector<float>{1, 1});
+  const Tensor y = fc.forward(x);
+  EXPECT_FLOAT_EQ(y(0, 0), 13.0f);  // 1+2+10
+  EXPECT_FLOAT_EQ(y(0, 1), 27.0f);  // 3+4+20
+}
+
+TEST(LinearTest, GradCheck) {
+  Rng rng(8);
+  Linear fc(5, 4, true, rng);
+  check_module_grads(fc, Tensor::randn({3, 5}, rng));
+}
+
+// ---- BatchNorm2d -----------------------------------------------------------
+
+TEST(BatchNormTest, NormalisesBatchStatistics) {
+  Rng rng(9);
+  BatchNorm2d bn(3);
+  Tensor x = Tensor::randn({4, 3, 5, 5}, rng, 3.0f);
+  x += 2.0f;
+  const Tensor y = bn.forward(x);
+  // Per-channel mean ≈ 0, var ≈ 1 after normalisation (γ=1, β=0).
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < 4; ++i)
+      for (std::size_t a = 0; a < 5; ++a)
+        for (std::size_t b = 0; b < 5; ++b) mean += y(i, c, a, b);
+    mean /= 100.0;
+    for (std::size_t i = 0; i < 4; ++i)
+      for (std::size_t a = 0; a < 5; ++a)
+        for (std::size_t b = 0; b < 5; ++b)
+          var += (y(i, c, a, b) - mean) * (y(i, c, a, b) - mean);
+    var /= 100.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, RunningStatsConvergeToDataStats) {
+  Rng rng(10);
+  BatchNorm2d bn(1, /*momentum=*/0.5f);
+  for (int i = 0; i < 20; ++i) {
+    Tensor x = Tensor::randn({8, 1, 4, 4}, rng, 2.0f);
+    x += 3.0f;
+    bn.forward(x);
+  }
+  EXPECT_NEAR(bn.running_mean().at(0), 3.0f, 0.3f);
+  EXPECT_NEAR(bn.running_var().at(0), 4.0f, 0.8f);
+}
+
+TEST(BatchNormTest, EvalModeUsesRunningStats) {
+  Rng rng(11);
+  BatchNorm2d bn(1);
+  Tensor x = Tensor::randn({4, 1, 3, 3}, rng);
+  bn.forward(x);  // populate running stats a bit
+  bn.set_training(false);
+  // In eval mode the same input twice gives the same output (no batch
+  // statistics involvement).
+  const Tensor y1 = bn.forward(x);
+  const Tensor y2 = bn.forward(x);
+  EXPECT_EQ(max_abs_diff(y1, y2), 0.0f);
+}
+
+TEST(BatchNormTest, GradCheck) {
+  Rng rng(12);
+  BatchNorm2d bn(2);
+  // Larger probe step: BN's float32 forward is roundoff-limited at small
+  // eps (the analytic gradient itself is exact; see the eps sweep in the
+  // commit history).
+  check_module_grads(bn, Tensor::randn({3, 2, 4, 4}, rng), 5e-2f, 1e-2);
+}
+
+TEST(BatchNormTest, AffineParamsExemptFromWeightDecay) {
+  BatchNorm2d bn(2);
+  EXPECT_EQ(bn.gamma().weight_decay_scale, 0.0f);
+  EXPECT_EQ(bn.beta().weight_decay_scale, 0.0f);
+}
+
+// ---- Activations / pooling -------------------------------------------------
+
+TEST(ReLUTest, ForwardClampsNegative) {
+  ReLU relu;
+  Tensor x = Tensor::from({-1, 0, 2});
+  const Tensor y = relu.forward(x);
+  EXPECT_EQ(y(0), 0.0f);
+  EXPECT_EQ(y(1), 0.0f);
+  EXPECT_EQ(y(2), 2.0f);
+}
+
+TEST(ReLUTest, BackwardMasks) {
+  ReLU relu;
+  Tensor x = Tensor::from({-1, 3});
+  relu.forward(x);
+  const Tensor g = relu.backward(Tensor::from({5, 7}));
+  EXPECT_EQ(g(0), 0.0f);
+  EXPECT_EQ(g(1), 7.0f);
+}
+
+TEST(MaxPoolTest, ForwardPicksMax) {
+  MaxPool2d pool(2, 2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 0), 5.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2, 2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
+  pool.forward(x);
+  const Tensor g = pool.backward(Tensor({1, 1, 1, 1}, 2.0f));
+  EXPECT_FLOAT_EQ(g(0, 0, 0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(g(0, 0, 0, 0), 0.0f);
+}
+
+TEST(AvgPoolTest, GradCheckViaModule) {
+  Rng rng(13);
+  AvgPool2d pool(2, 2);
+  check_module_grads(pool, Tensor::randn({2, 2, 4, 4}, rng));
+}
+
+TEST(GlobalAvgPoolTest, ForwardAverages) {
+  GlobalAvgPool gap;
+  Tensor x({1, 2, 2, 2}, std::vector<float>{1, 2, 3, 4, 10, 10, 10, 10});
+  const Tensor y = gap.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y(0, 1), 10.0f);
+}
+
+TEST(GlobalAvgPoolTest, GradCheck) {
+  Rng rng(14);
+  GlobalAvgPool gap;
+  check_module_grads(gap, Tensor::randn({2, 3, 3, 3}, rng));
+}
+
+TEST(FlattenTest, RoundTripsShape) {
+  Flatten flatten;
+  Tensor x({2, 3, 4, 5});
+  const Tensor y = flatten.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 60}));
+  const Tensor g = flatten.backward(Tensor({2, 60}));
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+// ---- Containers ------------------------------------------------------------
+
+TEST(SequentialTest, ChainsForwardAndBackward) {
+  Rng rng(15);
+  Sequential seq;
+  seq.add<Linear>(4, 8, true, rng);
+  seq.add<ReLU>();
+  seq.add<Linear>(8, 2, true, rng);
+  check_module_grads(seq, Tensor::randn({3, 4}, rng));
+}
+
+TEST(SequentialTest, CollectsAllParameters) {
+  Rng rng(16);
+  Sequential seq;
+  seq.add<Linear>(4, 4, true, rng);
+  seq.add<Linear>(4, 4, false, rng);
+  EXPECT_EQ(seq.parameters().size(), 3u);  // w+b, w
+  EXPECT_EQ(seq.parameter_count(), 4u * 4 + 4 + 4u * 4);
+}
+
+TEST(SequentialTest, SetTrainingRecurses) {
+  Rng rng(17);
+  Sequential seq;
+  auto& bn = seq.add<BatchNorm2d>(2);
+  seq.set_training(false);
+  EXPECT_FALSE(bn.training());
+  seq.set_training(true);
+  EXPECT_TRUE(bn.training());
+}
+
+TEST(SequentialTest, VisitReachesNestedModules) {
+  Rng rng(18);
+  Sequential outer;
+  auto inner = std::make_unique<Sequential>();
+  inner->add<ReLU>();
+  outer.add_module(std::move(inner));
+  outer.add<ReLU>();
+  int count = 0;
+  outer.visit([&](Module&) { ++count; });
+  EXPECT_EQ(count, 4);  // outer + inner + 2 ReLU
+}
+
+TEST(ResidualTest, IdentityShortcutAdds) {
+  Rng rng(19);
+  auto main = std::make_unique<Sequential>();
+  main->add<Linear>(3, 3, false, rng);
+  Residual res(std::move(main), nullptr, nullptr);
+  Tensor x = Tensor::randn({2, 3}, rng);
+  const Tensor y = res.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(ResidualTest, MismatchedIdentityThrows) {
+  Rng rng(20);
+  auto main = std::make_unique<Sequential>();
+  main->add<Linear>(3, 5, false, rng);  // changes width
+  Residual res(std::move(main), nullptr, nullptr);
+  EXPECT_THROW(res.forward(Tensor::randn({2, 3}, rng)), Error);
+}
+
+TEST(ResidualTest, GradCheckWithProjection) {
+  Rng rng(21);
+  auto main = std::make_unique<Sequential>();
+  main->add<Linear>(3, 5, true, rng);
+  auto shortcut = std::make_unique<Sequential>();
+  shortcut->add<Linear>(3, 5, false, rng);
+  auto act = std::make_unique<ReLU>();
+  Residual res(std::move(main), std::move(shortcut), std::move(act));
+  check_module_grads(res, Tensor::randn({2, 3}, rng));
+}
+
+TEST(ResidualTest, GradCheckIdentity) {
+  Rng rng(22);
+  auto main = std::make_unique<Sequential>();
+  main->add<Linear>(4, 4, true, rng);
+  Residual res(std::move(main), nullptr, nullptr);
+  check_module_grads(res, Tensor::randn({2, 4}, rng));
+}
+
+}  // namespace
+}  // namespace ccq::nn

@@ -1,0 +1,250 @@
+// Tests for loss, optimizer and learning-rate schedules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccq/nn/gradcheck.hpp"
+#include "ccq/nn/linear.hpp"
+#include "ccq/nn/loss.hpp"
+#include "ccq/nn/optim.hpp"
+#include "ccq/nn/schedule.hpp"
+
+namespace ccq::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 4});  // all zeros → uniform softmax
+  const float l = loss.forward(logits, {0, 3});
+  EXPECT_NEAR(l, std::log(4.0f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectPredictionHasLowLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3}, std::vector<float>{10, 0, 0});
+  EXPECT_LT(loss.forward(logits, {0}), 1e-3f);
+  EXPECT_GT(loss.forward(logits, {1}), 5.0f);
+}
+
+TEST(SoftmaxCrossEntropyTest, InvariantToLogitShift) {
+  SoftmaxCrossEntropy loss;
+  Tensor a({1, 3}, std::vector<float>{1, 2, 3});
+  Tensor b({1, 3}, std::vector<float>{101, 102, 103});
+  EXPECT_NEAR(loss.forward(a, {2}), loss.forward(b, {2}), 1e-4f);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientMatchesNumeric) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(1);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  const std::vector<int> labels{0, 2, 4};
+  loss.forward(logits, labels);
+  const Tensor grad = loss.backward();
+  auto loss_fn = [&]() {
+    SoftmaxCrossEntropy l2;
+    return static_cast<double>(l2.forward(logits, labels));
+  };
+  const auto r = check_input_grad(logits, grad, loss_fn, 1e-3, 15);
+  EXPECT_LT(r.max_rel_err, 1e-2f);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientRowsSumToZero) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(2);
+  Tensor logits = Tensor::randn({4, 6}, rng);
+  loss.forward(logits, {1, 2, 3, 4});
+  const Tensor grad = loss.backward();
+  for (std::size_t i = 0; i < 4; ++i) {
+    float row = 0.0f;
+    for (std::size_t j = 0; j < 6; ++j) row += grad(i, j);
+    EXPECT_NEAR(row, 0.0f, 1e-6f);
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, LabelValidation) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  EXPECT_THROW(loss.forward(logits, {3}), Error);
+  EXPECT_THROW(loss.forward(logits, {-1}), Error);
+  EXPECT_THROW(loss.forward(logits, {0, 1}), Error);
+}
+
+TEST(SoftmaxCrossEntropyTest, AccuracyCountsArgmaxHits) {
+  Tensor logits({3, 2}, std::vector<float>{2, 1, 0, 5, 1, 0});
+  EXPECT_FLOAT_EQ(SoftmaxCrossEntropy::accuracy(logits, {0, 1, 0}), 1.0f);
+  EXPECT_NEAR(SoftmaxCrossEntropy::accuracy(logits, {1, 1, 0}), 2.0f / 3, 1e-6f);
+}
+
+// ---- SGD -------------------------------------------------------------------
+
+TEST(SgdTest, PlainStepMovesAgainstGradient) {
+  Parameter p("w", Tensor::from({1.0f}));
+  p.grad.at(0) = 2.0f;
+  Sgd opt({&p}, {.lr = 0.1, .momentum = 0.0, .weight_decay = 0.0});
+  opt.step();
+  EXPECT_NEAR(p.value.at(0), 0.8f, 1e-6f);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Parameter p("w", Tensor::from({1.0f}));
+  Sgd opt({&p}, {.lr = 0.1, .momentum = 0.0, .weight_decay = 0.5});
+  opt.step();  // grad = 0 + wd·w = 0.5
+  EXPECT_NEAR(p.value.at(0), 0.95f, 1e-6f);
+}
+
+TEST(SgdTest, WeightDecayScaleExempts) {
+  Parameter p("gamma", Tensor::from({1.0f}));
+  p.weight_decay_scale = 0.0f;
+  Sgd opt({&p}, {.lr = 0.1, .momentum = 0.0, .weight_decay = 0.5});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value.at(0), 1.0f);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Parameter p("w", Tensor::from({0.0f}));
+  Sgd opt({&p}, {.lr = 1.0, .momentum = 0.5, .weight_decay = 0.0});
+  p.grad.at(0) = 1.0f;
+  opt.step();  // v=1, w=-1
+  EXPECT_NEAR(p.value.at(0), -1.0f, 1e-6f);
+  p.grad.at(0) = 1.0f;
+  opt.step();  // v=1.5, w=-2.5
+  EXPECT_NEAR(p.value.at(0), -2.5f, 1e-6f);
+}
+
+TEST(SgdTest, LrScaleAppliesPerParameter) {
+  Parameter p("alpha", Tensor::from({1.0f}));
+  p.lr_scale = 0.1f;
+  p.grad.at(0) = 1.0f;
+  Sgd opt({&p}, {.lr = 1.0, .momentum = 0.0, .weight_decay = 0.0});
+  opt.step();
+  EXPECT_NEAR(p.value.at(0), 0.9f, 1e-6f);
+}
+
+TEST(SgdTest, ZeroGradClears) {
+  Parameter p("w", Tensor::from({1.0f}));
+  p.grad.at(0) = 3.0f;
+  Sgd opt({&p}, {});
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad.at(0), 0.0f);
+}
+
+TEST(SgdTest, ConvergesOnLeastSquares) {
+  // Fit y = 2x − 1 with a single Linear layer.
+  Rng rng(3);
+  Linear fc(1, 1, true, rng);
+  Sgd opt(fc.parameters(), {.lr = 0.1, .momentum = 0.9, .weight_decay = 0.0});
+  for (int it = 0; it < 300; ++it) {
+    Tensor x = Tensor::rand_uniform({8, 1}, rng, -1.0f, 1.0f);
+    Tensor y = fc.forward(x);
+    Tensor grad(y.shape());
+    for (std::size_t i = 0; i < 8; ++i) {
+      const float target = 2.0f * x(i, 0) - 1.0f;
+      grad(i, 0) = (y(i, 0) - target) / 8.0f;
+    }
+    opt.zero_grad();
+    fc.backward(grad);
+    opt.step();
+  }
+  EXPECT_NEAR(fc.weight().value(0, 0), 2.0f, 0.05f);
+  EXPECT_NEAR(fc.bias().value.at(0), -1.0f, 0.05f);
+}
+
+// ---- Schedules -------------------------------------------------------------
+
+TEST(ScheduleTest, ConstantHoldsRate) {
+  ConstantLr s(0.5);
+  EXPECT_EQ(s.next(0.1), 0.5);
+  EXPECT_EQ(s.next(0.9), 0.5);
+}
+
+TEST(ScheduleTest, StepDecayHalvesOnSchedule) {
+  StepDecayLr s(1.0, 2, 0.5);
+  EXPECT_DOUBLE_EQ(s.next(0), 1.0);   // epoch 0
+  EXPECT_DOUBLE_EQ(s.next(0), 1.0);   // epoch 1
+  EXPECT_DOUBLE_EQ(s.next(0), 0.5);   // epoch 2
+  EXPECT_DOUBLE_EQ(s.next(0), 0.5);   // epoch 3
+  EXPECT_DOUBLE_EQ(s.next(0), 0.25);  // epoch 4
+}
+
+TEST(ScheduleTest, CosineRestartsAtPeriod) {
+  CosineRestartLr s(1.0, 0.0, 4);
+  const double e0 = s.next(0);
+  const double e1 = s.next(0);
+  const double e2 = s.next(0);
+  s.next(0);
+  const double e4 = s.next(0);  // restart
+  EXPECT_DOUBLE_EQ(e0, 1.0);
+  EXPECT_GT(e1, e2);
+  EXPECT_DOUBLE_EQ(e4, 1.0);
+}
+
+TEST(HybridLrTest, HoldsBaseWhileImproving) {
+  HybridPlateauCosineLr s({.base_lr = 0.1,
+                           .bump_factor = 10.0,
+                           .patience = 2,
+                           .min_delta = 1e-4,
+                           .cosine_period = 3});
+  EXPECT_DOUBLE_EQ(s.next(0.5), 0.1);
+  EXPECT_DOUBLE_EQ(s.next(0.6), 0.1);
+  EXPECT_DOUBLE_EQ(s.next(0.7), 0.1);
+  EXPECT_FALSE(s.in_cosine_phase());
+}
+
+TEST(HybridLrTest, BumpsOnPlateauThenDecaysBack) {
+  HybridPlateauCosineLr s({.base_lr = 0.1,
+                           .bump_factor = 10.0,
+                           .patience = 2,
+                           .min_delta = 1e-4,
+                           .cosine_period = 4});
+  s.next(0.5);
+  s.next(0.5);                         // stall 1
+  const double peak = s.next(0.5);     // stall 2 → bump
+  EXPECT_DOUBLE_EQ(peak, 1.0);
+  EXPECT_TRUE(s.in_cosine_phase());
+  const double d1 = s.next(0.5);
+  const double d2 = s.next(0.5);
+  const double d3 = s.next(0.5);
+  EXPECT_GT(peak, d1);
+  EXPECT_GT(d1, d2);
+  EXPECT_GT(d2, d3);
+  EXPECT_GE(d3, 0.1);                  // never below base
+  EXPECT_FALSE(s.in_cosine_phase());
+  // Back to plateau watching at base rate.
+  EXPECT_DOUBLE_EQ(s.next(0.9), 0.1);
+}
+
+TEST(HybridLrTest, ImprovementDuringCosineResetsPlateau) {
+  HybridPlateauCosineLr s({.base_lr = 0.1,
+                           .bump_factor = 5.0,
+                           .patience = 1,
+                           .min_delta = 1e-4,
+                           .cosine_period = 2});
+  s.next(0.5);
+  s.next(0.5);  // bump (patience 1)
+  s.next(0.9);  // cosine phase, improvement recorded
+  // After the excursion a fresh plateau relative to 0.9 is required.
+  EXPECT_DOUBLE_EQ(s.next(0.95), 0.1);
+}
+
+TEST(HybridLrTest, ResetClearsState) {
+  HybridPlateauCosineLr s({.base_lr = 0.1,
+                           .bump_factor = 10.0,
+                           .patience = 1,
+                           .min_delta = 1e-4,
+                           .cosine_period = 3});
+  s.next(0.5);
+  s.next(0.5);  // bump
+  EXPECT_TRUE(s.in_cosine_phase());
+  s.reset();
+  EXPECT_FALSE(s.in_cosine_phase());
+  EXPECT_DOUBLE_EQ(s.next(0.1), 0.1);
+}
+
+TEST(HybridLrTest, ConfigValidation) {
+  EXPECT_THROW(HybridPlateauCosineLr({.patience = 0}), Error);
+  EXPECT_THROW(HybridPlateauCosineLr({.bump_factor = 0.5}), Error);
+  EXPECT_THROW(HybridPlateauCosineLr({.cosine_period = 0}), Error);
+}
+
+}  // namespace
+}  // namespace ccq::nn

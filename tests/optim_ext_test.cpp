@@ -1,0 +1,115 @@
+// Tests for the Adam optimizer and the warmup schedule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccq/nn/linear.hpp"
+#include "ccq/nn/optim.hpp"
+#include "ccq/nn/schedule.hpp"
+
+namespace ccq::nn {
+namespace {
+
+TEST(AdamTest, FirstStepMovesByLr) {
+  // With bias correction, the very first Adam step size is ≈ lr·sign(g).
+  Parameter p("w", Tensor::from({1.0f}));
+  p.grad.at(0) = 0.3f;
+  Adam opt({&p}, {.lr = 0.01});
+  opt.step();
+  EXPECT_NEAR(p.value.at(0), 1.0f - 0.01f, 1e-5f);
+}
+
+TEST(AdamTest, InvariantToGradientScale) {
+  // Adam's update direction is scale-free: 10× larger gradients give the
+  // same first step.
+  Parameter a("a", Tensor::from({1.0f}));
+  Parameter b("b", Tensor::from({1.0f}));
+  a.grad.at(0) = 0.01f;
+  b.grad.at(0) = 10.0f;
+  Adam oa({&a}, {.lr = 0.05});
+  Adam ob({&b}, {.lr = 0.05});
+  oa.step();
+  ob.step();
+  EXPECT_NEAR(a.value.at(0), b.value.at(0), 1e-4f);
+}
+
+TEST(AdamTest, DecoupledWeightDecayShrinks) {
+  Parameter p("w", Tensor::from({2.0f}));
+  Adam opt({&p}, {.lr = 0.1, .weight_decay = 0.5});
+  opt.step();  // zero gradient: only the decay term acts
+  EXPECT_NEAR(p.value.at(0), 2.0f - 0.1f * 0.5f * 2.0f, 1e-5f);
+}
+
+TEST(AdamTest, RespectsPerParameterScales) {
+  Parameter p("alpha", Tensor::from({1.0f}));
+  p.lr_scale = 0.0f;  // completely frozen via scaling
+  p.grad.at(0) = 5.0f;
+  Adam opt({&p}, {.lr = 0.1});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value.at(0), 1.0f);
+}
+
+TEST(AdamTest, ConvergesOnLeastSquares) {
+  Rng rng(4);
+  Linear fc(1, 1, true, rng);
+  Adam opt(fc.parameters(), {.lr = 0.05});
+  for (int it = 0; it < 400; ++it) {
+    Tensor x = Tensor::rand_uniform({8, 1}, rng, -1.0f, 1.0f);
+    Tensor y = fc.forward(x);
+    Tensor grad(y.shape());
+    for (std::size_t i = 0; i < 8; ++i) {
+      const float target = -1.5f * x(i, 0) + 0.5f;
+      grad(i, 0) = (y(i, 0) - target) / 8.0f;
+    }
+    opt.zero_grad();
+    fc.backward(grad);
+    opt.step();
+  }
+  EXPECT_NEAR(fc.weight().value(0, 0), -1.5f, 0.05f);
+  EXPECT_NEAR(fc.bias().value.at(0), 0.5f, 0.05f);
+}
+
+TEST(AdamTest, ZeroGradClears) {
+  Parameter p("w", Tensor::from({1.0f}));
+  p.grad.at(0) = 9.0f;
+  Adam opt({&p}, {});
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad.at(0), 0.0f);
+}
+
+TEST(WarmupTest, RampsLinearlyThenHolds) {
+  WarmupLr schedule(0.1, 4);
+  EXPECT_NEAR(schedule.next(0), 0.025, 1e-12);
+  EXPECT_NEAR(schedule.next(0), 0.05, 1e-12);
+  EXPECT_NEAR(schedule.next(0), 0.075, 1e-12);
+  EXPECT_NEAR(schedule.next(0), 0.1, 1e-12);
+  EXPECT_NEAR(schedule.next(0), 0.1, 1e-12);  // post-warmup hold
+}
+
+TEST(WarmupTest, DelegatesToInnerAfterWarmup) {
+  StepDecayLr inner(0.1, 1, 0.5);
+  WarmupLr schedule(0.1, 2, &inner);
+  schedule.next(0);  // 0.05
+  schedule.next(0);  // 0.1 — warmup done
+  EXPECT_NEAR(schedule.next(0), 0.1, 1e-12);   // inner epoch 0
+  EXPECT_NEAR(schedule.next(0), 0.05, 1e-12);  // inner epoch 1
+}
+
+TEST(WarmupTest, ResetRestartsRampAndInner) {
+  StepDecayLr inner(0.2, 1, 0.1);
+  WarmupLr schedule(0.2, 2, &inner);
+  schedule.next(0);
+  schedule.next(0);
+  schedule.next(0);
+  schedule.reset();
+  EXPECT_NEAR(schedule.next(0), 0.1, 1e-12);  // ramp restarted
+}
+
+TEST(WarmupTest, ZeroWarmupIsPassThrough) {
+  WarmupLr schedule(0.3, 0);
+  EXPECT_NEAR(schedule.next(0), 0.3, 1e-12);
+  EXPECT_THROW(WarmupLr(0.3, -1), Error);
+}
+
+}  // namespace
+}  // namespace ccq::nn

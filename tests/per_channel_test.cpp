@@ -1,0 +1,115 @@
+// Tests for per-channel weight quantization (extension; DESIGN.md §6).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ccq/quant/policy.hpp"
+#include "ccq/quant/uniform.hpp"
+#include "ccq/quant/weight_hooks.hpp"
+
+namespace ccq::quant {
+namespace {
+
+/// Conv-like weights where one channel has 10× the dynamic range —
+/// exactly the case per-tensor grids handle badly.
+Tensor skewed_weights(std::size_t channels, std::size_t per_channel,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor w({channels, per_channel});
+  for (std::size_t c = 0; c < channels; ++c) {
+    const float scale = c == 0 ? 1.0f : 0.1f;
+    for (std::size_t i = 0; i < per_channel; ++i) {
+      w(c, i) = static_cast<float>(rng.normal(0.0, scale));
+    }
+  }
+  return w;
+}
+
+TEST(PerChannelTest, EachChannelGetsItsOwnClip) {
+  PerChannelWeightHook hook;
+  hook.set_bits(4);
+  Tensor w = skewed_weights(4, 64, 1);
+  hook.quantize(w);
+  const auto& clips = hook.last_clips();
+  ASSERT_EQ(clips.size(), 4u);
+  EXPECT_GT(clips[0], 5.0f * clips[1]);  // the wide channel
+  for (float c : clips) EXPECT_GT(c, 0.0f);
+}
+
+TEST(PerChannelTest, CodomainBoundedPerChannel) {
+  PerChannelWeightHook hook;
+  hook.set_bits(3);
+  Tensor w = skewed_weights(3, 200, 2);
+  const Tensor q = hook.quantize(w);
+  for (std::size_t c = 0; c < 3; ++c) {
+    std::set<float> values;
+    for (std::size_t i = 0; i < 200; ++i) values.insert(q(c, i));
+    EXPECT_LE(values.size(), 7u);  // 2·(2²−1)+1 grid points
+  }
+}
+
+TEST(PerChannelTest, BeatsPerTensorMseOnSkewedChannels) {
+  // The whole point of per-channel grids: a narrow channel is not forced
+  // onto the wide channel's coarse grid.  The wide channel's error is the
+  // same either way, so measure the narrow channels where the win lives.
+  Tensor w = skewed_weights(4, 256, 3);
+  PerChannelWeightHook per_channel;
+  per_channel.set_bits(3);
+  MinMaxWeightHook per_tensor;
+  per_tensor.set_bits(3);
+  const Tensor qc = per_channel.quantize(w);
+  const Tensor qt = per_tensor.quantize(w);
+  auto narrow_mse = [&](const Tensor& q) {
+    double acc = 0.0;
+    for (std::size_t c = 1; c < 4; ++c) {
+      for (std::size_t i = 0; i < 256; ++i) {
+        acc += static_cast<double>(w(c, i) - q(c, i)) * (w(c, i) - q(c, i));
+      }
+    }
+    return acc;
+  };
+  EXPECT_LT(narrow_mse(qc), 0.2 * narrow_mse(qt));
+  // And the total must not get worse.
+  const Tensor dc = w - qc;
+  const Tensor dt = w - qt;
+  EXPECT_LE(dc.sqnorm(), dt.sqnorm());
+}
+
+TEST(PerChannelTest, FullPrecisionPassThrough) {
+  PerChannelWeightHook hook;
+  hook.set_bits(32);
+  Tensor w = skewed_weights(2, 16, 4);
+  EXPECT_EQ(max_abs_diff(hook.quantize(w), w), 0.0f);
+}
+
+TEST(PerChannelTest, SteIsIdentity) {
+  PerChannelWeightHook hook;
+  hook.set_bits(2);
+  Tensor w = skewed_weights(2, 16, 5);
+  hook.quantize(w);
+  Rng rng(6);
+  Tensor g = Tensor::randn({2, 16}, rng);
+  EXPECT_EQ(max_abs_diff(hook.backward(w, g), g), 0.0f);
+}
+
+TEST(PerChannelTest, Rank4ConvWeightsSupported) {
+  Rng rng(7);
+  Tensor w = Tensor::randn({8, 4, 3, 3}, rng, 0.2f);
+  PerChannelWeightHook hook;
+  hook.set_bits(4);
+  const Tensor q = hook.quantize(w);
+  EXPECT_EQ(q.shape(), w.shape());
+  EXPECT_EQ(hook.last_clips().size(), 8u);
+}
+
+TEST(PerChannelTest, RegisteredInPolicyFactory) {
+  EXPECT_EQ(policy_from_str("PerChannel"), Policy::kPerChannel);
+  QuantFactory factory{.policy = Policy::kPerChannel};
+  auto hook = factory.make_weight_hook("x");
+  EXPECT_EQ(hook->policy_name(), "PerChannel");
+  EXPECT_EQ(factory.make_activation("x")->type_name(), "PactActivation");
+}
+
+}  // namespace
+}  // namespace ccq::quant

@@ -1,0 +1,162 @@
+// Tests for quantized activation modules (ClipActQuant, PACT).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ccq/quant/act_quant.hpp"
+
+namespace ccq::quant {
+namespace {
+
+TEST(ClipActTest, FullPrecisionIsClippedRelu) {
+  ClipActQuant act(1.0f);
+  act.set_bits(32);
+  Tensor x = Tensor::from({-0.5f, 0.4f, 1.7f});
+  const Tensor y = act.forward(x);
+  EXPECT_FLOAT_EQ(y(0), 0.0f);
+  EXPECT_FLOAT_EQ(y(1), 0.4f);
+  EXPECT_FLOAT_EQ(y(2), 1.0f);
+}
+
+TEST(ClipActTest, QuantizedOutputOnGrid) {
+  ClipActQuant act(1.0f);
+  act.set_bits(2);
+  Rng rng(1);
+  Tensor x = Tensor::rand_uniform({1000}, rng, -0.5f, 1.5f);
+  const Tensor y = act.forward(x);
+  std::set<float> values(y.data().begin(), y.data().end());
+  EXPECT_LE(values.size(), 4u);  // {0, 1/3, 2/3, 1}
+  EXPECT_GE(y.min(), 0.0f);
+  EXPECT_LE(y.max(), 1.0f);
+}
+
+TEST(ClipActTest, BackwardMasksOutsideActiveRange) {
+  ClipActQuant act(1.0f);
+  act.set_bits(4);
+  Tensor x = Tensor::from({-0.1f, 0.5f, 1.2f});
+  act.forward(x);
+  const Tensor g = act.backward(Tensor({3}, 2.0f));
+  EXPECT_EQ(g(0), 0.0f);
+  EXPECT_EQ(g(1), 2.0f);
+  EXPECT_EQ(g(2), 0.0f);
+}
+
+TEST(ClipActTest, BitsSwitchTakesEffectImmediately) {
+  ClipActQuant act(1.0f);
+  Tensor x = Tensor::from({0.4f});
+  act.set_bits(32);
+  EXPECT_FLOAT_EQ(act.forward(x)(0), 0.4f);
+  act.set_bits(1);
+  const float q = act.forward(x)(0);
+  EXPECT_TRUE(q == 0.0f || q == 1.0f);
+}
+
+TEST(ClipActTest, InvalidConfigThrows) {
+  EXPECT_THROW(ClipActQuant(-1.0f), Error);
+  ClipActQuant act(1.0f);
+  EXPECT_THROW(act.set_bits(0), Error);
+  EXPECT_THROW(act.set_bits(64), Error);
+}
+
+TEST(PactTest, ForwardClipsAtAlpha) {
+  PactActivation act(2.0f);
+  act.set_bits(32);
+  Tensor x = Tensor::from({-1.0f, 1.0f, 3.0f});
+  const Tensor y = act.forward(x);
+  EXPECT_FLOAT_EQ(y(0), 0.0f);
+  EXPECT_FLOAT_EQ(y(1), 1.0f);
+  EXPECT_FLOAT_EQ(y(2), 2.0f);
+}
+
+TEST(PactTest, QuantizedLevelsScaleWithAlpha) {
+  PactActivation act(4.0f);
+  act.set_bits(2);
+  Tensor x = Tensor::from({1.4f});
+  // Grid over [0, 4] with 3 steps: {0, 4/3, 8/3, 4}; 1.4 → 4/3.
+  EXPECT_NEAR(act.forward(x)(0), 4.0f / 3.0f, 1e-5f);
+}
+
+TEST(PactTest, AlphaReceivesSaturatedGradient) {
+  PactActivation act(1.0f);
+  act.set_bits(4);
+  Tensor x = Tensor::from({0.5f, 2.0f, 3.0f});  // two saturated
+  act.forward(x);
+  act.alpha_param().zero_grad();
+  act.backward(Tensor({3}, 1.0f));
+  EXPECT_FLOAT_EQ(act.alpha_param().grad.at(0), 2.0f);
+}
+
+TEST(PactTest, AlphaGradientMatchesNumericWithoutDiscretisation) {
+  // PACT's published ∂y/∂α rule (1 where x ≥ α, 0 elsewhere) is exact for
+  // the clipping function itself; with discretisation enabled the rule is
+  // an STE approximation, so the numeric comparison uses 32-bit mode and
+  // inputs away from the x = α kink.
+  PactActivation act(1.0f);
+  act.set_bits(32);
+  Rng rng(2);
+  Tensor x({64});
+  for (std::size_t i = 0; i < 64; ++i) {
+    x.at(i) = static_cast<float>(rng.uniform(-0.5, 2.0));
+    if (std::fabs(x.at(i) - 1.0f) < 0.05f) x.at(i) = 1.5f;  // avoid kink
+  }
+  Tensor coeff = Tensor::randn({64}, rng);
+
+  act.alpha_param().zero_grad();
+  act.forward(x);
+  act.backward(coeff);
+  const float analytic = act.alpha_param().grad.at(0);
+
+  const double eps = 1e-3;
+  auto loss_at = [&](float a) {
+    act.alpha_param().value.at(0) = a;
+    const Tensor y = act.forward(x);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < 64; ++i) acc += coeff.at(i) * y.at(i);
+    return acc;
+  };
+  const float a0 = act.alpha_param().value.at(0);
+  const double numeric =
+      (loss_at(a0 + static_cast<float>(eps)) -
+       loss_at(a0 - static_cast<float>(eps))) /
+      (2 * eps);
+  act.alpha_param().value.at(0) = a0;
+  EXPECT_NEAR(analytic, numeric, 0.02 * std::max(1.0, std::fabs(numeric)));
+}
+
+TEST(PactTest, InputGradientMasksLikePact) {
+  PactActivation act(1.0f);
+  act.set_bits(4);
+  Tensor x = Tensor::from({-0.5f, 0.5f, 1.5f});
+  act.forward(x);
+  const Tensor g = act.backward(Tensor({3}, 3.0f));
+  EXPECT_EQ(g(0), 0.0f);  // below zero
+  EXPECT_EQ(g(1), 3.0f);  // pass-through
+  EXPECT_EQ(g(2), 0.0f);  // saturated (gradient went to α)
+}
+
+TEST(PactTest, AlphaIsRegisteredParameter) {
+  PactActivation act(6.0f, "layer3");
+  std::vector<nn::Parameter*> params;
+  act.collect_parameters(params);
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_EQ(params[0]->name, "layer3.alpha");
+  EXPECT_EQ(params[0]->weight_decay_scale, 1.0f);  // PACT L2-regularises α
+}
+
+TEST(PactTest, AlphaFloorPreventsCollapse) {
+  PactActivation act(6.0f);
+  act.set_bits(4);
+  act.alpha_param().value.at(0) = -5.0f;  // pathological update
+  Tensor x = Tensor::from({0.5f});
+  const Tensor y = act.forward(x);  // must not divide by ≤ 0
+  EXPECT_TRUE(std::isfinite(y(0)));
+  EXPECT_GE(y(0), 0.0f);
+}
+
+TEST(PactTest, InvalidInitThrows) {
+  EXPECT_THROW(PactActivation(-1.0f), Error);
+}
+
+}  // namespace
+}  // namespace ccq::quant

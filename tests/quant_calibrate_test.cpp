@@ -1,0 +1,131 @@
+// Tests for the static calibrators (ACIQ analytic clip, KL histogram).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccq/quant/calibrate.hpp"
+#include "ccq/quant/uniform.hpp"
+
+namespace ccq::quant {
+namespace {
+
+Tensor laplace_samples(std::size_t n, float b, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t({n});
+  for (auto& v : t.data()) {
+    const double u = rng.uniform(1e-9, 1.0);
+    v = static_cast<float>((rng.uniform() < 0.5 ? -1.0 : 1.0) *
+                           -std::log(u) * b);
+  }
+  return t;
+}
+
+TEST(AciqTest, KappaGrowsWithBits) {
+  for (auto dist : {WeightDist::kGaussian, WeightDist::kLaplace}) {
+    float prev = 0.0f;
+    for (int bits = 2; bits <= 8; ++bits) {
+      const float k = aciq_kappa(bits, dist);
+      EXPECT_GT(k, prev);
+      prev = k;
+    }
+  }
+}
+
+TEST(AciqTest, LaplaceKappaExceedsGaussian) {
+  // Heavier tails need wider clips at every precision.
+  for (int bits = 2; bits <= 8; ++bits) {
+    EXPECT_GT(aciq_kappa(bits, WeightDist::kLaplace),
+              aciq_kappa(bits, WeightDist::kGaussian));
+  }
+}
+
+TEST(AciqTest, BitsOutOfTableThrow) {
+  EXPECT_THROW(aciq_kappa(1, WeightDist::kGaussian), Error);
+  EXPECT_THROW(aciq_kappa(9, WeightDist::kGaussian), Error);
+}
+
+TEST(AciqTest, GaussianClipScalesWithSigma) {
+  Rng rng(1);
+  Tensor w1 = Tensor::randn({20000}, rng, 1.0f);
+  Tensor w2 = Tensor::randn({20000}, rng, 2.0f);
+  const float c1 = aciq_clip(w1, 4, WeightDist::kGaussian);
+  const float c2 = aciq_clip(w2, 4, WeightDist::kGaussian);
+  EXPECT_NEAR(c2 / c1, 2.0f, 0.1f);
+  EXPECT_NEAR(c1, aciq_kappa(4, WeightDist::kGaussian), 0.1f);
+}
+
+TEST(AciqTest, ClipIsBelowMaxForLargeSamples) {
+  // The whole point of ACIQ: clip inside the observed range at low bits.
+  Tensor w = laplace_samples(50000, 0.1f, 2);
+  const float clip = aciq_clip(w, 2, WeightDist::kLaplace);
+  const float max_abs = std::max(w.max(), -w.min());
+  EXPECT_LT(clip, max_abs);
+  EXPECT_GT(clip, 0.0f);
+}
+
+TEST(AciqTest, AciqClipBeatsMinMaxMseOnLaplaceData) {
+  Tensor w = laplace_samples(20000, 0.05f, 3);
+  const float aciq = aciq_clip(w, 3, WeightDist::kLaplace);
+  const float minmax = std::max(w.max(), -w.min());
+  EXPECT_LT(quantization_mse(w, 3, aciq), quantization_mse(w, 3, minmax));
+}
+
+TEST(KlTest, ClipWithinObservedRange) {
+  Tensor w = laplace_samples(20000, 0.1f, 4);
+  const float clip = kl_calibrate_clip(w, 4);
+  EXPECT_GT(clip, 0.0f);
+  EXPECT_LE(clip, std::max(w.max(), -w.min()) * 1.001f);
+}
+
+TEST(KlTest, CutsHeavyTailAtLowBits) {
+  // With a Laplace tail the KL-optimal low-bit clip must discard a
+  // substantial part of the observed range (the outliers carry almost no
+  // probability mass but would waste grid resolution).
+  Tensor w = laplace_samples(40000, 0.1f, 5);
+  const float clip2 = kl_calibrate_clip(w, 2);
+  const float max_abs = std::max(w.max(), -w.min());
+  EXPECT_LT(clip2, 0.8f * max_abs);
+}
+
+TEST(KlTest, BeatsMinMaxMseAtTwoBitsOnHeavyTails) {
+  Tensor w = laplace_samples(30000, 0.05f, 6);
+  const float kl = kl_calibrate_clip(w, 2);
+  const float minmax = std::max(w.max(), -w.min());
+  EXPECT_LT(quantization_mse(w, 2, kl), quantization_mse(w, 2, minmax));
+}
+
+TEST(KlTest, HighPrecisionKeepsWideClip) {
+  // At 8 bits nearly every threshold has ~zero divergence; the tie-break
+  // must keep the widest clip instead of letting numerical noise pick a
+  // degenerate tiny one (regression guard for a real failure seen in the
+  // static-calibration bench).
+  Tensor w = laplace_samples(30000, 0.1f, 9);
+  const float clip8 = kl_calibrate_clip(w, 8);
+  const float max_abs = std::max(w.max(), -w.min());
+  EXPECT_GT(clip8, 0.5f * max_abs);
+}
+
+TEST(KlTest, UniformDataKeepsWideClip) {
+  // For uniform data there are no outliers to cut: the KL-optimal clip
+  // should stay close to the max.
+  Rng rng(7);
+  Tensor w = Tensor::rand_uniform({20000}, rng, -1.0f, 1.0f);
+  const float clip = kl_calibrate_clip(w, 4);
+  EXPECT_GT(clip, 0.7f);
+}
+
+TEST(KlTest, ValidatesArguments) {
+  Tensor w = laplace_samples(100, 0.1f, 8);
+  EXPECT_THROW(kl_calibrate_clip(w, 1), Error);
+  EXPECT_THROW(kl_calibrate_clip(w, 4, 4), Error);
+  Tensor empty;
+  EXPECT_THROW(kl_calibrate_clip(empty, 4), Error);
+}
+
+TEST(KlTest, AllZeroInputYieldsTinyClip) {
+  Tensor w({128});
+  EXPECT_LE(kl_calibrate_clip(w, 4), 1e-6f);
+}
+
+}  // namespace
+}  // namespace ccq::quant

@@ -1,0 +1,152 @@
+// Property tests for the core uniform quantization math (paper Eq. 2/3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ccq/quant/uniform.hpp"
+
+namespace ccq::quant {
+namespace {
+
+class SymmetricGridTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymmetricGridTest, CodomainSizeIsAtMostGridSize) {
+  const int bits = GetParam();
+  Rng rng(bits);
+  Tensor w = Tensor::randn({2000}, rng);
+  Tensor q = quantize_symmetric(w, bits, 1.0f);
+  std::set<float> values(q.data().begin(), q.data().end());
+  EXPECT_LE(values.size(),
+            static_cast<std::size_t>(2 * symmetric_levels(bits) + 1));
+  EXPECT_GT(values.size(), 1u);
+}
+
+TEST_P(SymmetricGridTest, Idempotent) {
+  const int bits = GetParam();
+  Rng rng(bits + 100);
+  Tensor w = Tensor::randn({500}, rng);
+  Tensor q1 = quantize_symmetric(w, bits, 0.8f);
+  Tensor q2 = quantize_symmetric(q1, bits, 0.8f);
+  EXPECT_LT(max_abs_diff(q1, q2), 1e-6f);
+}
+
+TEST_P(SymmetricGridTest, OutputWithinClip) {
+  const int bits = GetParam();
+  Rng rng(bits + 200);
+  Tensor w = Tensor::randn({500}, rng, 3.0f);
+  Tensor q = quantize_symmetric(w, bits, 0.5f);
+  EXPECT_LE(q.max(), 0.5f + 1e-6f);
+  EXPECT_GE(q.min(), -0.5f - 1e-6f);
+}
+
+TEST_P(SymmetricGridTest, Monotone) {
+  const int bits = GetParam();
+  float prev = -10.0f;
+  for (float x = -2.0f; x <= 2.0f; x += 0.01f) {
+    const float q = quantize_symmetric(x, bits, 1.0f);
+    EXPECT_GE(q, prev - 1e-7f) << "at x=" << x;
+    prev = q;
+  }
+}
+
+TEST_P(SymmetricGridTest, OddSymmetry) {
+  const int bits = GetParam();
+  for (float x = 0.0f; x <= 2.0f; x += 0.037f) {
+    EXPECT_NEAR(quantize_symmetric(-x, bits, 1.0f),
+                -quantize_symmetric(x, bits, 1.0f), 1e-6f);
+  }
+}
+
+TEST_P(SymmetricGridTest, ZeroIsRepresentable) {
+  EXPECT_EQ(quantize_symmetric(0.0f, GetParam(), 1.0f), 0.0f);
+}
+
+TEST_P(SymmetricGridTest, ValuesLandOnTheGrid) {
+  const int bits = GetParam();
+  const auto grid = symmetric_grid(bits, 0.7f);
+  Rng rng(bits + 300);
+  for (int i = 0; i < 200; ++i) {
+    const float q = quantize_symmetric(
+        static_cast<float>(rng.normal(0.0, 1.0)), bits, 0.7f);
+    bool on_grid = false;
+    for (float g : grid) {
+      if (std::fabs(g - q) < 1e-5f) {
+        on_grid = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(on_grid) << "value " << q << " off grid";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, SymmetricGridTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 8));
+
+TEST(UniformTest, QuantizeUnitEndpoints) {
+  EXPECT_EQ(quantize_unit(0.0f, 4), 0.0f);
+  EXPECT_EQ(quantize_unit(1.0f, 4), 1.0f);
+  EXPECT_EQ(quantize_unit(-0.5f, 4), 0.0f);  // clipped
+  EXPECT_EQ(quantize_unit(1.5f, 4), 1.0f);   // clipped
+}
+
+TEST(UniformTest, QuantizeUnitLevelCount) {
+  // 2-bit unsigned grid: {0, 1/3, 2/3, 1}.
+  std::set<float> values;
+  for (float x = 0.0f; x <= 1.0f; x += 0.001f) {
+    values.insert(quantize_unit(x, 2));
+  }
+  EXPECT_EQ(values.size(), 4u);
+}
+
+TEST(UniformTest, UnsignedScalesWithClip) {
+  EXPECT_NEAR(quantize_unsigned(3.0f, 2, 6.0f), 4.0f, 1e-5f);
+  EXPECT_NEAR(quantize_unsigned(10.0f, 2, 6.0f), 6.0f, 1e-5f);
+}
+
+TEST(UniformTest, FullPrecisionPassThroughClips) {
+  EXPECT_EQ(quantize_unsigned(0.4f, 32, 1.0f), 0.4f);
+  EXPECT_EQ(quantize_unsigned(1.4f, 32, 1.0f), 1.0f);
+  EXPECT_EQ(quantize_symmetric(-0.3f, 32, 1.0f), -0.3f);
+}
+
+TEST(UniformTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(quantize_unit(0.5f, 0), Error);
+  EXPECT_THROW(quantize_symmetric(0.5f, 4, -1.0f), Error);
+  EXPECT_THROW(quantize_symmetric(0.5f, 1, 1.0f), Error);
+}
+
+TEST(UniformTest, MseDecreasesWithBits) {
+  Rng rng(42);
+  Tensor w = Tensor::randn({5000}, rng);
+  float prev = 1e30f;
+  for (int bits : {2, 3, 4, 6, 8}) {
+    const float mse = quantization_mse(w, bits, 2.5f);
+    EXPECT_LT(mse, prev) << "bits=" << bits;
+    prev = mse;
+  }
+}
+
+TEST(UniformTest, MseIsZeroForRepresentableInput) {
+  const auto grid = symmetric_grid(3, 1.0f);
+  Tensor w({grid.size()}, grid);
+  EXPECT_NEAR(quantization_mse(w, 3, 1.0f), 0.0f, 1e-10f);
+}
+
+TEST(UniformTest, GridHasExpectedStructure) {
+  const auto grid = symmetric_grid(2, 1.0f);
+  ASSERT_EQ(grid.size(), 3u);  // {−1, 0, +1}
+  EXPECT_FLOAT_EQ(grid[0], -1.0f);
+  EXPECT_FLOAT_EQ(grid[1], 0.0f);
+  EXPECT_FLOAT_EQ(grid[2], 1.0f);
+}
+
+TEST(UniformTest, LevelsHelpers) {
+  EXPECT_EQ(unsigned_levels(2), 3.0f);
+  EXPECT_EQ(unsigned_levels(8), 255.0f);
+  EXPECT_EQ(symmetric_levels(2), 1.0f);
+  EXPECT_EQ(symmetric_levels(8), 127.0f);
+}
+
+}  // namespace
+}  // namespace ccq::quant

@@ -1,0 +1,178 @@
+// Tests for the bit ladder and the layer registry (the CCQ controller's
+// precision-state bookkeeping).
+#include <gtest/gtest.h>
+
+#include "ccq/quant/registry.hpp"
+
+namespace ccq::quant {
+namespace {
+
+QuantUnit make_unit(const std::string& name, std::size_t weights,
+                    std::shared_ptr<WeightQuantHook>* hook_out = nullptr) {
+  QuantUnit unit;
+  unit.name = name;
+  auto hook = std::make_shared<MinMaxWeightHook>();
+  if (hook_out != nullptr) *hook_out = hook;
+  unit.weight_hook = std::move(hook);
+  unit.weight_count = weights;
+  unit.macs = weights * 10;
+  return unit;
+}
+
+TEST(BitLadderTest, DefaultLadderMatchesPaper) {
+  BitLadder ladder;
+  EXPECT_EQ(ladder.initial_bits(), 8);
+  EXPECT_EQ(ladder.final_bits(), 2);
+  EXPECT_EQ(ladder.size(), 5u);
+  EXPECT_EQ(ladder.str(), "8→6→4→3→2");
+}
+
+TEST(BitLadderTest, RejectsNonDecreasing) {
+  EXPECT_THROW(BitLadder({4, 4}), Error);
+  EXPECT_THROW(BitLadder({4, 8}), Error);
+  EXPECT_THROW(BitLadder(std::vector<int>{}), Error);
+  EXPECT_THROW(BitLadder({40, 4}), Error);
+  EXPECT_THROW(BitLadder({4, 0}), Error);
+}
+
+TEST(BitLadderTest, PositionQueries) {
+  BitLadder ladder({8, 4, 2});
+  EXPECT_EQ(ladder.bits_at(1), 4);
+  EXPECT_FALSE(ladder.is_last(1));
+  EXPECT_TRUE(ladder.is_last(2));
+  EXPECT_THROW(ladder.bits_at(3), Error);
+}
+
+TEST(RegistryTest, AddSetsInitialBits) {
+  LayerRegistry reg(BitLadder({8, 4, 2}));
+  reg.add(make_unit("a", 100));
+  EXPECT_EQ(reg.bits_of(0), 8);
+  EXPECT_EQ(reg.unit(0).ladder_pos, 0u);
+}
+
+TEST(RegistryTest, StartAtFpLeavesFullPrecision) {
+  LayerRegistry reg(BitLadder({8, 4, 2}));
+  reg.add(make_unit("a", 100), /*start_at_fp=*/true);
+  EXPECT_EQ(reg.bits_of(0), 32);
+}
+
+TEST(RegistryTest, StepDownWalksLadder) {
+  LayerRegistry reg(BitLadder({8, 4, 2}));
+  reg.add(make_unit("a", 100));
+  reg.step_down(0);
+  EXPECT_EQ(reg.bits_of(0), 4);
+  reg.step_down(0);
+  EXPECT_EQ(reg.bits_of(0), 2);
+  EXPECT_TRUE(reg.sleeping(0));
+  EXPECT_THROW(reg.step_down(0), Error);
+}
+
+TEST(RegistryTest, SleepingDetection) {
+  LayerRegistry reg(BitLadder({8, 4}));
+  reg.add(make_unit("a", 10));
+  reg.add(make_unit("b", 10));
+  EXPECT_FALSE(reg.all_sleeping());
+  reg.step_down(0);
+  EXPECT_TRUE(reg.sleeping(0));
+  EXPECT_FALSE(reg.all_sleeping());
+  reg.step_down(1);
+  EXPECT_TRUE(reg.all_sleeping());
+}
+
+TEST(RegistryTest, FrozenLayersSleepAndRejectMoves) {
+  LayerRegistry reg(BitLadder({8, 4}));
+  reg.add(make_unit("a", 10));
+  reg.force_bits(0, 32);
+  EXPECT_TRUE(reg.sleeping(0));
+  EXPECT_EQ(reg.bits_of(0), 32);
+  EXPECT_THROW(reg.set_ladder_pos(0, 1), Error);
+  // set_all skips frozen layers silently.
+  reg.add(make_unit("b", 10));
+  reg.set_all(1);
+  EXPECT_EQ(reg.bits_of(0), 32);
+  EXPECT_EQ(reg.bits_of(1), 4);
+}
+
+TEST(RegistryTest, CompressionRatioMath) {
+  LayerRegistry reg(BitLadder({8, 4, 2}));
+  reg.add(make_unit("a", 100));
+  reg.add(make_unit("b", 300));
+  // All at 8 bits: 32/8 = 4×.
+  EXPECT_DOUBLE_EQ(reg.compression_ratio(), 4.0);
+  reg.set_ladder_pos(1, 2);  // b → 2 bits
+  // (400·32) / (100·8 + 300·2) = 12800/1400.
+  EXPECT_NEAR(reg.compression_ratio(), 12800.0 / 1400.0, 1e-9);
+}
+
+TEST(RegistryTest, MemorySharesReflectBitsAndSize) {
+  LayerRegistry reg(BitLadder({8, 4}));
+  reg.add(make_unit("small", 100));
+  reg.add(make_unit("big", 300));
+  auto shares = reg.memory_shares();
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_NEAR(shares[0], 0.25, 1e-9);
+  EXPECT_NEAR(shares[1], 0.75, 1e-9);
+  // Quantizing the big layer shrinks its share.
+  reg.set_ladder_pos(1, 1);
+  shares = reg.memory_shares();
+  EXPECT_NEAR(shares[1], 300.0 * 4 / (100.0 * 8 + 300.0 * 4), 1e-9);
+}
+
+TEST(RegistryTest, ProbeGuardRestoresState) {
+  LayerRegistry reg(BitLadder({8, 4, 2}));
+  reg.add(make_unit("a", 10));
+  {
+    LayerRegistry::ProbeGuard guard(reg, 0);
+    EXPECT_EQ(reg.bits_of(0), 4);
+  }
+  EXPECT_EQ(reg.bits_of(0), 8);
+  EXPECT_EQ(reg.unit(0).ladder_pos, 0u);
+}
+
+TEST(RegistryTest, ProbeGuardOnSleepingLayerThrows) {
+  LayerRegistry reg(BitLadder({8, 4}));
+  reg.add(make_unit("a", 10));
+  reg.step_down(0);
+  EXPECT_THROW(LayerRegistry::ProbeGuard(reg, 0), Error);
+}
+
+TEST(RegistryTest, BitsStringFormat) {
+  LayerRegistry reg(BitLadder({8, 4}));
+  reg.add(make_unit("a", 10));
+  reg.add(make_unit("b", 10));
+  reg.step_down(1);
+  EXPECT_EQ(reg.bits_str(), "8,4");
+}
+
+TEST(RegistryTest, ActBitsFollowWeightBits) {
+  LayerRegistry reg(BitLadder({8, 4}));
+  auto act = std::make_unique<ClipActQuant>(1.0f);
+  QuantUnit unit = make_unit("a", 10);
+  unit.act = act.get();
+  reg.add(std::move(unit));
+  EXPECT_EQ(act->bits(), 8);
+  reg.step_down(0);
+  EXPECT_EQ(act->bits(), 4);
+}
+
+TEST(RegistryTest, ValidationErrors) {
+  LayerRegistry reg(BitLadder({8, 4}));
+  EXPECT_THROW(reg.unit(0), Error);
+  QuantUnit bad;
+  bad.weight_count = 10;
+  EXPECT_THROW(reg.add(std::move(bad)), Error);  // no hook
+  QuantUnit no_weights = make_unit("x", 1);
+  no_weights.weight_count = 0;
+  EXPECT_THROW(reg.add(std::move(no_weights)), Error);
+  EXPECT_THROW(reg.compression_ratio(), Error);  // empty registry
+}
+
+TEST(RegistryTest, TotalWeights) {
+  LayerRegistry reg(BitLadder({8, 4}));
+  reg.add(make_unit("a", 100));
+  reg.add(make_unit("b", 23));
+  EXPECT_EQ(reg.total_weights(), 123u);
+}
+
+}  // namespace
+}  // namespace ccq::quant

@@ -1,0 +1,224 @@
+// Unit tests for the Tensor core: construction, arithmetic, reductions,
+// reshape and serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "ccq/tensor/serialize.hpp"
+#include "ccq/tensor/tensor.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(ShapeTest, NumelIsProductOfDims) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({}), 1u);
+  EXPECT_EQ(shape_numel({0, 5}), 0u);
+}
+
+TEST(ShapeTest, StrRendersBrackets) {
+  EXPECT_EQ(shape_str({2, 3}), "[2, 3]");
+  EXPECT_EQ(shape_str({}), "[]");
+}
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(TensorTest, ZeroInitialised) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, FillConstructor) {
+  Tensor t({4}, 2.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(TensorTest, FromValuesValidatesCount) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), Error);
+}
+
+TEST(TensorTest, InitializerListFactory) {
+  Tensor t = Tensor::from({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_EQ(t(1), 2.0f);
+}
+
+TEST(TensorTest, RandnHasRequestedSpread) {
+  Rng rng(5);
+  Tensor t = Tensor::randn({10000}, rng, 2.0f);
+  EXPECT_NEAR(t.mean(), 0.0f, 0.1f);
+  EXPECT_NEAR(std::sqrt(t.sqnorm() / 10000.0f), 2.0f, 0.1f);
+}
+
+TEST(TensorTest, RandUniformInRange) {
+  Rng rng(6);
+  Tensor t = Tensor::rand_uniform({1000}, rng, -1.0f, 2.0f);
+  EXPECT_GE(t.min(), -1.0f);
+  EXPECT_LT(t.max(), 2.0f);
+}
+
+TEST(TensorTest, IndexingRoundTrips) {
+  Tensor t({2, 3, 4, 5});
+  t(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t(1, 2, 3, 4), 7.0f);
+  const std::size_t flat = ((1 * 3 + 2) * 4 + 3) * 5 + 4;
+  EXPECT_EQ(t.at(flat), 7.0f);
+}
+
+TEST(TensorTest, IndexingIsBoundsChecked) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t(2, 0), Error);
+  EXPECT_THROW(t(0, 2), Error);
+  EXPECT_THROW(t.at(4), Error);
+}
+
+TEST(TensorTest, RankIsChecked) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t(0), Error);          // rank-1 access on rank-2
+  EXPECT_THROW(t(0, 0, 0), Error);    // rank-3 access on rank-2
+}
+
+TEST(TensorTest, ElementwiseArithmetic) {
+  Tensor a = Tensor::from({1, 2, 3});
+  Tensor b = Tensor::from({4, 5, 6});
+  Tensor sum = a + b;
+  Tensor diff = b - a;
+  Tensor prod = a * b;
+  EXPECT_EQ(sum(1), 7.0f);
+  EXPECT_EQ(diff(2), 3.0f);
+  EXPECT_EQ(prod(0), 4.0f);
+}
+
+TEST(TensorTest, ScalarArithmetic) {
+  Tensor a = Tensor::from({1, 2});
+  a += 1.0f;
+  a *= 2.0f;
+  EXPECT_EQ(a(0), 4.0f);
+  EXPECT_EQ(a(1), 6.0f);
+  Tensor b = a * 0.5f;
+  EXPECT_EQ(b(0), 2.0f);
+  Tensor c = 2.0f * a;
+  EXPECT_EQ(c(1), 12.0f);
+}
+
+TEST(TensorTest, ShapeMismatchThrows) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_THROW(a += b, Error);
+  EXPECT_THROW(a -= b, Error);
+  EXPECT_THROW(a *= b, Error);
+}
+
+TEST(TensorTest, ApplyTransformsInPlace) {
+  Tensor a = Tensor::from({-1, 2, -3});
+  a.apply([](float v) { return v < 0 ? 0.0f : v; });
+  EXPECT_EQ(a(0), 0.0f);
+  EXPECT_EQ(a(1), 2.0f);
+  EXPECT_EQ(a(2), 0.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor a = Tensor::from({1, -2, 3, 4});
+  EXPECT_FLOAT_EQ(a.sum(), 6.0f);
+  EXPECT_FLOAT_EQ(a.mean(), 1.5f);
+  EXPECT_FLOAT_EQ(a.min(), -2.0f);
+  EXPECT_FLOAT_EQ(a.max(), 4.0f);
+  EXPECT_EQ(a.argmax(), 3u);
+  EXPECT_FLOAT_EQ(a.sqnorm(), 1 + 4 + 9 + 16);
+  EXPECT_FLOAT_EQ(a.abs_mean(), 2.5f);
+}
+
+TEST(TensorTest, ReductionsOnEmptyThrow) {
+  Tensor t;
+  EXPECT_THROW(t.mean(), Error);
+  EXPECT_THROW(t.min(), Error);
+  EXPECT_THROW(t.max(), Error);
+  EXPECT_THROW(t.argmax(), Error);
+}
+
+TEST(TensorTest, HasNonfiniteDetectsNanAndInf) {
+  Tensor a = Tensor::from({1, 2});
+  EXPECT_FALSE(a.has_nonfinite());
+  a(0) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(a.has_nonfinite());
+  a(0) = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(a.has_nonfinite());
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor a = Tensor::from({1, 2, 3, 4, 5, 6});
+  Tensor b = a.reshaped({2, 3});
+  EXPECT_EQ(b(1, 0), 4.0f);
+  EXPECT_THROW(a.reshaped({4, 2}), Error);
+}
+
+TEST(TensorTest, MaxAbsDiff) {
+  Tensor a = Tensor::from({1, 2, 3});
+  Tensor b = Tensor::from({1, 2.5f, 3});
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+  Tensor c({2});
+  EXPECT_THROW(max_abs_diff(a, c), Error);
+}
+
+TEST(TensorTest, StreamOutputMentionsShape) {
+  Tensor a({2, 2});
+  std::ostringstream os;
+  os << a;
+  EXPECT_NE(os.str().find("[2, 2]"), std::string::npos);
+}
+
+TEST(SerializeTest, TensorRoundTrip) {
+  Rng rng(9);
+  Tensor t = Tensor::randn({3, 4, 5}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  Tensor back = read_tensor(ss);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_EQ(max_abs_diff(back, t), 0.0f);
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "JUNKJUNKJUNK";
+  EXPECT_THROW(read_tensor(ss), Error);
+}
+
+TEST(SerializeTest, RejectsTruncatedStream) {
+  Rng rng(9);
+  Tensor t = Tensor::randn({100}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  std::string data = ss.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_tensor(truncated), Error);
+}
+
+TEST(SerializeTest, TensorMapRoundTripThroughFile) {
+  Rng rng(10);
+  TensorMap m;
+  m.emplace("w1", Tensor::randn({4, 4}, rng));
+  m.emplace("b1", Tensor::randn({4}, rng));
+  const std::string path = "/tmp/ccq_serialize_test.bin";
+  save_tensors(path, m);
+  TensorMap back = load_tensors(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(max_abs_diff(back.at("w1"), m.at("w1")), 0.0f);
+  EXPECT_EQ(max_abs_diff(back.at("b1"), m.at("b1")), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_tensors("/tmp/ccq_definitely_missing.bin"), Error);
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,109 @@
+// Tests for the toy datasets (two spirals, Gaussian blobs).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccq/core/trainer.hpp"
+#include "ccq/data/toy.hpp"
+#include "ccq/models/simple.hpp"
+
+namespace ccq::data {
+namespace {
+
+TEST(TwoSpiralsTest, GeneratesBalancedClasses) {
+  Dataset ds = make_two_spirals(50);
+  EXPECT_EQ(ds.size(), 100u);
+  EXPECT_EQ(ds.num_classes(), 2u);
+  int count0 = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (ds.label(i) == 0) ++count0;
+  }
+  EXPECT_EQ(count0, 50);
+}
+
+TEST(TwoSpiralsTest, PointsStayNearUnitBox) {
+  Dataset ds = make_two_spirals(100, 0.02f);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_GT(ds.image(i).min(), -0.3f);
+    EXPECT_LT(ds.image(i).max(), 1.3f);
+  }
+}
+
+TEST(TwoSpiralsTest, DeterministicPerSeed) {
+  Dataset a = make_two_spirals(20, 0.05f, 5);
+  Dataset b = make_two_spirals(20, 0.05f, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(max_abs_diff(a.image(i), b.image(i)), 0.0f);
+  }
+}
+
+TEST(TwoSpiralsTest, CentroidsCoincideSoTaskIsNonlinear) {
+  // Spirals wind around each other: per-class centroids nearly coincide,
+  // the defining "not linearly separable" property of this benchmark.
+  Dataset train = make_two_spirals(120, 0.03f, 6);
+  Tensor mean0({1, 1, 2}), mean1({1, 1, 2});
+  int n0 = 0, n1 = 0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    if (train.label(i) == 0) {
+      mean0 += train.image(i);
+      ++n0;
+    } else {
+      mean1 += train.image(i);
+      ++n1;
+    }
+  }
+  mean0 *= 1.0f / static_cast<float>(n0);
+  mean1 *= 1.0f / static_cast<float>(n1);
+  const Tensor diff = mean0 - mean1;
+  EXPECT_LT(std::sqrt(diff.sqnorm()), 0.2f);
+}
+
+TEST(GaussianBlobsTest, ShapesAndDeterminism) {
+  Dataset ds = make_gaussian_blobs(3, 20, 5, 0.1f, 7);
+  EXPECT_EQ(ds.size(), 60u);
+  EXPECT_EQ(ds.width(), 5u);
+  EXPECT_EQ(ds.num_classes(), 3u);
+  Dataset ds2 = make_gaussian_blobs(3, 20, 5, 0.1f, 7);
+  EXPECT_EQ(max_abs_diff(ds.image(0), ds2.image(0)), 0.0f);
+}
+
+TEST(GaussianBlobsTest, TightBlobsAreCentroidSeparable) {
+  Dataset ds = make_gaussian_blobs(4, 40, 8, 0.03f, 11);
+  // Nearest-centroid classification should be nearly perfect at this
+  // spread — verifies the blobs are genuinely clustered by label.
+  std::vector<Tensor> centroid(4, Tensor({1, 1, 8}));
+  std::vector<int> counts(4, 0);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    centroid[static_cast<std::size_t>(ds.label(i))] += ds.image(i);
+    ++counts[static_cast<std::size_t>(ds.label(i))];
+  }
+  for (int c = 0; c < 4; ++c) {
+    centroid[static_cast<std::size_t>(c)] *=
+        1.0f / static_cast<float>(counts[static_cast<std::size_t>(c)]);
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    float best = 1e30f;
+    int best_c = -1;
+    for (int c = 0; c < 4; ++c) {
+      const Tensor diff = ds.image(i) - centroid[static_cast<std::size_t>(c)];
+      if (diff.sqnorm() < best) {
+        best = diff.sqnorm();
+        best_c = c;
+      }
+    }
+    if (best_c == ds.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(ds.size()),
+            0.95);
+}
+
+TEST(ToyDataTest, ValidatesArguments) {
+  EXPECT_THROW(make_two_spirals(0), Error);
+  EXPECT_THROW(make_gaussian_blobs(0, 10, 2), Error);
+  EXPECT_THROW(make_gaussian_blobs(2, 0, 2), Error);
+  EXPECT_THROW(make_gaussian_blobs(2, 10, 0), Error);
+}
+
+}  // namespace
+}  // namespace ccq::data

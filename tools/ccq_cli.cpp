@@ -1,0 +1,235 @@
+// ccq — command-line front end for the library.
+//
+//   ccq run    --arch resnet20 --policy pact --ladder 8,4,2 …
+//       Pretrain (or load) a baseline, run the CCQ controller, print the
+//       per-layer allocation; optionally save a snapshot / JSON record.
+//   ccq oneshot --arch … --policy … --bits-pos N
+//       One-shot quantize + fine-tune (the baseline scheme).
+//   ccq power  --arch resnet20
+//       Iso-throughput power of fp32 / partial / fully-quantized configs.
+//   ccq policies
+//       List the available quantization policies.
+//
+// All experiments run on the procedural synthetic datasets (see
+// DESIGN.md §2); sizes are flags.
+#include <iostream>
+
+#include "ccq/common/args.hpp"
+#include "ccq/common/json.hpp"
+#include "ccq/common/table.hpp"
+#include "ccq/core/baselines.hpp"
+#include "ccq/core/ccq.hpp"
+#include "ccq/core/snapshot.hpp"
+#include "ccq/data/synthetic.hpp"
+#include "ccq/hw/mac_model.hpp"
+#include "ccq/models/resnet.hpp"
+#include "ccq/models/simple.hpp"
+
+namespace {
+
+using namespace ccq;
+
+struct Experiment {
+  data::Dataset train;
+  data::Dataset val;
+  models::QuantModel model;
+};
+
+models::QuantModel build_model(const Args& args, std::size_t classes,
+                               const quant::BitLadder& ladder) {
+  const std::string arch = args.get("arch", "resnet20");
+  quant::QuantFactory factory{
+      .policy = quant::policy_from_str(args.get("policy", "pact"))};
+  models::ModelConfig config;
+  config.num_classes = classes;
+  config.image_size = static_cast<std::size_t>(args.get_int("image", 16));
+  config.width_multiplier =
+      static_cast<float>(args.get_double("width", 0.25));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  if (arch == "resnet20") return models::make_resnet20(config, factory, ladder);
+  if (arch == "resnet18") return models::make_resnet18(config, factory, ladder);
+  if (arch == "resnet50") return models::make_resnet50(config, factory, ladder);
+  if (arch == "simplecnn") {
+    return models::make_simple_cnn(config, factory, ladder);
+  }
+  if (arch == "mlp") {
+    return models::make_mlp(config, factory, ladder,
+                            static_cast<std::size_t>(args.get_int("hidden", 64)));
+  }
+  throw Error("unknown --arch " + arch +
+              " (resnet20|resnet18|resnet50|simplecnn|mlp)");
+}
+
+Experiment prepare(const Args& args) {
+  data::SyntheticConfig dc;
+  dc.num_classes = static_cast<std::size_t>(args.get_int("classes", 10));
+  dc.samples_per_class =
+      static_cast<std::size_t>(args.get_int("samples", 55));
+  dc.height = dc.width = static_cast<std::size_t>(args.get_int("image", 16));
+  dc.pixel_noise = static_cast<float>(args.get_double("noise", 0.38));
+  dc.jitter = static_cast<float>(args.get_double("jitter", 2.6));
+  dc.seed = static_cast<std::uint64_t>(args.get_int("data-seed", 1234));
+  data::Dataset train = data::make_synthetic_vision(dc);
+  data::Dataset val = train.take_tail(train.size() / 5);
+
+  const quant::BitLadder ladder(args.get_int_list("ladder", {8, 4, 2}));
+  auto model = build_model(args, dc.num_classes, ladder);
+
+  core::TrainConfig pre;
+  pre.epochs = args.get_int("pretrain-epochs", 12);
+  pre.batch_size = static_cast<std::size_t>(args.get_int("batch", 32));
+  pre.sgd = {.lr = args.get_double("pretrain-lr", 0.03),
+             .momentum = 0.9,
+             .weight_decay = 5e-4};
+  pre.lr_decay_every = std::max(2, 2 * pre.epochs / 3);
+  const auto baseline = core::pretrain_cached(
+      model, train, val, pre, args.get("cache", ""));
+  std::cout << "fp32 baseline top-1: " << 100.0f * baseline.accuracy << "\n";
+  return Experiment{std::move(train), std::move(val), std::move(model)};
+}
+
+core::CcqConfig ccq_config_from(const Args& args) {
+  core::CcqConfig config;
+  config.probes_per_step = args.get_int("probes", 4);
+  config.probe_samples = static_cast<std::size_t>(args.get_int("probe-samples", 96));
+  config.gamma = args.get_double("gamma", 4.0);
+  config.lambda_start = args.get_double("lambda-start", 0.7);
+  config.lambda_end = args.get_double("lambda-end", 0.1);
+  config.memory_aware = !args.get_flag("no-memory");
+  config.max_recovery_epochs = args.get_int("max-recovery", 2);
+  config.recovery = args.get_flag("manual-recovery")
+                        ? core::RecoveryMode::kManual
+                        : core::RecoveryMode::kAdaptive;
+  config.manual_recovery_epochs = args.get_int("manual-epochs", 1);
+  config.max_steps = args.get_int("max-steps", -1);
+  config.finetune.batch_size =
+      static_cast<std::size_t>(args.get_int("batch", 32));
+  config.finetune.sgd = {.lr = args.get_double("finetune-lr", 0.01),
+                         .momentum = 0.9,
+                         .weight_decay = 5e-4};
+  config.hybrid_lr.base_lr = args.get_double("finetune-lr", 0.01);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
+  return config;
+}
+
+int cmd_run(const Args& args) {
+  Experiment exp = prepare(args);
+  const auto config = ccq_config_from(args);
+  const auto result = core::run_ccq(exp.model, exp.train, exp.val, config);
+
+  Table table({"layer", "bits", "weights"});
+  for (std::size_t i = 0; i < exp.model.registry().size(); ++i) {
+    const auto& unit = exp.model.registry().unit(i);
+    table.add_row({unit.name, std::to_string(result.final_bits[i]),
+                   std::to_string(unit.weight_count)});
+  }
+  table.print(std::cout);
+  std::cout << "baseline@" << exp.model.registry().ladder().initial_bits()
+            << "b " << 100.0f * result.baseline_accuracy << " -> final "
+            << 100.0f * result.final_accuracy << " top-1 at "
+            << result.final_compression << "x compression ("
+            << result.steps.size() << " steps)\n";
+
+  const std::string snapshot = args.get("snapshot", "");
+  if (!snapshot.empty()) {
+    core::save_snapshot(exp.model, snapshot);
+    std::cout << "snapshot -> " << snapshot << "\n";
+  }
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    Json record = Json::object();
+    record.set("final_top1", 100.0 * result.final_accuracy);
+    record.set("compression", result.final_compression);
+    Json bits = Json::array();
+    for (int b : result.final_bits) bits.push_back(b);
+    record.set("bits", std::move(bits));
+    CCQ_CHECK(record.save(out), "cannot write " + out);
+    std::cout << "json -> " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_oneshot(const Args& args) {
+  Experiment exp = prepare(args);
+  core::TrainConfig ft;
+  ft.epochs = args.get_int("finetune-epochs", 6);
+  ft.batch_size = static_cast<std::size_t>(args.get_int("batch", 32));
+  ft.sgd = {.lr = args.get_double("finetune-lr", 0.01),
+            .momentum = 0.9,
+            .weight_decay = 5e-4};
+  const auto pos = static_cast<std::size_t>(args.get_int(
+      "bits-pos",
+      static_cast<int>(exp.model.registry().ladder().size()) - 1));
+  const auto r =
+      core::one_shot_quantize(exp.model, exp.train, exp.val, ft, pos);
+  std::cout << "one-shot @"
+            << exp.model.registry().ladder().bits_at(pos) << "b: top-1 "
+            << 100.0f * r.accuracy << ", compression " << r.compression
+            << "x\n";
+  return 0;
+}
+
+int cmd_power(const Args& args) {
+  const quant::BitLadder ladder(args.get_int_list("ladder", {8, 4, 2}));
+  auto model = build_model(args, 10, ladder);
+  const double rate = args.get_double("rate", 1000.0);
+  Table table({"configuration", "total mW", "first+last mW"});
+  auto report = [&](const std::string& name,
+                    const std::vector<hw::LayerMacs>& layers) {
+    const auto r = hw::network_power(layers, rate);
+    table.add_row({name, Table::fmt(1e3 * r.total_w, 3),
+                   Table::fmt(1e3 * (r.first_layer_w + r.last_layer_w), 3)});
+  };
+  report("fp32", hw::uniform_profile(model.registry(), 32, 32, false));
+  for (int bits : {8, 4, 2}) {
+    report("fp-" + std::to_string(bits) + "b-fp",
+           hw::uniform_profile(model.registry(), bits, bits, true));
+    report("uniform " + std::to_string(bits) + "b",
+           hw::uniform_profile(model.registry(), bits, bits, false));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_policies() {
+  for (quant::Policy p :
+       {quant::Policy::kDoReFa, quant::Policy::kWrpn, quant::Policy::kPact,
+        quant::Policy::kPactSawb, quant::Policy::kLqNets, quant::Policy::kLsq,
+        quant::Policy::kMinMax, quant::Policy::kPerChannel}) {
+    std::cout << quant::policy_str(p) << "\n";
+  }
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "usage: ccq <command> [--flags]\n"
+      "  run       full CCQ pipeline (pretrain + competition/collaboration)\n"
+      "  oneshot   one-shot quantize + fine-tune baseline\n"
+      "  power     iso-throughput power of precision configurations\n"
+      "  policies  list quantization policies\n"
+      "common flags: --arch resnet20|resnet18|resnet50|simplecnn|mlp\n"
+      "  --policy pact|dorefa|wrpn|sawb|lqnets|lsq|minmax|perchannel\n"
+      "  --ladder 8,4,2  --classes 10  --samples 55  --image 16\n"
+      "  --width 0.25  --pretrain-epochs 12  --cache file.bin\n"
+      "run flags: --gamma 4 --probes 4 --lambda-start 0.7 --lambda-end 0.1\n"
+      "  --no-memory --manual-recovery --max-steps N --snapshot out.bin\n"
+      "  --out record.json\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args(argc, argv);
+    if (args.command() == "run") return cmd_run(args);
+    if (args.command() == "oneshot") return cmd_oneshot(args);
+    if (args.command() == "power") return cmd_power(args);
+    if (args.command() == "policies") return cmd_policies();
+    usage();
+    return args.command().empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

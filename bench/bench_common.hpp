@@ -5,7 +5,9 @@
 // checkpoints so that all benches run against the same substrate.  The
 // CCQ_BENCH_SCALE env var (0 = smoke, 1 = default, 2 = long) scales
 // sample counts and epochs; shapes of the results are stable across
-// scales, absolute numbers sharpen with more budget.
+// scales, absolute numbers sharpen with more budget.  CCQ_THREADS sets
+// the kernel thread budget (results are bit-identical for any value —
+// see common/exec.hpp — so it only changes wall clock).
 #pragma once
 
 #include <filesystem>

@@ -26,6 +26,76 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
+// Thread-scaling variants: same kernels through an explicit ExecContext.
+// Outputs are bit-identical across thread counts (see parallel_test);
+// these guard the scaling itself.  Args are {size, threads}.
+void BM_GemmThreads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  ExecContext ctx(threads);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b, ctx);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->UseRealTime();
+
+void BM_ConvForwardThreads(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  ExecContext ctx(threads);
+  Rng rng(2);
+  nn::Conv2d conv(channels, channels, 3, 1, 1, false, rng);
+  conv.set_exec_context(&ctx);
+  Tensor x = Tensor::randn({8, channels, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 8 *
+      static_cast<std::int64_t>(conv.macs_per_sample(16, 16)));
+}
+BENCHMARK(BM_ConvForwardThreads)
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({32, 4})
+    ->UseRealTime();
+
+void BM_ConvBackwardThreads(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  ExecContext ctx(threads);
+  Rng rng(3);
+  nn::Conv2d conv(channels, channels, 3, 1, 1, false, rng);
+  conv.set_exec_context(&ctx);
+  Tensor x = Tensor::randn({8, channels, 16, 16}, rng);
+  Tensor y = conv.forward(x);
+  Tensor gy = Tensor::randn(y.shape(), rng);
+  for (auto _ : state) {
+    conv.weight().zero_grad();
+    Tensor gx = conv.backward(gy);
+    benchmark::DoNotOptimize(gx.data().data());
+  }
+}
+BENCHMARK(BM_ConvBackwardThreads)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->UseRealTime();
+
 void BM_ConvForward(benchmark::State& state) {
   const auto channels = static_cast<std::size_t>(state.range(0));
   Rng rng(2);

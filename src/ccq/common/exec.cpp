@@ -1,0 +1,150 @@
+#include "ccq/common/exec.hpp"
+
+#include <algorithm>
+
+#include "ccq/common/env.hpp"
+
+namespace ccq {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t extra = threads < 2 ? 0 : threads - 1;
+  workers_.reserve(extra);
+  for (std::size_t i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || (job_ != nullptr && job_->seq != seen_seq);
+      });
+      if (stopping_) return;
+      job = job_;
+      seen_seq = job->seq;
+      ++job->active;
+    }
+    // Drain the ticket stream.  The ticket atomic belongs to this job
+    // object, so a worker that woke late for an already-finished job
+    // finds it exhausted and simply passes through.
+    std::exception_ptr error;
+    for (;;) {
+      const std::size_t chunk = job->next.fetch_add(1);
+      if (chunk >= job->chunks) break;
+      try {
+        job->fn(chunk);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+        // Keep draining: remaining chunks must still run so the caller
+        // never waits on abandoned work and outputs stay well-defined.
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !job->error) job->error = error;
+      --job->active;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run(std::size_t chunks,
+                     const std::function<void(std::size_t)>& fn) {
+  if (chunks == 0) return;
+  if (workers_.empty() || chunks == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) fn(c);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->chunks = chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->seq = ++job_seq_;
+    job_ = job;
+  }
+  work_cv_.notify_all();
+
+  // The caller works through the same ticket stream as the workers.
+  std::exception_ptr error;
+  for (;;) {
+    const std::size_t chunk = job->next.fetch_add(1);
+    if (chunk >= chunks) break;
+    try {
+      fn(chunk);
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return job->active == 0; });
+  if (error && !job->error) job->error = error;
+  if (job_ == job) job_ = nullptr;
+  const std::exception_ptr rethrow = job->error;
+  lock.unlock();
+  if (rethrow) std::rethrow_exception(rethrow);
+}
+
+ExecContext::ExecContext(std::size_t threads, int verbosity)
+    : threads_(std::max<std::size_t>(1, threads)), verbosity_(verbosity) {
+  if (threads_ > 1) pool_ = std::make_shared<ThreadPool>(threads_);
+}
+
+namespace {
+
+ExecContext& mutable_global() {
+  static ExecContext ctx(
+      static_cast<std::size_t>(std::max(1, env_int("CCQ_THREADS", 1))));
+  return ctx;
+}
+
+thread_local bool t_in_parallel = false;
+
+}  // namespace
+
+const ExecContext& ExecContext::global() { return mutable_global(); }
+
+void ExecContext::set_global_threads(std::size_t threads) {
+  mutable_global() = ExecContext(threads);
+}
+
+namespace detail {
+
+bool in_parallel_region() { return t_in_parallel; }
+
+ParallelRegionGuard::ParallelRegionGuard() { t_in_parallel = true; }
+ParallelRegionGuard::~ParallelRegionGuard() { t_in_parallel = false; }
+
+}  // namespace detail
+
+namespace detail {
+
+void parallel_chunks_threaded(
+    ThreadPool& pool, std::size_t total, std::size_t grain,
+    std::size_t chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  pool.run(chunks, [&](std::size_t chunk) {
+    ParallelRegionGuard guard;
+    const std::size_t begin = chunk * grain;
+    const std::size_t end = std::min(total, begin + grain);
+    body(chunk, begin, end);
+  });
+}
+
+}  // namespace detail
+
+}  // namespace ccq

@@ -1,0 +1,198 @@
+// Parallel execution subsystem: ThreadPool + ExecContext + parallel_for.
+//
+// Every compute kernel in the repo (GEMM, im2col-lowered convolution,
+// elementwise tensor ops, batch assembly) accepts a `const ExecContext&`
+// naming the thread budget it may use; a process-wide default is
+// configured once from $CCQ_THREADS (or `--threads` in the CLI/benches).
+//
+// Determinism contract — the property the paper's seeded-RNG
+// reproducibility rests on: work partitioning and per-element
+// accumulation order are fixed functions of the *problem size*, never of
+// the thread count.  Chunks always cover disjoint output regions and a
+// chunk's internal loop order matches the serial kernel, so results are
+// bit-identical for 1..N threads.  Reductions use a fixed chunk width and
+// combine partials in chunk-index order for the same reason.
+//
+// Nested `parallel_for` calls (a kernel invoked from inside another
+// parallel region) degrade to serial execution on the calling thread, so
+// composite kernels can parallelise at whichever level has the most work
+// without risking pool deadlock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccq {
+
+/// Persistent worker pool.  Workers park on a condition variable between
+/// jobs; `run` dispatches chunk indices dynamically (an atomic ticket),
+/// which is safe under the determinism contract because chunk *content*
+/// never depends on which thread executes it.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller participates in every job).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that execute a job, including the caller.
+  std::size_t threads() const { return workers_.size() + 1; }
+
+  /// Execute fn(chunk) for every chunk in [0, chunks).  Blocks until all
+  /// chunks finish.  If any chunk throws, the first exception (in
+  /// completion order) is rethrown here after the job drains.
+  void run(std::size_t chunks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  /// One dispatched job.  Owned via shared_ptr so a worker that wakes
+  /// late for an already-retired job still holds valid state (and finds
+  /// its ticket stream exhausted).
+  struct Job {
+    std::function<void(std::size_t)> fn;
+    std::size_t chunks = 0;
+    std::uint64_t seq = 0;               ///< distinguishes jobs for workers
+    std::atomic<std::size_t> next{0};    ///< ticket dispenser
+    std::size_t active = 0;              ///< workers inside (mutex-guarded)
+    std::exception_ptr error;            ///< first failure (mutex-guarded)
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< wakes workers for a new job
+  std::condition_variable done_cv_;  ///< signals the caller on completion
+  std::shared_ptr<Job> job_;         ///< in-flight job (mutex-guarded)
+  std::uint64_t job_seq_ = 0;
+  bool stopping_ = false;
+};
+
+/// Execution context handed to kernel entry points: a thread budget plus
+/// the pool that services it.  Copyable (the pool is shared).  A
+/// default-constructed context is serial.
+class ExecContext {
+ public:
+  /// Serial context (1 thread, no pool).
+  ExecContext() = default;
+
+  /// Context owning a pool of `threads` threads (clamped to >= 1).
+  explicit ExecContext(std::size_t threads, int verbosity = 0);
+
+  std::size_t threads() const { return threads_; }
+  int verbosity() const { return verbosity_; }
+  ThreadPool* pool() const { return pool_.get(); }
+
+  /// Process-wide default used by kernels when no context is passed.
+  /// First use initialises it from $CCQ_THREADS (default 1).
+  static const ExecContext& global();
+
+  /// Replace the process-wide default thread budget.  Call during
+  /// startup (CLI flag parsing), before compute kernels run; the swap is
+  /// not synchronised against concurrent kernel launches.
+  static void set_global_threads(std::size_t threads);
+
+ private:
+  std::size_t threads_ = 1;
+  int verbosity_ = 0;
+  std::shared_ptr<ThreadPool> pool_;
+};
+
+namespace detail {
+/// True while the current thread executes inside a parallel_for body;
+/// nested calls then run serially (see header comment).
+bool in_parallel_region();
+
+struct ParallelRegionGuard {
+  ParallelRegionGuard();
+  ~ParallelRegionGuard();
+};
+
+/// Threaded back end for parallel_chunks.  Only the multi-chunk pool
+/// path pays for type erasure; the serial path in the template below
+/// calls the body directly so single-thread code compiles exactly like
+/// the plain loop it replaces.
+void parallel_chunks_threaded(
+    ThreadPool& pool, std::size_t total, std::size_t grain,
+    std::size_t chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+}  // namespace detail
+
+/// Number of chunks a range of `total` items splits into at `grain`
+/// items per chunk.  Pure function of the problem size.
+inline std::size_t chunk_count(std::size_t total, std::size_t grain) {
+  if (grain == 0) grain = 1;
+  return (total + grain - 1) / grain;
+}
+
+/// Run body(chunk, begin, end) over [0, total) split into grain-sized
+/// chunks.  Chunk boundaries depend only on (total, grain).  Runs
+/// serially (one body(0, 0, total) call) when the context is serial,
+/// there is at most one chunk, or the caller is already inside a
+/// parallel region.
+template <typename Body>
+void parallel_chunks(const ExecContext& ctx, std::size_t total,
+                     std::size_t grain, Body&& body) {
+  if (total == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = chunk_count(total, grain);
+  ThreadPool* pool = ctx.pool();
+  if (pool == nullptr || chunks <= 1 || detail::in_parallel_region()) {
+    // Serial fallback: a single direct call covering the whole range.
+    // Not wrapped in a region guard so that a lone-chunk caller (e.g. a
+    // batch-1 convolution) still lets its inner kernels parallelise.
+    body(std::size_t{0}, std::size_t{0}, total);
+    return;
+  }
+  detail::parallel_chunks_threaded(*pool, total, grain, chunks, body);
+}
+
+/// Range-only convenience wrapper: body(begin, end).
+template <typename Body>
+void parallel_for(const ExecContext& ctx, std::size_t total, std::size_t grain,
+                  Body&& body) {
+  parallel_chunks(ctx, total, grain,
+                  [&body](std::size_t, std::size_t begin, std::size_t end) {
+                    body(begin, end);
+                  });
+}
+
+/// Deterministic parallel reduction: chunk partials are computed at a
+/// fixed grain and combined in chunk-index order, so the result is
+/// independent of thread count (and equals the serial chunked fold).
+template <typename T, typename ChunkFn, typename CombineFn>
+T parallel_reduce(const ExecContext& ctx, std::size_t total, std::size_t grain,
+                  T init, ChunkFn&& chunk_fn, CombineFn&& combine) {
+  const std::size_t chunks = chunk_count(total, grain);
+  if (chunks <= 1) {
+    return total == 0 ? init : combine(init, chunk_fn(std::size_t{0}, total));
+  }
+  if (grain == 0) grain = 1;
+  std::vector<T> partials(chunks, init);
+  parallel_chunks(ctx, total, grain,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                    // The serial fallback hands us one [0, total) chunk;
+                    // re-split it so partials match the threaded layout.
+                    for (std::size_t c = begin / grain;
+                         c * grain < end; ++c) {
+                      const std::size_t lo = c * grain;
+                      const std::size_t hi = std::min(total, lo + grain);
+                      partials[c] = chunk_fn(lo, hi);
+                    }
+                    (void)chunk;
+                  });
+  T acc = init;
+  for (const T& p : partials) acc = combine(acc, p);
+  return acc;
+}
+
+}  // namespace ccq

@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "ccq/common/exec.hpp"
+
 namespace ccq::data {
 
 Dataset::Dataset(std::size_t channels, std::size_t height, std::size_t width,
@@ -41,11 +43,15 @@ Batch Dataset::gather(const std::vector<std::size_t>& indices) const {
   const std::size_t sample = channels_ * height_ * width_;
   float* dst = batch.images.data().data();
   for (std::size_t i = 0; i < indices.size(); ++i) {
-    const Tensor& img = image(indices[i]);
-    const float* src = img.data().data();
-    std::copy(src, src + sample, dst + i * sample);
     batch.labels.push_back(labels_[indices[i]]);
   }
+  parallel_for(ExecContext::global(), indices.size(), 8,
+               [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* src = image(indices[i]).data().data();
+      std::copy(src, src + sample, dst + i * sample);
+    }
+  });
   return batch;
 }
 
@@ -88,15 +94,28 @@ std::size_t DataLoader::batches_per_epoch() const {
   return (dataset_.size() + batch_size_ - 1) / batch_size_;
 }
 
-Tensor DataLoader::augment_image(const Tensor& image) {
+DataLoader::AugmentDraw DataLoader::draw_augment() {
+  // Draw order (dy, dx, flip) matches the historical per-sample order so
+  // seeded runs reproduce the exact pre-parallelism batches.
+  AugmentDraw draw;
+  if (augment_.pad_crop > 0) {
+    const long pad = static_cast<long>(augment_.pad_crop);
+    draw.dy = static_cast<long>(rng_.uniform_int(2 * pad + 1)) - pad;
+    draw.dx = static_cast<long>(rng_.uniform_int(2 * pad + 1)) - pad;
+  }
+  if (augment_.horizontal_flip) draw.flip = rng_.uniform() < 0.5;
+  return draw;
+}
+
+Tensor DataLoader::augment_image(const Tensor& image,
+                                 const AugmentDraw& draw) const {
   const std::size_t c = dataset_.channels(), h = dataset_.height(),
                     w = dataset_.width();
   Tensor out = image;
   if (augment_.pad_crop > 0) {
     // Shift by an offset in [-pad, pad] in each axis, zero-filling.
-    const long pad = static_cast<long>(augment_.pad_crop);
-    const long dy = static_cast<long>(rng_.uniform_int(2 * pad + 1)) - pad;
-    const long dx = static_cast<long>(rng_.uniform_int(2 * pad + 1)) - pad;
+    const long dy = draw.dy;
+    const long dx = draw.dx;
     if (dy != 0 || dx != 0) {
       Tensor shifted({c, h, w});
       for (std::size_t ch = 0; ch < c; ++ch) {
@@ -114,7 +133,7 @@ Tensor DataLoader::augment_image(const Tensor& image) {
       out = std::move(shifted);
     }
   }
-  if (augment_.horizontal_flip && rng_.uniform() < 0.5) {
+  if (draw.flip) {
     Tensor flipped({c, h, w});
     for (std::size_t ch = 0; ch < c; ++ch) {
       for (std::size_t y = 0; y < h; ++y) {
@@ -139,13 +158,22 @@ bool DataLoader::next(Batch& out) {
   out.labels.clear();
   out.labels.reserve(take);
   float* dst = out.images.data().data();
+  // RNG consumption happens serially in sample order; the augmented
+  // copies (disjoint batch rows) are then assembled in parallel.
+  std::vector<AugmentDraw> draws(take);
   for (std::size_t i = 0; i < take; ++i) {
-    const std::size_t idx = order_[cursor_ + i];
-    const Tensor aug = augment_image(dataset_.image(idx));
-    const float* src = aug.data().data();
-    std::copy(src, src + sample, dst + i * sample);
-    out.labels.push_back(dataset_.label(idx));
+    draws[i] = draw_augment();
+    out.labels.push_back(dataset_.label(order_[cursor_ + i]));
   }
+  parallel_for(ExecContext::global(), take, 4,
+               [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::size_t idx = order_[cursor_ + i];
+      const Tensor aug = augment_image(dataset_.image(idx), draws[i]);
+      const float* src = aug.data().data();
+      std::copy(src, src + sample, dst + i * sample);
+    }
+  });
   cursor_ += take;
   return true;
 }

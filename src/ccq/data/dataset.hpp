@@ -74,7 +74,18 @@ class DataLoader {
   std::size_t batches_per_epoch() const;
 
  private:
-  Tensor augment_image(const Tensor& image);
+  /// Augmentation decisions for one sample, drawn from the loader RNG in
+  /// sample order *before* the (possibly parallel) batch assembly, so
+  /// the RNG stream and the resulting batches are independent of the
+  /// thread count.
+  struct AugmentDraw {
+    long dy = 0;
+    long dx = 0;
+    bool flip = false;
+  };
+
+  AugmentDraw draw_augment();
+  Tensor augment_image(const Tensor& image, const AugmentDraw& draw) const;
 
   const Dataset& dataset_;
   std::size_t batch_size_;

@@ -276,26 +276,32 @@ Tensor IntegerNetwork::forward(const Tensor& x) const {
         Tensor codes = to_codes(act, scale);
         Tensor out({n, plan.out_channels, oh, ow});
         std::vector<float> cols(patch * spatial);
+        const ExecContext& ctx = ExecContext::global();
         for (std::size_t img = 0; img < n; ++img) {
           const float* src =
               codes.data().data() + img * plan.in_channels * h * w;
-          im2col(src, g, cols.data());
+          im2col(src, g, cols.data(), ctx);
           float* dst =
               out.data().data() + img * plan.out_channels * spatial;
-          for (std::size_t oc = 0; oc < plan.out_channels; ++oc) {
-            const std::int32_t* wrow = plan.weight_codes.data() + oc * patch;
-            for (std::size_t s = 0; s < spatial; ++s) {
-              std::int64_t acc = 0;  // the integer MAC datapath
-              for (std::size_t p = 0; p < patch; ++p) {
-                acc += static_cast<std::int64_t>(wrow[p]) *
-                       static_cast<std::int64_t>(
-                           std::lround(cols[p * spatial + s]));
+          // Integer MACs are exact, so any partition over the disjoint
+          // output-channel rows is trivially deterministic.
+          parallel_for(ctx, plan.out_channels, 4,
+                       [&](std::size_t oc0, std::size_t oc1) {
+            for (std::size_t oc = oc0; oc < oc1; ++oc) {
+              const std::int32_t* wrow = plan.weight_codes.data() + oc * patch;
+              for (std::size_t s = 0; s < spatial; ++s) {
+                std::int64_t acc = 0;  // the integer MAC datapath
+                for (std::size_t p = 0; p < patch; ++p) {
+                  acc += static_cast<std::int64_t>(wrow[p]) *
+                         static_cast<std::int64_t>(
+                             std::lround(cols[p * spatial + s]));
+                }
+                dst[oc * spatial + s] =
+                    static_cast<float>(acc) * plan.channel_scale[oc] +
+                    plan.bias[oc];
               }
-              dst[oc * spatial + s] =
-                  static_cast<float>(acc) * plan.channel_scale[oc] +
-                  plan.bias[oc];
             }
-          }
+          });
         }
         act = std::move(out);
         apply_act(act, plan);

@@ -51,22 +51,29 @@ Tensor Conv2d::forward(const Tensor& x) {
   const std::size_t patch = g.patch_size(), spatial = g.out_spatial();
 
   Tensor y({n, out_channels_, oh, ow});
-  std::vector<float> cols(patch * spatial);
   const float* wp = qweight_.data().data();
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* xi = x.data().data() + i * in_channels_ * h * w;
-    float* yi = y.data().data() + i * out_channels_ * spatial;
-    im2col(xi, g, cols.data());
-    gemm(out_channels_, spatial, patch, 1.0f, wp, patch, cols.data(), spatial,
-         0.0f, yi, spatial);
-    if (has_bias_) {
-      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-        const float b = bias_.value.at(oc);
-        float* row = yi + oc * spatial;
-        for (std::size_t s = 0; s < spatial; ++s) row[s] += b;
+  const ExecContext& ctx = exec();
+  // Parallel over batch samples: each sample writes a disjoint output
+  // slice and owns a private column buffer.  With a single sample the
+  // loop runs inline (no parallel region), so the inner im2col/GEMM
+  // parallelise instead.
+  parallel_for(ctx, n, 1, [&](std::size_t i0, std::size_t i1) {
+    std::vector<float> cols(patch * spatial);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* xi = x.data().data() + i * in_channels_ * h * w;
+      float* yi = y.data().data() + i * out_channels_ * spatial;
+      im2col(xi, g, cols.data(), ctx);
+      gemm(out_channels_, spatial, patch, 1.0f, wp, patch, cols.data(),
+           spatial, 0.0f, yi, spatial, ctx);
+      if (has_bias_) {
+        for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+          const float b = bias_.value.at(oc);
+          float* row = yi + oc * spatial;
+          for (std::size_t s = 0; s < spatial; ++s) row[s] += b;
+        }
       }
     }
-  }
+  });
   return y;
 }
 
@@ -87,38 +94,49 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   std::vector<float> cols_grad(patch * spatial);
   const float* wp = qweight_.data().data();
   float* gwp = grad_qw.data().data();
+  const ExecContext& ctx = exec();
 
+  // The sample loop stays serial: dW and dbias accumulate across samples
+  // and their order must not depend on thread count.  Within a sample
+  // every parallel loop writes disjoint rows, and each element's
+  // reduction runs in the serial kernel order, so results are
+  // bit-identical for any thread count.
   for (std::size_t i = 0; i < n; ++i) {
     const float* xi = input_.data().data() + i * in_channels_ * h * w;
     const float* gyi = grad_out.data().data() + i * out_channels_ * spatial;
     float* gxi = grad_in.data().data() + i * in_channels_ * h * w;
 
     // dW += gy (out × spatial) · colsᵀ (spatial × patch)
-    im2col(xi, g, cols.data());
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const float* gyrow = gyi + oc * spatial;
-      float* gwrow = gwp + oc * patch;
-      for (std::size_t p = 0; p < patch; ++p) {
-        const float* crow = cols.data() + p * spatial;
-        float acc = 0.0f;
-        for (std::size_t s = 0; s < spatial; ++s) acc += gyrow[s] * crow[s];
-        gwrow[p] += acc;
+    im2col(xi, g, cols.data(), ctx);
+    parallel_for(ctx, out_channels_, 4, [&](std::size_t oc0, std::size_t oc1) {
+      for (std::size_t oc = oc0; oc < oc1; ++oc) {
+        const float* gyrow = gyi + oc * spatial;
+        float* gwrow = gwp + oc * patch;
+        for (std::size_t p = 0; p < patch; ++p) {
+          const float* crow = cols.data() + p * spatial;
+          float acc = 0.0f;
+          for (std::size_t s = 0; s < spatial; ++s) acc += gyrow[s] * crow[s];
+          gwrow[p] += acc;
+        }
       }
-    }
+    });
 
-    // dcols = Wᵀ (patch × out) · gy (out × spatial), then scatter via col2im.
-    std::fill(cols_grad.begin(), cols_grad.end(), 0.0f);
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const float* wrow = wp + oc * patch;
-      const float* gyrow = gyi + oc * spatial;
-      for (std::size_t p = 0; p < patch; ++p) {
-        const float wv = wrow[p];
-        if (wv == 0.0f) continue;
+    // dcols = Wᵀ (patch × out) · gy (out × spatial), then scatter via
+    // col2im.  Parallel over patch rows; the inner oc loop keeps the
+    // serial accumulation order per element.
+    parallel_for(ctx, patch, 8, [&](std::size_t p0, std::size_t p1) {
+      for (std::size_t p = p0; p < p1; ++p) {
         float* dst = cols_grad.data() + p * spatial;
-        for (std::size_t s = 0; s < spatial; ++s) dst[s] += wv * gyrow[s];
+        std::fill(dst, dst + spatial, 0.0f);
+        for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+          const float wv = wp[oc * patch + p];
+          if (wv == 0.0f) continue;
+          const float* gyrow = gyi + oc * spatial;
+          for (std::size_t s = 0; s < spatial; ++s) dst[s] += wv * gyrow[s];
+        }
       }
-    }
-    col2im(cols_grad.data(), g, gxi);
+    });
+    col2im(cols_grad.data(), g, gxi, ctx);
 
     if (has_bias_) {
       for (std::size_t oc = 0; oc < out_channels_; ++oc) {

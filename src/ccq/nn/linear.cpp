@@ -22,7 +22,7 @@ Tensor Linear::forward(const Tensor& x) {
   qweight_ =
       weight_hook_ ? weight_hook_->quantize(weight_.value) : weight_.value;
   // y (N × out) = x (N × in) · Wᵀ (in × out)
-  Tensor y = matmul_nt(x, qweight_);
+  Tensor y = matmul_nt(x, qweight_, exec());
   if (has_bias_) {
     const std::size_t n = y.dim(0);
     for (std::size_t i = 0; i < n; ++i) {
@@ -40,7 +40,7 @@ Tensor Linear::backward(const Tensor& grad_out) {
                 grad_out.dim(1) == out_features_,
             "Linear grad shape mismatch");
   // dW (out × in) = gyᵀ (out × N) · x (N × in)
-  Tensor grad_qw = matmul_tn(grad_out, input_);
+  Tensor grad_qw = matmul_tn(grad_out, input_, exec());
   Tensor grad_w = weight_hook_
                       ? weight_hook_->backward(weight_.value, std::move(grad_qw))
                       : std::move(grad_qw);
@@ -54,7 +54,7 @@ Tensor Linear::backward(const Tensor& grad_out) {
     }
   }
   // dx (N × in) = gy (N × out) · W (out × in)
-  return matmul(grad_out, qweight_);
+  return matmul(grad_out, qweight_, exec());
 }
 
 void Linear::collect_parameters(std::vector<Parameter*>& out) {

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "ccq/common/exec.hpp"
 #include "ccq/tensor/tensor.hpp"
 
 namespace ccq::nn {
@@ -115,6 +116,18 @@ class Module {
   virtual void set_training(bool training) { training_ = training; }
   bool training() const { return training_; }
 
+  /// Pin the execution context the subtree's compute-heavy layers hand
+  /// to their kernels.  Pass nullptr to fall back to the process-wide
+  /// default.  The context must outlive the module.
+  void set_exec_context(const ExecContext* ctx) {
+    visit([ctx](Module& m) { m.exec_ = ctx; });
+  }
+
+  /// Context used by this module's kernel calls.
+  const ExecContext& exec() const {
+    return exec_ != nullptr ? *exec_ : ExecContext::global();
+  }
+
   /// Short type tag for diagnostics ("Conv2d", "BatchNorm2d", …).
   virtual std::string type_name() const = 0;
 
@@ -124,6 +137,7 @@ class Module {
 
  protected:
   bool training_ = true;
+  const ExecContext* exec_ = nullptr;
 };
 
 using ModulePtr = std::unique_ptr<Module>;

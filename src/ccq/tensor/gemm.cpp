@@ -12,18 +12,25 @@ constexpr std::size_t kMc = 64;
 constexpr std::size_t kKc = 128;
 constexpr std::size_t kNc = 256;
 
-}  // namespace
+// Row-panel grain for thread partitioning.  Smaller than kMc so matrices
+// with few rows (conv weight panels, mini-batches) still split; a fixed
+// constant keeps the partition a pure function of the problem size.
+constexpr std::size_t kRowGrain = 16;
 
-void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
-          const float* a, std::size_t lda, const float* b, std::size_t ldb,
-          float beta, float* c, std::size_t ldc) {
+// Serial kernel over the row range [row0, row1).  Per-element
+// accumulation order (jc, pc ascending) is independent of the range, so
+// any row partition reproduces the full-matrix result bit for bit.
+void gemm_rows(std::size_t row0, std::size_t row1, std::size_t n,
+               std::size_t k, float alpha, const float* a, std::size_t lda,
+               const float* b, std::size_t ldb, float beta, float* c,
+               std::size_t ldc) {
   // Scale C by beta first so the accumulation loop is pure FMA.
   if (beta == 0.0f) {
-    for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t i = row0; i < row1; ++i) {
       std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
     }
   } else if (beta != 1.0f) {
-    for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t i = row0; i < row1; ++i) {
       for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
     }
   }
@@ -31,8 +38,8 @@ void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
     const std::size_t nc = std::min(kNc, n - jc);
     for (std::size_t pc = 0; pc < k; pc += kKc) {
       const std::size_t kc = std::min(kKc, k - pc);
-      for (std::size_t ic = 0; ic < m; ic += kMc) {
-        const std::size_t mc = std::min(kMc, m - ic);
+      for (std::size_t ic = row0; ic < row1; ic += kMc) {
+        const std::size_t mc = std::min(kMc, row1 - ic);
         for (std::size_t i = 0; i < mc; ++i) {
           const float* arow = a + (ic + i) * lda + pc;
           float* crow = c + (ic + i) * ldc + jc;
@@ -48,25 +55,83 @@ void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
   }
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+// Transpose-free Aᵀ·B over C rows [row0, row1): row i of C reads column
+// i of A.  The rank-1-update loop order keeps B and C rows contiguous
+// and accumulates each element in ascending-p order (identical to
+// transposing A and running gemm_rows).
+void gemm_tn_rows(std::size_t row0, std::size_t row1, std::size_t n,
+                  std::size_t k, float alpha, const float* a, std::size_t lda,
+                  const float* b, std::size_t ldb, float beta, float* c,
+                  std::size_t ldc) {
+  if (beta == 0.0f) {
+    for (std::size_t i = row0; i < row1; ++i) {
+      std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+  } else if (beta != 1.0f) {
+    for (std::size_t i = row0; i < row1; ++i) {
+      for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+    }
+  }
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t nc = std::min(kNc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      for (std::size_t i = row0; i < row1; ++i) {
+        float* crow = c + i * ldc + jc;
+        for (std::size_t p = 0; p < kc; ++p) {
+          const float av = alpha * a[(pc + p) * lda + i];
+          if (av == 0.0f) continue;
+          const float* brow = b + (pc + p) * ldb + jc;
+          for (std::size_t j = 0; j < nc; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
+          const float* a, std::size_t lda, const float* b, std::size_t ldb,
+          float beta, float* c, std::size_t ldc, const ExecContext& ctx) {
+  parallel_for(ctx, m, kRowGrain,
+               [&](std::size_t row0, std::size_t row1) {
+                 gemm_rows(row0, row1, n, k, alpha, a, lda, b, ldb, beta, c,
+                           ldc);
+               });
+}
+
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, float alpha,
+             const float* a, std::size_t lda, const float* b, std::size_t ldb,
+             float beta, float* c, std::size_t ldc, const ExecContext& ctx) {
+  parallel_for(ctx, m, kRowGrain,
+               [&](std::size_t row0, std::size_t row1) {
+                 gemm_tn_rows(row0, row1, n, k, alpha, a, lda, b, ldb, beta,
+                              c, ldc);
+               });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, const ExecContext& ctx) {
   CCQ_CHECK(a.rank() == 2 && b.rank() == 2, "matmul needs rank-2 tensors");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   CCQ_CHECK(b.dim(0) == k, "matmul inner dimensions differ");
   Tensor c({m, n});
   gemm(m, n, k, 1.0f, a.data().data(), k, b.data().data(), n, 0.0f,
-       c.data().data(), n);
+       c.data().data(), n, ctx);
   return c;
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+Tensor matmul_tn(const Tensor& a, const Tensor& b, const ExecContext& ctx) {
   CCQ_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_tn needs rank-2 tensors");
   CCQ_CHECK(b.dim(0) == a.dim(0), "matmul_tn inner dimensions differ");
-  // Explicit transpose then plain GEMM keeps the inner loops contiguous;
-  // the transpose cost is negligible next to the multiply.
-  return matmul(transpose2d(a), b);
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  gemm_tn(m, n, k, 1.0f, a.data().data(), m, b.data().data(), n, 0.0f,
+          c.data().data(), n, ctx);
+  return c;
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+Tensor matmul_nt(const Tensor& a, const Tensor& b, const ExecContext& ctx) {
   CCQ_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_nt needs rank-2 tensors");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   CCQ_CHECK(b.dim(1) == k, "matmul_nt inner dimensions differ");
@@ -74,16 +139,19 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* ap = a.data().data();
   const float* bp = b.data().data();
   float* cp = c.data().data();
-  // Dot-product formulation: rows of both A and B are contiguous.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* arow = ap + i * k;
-      const float* brow = bp + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      cp[i * n + j] = acc;
+  // Dot-product formulation: rows of both A and B are contiguous.  Each
+  // C row is produced whole by one chunk, so any row split is exact.
+  parallel_for(ctx, m, kRowGrain, [&](std::size_t row0, std::size_t row1) {
+    for (std::size_t i = row0; i < row1; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* arow = ap + i * k;
+        const float* brow = bp + j * k;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        cp[i * n + j] = acc;
+      }
     }
-  }
+  });
   return c;
 }
 

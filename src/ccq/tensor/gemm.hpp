@@ -1,13 +1,20 @@
 // Blocked single-precision GEMM.
 //
 // All convolutions in the NN substrate lower to matrix multiply via
-// im2col, so this kernel dominates experiment runtime.  It is a simple
-// cache-blocked triple loop (no intrinsics) tuned for the single-core CPU
-// this repo targets; the microbench `bench_kernels` guards regressions.
+// im2col, so this kernel dominates experiment runtime.  It is a
+// cache-blocked triple loop (no intrinsics) parallelised over row panels
+// through the `ExecContext` each entry point accepts; the microbench
+// `bench_kernels` guards regressions.
+//
+// Determinism: work is partitioned over disjoint M panels at a grain
+// that depends only on the problem size, and each C element accumulates
+// its k-products in ascending-p order regardless of the partition, so
+// results are bit-identical for any thread count (see common/exec.hpp).
 #pragma once
 
 #include <cstddef>
 
+#include "ccq/common/exec.hpp"
 #include "ccq/tensor/tensor.hpp"
 
 namespace ccq {
@@ -16,16 +23,27 @@ namespace ccq {
 /// Raw-pointer core; row-major with leading dimensions lda/ldb/ldc.
 void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
           const float* a, std::size_t lda, const float* b, std::size_t ldb,
-          float beta, float* c, std::size_t ldc);
+          float beta, float* c, std::size_t ldc,
+          const ExecContext& ctx = ExecContext::global());
+
+/// C[m,n] = alpha * sum_k A[k,m] * B[k,n] + beta * C[m,n] — A transposed
+/// in place (A is stored k-major), no temporary copy.
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, float alpha,
+             const float* a, std::size_t lda, const float* b, std::size_t ldb,
+             float beta, float* c, std::size_t ldc,
+             const ExecContext& ctx = ExecContext::global());
 
 /// C = A(m×k) · B(k×n) for rank-2 tensors. Shapes are validated.
-Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor matmul(const Tensor& a, const Tensor& b,
+              const ExecContext& ctx = ExecContext::global());
 
 /// C = Aᵀ(m×k) · B(k×n) where A is stored k-major as (k×m).
-Tensor matmul_tn(const Tensor& a, const Tensor& b);
+Tensor matmul_tn(const Tensor& a, const Tensor& b,
+                 const ExecContext& ctx = ExecContext::global());
 
 /// C = A(m×k) · Bᵀ(k×n) where B is stored n-major as (n×k).
-Tensor matmul_nt(const Tensor& a, const Tensor& b);
+Tensor matmul_nt(const Tensor& a, const Tensor& b,
+                 const ExecContext& ctx = ExecContext::global());
 
 /// Rank-2 transpose.
 Tensor transpose2d(const Tensor& a);

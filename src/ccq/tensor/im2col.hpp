@@ -6,6 +6,7 @@
 
 #include <cstddef>
 
+#include "ccq/common/exec.hpp"
 #include "ccq/tensor/tensor.hpp"
 
 namespace ccq {
@@ -34,11 +35,17 @@ struct ConvGeometry {
 };
 
 /// Lower one image (C,H,W flattened in `image`) to a (patch_size ×
-/// out_spatial) column matrix written to `columns`.
-void im2col(const float* image, const ConvGeometry& g, float* columns);
+/// out_spatial) column matrix written to `columns`.  Parallel over
+/// column-matrix rows (each row is written by exactly one chunk).
+void im2col(const float* image, const ConvGeometry& g, float* columns,
+            const ExecContext& ctx = ExecContext::global());
 
 /// Scatter-add a column matrix back to image gradient layout.  `image`
-/// must be pre-zeroed by the caller (we accumulate).
-void col2im(const float* columns, const ConvGeometry& g, float* image);
+/// must be pre-zeroed by the caller (we accumulate).  Parallel over
+/// channels: rows of one channel scatter only into that channel's plane,
+/// and within a channel the serial (ky, kx) order is kept, so the
+/// accumulation is deterministic for any thread count.
+void col2im(const float* columns, const ConvGeometry& g, float* image,
+            const ExecContext& ctx = ExecContext::global());
 
 }  // namespace ccq

@@ -6,8 +6,23 @@
 #include <numeric>
 #include <ostream>
 #include <sstream>
+#include <utility>
+
+#include "ccq/common/exec.hpp"
 
 namespace ccq {
+
+namespace {
+
+// Thread-partitioning grains, fixed so the split (and therefore every
+// chunked accumulation order) depends only on the element count.
+// Elementwise ops engage the pool only on large tensors; reductions use
+// a wider chunk so results for small tensors match the pre-chunking
+// serial fold exactly.
+constexpr std::size_t kElementwiseGrain = 1 << 15;
+constexpr std::size_t kReduceChunk = 1 << 16;
+
+}  // namespace
 
 std::size_t shape_numel(const Shape& shape) {
   std::size_t n = 1;
@@ -144,37 +159,65 @@ float Tensor::operator()(std::size_t i, std::size_t j, std::size_t k,
 
 Tensor& Tensor::operator+=(const Tensor& rhs) {
   CCQ_CHECK(same_shape(*this, rhs), "shape mismatch in +=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  parallel_for(ExecContext::global(), data_.size(), kElementwiseGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i)
+                   data_[i] += rhs.data_[i];
+               });
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& rhs) {
   CCQ_CHECK(same_shape(*this, rhs), "shape mismatch in -=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  parallel_for(ExecContext::global(), data_.size(), kElementwiseGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i)
+                   data_[i] -= rhs.data_[i];
+               });
   return *this;
 }
 
 Tensor& Tensor::operator*=(const Tensor& rhs) {
   CCQ_CHECK(same_shape(*this, rhs), "shape mismatch in *=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= rhs.data_[i];
+  parallel_for(ExecContext::global(), data_.size(), kElementwiseGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i)
+                   data_[i] *= rhs.data_[i];
+               });
   return *this;
 }
 
 Tensor& Tensor::operator+=(float rhs) {
-  for (auto& v : data_) v += rhs;
+  parallel_for(ExecContext::global(), data_.size(), kElementwiseGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) data_[i] += rhs;
+               });
   return *this;
 }
 
 Tensor& Tensor::operator*=(float rhs) {
-  for (auto& v : data_) v *= rhs;
+  parallel_for(ExecContext::global(), data_.size(), kElementwiseGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) data_[i] *= rhs;
+               });
   return *this;
 }
 
 void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
 float Tensor::sum() const {
-  double acc = 0.0;  // accumulate in double for stability
-  for (float v : data_) acc += v;
+  // Chunked double accumulation: chunk width is a constant and partials
+  // combine in chunk-index order, so the value is the same for any
+  // thread count (and for tensors under one chunk, identical to the
+  // plain serial fold).
+  const double acc = parallel_reduce(
+      ExecContext::global(), data_.size(), kReduceChunk, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double part = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) part += data_[i];
+        return part;
+      },
+      [](double a, double b) { return a + b; });
   return static_cast<float>(acc);
 }
 
@@ -185,36 +228,88 @@ float Tensor::mean() const {
 
 float Tensor::min() const {
   CCQ_CHECK(!data_.empty(), "min of empty tensor");
-  return *std::min_element(data_.begin(), data_.end());
+  // min/max combine exactly, so chunking cannot change the result.
+  return parallel_reduce(
+      ExecContext::global(), data_.size(), kReduceChunk,
+      std::numeric_limits<float>::infinity(),
+      [&](std::size_t lo, std::size_t hi) {
+        return *std::min_element(data_.begin() + static_cast<long>(lo),
+                                 data_.begin() + static_cast<long>(hi));
+      },
+      [](float a, float b) { return std::min(a, b); });
 }
 
 float Tensor::max() const {
   CCQ_CHECK(!data_.empty(), "max of empty tensor");
-  return *std::max_element(data_.begin(), data_.end());
+  return parallel_reduce(
+      ExecContext::global(), data_.size(), kReduceChunk,
+      -std::numeric_limits<float>::infinity(),
+      [&](std::size_t lo, std::size_t hi) {
+        return *std::max_element(data_.begin() + static_cast<long>(lo),
+                                 data_.begin() + static_cast<long>(hi));
+      },
+      [](float a, float b) { return std::max(a, b); });
 }
 
 std::size_t Tensor::argmax() const {
   CCQ_CHECK(!data_.empty(), "argmax of empty tensor");
-  return static_cast<std::size_t>(
-      std::max_element(data_.begin(), data_.end()) - data_.begin());
+  // First-on-ties: chunk winners keep their absolute index and combine
+  // in chunk order with a strict comparison, matching the serial scan.
+  const auto best = parallel_reduce(
+      ExecContext::global(), data_.size(), kReduceChunk,
+      std::pair<std::size_t, float>{data_.size(),
+                                    -std::numeric_limits<float>::infinity()},
+      [&](std::size_t lo, std::size_t hi) {
+        const auto it = std::max_element(data_.begin() + static_cast<long>(lo),
+                                         data_.begin() + static_cast<long>(hi));
+        return std::pair<std::size_t, float>{
+            static_cast<std::size_t>(it - data_.begin()), *it};
+      },
+      [n = data_.size()](std::pair<std::size_t, float> a,
+                         std::pair<std::size_t, float> b) {
+        if (a.first == n) return b;  // `a` is the empty init sentinel
+        return b.second > a.second ? b : a;
+      });
+  return best.first;
 }
 
 float Tensor::sqnorm() const {
-  double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
+  const double acc = parallel_reduce(
+      ExecContext::global(), data_.size(), kReduceChunk, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double part = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          part += static_cast<double>(data_[i]) * data_[i];
+        }
+        return part;
+      },
+      [](double a, double b) { return a + b; });
   return static_cast<float>(acc);
 }
 
 float Tensor::abs_mean() const {
   CCQ_CHECK(!data_.empty(), "abs_mean of empty tensor");
-  double acc = 0.0;
-  for (float v : data_) acc += std::fabs(v);
+  const double acc = parallel_reduce(
+      ExecContext::global(), data_.size(), kReduceChunk, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double part = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) part += std::fabs(data_[i]);
+        return part;
+      },
+      [](double a, double b) { return a + b; });
   return static_cast<float>(acc / static_cast<double>(data_.size()));
 }
 
 bool Tensor::has_nonfinite() const {
-  return std::any_of(data_.begin(), data_.end(),
-                     [](float v) { return !std::isfinite(v); });
+  return parallel_reduce(
+      ExecContext::global(), data_.size(), kReduceChunk, false,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (!std::isfinite(data_[i])) return true;
+        }
+        return false;
+      },
+      [](bool a, bool b) { return a || b; });
 }
 
 Tensor operator+(Tensor lhs, const Tensor& rhs) { return lhs += rhs; }

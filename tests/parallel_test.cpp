@@ -1,0 +1,282 @@
+// Tests for the parallel execution subsystem (common/exec.hpp) and the
+// determinism contract of the parallel kernels: results must be
+// bit-identical for any thread count, exceptions must propagate out of
+// parallel_for, and nested parallel_for must degrade to serial.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "ccq/common/exec.hpp"
+#include "ccq/data/dataset.hpp"
+#include "ccq/nn/conv.hpp"
+#include "ccq/nn/linear.hpp"
+#include "ccq/nn/loss.hpp"
+#include "ccq/nn/optim.hpp"
+#include "ccq/tensor/gemm.hpp"
+
+namespace ccq {
+namespace {
+
+/// True when the two tensors hold exactly the same bytes.
+bool bit_identical(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.numel() * sizeof(float)) == 0;
+}
+
+TEST(ThreadPoolTest, RunsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  std::vector<std::atomic<int>> hits(237);
+  pool.run(hits.size(), [&](std::size_t c) { ++hits[c]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SurvivesBackToBackJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.run(16, [&](std::size_t c) { sum += static_cast<int>(c); });
+    EXPECT_EQ(sum.load(), 120);
+  }
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ExecContext ctx(4);
+  std::vector<std::atomic<int>> hits(1001);
+  parallel_for(ctx, hits.size(), 13, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, SerialContextRunsInline) {
+  ExecContext serial;
+  EXPECT_EQ(serial.threads(), 1u);
+  EXPECT_EQ(serial.pool(), nullptr);
+  int calls = 0;
+  parallel_for(serial, 100, 10, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 100u);
+  });
+  EXPECT_EQ(calls, 1);  // one body call covering the whole range
+}
+
+TEST(ParallelForTest, PropagatesExceptionAndStaysUsable) {
+  ExecContext ctx(4);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(
+      parallel_for(ctx, hits.size(), 1,
+                   [&](std::size_t lo, std::size_t) {
+                     ++hits[lo];
+                     if (lo == 17) throw Error("boom");
+                   }),
+      Error);
+  // All other chunks still ran (the pool drains rather than abandons).
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+  // And the pool accepts new work afterwards.
+  std::atomic<int> sum{0};
+  parallel_for(ctx, 10, 1, [&](std::size_t lo, std::size_t) {
+    sum += static_cast<int>(lo);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ParallelForTest, NestedCallFallsBackToSerial) {
+  ExecContext ctx(4);
+  std::atomic<int> inner_calls{0};
+  std::atomic<int> total{0};
+  parallel_for(ctx, 8, 1, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_TRUE(detail::in_parallel_region());
+    // A nested parallel_for must run serially on this thread: a single
+    // body invocation spanning the whole inner range, and no deadlock.
+    parallel_for(ctx, 100, 10, [&](std::size_t ilo, std::size_t ihi) {
+      ++inner_calls;
+      EXPECT_EQ(ilo, 0u);
+      EXPECT_EQ(ihi, 100u);
+      total += static_cast<int>(ihi - ilo) * static_cast<int>(hi - lo);
+    });
+  });
+  EXPECT_EQ(inner_calls.load(), 8);
+  EXPECT_EQ(total.load(), 800);
+  EXPECT_FALSE(detail::in_parallel_region());
+}
+
+TEST(ParallelReduceTest, MatchesSerialFoldAcrossThreadCounts) {
+  std::vector<double> values(200000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 0.25 * static_cast<double>(i % 97) - 3.0;
+  }
+  auto chunk_sum = [&](std::size_t lo, std::size_t hi) {
+    double part = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) part += values[i];
+    return part;
+  };
+  auto add = [](double a, double b) { return a + b; };
+  ExecContext serial;
+  const double want =
+      parallel_reduce(serial, values.size(), 4096, 0.0, chunk_sum, add);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    ExecContext ctx(threads);
+    const double got =
+        parallel_reduce(ctx, values.size(), 4096, 0.0, chunk_sum, add);
+    EXPECT_EQ(want, got) << threads << " threads";
+  }
+}
+
+TEST(DeterminismTest, GemmBitIdenticalAcrossThreadCounts) {
+  Rng rng(11);
+  // Odd sizes straddle both the cache blocks (64/128/256) and the
+  // 16-row partition grain.
+  Tensor a = Tensor::randn({67, 131}, rng);
+  Tensor b = Tensor::randn({131, 258}, rng);
+  ExecContext serial;
+  const Tensor want = matmul(a, b, serial);
+  for (std::size_t threads : {2u, 4u}) {
+    ExecContext ctx(threads);
+    EXPECT_TRUE(bit_identical(want, matmul(a, b, ctx)))
+        << threads << " threads";
+  }
+}
+
+TEST(DeterminismTest, MatmulVariantsBitIdenticalAcrossThreadCounts) {
+  Rng rng(12);
+  Tensor at = Tensor::randn({131, 67}, rng);  // (k × m) for the TN path
+  Tensor b = Tensor::randn({131, 97}, rng);
+  Tensor x = Tensor::randn({67, 131}, rng);
+  Tensor w = Tensor::randn({97, 131}, rng);  // (n × k) for the NT path
+  ExecContext serial;
+  const Tensor want_tn = matmul_tn(at, b, serial);
+  const Tensor want_nt = matmul_nt(x, w, serial);
+  for (std::size_t threads : {2u, 4u}) {
+    ExecContext ctx(threads);
+    EXPECT_TRUE(bit_identical(want_tn, matmul_tn(at, b, ctx)));
+    EXPECT_TRUE(bit_identical(want_nt, matmul_nt(x, w, ctx)));
+  }
+}
+
+TEST(DeterminismTest, TransposeFreeTnMatchesTransposePath) {
+  // The blocked transpose-free kernel accumulates in the same order as
+  // the historical transpose-then-gemm path, so it must agree bitwise.
+  Rng rng(13);
+  Tensor a = Tensor::randn({70, 33}, rng);
+  Tensor b = Tensor::randn({70, 41}, rng);
+  ExecContext serial;
+  EXPECT_TRUE(
+      bit_identical(matmul_tn(a, b, serial), matmul(transpose2d(a), b)));
+}
+
+TEST(DeterminismTest, ConvForwardBackwardBitIdenticalAcrossThreadCounts) {
+  auto run = [](const ExecContext* ctx) {
+    Rng rng(21);
+    nn::Conv2d conv(5, 7, 3, 1, 1, true, rng);
+    conv.set_exec_context(ctx);
+    Tensor x = Tensor::randn({6, 5, 9, 9}, rng);
+    Tensor y = conv.forward(x);
+    Rng grng(22);
+    Tensor gy = Tensor::randn(y.shape(), grng);
+    Tensor gx = conv.backward(gy);
+    return std::tuple<Tensor, Tensor, Tensor>{
+        std::move(y), std::move(gx), conv.weight().grad};
+  };
+  const auto [y1, gx1, gw1] = run(nullptr);  // process default (serial)
+  for (std::size_t threads : {2u, 4u}) {
+    ExecContext ctx(threads);
+    const auto [y, gx, gw] = run(&ctx);
+    EXPECT_TRUE(bit_identical(y1, y)) << threads << " threads";
+    EXPECT_TRUE(bit_identical(gx1, gx)) << threads << " threads";
+    EXPECT_TRUE(bit_identical(gw1, gw)) << threads << " threads";
+  }
+}
+
+/// One conv→linear train step under the process-wide context; returns
+/// the post-step parameter bytes.
+std::vector<float> train_step_params(std::size_t threads) {
+  ExecContext::set_global_threads(threads);
+  Rng rng(31);
+  nn::Conv2d conv(3, 4, 3, 1, 1, true, rng);
+  nn::Linear fc(4 * 8 * 8, 10, true, rng);
+  Tensor x = Tensor::randn({8, 3, 8, 8}, rng);
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < 8; ++i) labels.push_back(static_cast<int>(i % 10));
+
+  std::vector<nn::Parameter*> params;
+  conv.collect_parameters(params);
+  fc.collect_parameters(params);
+  nn::Sgd sgd(params, {.lr = 0.1, .momentum = 0.9, .weight_decay = 1e-4});
+
+  Tensor h = conv.forward(x);
+  Tensor logits = fc.forward(h.reshaped({8, 4 * 8 * 8}));
+  nn::SoftmaxCrossEntropy loss;
+  loss.forward(logits, labels);
+  Tensor gh = fc.backward(loss.backward());
+  conv.backward(gh.reshaped(h.shape()));
+  sgd.step();
+
+  std::vector<float> out;
+  for (const auto* p : params) {
+    out.insert(out.end(), p->value.data().begin(), p->value.data().end());
+  }
+  ExecContext::set_global_threads(1);
+  return out;
+}
+
+TEST(DeterminismTest, TrainStepBitIdenticalAcrossThreadCounts) {
+  const std::vector<float> want = train_step_params(1);
+  for (std::size_t threads : {2u, 4u}) {
+    const std::vector<float> got = train_step_params(threads);
+    ASSERT_EQ(want.size(), got.size());
+    EXPECT_EQ(0, std::memcmp(want.data(), got.data(),
+                             want.size() * sizeof(float)))
+        << threads << " threads";
+  }
+}
+
+TEST(DeterminismTest, DataLoaderBatchesBitIdenticalAcrossThreadCounts) {
+  auto epoch = [](std::size_t threads) {
+    ExecContext::set_global_threads(threads);
+    Rng img_rng(41);
+    data::Dataset set(3, 8, 8, 4);
+    for (int i = 0; i < 37; ++i) {
+      set.add(Tensor::rand_uniform({3, 8, 8}, img_rng, 0.0f, 1.0f), i % 4);
+    }
+    data::DataLoader loader(set, 8, data::Augment{}, Rng(7));
+    std::vector<float> pixels;
+    std::vector<int> labels;
+    data::Batch batch;
+    while (loader.next(batch)) {
+      pixels.insert(pixels.end(), batch.images.data().begin(),
+                    batch.images.data().end());
+      labels.insert(labels.end(), batch.labels.begin(), batch.labels.end());
+    }
+    ExecContext::set_global_threads(1);
+    return std::pair<std::vector<float>, std::vector<int>>{pixels, labels};
+  };
+  const auto [want_pixels, want_labels] = epoch(1);
+  for (std::size_t threads : {2u, 4u}) {
+    const auto [pixels, labels] = epoch(threads);
+    EXPECT_EQ(want_labels, labels) << threads << " threads";
+    ASSERT_EQ(want_pixels.size(), pixels.size());
+    EXPECT_EQ(0, std::memcmp(want_pixels.data(), pixels.data(),
+                             pixels.size() * sizeof(float)))
+        << threads << " threads";
+  }
+}
+
+TEST(ExecContextTest, GlobalDefaultIsConfigurable) {
+  EXPECT_GE(ExecContext::global().threads(), 1u);
+  ExecContext::set_global_threads(3);
+  EXPECT_EQ(ExecContext::global().threads(), 3u);
+  ExecContext::set_global_threads(0);  // clamped to 1
+  EXPECT_EQ(ExecContext::global().threads(), 1u);
+  EXPECT_EQ(ExecContext::global().pool(), nullptr);
+}
+
+}  // namespace
+}  // namespace ccq

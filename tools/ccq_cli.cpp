@@ -12,9 +12,12 @@
 //
 // All experiments run on the procedural synthetic datasets (see
 // DESIGN.md §2); sizes are flags.
+#include <algorithm>
 #include <iostream>
 
 #include "ccq/common/args.hpp"
+#include "ccq/common/env.hpp"
+#include "ccq/common/exec.hpp"
 #include "ccq/common/json.hpp"
 #include "ccq/common/table.hpp"
 #include "ccq/core/baselines.hpp"
@@ -212,6 +215,8 @@ void usage() {
       "  --policy pact|dorefa|wrpn|sawb|lqnets|lsq|minmax|perchannel\n"
       "  --ladder 8,4,2  --classes 10  --samples 55  --image 16\n"
       "  --width 0.25  --pretrain-epochs 12  --cache file.bin\n"
+      "  --threads N   kernel thread budget (default $CCQ_THREADS or 1;\n"
+      "                results are bit-identical for any N)\n"
       "run flags: --gamma 4 --probes 4 --lambda-start 0.7 --lambda-end 0.1\n"
       "  --no-memory --manual-recovery --max-steps N --snapshot out.bin\n"
       "  --out record.json\n";
@@ -222,6 +227,9 @@ void usage() {
 int main(int argc, char** argv) {
   try {
     const Args args(argc, argv);
+    // Thread budget for all kernels: --threads beats $CCQ_THREADS beats 1.
+    ExecContext::set_global_threads(static_cast<std::size_t>(
+        std::max(1, args.get_int("threads", env_int("CCQ_THREADS", 1)))));
     if (args.command() == "run") return cmd_run(args);
     if (args.command() == "oneshot") return cmd_oneshot(args);
     if (args.command() == "power") return cmd_power(args);

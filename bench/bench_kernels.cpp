@@ -3,7 +3,12 @@
 // convolution, the quantizers, and the competition probe path.
 #include <benchmark/benchmark.h>
 
+#include "ccq/core/trainer.hpp"
+#include "ccq/data/synthetic.hpp"
+#include "ccq/models/resnet.hpp"
 #include "ccq/nn/conv.hpp"
+#include "ccq/nn/loss.hpp"
+#include "ccq/nn/optim.hpp"
 #include "ccq/quant/calibrate.hpp"
 #include "ccq/quant/weight_hooks.hpp"
 #include "ccq/tensor/gemm.hpp"
@@ -11,6 +16,25 @@
 namespace {
 
 using namespace ccq;
+
+/// Snapshot of the float-storage allocation counter (alloc.hpp), taken
+/// before the timing loop so per-iteration columns can be reported.
+struct AllocSnapshot {
+  std::size_t count = alloc_stats::count();
+  std::size_t bytes = alloc_stats::bytes();
+};
+
+/// Report allocations per iteration as counter columns.  No-ops (columns
+/// stay absent) when CCQ_COUNT_ALLOCS is off.
+void report_allocs(benchmark::State& state, const AllocSnapshot& before) {
+  if (!alloc_stats::enabled()) return;
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(alloc_stats::count() - before.count) / iters);
+  state.counters["alloc_kb_per_iter"] = benchmark::Counter(
+      static_cast<double>(alloc_stats::bytes() - before.bytes) / 1024.0 /
+      iters);
+}
 
 void BM_Gemm(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -101,10 +125,15 @@ void BM_ConvForward(benchmark::State& state) {
   Rng rng(2);
   nn::Conv2d conv(channels, channels, 3, 1, 1, false, rng);
   Tensor x = Tensor::randn({8, channels, 16, 16}, rng);
+  Workspace ws;
+  ws.recycle(conv.forward(x, ws));  // warm the pool
+  const AllocSnapshot before;
   for (auto _ : state) {
-    Tensor y = conv.forward(x);
+    Tensor y = conv.forward(x, ws);
     benchmark::DoNotOptimize(y.data().data());
+    ws.recycle(std::move(y));
   }
+  report_allocs(state, before);
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations()) * 8 *
       static_cast<std::int64_t>(conv.macs_per_sample(16, 16)));
@@ -143,6 +172,82 @@ BENCHMARK_TEMPLATE(BM_WeightQuantizer, quant::DoReFaWeightHook)->Arg(2)->Arg(8);
 BENCHMARK_TEMPLATE(BM_WeightQuantizer, quant::SawbWeightHook)->Arg(2)->Arg(8);
 BENCHMARK_TEMPLATE(BM_WeightQuantizer, quant::LqNetsWeightHook)->Arg(2)->Arg(8);
 BENCHMARK_TEMPLATE(BM_WeightQuantizer, quant::MinMaxWeightHook)->Arg(2)->Arg(8);
+
+/// Shared fixture for the end-to-end benches: a thin ResNet20 plus a
+/// small synthetic probe/train batch (the paper's probe geometry).
+models::QuantModel bench_model() {
+  models::ModelConfig config;
+  config.num_classes = 10;
+  config.image_size = 16;
+  config.width_multiplier = 0.25f;
+  config.seed = 7;
+  quant::QuantFactory factory{.policy = quant::Policy::kPact};
+  return models::make_resnet20(config, factory, quant::BitLadder({8, 4, 2}));
+}
+
+data::Batch bench_batch(std::size_t samples_per_class) {
+  data::SyntheticConfig dc;
+  dc.num_classes = 10;
+  dc.samples_per_class = samples_per_class;
+  dc.height = dc.width = 16;
+  dc.seed = 9;
+  return data::make_synthetic_vision(dc).all();
+}
+
+/// One competition probe (Algorithm 1 lines 6–10): temp-quantize a layer
+/// one ladder rung down, evaluate the probe batch, restore.  This is the
+/// CCQ controller's hot loop — U probes per quantization step.
+void BM_ProbeStep(benchmark::State& state) {
+  auto model = bench_model();
+  const data::Batch probe = bench_batch(2);
+  Workspace ws;
+  core::evaluate_batch(model, probe, 128, &ws);  // warm the pool
+  const std::size_t layers = model.registry().size();
+  const AllocSnapshot before;
+  std::size_t m = 0;
+  for (auto _ : state) {
+    quant::LayerRegistry::ProbeGuard guard(model.registry(), m % layers);
+    const core::EvalResult r = core::evaluate_batch(model, probe, 128, &ws);
+    benchmark::DoNotOptimize(r.loss);
+    ++m;
+  }
+  report_allocs(state, before);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(probe.size()));
+}
+BENCHMARK(BM_ProbeStep);
+
+/// One SGD step (forward + loss + backward + update) on a fixed batch —
+/// the recovery-epoch inner loop.
+void BM_TrainStep(benchmark::State& state) {
+  auto model = bench_model();
+  const data::Batch batch = bench_batch(2);
+  nn::Sgd optimizer(model.parameters(), nn::SgdConfig{});
+  Workspace ws;
+  nn::SoftmaxCrossEntropy loss(ws);
+  model.set_training(true);
+  Tensor grad = ws.tensor_uninit({batch.size(), 10});
+  // Warm-up step populates the pool and every layer cache.
+  auto step = [&] {
+    optimizer.zero_grad();
+    Tensor logits = model.forward(batch.images, ws);
+    const float l = loss.forward(logits, batch.labels);
+    ws.recycle(std::move(logits));
+    loss.backward_into(grad);
+    ws.recycle(model.backward(grad, ws));
+    optimizer.step();
+    return l;
+  };
+  step();
+  const AllocSnapshot before;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(step());
+  }
+  report_allocs(state, before);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_TrainStep);
 
 void BM_KlCalibration(benchmark::State& state) {
   Rng rng(5);

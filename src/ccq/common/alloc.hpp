@@ -1,0 +1,81 @@
+// Allocation instrumentation for float tensor storage.
+//
+// `FloatVec` is the storage type behind `Tensor` and the `Workspace`
+// buffer pool.  It is a std::vector<float> whose allocator bumps a
+// process-wide counter on every heap allocation when the build defines
+// CCQ_COUNT_ALLOCS (a CMake option, ON by default; the definition is
+// PUBLIC on ccq_common so every translation unit agrees on it).  Tests
+// and benches read the counter through `alloc_stats` to assert the
+// steady-state contract: a warm workspace-backed forward performs zero
+// new float-storage allocations.
+//
+// Scope note: the counter covers float *storage* — the dominant term by
+// orders of magnitude.  Small bookkeeping allocations (Shape vectors,
+// pool map nodes) go through std::allocator and are not counted.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccq {
+
+namespace alloc_stats {
+
+#ifdef CCQ_COUNT_ALLOCS
+namespace detail {
+inline std::atomic<std::uint64_t> count{0};
+inline std::atomic<std::uint64_t> bytes{0};
+}  // namespace detail
+
+/// Float-storage heap allocations since the last reset().
+inline std::uint64_t count() { return detail::count.load(std::memory_order_relaxed); }
+/// Bytes requested by those allocations.
+inline std::uint64_t bytes() { return detail::bytes.load(std::memory_order_relaxed); }
+inline void reset() {
+  detail::count.store(0, std::memory_order_relaxed);
+  detail::bytes.store(0, std::memory_order_relaxed);
+}
+inline void record(std::size_t n_bytes) {
+  detail::count.fetch_add(1, std::memory_order_relaxed);
+  detail::bytes.fetch_add(n_bytes, std::memory_order_relaxed);
+}
+constexpr bool enabled() { return true; }
+#else
+inline std::uint64_t count() { return 0; }
+inline std::uint64_t bytes() { return 0; }
+inline void reset() {}
+inline void record(std::size_t) {}
+constexpr bool enabled() { return false; }
+#endif
+
+}  // namespace alloc_stats
+
+/// std::allocator drop-in that reports each allocation to alloc_stats.
+/// Stateless, so it adds no footprint and all instances compare equal.
+template <typename T>
+struct CountingAllocator {
+  using value_type = T;
+
+  CountingAllocator() noexcept = default;
+  template <typename U>
+  CountingAllocator(const CountingAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    alloc_stats::record(n * sizeof(T));
+    return std::allocator<T>{}.allocate(n);
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    std::allocator<T>{}.deallocate(p, n);
+  }
+
+  friend bool operator==(const CountingAllocator&, const CountingAllocator&) {
+    return true;
+  }
+};
+
+/// Storage type for Tensor data and Workspace pool buffers.
+using FloatVec = std::vector<float, CountingAllocator<float>>;
+
+}  // namespace ccq

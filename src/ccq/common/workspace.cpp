@@ -1,0 +1,91 @@
+#include "ccq/common/workspace.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace ccq {
+
+namespace {
+
+// Bucket for a *request* of n floats: smallest power of two >= n.
+std::size_t bucket_for_request(std::size_t n) {
+  return n <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(n - 1));
+}
+
+// Bucket a *buffer* files under: largest power of two <= capacity, so
+// any request that rounds up to this bucket fits without reallocating.
+std::size_t bucket_for_capacity(std::size_t cap) {
+  return static_cast<std::size_t>(std::bit_width(cap)) - 1;
+}
+
+}  // namespace
+
+Workspace::Arena& Workspace::local_arena_locked() {
+  auto& slot = arenas_[std::this_thread::get_id()];
+  if (slot == nullptr) slot = std::make_unique<Arena>();
+  return *slot;
+}
+
+FloatVec Workspace::acquire(std::size_t n) {
+  if (n == 0) return {};
+  const std::size_t b = bucket_for_request(n);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Arena& arena = local_arena_locked();
+    if (b < arena.buckets.size() && !arena.buckets[b].empty()) {
+      FloatVec buf = std::move(arena.buckets[b].back());
+      arena.buckets[b].pop_back();
+      buf.resize(n);  // capacity >= bucket size >= n: no allocation
+      return buf;
+    }
+  }
+  // Miss: allocate once at full bucket capacity so later requests of any
+  // size in this bucket reuse it.
+  FloatVec buf;
+  buf.reserve(std::size_t{1} << b);
+  buf.resize(n);
+  return buf;
+}
+
+void Workspace::release(FloatVec&& buf) {
+  if (buf.capacity() == 0) return;
+  const std::size_t b = bucket_for_capacity(buf.capacity());
+  std::lock_guard<std::mutex> lock(mutex_);
+  Arena& arena = local_arena_locked();
+  if (arena.buckets.size() <= b) arena.buckets.resize(b + 1);
+  arena.buckets[b].push_back(std::move(buf));
+}
+
+void Workspace::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [tid, arena] : arenas_) {
+    for (auto& bucket : arena->buckets) bucket.clear();
+  }
+}
+
+std::size_t Workspace::pooled_buffers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [tid, arena] : arenas_) {
+    for (const auto& bucket : arena->buckets) n += bucket.size();
+  }
+  return n;
+}
+
+std::size_t Workspace::pooled_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bytes = 0;
+  for (const auto& [tid, arena] : arenas_) {
+    for (const auto& bucket : arena->buckets) {
+      for (const auto& buf : bucket) bytes += buf.capacity() * sizeof(float);
+    }
+  }
+  return bytes;
+}
+
+Workspace& Workspace::scratch() {
+  static Workspace ws;
+  return ws;
+}
+
+}  // namespace ccq

@@ -1,0 +1,138 @@
+// Workspace: a size-bucketed buffer pool for steady-state allocation reuse.
+//
+// The CCQ loop (Algorithm 1) is evaluation-heavy — every quantization
+// step runs U probe forwards plus full-validation sweeps — and each
+// forward used to heap-allocate its output tensors, im2col column
+// buffers and quantized-weight temporaries from scratch.  A Workspace
+// breaks that churn: layers acquire buffers from it, hand results back
+// via `recycle`, and after one warm-up pass every acquisition is served
+// from the pool (zero heap allocations; assert with CCQ_COUNT_ALLOCS /
+// `alloc_stats`, see alloc.hpp).
+//
+// Design:
+//   * Buffers live in power-of-two capacity buckets: `acquire(n)` pops
+//     from the bucket for the smallest power of two >= n, so a buffer
+//     recycled at one size is reusable for any request that rounds to
+//     the same bucket.  A miss allocates one buffer at full bucket
+//     capacity; steady-state shape jitter (e.g. a ragged final eval
+//     chunk) therefore still hits the pool.
+//   * Buffers are segregated into per-thread sub-arenas keyed by the
+//     releasing/acquiring thread, so `parallel_for` workers never
+//     exchange buffers — reuse stays thread-local (cache-warm) and the
+//     pool's contents are deterministic per thread.  All bookkeeping is
+//     mutex-guarded, so concurrent acquire/release from inside a
+//     parallel region is safe.
+//   * Pooling never changes numerics: a workspace tensor has the same
+//     shape/content as its heap-allocated counterpart, so workspace and
+//     legacy forwards are bit-identical (regression-tested).
+//
+// Lifetime contract: `reset()` frees only *pooled* (free) buffers —
+// outstanding tensors and leases are unaffected and may still be
+// recycled afterwards.  The Workspace must outlive its leases.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "ccq/common/alloc.hpp"
+#include "ccq/tensor/tensor.hpp"
+
+namespace ccq {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // ---- raw buffer pool --------------------------------------------------
+  /// A buffer of exactly `n` floats with unspecified contents.  Served
+  /// from the calling thread's arena when a bucket match exists; falls
+  /// back to one heap allocation of the full bucket capacity.
+  FloatVec acquire(std::size_t n);
+
+  /// Return a buffer to the calling thread's arena.  Zero-capacity
+  /// buffers are dropped.
+  void release(FloatVec&& buf);
+
+  /// RAII scratch lease: acquires on construction, releases back to the
+  /// pool on destruction.  Movable, not copyable.
+  class FloatLease {
+   public:
+    FloatLease(Workspace& ws, std::size_t n)
+        : ws_(&ws), buf_(ws.acquire(n)) {}
+    FloatLease(FloatLease&& other) noexcept
+        : ws_(other.ws_), buf_(std::move(other.buf_)) {
+      other.ws_ = nullptr;
+    }
+    FloatLease& operator=(FloatLease&&) = delete;
+    FloatLease(const FloatLease&) = delete;
+    FloatLease& operator=(const FloatLease&) = delete;
+    ~FloatLease() {
+      if (ws_ != nullptr) ws_->release(std::move(buf_));
+    }
+
+    float* data() { return buf_.data(); }
+    const float* data() const { return buf_.data(); }
+    std::size_t size() const { return buf_.size(); }
+    std::span<float> span() { return {buf_.data(), buf_.size()}; }
+
+   private:
+    Workspace* ws_;
+    FloatVec buf_;
+  };
+
+  /// Lease `n` floats of scratch (unspecified contents).
+  FloatLease floats(std::size_t n) { return FloatLease(*this, n); }
+
+  // ---- pool-backed tensors (inline: header-only Tensor bridge) ----------
+  /// Zero-filled tensor backed by pool storage.
+  Tensor tensor(Shape shape) {
+    const std::size_t n = shape_numel(shape);
+    FloatVec buf = acquire(n);
+    std::fill(buf.begin(), buf.end(), 0.0f);
+    return Tensor::adopt(std::move(shape), std::move(buf));
+  }
+
+  /// Pool-backed tensor with unspecified contents (for outputs that are
+  /// fully overwritten).
+  Tensor tensor_uninit(Shape shape) {
+    const std::size_t n = shape_numel(shape);
+    return Tensor::adopt(std::move(shape), acquire(n));
+  }
+
+  /// Return a tensor's storage to the pool; `t` is left empty.
+  void recycle(Tensor&& t) { release(t.release_storage()); }
+
+  // ---- maintenance ------------------------------------------------------
+  /// Drop every pooled (free) buffer.  Outstanding tensors/leases are
+  /// untouched and may still be recycled into the (now empty) pool.
+  void reset();
+
+  /// Free buffers currently pooled across all arenas (test hook).
+  std::size_t pooled_buffers() const;
+  /// Bytes of float storage those buffers hold (by capacity).
+  std::size_t pooled_bytes() const;
+
+  /// Process-global workspace used by the legacy `forward(x)` shims, so
+  /// callers that never thread a Workspace through still get pooling.
+  static Workspace& scratch();
+
+ private:
+  // One free-list vector per power-of-two capacity bucket.
+  struct Arena {
+    std::vector<std::vector<FloatVec>> buckets;
+  };
+
+  Arena& local_arena_locked();  // requires mutex_ held
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::thread::id, std::unique_ptr<Arena>> arenas_;
+};
+
+}  // namespace ccq

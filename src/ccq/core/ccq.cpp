@@ -61,6 +61,10 @@ CcqResult run_ccq(models::QuantModel& model, const data::Dataset& train_set,
   Rng rng(config.seed);
   const data::Batch probe_batch =
       make_probe_batch(val_set, config.probe_samples);
+  // One workspace for the whole controller run: the probe loop, the
+  // recovery epochs and every validation pass recycle the same buffers,
+  // so steady-state steps perform no float-storage allocations.
+  Workspace ws;
 
   // ---- initial quantization: every layer to N(0) (Algorithm 1 line 3).
   registry.set_all(0);
@@ -83,8 +87,8 @@ CcqResult run_ccq(models::QuantModel& model, const data::Dataset& train_set,
   };
 
   for (int e = 0; e < config.initial_recovery_epochs; ++e) {
-    const float train_loss = train_epoch(model, optimizer, loader);
-    const EvalResult val = evaluate(model, val_set);
+    const float train_loss = train_epoch(model, optimizer, loader, &ws);
+    const EvalResult val = evaluate(model, val_set, 128, &ws);
     record_epoch(train_loss, val,
                  e == 0 ? "initial quantization to " +
                               std::to_string(registry.ladder().initial_bits()) +
@@ -92,7 +96,7 @@ CcqResult run_ccq(models::QuantModel& model, const data::Dataset& train_set,
                         : "");
     optimizer.set_lr(schedule.next(val.accuracy));
   }
-  result.baseline_accuracy = evaluate(model, val_set).accuracy;
+  result.baseline_accuracy = evaluate(model, val_set, 128, &ws).accuracy;
   const float recovery_target =
       result.baseline_accuracy - config.recovery_drop_threshold;
   CCQ_LOG_INFO << "CCQ " << model.name() << ": baseline@"
@@ -126,7 +130,7 @@ CcqResult run_ccq(models::QuantModel& model, const data::Dataset& train_set,
         float probe_loss = 0.0f;
         {
           quant::LayerRegistry::ProbeGuard guard(registry, m);
-          probe_loss = evaluate_batch(model, probe_batch).loss;
+          probe_loss = evaluate_batch(model, probe_batch, 128, &ws).loss;
         }
         if (config.selection == SelectionRule::kExp3Memory) {
           // EXP3: importance-weight the observed loss so rarely-probed
@@ -170,7 +174,7 @@ CcqResult run_ccq(models::QuantModel& model, const data::Dataset& train_set,
     record.new_bits = registry.bits_of(winner);
     record.lambda = lambda;
     record.pick_probabilities = final_probs;
-    record.val_acc_before_recovery = evaluate(model, val_set).accuracy;
+    record.val_acc_before_recovery = evaluate(model, val_set, 128, &ws).accuracy;
 
     // Collaboration: fine-tune all layers (lines 14–18).
     int recovery_epochs = 0;
@@ -179,8 +183,8 @@ CcqResult run_ccq(models::QuantModel& model, const data::Dataset& train_set,
                            ? config.manual_recovery_epochs
                            : config.max_recovery_epochs;
     while (recovery_epochs < budget) {
-      const float train_loss = train_epoch(model, optimizer, loader);
-      const EvalResult val = evaluate(model, val_set);
+      const float train_loss = train_epoch(model, optimizer, loader, &ws);
+      const EvalResult val = evaluate(model, val_set, 128, &ws);
       acc = val.accuracy;
       record_epoch(train_loss, val,
                    recovery_epochs == 0
@@ -205,7 +209,7 @@ CcqResult run_ccq(models::QuantModel& model, const data::Dataset& train_set,
     ++step;
   }
 
-  result.final_accuracy = evaluate(model, val_set).accuracy;
+  result.final_accuracy = evaluate(model, val_set, 128, &ws).accuracy;
   result.final_compression = registry.compression_ratio();
   result.final_bits.reserve(registry.size());
   for (std::size_t i = 0; i < registry.size(); ++i) {

@@ -10,41 +10,51 @@ namespace ccq::core {
 
 namespace {
 
-/// Slice `batch` rows [lo, hi) into a contiguous sub-batch.
-data::Batch slice_batch(const data::Batch& batch, std::size_t lo,
-                        std::size_t hi) {
+/// Slice `batch` rows [lo, hi) into `out`, reusing its capacity.  Steady
+/// state (fixed chunk width) performs no allocations.
+void slice_batch_into(const data::Batch& batch, std::size_t lo,
+                      std::size_t hi, data::Batch& out) {
   const std::size_t n = hi - lo;
   const std::size_t sample = batch.images.numel() / batch.size();
   Shape shape = batch.images.shape();
   shape[0] = n;
-  data::Batch out;
-  out.images = Tensor(shape);
+  out.images.resize(shape);
   const float* src = batch.images.data().data() + lo * sample;
   std::copy(src, src + n * sample, out.images.data().data());
   out.labels.assign(batch.labels.begin() + static_cast<long>(lo),
                     batch.labels.begin() + static_cast<long>(hi));
-  return out;
 }
 
 }  // namespace
 
 EvalResult evaluate_batch(models::QuantModel& model, const data::Batch& batch,
-                          std::size_t chunk) {
+                          std::size_t chunk, Workspace* ws_opt) {
   CCQ_CHECK(batch.size() > 0, "empty evaluation batch");
+  Workspace& ws = ws_opt != nullptr ? *ws_opt : Workspace::scratch();
   model.set_training(false);
-  nn::SoftmaxCrossEntropy loss;
+  nn::SoftmaxCrossEntropy loss(ws);
   double total_loss = 0.0, total_correct = 0.0;
+  // The chunk staging batch is pool-backed and reused across chunks (the
+  // first chunk is the widest, so later resizes stay within capacity).
+  data::Batch part;
+  {
+    Shape shape = batch.images.shape();
+    shape[0] = std::min(batch.size(), chunk);
+    part.images = ws.tensor_uninit(std::move(shape));
+  }
   for (std::size_t lo = 0; lo < batch.size(); lo += chunk) {
     const std::size_t hi = std::min(batch.size(), lo + chunk);
-    const data::Batch part = slice_batch(batch, lo, hi);
-    const Tensor logits = model.forward(part.images);
+    slice_batch_into(batch, lo, hi, part);
+    Tensor logits = model.forward(part.images, ws);
     total_loss += static_cast<double>(loss.forward(logits, part.labels)) *
                   static_cast<double>(part.size());
     total_correct +=
         static_cast<double>(
             nn::SoftmaxCrossEntropy::accuracy(logits, part.labels)) *
         static_cast<double>(part.size());
+    ws.recycle(std::move(logits));
   }
+  ws.recycle(std::move(part.images));
   model.set_training(true);
   EvalResult result;
   result.loss =
@@ -55,28 +65,38 @@ EvalResult evaluate_batch(models::QuantModel& model, const data::Batch& batch,
 }
 
 EvalResult evaluate(models::QuantModel& model, const data::Dataset& dataset,
-                    std::size_t chunk) {
-  return evaluate_batch(model, dataset.all(), chunk);
+                    std::size_t chunk, Workspace* ws) {
+  return evaluate_batch(model, dataset.all(), chunk, ws);
 }
 
 float train_epoch(models::QuantModel& model, nn::Sgd& optimizer,
-                  data::DataLoader& loader) {
+                  data::DataLoader& loader, Workspace* ws_opt) {
+  Workspace& ws = ws_opt != nullptr ? *ws_opt : Workspace::scratch();
   model.set_training(true);
-  nn::SoftmaxCrossEntropy loss;
+  nn::SoftmaxCrossEntropy loss(ws);
   loader.start_epoch();
   data::Batch batch;
+  Tensor grad_logits;  // pool-backed below; backward_into reuses capacity
   double total = 0.0;
   std::size_t samples = 0;
   while (loader.next(batch)) {
     optimizer.zero_grad();
-    const Tensor logits = model.forward(batch.images);
+    Tensor logits = model.forward(batch.images, ws);
     const float batch_loss = loss.forward(logits, batch.labels);
-    model.backward(loss.backward());
+    if (grad_logits.empty()) {
+      // First batch is the widest, so this capacity covers the epoch.
+      grad_logits = ws.tensor_uninit(logits.shape());
+    }
+    ws.recycle(std::move(logits));
+    loss.backward_into(grad_logits);
+    Tensor grad_in = model.backward(grad_logits, ws);
+    ws.recycle(std::move(grad_in));
     optimizer.step();
     total += static_cast<double>(batch_loss) *
              static_cast<double>(batch.size());
     samples += batch.size();
   }
+  if (!grad_logits.empty()) ws.recycle(std::move(grad_logits));
   CCQ_CHECK(samples > 0, "empty training epoch");
   return static_cast<float>(total / static_cast<double>(samples));
 }

@@ -20,19 +20,22 @@ struct EvalResult {
 };
 
 /// Forward-only evaluation over a dataset in eval mode (chunked so memory
-/// stays bounded).  This is also the competition's probe primitive.
+/// stays bounded).  This is also the competition's probe primitive.  Pass
+/// a Workspace to reuse buffers across chunks and calls; the default
+/// routes through the process-global scratch pool.
 EvalResult evaluate(models::QuantModel& model, const data::Dataset& dataset,
-                    std::size_t chunk = 128);
+                    std::size_t chunk = 128, Workspace* ws = nullptr);
 
 /// Evaluate on a fixed pre-gathered batch (used for fast probes on a
 /// validation subset — paper §III.B calls this "a simple feed-forward on
-/// a small validation set").
+/// a small validation set").  Warm calls perform zero float-storage heap
+/// allocations (regression-tested in workspace_test).
 EvalResult evaluate_batch(models::QuantModel& model, const data::Batch& batch,
-                          std::size_t chunk = 128);
+                          std::size_t chunk = 128, Workspace* ws = nullptr);
 
 /// One epoch of SGD over the loader; returns mean training loss.
 float train_epoch(models::QuantModel& model, nn::Sgd& optimizer,
-                  data::DataLoader& loader);
+                  data::DataLoader& loader, Workspace* ws = nullptr);
 
 /// Per-epoch statistics recorded during any training run.
 struct EpochStat {

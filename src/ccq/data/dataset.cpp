@@ -36,9 +36,10 @@ int Dataset::label(std::size_t i) const {
   return labels_[i];
 }
 
-Batch Dataset::gather(const std::vector<std::size_t>& indices) const {
-  Batch batch;
-  batch.images = Tensor({indices.size(), channels_, height_, width_});
+void Dataset::gather_into(const std::vector<std::size_t>& indices,
+                          Batch& batch) const {
+  batch.images.resize({indices.size(), channels_, height_, width_});
+  batch.labels.clear();
   batch.labels.reserve(indices.size());
   const std::size_t sample = channels_ * height_ * width_;
   float* dst = batch.images.data().data();
@@ -52,6 +53,11 @@ Batch Dataset::gather(const std::vector<std::size_t>& indices) const {
       std::copy(src, src + sample, dst + i * sample);
     }
   });
+}
+
+Batch Dataset::gather(const std::vector<std::size_t>& indices) const {
+  Batch batch;
+  gather_into(indices, batch);
   return batch;
 }
 
@@ -154,7 +160,7 @@ bool DataLoader::next(Batch& out) {
   const std::size_t c = dataset_.channels(), h = dataset_.height(),
                     w = dataset_.width();
   const std::size_t sample = c * h * w;
-  out.images = Tensor({take, c, h, w});
+  out.images.resize({take, c, h, w});
   out.labels.clear();
   out.labels.reserve(take);
   float* dst = out.images.data().data();

@@ -41,6 +41,11 @@ class Dataset {
   /// Assemble a batch from explicit indices (no augmentation).
   Batch gather(const std::vector<std::size_t>& indices) const;
 
+  /// Capacity-reusing variant: `batch` is resized and overwritten, so a
+  /// caller looping over index sets performs no steady-state allocations.
+  void gather_into(const std::vector<std::size_t>& indices,
+                   Batch& batch) const;
+
   /// The whole dataset as one batch (for small validation sets).
   Batch all() const;
 

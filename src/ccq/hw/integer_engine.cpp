@@ -217,16 +217,15 @@ const IntLayerPlan& IntegerNetwork::plan(std::size_t i) const {
 
 namespace {
 
-/// Quantize a float activation tensor onto a uniform grid and return the
-/// integer codes (as exact floats, ready for im2col).
-Tensor to_codes(const Tensor& x, float scale) {
-  Tensor codes(x.shape());
+/// Quantize a float activation tensor onto a uniform grid, writing the
+/// integer codes (as exact floats, ready for im2col) into `codes`.
+void to_codes(const Tensor& x, float scale, Tensor& codes) {
+  codes.resize(x.shape());
   auto xp = x.data();
   auto cp = codes.data();
   for (std::size_t i = 0; i < xp.size(); ++i) {
     cp[i] = std::round(xp[i] / scale);
   }
-  return codes;
 }
 
 /// Apply the layer's activation quantizer to a float tensor.
@@ -249,8 +248,14 @@ void apply_act(Tensor& x, const IntLayerPlan& plan) {
 }  // namespace
 
 Tensor IntegerNetwork::forward(const Tensor& x) const {
+  return forward(x, Workspace::scratch());
+}
+
+Tensor IntegerNetwork::forward(const Tensor& x, Workspace& ws) const {
   CCQ_CHECK(x.rank() == 4, "integer engine expects NCHW input");
-  Tensor act = x;
+  Tensor act = ws.tensor_uninit(x.shape());
+  std::copy(x.data().begin(), x.data().end(), act.data().begin());
+  Tensor codes = ws.tensor_uninit(x.shape());  // reused by conv/linear
   float scale = kInputScale;
   // Snap the input onto its 8-bit grid (standard input quantization).
   {
@@ -273,9 +278,9 @@ Tensor IntegerNetwork::forward(const Tensor& x) const {
                              .pad = plan.pad};
         const std::size_t oh = g.out_h(), ow = g.out_w();
         const std::size_t patch = g.patch_size(), spatial = g.out_spatial();
-        Tensor codes = to_codes(act, scale);
-        Tensor out({n, plan.out_channels, oh, ow});
-        std::vector<float> cols(patch * spatial);
+        to_codes(act, scale, codes);
+        Tensor out = ws.tensor_uninit({n, plan.out_channels, oh, ow});
+        Workspace::FloatLease cols = ws.floats(patch * spatial);
         const ExecContext& ctx = ExecContext::global();
         for (std::size_t img = 0; img < n; ++img) {
           const float* src =
@@ -294,7 +299,7 @@ Tensor IntegerNetwork::forward(const Tensor& x) const {
                 for (std::size_t p = 0; p < patch; ++p) {
                   acc += static_cast<std::int64_t>(wrow[p]) *
                          static_cast<std::int64_t>(
-                             std::lround(cols[p * spatial + s]));
+                             std::lround(cols.data()[p * spatial + s]));
                 }
                 dst[oc * spatial + s] =
                     static_cast<float>(acc) * plan.channel_scale[oc] +
@@ -303,6 +308,7 @@ Tensor IntegerNetwork::forward(const Tensor& x) const {
             }
           });
         }
+        ws.recycle(std::move(act));
         act = std::move(out);
         apply_act(act, plan);
         if (plan.has_act && plan.act_bits < 16) scale = act_scale(plan);
@@ -312,8 +318,8 @@ Tensor IntegerNetwork::forward(const Tensor& x) const {
         CCQ_CHECK(act.rank() == 2 && act.dim(1) == plan.in_features,
                   "linear input mismatch in integer engine");
         const std::size_t n = act.dim(0);
-        Tensor codes = to_codes(act, scale);
-        Tensor out({n, plan.out_features});
+        to_codes(act, scale, codes);
+        Tensor out = ws.tensor_uninit({n, plan.out_features});
         for (std::size_t img = 0; img < n; ++img) {
           const float* arow = codes.data().data() + img * plan.in_features;
           for (std::size_t oc = 0; oc < plan.out_features; ++oc) {
@@ -329,6 +335,7 @@ Tensor IntegerNetwork::forward(const Tensor& x) const {
                 plan.bias[oc];
           }
         }
+        ws.recycle(std::move(act));
         act = std::move(out);
         apply_act(act, plan);
         if (plan.has_act && plan.act_bits < 16) scale = act_scale(plan);
@@ -336,12 +343,18 @@ Tensor IntegerNetwork::forward(const Tensor& x) const {
       }
       case IntLayerPlan::Kind::kMaxPool: {
         nn::MaxPool2d pool(plan.pool_kernel, plan.pool_stride);
-        act = pool.forward(act);
+        pool.set_training(false);  // inference: skip the argmax cache
+        Tensor out = pool.forward(act, ws);
+        ws.recycle(std::move(act));
+        act = std::move(out);
         break;
       }
       case IntLayerPlan::Kind::kAvgPool: {
         nn::AvgPool2d pool(plan.pool_kernel, plan.pool_stride);
-        act = pool.forward(act);
+        pool.set_training(false);
+        Tensor out = pool.forward(act, ws);
+        ws.recycle(std::move(act));
+        act = std::move(out);
         // Averaging leaves the grid; requantize onto the current scale
         // (what a fixed-point datapath does after a mean).
         auto p = act.data();
@@ -350,17 +363,22 @@ Tensor IntegerNetwork::forward(const Tensor& x) const {
       }
       case IntLayerPlan::Kind::kGlobalAvgPool: {
         nn::GlobalAvgPool gap;
-        act = gap.forward(act);
+        gap.set_training(false);
+        Tensor out = gap.forward(act, ws);
+        ws.recycle(std::move(act));
+        act = std::move(out);
         auto p = act.data();
         for (auto& v : p) v = std::round(v / scale) * scale;
         break;
       }
       case IntLayerPlan::Kind::kFlatten: {
-        act = act.reshaped({act.dim(0), act.numel() / act.dim(0)});
+        // In-place reshape: same element count, only the shape changes.
+        act.resize({act.dim(0), act.numel() / act.dim(0)});
         break;
       }
     }
   }
+  ws.recycle(std::move(codes));
   return act;
 }
 

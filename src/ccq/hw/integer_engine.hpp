@@ -68,8 +68,12 @@ class IntegerNetwork {
   static IntegerNetwork compile(models::QuantModel& model);
 
   /// Run inference over an (N, C, H, W) batch; returns (N, classes)
-  /// logits.  All conv/linear arithmetic is integer.
+  /// logits.  All conv/linear arithmetic is integer.  The workspace
+  /// overload recycles every intermediate activation through the pool;
+  /// recycle the returned logits too and warm repeated inference performs
+  /// no float-storage allocations.
   Tensor forward(const Tensor& x) const;
+  Tensor forward(const Tensor& x, Workspace& ws) const;
 
   std::size_t layer_count() const { return plans_.size(); }
   const IntLayerPlan& plan(std::size_t i) const;

@@ -45,6 +45,12 @@ class QuantModel {
 
   Tensor forward(const Tensor& x) { return net_->forward(x); }
   Tensor backward(const Tensor& grad) { return net_->backward(grad); }
+  Tensor forward(const Tensor& x, Workspace& ws) {
+    return net_->forward(x, ws);
+  }
+  Tensor backward(const Tensor& grad, Workspace& ws) {
+    return net_->backward(grad, ws);
+  }
   std::vector<nn::Parameter*> parameters() { return net_->parameters(); }
   void set_training(bool training) { net_->set_training(training); }
 

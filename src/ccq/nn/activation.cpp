@@ -2,24 +2,34 @@
 
 namespace ccq::nn {
 
-Tensor ReLU::forward(const Tensor& x) {
-  mask_ = Tensor(x.shape());
-  Tensor y(x.shape());
+Tensor ReLU::forward(const Tensor& x, Workspace& ws) {
+  Tensor y = ws.tensor_uninit(x.shape());
   const float* xp = x.data().data();
-  float* mp = mask_.data().data();
   float* yp = y.data().data();
-  for (std::size_t i = 0; i < x.numel(); ++i) {
-    const bool on = xp[i] > 0.0f;
-    mp[i] = on ? 1.0f : 0.0f;
-    yp[i] = on ? xp[i] : 0.0f;
+  if (training_) {
+    mask_.resize(x.shape());
+    float* mp = mask_.data().data();
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+      const bool on = xp[i] > 0.0f;
+      mp[i] = on ? 1.0f : 0.0f;
+      yp[i] = on ? xp[i] : 0.0f;
+    }
+  } else {
+    // Eval fast path: no backward, so skip the mask entirely.
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+      yp[i] = xp[i] > 0.0f ? xp[i] : 0.0f;
+    }
   }
   return y;
 }
 
-Tensor ReLU::backward(const Tensor& grad_out) {
+Tensor ReLU::backward(const Tensor& grad_out, Workspace& ws) {
   CCQ_CHECK(same_shape(grad_out, mask_), "ReLU grad shape mismatch");
-  Tensor g = grad_out;
-  g *= mask_;
+  Tensor g = ws.tensor_uninit(grad_out.shape());
+  const float* gp = grad_out.data().data();
+  const float* mp = mask_.data().data();
+  float* dst = g.data().data();
+  for (std::size_t i = 0; i < g.numel(); ++i) dst[i] = gp[i] * mp[i];
   return g;
 }
 

@@ -11,8 +11,10 @@ namespace ccq::nn {
 /// Rectified linear unit.
 class ReLU : public Module {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, Workspace& ws) override;
+  Tensor backward(const Tensor& grad_out, Workspace& ws) override;
+  using Module::forward;
+  using Module::backward;
   std::string type_name() const override { return "ReLU"; }
 
  private:

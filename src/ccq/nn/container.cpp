@@ -1,5 +1,7 @@
 #include "ccq/nn/container.hpp"
 
+#include <algorithm>
+
 namespace ccq::nn {
 
 Module& Sequential::add_module(ModulePtr m) {
@@ -8,16 +10,36 @@ Module& Sequential::add_module(ModulePtr m) {
   return *children_.back();
 }
 
-Tensor Sequential::forward(const Tensor& x) {
-  Tensor y = x;
-  for (auto& child : children_) y = child->forward(y);
+Tensor Sequential::forward(const Tensor& x, Workspace& ws) {
+  if (children_.empty()) {
+    Tensor y = ws.tensor_uninit(x.shape());
+    std::copy(x.data().begin(), x.data().end(), y.data().begin());
+    return y;
+  }
+  // Recycle each intermediate as soon as the consuming child has run:
+  // layers copy whatever backward needs out of their input, so nothing
+  // retains a reference into the recycled storage.
+  Tensor y = children_.front()->forward(x, ws);
+  for (std::size_t i = 1; i < children_.size(); ++i) {
+    Tensor next = children_[i]->forward(y, ws);
+    ws.recycle(std::move(y));
+    y = std::move(next);
+  }
   return y;
 }
 
-Tensor Sequential::backward(const Tensor& grad_out) {
-  Tensor g = grad_out;
-  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
-    g = (*it)->backward(g);
+Tensor Sequential::backward(const Tensor& grad_out, Workspace& ws) {
+  if (children_.empty()) {
+    Tensor g = ws.tensor_uninit(grad_out.shape());
+    std::copy(grad_out.data().begin(), grad_out.data().end(),
+              g.data().begin());
+    return g;
+  }
+  Tensor g = children_.back()->backward(grad_out, ws);
+  for (auto it = children_.rbegin() + 1; it != children_.rend(); ++it) {
+    Tensor next = (*it)->backward(g, ws);
+    ws.recycle(std::move(g));
+    g = std::move(next);
   }
   return g;
 }
@@ -52,28 +74,43 @@ Residual::Residual(ModulePtr main, ModulePtr shortcut, ModulePtr activation)
   CCQ_CHECK(main_ != nullptr, "residual block needs a main path");
 }
 
-Tensor Residual::forward(const Tensor& x) {
-  Tensor y = main_->forward(x);
+Tensor Residual::forward(const Tensor& x, Workspace& ws) {
+  Tensor y = main_->forward(x, ws);
   if (shortcut_ != nullptr) {
-    y += shortcut_->forward(x);
+    Tensor s = shortcut_->forward(x, ws);
+    y += s;
+    ws.recycle(std::move(s));
   } else {
     CCQ_CHECK(same_shape(y, x),
               "identity shortcut requires matching shapes; use a projection");
     y += x;
   }
-  if (activation_ != nullptr) y = activation_->forward(y);
+  if (activation_ != nullptr) {
+    Tensor a = activation_->forward(y, ws);
+    ws.recycle(std::move(y));
+    y = std::move(a);
+  }
   return y;
 }
 
-Tensor Residual::backward(const Tensor& grad_out) {
-  Tensor g = activation_ != nullptr ? activation_->backward(grad_out)
-                                    : grad_out;
-  Tensor gx = main_->backward(g);
-  if (shortcut_ != nullptr) {
-    gx += shortcut_->backward(g);
-  } else {
-    gx += g;
+Tensor Residual::backward(const Tensor& grad_out, Workspace& ws) {
+  // Avoid the legacy `Tensor g = grad_out` copy: read through a pointer
+  // when there is no activation to differentiate.
+  Tensor g_own;
+  const Tensor* g = &grad_out;
+  if (activation_ != nullptr) {
+    g_own = activation_->backward(grad_out, ws);
+    g = &g_own;
   }
+  Tensor gx = main_->backward(*g, ws);
+  if (shortcut_ != nullptr) {
+    Tensor gs = shortcut_->backward(*g, ws);
+    gx += gs;
+    ws.recycle(std::move(gs));
+  } else {
+    gx += *g;
+  }
+  if (activation_ != nullptr) ws.recycle(std::move(g_own));
   return gx;
 }
 

@@ -26,8 +26,10 @@ class Sequential : public Module {
   /// Append an already-constructed module.
   Module& add_module(ModulePtr m);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, Workspace& ws) override;
+  Tensor backward(const Tensor& grad_out, Workspace& ws) override;
+  using Module::forward;
+  using Module::backward;
   void collect_parameters(std::vector<Parameter*>& out) override;
   void collect_buffers(std::vector<NamedBuffer>& out) override;
   void set_training(bool training) override;
@@ -50,8 +52,10 @@ class Residual : public Module {
  public:
   Residual(ModulePtr main, ModulePtr shortcut, ModulePtr activation);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, Workspace& ws) override;
+  Tensor backward(const Tensor& grad_out, Workspace& ws) override;
+  using Module::forward;
+  using Module::backward;
   void collect_parameters(std::vector<Parameter*>& out) override;
   void collect_buffers(std::vector<NamedBuffer>& out) override;
   void set_training(bool training) override;

@@ -38,27 +38,33 @@ std::size_t Conv2d::macs_per_sample(std::size_t in_h, std::size_t in_w) const {
   return out_channels_ * g.patch_size() * g.out_spatial();
 }
 
-Tensor Conv2d::forward(const Tensor& x) {
+Tensor Conv2d::forward(const Tensor& x, Workspace& ws) {
   CCQ_CHECK(x.rank() == 4, "Conv2d expects NCHW input");
   CCQ_CHECK(x.dim(1) == in_channels_, "Conv2d channel mismatch");
-  input_ = x;
-  qweight_ =
-      weight_hook_ ? weight_hook_->quantize(weight_.value) : weight_.value;
+  // Eval fast path: backward never runs, so skip the input cache.
+  if (training_) input_ = x;  // copy-assign reuses capacity once warm
+  if (weight_hook_) {
+    weight_hook_->quantize_into(weight_.value, qweight_);
+  } else {
+    qweight_ = weight_.value;
+  }
 
   const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const auto g = geometry(h, w);
   const std::size_t oh = g.out_h(), ow = g.out_w();
   const std::size_t patch = g.patch_size(), spatial = g.out_spatial();
 
-  Tensor y({n, out_channels_, oh, ow});
+  // Fully overwritten below (gemm beta=0 zero-fills each row panel).
+  Tensor y = ws.tensor_uninit({n, out_channels_, oh, ow});
   const float* wp = qweight_.data().data();
   const ExecContext& ctx = exec();
   // Parallel over batch samples: each sample writes a disjoint output
-  // slice and owns a private column buffer.  With a single sample the
-  // loop runs inline (no parallel region), so the inner im2col/GEMM
+  // slice and owns a private column buffer leased from the workspace
+  // (per-thread arenas keep reuse thread-local).  With a single sample
+  // the loop runs inline (no parallel region), so the inner im2col/GEMM
   // parallelise instead.
   parallel_for(ctx, n, 1, [&](std::size_t i0, std::size_t i1) {
-    std::vector<float> cols(patch * spatial);
+    Workspace::FloatLease cols = ws.floats(patch * spatial);
     for (std::size_t i = i0; i < i1; ++i) {
       const float* xi = x.data().data() + i * in_channels_ * h * w;
       float* yi = y.data().data() + i * out_channels_ * spatial;
@@ -77,7 +83,7 @@ Tensor Conv2d::forward(const Tensor& x) {
   return y;
 }
 
-Tensor Conv2d::backward(const Tensor& grad_out) {
+Tensor Conv2d::backward(const Tensor& grad_out, Workspace& ws) {
   CCQ_CHECK(input_.rank() == 4, "backward before forward");
   const std::size_t n = input_.dim(0);
   const std::size_t h = input_.dim(2), w = input_.dim(3);
@@ -88,10 +94,12 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                 grad_out.dim(2) * grad_out.dim(3) == spatial,
             "Conv2d grad shape mismatch");
 
-  Tensor grad_in(input_.shape());
-  Tensor grad_qw(weight_.value.shape());  // dL/d(quantized weights)
-  std::vector<float> cols(patch * spatial);
-  std::vector<float> cols_grad(patch * spatial);
+  // col2im scatters with +=, and dW accumulates across samples: both
+  // need zeroed workspace tensors, not uninit ones.
+  Tensor grad_in = ws.tensor(input_.shape());
+  Tensor grad_qw = ws.tensor(weight_.value.shape());  // dL/d(quantized w)
+  Workspace::FloatLease cols = ws.floats(patch * spatial);
+  Workspace::FloatLease cols_grad = ws.floats(patch * spatial);
   const float* wp = qweight_.data().data();
   float* gwp = grad_qw.data().data();
   const ExecContext& ctx = exec();
@@ -154,6 +162,7 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                       ? weight_hook_->backward(weight_.value, std::move(grad_qw))
                       : std::move(grad_qw);
   weight_.grad += grad_w;
+  ws.recycle(std::move(grad_w));
   return grad_in;
 }
 

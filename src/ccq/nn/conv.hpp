@@ -18,8 +18,10 @@ class Conv2d : public Module {
          std::size_t stride, std::size_t pad, bool bias, Rng& rng,
          std::string name = "conv");
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, Workspace& ws) override;
+  Tensor backward(const Tensor& grad_out, Workspace& ws) override;
+  using Module::forward;
+  using Module::backward;
   void collect_parameters(std::vector<Parameter*>& out) override;
   std::string type_name() const override { return "Conv2d"; }
 

@@ -14,8 +14,10 @@ class Linear : public Module {
   Linear(std::size_t in_features, std::size_t out_features, bool bias,
          Rng& rng, std::string name = "fc");
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, Workspace& ws) override;
+  Tensor backward(const Tensor& grad_out, Workspace& ws) override;
+  using Module::forward;
+  using Module::backward;
   void collect_parameters(std::vector<Parameter*>& out) override;
   std::string type_name() const override { return "Linear"; }
 

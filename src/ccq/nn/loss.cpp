@@ -12,7 +12,11 @@ float SoftmaxCrossEntropy::forward(const Tensor& logits,
   const std::size_t n = logits.dim(0), c = logits.dim(1);
   CCQ_CHECK(n > 0, "loss over an empty batch");
   CCQ_CHECK(labels.size() == n, "label count mismatch");
-  probs_ = Tensor(logits.shape());
+  if (ws_ != nullptr && probs_.empty()) {
+    probs_ = ws_->tensor_uninit(logits.shape());  // pool-backed cache
+  } else {
+    probs_.resize(logits.shape());  // capacity-reusing; fully overwritten
+  }
   labels_ = labels;
   const float* lp = logits.data().data();
   float* pp = probs_.data().data();
@@ -38,16 +42,23 @@ float SoftmaxCrossEntropy::forward(const Tensor& logits,
   return static_cast<float>(total / static_cast<double>(n));
 }
 
-Tensor SoftmaxCrossEntropy::backward() const {
+void SoftmaxCrossEntropy::backward_into(Tensor& grad) const {
   CCQ_CHECK(!probs_.empty(), "backward before forward");
   const std::size_t n = probs_.dim(0), c = probs_.dim(1);
-  Tensor grad = probs_;
+  grad.resize(probs_.shape());
+  const float* pp = probs_.data().data();
   float* gp = grad.data().data();
   const float inv_n = 1.0f / static_cast<float>(n);
   for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < c; ++j) gp[i * c + j] = pp[i * c + j];
     gp[i * c + static_cast<std::size_t>(labels_[i])] -= 1.0f;
     for (std::size_t j = 0; j < c; ++j) gp[i * c + j] *= inv_n;
   }
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  Tensor grad;
+  backward_into(grad);
   return grad;
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "ccq/common/workspace.hpp"
 #include "ccq/tensor/tensor.hpp"
 
 namespace ccq::nn {
@@ -11,13 +12,27 @@ namespace ccq::nn {
 /// forward() returns the mean loss; backward() returns dL/dlogits.
 class SoftmaxCrossEntropy {
  public:
+  SoftmaxCrossEntropy() = default;
+  /// Workspace-backed variant: the softmax cache is drawn from (and on
+  /// destruction recycled into) `ws`, so short-lived loss objects — one
+  /// per evaluate/train call — stop re-allocating it.
+  explicit SoftmaxCrossEntropy(Workspace& ws) : ws_(&ws) {}
+  ~SoftmaxCrossEntropy() {
+    if (ws_ != nullptr && !probs_.empty()) ws_->recycle(std::move(probs_));
+  }
+
   float forward(const Tensor& logits, const std::vector<int>& labels);
   Tensor backward() const;
+
+  /// Allocation-free variant: writes dL/dlogits into `grad` (resized,
+  /// capacity-reusing).  Same values as backward().
+  void backward_into(Tensor& grad) const;
 
   /// Fraction of rows whose argmax equals the label (uses last forward).
   static float accuracy(const Tensor& logits, const std::vector<int>& labels);
 
  private:
+  Workspace* ws_ = nullptr;
   Tensor probs_;
   std::vector<int> labels_;
 };

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ccq/common/exec.hpp"
+#include "ccq/common/workspace.hpp"
 #include "ccq/tensor/tensor.hpp"
 
 namespace ccq::nn {
@@ -51,8 +52,22 @@ class QuantizerHook {
   virtual ~QuantizerHook() = default;
 
   /// Quantize latent weights `w` for use in this forward pass.  May keep
-  /// state for the backward mapping (called once per forward).
-  virtual Tensor quantize(const Tensor& w) = 0;
+  /// state for the backward mapping (called once per forward).  The
+  /// default funnels through quantize_into; hooks override at least one
+  /// of the two.
+  virtual Tensor quantize(const Tensor& w) {
+    Tensor q(w.shape());
+    quantize_into(w, q);
+    return q;
+  }
+
+  /// Write-into-destination variant: `dst` is resized to w's shape,
+  /// reusing its capacity, so a layer's cached `qweight_` stops
+  /// reallocating once warm.  This is the primary implementation point
+  /// for the repo's hooks.
+  virtual void quantize_into(const Tensor& w, Tensor& dst) {
+    dst = quantize(w);
+  }
 
   /// Map dL/d(quantized w) back to dL/d(latent w).  The default is the
   /// plain straight-through estimator (identity).
@@ -77,12 +92,26 @@ class Module {
   Module& operator=(const Module&) = delete;
   virtual ~Module() = default;
 
-  /// Compute outputs; must cache anything backward needs.
-  virtual Tensor forward(const Tensor& x) = 0;
+  /// Compute outputs, drawing any result/scratch storage from `ws`; must
+  /// cache anything backward needs (layers skip those caches when
+  /// !training(), the eval fast path).  Callers may recycle the returned
+  /// tensor into `ws` once consumed.
+  virtual Tensor forward(const Tensor& x, Workspace& ws) = 0;
 
-  /// Given dL/d(output), return dL/d(input) and accumulate parameter
-  /// gradients.  Must be called after the matching forward.
-  virtual Tensor backward(const Tensor& grad_out) = 0;
+  /// Given dL/d(output), return dL/d(input) (storage drawn from `ws`)
+  /// and accumulate parameter gradients.  Must be called after the
+  /// matching forward in training mode.
+  virtual Tensor backward(const Tensor& grad_out, Workspace& ws) = 0;
+
+  /// Legacy entry points: route through the process-global scratch
+  /// workspace, so existing call sites keep their signature and still
+  /// pool.  Non-virtual by design — derived classes implement the
+  /// two-argument overloads (and re-expose these with
+  /// `using Module::forward;` / `using Module::backward;`).
+  Tensor forward(const Tensor& x) { return forward(x, Workspace::scratch()); }
+  Tensor backward(const Tensor& grad_out) {
+    return backward(grad_out, Workspace::scratch());
+  }
 
   /// Append this module's own parameters (containers recurse).
   virtual void collect_parameters(std::vector<Parameter*>& out) { (void)out; }

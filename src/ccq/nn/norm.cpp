@@ -19,14 +19,14 @@ BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float eps,
   beta_.weight_decay_scale = 0.0f;
 }
 
-Tensor BatchNorm2d::forward(const Tensor& x) {
+Tensor BatchNorm2d::forward(const Tensor& x, Workspace& ws) {
   CCQ_CHECK(x.rank() == 4 && x.dim(1) == channels_,
             "BatchNorm2d expects (N, C, H, W) with C=" +
                 std::to_string(channels_));
   const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const std::size_t plane = h * w;
   const std::size_t count = n * plane;
-  Tensor y(x.shape());
+  Tensor y = ws.tensor_uninit(x.shape());  // fully overwritten below
   const float* xp = x.data().data();
   float* yp = y.data().data();
 
@@ -34,7 +34,7 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
     input_ = x;
     batch_mean_.assign(channels_, 0.0f);
     batch_inv_std_.assign(channels_, 0.0f);
-    xhat_ = Tensor(x.shape());
+    xhat_.resize(x.shape());  // capacity-reusing; fully overwritten
     float* xh = xhat_.data().data();
     for (std::size_t c = 0; c < channels_; ++c) {
       double sum = 0.0, sqsum = 0.0;
@@ -85,13 +85,13 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
   return y;
 }
 
-Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+Tensor BatchNorm2d::backward(const Tensor& grad_out, Workspace& ws) {
   CCQ_CHECK(training_, "BatchNorm2d backward only defined in training mode");
   CCQ_CHECK(same_shape(grad_out, input_), "BatchNorm2d grad shape mismatch");
   const std::size_t n = input_.dim(0), h = input_.dim(2), w = input_.dim(3);
   const std::size_t plane = h * w;
   const float count = static_cast<float>(n * plane);
-  Tensor grad_in(input_.shape());
+  Tensor grad_in = ws.tensor_uninit(input_.shape());  // fully overwritten
   const float* gy = grad_out.data().data();
   const float* xh = xhat_.data().data();
   float* gx = grad_in.data().data();

@@ -14,8 +14,10 @@ class BatchNorm2d : public Module {
   explicit BatchNorm2d(std::size_t channels, float momentum = 0.1f,
                        float eps = 1e-5f, std::string name = "bn");
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, Workspace& ws) override;
+  Tensor backward(const Tensor& grad_out, Workspace& ws) override;
+  using Module::forward;
+  using Module::backward;
   void collect_parameters(std::vector<Parameter*>& out) override;
   void collect_buffers(std::vector<NamedBuffer>& out) override;
   std::string type_name() const override { return "BatchNorm2d"; }

@@ -1,5 +1,6 @@
 #include "ccq/nn/pool.hpp"
 
+#include <algorithm>
 #include <limits>
 
 namespace ccq::nn {
@@ -9,15 +10,17 @@ MaxPool2d::MaxPool2d(std::size_t kernel, std::size_t stride)
   CCQ_CHECK(kernel > 0 && stride > 0, "invalid pool config");
 }
 
-Tensor MaxPool2d::forward(const Tensor& x) {
+Tensor MaxPool2d::forward(const Tensor& x, Workspace& ws) {
   CCQ_CHECK(x.rank() == 4, "MaxPool2d expects NCHW input");
   in_shape_ = x.shape();
   const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   CCQ_CHECK(h >= kernel_ && w >= kernel_, "pool window larger than input");
   const std::size_t oh = (h - kernel_) / stride_ + 1;
   const std::size_t ow = (w - kernel_) / stride_ + 1;
-  Tensor y({n, c, oh, ow});
-  argmax_.assign(y.numel(), 0);
+  Tensor y = ws.tensor_uninit({n, c, oh, ow});  // fully overwritten
+  // Eval fast path: the argmax map only feeds backward.
+  const bool record = training_;
+  if (record) argmax_.assign(y.numel(), 0);
   const float* xp = x.data().data();
   float* yp = y.data().data();
   std::size_t out_idx = 0;
@@ -41,7 +44,7 @@ Tensor MaxPool2d::forward(const Tensor& x) {
             }
           }
           yp[out_idx] = best;
-          argmax_[out_idx] = best_idx;
+          if (record) argmax_[out_idx] = best_idx;
         }
       }
     }
@@ -49,9 +52,9 @@ Tensor MaxPool2d::forward(const Tensor& x) {
   return y;
 }
 
-Tensor MaxPool2d::backward(const Tensor& grad_out) {
+Tensor MaxPool2d::backward(const Tensor& grad_out, Workspace& ws) {
   CCQ_CHECK(grad_out.numel() == argmax_.size(), "MaxPool2d grad mismatch");
-  Tensor grad_in(in_shape_);
+  Tensor grad_in = ws.tensor(in_shape_);  // scatter-add needs zeros
   float* gx = grad_in.data().data();
   const float* gy = grad_out.data().data();
   for (std::size_t i = 0; i < argmax_.size(); ++i) gx[argmax_[i]] += gy[i];
@@ -63,7 +66,7 @@ AvgPool2d::AvgPool2d(std::size_t kernel, std::size_t stride)
   CCQ_CHECK(kernel > 0 && stride > 0, "invalid pool config");
 }
 
-Tensor AvgPool2d::forward(const Tensor& x) {
+Tensor AvgPool2d::forward(const Tensor& x, Workspace& ws) {
   CCQ_CHECK(x.rank() == 4, "AvgPool2d expects NCHW input");
   in_shape_ = x.shape();
   const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
@@ -71,7 +74,7 @@ Tensor AvgPool2d::forward(const Tensor& x) {
   const std::size_t oh = (h - kernel_) / stride_ + 1;
   const std::size_t ow = (w - kernel_) / stride_ + 1;
   const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
-  Tensor y({n, c, oh, ow});
+  Tensor y = ws.tensor_uninit({n, c, oh, ow});  // fully overwritten
   const float* xp = x.data().data();
   float* yp = y.data().data();
   std::size_t out_idx = 0;
@@ -94,7 +97,7 @@ Tensor AvgPool2d::forward(const Tensor& x) {
   return y;
 }
 
-Tensor AvgPool2d::backward(const Tensor& grad_out) {
+Tensor AvgPool2d::backward(const Tensor& grad_out, Workspace& ws) {
   const std::size_t n = in_shape_[0], c = in_shape_[1], h = in_shape_[2],
                     w = in_shape_[3];
   const std::size_t oh = (h - kernel_) / stride_ + 1;
@@ -103,7 +106,7 @@ Tensor AvgPool2d::backward(const Tensor& grad_out) {
                 grad_out.dim(3) == ow,
             "AvgPool2d grad mismatch");
   const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
-  Tensor grad_in(in_shape_);
+  Tensor grad_in = ws.tensor(in_shape_);  // overlapping += needs zeros
   float* gx = grad_in.data().data();
   const float* gy = grad_out.data().data();
   std::size_t out_idx = 0;
@@ -125,12 +128,12 @@ Tensor AvgPool2d::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
-Tensor GlobalAvgPool::forward(const Tensor& x) {
+Tensor GlobalAvgPool::forward(const Tensor& x, Workspace& ws) {
   CCQ_CHECK(x.rank() == 4, "GlobalAvgPool expects NCHW input");
   in_shape_ = x.shape();
   const std::size_t n = x.dim(0), c = x.dim(1), plane = x.dim(2) * x.dim(3);
   const float inv = 1.0f / static_cast<float>(plane);
-  Tensor y({n, c});
+  Tensor y = ws.tensor_uninit({n, c});  // fully overwritten
   const float* xp = x.data().data();
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t ch = 0; ch < c; ++ch) {
@@ -143,14 +146,14 @@ Tensor GlobalAvgPool::forward(const Tensor& x) {
   return y;
 }
 
-Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+Tensor GlobalAvgPool::backward(const Tensor& grad_out, Workspace& ws) {
   const std::size_t n = in_shape_[0], c = in_shape_[1],
                     plane = in_shape_[2] * in_shape_[3];
   CCQ_CHECK(grad_out.rank() == 2 && grad_out.dim(0) == n &&
                 grad_out.dim(1) == c,
             "GlobalAvgPool grad mismatch");
   const float inv = 1.0f / static_cast<float>(plane);
-  Tensor grad_in(in_shape_);
+  Tensor grad_in = ws.tensor_uninit(in_shape_);  // fully overwritten
   float* gx = grad_in.data().data();
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t ch = 0; ch < c; ++ch) {
@@ -162,14 +165,18 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
-Tensor Flatten::forward(const Tensor& x) {
+Tensor Flatten::forward(const Tensor& x, Workspace& ws) {
   CCQ_CHECK(x.rank() >= 2, "Flatten expects rank >= 2");
   in_shape_ = x.shape();
-  return x.reshaped({x.dim(0), x.numel() / x.dim(0)});
+  Tensor y = ws.tensor_uninit({x.dim(0), x.numel() / x.dim(0)});
+  std::copy(x.data().begin(), x.data().end(), y.data().begin());
+  return y;
 }
 
-Tensor Flatten::backward(const Tensor& grad_out) {
-  return grad_out.reshaped(in_shape_);
+Tensor Flatten::backward(const Tensor& grad_out, Workspace& ws) {
+  Tensor g = ws.tensor_uninit(in_shape_);
+  std::copy(grad_out.data().begin(), grad_out.data().end(), g.data().begin());
+  return g;
 }
 
 }  // namespace ccq::nn

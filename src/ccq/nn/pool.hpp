@@ -11,8 +11,10 @@ namespace ccq::nn {
 class MaxPool2d : public Module {
  public:
   MaxPool2d(std::size_t kernel, std::size_t stride);
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, Workspace& ws) override;
+  Tensor backward(const Tensor& grad_out, Workspace& ws) override;
+  using Module::forward;
+  using Module::backward;
   std::string type_name() const override { return "MaxPool2d"; }
   std::size_t kernel() const { return kernel_; }
   std::size_t stride() const { return stride_; }
@@ -27,8 +29,10 @@ class MaxPool2d : public Module {
 class AvgPool2d : public Module {
  public:
   AvgPool2d(std::size_t kernel, std::size_t stride);
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, Workspace& ws) override;
+  Tensor backward(const Tensor& grad_out, Workspace& ws) override;
+  using Module::forward;
+  using Module::backward;
   std::string type_name() const override { return "AvgPool2d"; }
   std::size_t kernel() const { return kernel_; }
   std::size_t stride() const { return stride_; }
@@ -41,8 +45,10 @@ class AvgPool2d : public Module {
 /// Global average pooling: (N, C, H, W) → (N, C).
 class GlobalAvgPool : public Module {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, Workspace& ws) override;
+  Tensor backward(const Tensor& grad_out, Workspace& ws) override;
+  using Module::forward;
+  using Module::backward;
   std::string type_name() const override { return "GlobalAvgPool"; }
 
  private:
@@ -52,8 +58,10 @@ class GlobalAvgPool : public Module {
 /// Flatten: (N, …) → (N, prod(…)).
 class Flatten : public Module {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, Workspace& ws) override;
+  Tensor backward(const Tensor& grad_out, Workspace& ws) override;
+  using Module::forward;
+  using Module::backward;
   std::string type_name() const override { return "Flatten"; }
 
  private:

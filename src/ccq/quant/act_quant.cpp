@@ -9,9 +9,9 @@ ClipActQuant::ClipActQuant(float clip) : clip_(clip) {
   CCQ_CHECK(clip > 0.0f, "activation clip must be positive");
 }
 
-Tensor ClipActQuant::forward(const Tensor& x) {
-  input_ = x;
-  Tensor y(x.shape());
+Tensor ClipActQuant::forward(const Tensor& x, Workspace& ws) {
+  if (training_) input_ = x;  // eval fast path: STE mask never needed
+  Tensor y = ws.tensor_uninit(x.shape());  // fully overwritten
   auto xp = x.data();
   auto yp = y.data();
   if (bits_ >= 32) {
@@ -26,13 +26,14 @@ Tensor ClipActQuant::forward(const Tensor& x) {
   return y;
 }
 
-Tensor ClipActQuant::backward(const Tensor& grad_out) {
+Tensor ClipActQuant::backward(const Tensor& grad_out, Workspace& ws) {
   CCQ_CHECK(same_shape(grad_out, input_), "ClipActQuant grad mismatch");
-  Tensor g = grad_out;
+  Tensor g = ws.tensor_uninit(grad_out.shape());
   auto xp = input_.data();
+  auto gyp = grad_out.data();
   auto gp = g.data();
   for (std::size_t i = 0; i < xp.size(); ++i) {
-    if (xp[i] <= 0.0f || xp[i] >= clip_) gp[i] = 0.0f;
+    gp[i] = (xp[i] <= 0.0f || xp[i] >= clip_) ? 0.0f : gyp[i];
   }
   return g;
 }
@@ -44,10 +45,10 @@ PactActivation::PactActivation(float alpha_init, std::string name)
   alpha_.weight_decay_scale = 1.0f;
 }
 
-Tensor PactActivation::forward(const Tensor& x) {
-  input_ = x;
+Tensor PactActivation::forward(const Tensor& x, Workspace& ws) {
+  if (training_) input_ = x;  // eval fast path
   const float a = std::max(alpha_.value.at(0), 1e-3f);
-  Tensor y(x.shape());
+  Tensor y = ws.tensor_uninit(x.shape());  // fully overwritten
   auto xp = x.data();
   auto yp = y.data();
   if (bits_ >= 32) {
@@ -62,22 +63,25 @@ Tensor PactActivation::forward(const Tensor& x) {
   return y;
 }
 
-Tensor PactActivation::backward(const Tensor& grad_out) {
+Tensor PactActivation::backward(const Tensor& grad_out, Workspace& ws) {
   CCQ_CHECK(same_shape(grad_out, input_), "PactActivation grad mismatch");
   const float a = std::max(alpha_.value.at(0), 1e-3f);
-  Tensor g = grad_out;
+  Tensor g = ws.tensor_uninit(grad_out.shape());
   auto xp = input_.data();
+  auto gyp = grad_out.data();
   auto gp = g.data();
   double alpha_grad = 0.0;
   for (std::size_t i = 0; i < xp.size(); ++i) {
     if (xp[i] >= a) {
       // Saturated high: output is exactly α, so dL/dα += gy.
-      alpha_grad += gp[i];
+      alpha_grad += gyp[i];
       gp[i] = 0.0f;
     } else if (xp[i] <= 0.0f) {
       gp[i] = 0.0f;
+    } else {
+      // STE pass-through inside (0, α).
+      gp[i] = gyp[i];
     }
-    // else: STE pass-through inside (0, α).
   }
   alpha_.grad.at(0) += static_cast<float>(alpha_grad);
   return g;

@@ -29,8 +29,10 @@ class QuantAct : public nn::Module {
 class ClipActQuant : public QuantAct {
  public:
   explicit ClipActQuant(float clip = 1.0f);
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, Workspace& ws) override;
+  Tensor backward(const Tensor& grad_out, Workspace& ws) override;
+  using Module::forward;
+  using Module::backward;
   std::string type_name() const override { return "ClipActQuant"; }
   float clip() const { return clip_; }
 
@@ -48,8 +50,10 @@ class PactActivation : public QuantAct {
  public:
   explicit PactActivation(float alpha_init = 6.0f,
                           std::string name = "pact");
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, Workspace& ws) override;
+  Tensor backward(const Tensor& grad_out, Workspace& ws) override;
+  using Module::forward;
+  using Module::backward;
   void collect_parameters(std::vector<nn::Parameter*>& out) override;
   std::string type_name() const override { return "PactActivation"; }
 

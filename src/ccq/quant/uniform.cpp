@@ -34,6 +34,16 @@ Tensor quantize_symmetric(const Tensor& w, int bits, float clip) {
   return q;
 }
 
+void quantize_symmetric_into(const Tensor& w, int bits, float clip,
+                             Tensor& dst) {
+  dst.resize(w.shape());
+  auto wp = w.data();
+  auto dp = dst.data();
+  for (std::size_t i = 0; i < wp.size(); ++i) {
+    dp[i] = quantize_symmetric(wp[i], bits, clip);
+  }
+}
+
 float quantization_mse(const Tensor& w, int bits, float clip) {
   CCQ_CHECK(w.numel() > 0, "empty tensor");
   double acc = 0.0;

@@ -39,6 +39,11 @@ float quantize_symmetric(float x, int bits, float clip);
 /// Elementwise symmetric quantization of a tensor (bits ≥ 32 → copy).
 Tensor quantize_symmetric(const Tensor& w, int bits, float clip);
 
+/// Allocation-free variant: `dst` is resized (capacity-reusing) and
+/// fully overwritten with the quantized values.
+void quantize_symmetric_into(const Tensor& w, int bits, float clip,
+                             Tensor& dst);
+
 /// Mean-squared quantization error ‖w − Q(w)‖²/n for a symmetric grid —
 /// paper Eq. (3)'s per-layer objective, used by calibrators and tests.
 float quantization_mse(const Tensor& w, int bits, float clip);

@@ -21,31 +21,40 @@ Tensor mask_saturated(const Tensor& w, Tensor grad, float clip) {
 
 // ---- DoReFa ----------------------------------------------------------------
 
-Tensor DoReFaWeightHook::quantize(const Tensor& w) {
-  if (bits_ >= 32) return w;
-  Tensor q(w.shape());
+void DoReFaWeightHook::quantize_into(const Tensor& w, Tensor& dst) {
+  if (bits_ >= 32) {
+    dst = w;
+    return;
+  }
   auto wp = w.data();
-  auto qp = q.data();
   float max_tanh = 0.0f;
-  std::vector<float> t(wp.size());
+  std::vector<float>& t = tanh_scratch_;  // member: no per-call allocation
+  t.resize(wp.size());
   for (std::size_t i = 0; i < wp.size(); ++i) {
     t[i] = std::tanh(wp[i]);
     max_tanh = std::max(max_tanh, std::fabs(t[i]));
   }
-  if (max_tanh == 0.0f) return Tensor(w.shape());  // all-zero weights
+  dst.resize(w.shape());
+  if (max_tanh == 0.0f) {  // all-zero weights
+    dst.fill(0.0f);
+    return;
+  }
+  auto qp = dst.data();
   const float out_scale = scale_preserving_ ? max_tanh : 1.0f;
   for (std::size_t i = 0; i < wp.size(); ++i) {
     const float unit = t[i] / (2.0f * max_tanh) + 0.5f;
     qp[i] = out_scale * (2.0f * quantize_unit(unit, bits_) - 1.0f);
   }
-  return q;
 }
 
 // ---- WRPN ------------------------------------------------------------------
 
-Tensor WrpnWeightHook::quantize(const Tensor& w) {
-  if (bits_ >= 32) return w;
-  return quantize_symmetric(w, bits_, 1.0f);
+void WrpnWeightHook::quantize_into(const Tensor& w, Tensor& dst) {
+  if (bits_ >= 32) {
+    dst = w;
+    return;
+  }
+  quantize_symmetric_into(w, bits_, 1.0f, dst);
 }
 
 Tensor WrpnWeightHook::backward(const Tensor& w, Tensor grad_q) {
@@ -82,10 +91,13 @@ float SawbWeightHook::clip_for(const Tensor& w, int bits) {
   return static_cast<float>(clip);
 }
 
-Tensor SawbWeightHook::quantize(const Tensor& w) {
-  if (bits_ >= 32) return w;
+void SawbWeightHook::quantize_into(const Tensor& w, Tensor& dst) {
+  if (bits_ >= 32) {
+    dst = w;
+    return;
+  }
   last_clip_ = clip_for(w, bits_);
-  return quantize_symmetric(w, bits_, last_clip_);
+  quantize_symmetric_into(w, bits_, last_clip_, dst);
 }
 
 Tensor SawbWeightHook::backward(const Tensor& w, Tensor grad_q) {
@@ -124,11 +136,14 @@ float LqNetsWeightHook::fit_scale(const Tensor& w, int bits,
   return s;
 }
 
-Tensor LqNetsWeightHook::quantize(const Tensor& w) {
-  if (bits_ >= 32) return w;
+void LqNetsWeightHook::quantize_into(const Tensor& w, Tensor& dst) {
+  if (bits_ >= 32) {
+    dst = w;
+    return;
+  }
   last_scale_ = fit_scale(w, bits_);
   const float clip = last_scale_ * symmetric_levels(bits_);
-  return quantize_symmetric(w, bits_, clip);
+  quantize_symmetric_into(w, bits_, clip, dst);
 }
 
 Tensor LqNetsWeightHook::backward(const Tensor& w, Tensor grad_q) {
@@ -144,8 +159,11 @@ LsqWeightHook::LsqWeightHook(std::string name)
   step_.weight_decay_scale = 0.0f;
 }
 
-Tensor LsqWeightHook::quantize(const Tensor& w) {
-  if (bits_ >= 32) return w;
+void LsqWeightHook::quantize_into(const Tensor& w, Tensor& dst) {
+  if (bits_ >= 32) {
+    dst = w;
+    return;
+  }
   if (!initialised_) {
     // LSQ init: s = 2·E[|w|]/√Q_max.
     const float qmax = symmetric_levels(bits_);
@@ -157,13 +175,12 @@ Tensor LsqWeightHook::quantize(const Tensor& w) {
   }
   const float s = std::max(step_.value.at(0), 1e-8f);
   const float n = symmetric_levels(bits_);
-  Tensor q(w.shape());
+  dst.resize(w.shape());
   auto wp = w.data();
-  auto qp = q.data();
+  auto qp = dst.data();
   for (std::size_t i = 0; i < wp.size(); ++i) {
     qp[i] = std::clamp(std::round(wp[i] / s), -n, n) * s;
   }
-  return q;
 }
 
 Tensor LsqWeightHook::backward(const Tensor& w, Tensor grad_q) {
@@ -196,16 +213,19 @@ void LsqWeightHook::collect_parameters(std::vector<nn::Parameter*>& out) {
 
 // ---- PerChannel ------------------------------------------------------------
 
-Tensor PerChannelWeightHook::quantize(const Tensor& w) {
-  if (bits_ >= 32) return w;
+void PerChannelWeightHook::quantize_into(const Tensor& w, Tensor& dst) {
+  if (bits_ >= 32) {
+    dst = w;
+    return;
+  }
   CCQ_CHECK(w.rank() >= 1, "per-channel quantization needs a shaped tensor");
   const std::size_t channels = w.dim(0);
   const std::size_t per_channel = w.numel() / channels;
   CCQ_CHECK(per_channel > 0, "empty channel");
   last_clips_.assign(channels, 1e-8f);
-  Tensor q(w.shape());
+  dst.resize(w.shape());
   auto wp = w.data();
-  auto qp = q.data();
+  auto qp = dst.data();
   for (std::size_t c = 0; c < channels; ++c) {
     const float* row = wp.data() + c * per_channel;
     float clip = 1e-8f;
@@ -218,7 +238,6 @@ Tensor PerChannelWeightHook::quantize(const Tensor& w) {
       out[i] = quantize_symmetric(row[i], bits_, clip);
     }
   }
-  return q;
 }
 
 Tensor PerChannelWeightHook::backward(const Tensor& w, Tensor grad_q) {
@@ -229,12 +248,15 @@ Tensor PerChannelWeightHook::backward(const Tensor& w, Tensor grad_q) {
 
 // ---- MinMax ----------------------------------------------------------------
 
-Tensor MinMaxWeightHook::quantize(const Tensor& w) {
-  if (bits_ >= 32) return w;
+void MinMaxWeightHook::quantize_into(const Tensor& w, Tensor& dst) {
+  if (bits_ >= 32) {
+    dst = w;
+    return;
+  }
   if (auto_clip_) {
     clip_ = std::max({std::fabs(w.max()), std::fabs(w.min()), 1e-8f});
   }
-  return quantize_symmetric(w, bits_, clip_);
+  quantize_symmetric_into(w, bits_, clip_, dst);
 }
 
 Tensor MinMaxWeightHook::backward(const Tensor& w, Tensor grad_q) {

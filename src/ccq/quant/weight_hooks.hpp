@@ -54,18 +54,19 @@ class DoReFaWeightHook : public WeightQuantHook {
  public:
   explicit DoReFaWeightHook(bool scale_preserving = true)
       : scale_preserving_(scale_preserving) {}
-  Tensor quantize(const Tensor& w) override;
+  void quantize_into(const Tensor& w, Tensor& dst) override;
   std::string policy_name() const override { return "DoReFa"; }
 
  private:
   bool scale_preserving_;
+  std::vector<float> tanh_scratch_;  ///< reused across forwards
 };
 
 /// WRPN: clip to [−1, 1], then symmetric grid with 2^(k−1)−1 steps.
 /// Backward: STE, zeroed where |w| > 1 (the clip is saturating).
 class WrpnWeightHook : public WeightQuantHook {
  public:
-  Tensor quantize(const Tensor& w) override;
+  void quantize_into(const Tensor& w, Tensor& dst) override;
   Tensor backward(const Tensor& w, Tensor grad_q) override;
   std::string policy_name() const override { return "WRPN"; }
 };
@@ -74,7 +75,7 @@ class WrpnWeightHook : public WeightQuantHook {
 /// per-bit-width coefficients fitted for bell-shaped weight distributions.
 class SawbWeightHook : public WeightQuantHook {
  public:
-  Tensor quantize(const Tensor& w) override;
+  void quantize_into(const Tensor& w, Tensor& dst) override;
   Tensor backward(const Tensor& w, Tensor grad_q) override;
   std::string policy_name() const override { return "SAWB"; }
 
@@ -90,7 +91,7 @@ class SawbWeightHook : public WeightQuantHook {
 /// LQ-Nets (1-D): alternate assignment/scale steps to minimise ‖w−q‖².
 class LqNetsWeightHook : public WeightQuantHook {
  public:
-  Tensor quantize(const Tensor& w) override;
+  void quantize_into(const Tensor& w, Tensor& dst) override;
   Tensor backward(const Tensor& w, Tensor grad_q) override;
   std::string policy_name() const override { return "LQ-Nets"; }
 
@@ -108,7 +109,7 @@ class LqNetsWeightHook : public WeightQuantHook {
 class LsqWeightHook : public WeightQuantHook {
  public:
   explicit LsqWeightHook(std::string name = "lsq");
-  Tensor quantize(const Tensor& w) override;
+  void quantize_into(const Tensor& w, Tensor& dst) override;
   Tensor backward(const Tensor& w, Tensor grad_q) override;
   void collect_parameters(std::vector<nn::Parameter*>& out) override;
   std::string policy_name() const override { return "LSQ"; }
@@ -136,7 +137,7 @@ class LsqWeightHook : public WeightQuantHook {
 /// (DESIGN.md §6); the per-channel vs per-tensor gap is unit-tested.
 class PerChannelWeightHook : public WeightQuantHook {
  public:
-  Tensor quantize(const Tensor& w) override;
+  void quantize_into(const Tensor& w, Tensor& dst) override;
   Tensor backward(const Tensor& w, Tensor grad_q) override;
   std::string policy_name() const override { return "PerChannel"; }
 
@@ -151,7 +152,7 @@ class PerChannelWeightHook : public WeightQuantHook {
 class MinMaxWeightHook : public WeightQuantHook {
  public:
   explicit MinMaxWeightHook(bool auto_clip = true) : auto_clip_(auto_clip) {}
-  Tensor quantize(const Tensor& w) override;
+  void quantize_into(const Tensor& w, Tensor& dst) override;
   Tensor backward(const Tensor& w, Tensor grad_q) override;
   std::string policy_name() const override { return "MinMax"; }
 

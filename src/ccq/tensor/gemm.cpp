@@ -111,31 +111,44 @@ void gemm_tn(std::size_t m, std::size_t n, std::size_t k, float alpha,
                });
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b, const ExecContext& ctx) {
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& c,
+                 const ExecContext& ctx) {
   CCQ_CHECK(a.rank() == 2 && b.rank() == 2, "matmul needs rank-2 tensors");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   CCQ_CHECK(b.dim(0) == k, "matmul inner dimensions differ");
-  Tensor c({m, n});
+  c.resize({m, n});
   gemm(m, n, k, 1.0f, a.data().data(), k, b.data().data(), n, 0.0f,
        c.data().data(), n, ctx);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, const ExecContext& ctx) {
+  Tensor c;
+  matmul_into(a, b, c, ctx);
   return c;
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b, const ExecContext& ctx) {
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& c,
+                    const ExecContext& ctx) {
   CCQ_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_tn needs rank-2 tensors");
   CCQ_CHECK(b.dim(0) == a.dim(0), "matmul_tn inner dimensions differ");
   const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  Tensor c({m, n});
+  c.resize({m, n});
   gemm_tn(m, n, k, 1.0f, a.data().data(), m, b.data().data(), n, 0.0f,
           c.data().data(), n, ctx);
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b, const ExecContext& ctx) {
+  Tensor c;
+  matmul_tn_into(a, b, c, ctx);
   return c;
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b, const ExecContext& ctx) {
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& c,
+                    const ExecContext& ctx) {
   CCQ_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_nt needs rank-2 tensors");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   CCQ_CHECK(b.dim(1) == k, "matmul_nt inner dimensions differ");
-  Tensor c({m, n});
+  c.resize({m, n});
   const float* ap = a.data().data();
   const float* bp = b.data().data();
   float* cp = c.data().data();
@@ -152,6 +165,11 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b, const ExecContext& ctx) {
       }
     }
   });
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b, const ExecContext& ctx) {
+  Tensor c;
+  matmul_nt_into(a, b, c, ctx);
   return c;
 }
 

@@ -45,6 +45,17 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b,
 Tensor matmul_nt(const Tensor& a, const Tensor& b,
                  const ExecContext& ctx = ExecContext::global());
 
+// Write-into-destination variants: `c` is resized (capacity-reusing) and
+// fully overwritten.  Same kernels and accumulation order as the
+// returning forms, so results are bit-identical; these exist so hot
+// paths can target workspace-backed tensors without allocating.
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& c,
+                 const ExecContext& ctx = ExecContext::global());
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& c,
+                    const ExecContext& ctx = ExecContext::global());
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& c,
+                    const ExecContext& ctx = ExecContext::global());
+
 /// Rank-2 transpose.
 Tensor transpose2d(const Tensor& a);
 

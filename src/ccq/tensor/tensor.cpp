@@ -48,9 +48,29 @@ Tensor::Tensor(Shape shape, float fill)
     : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
+    : shape_(std::move(shape)), data_(values.begin(), values.end()) {
   CCQ_CHECK(data_.size() == shape_numel(shape_),
             "value count does not match shape " + shape_str(shape_));
+}
+
+Tensor Tensor::adopt(Shape shape, FloatVec storage) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(storage);
+  CCQ_CHECK(t.data_.size() == shape_numel(t.shape_),
+            "adopted storage does not match shape " + shape_str(t.shape_));
+  return t;
+}
+
+void Tensor::resize(Shape new_shape) {
+  const std::size_t n = shape_numel(new_shape);
+  shape_ = std::move(new_shape);
+  data_.resize(n);
+}
+
+FloatVec Tensor::release_storage() {
+  shape_.clear();
+  return std::move(data_);
 }
 
 Tensor Tensor::from(std::initializer_list<float> values) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "ccq/common/alloc.hpp"
 #include "ccq/common/error.hpp"
 #include "ccq/common/rng.hpp"
 
@@ -48,6 +49,11 @@ class Tensor {
   /// Tensor wrapping a copy of the provided values. Sizes must match.
   Tensor(Shape shape, std::vector<float> values);
 
+  /// Tensor taking ownership of existing storage (no copy). Sizes must
+  /// match.  This is the Workspace hand-off: pooled buffers become
+  /// tensor storage without touching the heap.
+  static Tensor adopt(Shape shape, FloatVec storage);
+
   // ---- factories -------------------------------------------------------
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
   static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
@@ -71,6 +77,15 @@ class Tensor {
   Tensor reshaped(Shape new_shape) const;
   /// In-place reshape; element counts must match.
   void reshape(Shape new_shape);
+
+  /// Re-dimension in place, reusing capacity when possible.  Elements in
+  /// the retained prefix keep their values; any grown tail is zero.
+  /// Unlike reshape, the element count may change.
+  void resize(Shape new_shape);
+
+  /// Give up ownership of the storage (for recycling into a Workspace
+  /// pool); the tensor is left empty.
+  FloatVec release_storage();
 
   // ---- element access ---------------------------------------------------
   std::span<float> data() { return {data_.data(), data_.size()}; }
@@ -126,7 +141,7 @@ class Tensor {
                     std::size_t l) const;
 
   Shape shape_;
-  std::vector<float> data_;
+  FloatVec data_;
 };
 
 // ---- out-of-place arithmetic ---------------------------------------------

@@ -3,6 +3,7 @@
 // convolution, the quantizers, and the competition probe path.
 #include <benchmark/benchmark.h>
 
+#include "ccq/common/telemetry.hpp"
 #include "ccq/core/trainer.hpp"
 #include "ccq/data/synthetic.hpp"
 #include "ccq/models/resnet.hpp"
@@ -194,20 +195,33 @@ data::Batch bench_batch(std::size_t samples_per_class) {
   return data::make_synthetic_vision(dc).all();
 }
 
+/// RAII toggle for the telemetry metrics registry: Arg(0) benches the
+/// disabled (gated no-op) path, Arg(1) the full recording path — the two
+/// rows quantify the ≤2% overhead budget (docs/OBSERVABILITY.md).
+struct MetricsToggle {
+  explicit MetricsToggle(bool on) { telemetry::set_metrics_enabled(on); }
+  ~MetricsToggle() {
+    telemetry::set_metrics_enabled(false);
+    telemetry::reset_metrics();
+  }
+};
+
 /// One competition probe (Algorithm 1 lines 6–10): temp-quantize a layer
 /// one ladder rung down, evaluate the probe batch, restore.  This is the
-/// CCQ controller's hot loop — U probes per quantization step.
+/// CCQ controller's hot loop — U probes per quantization step.  Arg is
+/// telemetry off/on.
 void BM_ProbeStep(benchmark::State& state) {
+  const MetricsToggle metrics(state.range(0) != 0);
   auto model = bench_model();
   const data::Batch probe = bench_batch(2);
   Workspace ws;
-  core::evaluate_batch(model, probe, 128, &ws);  // warm the pool
+  core::evaluate_batch(model, probe, 128, ws);  // warm the pool
   const std::size_t layers = model.registry().size();
   const AllocSnapshot before;
   std::size_t m = 0;
   for (auto _ : state) {
     quant::LayerRegistry::ProbeGuard guard(model.registry(), m % layers);
-    const core::EvalResult r = core::evaluate_batch(model, probe, 128, &ws);
+    const core::EvalResult r = core::evaluate_batch(model, probe, 128, ws);
     benchmark::DoNotOptimize(r.loss);
     ++m;
   }
@@ -215,11 +229,12 @@ void BM_ProbeStep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(probe.size()));
 }
-BENCHMARK(BM_ProbeStep);
+BENCHMARK(BM_ProbeStep)->Arg(0)->Arg(1);
 
 /// One SGD step (forward + loss + backward + update) on a fixed batch —
-/// the recovery-epoch inner loop.
+/// the recovery-epoch inner loop.  Arg is telemetry off/on.
 void BM_TrainStep(benchmark::State& state) {
+  const MetricsToggle metrics(state.range(0) != 0);
   auto model = bench_model();
   const data::Batch batch = bench_batch(2);
   nn::Sgd optimizer(model.parameters(), nn::SgdConfig{});
@@ -247,7 +262,7 @@ void BM_TrainStep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch.size()));
 }
-BENCHMARK(BM_TrainStep);
+BENCHMARK(BM_TrainStep)->Arg(0)->Arg(1);
 
 void BM_KlCalibration(benchmark::State& state) {
   Rng rng(5);

@@ -1,9 +1,11 @@
-// Minimal JSON writer for experiment reports.
+// Minimal JSON reader/writer for experiment reports and telemetry.
 //
 // The bench harnesses emit machine-readable run records (per-step CCQ
 // traces, table rows) alongside the console tables so results can be
-// plotted or diffed without re-running experiments.  Writing only — no
-// parsing is needed in this repo.
+// plotted or diffed without re-running experiments, and the telemetry
+// subsystem emits JSONL event traces.  `parse` exists so tools and tests
+// can read those artifacts back (trace-schema validation, resume
+// tooling).
 #pragma once
 
 #include <map>
@@ -32,6 +34,10 @@ class Json {
   /// Build an object.
   static Json object();
 
+  /// Parse a JSON document (single value; surrounding whitespace ok).
+  /// Throws `Error` on malformed input or trailing garbage.
+  static Json parse(const std::string& text);
+
   /// Append to an array (must be an array).
   Json& push_back(Json v);
   /// Set an object field (must be an object); returns the stored value.
@@ -39,9 +45,25 @@ class Json {
   /// Access an object field (creates the object on demand).
   Json& operator[](const std::string& key);
 
+  bool is_null() const;
+  bool is_bool() const;
+  bool is_number() const;
+  bool is_string() const;
   bool is_array() const;
   bool is_object() const;
   std::size_t size() const;
+
+  /// Typed reads; each throws `Error` on a type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  /// True when this is an object with field `key`.
+  bool contains(const std::string& key) const;
+  /// Object field access; throws when not an object or `key` is absent.
+  const Json& at(const std::string& key) const;
+  /// Array element access; throws when not an array or out of range.
+  const Json& at(std::size_t index) const;
 
   /// Serialise; `indent` < 0 means compact single-line output.
   std::string dump(int indent = 2) const;

@@ -1,6 +1,8 @@
 #include "ccq/common/logging.hpp"
 
 #include <cstdlib>
+#include <iostream>
+#include <mutex>
 #include <string>
 
 namespace ccq {
@@ -29,5 +31,15 @@ LogLevel& level_ref() {
 
 LogLevel log_level() { return level_ref(); }
 void set_log_level(LogLevel level) { level_ref() = level; }
+
+namespace detail {
+
+void write_log_line(const std::string& line) {
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  std::cerr << line << '\n';
+}
+
+}  // namespace detail
 
 }  // namespace ccq

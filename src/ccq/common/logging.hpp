@@ -5,7 +5,6 @@
 // variable CCQ_LOG (trace|debug|info|warn|error, default info).
 #pragma once
 
-#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -19,13 +18,18 @@ void set_log_level(LogLevel level);
 
 namespace detail {
 
+/// Emit one complete line to stderr under a process-wide mutex, so
+/// concurrent log lines (ThreadPool workers, observers) never interleave
+/// mid-line.
+void write_log_line(const std::string& line);
+
 class LogLine {
  public:
   LogLine(LogLevel level, const char* tag) : enabled_(level >= log_level()) {
     if (enabled_) os_ << '[' << tag << "] ";
   }
   ~LogLine() {
-    if (enabled_) std::cerr << os_.str() << '\n';
+    if (enabled_) write_log_line(os_.str());
   }
   template <typename T>
   LogLine& operator<<(const T& v) {

@@ -52,6 +52,23 @@ class Rng {
   /// Derive an independent child generator (for per-worker streams).
   Rng split();
 
+  /// Full generator state, exposed so long-running controllers can
+  /// persist and bit-exactly resume their random streams.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double spare_normal = 0.0;
+    bool has_spare = false;
+  };
+
+  State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, spare_normal_, has_spare_};
+  }
+  void set_state(const State& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+    spare_normal_ = state.spare_normal;
+    has_spare_ = state.has_spare;
+  }
+
  private:
   std::uint64_t s_[4];
   double spare_normal_ = 0.0;

@@ -1,0 +1,289 @@
+#include "ccq/common/telemetry.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "ccq/common/error.hpp"
+
+namespace ccq::telemetry {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{[] {
+  const char* env = std::getenv("CCQ_METRICS");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}()};
+
+}  // namespace detail
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---- names -----------------------------------------------------------------
+
+const char* counter_name(Counter id) {
+  switch (id) {
+    case Counter::kProbes: return "ccq.probes";
+    case Counter::kPicks: return "ccq.picks";
+    case Counter::kRecoveryEpochs: return "ccq.recovery_epochs";
+    case Counter::kWorkspaceHits: return "workspace.acquire_hits";
+    case Counter::kWorkspaceMisses: return "workspace.acquire_misses";
+    case Counter::kTraceEvents: return "trace.events";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+const char* gauge_name(Gauge id) {
+  switch (id) {
+    case Gauge::kLambda: return "ccq.lambda";
+    case Gauge::kValAccuracy: return "ccq.val_accuracy";
+    case Gauge::kCompression: return "ccq.compression";
+    case Gauge::kLr: return "ccq.lr";
+    case Gauge::kCount: break;
+  }
+  return "?";
+}
+
+const char* timer_name(Timer id) {
+  switch (id) {
+    case Timer::kGemm: return "gemm";
+    case Timer::kConvForward: return "conv.forward";
+    case Timer::kConvBackward: return "conv.backward";
+    case Timer::kProbeEval: return "probe.eval";
+    case Timer::kRecoveryEpoch: return "recovery.epoch";
+    case Timer::kWorkspaceAcquire: return "workspace.acquire";
+    case Timer::kCount: break;
+  }
+  return "?";
+}
+
+// ---- storage ---------------------------------------------------------------
+// Everything is statically sized and atomic: recording never allocates,
+// never locks, and is race-free under ThreadPool workers (TSan tier).
+
+namespace {
+
+struct TimerCell {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> min_ns{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_ns{0};
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+};
+
+std::array<std::atomic<std::uint64_t>,
+           static_cast<std::size_t>(Counter::kCount)>
+    g_counters{};
+// Gauges hold doubles bit-cast through uint64 so plain atomics suffice.
+std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(Gauge::kCount)>
+    g_gauges{};
+std::array<TimerCell, static_cast<std::size_t>(Timer::kCount)> g_timers{};
+
+int bucket_of(std::uint64_t ns) {
+  const int b = static_cast<int>(std::bit_width(ns));
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void add(Counter id, std::uint64_t delta) {
+  if (!metrics_enabled()) return;
+  g_counters[static_cast<std::size_t>(id)].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+void set_gauge(Gauge id, double value) {
+  if (!metrics_enabled()) return;
+  g_gauges[static_cast<std::size_t>(id)].store(std::bit_cast<std::uint64_t>(value),
+                                               std::memory_order_relaxed);
+}
+
+void record_duration(Timer id, std::uint64_t ns) {
+  if (!metrics_enabled()) return;
+  TimerCell& cell = g_timers[static_cast<std::size_t>(id)];
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.total_ns.fetch_add(ns, std::memory_order_relaxed);
+  atomic_min(cell.min_ns, ns);
+  atomic_max(cell.max_ns, ns);
+  cell.buckets[static_cast<std::size_t>(bucket_of(ns))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t ScopedTimer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t counter_value(Counter id) {
+  return g_counters[static_cast<std::size_t>(id)].load(
+      std::memory_order_relaxed);
+}
+
+double gauge_value(Gauge id) {
+  return std::bit_cast<double>(g_gauges[static_cast<std::size_t>(id)].load(
+      std::memory_order_relaxed));
+}
+
+TimerStats timer_stats(Timer id) {
+  const TimerCell& cell = g_timers[static_cast<std::size_t>(id)];
+  TimerStats stats;
+  stats.count = cell.count.load(std::memory_order_relaxed);
+  stats.total_ns = cell.total_ns.load(std::memory_order_relaxed);
+  const std::uint64_t min = cell.min_ns.load(std::memory_order_relaxed);
+  stats.min_ns = stats.count == 0 ? 0 : min;
+  stats.max_ns = cell.max_ns.load(std::memory_order_relaxed);
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    stats.buckets[static_cast<std::size_t>(b)] =
+        cell.buckets[static_cast<std::size_t>(b)].load(
+            std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+void reset_metrics() {
+  for (auto& c : g_counters) c.store(0, std::memory_order_relaxed);
+  for (auto& g : g_gauges) g.store(0, std::memory_order_relaxed);
+  for (auto& cell : g_timers) {
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.total_ns.store(0, std::memory_order_relaxed);
+    cell.min_ns.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    cell.max_ns.store(0, std::memory_order_relaxed);
+    for (auto& b : cell.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+Json metrics_to_json() {
+  Json root = Json::object();
+  Json counters = Json::object();
+  for (int i = 0; i < static_cast<int>(Counter::kCount); ++i) {
+    const auto id = static_cast<Counter>(i);
+    counters.set(counter_name(id),
+                 static_cast<double>(counter_value(id)));
+  }
+  root.set("counters", std::move(counters));
+
+  Json gauges = Json::object();
+  for (int i = 0; i < static_cast<int>(Gauge::kCount); ++i) {
+    const auto id = static_cast<Gauge>(i);
+    gauges.set(gauge_name(id), gauge_value(id));
+  }
+  root.set("gauges", std::move(gauges));
+
+  Json timers = Json::object();
+  for (int i = 0; i < static_cast<int>(Timer::kCount); ++i) {
+    const auto id = static_cast<Timer>(i);
+    const TimerStats stats = timer_stats(id);
+    Json t = Json::object();
+    t.set("count", static_cast<double>(stats.count));
+    t.set("total_ns", static_cast<double>(stats.total_ns));
+    t.set("min_ns", static_cast<double>(stats.min_ns));
+    t.set("max_ns", static_cast<double>(stats.max_ns));
+    t.set("mean_ns", stats.count == 0
+                         ? 0.0
+                         : static_cast<double>(stats.total_ns) /
+                               static_cast<double>(stats.count));
+    // Histogram as [upper_bound_ns, count] pairs for non-empty buckets.
+    Json hist = Json::array();
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      const std::uint64_t n = stats.buckets[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      Json pair = Json::array();
+      pair.push_back(static_cast<double>(b >= 63 ? ~std::uint64_t{0}
+                                                 : (std::uint64_t{1} << b)));
+      pair.push_back(static_cast<double>(n));
+      hist.push_back(std::move(pair));
+    }
+    t.set("histogram_ns", std::move(hist));
+    timers.set(timer_name(id), std::move(t));
+  }
+  root.set("timers", std::move(timers));
+  return root;
+}
+
+bool save_metrics(const std::string& path) {
+  return metrics_to_json().save(path);
+}
+
+// ---- trace sink ------------------------------------------------------------
+
+namespace {
+
+struct TraceState {
+  std::mutex mutex;
+  std::ofstream out;
+  std::atomic<bool> enabled{false};
+};
+
+TraceState& trace_state() {
+  static TraceState state;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("CCQ_TRACE");
+    if (env != nullptr && *env != '\0') {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.out.open(env, std::ios::app);
+      CCQ_CHECK(static_cast<bool>(state.out),
+                std::string("cannot open CCQ_TRACE file ") + env);
+      state.enabled.store(true, std::memory_order_relaxed);
+    }
+  });
+  return state;
+}
+
+}  // namespace
+
+void set_trace_path(const std::string& path) {
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.out.is_open()) state.out.close();
+  state.enabled.store(false, std::memory_order_relaxed);
+  if (path.empty()) return;
+  state.out.open(path, std::ios::app);
+  CCQ_CHECK(static_cast<bool>(state.out), "cannot open trace file " + path);
+  state.enabled.store(true, std::memory_order_relaxed);
+}
+
+bool trace_enabled() {
+  return trace_state().enabled.load(std::memory_order_relaxed);
+}
+
+void trace_event(const Json& event) {
+  TraceState& state = trace_state();
+  if (!state.enabled.load(std::memory_order_relaxed)) return;
+  const std::string line = event.dump(-1);
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!state.out.is_open()) return;
+    state.out << line << '\n';
+  }
+  add(Counter::kTraceEvents);
+}
+
+void flush_trace() {
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.out.is_open()) state.out.flush();
+}
+
+}  // namespace ccq::telemetry

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "ccq/common/telemetry.hpp"
+
 namespace ccq {
 
 namespace {
@@ -28,6 +30,7 @@ Workspace::Arena& Workspace::local_arena_locked() {
 
 FloatVec Workspace::acquire(std::size_t n) {
   if (n == 0) return {};
+  telemetry::ScopedTimer timer(telemetry::Timer::kWorkspaceAcquire);
   const std::size_t b = bucket_for_request(n);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -36,11 +39,13 @@ FloatVec Workspace::acquire(std::size_t n) {
       FloatVec buf = std::move(arena.buckets[b].back());
       arena.buckets[b].pop_back();
       buf.resize(n);  // capacity >= bucket size >= n: no allocation
+      telemetry::add(telemetry::Counter::kWorkspaceHits);
       return buf;
     }
   }
   // Miss: allocate once at full bucket capacity so later requests of any
   // size in this bucket reuse it.
+  telemetry::add(telemetry::Counter::kWorkspaceMisses);
   FloatVec buf;
   buf.reserve(std::size_t{1} << b);
   buf.resize(n);

@@ -1,45 +1,8 @@
 #include "ccq/core/ccq.hpp"
 
-#include <algorithm>
-
-#include "ccq/common/logging.hpp"
+#include "ccq/core/controller.hpp"
 
 namespace ccq::core {
-
-namespace {
-
-/// Gather a fixed probe subset (first `count` validation samples —
-/// deterministic, and the validation set is already shuffled at
-/// generation time).
-data::Batch make_probe_batch(const data::Dataset& val_set,
-                             std::size_t count) {
-  std::vector<std::size_t> indices;
-  const std::size_t take = std::min(count, val_set.size());
-  indices.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) indices.push_back(i);
-  return val_set.gather(indices);
-}
-
-std::vector<bool> awake_mask(const quant::LayerRegistry& registry) {
-  std::vector<bool> awake(registry.size());
-  for (std::size_t i = 0; i < registry.size(); ++i) {
-    awake[i] = !registry.sleeping(i);
-  }
-  return awake;
-}
-
-/// Number of down-steps remaining over all layers = natural value of T.
-int total_steps_remaining(const quant::LayerRegistry& registry) {
-  int steps = 0;
-  for (std::size_t i = 0; i < registry.size(); ++i) {
-    if (registry.unit(i).frozen) continue;
-    steps += static_cast<int>(registry.ladder().size() - 1 -
-                              registry.unit(i).ladder_pos);
-  }
-  return steps;
-}
-
-}  // namespace
 
 std::string selection_rule_str(SelectionRule rule) {
   switch (rule) {
@@ -53,169 +16,13 @@ std::string selection_rule_str(SelectionRule rule) {
 
 CcqResult run_ccq(models::QuantModel& model, const data::Dataset& train_set,
                   const data::Dataset& val_set, const CcqConfig& config) {
-  CCQ_CHECK(config.probes_per_step > 0, "need at least one probe per step");
-  quant::LayerRegistry& registry = model.registry();
-  CCQ_CHECK(registry.size() > 0, "model has no quantizable layers");
-
-  CcqResult result;
-  Rng rng(config.seed);
-  const data::Batch probe_batch =
-      make_probe_batch(val_set, config.probe_samples);
-  // One workspace for the whole controller run: the probe loop, the
-  // recovery epochs and every validation pass recycle the same buffers,
-  // so steady-state steps perform no float-storage allocations.
-  Workspace ws;
-
-  // ---- initial quantization: every layer to N(0) (Algorithm 1 line 3).
-  registry.set_all(0);
-  data::DataLoader loader(train_set, config.finetune.batch_size,
-                          config.finetune.augment, Rng(config.seed ^ 0x5eedULL));
-  nn::Sgd optimizer(model.parameters(), config.finetune.sgd);
-  nn::HybridPlateauCosineLr schedule(config.hybrid_lr);
-  int epoch_counter = 0;
-
-  auto record_epoch = [&](float train_loss, const EvalResult& val,
-                          const std::string& event) {
-    EpochStat stat;
-    stat.epoch = epoch_counter++;
-    stat.train_loss = train_loss;
-    stat.val_loss = val.loss;
-    stat.val_accuracy = val.accuracy;
-    stat.lr = optimizer.lr();
-    stat.event = event;
-    result.curve.push_back(stat);
-  };
-
-  for (int e = 0; e < config.initial_recovery_epochs; ++e) {
-    const float train_loss = train_epoch(model, optimizer, loader, &ws);
-    const EvalResult val = evaluate(model, val_set, 128, &ws);
-    record_epoch(train_loss, val,
-                 e == 0 ? "initial quantization to " +
-                              std::to_string(registry.ladder().initial_bits()) +
-                              "b"
-                        : "");
-    optimizer.set_lr(schedule.next(val.accuracy));
-  }
-  result.baseline_accuracy = evaluate(model, val_set, 128, &ws).accuracy;
-  const float recovery_target =
-      result.baseline_accuracy - config.recovery_drop_threshold;
-  CCQ_LOG_INFO << "CCQ " << model.name() << ": baseline@"
-               << registry.ladder().initial_bits()
-               << "b acc=" << result.baseline_accuracy << " ladder "
-               << registry.ladder().str();
-
-  // ---- competition / collaboration loop (Algorithm 1 lines 4–19).
-  HedgeCompetition hedge(registry.size(), config.gamma);
-  const int planned_steps = total_steps_remaining(registry);
-  int step = 0;
-  while (!registry.all_sleeping() &&
-         (config.max_steps < 0 || step < config.max_steps)) {
-    const double lambda =
-        config.memory_aware
-            ? lambda_at_step(config.lambda_start, config.lambda_end, step,
-                             std::max(planned_steps - 1, 1))
-            : 0.0;
-    const auto awake = awake_mask(registry);
-    const auto shares = registry.memory_shares();
-
-    // Competition: U probes with exponential-weight updates on the
-    // sampled layer (lines 6–10).  The ablation rules skip the probes.
-    const bool probing = config.selection == SelectionRule::kHedgeMemory ||
-                         config.selection == SelectionRule::kExp3Memory;
-    if (probing) {
-      for (int u = 0; u < config.probes_per_step; ++u) {
-        const auto probs =
-            hedge.memory_mixed_probabilities(awake, shares, lambda);
-        const std::size_t m = HedgeCompetition::sample(probs, rng);
-        float probe_loss = 0.0f;
-        {
-          quant::LayerRegistry::ProbeGuard guard(registry, m);
-          probe_loss = evaluate_batch(model, probe_batch, 128, &ws).loss;
-        }
-        if (config.selection == SelectionRule::kExp3Memory) {
-          // EXP3: importance-weight the observed loss so rarely-probed
-          // layers are not starved of feedback.
-          hedge.update(m, probe_loss / std::max(probs[m], 1e-6));
-        } else {
-          hedge.update(m, probe_loss);
-        }
-      }
-    }
-
-    // Draw the winner m_t from the final distribution (line 11).
-    std::vector<double> final_probs;
-    switch (config.selection) {
-      case SelectionRule::kHedgeMemory:
-      case SelectionRule::kExp3Memory:
-        final_probs = hedge.memory_mixed_probabilities(awake, shares, lambda);
-        break;
-      case SelectionRule::kRandom: {
-        final_probs.assign(registry.size(), 0.0);
-        std::size_t awake_count = 0;
-        for (bool a : awake) awake_count += a ? 1 : 0;
-        for (std::size_t m = 0; m < awake.size(); ++m) {
-          if (awake[m]) {
-            final_probs[m] = 1.0 / static_cast<double>(awake_count);
-          }
-        }
-        break;
-      }
-      case SelectionRule::kMemoryOnly:
-        final_probs = hedge.memory_mixed_probabilities(awake, shares, 1.0);
-        break;
-    }
-    const std::size_t winner = HedgeCompetition::sample(final_probs, rng);
-    registry.step_down(winner);
-
-    StepRecord record;
-    record.step = step;
-    record.layer = winner;
-    record.layer_name = registry.unit(winner).name;
-    record.new_bits = registry.bits_of(winner);
-    record.lambda = lambda;
-    record.pick_probabilities = final_probs;
-    record.val_acc_before_recovery = evaluate(model, val_set, 128, &ws).accuracy;
-
-    // Collaboration: fine-tune all layers (lines 14–18).
-    int recovery_epochs = 0;
-    float acc = record.val_acc_before_recovery;
-    const int budget = config.recovery == RecoveryMode::kManual
-                           ? config.manual_recovery_epochs
-                           : config.max_recovery_epochs;
-    while (recovery_epochs < budget) {
-      const float train_loss = train_epoch(model, optimizer, loader, &ws);
-      const EvalResult val = evaluate(model, val_set, 128, &ws);
-      acc = val.accuracy;
-      record_epoch(train_loss, val,
-                   recovery_epochs == 0
-                       ? "quantize " + record.layer_name + " -> " +
-                             std::to_string(record.new_bits) + "b"
-                       : "");
-      optimizer.set_lr(schedule.next(val.accuracy));
-      ++recovery_epochs;
-      if (config.recovery == RecoveryMode::kAdaptive &&
-          acc >= recovery_target) {
-        break;  // recovered — stop early (paper: some steps need 1 epoch)
-      }
-    }
-    record.recovery_epochs = recovery_epochs;
-    record.val_acc_after_recovery = acc;
-    record.compression = registry.compression_ratio();
-    CCQ_LOG_INFO << "CCQ step " << step << ": " << record.layer_name << " -> "
-                 << record.new_bits << "b, acc " << std::to_string(acc)
-                 << " (valley " << record.val_acc_before_recovery
-                 << "), compression " << record.compression << "x";
-    result.steps.push_back(std::move(record));
-    ++step;
-  }
-
-  result.final_accuracy = evaluate(model, val_set, 128, &ws).accuracy;
-  result.final_compression = registry.compression_ratio();
-  result.final_bits.reserve(registry.size());
-  for (std::size_t i = 0; i < registry.size(); ++i) {
-    result.final_bits.push_back(registry.bits_of(i));
-  }
-  return result;
+  // Thin shim over the step-wise controller (controller.hpp): identical
+  // seeds produce identical StepRecord sequences, bit allocations and
+  // accuracies, and the telemetry trace/metrics hooks come for free.
+  CcqController controller(model, train_set, val_set, config);
+  controller.init();
+  while (!controller.done()) controller.step();
+  return controller.result();
 }
 
 }  // namespace ccq::core

@@ -81,6 +81,11 @@ struct CcqResult {
 /// Run Algorithm 1 on a (typically pretrained) model.  The model's
 /// registry defines the layer set and the bit ladder; frozen layers are
 /// never touched (they compete as permanently sleeping experts).
+///
+/// This is a convenience shim over `CcqController` (controller.hpp):
+/// construct, `init()`, loop `step()` until `done()`, `result()`.  Use
+/// the controller directly for step-granular control, observer hooks
+/// (`CcqObserver`), or save/resume (`save_state`/`load_state`).
 CcqResult run_ccq(models::QuantModel& model, const data::Dataset& train_set,
                   const data::Dataset& val_set, const CcqConfig& config);
 

@@ -1,0 +1,409 @@
+#include "ccq/core/controller.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "ccq/common/logging.hpp"
+#include "ccq/common/telemetry.hpp"
+#include "ccq/core/observers.hpp"
+
+namespace ccq::core {
+
+namespace {
+
+/// Gather a fixed probe subset (first `count` validation samples —
+/// deterministic, and the validation set is already shuffled at
+/// generation time).
+data::Batch make_probe_batch(const data::Dataset& val_set,
+                             std::size_t count) {
+  std::vector<std::size_t> indices;
+  const std::size_t take = std::min(count, val_set.size());
+  indices.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) indices.push_back(i);
+  return val_set.gather(indices);
+}
+
+std::vector<bool> awake_mask(const quant::LayerRegistry& registry) {
+  std::vector<bool> awake(registry.size());
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    awake[i] = !registry.sleeping(i);
+  }
+  return awake;
+}
+
+/// Number of down-steps remaining over all layers = natural value of T.
+int total_steps_remaining(const quant::LayerRegistry& registry) {
+  int steps = 0;
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    if (registry.unit(i).frozen) continue;
+    steps += static_cast<int>(registry.ladder().size() - 1 -
+                              registry.unit(i).ladder_pos);
+  }
+  return steps;
+}
+
+// ---- binary state (de)serialization ---------------------------------------
+// Raw little-endian-as-stored writes: the state must round-trip RNG
+// words and float momentum bit-exactly, which text formats cannot
+// guarantee.  Same-machine resume is the contract (see OBSERVABILITY.md).
+
+constexpr std::uint64_t kStateMagic = 0x3143515443435131ULL;  // "1QCTQC1"
+constexpr std::uint32_t kStateVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  CCQ_CHECK(static_cast<bool>(is), "truncated controller state");
+  return v;
+}
+
+void write_rng_state(std::ofstream& os, const Rng::State& state) {
+  for (std::uint64_t word : state.s) write_pod(os, word);
+  write_pod(os, state.spare_normal);
+  write_pod(os, static_cast<std::uint8_t>(state.has_spare ? 1 : 0));
+}
+
+Rng::State read_rng_state(std::ifstream& is) {
+  Rng::State state;
+  for (auto& word : state.s) word = read_pod<std::uint64_t>(is);
+  state.spare_normal = read_pod<double>(is);
+  state.has_spare = read_pod<std::uint8_t>(is) != 0;
+  return state;
+}
+
+}  // namespace
+
+CcqController::CcqController(models::QuantModel& model,
+                             const data::Dataset& train_set,
+                             const data::Dataset& val_set, CcqConfig config)
+    : model_(model),
+      train_set_(train_set),
+      val_set_(val_set),
+      config_(config),
+      rng_(config.seed),
+      probe_batch_(make_probe_batch(val_set, config.probe_samples)),
+      loader_(train_set, config.finetune.batch_size, config.finetune.augment,
+              Rng(config.seed ^ 0x5eedULL)),
+      optimizer_(model.parameters(), config.finetune.sgd),
+      schedule_(config.hybrid_lr),
+      hedge_(model.registry().size(), config.gamma) {
+  CCQ_CHECK(config_.probes_per_step > 0, "need at least one probe per step");
+  CCQ_CHECK(model_.registry().size() > 0, "model has no quantizable layers");
+  if (telemetry::trace_enabled()) {
+    trace_observer_ = std::make_unique<CcqTraceObserver>();
+    observers_.push_back(trace_observer_.get());
+  }
+}
+
+CcqController::~CcqController() = default;
+
+void CcqController::add_observer(CcqObserver* observer) {
+  CCQ_CHECK(observer != nullptr, "null observer");
+  observers_.push_back(observer);
+}
+
+void CcqController::record_epoch(float train_loss, const EvalResult& val,
+                                 const std::string& event) {
+  EpochStat stat;
+  stat.epoch = epoch_counter_++;
+  stat.train_loss = train_loss;
+  stat.val_loss = val.loss;
+  stat.val_accuracy = val.accuracy;
+  stat.lr = optimizer_.lr();
+  stat.event = event;
+  result_.curve.push_back(stat);
+}
+
+void CcqController::run_recovery_epoch(int step_index, int epoch_in_step,
+                                       const std::string& event_label,
+                                       float* accuracy) {
+  telemetry::ScopedTimer timer(telemetry::Timer::kRecoveryEpoch);
+  const double lr = optimizer_.lr();
+  const float train_loss = train_epoch(model_, optimizer_, loader_, ws_);
+  const EvalResult val = evaluate(model_, val_set_, 128, ws_);
+  record_epoch(train_loss, val, event_label);
+  optimizer_.set_lr(schedule_.next(val.accuracy));
+  if (accuracy != nullptr) *accuracy = val.accuracy;
+  telemetry::add(telemetry::Counter::kRecoveryEpochs);
+  telemetry::set_gauge(telemetry::Gauge::kValAccuracy, val.accuracy);
+  telemetry::set_gauge(telemetry::Gauge::kLr, lr);
+  const RecoveryEpochEvent event{step_index,
+                                 epoch_in_step,
+                                 epoch_counter_ - 1,
+                                 train_loss,
+                                 val.loss,
+                                 val.accuracy,
+                                 lr};
+  for (auto* obs : observers_) obs->on_recovery_epoch(event);
+}
+
+void CcqController::init() {
+  CCQ_CHECK(!initialized_, "controller already initialized");
+  quant::LayerRegistry& registry = model_.registry();
+
+  // ---- initial quantization: every layer to N(0) (Algorithm 1 line 3).
+  registry.set_all(0);
+  for (int e = 0; e < config_.initial_recovery_epochs; ++e) {
+    const std::string label =
+        e == 0 ? "initial quantization to " +
+                     std::to_string(registry.ladder().initial_bits()) + "b"
+               : "";
+    run_recovery_epoch(/*step_index=*/-1, e, label, nullptr);
+  }
+  result_.baseline_accuracy = evaluate(model_, val_set_, 128, ws_).accuracy;
+  recovery_target_ =
+      result_.baseline_accuracy - config_.recovery_drop_threshold;
+  planned_steps_ = total_steps_remaining(registry);
+  CCQ_LOG_INFO << "CCQ " << model_.name() << ": baseline@"
+               << registry.ladder().initial_bits()
+               << "b acc=" << result_.baseline_accuracy << " ladder "
+               << registry.ladder().str();
+  initialized_ = true;
+}
+
+bool CcqController::done() const {
+  if (!initialized_) return false;
+  if (model_.registry().all_sleeping()) return true;
+  return config_.max_steps >= 0 && step_ >= config_.max_steps;
+}
+
+std::vector<double> CcqController::final_probabilities(
+    const std::vector<bool>& awake, const std::vector<double>& shares,
+    double lambda) const {
+  switch (config_.selection) {
+    case SelectionRule::kHedgeMemory:
+    case SelectionRule::kExp3Memory:
+      return hedge_.memory_mixed_probabilities(awake, shares, lambda);
+    case SelectionRule::kRandom: {
+      std::vector<double> probs(awake.size(), 0.0);
+      std::size_t awake_count = 0;
+      for (bool a : awake) awake_count += a ? 1 : 0;
+      for (std::size_t m = 0; m < awake.size(); ++m) {
+        if (awake[m]) probs[m] = 1.0 / static_cast<double>(awake_count);
+      }
+      return probs;
+    }
+    case SelectionRule::kMemoryOnly:
+      return hedge_.memory_mixed_probabilities(awake, shares, 1.0);
+  }
+  return {};
+}
+
+const StepRecord& CcqController::step() {
+  CCQ_CHECK(initialized_, "init() or load_state() must run before step()");
+  CCQ_CHECK(!done(), "stepping a finished controller");
+  quant::LayerRegistry& registry = model_.registry();
+
+  const double lambda =
+      config_.memory_aware
+          ? lambda_at_step(config_.lambda_start, config_.lambda_end, step_,
+                           std::max(planned_steps_ - 1, 1))
+          : 0.0;
+  telemetry::set_gauge(telemetry::Gauge::kLambda, lambda);
+  const auto awake = awake_mask(registry);
+  const auto shares = registry.memory_shares();
+
+  // Competition: U probes with exponential-weight updates on the
+  // sampled layer (lines 6–10).  The ablation rules skip the probes.
+  const bool probing = config_.selection == SelectionRule::kHedgeMemory ||
+                       config_.selection == SelectionRule::kExp3Memory;
+  if (probing) {
+    for (int u = 0; u < config_.probes_per_step; ++u) {
+      const auto probs =
+          hedge_.memory_mixed_probabilities(awake, shares, lambda);
+      const std::size_t m = HedgeCompetition::sample(probs, rng_);
+      float probe_loss = 0.0f;
+      {
+        quant::LayerRegistry::ProbeGuard guard(registry, m);
+        probe_loss = evaluate_batch(model_, probe_batch_, 128, ws_).loss;
+      }
+      if (config_.selection == SelectionRule::kExp3Memory) {
+        // EXP3: importance-weight the observed loss so rarely-probed
+        // layers are not starved of feedback.
+        hedge_.update(m, probe_loss / std::max(probs[m], 1e-6));
+      } else {
+        hedge_.update(m, probe_loss);
+      }
+      telemetry::add(telemetry::Counter::kProbes);
+      const ProbeEvent event{step_,      u,      m,
+                             registry.unit(m).name, probe_loss, lambda,
+                             probs,      hedge_.weights()};
+      for (auto* obs : observers_) obs->on_probe(event);
+    }
+  }
+
+  // Draw the winner m_t from the final distribution (line 11).
+  const std::vector<double> final_probs =
+      final_probabilities(awake, shares, lambda);
+  const std::size_t winner = HedgeCompetition::sample(final_probs, rng_);
+  registry.step_down(winner);
+
+  StepRecord record;
+  record.step = step_;
+  record.layer = winner;
+  record.layer_name = registry.unit(winner).name;
+  record.new_bits = registry.bits_of(winner);
+  record.lambda = lambda;
+  record.pick_probabilities = final_probs;
+  record.val_acc_before_recovery =
+      evaluate(model_, val_set_, 128, ws_).accuracy;
+
+  telemetry::add(telemetry::Counter::kPicks);
+  telemetry::set_gauge(telemetry::Gauge::kCompression,
+                       registry.compression_ratio());
+  const PickEvent pick_event{step_,          winner,
+                             record.layer_name, record.new_bits,
+                             lambda,         final_probs,
+                             registry.compression_ratio()};
+  for (auto* obs : observers_) obs->on_pick(pick_event);
+
+  // Collaboration: fine-tune all layers (lines 14–18).
+  int recovery_epochs = 0;
+  float acc = record.val_acc_before_recovery;
+  const int budget = config_.recovery == RecoveryMode::kManual
+                         ? config_.manual_recovery_epochs
+                         : config_.max_recovery_epochs;
+  while (recovery_epochs < budget) {
+    const std::string label =
+        recovery_epochs == 0 ? "quantize " + record.layer_name + " -> " +
+                                   std::to_string(record.new_bits) + "b"
+                             : "";
+    run_recovery_epoch(step_, recovery_epochs, label, &acc);
+    ++recovery_epochs;
+    if (config_.recovery == RecoveryMode::kAdaptive &&
+        acc >= recovery_target_) {
+      break;  // recovered — stop early (paper: some steps need 1 epoch)
+    }
+  }
+  record.recovery_epochs = recovery_epochs;
+  record.val_acc_after_recovery = acc;
+  record.compression = registry.compression_ratio();
+  CCQ_LOG_INFO << "CCQ step " << step_ << ": " << record.layer_name << " -> "
+               << record.new_bits << "b, acc " << std::to_string(acc)
+               << " (valley " << record.val_acc_before_recovery
+               << "), compression " << record.compression << "x";
+  result_.steps.push_back(std::move(record));
+  ++step_;
+  telemetry::flush_trace();
+  return result_.steps.back();
+}
+
+CcqResult CcqController::result() {
+  CCQ_CHECK(initialized_, "controller never initialized");
+  quant::LayerRegistry& registry = model_.registry();
+  CcqResult out = result_;
+  out.final_accuracy = evaluate(model_, val_set_, 128, ws_).accuracy;
+  out.final_compression = registry.compression_ratio();
+  out.final_bits.clear();
+  out.final_bits.reserve(registry.size());
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    out.final_bits.push_back(registry.bits_of(i));
+  }
+  telemetry::flush_trace();
+  return out;
+}
+
+void CcqController::save_state(const std::string& path) const {
+  CCQ_CHECK(initialized_, "cannot save an uninitialized controller");
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  CCQ_CHECK(static_cast<bool>(os), "cannot open " + path + " for writing");
+
+  write_pod(os, kStateMagic);
+  write_pod(os, kStateVersion);
+  write_pod(os, static_cast<std::uint64_t>(model_.registry().size()));
+  write_pod(os, static_cast<std::int32_t>(step_));
+  write_pod(os, static_cast<std::int32_t>(epoch_counter_));
+  write_pod(os, static_cast<std::int32_t>(planned_steps_));
+  write_pod(os, result_.baseline_accuracy);
+  write_pod(os, recovery_target_);
+  write_rng_state(os, rng_.state());
+  write_rng_state(os, loader_.rng_state());
+
+  const auto& pi = hedge_.weights();
+  write_pod(os, static_cast<std::uint64_t>(pi.size()));
+  for (double w : pi) write_pod(os, w);
+
+  const auto sched = schedule_.state();
+  write_pod(os, sched.best_metric);
+  write_pod(os, static_cast<std::int32_t>(sched.stall_epochs));
+  write_pod(os, static_cast<std::int32_t>(sched.cosine_left));
+
+  write_pod(os, optimizer_.lr());
+  const auto& velocity = optimizer_.velocity();
+  write_pod(os, static_cast<std::uint64_t>(velocity.size()));
+  for (const Tensor& v : velocity) {
+    write_pod(os, static_cast<std::uint64_t>(v.numel()));
+    os.write(reinterpret_cast<const char*>(v.data().data()),
+             static_cast<std::streamsize>(v.numel() * sizeof(float)));
+  }
+  CCQ_CHECK(static_cast<bool>(os), "short write to " + path);
+}
+
+bool CcqController::load_state(const std::string& path) {
+  CCQ_CHECK(!initialized_,
+            "load_state must run on a freshly constructed controller");
+  if (!std::filesystem::exists(path)) return false;
+  std::ifstream is(path, std::ios::binary);
+  CCQ_CHECK(static_cast<bool>(is), "cannot open " + path);
+
+  CCQ_CHECK(read_pod<std::uint64_t>(is) == kStateMagic,
+            path + " is not a CCQ controller state file");
+  CCQ_CHECK(read_pod<std::uint32_t>(is) == kStateVersion,
+            "unsupported controller state version");
+  CCQ_CHECK(read_pod<std::uint64_t>(is) == model_.registry().size(),
+            "controller state layer count mismatch");
+  step_ = read_pod<std::int32_t>(is);
+  epoch_counter_ = read_pod<std::int32_t>(is);
+  planned_steps_ = read_pod<std::int32_t>(is);
+  result_.baseline_accuracy = read_pod<float>(is);
+  recovery_target_ = read_pod<float>(is);
+  rng_.set_state(read_rng_state(is));
+  loader_.set_rng_state(read_rng_state(is));
+
+  const auto pi_count = read_pod<std::uint64_t>(is);
+  CCQ_CHECK(pi_count == hedge_.size(), "hedge weight count mismatch");
+  std::vector<double> pi(pi_count);
+  for (auto& w : pi) w = read_pod<double>(is);
+  hedge_.set_weights(pi);
+
+  nn::HybridPlateauCosineLr::State sched;
+  sched.best_metric = read_pod<double>(is);
+  sched.stall_epochs = read_pod<std::int32_t>(is);
+  sched.cosine_left = read_pod<std::int32_t>(is);
+  schedule_.set_state(sched);
+
+  optimizer_.set_lr(read_pod<double>(is));
+  const auto velocity_count = read_pod<std::uint64_t>(is);
+  const auto params = model_.parameters();
+  CCQ_CHECK(velocity_count == params.size(),
+            "controller state velocity count mismatch");
+  std::vector<Tensor> velocity;
+  velocity.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto numel = read_pod<std::uint64_t>(is);
+    CCQ_CHECK(numel == params[i]->value.numel(),
+              "velocity size mismatch for " + params[i]->name);
+    Tensor v(params[i]->value.shape());
+    is.read(reinterpret_cast<char*>(v.data().data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    CCQ_CHECK(static_cast<bool>(is), "truncated controller state");
+    velocity.push_back(std::move(v));
+  }
+  optimizer_.set_velocity(std::move(velocity));
+
+  initialized_ = true;
+  CCQ_LOG_INFO << "CCQ " << model_.name() << ": resumed at step " << step_
+               << " (epoch " << epoch_counter_ << ", baseline "
+               << result_.baseline_accuracy << ")";
+  return true;
+}
+
+}  // namespace ccq::core

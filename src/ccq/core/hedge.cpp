@@ -25,6 +25,14 @@ void HedgeCompetition::update(std::size_t m, double xi) {
   }
 }
 
+void HedgeCompetition::set_weights(const std::vector<double>& pi) {
+  CCQ_CHECK(pi.size() == pi_.size(), "weight vector size mismatch");
+  for (double w : pi) {
+    CCQ_CHECK(std::isfinite(w) && w >= 0.0, "invalid expert weight");
+  }
+  pi_ = pi;
+}
+
 std::vector<double> HedgeCompetition::probabilities(
     const std::vector<bool>& awake) const {
   CCQ_CHECK(awake.size() == pi_.size(), "awake mask size mismatch");

@@ -46,6 +46,9 @@ class HedgeCompetition {
   /// Raw expert weights (for inspection/tests).
   const std::vector<double>& weights() const { return pi_; }
 
+  /// Overwrite the expert weights (controller state restore).
+  void set_weights(const std::vector<double>& pi);
+
  private:
   std::vector<double> pi_;
   double gamma_;

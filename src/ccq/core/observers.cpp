@@ -1,0 +1,78 @@
+#include "ccq/core/observers.hpp"
+
+#include <ostream>
+
+#include "ccq/common/telemetry.hpp"
+
+namespace ccq::core {
+
+namespace {
+
+Json probs_array(const std::vector<double>& probs) {
+  Json arr = Json::array();
+  for (double p : probs) arr.push_back(p);
+  return arr;
+}
+
+}  // namespace
+
+void CcqTraceObserver::on_probe(const ProbeEvent& event) {
+  Json record = Json::object();
+  record.set("event", "probe");
+  record.set("step", event.step);
+  record.set("probe", event.probe_index);
+  record.set("layer", event.layer);
+  record.set("layer_name", event.layer_name);
+  record.set("loss", static_cast<double>(event.loss));
+  record.set("lambda", event.lambda);
+  record.set("probs", probs_array(event.probabilities));
+  record.set("pi", probs_array(event.pi));
+  telemetry::trace_event(record);
+}
+
+void CcqTraceObserver::on_pick(const PickEvent& event) {
+  Json record = Json::object();
+  record.set("event", "pick");
+  record.set("step", event.step);
+  record.set("layer", event.layer);
+  record.set("layer_name", event.layer_name);
+  record.set("new_bits", event.new_bits);
+  record.set("lambda", event.lambda);
+  record.set("probs", probs_array(event.probabilities));
+  record.set("compression", event.compression);
+  telemetry::trace_event(record);
+}
+
+void CcqTraceObserver::on_recovery_epoch(const RecoveryEpochEvent& event) {
+  Json record = Json::object();
+  record.set("event", "recovery_epoch");
+  record.set("step", event.step);
+  record.set("epoch", event.epoch_in_step);
+  record.set("global_epoch", event.global_epoch);
+  record.set("train_loss", static_cast<double>(event.train_loss));
+  record.set("val_loss", static_cast<double>(event.val_loss));
+  record.set("val_acc", static_cast<double>(event.val_accuracy));
+  record.set("lr", event.lr);
+  telemetry::trace_event(record);
+}
+
+void CliProgressObserver::on_probe(const ProbeEvent& event) {
+  if (!verbose_) return;
+  os_ << "    probe " << event.probe_index << ": " << event.layer_name
+      << " xi=" << event.loss << "\n";
+}
+
+void CliProgressObserver::on_pick(const PickEvent& event) {
+  os_ << "step " << event.step << ": quantize " << event.layer_name << " -> "
+      << event.new_bits << "b (p=" << event.probabilities[event.layer]
+      << ", lambda=" << event.lambda << ", compression=" << event.compression
+      << "x)\n";
+}
+
+void CliProgressObserver::on_recovery_epoch(const RecoveryEpochEvent& event) {
+  os_ << (event.step < 0 ? "  initial epoch " : "  recovery epoch ")
+      << event.epoch_in_step << ": val_acc=" << event.val_accuracy
+      << " lr=" << event.lr << "\n";
+}
+
+}  // namespace ccq::core

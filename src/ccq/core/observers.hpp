@@ -1,0 +1,50 @@
+// Stock CcqObserver implementations.
+//
+//   * CcqTraceObserver — bridges controller events into the telemetry
+//     JSONL trace sink (one compact object per line; schema below and in
+//     docs/OBSERVABILITY.md).  The controller attaches one automatically
+//     whenever a trace sink is configured (`CCQ_TRACE=<path>` or
+//     `telemetry::set_trace_path`).
+//   * CliProgressObserver — human-readable per-step progress for the
+//     `ccq` CLI, printed to an arbitrary stream.
+//
+// Event schema (every line has an "event" discriminator):
+//   {"event":"probe","step":N,"probe":u,"layer":m,"layer_name":s,
+//    "loss":ξ,"lambda":λ,"probs":[...],"pi":[...]}
+//   {"event":"pick","step":N,"layer":m,"layer_name":s,"new_bits":b,
+//    "lambda":λ,"probs":[...],"compression":c}
+//   {"event":"recovery_epoch","step":N,"epoch":k,"global_epoch":e,
+//    "train_loss":x,"val_loss":y,"val_acc":a,"lr":l}
+#pragma once
+
+#include <iosfwd>
+
+#include "ccq/core/controller.hpp"
+
+namespace ccq::core {
+
+/// Writes every controller event to the telemetry trace sink.
+class CcqTraceObserver : public CcqObserver {
+ public:
+  void on_probe(const ProbeEvent& event) override;
+  void on_pick(const PickEvent& event) override;
+  void on_recovery_epoch(const RecoveryEpochEvent& event) override;
+};
+
+/// Prints compact per-step progress lines (picks and recovery epochs;
+/// probes only when `verbose`).
+class CliProgressObserver : public CcqObserver {
+ public:
+  explicit CliProgressObserver(std::ostream& os, bool verbose = false)
+      : os_(os), verbose_(verbose) {}
+
+  void on_probe(const ProbeEvent& event) override;
+  void on_pick(const PickEvent& event) override;
+  void on_recovery_epoch(const RecoveryEpochEvent& event) override;
+
+ private:
+  std::ostream& os_;
+  bool verbose_;
+};
+
+}  // namespace ccq::core

@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "ccq/common/logging.hpp"
+#include "ccq/common/telemetry.hpp"
 #include "ccq/nn/loss.hpp"
 #include "ccq/tensor/serialize.hpp"
 
@@ -28,9 +29,9 @@ void slice_batch_into(const data::Batch& batch, std::size_t lo,
 }  // namespace
 
 EvalResult evaluate_batch(models::QuantModel& model, const data::Batch& batch,
-                          std::size_t chunk, Workspace* ws_opt) {
+                          std::size_t chunk, Workspace& ws) {
   CCQ_CHECK(batch.size() > 0, "empty evaluation batch");
-  Workspace& ws = ws_opt != nullptr ? *ws_opt : Workspace::scratch();
+  telemetry::ScopedTimer timer(telemetry::Timer::kProbeEval);
   model.set_training(false);
   nn::SoftmaxCrossEntropy loss(ws);
   double total_loss = 0.0, total_correct = 0.0;
@@ -65,13 +66,12 @@ EvalResult evaluate_batch(models::QuantModel& model, const data::Batch& batch,
 }
 
 EvalResult evaluate(models::QuantModel& model, const data::Dataset& dataset,
-                    std::size_t chunk, Workspace* ws) {
+                    std::size_t chunk, Workspace& ws) {
   return evaluate_batch(model, dataset.all(), chunk, ws);
 }
 
 float train_epoch(models::QuantModel& model, nn::Sgd& optimizer,
-                  data::DataLoader& loader, Workspace* ws_opt) {
-  Workspace& ws = ws_opt != nullptr ? *ws_opt : Workspace::scratch();
+                  data::DataLoader& loader, Workspace& ws) {
   model.set_training(true);
   nn::SoftmaxCrossEntropy loss(ws);
   loader.start_epoch();

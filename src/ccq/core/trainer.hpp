@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "ccq/common/workspace.hpp"
 #include "ccq/data/dataset.hpp"
 #include "ccq/models/model.hpp"
 #include "ccq/nn/optim.hpp"
@@ -19,23 +20,40 @@ struct EvalResult {
   float accuracy = 0.0f;
 };
 
+// The trainer entry points follow the Module convention: the primary
+// overload takes a trailing `Workspace&` (like `forward(x, ws)`), and a
+// workspace-less shim routes through the process-global scratch pool.
+
 /// Forward-only evaluation over a dataset in eval mode (chunked so memory
-/// stays bounded).  This is also the competition's probe primitive.  Pass
-/// a Workspace to reuse buffers across chunks and calls; the default
-/// routes through the process-global scratch pool.
+/// stays bounded).  This is also the competition's probe primitive.  The
+/// Workspace reuses buffers across chunks and calls.
 EvalResult evaluate(models::QuantModel& model, const data::Dataset& dataset,
-                    std::size_t chunk = 128, Workspace* ws = nullptr);
+                    std::size_t chunk, Workspace& ws);
+inline EvalResult evaluate(models::QuantModel& model,
+                           const data::Dataset& dataset,
+                           std::size_t chunk = 128) {
+  return evaluate(model, dataset, chunk, Workspace::scratch());
+}
 
 /// Evaluate on a fixed pre-gathered batch (used for fast probes on a
 /// validation subset — paper §III.B calls this "a simple feed-forward on
 /// a small validation set").  Warm calls perform zero float-storage heap
 /// allocations (regression-tested in workspace_test).
 EvalResult evaluate_batch(models::QuantModel& model, const data::Batch& batch,
-                          std::size_t chunk = 128, Workspace* ws = nullptr);
+                          std::size_t chunk, Workspace& ws);
+inline EvalResult evaluate_batch(models::QuantModel& model,
+                                 const data::Batch& batch,
+                                 std::size_t chunk = 128) {
+  return evaluate_batch(model, batch, chunk, Workspace::scratch());
+}
 
 /// One epoch of SGD over the loader; returns mean training loss.
 float train_epoch(models::QuantModel& model, nn::Sgd& optimizer,
-                  data::DataLoader& loader, Workspace* ws = nullptr);
+                  data::DataLoader& loader, Workspace& ws);
+inline float train_epoch(models::QuantModel& model, nn::Sgd& optimizer,
+                         data::DataLoader& loader) {
+  return train_epoch(model, optimizer, loader, Workspace::scratch());
+}
 
 /// Per-epoch statistics recorded during any training run.
 struct EpochStat {

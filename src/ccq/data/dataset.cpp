@@ -87,11 +87,15 @@ DataLoader::DataLoader(const Dataset& dataset, std::size_t batch_size,
       rng_(rng),
       order_(dataset.size()) {
   CCQ_CHECK(batch_size > 0, "batch size must be positive");
-  std::iota(order_.begin(), order_.end(), 0);
   start_epoch();
 }
 
 void DataLoader::start_epoch() {
+  // Rebuild from the identity before shuffling so the epoch order is a
+  // pure function of the RNG state — not of how many epochs this loader
+  // has already served.  Resume (set_rng_state) depends on this: a fresh
+  // loader with a restored RNG must reproduce the same epoch sequence.
+  std::iota(order_.begin(), order_.end(), 0);
   rng_.shuffle(order_);
   cursor_ = 0;
 }

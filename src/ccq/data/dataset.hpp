@@ -78,6 +78,12 @@ class DataLoader {
 
   std::size_t batches_per_epoch() const;
 
+  /// Shuffle-stream state (the order/cursor are rebuilt by
+  /// `start_epoch`, so between epochs the RNG is the whole state).
+  /// Exposed for controller save/restore.
+  Rng::State rng_state() const { return rng_.state(); }
+  void set_rng_state(const Rng::State& state) { rng_.set_state(state); }
+
  private:
   /// Augmentation decisions for one sample, drawn from the loader RNG in
   /// sample order *before* the (possibly parallel) batch assembly, so

@@ -1,5 +1,6 @@
 #include "ccq/nn/conv.hpp"
 
+#include "ccq/common/telemetry.hpp"
 #include "ccq/nn/init.hpp"
 #include "ccq/tensor/gemm.hpp"
 
@@ -39,6 +40,7 @@ std::size_t Conv2d::macs_per_sample(std::size_t in_h, std::size_t in_w) const {
 }
 
 Tensor Conv2d::forward(const Tensor& x, Workspace& ws) {
+  telemetry::ScopedTimer timer(telemetry::Timer::kConvForward);
   CCQ_CHECK(x.rank() == 4, "Conv2d expects NCHW input");
   CCQ_CHECK(x.dim(1) == in_channels_, "Conv2d channel mismatch");
   // Eval fast path: backward never runs, so skip the input cache.
@@ -84,6 +86,7 @@ Tensor Conv2d::forward(const Tensor& x, Workspace& ws) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out, Workspace& ws) {
+  telemetry::ScopedTimer timer(telemetry::Timer::kConvBackward);
   CCQ_CHECK(input_.rank() == 4, "backward before forward");
   const std::size_t n = input_.dim(0);
   const std::size_t h = input_.dim(2), w = input_.dim(3);

@@ -19,6 +19,16 @@ void Sgd::rebind(std::vector<Parameter*> params) {
   }
 }
 
+void Sgd::set_velocity(std::vector<Tensor> velocity) {
+  CCQ_CHECK(velocity.size() == params_.size(),
+            "velocity count does not match bound parameters");
+  for (std::size_t i = 0; i < velocity.size(); ++i) {
+    CCQ_CHECK(velocity[i].shape() == params_[i]->value.shape(),
+              "velocity shape mismatch for " + params_[i]->name);
+  }
+  velocity_ = std::move(velocity);
+}
+
 void Sgd::step() {
   for (std::size_t idx = 0; idx < params_.size(); ++idx) {
     Parameter& p = *params_[idx];

@@ -33,6 +33,11 @@ class Sgd {
   /// Re-bind to a (possibly changed) parameter list, resetting momentum.
   void rebind(std::vector<Parameter*> params);
 
+  /// Momentum buffers, aligned with the bound parameter list.  Exposed
+  /// so controller save/restore round-trips optimizer state bit-exactly.
+  const std::vector<Tensor>& velocity() const { return velocity_; }
+  void set_velocity(std::vector<Tensor> velocity);
+
  private:
   std::vector<Parameter*> params_;
   std::vector<Tensor> velocity_;

@@ -95,6 +95,20 @@ class HybridPlateauCosineLr : public LrSchedule {
   /// True while a cosine excursion is in flight (exposed for tests/plots).
   bool in_cosine_phase() const { return cosine_left_ > 0; }
 
+  /// Mutable schedule state, exposed so a persisted controller resumes
+  /// mid-plateau / mid-excursion bit-exactly.
+  struct State {
+    double best_metric = 0.0;
+    int stall_epochs = 0;
+    int cosine_left = 0;
+  };
+  State state() const { return {best_metric_, stall_epochs_, cosine_left_}; }
+  void set_state(const State& state) {
+    best_metric_ = state.best_metric;
+    stall_epochs_ = state.stall_epochs;
+    cosine_left_ = state.cosine_left;
+  }
+
  private:
   Config config_;
   double best_metric_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ccq/common/telemetry.hpp"
+
 namespace ccq {
 
 namespace {
@@ -94,6 +96,7 @@ void gemm_tn_rows(std::size_t row0, std::size_t row1, std::size_t n,
 void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
           const float* a, std::size_t lda, const float* b, std::size_t ldb,
           float beta, float* c, std::size_t ldc, const ExecContext& ctx) {
+  telemetry::ScopedTimer timer(telemetry::Timer::kGemm);
   parallel_for(ctx, m, kRowGrain,
                [&](std::size_t row0, std::size_t row1) {
                  gemm_rows(row0, row1, n, k, alpha, a, lda, b, ldb, beta, c,
@@ -104,6 +107,7 @@ void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
 void gemm_tn(std::size_t m, std::size_t n, std::size_t k, float alpha,
              const float* a, std::size_t lda, const float* b, std::size_t ldb,
              float beta, float* c, std::size_t ldc, const ExecContext& ctx) {
+  telemetry::ScopedTimer timer(telemetry::Timer::kGemm);
   parallel_for(ctx, m, kRowGrain,
                [&](std::size_t row0, std::size_t row1) {
                  gemm_tn_rows(row0, row1, n, k, alpha, a, lda, b, ldb, beta,

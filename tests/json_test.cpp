@@ -1,4 +1,4 @@
-// Tests for the JSON report writer.
+// Tests for the JSON report writer and reader.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -91,6 +91,68 @@ TEST(JsonTest, SaveWritesFile) {
 TEST(JsonTest, LargeIntegersStayExact) {
   EXPECT_EQ(Json(1000000).dump(-1), "1000000");
   EXPECT_EQ(Json(static_cast<std::size_t>(123456789)).dump(-1), "123456789");
+}
+
+// ---- parser ----------------------------------------------------------------
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_EQ(Json::parse("42").as_double(), 42.0);
+  EXPECT_EQ(Json::parse("-3.5e2").as_double(), -350.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(Json::parse("\"a\\\"b\"").as_string(), "a\"b");
+  EXPECT_EQ(Json::parse("\"line\\nbreak\"").as_string(), "line\nbreak");
+  EXPECT_EQ(Json::parse("\"tab\\there\"").as_string(), "tab\there");
+  // \u00e9 is é (U+00E9) encoded as two UTF-8 bytes.
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParseTest, NestedContainers) {
+  const Json v = Json::parse(R"({"a":[1,2,{"b":true}],"c":"x"})");
+  EXPECT_EQ(v.at("a").size(), 3u);
+  EXPECT_EQ(v.at("a").at(1).as_double(), 2.0);
+  EXPECT_TRUE(v.at("a").at(2).at("b").as_bool());
+  EXPECT_EQ(v.at("c").as_string(), "x");
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("missing"));
+}
+
+TEST(JsonParseTest, RoundTripsItsOwnOutput) {
+  Json o = Json::object();
+  o.set("name", "probe");
+  o.set("loss", 2.25);
+  Json arr = Json::array();
+  arr.push_back(0.5);
+  arr.push_back(0.25);
+  o.set("probs", std::move(arr));
+  const Json back = Json::parse(o.dump(-1));
+  EXPECT_EQ(back.at("name").as_string(), "probe");
+  EXPECT_EQ(back.at("loss").as_double(), 2.25);
+  EXPECT_EQ(back.at("probs").at(0).as_double(), 0.5);
+  EXPECT_EQ(back.dump(-1), o.dump(-1));
+}
+
+TEST(JsonParseTest, MalformedInputThrows) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(Json::parse("1 trailing"), Error);
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+  EXPECT_THROW(Json::parse("nul"), Error);
+}
+
+TEST(JsonParseTest, AccessorTypeMismatchesThrow) {
+  const Json v = Json::parse("{\"a\":1}");
+  EXPECT_THROW(v.at("a").as_string(), Error);
+  EXPECT_THROW(v.at("missing"), Error);
+  EXPECT_THROW(v.at(std::size_t{0}), Error);
+  EXPECT_THROW(Json::parse("[1]").at("key"), Error);
 }
 
 }  // namespace

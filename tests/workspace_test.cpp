@@ -282,9 +282,9 @@ TEST(WorkspaceAllocTest, WarmEvaluateBatchIsAllocationFree) {
   const data::Batch batch = dataset.all();
 
   Workspace ws;
-  const core::EvalResult cold = core::evaluate_batch(model, batch, 16, &ws);
+  const core::EvalResult cold = core::evaluate_batch(model, batch, 16, ws);
   alloc_stats::reset();
-  const core::EvalResult warm = core::evaluate_batch(model, batch, 16, &ws);
+  const core::EvalResult warm = core::evaluate_batch(model, batch, 16, ws);
   EXPECT_EQ(alloc_stats::count(), 0u)
       << "warm evaluate_batch must not touch the heap";
   EXPECT_FLOAT_EQ(cold.loss, warm.loss);

@@ -2,7 +2,13 @@
 //
 //   ccq run    --arch resnet20 --policy pact --ladder 8,4,2 …
 //       Pretrain (or load) a baseline, run the CCQ controller, print the
-//       per-layer allocation; optionally save a snapshot / JSON record.
+//       per-layer allocation; optionally save a snapshot / JSON record,
+//       a JSONL event trace (--trace) and a metrics report
+//       (--metrics-out); --state persists the controller loop state so
+//       the run can be continued with `resume`.
+//   ccq resume --snapshot s.bin --state st.bin …
+//       Continue an interrupted run bit-identically from a
+//       snapshot+state pair saved by `run` (same model/data flags).
 //   ccq oneshot --arch … --policy … --bits-pos N
 //       One-shot quantize + fine-tune (the baseline scheme).
 //   ccq power  --arch resnet20
@@ -20,8 +26,11 @@
 #include "ccq/common/exec.hpp"
 #include "ccq/common/json.hpp"
 #include "ccq/common/table.hpp"
+#include "ccq/common/telemetry.hpp"
 #include "ccq/core/baselines.hpp"
 #include "ccq/core/ccq.hpp"
+#include "ccq/core/controller.hpp"
+#include "ccq/core/observers.hpp"
 #include "ccq/core/snapshot.hpp"
 #include "ccq/data/synthetic.hpp"
 #include "ccq/hw/mac_model.hpp"
@@ -63,7 +72,7 @@ models::QuantModel build_model(const Args& args, std::size_t classes,
               " (resnet20|resnet18|resnet50|simplecnn|mlp)");
 }
 
-Experiment prepare(const Args& args) {
+Experiment prepare(const Args& args, bool pretrain = true) {
   data::SyntheticConfig dc;
   dc.num_classes = static_cast<std::size_t>(args.get_int("classes", 10));
   dc.samples_per_class =
@@ -77,6 +86,11 @@ Experiment prepare(const Args& args) {
 
   const quant::BitLadder ladder(args.get_int_list("ladder", {8, 4, 2}));
   auto model = build_model(args, dc.num_classes, ladder);
+  if (!pretrain) {
+    // `resume` restores parameters + precision from the snapshot, so the
+    // freshly built model only provides the structure.
+    return Experiment{std::move(train), std::move(val), std::move(model)};
+  }
 
   core::TrainConfig pre;
   pre.epochs = args.get_int("pretrain-epochs", 12);
@@ -115,10 +129,32 @@ core::CcqConfig ccq_config_from(const Args& args) {
   return config;
 }
 
-int cmd_run(const Args& args) {
-  Experiment exp = prepare(args);
-  const auto config = ccq_config_from(args);
-  const auto result = core::run_ccq(exp.model, exp.train, exp.val, config);
+// Telemetry flags shared by `run` and `resume`: --trace enables the
+// JSONL event sink, --metrics-out enables the counters/timers registry
+// (written as JSON when the run finishes).
+void configure_telemetry(const Args& args) {
+  const std::string trace = args.get("trace", "");
+  if (!trace.empty()) telemetry::set_trace_path(trace);
+  if (!args.get("metrics-out", "").empty()) {
+    telemetry::set_metrics_enabled(true);
+  }
+}
+
+void finish_telemetry(const Args& args) {
+  telemetry::flush_trace();
+  const std::string metrics = args.get("metrics-out", "");
+  if (!metrics.empty()) {
+    CCQ_CHECK(telemetry::save_metrics(metrics), "cannot write " + metrics);
+    std::cout << "metrics -> " << metrics << "\n";
+  }
+}
+
+// Drive the controller to completion, print the allocation table and
+// persist whatever --snapshot/--state/--out ask for.
+int finish_run(const Args& args, Experiment& exp,
+               core::CcqController& controller) {
+  while (!controller.done()) controller.step();
+  const auto result = controller.result();
 
   Table table({"layer", "bits", "weights"});
   for (std::size_t i = 0; i < exp.model.registry().size(); ++i) {
@@ -138,6 +174,13 @@ int cmd_run(const Args& args) {
     core::save_snapshot(exp.model, snapshot);
     std::cout << "snapshot -> " << snapshot << "\n";
   }
+  const std::string state = args.get("state", "");
+  if (!state.empty()) {
+    CCQ_CHECK(!snapshot.empty(),
+              "--state needs --snapshot (resume requires both)");
+    controller.save_state(state);
+    std::cout << "state -> " << state << "\n";
+  }
   const std::string out = args.get("out", "");
   if (!out.empty()) {
     Json record = Json::object();
@@ -149,7 +192,41 @@ int cmd_run(const Args& args) {
     CCQ_CHECK(record.save(out), "cannot write " + out);
     std::cout << "json -> " << out << "\n";
   }
+  finish_telemetry(args);
   return 0;
+}
+
+int cmd_run(const Args& args) {
+  configure_telemetry(args);
+  Experiment exp = prepare(args);
+  const auto config = ccq_config_from(args);
+  core::CcqController controller(exp.model, exp.train, exp.val, config);
+  core::CliProgressObserver progress(std::cout, args.get_flag("verbose"));
+  if (args.get_flag("progress")) controller.add_observer(&progress);
+  controller.init();
+  return finish_run(args, exp, controller);
+}
+
+int cmd_resume(const Args& args) {
+  configure_telemetry(args);
+  const std::string snapshot = args.get("snapshot", "");
+  const std::string state = args.get("state", "");
+  CCQ_CHECK(!snapshot.empty() && !state.empty(),
+            "resume needs --snapshot and --state from a previous run");
+  // Rebuild the model structure and datasets from the same flags as the
+  // original run; parameters + precision come from the snapshot, the
+  // loop state (RNG, Hedge weights, optimizer momentum, …) from --state.
+  Experiment exp = prepare(args, /*pretrain=*/false);
+  CCQ_CHECK(core::load_snapshot(exp.model, snapshot),
+            "snapshot not found: " + snapshot);
+  const auto config = ccq_config_from(args);
+  core::CcqController controller(exp.model, exp.train, exp.val, config);
+  core::CliProgressObserver progress(std::cout, args.get_flag("verbose"));
+  if (args.get_flag("progress")) controller.add_observer(&progress);
+  CCQ_CHECK(controller.load_state(state), "state not found: " + state);
+  std::cout << "resumed at step " << controller.steps_completed() << " ("
+            << (controller.done() ? "already done" : "continuing") << ")\n";
+  return finish_run(args, exp, controller);
 }
 
 int cmd_oneshot(const Args& args) {
@@ -208,6 +285,7 @@ void usage() {
   std::cout <<
       "usage: ccq <command> [--flags]\n"
       "  run       full CCQ pipeline (pretrain + competition/collaboration)\n"
+      "  resume    continue a run from --snapshot + --state (bit-identical)\n"
       "  oneshot   one-shot quantize + fine-tune baseline\n"
       "  power     iso-throughput power of precision configurations\n"
       "  policies  list quantization policies\n"
@@ -217,9 +295,12 @@ void usage() {
       "  --width 0.25  --pretrain-epochs 12  --cache file.bin\n"
       "  --threads N   kernel thread budget (default $CCQ_THREADS or 1;\n"
       "                results are bit-identical for any N)\n"
-      "run flags: --gamma 4 --probes 4 --lambda-start 0.7 --lambda-end 0.1\n"
-      "  --no-memory --manual-recovery --max-steps N --snapshot out.bin\n"
-      "  --out record.json\n";
+      "run/resume flags: --gamma 4 --probes 4 --lambda-start 0.7\n"
+      "  --lambda-end 0.1 --no-memory --manual-recovery --max-steps N\n"
+      "  --snapshot out.bin --state out.state --out record.json\n"
+      "  --trace events.jsonl   JSONL event trace (also $CCQ_TRACE)\n"
+      "  --metrics-out m.json   counters/timers report (also $CCQ_METRICS)\n"
+      "  --progress [--verbose] per-step progress lines\n";
 }
 
 }  // namespace
@@ -231,6 +312,7 @@ int main(int argc, char** argv) {
     ExecContext::set_global_threads(static_cast<std::size_t>(
         std::max(1, args.get_int("threads", env_int("CCQ_THREADS", 1)))));
     if (args.command() == "run") return cmd_run(args);
+    if (args.command() == "resume") return cmd_resume(args);
     if (args.command() == "oneshot") return cmd_oneshot(args);
     if (args.command() == "power") return cmd_power(args);
     if (args.command() == "policies") return cmd_policies();

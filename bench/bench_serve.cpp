@@ -1,0 +1,164 @@
+// Serving benchmarks: throughput and latency of the dynamic-batching
+// inference server across the batch-size × worker-count grid, plus the
+// zero-allocation claim — steady-state serving performs no float-storage
+// allocations (workspace-pooled staging/logits, capacity-reusing reply
+// tensors).  Build with -DCCQ_COUNT_ALLOCS=ON to see the alloc columns:
+//
+//   cmake -B build -DCMAKE_BUILD_TYPE=Release -DCCQ_COUNT_ALLOCS=ON
+//   ./build/bench/bench_serve
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ccq/common/alloc.hpp"
+#include "ccq/models/simple.hpp"
+#include "ccq/serve/harness.hpp"
+
+namespace {
+
+using namespace ccq;
+
+struct AllocSnapshot {
+  std::size_t count = alloc_stats::count();
+  std::size_t bytes = alloc_stats::bytes();
+};
+
+void report_allocs(benchmark::State& state, const AllocSnapshot& before) {
+  if (!alloc_stats::enabled()) return;
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(alloc_stats::count() - before.count) / iters);
+  state.counters["alloc_kb_per_iter"] = benchmark::Counter(
+      static_cast<double>(alloc_stats::bytes() - before.bytes) / 1024.0 /
+      iters);
+}
+
+/// The served network: an untrained simplecnn quantized to a mixed
+/// 8/4/2 allocation — serving cost does not depend on the weight values.
+hw::IntegerNetwork bench_network() {
+  models::ModelConfig mc;
+  mc.num_classes = 10;
+  mc.image_size = 16;
+  mc.width_multiplier = 0.25f;
+  quant::QuantFactory factory{.policy = quant::Policy::kMinMax};
+  auto model =
+      models::make_simple_cnn(mc, factory, quant::BitLadder({8, 4, 2}));
+  quant::LayerRegistry& registry = model.registry();
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    registry.set_ladder_pos(i, i % 3);
+  }
+  model.set_training(true);
+  Tensor calib({8, 3, 16, 16});
+  auto cd = calib.data();
+  for (std::size_t i = 0; i < cd.size(); ++i) {
+    cd[i] = static_cast<float>((i * 2654435761u >> 8) & 255u) / 255.0f;
+  }
+  model.forward(calib);
+  model.set_training(false);
+  return hw::IntegerNetwork::compile(model);
+}
+
+Tensor bench_samples(std::size_t n) {
+  Tensor x({n, 3, 16, 16});
+  auto data = x.data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>((i * 2654435761u >> 8) & 255u) / 255.0f;
+  }
+  return x;
+}
+
+/// End-to-end throughput of the batching server: one iteration pushes a
+/// wave of requests and waits for every reply.  Inputs and reply tensors
+/// are reused across waves, so warm iterations perform zero
+/// float-storage allocations end to end.  Axes: max_batch × workers.
+void BM_ServeThroughput(benchmark::State& state) {
+  serve::ServeConfig config;
+  config.max_batch = static_cast<std::size_t>(state.range(0));
+  config.workers = static_cast<std::size_t>(state.range(1));
+  config.max_delay_us = 200;
+  config.queue_capacity = 256;
+  serve::InferenceServer server(bench_network(), config);
+
+  const std::size_t wave = 64;
+  const Tensor samples = bench_samples(wave);
+  const Shape chw{3, 16, 16};
+  const std::size_t sample_floats = shape_numel(chw);
+  std::vector<Tensor> inputs(wave), outputs(wave);
+  for (std::size_t i = 0; i < wave; ++i) {
+    inputs[i] = Tensor(chw);
+    const auto src = samples.data().subspan(i * sample_floats, sample_floats);
+    std::copy(src.begin(), src.end(), inputs[i].data().begin());
+  }
+  std::vector<std::future<void>> replies;
+  replies.reserve(wave);
+
+  auto push_wave = [&] {
+    replies.clear();
+    for (std::size_t i = 0; i < wave; ++i) {
+      replies.push_back(server.submit(inputs[i], outputs[i]));
+    }
+    for (auto& reply : replies) reply.get();
+  };
+
+  push_wave();  // warm every worker's workspace and the reply tensors
+  const AllocSnapshot before;
+  for (auto _ : state) {
+    push_wave();
+    benchmark::DoNotOptimize(outputs.data());
+  }
+  report_allocs(state, before);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wave));
+}
+BENCHMARK(BM_ServeThroughput)
+    ->ArgNames({"max_batch", "workers"})
+    ->Args({1, 1})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Single-request round-trip latency (enqueue → reply) on an otherwise
+/// idle server: the floor the dynamic-batching delay adds to.
+void BM_ServeLatency(benchmark::State& state) {
+  serve::ServeConfig config;
+  config.max_batch = 1;  // flush immediately: pure per-request latency
+  config.workers = static_cast<std::size_t>(state.range(0));
+  serve::InferenceServer server(bench_network(), config);
+
+  Tensor sample = bench_samples(1).reshaped({3, 16, 16});
+  Tensor out;
+  {
+    // Warm every worker's workspace: with max_batch = 1 a backlog of
+    // concurrent requests spreads across all workers.
+    std::vector<Tensor> warm_outs(32);
+    std::vector<std::future<void>> warm;
+    warm.reserve(warm_outs.size());
+    for (Tensor& warm_out : warm_outs) {
+      warm.push_back(server.submit(sample, warm_out));
+    }
+    for (auto& reply : warm) reply.get();
+  }
+  server.submit(sample, out).get();  // …and the reply tensor
+  const AllocSnapshot before;
+  for (auto _ : state) {
+    server.submit(sample, out).get();
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  report_allocs(state, before);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeLatency)
+    ->ArgNames({"workers"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,20 +1,26 @@
 // Deployment walkthrough: train → CCQ-quantize → compile to the integer
-// engine → verify the integer datapath matches the float simulation and
-// price it with the hardware model.
+// engine → pack it into the serving artifact → round-trip through the
+// inference server, verifying every hop matches the float simulation —
+// then price it with the hardware model.
 //
 // This is the end-to-end story the paper's Fig 5 implies: the
 // mixed-precision network CCQ finds is what an accelerator would actually
-// run, at the power the MAC model predicts.
+// run, at the power the MAC model predicts — and what `ccq serve-bench`
+// actually serves, at the artifact size the bit packing predicts.
 #include <cmath>
+#include <filesystem>
 #include <iostream>
 
 #include "ccq/common/table.hpp"
 #include "ccq/core/ccq.hpp"
+#include "ccq/core/snapshot.hpp"
 #include "ccq/data/synthetic.hpp"
 #include "ccq/hw/integer_engine.hpp"
 #include "ccq/hw/mac_model.hpp"
 #include "ccq/models/simple.hpp"
 #include "ccq/nn/loss.hpp"
+#include "ccq/serve/artifact.hpp"
+#include "ccq/serve/harness.hpp"
 
 int main() {
   using namespace ccq;
@@ -75,6 +81,40 @@ int main() {
   std::cout << "float-sim top-1 " << float_acc << " vs integer datapath "
             << int_acc << " (max logit diff "
             << max_abs_diff(float_logits, int_logits) << ")\n";
+
+  // ---- pack the artifact and serve it ----
+  // The float snapshot stores every weight as fp32; the artifact stores
+  // the compiled network's k-bit codes bit-packed at each layer's final
+  // ladder precision.  Loading it back and serving through the
+  // dynamic-batching server must reproduce the integer datapath exactly.
+  const std::string snapshot_path = "deploy_snapshot.bin";
+  const std::string artifact_path = "deploy_model.ccqa";
+  core::save_snapshot(model, snapshot_path);
+  serve::export_artifact(engine, artifact_path);
+  const auto snapshot_bytes = std::filesystem::file_size(snapshot_path);
+  const auto artifact_bytes = std::filesystem::file_size(artifact_path);
+  std::cout << "float snapshot " << snapshot_bytes << " B -> packed artifact "
+            << artifact_bytes << " B ("
+            << static_cast<double>(snapshot_bytes) /
+                   static_cast<double>(artifact_bytes)
+            << "x smaller)\n";
+
+  serve::ServeConfig sc;
+  sc.workers = 2;
+  sc.max_batch = 8;
+  serve::ServeHarness harness(serve::load_artifact(artifact_path), sc);
+  const auto served = harness.run(x, /*producers=*/2);
+  float max_diff = 0.0f;
+  for (std::size_t i = 0; i < served.outputs.size(); ++i) {
+    for (std::size_t c = 0; c < served.outputs[i].dim(0); ++c) {
+      max_diff = std::max(
+          max_diff, std::abs(served.outputs[i](c) - int_logits(i, c)));
+    }
+  }
+  std::cout << "served " << served.outputs.size()
+            << " requests through the batching server (max diff vs direct "
+               "integer forward: "
+            << max_diff << ")\n";
 
   // ---- price it ----
   const auto profile = hw::profile_registry(model.registry());

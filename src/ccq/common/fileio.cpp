@@ -1,0 +1,40 @@
+#include "ccq/common/fileio.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "ccq/common/error.hpp"
+
+namespace ccq {
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp = path + ".tmp";
+  try {
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      CCQ_CHECK(static_cast<bool>(os), "cannot open for write: " + tmp);
+      writer(os);
+      os.flush();
+      CCQ_CHECK(static_cast<bool>(os), "write failed: " + tmp);
+    }
+    std::filesystem::rename(tmp, path);
+  } catch (...) {
+    std::error_code ec;  // best-effort cleanup; the original error wins
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+}  // namespace ccq

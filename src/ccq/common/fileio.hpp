@@ -1,0 +1,31 @@
+// Crash-safe file output + content hashing.
+//
+// Snapshots, controller state and serve artifacts are the repo's durable
+// outputs; a process killed mid-write must never leave a truncated file
+// that a later `load_*` half-parses.  `atomic_write_file` gives every
+// writer the standard fix: stream into a sibling temp file, then rename
+// over the target (rename within a directory is atomic on POSIX).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace ccq {
+
+/// Write `path` atomically: `writer` streams into `<path>.tmp`, which is
+/// flushed, closed and renamed over `path` only if every write succeeded.
+/// On writer failure (exception or stream error) the temp file is removed
+/// and the previous contents of `path`, if any, are left untouched.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+/// 64-bit FNV-1a over a byte range (artifact checksums).  Chainable:
+/// pass the previous digest as `seed` to hash discontiguous pieces.
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ull;
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t seed = kFnv1aOffset);
+
+}  // namespace ccq

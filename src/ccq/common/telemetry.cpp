@@ -1,7 +1,9 @@
 #include "ccq/common/telemetry.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <mutex>
@@ -33,6 +35,9 @@ const char* counter_name(Counter id) {
     case Counter::kWorkspaceHits: return "workspace.acquire_hits";
     case Counter::kWorkspaceMisses: return "workspace.acquire_misses";
     case Counter::kTraceEvents: return "trace.events";
+    case Counter::kServeRequests: return "serve.requests";
+    case Counter::kServeRejected: return "serve.rejected";
+    case Counter::kServeBatches: return "serve.batches";
     case Counter::kCount: break;
   }
   return "?";
@@ -44,6 +49,7 @@ const char* gauge_name(Gauge id) {
     case Gauge::kValAccuracy: return "ccq.val_accuracy";
     case Gauge::kCompression: return "ccq.compression";
     case Gauge::kLr: return "ccq.lr";
+    case Gauge::kServeQueueDepth: return "serve.queue_depth";
     case Gauge::kCount: break;
   }
   return "?";
@@ -57,6 +63,8 @@ const char* timer_name(Timer id) {
     case Timer::kProbeEval: return "probe.eval";
     case Timer::kRecoveryEpoch: return "recovery.epoch";
     case Timer::kWorkspaceAcquire: return "workspace.acquire";
+    case Timer::kServeLatency: return "serve.latency";
+    case Timer::kServeBatchSize: return "serve.batch_size";
     case Timer::kCount: break;
   }
   return "?";
@@ -159,6 +167,21 @@ TimerStats timer_stats(Timer id) {
             std::memory_order_relaxed);
   }
   return stats;
+}
+
+std::uint64_t approx_quantile(const TimerStats& stats, double q) {
+  if (stats.count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  const auto target = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(stats.count))));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    seen += stats.buckets[static_cast<std::size_t>(b)];
+    if (seen >= target) {
+      return b >= 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << b);
+    }
+  }
+  return stats.max_ns;
 }
 
 void reset_metrics() {

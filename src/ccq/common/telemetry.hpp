@@ -52,14 +52,18 @@ enum class Counter : int {
   kWorkspaceHits,     ///< pool acquisitions served from a bucket
   kWorkspaceMisses,   ///< pool acquisitions that heap-allocated
   kTraceEvents,       ///< JSONL lines written to the trace sink
+  kServeRequests,     ///< inference requests admitted to the serve queue
+  kServeRejected,     ///< inference requests rejected (queue full / stopped)
+  kServeBatches,      ///< dynamic batches flushed by serve workers
   kCount
 };
 
 enum class Gauge : int {
-  kLambda,        ///< current Eq. 7 mixing coefficient
-  kValAccuracy,   ///< last validation accuracy seen by the controller
-  kCompression,   ///< current model compression ratio
-  kLr,            ///< last learning rate applied
+  kLambda,           ///< current Eq. 7 mixing coefficient
+  kValAccuracy,      ///< last validation accuracy seen by the controller
+  kCompression,      ///< current model compression ratio
+  kLr,               ///< last learning rate applied
+  kServeQueueDepth,  ///< serve request queue depth after the last op
   kCount
 };
 
@@ -70,6 +74,8 @@ enum class Timer : int {
   kProbeEval,         ///< evaluate_batch (the competition probe primitive)
   kRecoveryEpoch,     ///< one collaboration epoch (train + validate)
   kWorkspaceAcquire,  ///< Workspace::acquire
+  kServeLatency,      ///< serve enqueue→reply wall time per request
+  kServeBatchSize,    ///< serve batch sizes (unitless samples, not ns)
   kCount
 };
 
@@ -122,6 +128,11 @@ struct TimerStats {
 std::uint64_t counter_value(Counter id);
 double gauge_value(Gauge id);
 TimerStats timer_stats(Timer id);
+
+/// Approximate quantile from a log₂-bucket histogram: the upper bound of
+/// the bucket holding the ceil(q·count)-th sample (0 when empty).
+/// Resolution is a factor of two — enough for p50/p99 latency reporting.
+std::uint64_t approx_quantile(const TimerStats& stats, double q);
 
 /// Zero every counter/gauge/histogram (tests and benches).
 void reset_metrics();

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "ccq/common/fileio.hpp"
 #include "ccq/common/logging.hpp"
 #include "ccq/common/telemetry.hpp"
 #include "ccq/core/observers.hpp"
@@ -53,7 +54,7 @@ constexpr std::uint64_t kStateMagic = 0x3143515443435131ULL;  // "1QCTQC1"
 constexpr std::uint32_t kStateVersion = 1;
 
 template <typename T>
-void write_pod(std::ofstream& os, const T& v) {
+void write_pod(std::ostream& os, const T& v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
@@ -65,7 +66,7 @@ T read_pod(std::ifstream& is) {
   return v;
 }
 
-void write_rng_state(std::ofstream& os, const Rng::State& state) {
+void write_rng_state(std::ostream& os, const Rng::State& state) {
   for (std::uint64_t word : state.s) write_pod(os, word);
   write_pod(os, state.spare_normal);
   write_pod(os, static_cast<std::uint8_t>(state.has_spare ? 1 : 0));
@@ -313,9 +314,12 @@ CcqResult CcqController::result() {
 
 void CcqController::save_state(const std::string& path) const {
   CCQ_CHECK(initialized_, "cannot save an uninitialized controller");
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  CCQ_CHECK(static_cast<bool>(os), "cannot open " + path + " for writing");
+  // Atomic replace: a crash mid-save must not destroy the previous
+  // resume point — that is the whole value of step-wise resume.
+  atomic_write_file(path, [&](std::ostream& os) { save_state_stream(os); });
+}
 
+void CcqController::save_state_stream(std::ostream& os) const {
   write_pod(os, kStateMagic);
   write_pod(os, kStateVersion);
   write_pod(os, static_cast<std::uint64_t>(model_.registry().size()));
@@ -344,7 +348,7 @@ void CcqController::save_state(const std::string& path) const {
     os.write(reinterpret_cast<const char*>(v.data().data()),
              static_cast<std::streamsize>(v.numel() * sizeof(float)));
   }
-  CCQ_CHECK(static_cast<bool>(os), "short write to " + path);
+  CCQ_CHECK(static_cast<bool>(os), "short write of controller state");
 }
 
 bool CcqController::load_state(const std::string& path) {

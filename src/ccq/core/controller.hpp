@@ -10,6 +10,7 @@
 // so an interrupted run continues bit-identically).
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -125,6 +126,7 @@ class CcqController {
   bool load_state(const std::string& path);
 
  private:
+  void save_state_stream(std::ostream& os) const;
   void record_epoch(float train_loss, const EvalResult& val,
                     const std::string& event);
   void run_recovery_epoch(int step_index, int epoch_in_step,

@@ -39,22 +39,33 @@ bool load_snapshot(models::QuantModel& model, const std::string& path) {
   const TensorMap tensors = load_tensors(path);
   for (auto* p : model.parameters()) {
     const auto it = tensors.find(p->name);
-    CCQ_CHECK(it != tensors.end(), "snapshot missing parameter " + p->name);
+    CCQ_CHECK(it != tensors.end(),
+              "snapshot " + path + ": missing parameter '" + p->name + "'");
     CCQ_CHECK(it->second.shape() == p->value.shape(),
-              "snapshot shape mismatch for " + p->name);
+              "snapshot " + path + ": parameter '" + p->name + "' expects " +
+                  shape_str(p->value.shape()) + ", found " +
+                  shape_str(it->second.shape()));
     p->value = it->second;
   }
   for (auto& [name, tensor] : model.net().buffers()) {
     const auto it = tensors.find(name);
-    CCQ_CHECK(it != tensors.end(), "snapshot missing buffer " + name);
+    CCQ_CHECK(it != tensors.end(),
+              "snapshot " + path + ": missing buffer '" + name + "'");
+    CCQ_CHECK(it->second.shape() == tensor->shape(),
+              "snapshot " + path + ": buffer '" + name + "' expects " +
+                  shape_str(tensor->shape()) + ", found " +
+                  shape_str(it->second.shape()));
     *tensor = it->second;
   }
   const auto state_it = tensors.find(kStateKey);
-  CCQ_CHECK(state_it != tensors.end(), "snapshot missing precision state");
+  CCQ_CHECK(state_it != tensors.end(),
+            "snapshot " + path + ": missing precision state record");
   const Tensor& state = state_it->second;
   quant::LayerRegistry& registry = model.registry();
   CCQ_CHECK(state.rank() == 2 && state.dim(0) == registry.size(),
-            "snapshot layer count mismatch");
+            "snapshot " + path + ": precision state covers " +
+                std::to_string(state.rank() == 2 ? state.dim(0) : 0) +
+                " layers, this model has " + std::to_string(registry.size()));
 
   const auto& ladder = registry.ladder();
   for (std::size_t i = 0; i < registry.size(); ++i) {
@@ -83,9 +94,11 @@ bool load_snapshot(models::QuantModel& model, const std::string& path) {
         break;
       }
     }
-    CCQ_CHECK(placed, "snapshot bits " + std::to_string(bits) +
-                          " not on this model's ladder (" + ladder.str() +
-                          ")");
+    CCQ_CHECK(placed, "snapshot " + path + ": layer '" +
+                          registry.unit(i).name + "' stores " +
+                          std::to_string(bits) +
+                          " bits, not on this model's ladder (" +
+                          ladder.str() + ")");
   }
   return true;
 }

@@ -126,6 +126,16 @@ IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
     }
   };
 
+  // Conv/linear plans are named after their registry unit (compile walks
+  // the sequence in registration order), the rest after their type.
+  std::size_t unit_idx = 0;
+  auto unit_name = [&](const std::string& type, std::size_t i) {
+    if (unit_idx < model.registry().size()) {
+      return model.registry().unit(unit_idx++).name;
+    }
+    return type + "@" + std::to_string(i);
+  };
+
   for (std::size_t i = 0; i < seq.size(); ++i) {
     nn::Module& module = seq.child(i);
     const std::string type = module.type_name();
@@ -133,6 +143,7 @@ IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
       auto& conv = dynamic_cast<nn::Conv2d&>(module);
       IntLayerPlan plan;
       plan.kind = IntLayerPlan::Kind::kConv;
+      plan.name = unit_name(type, i);
       plan.in_channels = conv.in_channels();
       plan.out_channels = conv.out_channels();
       plan.kernel = conv.kernel();
@@ -162,6 +173,7 @@ IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
       auto& fc = dynamic_cast<nn::Linear&>(module);
       IntLayerPlan plan;
       plan.kind = IntLayerPlan::Kind::kLinear;
+      plan.name = unit_name(type, i);
       plan.in_features = fc.in_features();
       plan.out_features = fc.out_features();
       if (i + 1 < seq.size() &&
@@ -180,6 +192,7 @@ IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
       auto& pool = dynamic_cast<nn::MaxPool2d&>(module);
       IntLayerPlan plan;
       plan.kind = IntLayerPlan::Kind::kMaxPool;
+      plan.name = type + "@" + std::to_string(i);
       plan.pool_kernel = pool.kernel();
       plan.pool_stride = pool.stride();
       net.plans_.push_back(plan);
@@ -187,16 +200,19 @@ IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
       auto& pool = dynamic_cast<nn::AvgPool2d&>(module);
       IntLayerPlan plan;
       plan.kind = IntLayerPlan::Kind::kAvgPool;
+      plan.name = type + "@" + std::to_string(i);
       plan.pool_kernel = pool.kernel();
       plan.pool_stride = pool.stride();
       net.plans_.push_back(plan);
     } else if (type == "GlobalAvgPool") {
       IntLayerPlan plan;
       plan.kind = IntLayerPlan::Kind::kGlobalAvgPool;
+      plan.name = type + "@" + std::to_string(i);
       net.plans_.push_back(plan);
     } else if (type == "Flatten") {
       IntLayerPlan plan;
       plan.kind = IntLayerPlan::Kind::kFlatten;
+      plan.name = type + "@" + std::to_string(i);
       net.plans_.push_back(plan);
     } else if (type == "Residual") {
       throw Error(
@@ -207,6 +223,13 @@ IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
     }
   }
   CCQ_CHECK(!net.plans_.empty(), "empty model");
+  return net;
+}
+
+IntegerNetwork IntegerNetwork::from_plans(std::vector<IntLayerPlan> plans) {
+  CCQ_CHECK(!plans.empty(), "cannot build an integer network from 0 plans");
+  IntegerNetwork net;
+  net.plans_ = std::move(plans);
   return net;
 }
 
@@ -252,6 +275,11 @@ Tensor IntegerNetwork::forward(const Tensor& x) const {
 }
 
 Tensor IntegerNetwork::forward(const Tensor& x, Workspace& ws) const {
+  return forward(x, ws, ExecContext::global());
+}
+
+Tensor IntegerNetwork::forward(const Tensor& x, Workspace& ws,
+                               const ExecContext& ctx) const {
   CCQ_CHECK(x.rank() == 4, "integer engine expects NCHW input");
   Tensor act = ws.tensor_uninit(x.shape());
   std::copy(x.data().begin(), x.data().end(), act.data().begin());
@@ -281,7 +309,6 @@ Tensor IntegerNetwork::forward(const Tensor& x, Workspace& ws) const {
         to_codes(act, scale, codes);
         Tensor out = ws.tensor_uninit({n, plan.out_channels, oh, ow});
         Workspace::FloatLease cols = ws.floats(patch * spatial);
-        const ExecContext& ctx = ExecContext::global();
         for (std::size_t img = 0; img < n; ++img) {
           const float* src =
               codes.data().data() + img * plan.in_channels * h * w;

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ccq/models/model.hpp"
@@ -37,6 +38,10 @@ struct IntLayerPlan {
   enum class Kind { kConv, kLinear, kMaxPool, kAvgPool, kGlobalAvgPool,
                     kFlatten };
   Kind kind = Kind::kConv;
+
+  /// Registry name for conv/linear layers, "<type>@<seq-index>" for the
+  /// rest — artifact layer tables and load errors refer to layers by it.
+  std::string name;
 
   // Conv/linear payload -------------------------------------------------
   std::vector<std::int32_t> weight_codes;  ///< k-bit signed codes
@@ -67,13 +72,21 @@ class IntegerNetwork {
   /// baked in.
   static IntegerNetwork compile(models::QuantModel& model);
 
+  /// Rebuild a network from deserialised layer plans (ccq::serve packed
+  /// artifacts).  Plans are taken as-is; shape consistency is the
+  /// loader's responsibility.  Throws on an empty plan list.
+  static IntegerNetwork from_plans(std::vector<IntLayerPlan> plans);
+
   /// Run inference over an (N, C, H, W) batch; returns (N, classes)
   /// logits.  All conv/linear arithmetic is integer.  The workspace
   /// overload recycles every intermediate activation through the pool;
   /// recycle the returned logits too and warm repeated inference performs
-  /// no float-storage allocations.
+  /// no float-storage allocations.  The context overload names the thread
+  /// budget for the conv kernels — serve workers pass their own context
+  /// because the process-global pool does not support concurrent drivers.
   Tensor forward(const Tensor& x) const;
   Tensor forward(const Tensor& x, Workspace& ws) const;
+  Tensor forward(const Tensor& x, Workspace& ws, const ExecContext& ctx) const;
 
   std::size_t layer_count() const { return plans_.size(); }
   const IntLayerPlan& plan(std::size_t i) const;

@@ -1,0 +1,386 @@
+#include "ccq/serve/artifact.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <type_traits>
+
+#include "ccq/common/fileio.hpp"
+
+namespace ccq::serve {
+
+namespace {
+
+// ---- code packing ----------------------------------------------------------
+
+std::uint32_t offsets_gcd(const std::vector<std::int32_t>& codes,
+                          std::int32_t min_code) {
+  std::uint64_t g = 0;
+  for (std::int32_t c : codes) {
+    g = std::gcd(g, static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(c) - min_code));
+    if (g == 1) break;
+  }
+  return g == 0 ? 1 : static_cast<std::uint32_t>(g);
+}
+
+// ---- little-endian byte stream ---------------------------------------------
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void pod(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const char*>(&v);
+    buf_.append(p, sizeof(T));
+  }
+  void str(const std::string& s) {
+    pod(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+  void floats(const std::vector<float>& v) {
+    pod(static_cast<std::uint64_t>(v.size()));
+    buf_.append(reinterpret_cast<const char*>(v.data()),
+                v.size() * sizeof(float));
+  }
+  void raw(const void* data, std::size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+  const std::string& bytes() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Cursor over the checksummed payload.  Every read is bounds-checked and
+/// failures name the file plus the layer being parsed, so a malformed
+/// artifact reports *where* it broke, not just "bad stream".
+class ByteReader {
+ public:
+  ByteReader(std::string data, std::string path)
+      : data_(std::move(data)), path_(std::move(path)) {}
+
+  void set_context(const std::string& layer) { layer_ = layer; }
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    need(sizeof(T), "a " + std::to_string(sizeof(T)) + "-byte field");
+    T v{};
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  std::string str() {
+    const auto n = pod<std::uint32_t>();
+    need(n, "a " + std::to_string(n) + "-byte name");
+    std::string s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<float> floats() {
+    const auto n = pod<std::uint64_t>();
+    need(n * sizeof(float), std::to_string(n) + " floats");
+    std::vector<float> v(static_cast<std::size_t>(n));
+    std::memcpy(v.data(), data_.data() + pos_, v.size() * sizeof(float));
+    pos_ += v.size() * sizeof(float);
+    return v;
+  }
+  std::vector<std::uint8_t> raw(std::size_t n) {
+    need(n, std::to_string(n) + " packed bytes");
+    std::vector<std::uint8_t> v(n);
+    std::memcpy(v.data(), data_.data() + pos_, n);
+    pos_ += n;
+    return v;
+  }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("artifact " + path_ +
+                (layer_.empty() ? "" : " (layer '" + layer_ + "')") + ": " +
+                what);
+  }
+
+ private:
+  void need(std::size_t n, const std::string& what) const {
+    if (data_.size() - pos_ < n) {
+      fail("payload truncated while reading " + what);
+    }
+  }
+
+  std::string data_;
+  std::string path_;
+  std::string layer_;
+  std::size_t pos_ = 0;
+};
+
+// ---- layer (de)serialisation -----------------------------------------------
+
+const char* kind_str(hw::IntLayerPlan::Kind kind) {
+  using Kind = hw::IntLayerPlan::Kind;
+  switch (kind) {
+    case Kind::kConv: return "conv";
+    case Kind::kLinear: return "linear";
+    case Kind::kMaxPool: return "maxpool";
+    case Kind::kAvgPool: return "avgpool";
+    case Kind::kGlobalAvgPool: return "globalavgpool";
+    case Kind::kFlatten: return "flatten";
+  }
+  return "?";
+}
+
+void write_plan(ByteWriter& w, const hw::IntLayerPlan& plan) {
+  w.str(plan.name);
+  w.pod(static_cast<std::uint8_t>(plan.kind));
+  w.pod(static_cast<std::uint8_t>(plan.weight_bits));
+  w.pod(static_cast<std::uint8_t>(plan.has_act ? 1 : 0));
+  w.pod(static_cast<std::uint8_t>(plan.act_bits));
+  w.pod(plan.act_clip);
+  for (std::size_t dim : {plan.in_channels, plan.out_channels, plan.kernel,
+                          plan.stride, plan.pad, plan.in_features,
+                          plan.out_features, plan.pool_kernel,
+                          plan.pool_stride}) {
+    w.pod(static_cast<std::uint32_t>(dim));
+  }
+  const PackedCodes packed = pack_codes(plan.weight_codes);
+  w.pod(packed.min_code);
+  w.pod(packed.divisor);
+  w.pod(packed.bits);
+  w.pod(packed.count);
+  w.pod(static_cast<std::uint64_t>(packed.bytes.size()));
+  w.raw(packed.bytes.data(), packed.bytes.size());
+  w.floats(plan.channel_scale);
+  w.floats(plan.bias);
+}
+
+hw::IntLayerPlan read_plan(ByteReader& r) {
+  hw::IntLayerPlan plan;
+  plan.name = r.str();
+  r.set_context(plan.name);
+  const auto kind = r.pod<std::uint8_t>();
+  if (kind > static_cast<std::uint8_t>(hw::IntLayerPlan::Kind::kFlatten)) {
+    r.fail("unknown layer kind " + std::to_string(kind));
+  }
+  plan.kind = static_cast<hw::IntLayerPlan::Kind>(kind);
+  plan.weight_bits = r.pod<std::uint8_t>();
+  plan.has_act = r.pod<std::uint8_t>() != 0;
+  plan.act_bits = r.pod<std::uint8_t>();
+  plan.act_clip = r.pod<float>();
+  for (std::size_t* dim : {&plan.in_channels, &plan.out_channels, &plan.kernel,
+                           &plan.stride, &plan.pad, &plan.in_features,
+                           &plan.out_features, &plan.pool_kernel,
+                           &plan.pool_stride}) {
+    *dim = r.pod<std::uint32_t>();
+  }
+  PackedCodes packed;
+  packed.min_code = r.pod<std::int32_t>();
+  packed.divisor = r.pod<std::uint32_t>();
+  packed.bits = r.pod<std::uint8_t>();
+  packed.count = r.pod<std::uint64_t>();
+  const auto byte_count = r.pod<std::uint64_t>();
+  const std::size_t expect_bytes =
+      (static_cast<std::size_t>(packed.count) * packed.bits + 7) / 8;
+  if (byte_count != expect_bytes) {
+    r.fail("packed code stream holds " + std::to_string(byte_count) +
+           " bytes, but " + std::to_string(packed.count) + " codes at " +
+           std::to_string(int(packed.bits)) + " bits need " +
+           std::to_string(expect_bytes));
+  }
+  packed.bytes = r.raw(static_cast<std::size_t>(byte_count));
+  const std::vector<std::int32_t> codes = unpack_codes(packed);
+  plan.weight_codes = codes;
+  plan.channel_scale = r.floats();
+  plan.bias = r.floats();
+  return plan;
+}
+
+/// Structural validation with expected-vs-found messages per layer.
+void validate_plan(ByteReader& r, const hw::IntLayerPlan& plan,
+                   std::size_t index) {
+  using Kind = hw::IntLayerPlan::Kind;
+  r.set_context(plan.name);
+  const std::string at = "layer index " + std::to_string(index) + ", kind " +
+                         kind_str(plan.kind);
+  if (plan.kind == Kind::kConv || plan.kind == Kind::kLinear) {
+    if (plan.weight_bits < 2 || plan.weight_bits > 15) {
+      r.fail("weight bits " + std::to_string(plan.weight_bits) +
+             " outside the quantized range [2, 15] (" + at + ")");
+    }
+    const std::size_t rows =
+        plan.kind == Kind::kConv ? plan.out_channels : plan.out_features;
+    const std::size_t cols =
+        plan.kind == Kind::kConv
+            ? plan.in_channels * plan.kernel * plan.kernel
+            : plan.in_features;
+    if (plan.weight_codes.size() != rows * cols) {
+      r.fail("has " + std::to_string(plan.weight_codes.size()) +
+             " weight codes, expected " + std::to_string(rows) + "×" +
+             std::to_string(cols) + " = " + std::to_string(rows * cols) +
+             " (" + at + ")");
+    }
+    if (plan.channel_scale.size() != rows || plan.bias.size() != rows) {
+      r.fail("has " + std::to_string(plan.channel_scale.size()) +
+             " scales / " + std::to_string(plan.bias.size()) +
+             " biases, expected " + std::to_string(rows) +
+             " output channels (" + at + ")");
+    }
+    if (plan.has_act && (plan.act_bits < 1 || plan.act_bits > 32)) {
+      r.fail("activation bits " + std::to_string(plan.act_bits) +
+             " out of range (" + at + ")");
+    }
+  } else if (!plan.weight_codes.empty()) {
+    r.fail("a pooling/reshape layer carries " +
+           std::to_string(plan.weight_codes.size()) + " weight codes (" + at +
+           ")");
+  }
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+PackedCodes pack_codes(const std::vector<std::int32_t>& codes) {
+  PackedCodes packed;
+  packed.count = codes.size();
+  if (codes.empty()) return packed;
+  const auto [min_it, max_it] = std::minmax_element(codes.begin(), codes.end());
+  packed.min_code = *min_it;
+  packed.divisor = offsets_gcd(codes, packed.min_code);
+  const std::uint64_t range =
+      (static_cast<std::uint64_t>(static_cast<std::int64_t>(*max_it) -
+                                  packed.min_code)) /
+      packed.divisor;
+  packed.bits = static_cast<std::uint8_t>(std::bit_width(range));
+  if (packed.bits == 0) return packed;  // all codes equal: nothing to store
+  packed.bytes.assign((codes.size() * packed.bits + 7) / 8, 0);
+  std::size_t bit_pos = 0;
+  for (std::int32_t c : codes) {
+    std::uint64_t v = static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(c) - packed.min_code) /
+                      packed.divisor;
+    for (int b = 0; b < packed.bits; ++b, ++bit_pos) {
+      if ((v >> b) & 1u) {
+        packed.bytes[bit_pos / 8] |=
+            static_cast<std::uint8_t>(1u << (bit_pos % 8));
+      }
+    }
+  }
+  return packed;
+}
+
+std::vector<std::int32_t> unpack_codes(const PackedCodes& packed) {
+  std::vector<std::int32_t> codes(static_cast<std::size_t>(packed.count),
+                                  packed.min_code);
+  if (packed.bits == 0) return codes;
+  CCQ_CHECK(packed.bytes.size() * 8 >= packed.count * packed.bits,
+            "packed code stream shorter than its declared bit count");
+  std::size_t bit_pos = 0;
+  for (auto& code : codes) {
+    std::uint64_t v = 0;
+    for (int b = 0; b < packed.bits; ++b, ++bit_pos) {
+      v |= static_cast<std::uint64_t>((packed.bytes[bit_pos / 8] >>
+                                       (bit_pos % 8)) &
+                                      1u)
+           << b;
+    }
+    code = static_cast<std::int32_t>(
+        packed.min_code +
+        static_cast<std::int64_t>(v * packed.divisor));
+  }
+  return codes;
+}
+
+void export_artifact(const hw::IntegerNetwork& net, const std::string& path) {
+  ByteWriter payload;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    write_plan(payload, net.plan(i));
+  }
+  const std::string& body = payload.bytes();
+  const std::uint64_t checksum = fnv1a(body.data(), body.size());
+
+  atomic_write_file(path, [&](std::ostream& os) {
+    ByteWriter header;
+    header.raw(kArtifactMagic, sizeof(kArtifactMagic));
+    header.pod(kArtifactVersion);
+    header.pod(static_cast<std::uint32_t>(net.layer_count()));
+    header.pod(static_cast<std::uint64_t>(body.size()));
+    header.pod(checksum);
+    os.write(header.bytes().data(),
+             static_cast<std::streamsize>(header.bytes().size()));
+    os.write(body.data(), static_cast<std::streamsize>(body.size()));
+  });
+}
+
+void export_artifact(models::QuantModel& model, const std::string& path) {
+  export_artifact(hw::IntegerNetwork::compile(model), path);
+}
+
+hw::IntegerNetwork load_artifact(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CCQ_CHECK(static_cast<bool>(is), "cannot open artifact: " + path);
+
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || !std::equal(magic, magic + 4, kArtifactMagic)) {
+    throw Error("artifact " + path + ": bad magic (not a ccq::serve artifact)");
+  }
+  auto read_u32 = [&] {
+    std::uint32_t v{};
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  auto read_u64 = [&] {
+    std::uint64_t v{};
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  const std::uint32_t version = read_u32();
+  const std::uint32_t layer_count = read_u32();
+  const std::uint64_t payload_bytes = read_u64();
+  const std::uint64_t checksum = read_u64();
+  if (!is) throw Error("artifact " + path + ": truncated header");
+  if (version != kArtifactVersion) {
+    throw Error("artifact " + path + ": unsupported version " +
+                std::to_string(version) + " (this build reads version " +
+                std::to_string(kArtifactVersion) + ")");
+  }
+
+  std::string body(static_cast<std::size_t>(payload_bytes), '\0');
+  is.read(body.data(), static_cast<std::streamsize>(body.size()));
+  if (!is || static_cast<std::uint64_t>(is.gcount()) != payload_bytes) {
+    throw Error("artifact " + path + ": payload truncated (header declares " +
+                std::to_string(payload_bytes) + " bytes, file holds " +
+                std::to_string(is ? is.gcount() : 0) +
+                ") — was the export interrupted?");
+  }
+  const std::uint64_t computed = fnv1a(body.data(), body.size());
+  if (computed != checksum) {
+    throw Error("artifact " + path + ": checksum mismatch (header " +
+                hex(checksum) + ", payload hashes to " + hex(computed) +
+                ") — file is corrupt");
+  }
+
+  ByteReader reader(std::move(body), path);
+  std::vector<hw::IntLayerPlan> plans;
+  plans.reserve(layer_count);
+  for (std::uint32_t i = 0; i < layer_count; ++i) {
+    plans.push_back(read_plan(reader));
+    validate_plan(reader, plans.back(), i);
+  }
+  reader.set_context("");
+  if (!reader.exhausted()) {
+    reader.fail("trailing bytes after the declared " +
+                std::to_string(layer_count) + " layers");
+  }
+  return hw::IntegerNetwork::from_plans(std::move(plans));
+}
+
+}  // namespace ccq::serve

@@ -1,0 +1,69 @@
+// Packed mixed-precision model artifacts — the deployment half of CCQ.
+//
+// A CCQ run ends with a mixed-precision policy, but a float snapshot
+// (core/snapshot) still stores every weight as fp32: the compression the
+// controller fought for never reaches the disk or the serving process.
+// This module defines the packed artifact the `ccq::serve` stack ships:
+// each layer of the compiled `hw::IntegerNetwork` is stored as bit-packed
+// k-bit weight codes at the layer's final ladder precision plus its
+// per-channel scales and folded biases, under a versioned header with a
+// whole-payload checksum.  A ResNet-20-class model on an 8/4/2 ladder
+// packs 4–16× smaller than its float snapshot.
+//
+// Layout (little-endian):
+//   header  : magic "CCQA", u32 version, u32 layer_count,
+//             u64 payload_bytes, u64 fnv1a(payload)
+//   payload : one record per layer — name, kind, geometry, activation
+//             grid, packed weight codes (min_code + divisor + bit width,
+//             values LSB-first), per-channel scale + bias arrays.
+//
+// Writes are crash-safe (temp file + atomic rename, common/fileio) and
+// loads verify the checksum before parsing, so an interrupted export can
+// never leave a half-parseable artifact behind.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccq/hw/integer_engine.hpp"
+#include "ccq/models/model.hpp"
+
+namespace ccq::serve {
+
+inline constexpr char kArtifactMagic[4] = {'C', 'C', 'Q', 'A'};
+inline constexpr std::uint32_t kArtifactVersion = 1;
+
+/// Bit-packed integer codes: value[i] = min_code + divisor · packed[i],
+/// each packed entry `bits` wide, appended LSB-first.  `divisor` is the
+/// GCD of the offsets, so the doubled codes the integer engine uses
+/// (even for zero-centred grids, odd for half-offset ones) pack at their
+/// native k bits instead of k+1.
+struct PackedCodes {
+  std::int32_t min_code = 0;
+  std::uint32_t divisor = 1;
+  std::uint8_t bits = 0;  ///< bits per packed value; 0 when all equal
+  std::uint64_t count = 0;
+  std::vector<std::uint8_t> bytes;
+
+  std::size_t packed_bytes() const { return bytes.size(); }
+};
+
+/// Pack / unpack a code vector losslessly (round-trip is exact).
+PackedCodes pack_codes(const std::vector<std::int32_t>& codes);
+std::vector<std::int32_t> unpack_codes(const PackedCodes& packed);
+
+/// Serialize a compiled integer network as a packed artifact at `path`
+/// (crash-safe: temp file + rename).
+void export_artifact(const hw::IntegerNetwork& net, const std::string& path);
+
+/// Compile `model` (must be sequential and fully quantized, the
+/// `IntegerNetwork::compile` contract) and export it.
+void export_artifact(models::QuantModel& model, const std::string& path);
+
+/// Load a packed artifact back into a runnable integer network.  Throws
+/// ccq::Error naming the file, the offending layer and the expected vs
+/// found geometry/bits on any header, checksum or per-layer mismatch.
+hw::IntegerNetwork load_artifact(const std::string& path);
+
+}  // namespace ccq::serve

@@ -1,0 +1,64 @@
+#include "ccq/serve/harness.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "ccq/common/telemetry.hpp"
+
+namespace ccq::serve {
+
+HarnessReport ServeHarness::run(const Tensor& samples,
+                                std::size_t producers) {
+  CCQ_CHECK(samples.rank() == 4, "harness expects an NCHW sample batch");
+  CCQ_CHECK(producers >= 1, "harness needs at least one producer");
+  const std::size_t n = samples.dim(0);
+  const Shape chw{samples.dim(1), samples.dim(2), samples.dim(3)};
+  const std::size_t sample_floats = shape_numel(chw);
+
+  // Inputs must outlive their replies, so split the batch up front.
+  std::vector<Tensor> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Tensor sample(chw);
+    const auto src = samples.data().subspan(i * sample_floats, sample_floats);
+    std::copy(src.begin(), src.end(), sample.data().begin());
+    inputs.push_back(std::move(sample));
+  }
+
+  HarnessReport report;
+  report.outputs.resize(n);
+  std::atomic<std::size_t> rejected{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      std::vector<std::future<void>> replies;
+      for (std::size_t i = p; i < n; i += producers) {
+        for (;;) {
+          try {
+            replies.push_back(
+                server_.submit(inputs[i], report.outputs[i]));
+            break;
+          } catch (const QueueFullError&) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          }
+        }
+      }
+      for (auto& reply : replies) reply.get();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  report.requests = n;
+  report.rejected = rejected.load(std::memory_order_relaxed);
+  return report;
+}
+
+}  // namespace ccq::serve

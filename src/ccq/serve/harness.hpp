@@ -1,0 +1,43 @@
+// ServeHarness: drive an InferenceServer with concurrent producers.
+//
+// Tests and the `ccq serve-bench` CLI need the same machinery: split a
+// batch of samples across P producer threads, submit every sample
+// (retrying typed admission rejections with a short backoff), wait for
+// all replies and hand the outputs back in sample order — the shape that
+// makes bit-identity checks against a direct `IntegerNetwork::forward`
+// one `max_abs_diff` call.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ccq/serve/server.hpp"
+
+namespace ccq::serve {
+
+struct HarnessReport {
+  /// Per-sample logits, in the order samples appeared in the input batch.
+  std::vector<Tensor> outputs;
+  std::size_t requests = 0;   ///< admitted submissions
+  std::size_t rejected = 0;   ///< QueueFullError rejections (then retried)
+  double wall_seconds = 0.0;  ///< first submit → last reply
+};
+
+class ServeHarness {
+ public:
+  ServeHarness(hw::IntegerNetwork net, ServeConfig config)
+      : server_(std::move(net), config) {}
+
+  /// Submit every sample of an NCHW batch from `producers` threads
+  /// (sample i goes to producer i % producers, each producer submits its
+  /// samples in order) and block until all replies arrived.  Rejected
+  /// submissions are retried after a short backoff and counted.
+  HarnessReport run(const Tensor& samples, std::size_t producers);
+
+  InferenceServer& server() { return server_; }
+
+ private:
+  InferenceServer server_;
+};
+
+}  // namespace ccq::serve

@@ -1,0 +1,170 @@
+#include "ccq/serve/server.hpp"
+
+#include <algorithm>
+
+#include "ccq/common/telemetry.hpp"
+
+namespace ccq::serve {
+
+InferenceServer::InferenceServer(hw::IntegerNetwork net, ServeConfig config)
+    : net_(std::move(net)), config_(config) {
+  CCQ_CHECK(config_.workers >= 1, "server needs at least one worker");
+  CCQ_CHECK(config_.max_batch >= 1, "max_batch must be at least 1");
+  CCQ_CHECK(config_.queue_capacity >= 1, "queue_capacity must be at least 1");
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<void> InferenceServer::submit(const Tensor& sample, Tensor& out) {
+  CCQ_CHECK(sample.rank() == 3,
+            "submit expects one CHW sample, got rank " +
+                std::to_string(sample.rank()));
+  Request request;
+  request.input = &sample;
+  request.output = &out;
+  request.enqueue_ns = telemetry::ScopedTimer::now_ns();
+  request.enqueue_tp = std::chrono::steady_clock::now();
+  std::future<void> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      telemetry::add(telemetry::Counter::kServeRejected);
+      throw ServerStoppedError();
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      telemetry::add(telemetry::Counter::kServeRejected);
+      throw QueueFullError(config_.queue_capacity);
+    }
+    if (sample_shape_.empty()) {
+      sample_shape_ = sample.shape();
+    } else {
+      CCQ_CHECK(sample.shape() == sample_shape_,
+                "sample shape " + shape_str(sample.shape()) +
+                    " does not match this server's pinned input shape " +
+                    shape_str(sample_shape_));
+    }
+    queue_.push_back(std::move(request));
+    telemetry::add(telemetry::Counter::kServeRequests);
+    telemetry::set_gauge(telemetry::Gauge::kServeQueueDepth,
+                         static_cast<double>(queue_.size()));
+  }
+  // notify_all: a worker parked on the batch-fill deadline only re-checks
+  // its predicate on wakeup, and the notified thread is not guaranteed to
+  // be the one able to take the work.
+  work_cv_.notify_all();
+  return future;
+}
+
+void InferenceServer::worker_loop() {
+  // Worker-owned execution state: a warm workspace (per-thread arenas
+  // make reuse cache-local) and a private context so concurrent workers
+  // never contend for the process-global pool.
+  Workspace ws;
+  const ExecContext ctx(config_.intra_op_threads);
+  const auto delay = std::chrono::microseconds(config_.max_delay_us);
+  std::vector<Request> batch;
+  batch.reserve(config_.max_batch);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;  // drained: stop only once the queue is empty
+      continue;
+    }
+    // Dynamic batching: hold the flush until the batch fills or the
+    // oldest request's deadline passes.  A stop request flushes
+    // immediately — drain latency beats utilisation during shutdown.
+    if (!stopping_ && queue_.size() < config_.max_batch) {
+      const auto deadline = queue_.front().enqueue_tp + delay;
+      work_cv_.wait_until(lock, deadline, [&] {
+        return stopping_ || queue_.size() >= config_.max_batch;
+      });
+    }
+    if (queue_.empty()) continue;  // another worker flushed it meanwhile
+    const std::size_t take = std::min(queue_.size(), config_.max_batch);
+    batch.clear();
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    in_flight_ += take;
+    telemetry::set_gauge(telemetry::Gauge::kServeQueueDepth,
+                         static_cast<double>(queue_.size()));
+    lock.unlock();
+    run_batch(batch, ws, ctx);
+    lock.lock();
+    in_flight_ -= take;
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void InferenceServer::run_batch(std::vector<Request>& batch, Workspace& ws,
+                                const ExecContext& ctx) const {
+  const std::size_t n = batch.size();
+  telemetry::add(telemetry::Counter::kServeBatches);
+  telemetry::record_duration(telemetry::Timer::kServeBatchSize, n);
+  try {
+    const Shape& chw = batch.front().input->shape();
+    Tensor staging = ws.tensor_uninit({n, chw[0], chw[1], chw[2]});
+    const std::size_t sample_floats = shape_numel(chw);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto src = batch[i].input->data();
+      std::copy(src.begin(), src.end(),
+                staging.data().begin() +
+                    static_cast<std::ptrdiff_t>(i * sample_floats));
+    }
+    Tensor logits = net_.forward(staging, ws, ctx);
+    ws.recycle(std::move(staging));
+    const std::size_t classes = logits.dim(1);
+    for (std::size_t i = 0; i < n; ++i) {
+      Tensor& out = *batch[i].output;
+      out.resize({classes});
+      const auto row = logits.data().subspan(i * classes, classes);
+      std::copy(row.begin(), row.end(), out.data().begin());
+      telemetry::record_duration(
+          telemetry::Timer::kServeLatency,
+          telemetry::ScopedTimer::now_ns() - batch[i].enqueue_ns);
+      batch[i].promise.set_value();
+    }
+    ws.recycle(std::move(logits));
+  } catch (...) {
+    // A failed batch fails each of its requests; later batches are
+    // unaffected (the engine has no mutable state).
+    const std::exception_ptr error = std::current_exception();
+    for (Request& request : batch) {
+      try {
+        request.promise.set_exception(error);
+      } catch (const std::future_error&) {
+        // promise already satisfied (failure struck mid-reply loop)
+      }
+    }
+  }
+}
+
+void InferenceServer::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void InferenceServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;  // already shut down
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+std::size_t InferenceServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace ccq::serve

@@ -1,0 +1,126 @@
+// In-process inference server over the integer engine.
+//
+// The ROADMAP north star is serving, and mixed precision only pays off
+// when the deployment stack exploits it (HAQ's argument): this module
+// turns a packed artifact / compiled `IntegerNetwork` into a running
+// service.  Architecture:
+//
+//   * a bounded MPSC request queue — producers `submit()` single CHW
+//     samples and get a future; admission control rejects on a full
+//     queue with a *typed* error (`QueueFullError`) instead of queueing
+//     unboundedly, so overload surfaces at the caller immediately;
+//   * dynamic batching — a worker flushes a batch when `max_batch`
+//     requests are waiting or the oldest has waited `max_delay_us`,
+//     trading latency for MAC-array utilisation.  Per-sample outputs of
+//     the integer engine are independent of batch composition, so served
+//     results are bit-identical to a direct `IntegerNetwork::forward`
+//     regardless of how requests were coalesced (regression-tested);
+//   * N worker threads, each owning a warm `Workspace` (steady-state
+//     serving performs zero float-storage allocations) and its own
+//     `ExecContext` (the process-global pool does not support concurrent
+//     drivers);
+//   * graceful drain — `shutdown()` stops admissions, serves everything
+//     already queued, then joins the workers.  The destructor does the
+//     same.
+//
+// Instrumented via ccq::telemetry (enable with CCQ_METRICS=1):
+// serve.requests / serve.rejected / serve.batches counters, a
+// serve.queue_depth gauge, a serve.latency enqueue→reply histogram
+// (p50/p99 via `telemetry::approx_quantile`) and a serve.batch_size
+// histogram.  docs/SERVING.md covers the tuning knobs.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ccq/common/exec.hpp"
+#include "ccq/common/workspace.hpp"
+#include "ccq/hw/integer_engine.hpp"
+
+namespace ccq::serve {
+
+struct ServeConfig {
+  std::size_t workers = 1;     ///< batch-executing threads
+  std::size_t max_batch = 8;   ///< flush when this many requests wait …
+  std::uint64_t max_delay_us = 1000;  ///< … or the oldest waited this long
+  std::size_t queue_capacity = 64;    ///< admission bound (reject beyond)
+  std::size_t intra_op_threads = 1;   ///< kernel threads per worker
+};
+
+/// Admission rejected: the bounded queue already holds `queue_capacity`
+/// requests.  Callers shed load or retry after a delay.
+class QueueFullError : public Error {
+ public:
+  explicit QueueFullError(std::size_t capacity)
+      : Error("serve queue full (capacity " + std::to_string(capacity) +
+              "): request rejected") {}
+};
+
+/// Admission rejected: the server is shutting down (or already stopped).
+class ServerStoppedError : public Error {
+ public:
+  ServerStoppedError() : Error("inference server is stopped") {}
+};
+
+class InferenceServer {
+ public:
+  /// Takes ownership of the compiled network and starts the workers.
+  explicit InferenceServer(hw::IntegerNetwork net, ServeConfig config = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueue one CHW sample.  The reply lands in `out` (resized to the
+  /// logit shape, reusing its capacity — steady-state callers that keep
+  /// the same tensor see zero allocations) and the future becomes ready
+  /// once it is written.  Both `sample` and `out` must stay alive and
+  /// untouched until then.  Throws QueueFullError / ServerStoppedError
+  /// on admission failure, ccq::Error on a shape mismatch with earlier
+  /// requests; inference failures surface through the future.
+  std::future<void> submit(const Tensor& sample, Tensor& out);
+
+  /// Block until the queue is empty and no batch is in flight.
+  void drain();
+
+  /// Stop admissions, serve every queued request, join the workers.
+  /// Idempotent.
+  void shutdown();
+
+  std::size_t queue_depth() const;
+  const ServeConfig& config() const { return config_; }
+  const hw::IntegerNetwork& network() const { return net_; }
+
+ private:
+  struct Request {
+    const Tensor* input;
+    Tensor* output;
+    std::promise<void> promise;
+    std::uint64_t enqueue_ns;  ///< telemetry clock (serve.latency)
+    std::chrono::steady_clock::time_point enqueue_tp;  ///< batching deadline
+  };
+
+  void worker_loop();
+  void run_batch(std::vector<Request>& batch, Workspace& ws,
+                 const ExecContext& ctx) const;
+
+  hw::IntegerNetwork net_;
+  ServeConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< queue gained work / stop requested
+  std::condition_variable idle_cv_;  ///< queue drained and workers idle
+  std::deque<Request> queue_;
+  Shape sample_shape_;  ///< pinned by the first submit
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ccq::serve

@@ -5,6 +5,8 @@
 #include <istream>
 #include <ostream>
 
+#include "ccq/common/fileio.hpp"
+
 namespace ccq {
 
 namespace {
@@ -60,15 +62,17 @@ Tensor read_tensor(std::istream& is) {
 }
 
 void save_tensors(const std::string& path, const TensorMap& tensors) {
-  std::ofstream os(path, std::ios::binary);
-  CCQ_CHECK(static_cast<bool>(os), "cannot open for write: " + path);
-  write_pod(os, static_cast<std::uint64_t>(tensors.size()));
-  for (const auto& [name, tensor] : tensors) {
-    write_pod(os, static_cast<std::uint32_t>(name.size()));
-    os.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_tensor(os, tensor);
-  }
-  CCQ_CHECK(static_cast<bool>(os), "checkpoint write failed: " + path);
+  // Crash-safe: the record stream lands in a temp file that replaces
+  // `path` atomically, so an interrupted save never leaves a truncated
+  // checkpoint behind (and the previous one survives).
+  atomic_write_file(path, [&](std::ostream& os) {
+    write_pod(os, static_cast<std::uint64_t>(tensors.size()));
+    for (const auto& [name, tensor] : tensors) {
+      write_pod(os, static_cast<std::uint32_t>(name.size()));
+      os.write(name.data(), static_cast<std::streamsize>(name.size()));
+      write_tensor(os, tensor);
+    }
+  });
 }
 
 TensorMap load_tensors(const std::string& path) {
@@ -77,11 +81,19 @@ TensorMap load_tensors(const std::string& path) {
   const auto count = read_pod<std::uint64_t>(is);
   TensorMap out;
   for (std::uint64_t i = 0; i < count; ++i) {
-    const auto name_len = read_pod<std::uint32_t>(is);
-    std::string name(name_len, '\0');
-    is.read(name.data(), name_len);
-    CCQ_CHECK(static_cast<bool>(is), "truncated checkpoint name");
-    out.emplace(std::move(name), read_tensor(is));
+    std::string name;
+    try {
+      const auto name_len = read_pod<std::uint32_t>(is);
+      name.assign(name_len, '\0');
+      is.read(name.data(), name_len);
+      CCQ_CHECK(static_cast<bool>(is), "truncated checkpoint name");
+      out.emplace(std::move(name), read_tensor(is));
+    } catch (const Error& e) {
+      const std::string record =
+          name.empty() ? "record " + std::to_string(i)
+                       : "record " + std::to_string(i) + " ('" + name + "')";
+      throw Error("checkpoint " + path + ", " + record + ": " + e.what());
+    }
   }
   return out;
 }

@@ -1,0 +1,444 @@
+// Tests for ccq::serve: packed artifact round-trips, crash-safe writes,
+// and the dynamic-batching inference server — admission control, flush
+// triggers, drain/shutdown semantics and the headline property that
+// served outputs are bit-identical to a direct integer forward for any
+// worker count and batch composition.
+//
+// Labelled `serve` and run under the TSan quick tier
+// (`CCQ_THREADS=4 ctest -L "parallel|telemetry|serve"`).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ccq/common/fileio.hpp"
+#include "ccq/core/snapshot.hpp"
+#include "ccq/models/simple.hpp"
+#include "ccq/serve/artifact.hpp"
+#include "ccq/serve/harness.hpp"
+
+namespace ccq::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+Tensor make_inputs(std::size_t n, std::size_t channels = 3,
+                   std::size_t hw = 8) {
+  Tensor x({n, channels, hw, hw});
+  auto data = x.data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>((i * 2654435761u >> 8) & 255u) / 255.0f;
+  }
+  return x;
+}
+
+/// A small quantized CNN with a mixed 8/4/2 allocation (layer i sits at
+/// ladder position i mod 3).  Untrained — serve correctness is about the
+/// datapath, not accuracy — but forwarded once in train mode so
+/// activation ranges are calibrated before compiling.
+models::QuantModel make_mixed_model() {
+  models::ModelConfig mc;
+  mc.num_classes = 5;
+  mc.image_size = 8;
+  mc.width_multiplier = 0.25f;
+  quant::QuantFactory factory{.policy = quant::Policy::kMinMax};
+  auto model =
+      models::make_simple_cnn(mc, factory, quant::BitLadder({8, 4, 2}));
+  quant::LayerRegistry& registry = model.registry();
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    registry.set_ladder_pos(i, i % 3);
+  }
+  model.set_training(true);
+  model.forward(make_inputs(16));
+  model.set_training(false);
+  return model;
+}
+
+float max_row_diff(const Tensor& row, const Tensor& batch, std::size_t i) {
+  float diff = 0.0f;
+  for (std::size_t c = 0; c < row.dim(0); ++c) {
+    diff = std::max(diff, std::abs(row(c) - batch(i, c)));
+  }
+  return diff;
+}
+
+std::string error_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+// ---- bit packing -----------------------------------------------------------
+
+TEST(PackCodesTest, RoundTripsExactly) {
+  const std::vector<std::vector<std::int32_t>> cases = {
+      {0},
+      {7, 7, 7, 7},
+      {-6, -4, -2, 0, 2, 4, 6},          // doubled even (zero-centred grid)
+      {-7, -5, -3, -1, 1, 3, 5, 7},      // doubled odd (half-offset grid)
+      {-254, 254, 0, 2, -128, 130},      // 8-bit doubled extremes
+      {1, -1, 1, -1, 1},
+      {123456, -123456, 0},
+  };
+  for (const auto& codes : cases) {
+    EXPECT_EQ(unpack_codes(pack_codes(codes)), codes);
+  }
+}
+
+TEST(PackCodesTest, DoubledCodesPackAtNativeWidth) {
+  // Doubled codes of a 4-bit symmetric grid: even values in [-14, 14].
+  std::vector<std::int32_t> codes;
+  for (int i = 0; i < 100; ++i) codes.push_back(2 * ((i % 15) - 7));
+  const PackedCodes packed = pack_codes(codes);
+  EXPECT_EQ(packed.divisor % 2, 0u);  // parity folded into the divisor
+  EXPECT_LE(packed.bits, 4);
+  EXPECT_LE(packed.packed_bytes(), (codes.size() * 4 + 7) / 8);
+  EXPECT_EQ(unpack_codes(packed), codes);
+}
+
+TEST(PackCodesTest, ConstantVectorPacksToZeroBits) {
+  const std::vector<std::int32_t> codes(1000, -42);
+  const PackedCodes packed = pack_codes(codes);
+  EXPECT_EQ(packed.bits, 0);
+  EXPECT_TRUE(packed.bytes.empty());
+  EXPECT_EQ(unpack_codes(packed), codes);
+}
+
+// ---- artifact round-trip ---------------------------------------------------
+
+TEST(ArtifactTest, RoundTripIsBitIdentical) {
+  auto model = make_mixed_model();
+  hw::IntegerNetwork direct = hw::IntegerNetwork::compile(model);
+  const std::string path = temp_path("ccq_serve_roundtrip.ccqa");
+  export_artifact(direct, path);
+  hw::IntegerNetwork loaded = load_artifact(path);
+
+  ASSERT_EQ(loaded.layer_count(), direct.layer_count());
+  for (std::size_t l = 0; l < direct.layer_count(); ++l) {
+    const auto& a = direct.plan(l);
+    const auto& b = loaded.plan(l);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.weight_bits, b.weight_bits);
+    EXPECT_EQ(a.weight_codes, b.weight_codes);
+    EXPECT_EQ(a.channel_scale, b.channel_scale);
+    EXPECT_EQ(a.bias, b.bias);
+    EXPECT_EQ(a.act_bits, b.act_bits);
+    EXPECT_EQ(a.act_clip, b.act_clip);
+  }
+
+  const Tensor x = make_inputs(20);
+  EXPECT_EQ(max_abs_diff(direct.forward(x), loaded.forward(x)), 0.0f);
+  fs::remove(path);
+}
+
+TEST(ArtifactTest, AtLeast4xSmallerThanFloatSnapshot) {
+  auto model = make_mixed_model();
+  const std::string snapshot = temp_path("ccq_serve_size.snap");
+  const std::string artifact = temp_path("ccq_serve_size.ccqa");
+  core::save_snapshot(model, snapshot);
+  export_artifact(model, artifact);
+  const auto snapshot_bytes = fs::file_size(snapshot);
+  const auto artifact_bytes = fs::file_size(artifact);
+  EXPECT_GE(static_cast<double>(snapshot_bytes) /
+                static_cast<double>(artifact_bytes),
+            4.0)
+      << "snapshot " << snapshot_bytes << " B, artifact " << artifact_bytes
+      << " B";
+  fs::remove(snapshot);
+  fs::remove(artifact);
+}
+
+TEST(ArtifactTest, ChecksumDetectsCorruption) {
+  auto model = make_mixed_model();
+  const std::string path = temp_path("ccq_serve_corrupt.ccqa");
+  export_artifact(model, path);
+
+  // Flip one payload byte past the header.
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  bytes[bytes.size() / 2] ^= 0x40;
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const std::string message = error_message([&] { load_artifact(path); });
+  EXPECT_NE(message.find(path), std::string::npos) << message;
+  EXPECT_NE(message.find("checksum"), std::string::npos) << message;
+  fs::remove(path);
+}
+
+TEST(ArtifactTest, TruncationDetected) {
+  auto model = make_mixed_model();
+  const std::string path = temp_path("ccq_serve_truncated.ccqa");
+  export_artifact(model, path);
+  fs::resize_file(path, fs::file_size(path) / 2);
+  const std::string message = error_message([&] { load_artifact(path); });
+  EXPECT_NE(message.find(path), std::string::npos) << message;
+  EXPECT_NE(message.find("truncated"), std::string::npos) << message;
+  fs::remove(path);
+}
+
+TEST(ArtifactTest, RejectsForeignFiles) {
+  const std::string path = temp_path("ccq_serve_notartifact.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "definitely not a packed model artifact";
+  }
+  const std::string message = error_message([&] { load_artifact(path); });
+  EXPECT_NE(message.find("magic"), std::string::npos) << message;
+  fs::remove(path);
+}
+
+// ---- crash-safe writes -----------------------------------------------------
+
+TEST(AtomicWriteTest, FailedWriteKeepsPreviousFile) {
+  const std::string path = temp_path("ccq_serve_atomic.txt");
+  atomic_write_file(path, [](std::ostream& os) { os << "generation 1"; });
+  EXPECT_THROW(atomic_write_file(path,
+                                 [](std::ostream& os) {
+                                   os << "partial";
+                                   throw Error("simulated crash mid-write");
+                                 }),
+               Error);
+  std::ifstream is(path);
+  std::string content;
+  std::getline(is, content);
+  EXPECT_EQ(content, "generation 1");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  fs::remove(path);
+}
+
+TEST(AtomicWriteTest, SnapshotSaveLeavesNoTempFile) {
+  auto model = make_mixed_model();
+  const std::string path = temp_path("ccq_serve_snapshot.snap");
+  core::save_snapshot(model, path);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  EXPECT_TRUE(core::load_snapshot(model, path));
+  fs::remove(path);
+}
+
+// ---- snapshot load diagnostics ---------------------------------------------
+
+TEST(SnapshotErrorTest, ShapeMismatchNamesParameterAndShapes) {
+  auto narrow = make_mixed_model();
+  const std::string path = temp_path("ccq_serve_mismatch.snap");
+  core::save_snapshot(narrow, path);
+
+  models::ModelConfig mc;
+  mc.num_classes = 5;
+  mc.image_size = 8;
+  mc.width_multiplier = 0.5f;  // wider: every conv shape differs
+  quant::QuantFactory factory{.policy = quant::Policy::kMinMax};
+  auto wide =
+      models::make_simple_cnn(mc, factory, quant::BitLadder({8, 4, 2}));
+  const std::string message =
+      error_message([&] { core::load_snapshot(wide, path); });
+  EXPECT_NE(message.find(path), std::string::npos) << message;
+  EXPECT_NE(message.find("expects"), std::string::npos) << message;
+  EXPECT_NE(message.find("found"), std::string::npos) << message;
+  fs::remove(path);
+}
+
+TEST(SnapshotErrorTest, OffLadderBitsNameTheLayer) {
+  auto model = make_mixed_model();  // layer 1 sits at 4 bits
+  const std::string path = temp_path("ccq_serve_ladder.snap");
+  core::save_snapshot(model, path);
+
+  models::ModelConfig mc;
+  mc.num_classes = 5;
+  mc.image_size = 8;
+  mc.width_multiplier = 0.25f;
+  quant::QuantFactory factory{.policy = quant::Policy::kMinMax};
+  auto other =
+      models::make_simple_cnn(mc, factory, quant::BitLadder({8, 2}));
+  const std::string message =
+      error_message([&] { core::load_snapshot(other, path); });
+  EXPECT_NE(message.find(model.registry().unit(1).name), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("ladder"), std::string::npos) << message;
+  fs::remove(path);
+}
+
+// ---- inference server ------------------------------------------------------
+
+TEST(ServeTest, ServedOutputsBitIdenticalForAnyWorkerCount) {
+  auto model = make_mixed_model();
+  hw::IntegerNetwork direct = hw::IntegerNetwork::compile(model);
+  const Tensor x = make_inputs(24);
+  const Tensor reference = direct.forward(x);
+
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    ServeConfig config;
+    config.workers = workers;
+    config.max_batch = 5;  // batches never align with producer strides
+    config.max_delay_us = 200;
+    ServeHarness harness(hw::IntegerNetwork::compile(model), config);
+    const HarnessReport report = harness.run(x, /*producers=*/4);
+    ASSERT_EQ(report.outputs.size(), x.dim(0));
+    for (std::size_t i = 0; i < report.outputs.size(); ++i) {
+      EXPECT_EQ(max_row_diff(report.outputs[i], reference, i), 0.0f)
+          << "sample " << i << " with " << workers << " workers";
+    }
+  }
+}
+
+TEST(ServeTest, FlushesWhenBatchFills) {
+  auto model = make_mixed_model();
+  ServeConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  config.max_delay_us = 5'000'000;  // only a full batch can flush this fast
+  InferenceServer server(hw::IntegerNetwork::compile(model), config);
+
+  const Tensor x = make_inputs(4);
+  std::vector<Tensor> inputs(4), outputs(4);
+  std::vector<std::future<void>> replies;
+  const Shape chw{x.dim(1), x.dim(2), x.dim(3)};
+  for (std::size_t i = 0; i < 4; ++i) {
+    inputs[i] = Tensor(chw);
+    const auto src = x.data().subspan(i * shape_numel(chw), shape_numel(chw));
+    std::copy(src.begin(), src.end(), inputs[i].data().begin());
+    replies.push_back(server.submit(inputs[i], outputs[i]));
+  }
+  // The 4th submit fills the batch; replies must arrive long before the
+  // 5-second delay deadline.
+  for (auto& reply : replies) {
+    ASSERT_EQ(reply.wait_for(std::chrono::seconds(2)),
+              std::future_status::ready);
+  }
+}
+
+TEST(ServeTest, FlushesOnDelayDeadline) {
+  auto model = make_mixed_model();
+  ServeConfig config;
+  config.workers = 1;
+  config.max_batch = 64;  // never fills: only the deadline can flush
+  config.max_delay_us = 20'000;
+  InferenceServer server(hw::IntegerNetwork::compile(model), config);
+
+  Tensor input = make_inputs(1);
+  Tensor sample({input.dim(1), input.dim(2), input.dim(3)});
+  std::copy(input.data().begin(), input.data().end(), sample.data().begin());
+  Tensor out;
+  auto reply = server.submit(sample, out);
+  ASSERT_EQ(reply.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  reply.get();
+  EXPECT_EQ(out.rank(), 1u);
+}
+
+TEST(ServeTest, RejectsWhenQueueIsFull) {
+  auto model = make_mixed_model();
+  ServeConfig config;
+  config.workers = 1;
+  config.max_batch = 16;        // larger than capacity …
+  config.queue_capacity = 4;    // … so the queue fills while the worker
+  config.max_delay_us = 100'000;  // waits out the batch-fill deadline
+  InferenceServer server(hw::IntegerNetwork::compile(model), config);
+
+  const Shape chw{3, 8, 8};
+  std::vector<Tensor> inputs, outputs;
+  for (std::size_t i = 0; i < 5; ++i) {
+    inputs.push_back(make_inputs(1).reshaped(chw));
+    outputs.emplace_back();
+  }
+  std::vector<std::future<void>> replies;
+  for (std::size_t i = 0; i < 4; ++i) {
+    replies.push_back(server.submit(inputs[i], outputs[i]));
+  }
+  EXPECT_THROW(server.submit(inputs[4], outputs[4]), QueueFullError);
+  server.shutdown();  // flushes the queued four immediately
+  for (auto& reply : replies) reply.get();
+}
+
+TEST(ServeTest, DrainWaitsForAllReplies) {
+  auto model = make_mixed_model();
+  ServeConfig config;
+  config.workers = 2;
+  config.max_batch = 3;
+  config.max_delay_us = 500;
+  ServeHarness harness(hw::IntegerNetwork::compile(model), config);
+  // run() already joins all futures; drain() afterwards must return
+  // immediately with nothing queued or in flight.
+  harness.run(make_inputs(12), /*producers=*/3);
+  harness.server().drain();
+  EXPECT_EQ(harness.server().queue_depth(), 0u);
+}
+
+TEST(ServeTest, ShutdownServesQueuedRequestsThenRejects) {
+  auto model = make_mixed_model();
+  ServeConfig config;
+  config.workers = 1;
+  config.max_batch = 16;
+  config.max_delay_us = 60'000'000;  // effectively never flushes on its own
+  InferenceServer server(hw::IntegerNetwork::compile(model), config);
+
+  // Build every input/output up front: the server keeps pointers into
+  // these vectors, so they must not reallocate after the first submit.
+  const Shape chw{3, 8, 8};
+  std::vector<Tensor> inputs, outputs(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    inputs.push_back(make_inputs(1).reshaped(chw));
+  }
+  std::vector<std::future<void>> replies;
+  for (std::size_t i = 0; i < 3; ++i) {
+    replies.push_back(server.submit(inputs[i], outputs[i]));
+  }
+  server.shutdown();  // graceful: queued work is served before exit
+  for (auto& reply : replies) reply.get();
+  for (const Tensor& out : outputs) EXPECT_EQ(out.rank(), 1u);
+
+  Tensor late_in = make_inputs(1).reshaped(chw);
+  Tensor late_out;
+  EXPECT_THROW(server.submit(late_in, late_out), ServerStoppedError);
+}
+
+TEST(ServeTest, RejectsMismatchedSampleShapes) {
+  auto model = make_mixed_model();
+  InferenceServer server(hw::IntegerNetwork::compile(model), {});
+  Tensor batch_in = make_inputs(1);
+  Tensor out;
+  EXPECT_THROW(server.submit(batch_in, out), Error);  // rank 4, not CHW
+
+  Tensor first = make_inputs(1).reshaped({3, 8, 8});
+  auto reply = server.submit(first, out);
+  Tensor odd({3, 4, 4});
+  Tensor odd_out;
+  EXPECT_THROW(server.submit(odd, odd_out), Error);
+  reply.get();
+}
+
+TEST(ServeTest, HarnessRetriesRejectionsToCompletion) {
+  auto model = make_mixed_model();
+  ServeConfig config;
+  config.workers = 1;
+  config.max_batch = 2;
+  config.max_delay_us = 100;
+  config.queue_capacity = 2;  // tiny: 4 producers must hit rejections
+  ServeHarness harness(hw::IntegerNetwork::compile(model), config);
+  const Tensor x = make_inputs(32);
+  const HarnessReport report = harness.run(x, /*producers=*/4);
+  EXPECT_EQ(report.requests, 32u);
+  ASSERT_EQ(report.outputs.size(), 32u);
+  for (const Tensor& out : report.outputs) EXPECT_EQ(out.rank(), 1u);
+}
+
+}  // namespace
+}  // namespace ccq::serve

@@ -13,12 +13,20 @@
 //       One-shot quantize + fine-tune (the baseline scheme).
 //   ccq power  --arch resnet20
 //       Iso-throughput power of fp32 / partial / fully-quantized configs.
+//   ccq export --snapshot s.bin --out model.ccqa …
+//       Pack a quantized snapshot into the bit-packed serving artifact
+//       (weights stored at their final ladder precision; same model/data
+//       flags as the run that produced the snapshot).
+//   ccq serve-bench [--artifact model.ccqa] --workers 2 --max-batch 8 …
+//       Drive the dynamic-batching inference server with concurrent
+//       producers and report throughput / latency / rejections.
 //   ccq policies
 //       List the available quantization policies.
 //
 // All experiments run on the procedural synthetic datasets (see
 // DESIGN.md §2); sizes are flags.
 #include <algorithm>
+#include <filesystem>
 #include <iostream>
 
 #include "ccq/common/args.hpp"
@@ -36,6 +44,8 @@
 #include "ccq/hw/mac_model.hpp"
 #include "ccq/models/resnet.hpp"
 #include "ccq/models/simple.hpp"
+#include "ccq/serve/artifact.hpp"
+#include "ccq/serve/harness.hpp"
 
 namespace {
 
@@ -271,6 +281,89 @@ int cmd_power(const Args& args) {
   return 0;
 }
 
+int cmd_export(const Args& args) {
+  const std::string snapshot = args.get("snapshot", "");
+  CCQ_CHECK(!snapshot.empty(),
+            "export needs --snapshot from a previous run (plus the same "
+            "model/data flags)");
+  const std::string out = args.get("out", "model.ccqa");
+  Experiment exp = prepare(args, /*pretrain=*/false);
+  CCQ_CHECK(core::load_snapshot(exp.model, snapshot),
+            "snapshot not found: " + snapshot);
+  serve::export_artifact(exp.model, out);
+  const auto artifact_bytes = std::filesystem::file_size(out);
+  const auto snapshot_bytes = std::filesystem::file_size(snapshot);
+  std::cout << "artifact -> " << out << " (" << artifact_bytes << " bytes, "
+            << Table::fmt(static_cast<double>(snapshot_bytes) /
+                              static_cast<double>(artifact_bytes),
+                          2)
+            << "x smaller than the " << snapshot_bytes
+            << "-byte float snapshot)\n";
+  return 0;
+}
+
+int cmd_serve_bench(const Args& args) {
+  configure_telemetry(args);
+  telemetry::set_metrics_enabled(true);  // latency percentiles need timers
+  hw::IntegerNetwork net = [&] {
+    const std::string artifact = args.get("artifact", "");
+    if (!artifact.empty()) return serve::load_artifact(artifact);
+    // No artifact: random-weight model quantized to the ladder floor —
+    // serving throughput does not depend on what the weights are.
+    const quant::BitLadder ladder(args.get_int_list("ladder", {8, 4, 2}));
+    auto model = build_model(args, 10, ladder);
+    quant::LayerRegistry& registry = model.registry();
+    for (std::size_t i = 0; i < registry.size(); ++i) {
+      registry.set_ladder_pos(i, registry.ladder().size() - 1);
+    }
+    return hw::IntegerNetwork::compile(model);
+  }();
+  CCQ_CHECK(net.plan(0).kind == hw::IntLayerPlan::Kind::kConv,
+            "serve-bench drives image models (first layer must be a conv)");
+
+  serve::ServeConfig sc;
+  sc.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+  sc.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 8));
+  sc.max_delay_us =
+      static_cast<std::uint64_t>(args.get_int("max-delay-us", 200));
+  sc.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 64));
+  sc.intra_op_threads =
+      static_cast<std::size_t>(args.get_int("intra-op", 1));
+  const auto requests = static_cast<std::size_t>(args.get_int("requests", 512));
+  const auto producers = static_cast<std::size_t>(args.get_int("producers", 4));
+  const auto image = static_cast<std::size_t>(args.get_int("image", 16));
+
+  Tensor samples({requests, net.plan(0).in_channels, image, image});
+  auto data = samples.data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>((i * 2654435761u >> 8) & 255u) / 255.0f;
+  }
+
+  serve::ServeHarness harness(std::move(net), sc);
+  const auto report = harness.run(samples, producers);
+  harness.server().shutdown();
+
+  const auto latency = telemetry::timer_stats(telemetry::Timer::kServeLatency);
+  const auto batches = telemetry::timer_stats(telemetry::Timer::kServeBatchSize);
+  std::cout << report.requests << " requests, " << producers
+            << " producers, " << sc.workers << " workers, max_batch "
+            << sc.max_batch << ":\n  "
+            << Table::fmt(static_cast<double>(report.requests) /
+                              report.wall_seconds,
+                          1)
+            << " inf/s, mean batch "
+            << Table::fmt(batches.count == 0
+                              ? 0.0
+                              : static_cast<double>(batches.total_ns) /
+                                    static_cast<double>(batches.count),
+                          2)
+            << ", rejected " << report.rejected << "\n  latency p50 < "
+            << telemetry::approx_quantile(latency, 0.5) / 1000 << "us, p99 < "
+            << telemetry::approx_quantile(latency, 0.99) / 1000 << "us\n";
+  finish_telemetry(args);
+  return 0;
+}
+
 int cmd_policies() {
   for (quant::Policy p :
        {quant::Policy::kDoReFa, quant::Policy::kWrpn, quant::Policy::kPact,
@@ -288,6 +381,8 @@ void usage() {
       "  resume    continue a run from --snapshot + --state (bit-identical)\n"
       "  oneshot   one-shot quantize + fine-tune baseline\n"
       "  power     iso-throughput power of precision configurations\n"
+      "  export    pack a snapshot into the bit-packed serving artifact\n"
+      "  serve-bench  drive the dynamic-batching inference server\n"
       "  policies  list quantization policies\n"
       "common flags: --arch resnet20|resnet18|resnet50|simplecnn|mlp\n"
       "  --policy pact|dorefa|wrpn|sawb|lqnets|lsq|minmax|perchannel\n"
@@ -300,7 +395,11 @@ void usage() {
       "  --snapshot out.bin --state out.state --out record.json\n"
       "  --trace events.jsonl   JSONL event trace (also $CCQ_TRACE)\n"
       "  --metrics-out m.json   counters/timers report (also $CCQ_METRICS)\n"
-      "  --progress [--verbose] per-step progress lines\n";
+      "  --progress [--verbose] per-step progress lines\n"
+      "export flags: --snapshot s.bin --out model.ccqa\n"
+      "serve-bench flags: --artifact model.ccqa (else random weights)\n"
+      "  --workers 2 --max-batch 8 --max-delay-us 200 --queue-cap 64\n"
+      "  --intra-op 1 --requests 512 --producers 4\n";
 }
 
 }  // namespace
@@ -315,6 +414,8 @@ int main(int argc, char** argv) {
     if (args.command() == "resume") return cmd_resume(args);
     if (args.command() == "oneshot") return cmd_oneshot(args);
     if (args.command() == "power") return cmd_power(args);
+    if (args.command() == "export") return cmd_export(args);
+    if (args.command() == "serve-bench") return cmd_serve_bench(args);
     if (args.command() == "policies") return cmd_policies();
     usage();
     return args.command().empty() ? 0 : 1;

@@ -5,6 +5,7 @@
 
 #include "ccq/common/telemetry.hpp"
 #include "ccq/core/trainer.hpp"
+#include "ccq/hw/integer_engine.hpp"
 #include "ccq/data/synthetic.hpp"
 #include "ccq/models/resnet.hpp"
 #include "ccq/nn/conv.hpp"
@@ -263,6 +264,75 @@ void BM_TrainStep(benchmark::State& state) {
                           static_cast<std::int64_t>(batch.size()));
 }
 BENCHMARK(BM_TrainStep)->Arg(0)->Arg(1);
+
+/// Synthetic two-conv integer network at a given weight/activation bit
+/// width — codes drawn once with a fixed seed and realistic low-bit
+/// sparsity (~40% zeros), packed through the normal from_plans path.
+hw::IntegerNetwork igemm_net(int bits) {
+  Rng rng(11 + static_cast<std::uint64_t>(bits));
+  const std::int32_t top = 1 << bits;
+  auto conv_plan = [&](std::size_t in_c, std::size_t out_c, std::string name) {
+    hw::IntLayerPlan p;
+    p.kind = hw::IntLayerPlan::Kind::kConv;
+    p.name = std::move(name);
+    p.in_channels = in_c;
+    p.out_channels = out_c;
+    p.kernel = 3;
+    p.stride = 1;
+    p.pad = 1;
+    p.weight_bits = bits;
+    p.weight_codes.resize(out_c * in_c * 9);
+    for (auto& c : p.weight_codes) {
+      c = rng.uniform() < 0.4
+              ? 0
+              : static_cast<std::int32_t>(rng.uniform_int(2 * top + 1)) - top;
+    }
+    p.channel_scale.assign(out_c, 0.001f);
+    p.bias.assign(out_c, 0.01f);
+    p.has_act = true;
+    p.act_bits = bits;
+    p.act_clip = 1.0f;
+    return p;
+  };
+  return hw::IntegerNetwork::from_plans(
+      {conv_plan(16, 32, "conv1"), conv_plan(32, 32, "conv2")});
+}
+
+/// The igemm speedup grid: blocked packed-panel forward vs the naive
+/// int64 triple loop (`forward_reference`) on the same compiled net.
+/// Args are {bits, blocked}; both paths run the identical workspace-
+/// leased datapath, so the time ratio isolates the kernel.  Outputs are
+/// bit-identical by construction (igemm_property_test), so only speed
+/// and the allocs_per_iter=0 warm contract are at stake here.
+void BM_IgemmForward(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const bool blocked = state.range(1) != 0;
+  hw::IntegerNetwork net = igemm_net(bits);
+  Rng rng(3);
+  Tensor x({4, 16, 16, 16});
+  for (auto& v : x.data()) v = static_cast<float>(rng.uniform());
+  Workspace ws;
+  ExecContext ctx;  // serial: thread scaling is covered by *Threads benches
+  ws.recycle(blocked ? net.forward(x, ws, ctx)
+                     : net.forward_reference(x, ws, ctx));  // warm the pool
+  const AllocSnapshot before;
+  for (auto _ : state) {
+    Tensor y = blocked ? net.forward(x, ws, ctx)
+                       : net.forward_reference(x, ws, ctx);
+    benchmark::DoNotOptimize(y.data().data());
+    ws.recycle(std::move(y));
+  }
+  report_allocs(state, before);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4 *
+                          static_cast<std::int64_t>(net.macs_per_sample(16, 16)));
+}
+BENCHMARK(BM_IgemmForward)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1});
 
 void BM_KlCalibration(benchmark::State& state) {
   Rng rng(5);

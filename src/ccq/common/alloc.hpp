@@ -78,4 +78,9 @@ struct CountingAllocator {
 /// Storage type for Tensor data and Workspace pool buffers.
 using FloatVec = std::vector<float, CountingAllocator<float>>;
 
+/// Storage type for the Workspace's integer pool (igemm activation-code
+/// and im2col buffers).  Counted by the same allocator so the warm
+/// zero-allocations contract covers the integer datapath too.
+using Int32Vec = std::vector<std::int32_t, CountingAllocator<std::int32_t>>;
+
 }  // namespace ccq

@@ -58,6 +58,7 @@ const char* gauge_name(Gauge id) {
 const char* timer_name(Timer id) {
   switch (id) {
     case Timer::kGemm: return "gemm";
+    case Timer::kIgemm: return "hw.igemm";
     case Timer::kConvForward: return "conv.forward";
     case Timer::kConvBackward: return "conv.backward";
     case Timer::kProbeEval: return "probe.eval";

@@ -69,6 +69,7 @@ enum class Gauge : int {
 
 enum class Timer : int {
   kGemm,              ///< blocked GEMM core (gemm / gemm_tn)
+  kIgemm,             ///< blocked integer GEMM (igemm_wx / igemm_xw)
   kConvForward,       ///< Conv2d::forward
   kConvBackward,      ///< Conv2d::backward
   kProbeEval,         ///< evaluate_batch (the competition probe primitive)

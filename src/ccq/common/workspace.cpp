@@ -28,16 +28,19 @@ Workspace::Arena& Workspace::local_arena_locked() {
   return *slot;
 }
 
-FloatVec Workspace::acquire(std::size_t n) {
+template <typename Vec>
+Vec Workspace::acquire_impl(std::vector<std::vector<Vec>> Arena::* buckets,
+                            std::size_t n) {
   if (n == 0) return {};
   telemetry::ScopedTimer timer(telemetry::Timer::kWorkspaceAcquire);
   const std::size_t b = bucket_for_request(n);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     Arena& arena = local_arena_locked();
-    if (b < arena.buckets.size() && !arena.buckets[b].empty()) {
-      FloatVec buf = std::move(arena.buckets[b].back());
-      arena.buckets[b].pop_back();
+    auto& pool = arena.*buckets;
+    if (b < pool.size() && !pool[b].empty()) {
+      Vec buf = std::move(pool[b].back());
+      pool[b].pop_back();
       buf.resize(n);  // capacity >= bucket size >= n: no allocation
       telemetry::add(telemetry::Counter::kWorkspaceHits);
       return buf;
@@ -46,25 +49,45 @@ FloatVec Workspace::acquire(std::size_t n) {
   // Miss: allocate once at full bucket capacity so later requests of any
   // size in this bucket reuse it.
   telemetry::add(telemetry::Counter::kWorkspaceMisses);
-  FloatVec buf;
+  Vec buf;
   buf.reserve(std::size_t{1} << b);
   buf.resize(n);
   return buf;
 }
 
-void Workspace::release(FloatVec&& buf) {
+template <typename Vec>
+void Workspace::release_impl(std::vector<std::vector<Vec>> Arena::* buckets,
+                             Vec&& buf) {
   if (buf.capacity() == 0) return;
   const std::size_t b = bucket_for_capacity(buf.capacity());
   std::lock_guard<std::mutex> lock(mutex_);
   Arena& arena = local_arena_locked();
-  if (arena.buckets.size() <= b) arena.buckets.resize(b + 1);
-  arena.buckets[b].push_back(std::move(buf));
+  auto& pool = arena.*buckets;
+  if (pool.size() <= b) pool.resize(b + 1);
+  pool[b].push_back(std::move(buf));
+}
+
+FloatVec Workspace::acquire(std::size_t n) {
+  return acquire_impl(&Arena::buckets, n);
+}
+
+void Workspace::release(FloatVec&& buf) {
+  release_impl(&Arena::buckets, std::move(buf));
+}
+
+Int32Vec Workspace::acquire_ints(std::size_t n) {
+  return acquire_impl(&Arena::int_buckets, n);
+}
+
+void Workspace::release_ints(Int32Vec&& buf) {
+  release_impl(&Arena::int_buckets, std::move(buf));
 }
 
 void Workspace::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [tid, arena] : arenas_) {
     for (auto& bucket : arena->buckets) bucket.clear();
+    for (auto& bucket : arena->int_buckets) bucket.clear();
   }
 }
 
@@ -73,6 +96,7 @@ std::size_t Workspace::pooled_buffers() const {
   std::size_t n = 0;
   for (const auto& [tid, arena] : arenas_) {
     for (const auto& bucket : arena->buckets) n += bucket.size();
+    for (const auto& bucket : arena->int_buckets) n += bucket.size();
   }
   return n;
 }
@@ -83,6 +107,11 @@ std::size_t Workspace::pooled_bytes() const {
   for (const auto& [tid, arena] : arenas_) {
     for (const auto& bucket : arena->buckets) {
       for (const auto& buf : bucket) bytes += buf.capacity() * sizeof(float);
+    }
+    for (const auto& bucket : arena->int_buckets) {
+      for (const auto& buf : bucket) {
+        bytes += buf.capacity() * sizeof(std::int32_t);
+      }
     }
   }
   return bytes;

@@ -90,6 +90,46 @@ class Workspace {
   /// Lease `n` floats of scratch (unspecified contents).
   FloatLease floats(std::size_t n) { return FloatLease(*this, n); }
 
+  // ---- integer buffer pool ----------------------------------------------
+  // Same bucket/arena machinery over int32 storage: the igemm deployment
+  // path leases activation-code and im2col column buffers here, so warm
+  // integer inference is allocation-free alongside the float pool.
+
+  /// A buffer of exactly `n` int32s with unspecified contents.
+  Int32Vec acquire_ints(std::size_t n);
+
+  /// Return an int32 buffer to the calling thread's arena.
+  void release_ints(Int32Vec&& buf);
+
+  /// RAII int32 scratch lease (mirror of FloatLease).
+  class IntLease {
+   public:
+    IntLease(Workspace& ws, std::size_t n)
+        : ws_(&ws), buf_(ws.acquire_ints(n)) {}
+    IntLease(IntLease&& other) noexcept
+        : ws_(other.ws_), buf_(std::move(other.buf_)) {
+      other.ws_ = nullptr;
+    }
+    IntLease& operator=(IntLease&&) = delete;
+    IntLease(const IntLease&) = delete;
+    IntLease& operator=(const IntLease&) = delete;
+    ~IntLease() {
+      if (ws_ != nullptr) ws_->release_ints(std::move(buf_));
+    }
+
+    std::int32_t* data() { return buf_.data(); }
+    const std::int32_t* data() const { return buf_.data(); }
+    std::size_t size() const { return buf_.size(); }
+    std::span<std::int32_t> span() { return {buf_.data(), buf_.size()}; }
+
+   private:
+    Workspace* ws_;
+    Int32Vec buf_;
+  };
+
+  /// Lease `n` int32s of scratch (unspecified contents).
+  IntLease ints(std::size_t n) { return IntLease(*this, n); }
+
   // ---- pool-backed tensors (inline: header-only Tensor bridge) ----------
   /// Zero-filled tensor backed by pool storage.
   Tensor tensor(Shape shape) {
@@ -124,10 +164,19 @@ class Workspace {
   static Workspace& scratch();
 
  private:
-  // One free-list vector per power-of-two capacity bucket.
+  // One free-list vector per power-of-two capacity bucket; float and
+  // int32 storage pool separately (buffers never change element type).
   struct Arena {
     std::vector<std::vector<FloatVec>> buckets;
+    std::vector<std::vector<Int32Vec>> int_buckets;
   };
+
+  template <typename Vec>
+  Vec acquire_impl(std::vector<std::vector<Vec>> Arena::* buckets,
+                   std::size_t n);
+  template <typename Vec>
+  void release_impl(std::vector<std::vector<Vec>> Arena::* buckets,
+                    Vec&& buf);
 
   Arena& local_arena_locked();  // requires mutex_ held
 

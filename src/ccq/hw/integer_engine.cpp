@@ -34,19 +34,6 @@ float infer_step(const Tensor& q) {
   return step;
 }
 
-/// Encode a grid-valued tensor as doubled integer codes: q = (step/2)·c.
-/// Doubling covers both zero-centred grids (codes even) and half-offset
-/// grids like DoReFa's (codes odd).
-std::vector<std::int32_t> encode_doubled(const Tensor& q, float step) {
-  std::vector<std::int32_t> codes;
-  codes.reserve(q.numel());
-  const float half = step / 2.0f;
-  for (float v : q.data()) {
-    codes.push_back(static_cast<std::int32_t>(std::lround(v / half)));
-  }
-  return codes;
-}
-
 struct FoldedBn {
   std::vector<float> scale;  ///< γ/σ per channel
   std::vector<float> shift;  ///< β − γμ/σ per channel
@@ -96,6 +83,30 @@ float act_scale(const IntLayerPlan& plan) {
 
 }  // namespace
 
+std::vector<std::int32_t> encode_doubled(const Tensor& q, float step,
+                                         int bits, const std::string& layer) {
+  CCQ_CHECK(step > 0.0f, "encode_doubled needs a positive grid step");
+  std::vector<std::int32_t> codes;
+  codes.reserve(q.numel());
+  const float half = step / 2.0f;
+  // Doubled codes of any b-bit grid (zero-centred or half-offset) lie in
+  // ±2^b; anything beyond means the inferred step does not describe the
+  // tensor, and lround would have narrowed it silently.
+  const long envelope = 1L << bits;
+  for (float v : q.data()) {
+    const long c = std::lround(v / half);
+    if (c > envelope || c < -envelope) {
+      throw Error("integer engine: layer '" + layer + "': weight value " +
+                  std::to_string(v) + " encodes to doubled code " +
+                  std::to_string(c) + ", outside the " +
+                  std::to_string(bits) + "-bit envelope of +/-" +
+                  std::to_string(envelope));
+    }
+    codes.push_back(static_cast<std::int32_t>(c));
+  }
+  return codes;
+}
+
 IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
   IntegerNetwork net;
   nn::Sequential& seq = model.net();
@@ -113,7 +124,7 @@ IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
     const Tensor q = hook->quantize(weight.value);
     float step = infer_step(q);
     if (step == 0.0f) step = 1.0f;  // constant (all-zero) weights
-    plan.weight_codes = encode_doubled(q, step);
+    plan.weight_codes = encode_doubled(q, step, hook->bits(), plan.name);
     plan.weight_bits = hook->bits();
     plan.channel_scale.assign(out_channels, 0.0f);
     plan.bias.assign(out_channels, 0.0f);
@@ -223,6 +234,7 @@ IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
     }
   }
   CCQ_CHECK(!net.plans_.empty(), "empty model");
+  net.finalize_plans();
   return net;
 }
 
@@ -230,7 +242,42 @@ IntegerNetwork IntegerNetwork::from_plans(std::vector<IntLayerPlan> plans) {
   CCQ_CHECK(!plans.empty(), "cannot build an integer network from 0 plans");
   IntegerNetwork net;
   net.plans_ = std::move(plans);
+  net.finalize_plans();
   return net;
+}
+
+void IntegerNetwork::finalize_plans() {
+  // Static bound on |incoming activation codes|, threaded layer to layer:
+  // the input snap is 8-bit (codes in [0, 255]); a b-bit activation grid
+  // emits codes in [0, 2^b − 1]; pooling and flatten keep values on (or,
+  // for averages, requantized back onto) the current grid, so they
+  // preserve the bound.  0 marks an unquantized producer — the consumer
+  // then accumulates in int64 unconditionally.
+  std::int64_t in_bound = 255;
+  for (auto& plan : plans_) {
+    if (plan.kind == IntLayerPlan::Kind::kConv ||
+        plan.kind == IntLayerPlan::Kind::kLinear) {
+      const bool conv = plan.kind == IntLayerPlan::Kind::kConv;
+      const std::size_t rows =
+          conv ? plan.out_channels : plan.out_features;
+      const std::size_t depth =
+          conv ? plan.in_channels * plan.kernel * plan.kernel
+               : plan.in_features;
+      plan.max_abs_code = igemm_max_abs(plan.weight_codes);
+      // Conv consumes the panel on the left (out×patch); linear on the
+      // right, transposed, so outputs land row-major in (batch×out).
+      plan.weight_panel =
+          igemm_pack_panel(plan.weight_codes, rows, depth, /*transpose=*/!conv);
+      plan.in_code_bound = in_bound;
+      plan.accum =
+          in_bound > 0 && igemm_fits_int32(plan.max_abs_code, in_bound, depth)
+              ? IgemmAccum::kInt32
+              : IgemmAccum::kInt64;
+      in_bound = plan.has_act && plan.act_bits < 16
+                     ? (std::int64_t{1} << plan.act_bits) - 1
+                     : 0;
+    }
+  }
 }
 
 const IntLayerPlan& IntegerNetwork::plan(std::size_t i) const {
@@ -242,12 +289,24 @@ namespace {
 
 /// Quantize a float activation tensor onto a uniform grid, writing the
 /// integer codes (as exact floats, ready for im2col) into `codes`.
+/// Reference-path twin of `to_int_codes`.
 void to_codes(const Tensor& x, float scale, Tensor& codes) {
   codes.resize(x.shape());
   auto xp = x.data();
   auto cp = codes.data();
   for (std::size_t i = 0; i < xp.size(); ++i) {
     cp[i] = std::round(xp[i] / scale);
+  }
+}
+
+/// Same grid snap, straight into an int32 code buffer for igemm.
+/// std::lround and std::round share the round-half-away rule over the
+/// identical float quotient, so these codes equal the reference path's
+/// lround(to_codes(...)) bit for bit.
+void to_int_codes(const Tensor& x, float scale, std::int32_t* codes) {
+  auto xp = x.data();
+  for (std::size_t i = 0; i < xp.size(); ++i) {
+    codes[i] = static_cast<std::int32_t>(std::lround(xp[i] / scale));
   }
 }
 
@@ -283,9 +342,115 @@ Tensor IntegerNetwork::forward(const Tensor& x, Workspace& ws,
   CCQ_CHECK(x.rank() == 4, "integer engine expects NCHW input");
   Tensor act = ws.tensor_uninit(x.shape());
   std::copy(x.data().begin(), x.data().end(), act.data().begin());
-  Tensor codes = ws.tensor_uninit(x.shape());  // reused by conv/linear
   float scale = kInputScale;
   // Snap the input onto its 8-bit grid (standard input quantization).
+  {
+    auto p = act.data();
+    for (auto& v : p) {
+      v = std::clamp(std::round(v / kInputScale), 0.0f, 255.0f) *
+          kInputScale;
+    }
+  }
+
+  for (const auto& plan : plans_) {
+    switch (plan.kind) {
+      case IntLayerPlan::Kind::kConv: {
+        const std::size_t n = act.dim(0), h = act.dim(2), w = act.dim(3);
+        const ConvGeometry g{.in_channels = plan.in_channels,
+                             .in_h = h,
+                             .in_w = w,
+                             .kernel = plan.kernel,
+                             .stride = plan.stride,
+                             .pad = plan.pad};
+        const std::size_t oh = g.out_h(), ow = g.out_w();
+        const std::size_t patch = g.patch_size(), spatial = g.out_spatial();
+        Workspace::IntLease xcodes = ws.ints(act.numel());
+        to_int_codes(act, scale, xcodes.data());
+        Tensor out = ws.tensor_uninit({n, plan.out_channels, oh, ow});
+        Workspace::IntLease cols = ws.ints(patch * spatial);
+        for (std::size_t img = 0; img < n; ++img) {
+          im2col(xcodes.data() + img * plan.in_channels * h * w, g,
+                 cols.data(), ctx);
+          igemm_wx(plan.out_channels, spatial, patch,
+                   plan.weight_panel.data(), cols.data(),
+                   out.data().data() + img * plan.out_channels * spatial,
+                   plan.channel_scale.data(), plan.bias.data(), plan.accum,
+                   ctx);
+        }
+        ws.recycle(std::move(act));
+        act = std::move(out);
+        apply_act(act, plan);
+        if (plan.has_act && plan.act_bits < 16) scale = act_scale(plan);
+        break;
+      }
+      case IntLayerPlan::Kind::kLinear: {
+        CCQ_CHECK(act.rank() == 2 && act.dim(1) == plan.in_features,
+                  "linear input mismatch in integer engine");
+        const std::size_t n = act.dim(0);
+        Workspace::IntLease xcodes = ws.ints(act.numel());
+        to_int_codes(act, scale, xcodes.data());
+        Tensor out = ws.tensor_uninit({n, plan.out_features});
+        igemm_xw(n, plan.out_features, plan.in_features, xcodes.data(),
+                 plan.weight_panel.data(), out.data().data(),
+                 plan.channel_scale.data(), plan.bias.data(), plan.accum,
+                 ctx);
+        ws.recycle(std::move(act));
+        act = std::move(out);
+        apply_act(act, plan);
+        if (plan.has_act && plan.act_bits < 16) scale = act_scale(plan);
+        break;
+      }
+      case IntLayerPlan::Kind::kMaxPool: {
+        nn::MaxPool2d pool(plan.pool_kernel, plan.pool_stride);
+        pool.set_training(false);  // inference: skip the argmax cache
+        Tensor out = pool.forward(act, ws);
+        ws.recycle(std::move(act));
+        act = std::move(out);
+        break;
+      }
+      case IntLayerPlan::Kind::kAvgPool: {
+        nn::AvgPool2d pool(plan.pool_kernel, plan.pool_stride);
+        pool.set_training(false);
+        Tensor out = pool.forward(act, ws);
+        ws.recycle(std::move(act));
+        act = std::move(out);
+        // Averaging leaves the grid; requantize onto the current scale
+        // (what a fixed-point datapath does after a mean).
+        auto p = act.data();
+        for (auto& v : p) v = std::round(v / scale) * scale;
+        break;
+      }
+      case IntLayerPlan::Kind::kGlobalAvgPool: {
+        nn::GlobalAvgPool gap;
+        gap.set_training(false);
+        Tensor out = gap.forward(act, ws);
+        ws.recycle(std::move(act));
+        act = std::move(out);
+        auto p = act.data();
+        for (auto& v : p) v = std::round(v / scale) * scale;
+        break;
+      }
+      case IntLayerPlan::Kind::kFlatten: {
+        // In-place reshape: same element count, only the shape changes.
+        act.resize({act.dim(0), act.numel() / act.dim(0)});
+        break;
+      }
+    }
+  }
+  return act;
+}
+
+Tensor IntegerNetwork::forward_reference(const Tensor& x) const {
+  return forward_reference(x, Workspace::scratch(), ExecContext::global());
+}
+
+Tensor IntegerNetwork::forward_reference(const Tensor& x, Workspace& ws,
+                                         const ExecContext& ctx) const {
+  CCQ_CHECK(x.rank() == 4, "integer engine expects NCHW input");
+  Tensor act = ws.tensor_uninit(x.shape());
+  std::copy(x.data().begin(), x.data().end(), act.data().begin());
+  Tensor codes = ws.tensor_uninit(x.shape());  // reused by conv/linear
+  float scale = kInputScale;
   {
     auto p = act.data();
     for (auto& v : p) {
@@ -399,7 +564,6 @@ Tensor IntegerNetwork::forward(const Tensor& x, Workspace& ws,
         break;
       }
       case IntLayerPlan::Kind::kFlatten: {
-        // In-place reshape: same element count, only the shape changes.
         act.resize({act.dim(0), act.numel() / act.dim(0)});
         break;
       }

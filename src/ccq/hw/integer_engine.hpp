@@ -9,9 +9,12 @@
 //     scale γ/σ and bias β − γμ/σ, using the running statistics);
 //   * quantized weights are stored as k-bit integer codes plus a
 //     per-layer scale (per-channel after folding);
-//   * every convolution / fully-connected inner product is computed with
-//     64-bit integer accumulation over the codes (`hw::integer_dot`
-//     semantics), then rescaled;
+//   * every convolution / fully-connected inner product runs through the
+//     blocked integer GEMM family (`ccq::igemm_wx`/`igemm_xw`, packed
+//     int16 weight panels, int32 accumulation with a statically bounded
+//     int64 fallback), then rescales; the naive int64 triple loop is
+//     kept as `forward_reference`, the golden datapath the blocked
+//     kernels are differentially tested against;
 //   * activations are re-quantized onto the next layer's input grid.
 //
 // Tests assert parity with the float-simulated forward pass — the
@@ -29,6 +32,7 @@
 #include <vector>
 
 #include "ccq/models/model.hpp"
+#include "ccq/tensor/igemm.hpp"
 #include "ccq/tensor/im2col.hpp"
 
 namespace ccq::hw {
@@ -54,6 +58,18 @@ struct IntLayerPlan {
   std::size_t kernel = 1, stride = 1, pad = 0;
   std::size_t in_features = 0, out_features = 0;
 
+  // igemm payload (derived — built by finalize, never serialized) --------
+  /// Packed int16 panel of `weight_codes`: row-major out×patch for conv,
+  /// transposed in_features×out_features for linear (right-hand operand).
+  std::vector<std::int16_t> weight_panel;
+  std::int32_t max_abs_code = 0;   ///< max |weight code|
+  /// Static bound on |incoming activation codes| (255 for the 8-bit
+  /// input, (2^b − 1) after a b-bit activation grid); 0 = unknown.
+  std::int64_t in_code_bound = 0;
+  /// Accumulator picked from max_abs_code · in_code_bound · patch_size
+  /// (igemm_fits_int32); int64 whenever the bound is unknown.
+  IgemmAccum accum = IgemmAccum::kInt64;
+
   // Activation re-quantization ------------------------------------------
   bool has_act = false;
   int act_bits = 32;
@@ -62,6 +78,15 @@ struct IntLayerPlan {
   // Pool payload ---------------------------------------------------------
   std::size_t pool_kernel = 2, pool_stride = 2;
 };
+
+/// Encode a grid-valued tensor as doubled integer codes: q = (step/2)·c.
+/// Doubling covers both zero-centred grids (codes even) and half-offset
+/// grids like DoReFa's (codes odd).  Throws ccq::Error naming `layer`
+/// when any code falls outside the ±2^bits envelope a `bits`-bit grid
+/// can produce — a silent std::lround narrowing here used to let a
+/// mis-inferred step corrupt the whole compiled layer.
+std::vector<std::int32_t> encode_doubled(const Tensor& q, float step,
+                                         int bits, const std::string& layer);
 
 /// Compiled integer network.
 class IntegerNetwork {
@@ -78,15 +103,26 @@ class IntegerNetwork {
   static IntegerNetwork from_plans(std::vector<IntLayerPlan> plans);
 
   /// Run inference over an (N, C, H, W) batch; returns (N, classes)
-  /// logits.  All conv/linear arithmetic is integer.  The workspace
-  /// overload recycles every intermediate activation through the pool;
-  /// recycle the returned logits too and warm repeated inference performs
-  /// no float-storage allocations.  The context overload names the thread
-  /// budget for the conv kernels — serve workers pass their own context
+  /// logits.  All conv/linear arithmetic is integer, computed by the
+  /// blocked `ccq::igemm` kernels over the packed int16 weight panels
+  /// (bit-identical to `forward_reference` for every shape, bit width,
+  /// blocking and thread count — the differential property the igemm
+  /// test harness enforces).  The workspace overload recycles every
+  /// intermediate activation through the pool; recycle the returned
+  /// logits too and warm repeated inference performs no float- or
+  /// int-storage allocations.  The context overload names the thread
+  /// budget for the igemm kernels — serve workers pass their own context
   /// because the process-global pool does not support concurrent drivers.
   Tensor forward(const Tensor& x) const;
   Tensor forward(const Tensor& x, Workspace& ws) const;
   Tensor forward(const Tensor& x, Workspace& ws, const ExecContext& ctx) const;
+
+  /// Specification datapath: the naive triple loop over int codes with
+  /// unconditional int64 accumulation.  Kept as the golden reference the
+  /// blocked path is differentially tested against; not a serving path.
+  Tensor forward_reference(const Tensor& x) const;
+  Tensor forward_reference(const Tensor& x, Workspace& ws,
+                           const ExecContext& ctx) const;
 
   std::size_t layer_count() const { return plans_.size(); }
   const IntLayerPlan& plan(std::size_t i) const;
@@ -96,6 +132,11 @@ class IntegerNetwork {
   std::size_t macs_per_sample(std::size_t h, std::size_t w) const;
 
  private:
+  /// Build each plan's derived igemm payload (int16 panel, max |code|,
+  /// static accumulator choice) — runs once in compile()/from_plans(), so
+  /// artifact loads ship ready-packed panels.
+  void finalize_plans();
+
   std::vector<IntLayerPlan> plans_;
 };
 

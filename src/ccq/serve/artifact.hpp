@@ -20,6 +20,13 @@
 // Writes are crash-safe (temp file + atomic rename, common/fileio) and
 // loads verify the checksum before parsing, so an interrupted export can
 // never leave a half-parseable artifact behind.
+//
+// Only the portable plan fields are serialized.  The igemm payload (the
+// packed int16 weight panels and static accumulator choice) is derived:
+// `load_artifact` routes through `IntegerNetwork::from_plans`, which
+// re-packs panels at load time — loaded networks serve through the same
+// blocked kernels as freshly compiled ones, and the on-disk format stays
+// independent of kernel panel layout.
 #pragma once
 
 #include <cstdint>

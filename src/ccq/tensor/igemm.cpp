@@ -1,0 +1,131 @@
+#include "ccq/tensor/igemm.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ccq/common/telemetry.hpp"
+
+namespace ccq {
+
+namespace {
+
+/// Serial microkernel over output rows [row0, row1).  One accumulator
+/// strip of up to kIgemmMaxNc lives on the stack per row; depth is
+/// walked in kc panels with the zero-multiplier skip of tensor/gemm.
+/// Integer math is exact, so the jc/pc blocking order cannot change the
+/// result — only overflow could, and the caller's accumulator choice
+/// rules that out.
+template <typename TA, typename TB, typename Acc, bool kPerRowScale>
+void igemm_rows(std::size_t row0, std::size_t row1, std::size_t n,
+                std::size_t k, const TA* a, const TB* b, float* c,
+                const float* scale, const float* bias,
+                const IgemmBlocking& blk) {
+  const std::size_t nc_max = std::min(std::max<std::size_t>(blk.nc, 1),
+                                      kIgemmMaxNc);
+  const std::size_t kc_max = std::max<std::size_t>(blk.kc, 1);
+  Acc acc[kIgemmMaxNc];
+  for (std::size_t i = row0; i < row1; ++i) {
+    const TA* arow = a + i * k;
+    for (std::size_t jc = 0; jc < n; jc += nc_max) {
+      const std::size_t nc = std::min(nc_max, n - jc);
+      std::fill(acc, acc + nc, Acc{0});
+      for (std::size_t pc = 0; pc < k; pc += kc_max) {
+        const std::size_t kc = std::min(kc_max, k - pc);
+        for (std::size_t p = 0; p < kc; ++p) {
+          const Acc av = static_cast<Acc>(arow[pc + p]);
+          if (av == 0) continue;
+          const TB* brow = b + (pc + p) * n + jc;
+          for (std::size_t j = 0; j < nc; ++j) {
+            acc[j] += av * static_cast<Acc>(brow[j]);
+          }
+        }
+      }
+      // Epilogue: identical expression shape to the naive engine loop
+      // (float(acc) * scale + bias), so outputs match it bit for bit.
+      float* crow = c + i * n + jc;
+      for (std::size_t j = 0; j < nc; ++j) {
+        const float s = kPerRowScale ? scale[i] : scale[jc + j];
+        const float o = kPerRowScale ? bias[i] : bias[jc + j];
+        crow[j] = static_cast<float>(acc[j]) * s + o;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool igemm_fits_int32(std::int64_t max_abs_a, std::int64_t max_abs_b,
+                      std::size_t k) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int32_t>::max();
+  if (max_abs_a <= 0 || max_abs_b <= 0 || k == 0) return true;
+  if (max_abs_a > kMax / max_abs_b) return false;      // per-term overflow
+  const std::int64_t per_term = max_abs_a * max_abs_b;
+  return per_term <= kMax / static_cast<std::int64_t>(k);
+}
+
+std::vector<std::int16_t> igemm_pack_panel(
+    const std::vector<std::int32_t>& codes, std::size_t rows,
+    std::size_t cols, bool transpose) {
+  CCQ_CHECK(codes.size() == rows * cols,
+            "igemm panel: code count does not match rows x cols");
+  constexpr std::int32_t kLo = std::numeric_limits<std::int16_t>::min();
+  constexpr std::int32_t kHi = std::numeric_limits<std::int16_t>::max();
+  std::vector<std::int16_t> panel(codes.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t col = 0; col < cols; ++col) {
+      const std::int32_t v = codes[r * cols + col];
+      if (v < kLo || v > kHi) {
+        throw Error("igemm panel: weight code " + std::to_string(v) +
+                    " at (" + std::to_string(r) + ", " + std::to_string(col) +
+                    ") does not fit the int16 panel format");
+      }
+      const std::size_t dst = transpose ? col * rows + r : r * cols + col;
+      panel[dst] = static_cast<std::int16_t>(v);
+    }
+  }
+  return panel;
+}
+
+std::int32_t igemm_max_abs(const std::vector<std::int32_t>& codes) {
+  std::int32_t max_abs = 0;
+  for (std::int32_t c : codes) {
+    max_abs = std::max(max_abs, c < 0 ? -c : c);
+  }
+  return max_abs;
+}
+
+void igemm_wx(std::size_t m, std::size_t n, std::size_t k,
+              const std::int16_t* w, const std::int32_t* x, float* c,
+              const float* scale, const float* bias, IgemmAccum accum,
+              const ExecContext& ctx, const IgemmBlocking& blk) {
+  telemetry::ScopedTimer timer(telemetry::Timer::kIgemm);
+  const std::size_t grain = std::max<std::size_t>(blk.row_grain, 1);
+  parallel_for(ctx, m, grain, [&](std::size_t row0, std::size_t row1) {
+    if (accum == IgemmAccum::kInt32) {
+      igemm_rows<std::int16_t, std::int32_t, std::int32_t, true>(
+          row0, row1, n, k, w, x, c, scale, bias, blk);
+    } else {
+      igemm_rows<std::int16_t, std::int32_t, std::int64_t, true>(
+          row0, row1, n, k, w, x, c, scale, bias, blk);
+    }
+  });
+}
+
+void igemm_xw(std::size_t m, std::size_t n, std::size_t k,
+              const std::int32_t* x, const std::int16_t* w, float* c,
+              const float* scale, const float* bias, IgemmAccum accum,
+              const ExecContext& ctx, const IgemmBlocking& blk) {
+  telemetry::ScopedTimer timer(telemetry::Timer::kIgemm);
+  const std::size_t grain = std::max<std::size_t>(blk.row_grain, 1);
+  parallel_for(ctx, m, grain, [&](std::size_t row0, std::size_t row1) {
+    if (accum == IgemmAccum::kInt32) {
+      igemm_rows<std::int32_t, std::int16_t, std::int32_t, false>(
+          row0, row1, n, k, x, w, c, scale, bias, blk);
+    } else {
+      igemm_rows<std::int32_t, std::int16_t, std::int64_t, false>(
+          row0, row1, n, k, x, w, c, scale, bias, blk);
+    }
+  });
+}
+
+}  // namespace ccq

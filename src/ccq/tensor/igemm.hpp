@@ -1,0 +1,103 @@
+// Blocked low-bit integer GEMM — the deployed MAC datapath.
+//
+// The integer engine (hw/integer_engine) computes every conv / linear
+// layer over k-bit integer codes; this kernel family gives that path the
+// same blocked/tiled treatment the float side gets from tensor/gemm:
+//
+//   * weight codes are packed once (plan-compile time) into row-major
+//     `int16` panels (`igemm_pack_panel`) — ladder codes are doubled
+//     k-bit values with k <= 15, so they always fit;
+//   * activation codes arrive as `int32` buffers (Workspace `ints()`
+//     leases, filled by the int overload of `im2col`);
+//   * the microkernel is a cache-blocked rank-1-update loop (column
+//     panels of `nc`, depth panels of `kc`, a register-resident
+//     accumulator strip per output row) with zero-multiplier skipping —
+//     quantized weights and ReLU-clipped activations are mostly zeros at
+//     low bit widths;
+//   * accumulation is `int32` when the statically computed bound
+//     max|a|·max|b|·k fits (see `igemm_fits_int32`), else `int64`.
+//
+// Exactness: integer arithmetic is associative, so *any* blocking
+// factor, panel order or thread partition produces the same sums —
+// provided no intermediate overflows.  The int32 bound guarantees that
+// for every partial sum (each is a subset of at most k terms of
+// magnitude <= max|a|·max|b|), so results are bit-identical to a naive
+// int64 triple loop for all blockings and thread counts
+// (tests/igemm_property_test.cpp enforces this differentially).
+//
+// Activation codes are required to be representable in int32.  Codes on
+// a quantized activation grid (<16 bits) always are; unbounded float
+// activations already lose integer exactness in any float-held datapath
+// beyond 2^24, so int32 is not a new restriction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ccq/common/exec.hpp"
+#include "ccq/tensor/im2col.hpp"
+
+namespace ccq {
+
+/// Accumulator width for one igemm call.  Pick with `igemm_fits_int32`;
+/// running the int32 path past its bound is signed-overflow UB, which is
+/// why the engine selects the accumulator from a static per-layer bound
+/// instead of trusting runtime luck.
+enum class IgemmAccum : std::uint8_t { kInt32, kInt64 };
+
+/// Cache-blocking factors.  The defaults mirror tensor/gemm (an `nc`
+/// column panel of int32 activations plus a `kc` depth slice stay
+/// L2-resident); tests sweep them to prove blocking never changes bits.
+struct IgemmBlocking {
+  std::size_t nc = 256;        ///< column-panel width (clamped to kIgemmMaxNc)
+  std::size_t kc = 128;        ///< depth-panel height
+  std::size_t row_grain = 8;   ///< output rows per parallel_for chunk
+};
+
+/// Upper bound on the accumulator strip held per output row (stack
+/// storage in the microkernel); `nc` is clamped to it.
+inline constexpr std::size_t kIgemmMaxNc = 512;
+
+/// True when k products of magnitude <= max_abs_a * max_abs_b plus their
+/// running sums provably fit an int32 accumulator:
+/// max_abs_a · max_abs_b · k <= INT32_MAX, evaluated without overflow.
+bool igemm_fits_int32(std::int64_t max_abs_a, std::int64_t max_abs_b,
+                      std::size_t k);
+
+/// Pack int32 weight codes into an int16 panel.  `codes` is row-major
+/// rows×cols; `transpose` emits the cols×rows layout (linear layers feed
+/// the panel as the right-hand operand).  Throws ccq::Error naming the
+/// offending value when a code does not fit int16 — packed panels are a
+/// compile-time contract, not a silent narrowing.
+std::vector<std::int16_t> igemm_pack_panel(
+    const std::vector<std::int32_t>& codes, std::size_t rows,
+    std::size_t cols, bool transpose);
+
+/// Largest |code| in a code vector (0 when empty).
+std::int32_t igemm_max_abs(const std::vector<std::int32_t>& codes);
+
+/// C[m,n] = float(sum_k W[m,k] · X[k,n]) · scale[m] + bias[m]
+/// Weight-panel-left form (convolution after im2col): W is a packed
+/// int16 panel (lda = k), X an int32 code matrix (ldb = n), C float
+/// (ldc = n).  Scale/bias are per *row* (output channel).  Parallel over
+/// output rows; deterministic and exact for any thread count/blocking.
+void igemm_wx(std::size_t m, std::size_t n, std::size_t k,
+              const std::int16_t* w, const std::int32_t* x, float* c,
+              const float* scale, const float* bias, IgemmAccum accum,
+              const ExecContext& ctx = ExecContext::global(),
+              const IgemmBlocking& blk = {});
+
+/// C[m,n] = float(sum_k X[m,k] · W[k,n]) · scale[n] + bias[n]
+/// Activation-left form (linear layers): X is the int32 activation code
+/// matrix (batch × in_features), W the *transposed* int16 weight panel
+/// (in_features × out_features), so C lands row-major in the output
+/// tensor's (batch × out_features) layout.  Scale/bias are per *column*
+/// (output feature).
+void igemm_xw(std::size_t m, std::size_t n, std::size_t k,
+              const std::int32_t* x, const std::int16_t* w, float* c,
+              const float* scale, const float* bias, IgemmAccum accum,
+              const ExecContext& ctx = ExecContext::global(),
+              const IgemmBlocking& blk = {});
+
+}  // namespace ccq

@@ -2,8 +2,13 @@
 
 namespace ccq {
 
-void im2col(const float* image, const ConvGeometry& g, float* columns,
-            const ExecContext& ctx) {
+namespace {
+
+/// Shared lowering body: float for the training path, int32 codes for
+/// the igemm deployment path.
+template <typename T>
+void im2col_impl(const T* image, const ConvGeometry& g, T* columns,
+                 const ExecContext& ctx) {
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
   const std::size_t spatial = oh * ow;
@@ -17,27 +22,39 @@ void im2col(const float* image, const ConvGeometry& g, float* columns,
       const std::size_t c = row / kk;
       const std::size_t ky = (row / g.kernel) % g.kernel;
       const std::size_t kx = row % g.kernel;
-      const float* plane = image + c * g.in_h * g.in_w;
-      float* out = columns + row * spatial;
+      const T* plane = image + c * g.in_h * g.in_w;
+      T* out = columns + row * spatial;
       for (std::size_t oy = 0; oy < oh; ++oy) {
         // Signed arithmetic: padded coordinates can be negative.
         const long iy = static_cast<long>(oy * g.stride + ky) -
                         static_cast<long>(g.pad);
         if (iy < 0 || iy >= static_cast<long>(g.in_h)) {
-          for (std::size_t ox = 0; ox < ow; ++ox) out[oy * ow + ox] = 0.0f;
+          for (std::size_t ox = 0; ox < ow; ++ox) out[oy * ow + ox] = T{0};
           continue;
         }
-        const float* src = plane + static_cast<std::size_t>(iy) * g.in_w;
+        const T* src = plane + static_cast<std::size_t>(iy) * g.in_w;
         for (std::size_t ox = 0; ox < ow; ++ox) {
           const long ix = static_cast<long>(ox * g.stride + kx) -
                           static_cast<long>(g.pad);
           out[oy * ow + ox] = (ix < 0 || ix >= static_cast<long>(g.in_w))
-                                  ? 0.0f
+                                  ? T{0}
                                   : src[static_cast<std::size_t>(ix)];
         }
       }
     }
   });
+}
+
+}  // namespace
+
+void im2col(const float* image, const ConvGeometry& g, float* columns,
+            const ExecContext& ctx) {
+  im2col_impl(image, g, columns, ctx);
+}
+
+void im2col(const std::int32_t* image, const ConvGeometry& g,
+            std::int32_t* columns, const ExecContext& ctx) {
+  im2col_impl(image, g, columns, ctx);
 }
 
 void col2im(const float* columns, const ConvGeometry& g, float* image,

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "ccq/common/exec.hpp"
 #include "ccq/tensor/tensor.hpp"
@@ -38,6 +39,12 @@ struct ConvGeometry {
 /// out_spatial) column matrix written to `columns`.  Parallel over
 /// column-matrix rows (each row is written by exactly one chunk).
 void im2col(const float* image, const ConvGeometry& g, float* columns,
+            const ExecContext& ctx = ExecContext::global());
+
+/// Integer-code overload (same lowering, zero padding): feeds the igemm
+/// deployment path, where activations are int32 code buffers.
+void im2col(const std::int32_t* image, const ConvGeometry& g,
+            std::int32_t* columns,
             const ExecContext& ctx = ExecContext::global());
 
 /// Scatter-add a column matrix back to image gradient layout.  `image`

@@ -1,0 +1,331 @@
+// Differential tests for the blocked integer GEMM family.
+//
+// The contract under test: for every bit width, shape, blocking factor
+// and thread count, `igemm_wx` / `igemm_xw` are bit-identical to a naive
+// int64 triple loop — the 10-line reference below IS the specification,
+// the blocked kernel merely reorders exact integer arithmetic.  The
+// sweep includes degenerate shapes (k = 0, single-row, single-column)
+// and depths that straddle the int32/int64 accumulator bound, plus a
+// seeded randomized round of layer-like configs (fixed RNG, so failures
+// reproduce exactly).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "ccq/common/error.hpp"
+#include "ccq/common/rng.hpp"
+#include "ccq/tensor/igemm.hpp"
+
+namespace ccq {
+namespace {
+
+// ---- the specification ------------------------------------------------------
+
+/// C[i,j] = float(Σ_p W[i,p]·X[p,j]) · scale[i] + bias[i]
+void ref_wx(std::size_t m, std::size_t n, std::size_t k,
+            const std::vector<std::int32_t>& w,
+            const std::vector<std::int32_t>& x,
+            const std::vector<float>& scale, const std::vector<float>& bias,
+            std::vector<float>& c) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (std::size_t p = 0; p < k; ++p)
+        acc += std::int64_t{w[i * k + p]} * std::int64_t{x[p * n + j]};
+      c[i * n + j] = static_cast<float>(acc) * scale[i] + bias[i];
+    }
+}
+
+/// C[i,j] = float(Σ_p X[i,p]·W[p,j]) · scale[j] + bias[j]
+void ref_xw(std::size_t m, std::size_t n, std::size_t k,
+            const std::vector<std::int32_t>& x,
+            const std::vector<std::int32_t>& w,
+            const std::vector<float>& scale, const std::vector<float>& bias,
+            std::vector<float>& c) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (std::size_t p = 0; p < k; ++p)
+        acc += std::int64_t{x[i * k + p]} * std::int64_t{w[p * n + j]};
+      c[i * n + j] = static_cast<float>(acc) * scale[j] + bias[j];
+    }
+}
+
+// ---- fixtures ---------------------------------------------------------------
+
+struct Problem {
+  std::size_t m, n, k;
+  std::vector<std::int32_t> w;   // m×k weight codes (row-major)
+  std::vector<std::int32_t> x;   // k×n activation codes (row-major)
+  std::vector<float> row_scale, row_bias;  // per-row (igemm_wx)
+  std::vector<float> col_scale, col_bias;  // per-column (igemm_xw)
+};
+
+Problem make_problem(Rng& rng, std::size_t m, std::size_t n, std::size_t k,
+                     std::int32_t max_w, std::int32_t max_x) {
+  Problem p;
+  p.m = m;
+  p.n = n;
+  p.k = k;
+  p.w.resize(m * k);
+  p.x.resize(k * n);
+  for (auto& v : p.w) {
+    v = static_cast<std::int32_t>(rng.uniform_int(2 * max_w + 1)) - max_w;
+  }
+  for (auto& v : p.x) {
+    // Activation codes are non-negative (ReLU-clipped grids) with a
+    // sprinkle of zeros, matching what the engine feeds the kernel.
+    v = static_cast<std::int32_t>(rng.uniform_int(max_x + 1));
+    if (rng.uniform() < 0.25) v = 0;
+  }
+  p.row_scale.resize(m);
+  p.row_bias.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    p.row_scale[i] = static_cast<float>(rng.uniform(0.001, 0.1));
+    p.row_bias[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  p.col_scale.resize(n);
+  p.col_bias.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    p.col_scale[j] = static_cast<float>(rng.uniform(0.001, 0.1));
+    p.col_bias[j] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return p;
+}
+
+/// Run both blocked forms against the references.  Exercises the int32
+/// path whenever the static bound admits it (that choice must not change
+/// bits) and the int64 path always.
+void expect_bit_identical(const Problem& p, const ExecContext& ctx,
+                          const IgemmBlocking& blk) {
+  const std::vector<std::int16_t> w_panel =
+      igemm_pack_panel(p.w, p.m, p.k, /*transpose=*/false);
+  const std::vector<std::int16_t> wt_panel =
+      igemm_pack_panel(p.w, p.m, p.k, /*transpose=*/true);
+
+  std::vector<float> want(p.m * p.n), got(p.m * p.n);
+  const std::int64_t max_w = igemm_max_abs(p.w);
+  const std::int64_t max_x = igemm_max_abs(p.x);
+
+  std::vector<IgemmAccum> accums{IgemmAccum::kInt64};
+  if (igemm_fits_int32(max_w, max_x, p.k)) {
+    accums.push_back(IgemmAccum::kInt32);
+  }
+
+  // W·X form (conv after im2col): W is m×k, X is k×n, per-row epilogue.
+  ref_wx(p.m, p.n, p.k, p.w, p.x, p.row_scale, p.row_bias, want);
+  for (IgemmAccum accum : accums) {
+    std::fill(got.begin(), got.end(), -7.0f);
+    igemm_wx(p.m, p.n, p.k, w_panel.data(), p.x.data(), got.data(),
+             p.row_scale.data(), p.row_bias.data(), accum, ctx, blk);
+    ASSERT_EQ(want, got) << "igemm_wx m=" << p.m << " n=" << p.n
+                         << " k=" << p.k << " threads=" << ctx.threads()
+                         << " nc=" << blk.nc << " kc=" << blk.kc
+                         << " accum=" << static_cast<int>(accum);
+  }
+
+  // X·W form (linear): a batch of k-length activation rows (columns of
+  // the X above) against the transposed weight panel (k×m), so the
+  // output lands batch×m with per-column scale/bias — exactly how the
+  // engine drives linear layers.
+  const std::size_t batch = p.n == 0 ? 0 : std::min<std::size_t>(p.n, 6);
+  std::vector<std::int32_t> xl(batch * p.k);
+  for (std::size_t i = 0; i < batch; ++i)
+    for (std::size_t pp = 0; pp < p.k; ++pp)
+      xl[i * p.k + pp] = p.x[pp * p.n + i];  // column i of X
+  std::vector<std::int32_t> wt(p.k * p.m);
+  for (std::size_t pp = 0; pp < p.k; ++pp)
+    for (std::size_t i = 0; i < p.m; ++i) wt[pp * p.m + i] = p.w[i * p.k + pp];
+  std::vector<float> want2(batch * p.m), got2(batch * p.m);
+  ref_xw(batch, p.m, p.k, xl, wt, p.row_scale, p.row_bias, want2);
+  for (IgemmAccum accum : accums) {
+    std::fill(got2.begin(), got2.end(), -7.0f);
+    igemm_xw(batch, p.m, p.k, xl.data(), wt_panel.data(), got2.data(),
+             p.row_scale.data(), p.row_bias.data(), accum, ctx, blk);
+    ASSERT_EQ(want2, got2) << "igemm_xw batch=" << batch << " m=" << p.m
+                           << " k=" << p.k << " threads=" << ctx.threads()
+                           << " nc=" << blk.nc << " kc=" << blk.kc
+                           << " accum=" << static_cast<int>(accum);
+  }
+}
+
+const ExecContext& ctx_for(std::size_t threads) {
+  static const ExecContext one;       // serial
+  static const ExecContext two(2);
+  static const ExecContext four(4);
+  switch (threads) {
+    case 2: return two;
+    case 4: return four;
+    default: return one;
+  }
+}
+
+// ---- parameterized sweep ----------------------------------------------------
+
+struct Shape {
+  std::size_t m, n, k;
+};
+
+class IgemmSweep : public ::testing::TestWithParam<std::tuple<int, Shape>> {};
+
+TEST_P(IgemmSweep, BitIdenticalAcrossBlockingsAndThreads) {
+  const int bits = std::get<0>(GetParam());
+  const Shape s = std::get<1>(GetParam());
+  // Doubled k-bit weight codes lie in ±2^bits; activations come from the
+  // 8-bit input grid at most.
+  const auto max_w = static_cast<std::int32_t>(1 << bits);
+  const std::int32_t max_x = 255;
+  Rng rng(0x51C0DE + static_cast<std::uint64_t>(bits) * 1000003 +
+          s.m * 7919 + s.n * 104729 + s.k);
+  const Problem p = make_problem(rng, s.m, s.n, s.k, max_w, max_x);
+
+  const IgemmBlocking blockings[] = {
+      {},                                     // production defaults
+      {.nc = 1, .kc = 1, .row_grain = 1},     // fully degenerate tiles
+      {.nc = 3, .kc = 5, .row_grain = 2},     // awkward odd tiles
+      {.nc = 512, .kc = 1 << 20, .row_grain = 64},  // one giant tile
+      {.nc = kIgemmMaxNc + 100, .kc = 7, .row_grain = 3},  // nc clamped
+  };
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const IgemmBlocking& blk : blockings) {
+      expect_bit_identical(p, ctx_for(threads), blk);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsAndShapes, IgemmSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(Shape{1, 1, 0},    // empty depth
+                                         Shape{1, 7, 3},    // single row
+                                         Shape{5, 1, 9},    // single column
+                                         Shape{8, 33, 7},   // sub-tile
+                                         Shape{16, 17, 131},  // kc straddle
+                                         Shape{3, 259, 5},    // nc straddle
+                                         Shape{4, 600, 3},    // n > max nc
+                                         Shape{6, 29, 64})));
+
+// Depths that straddle the int32 accumulator bound at full 8-bit code
+// magnitudes: the kernel must agree with the reference on BOTH sides —
+// int32 just below the bound, forced int64 just above it.
+TEST(IgemmBoundStraddle, ExactAcrossTheAccumulatorBound) {
+  const std::int32_t max_w = 256, max_x = 255;  // 8-bit envelope
+  // 256·255·k ≤ INT32_MAX ⇔ k ≤ 32896 (65280·32896 = 2,147,450,880).
+  ASSERT_TRUE(igemm_fits_int32(max_w, max_x, 32896));
+  ASSERT_FALSE(igemm_fits_int32(max_w, max_x, 32897));
+  Rng rng(0xB0B0);
+  for (std::size_t k : {std::size_t{32896}, std::size_t{32897}}) {
+    const Problem p = make_problem(rng, 2, 3, k, max_w, max_x);
+    expect_bit_identical(p, ctx_for(4), {});
+  }
+}
+
+// ---- seeded randomized round ------------------------------------------------
+
+TEST(IgemmRandomized, TwoHundredLayerConfigs) {
+  Rng rng(0xCC0FFEE);  // fixed seed: failures replay bit-exactly
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t m = 1 + rng.uniform_int(24);
+    const std::size_t n = 1 + rng.uniform_int(400);
+    // ~5% of configs get k = 0 (a conv over an empty patch never occurs,
+    // but the kernel contract covers it: pure bias epilogue).
+    const std::size_t k = rng.uniform() < 0.05 ? 0 : 1 + rng.uniform_int(260);
+    const int bits = 2 + static_cast<int>(rng.uniform_int(7));
+    const auto max_w = static_cast<std::int32_t>(1 << bits);
+    const std::int32_t max_x =
+        static_cast<std::int32_t>(1 + rng.uniform_int(255));
+    const Problem p = make_problem(rng, m, n, k, max_w, max_x);
+    const IgemmBlocking blk{.nc = 1 + rng.uniform_int(600),
+                            .kc = 1 + rng.uniform_int(300),
+                            .row_grain = 1 + rng.uniform_int(16)};
+    const std::size_t threads = std::size_t{1} << rng.uniform_int(3);  // 1/2/4
+    expect_bit_identical(p, ctx_for(threads), blk);
+    if (HasFatalFailure()) {
+      ADD_FAILURE() << "failing config: iter=" << iter << " m=" << m
+                    << " n=" << n << " k=" << k << " bits=" << bits;
+      return;
+    }
+  }
+}
+
+// ---- accumulator bound unit tests -------------------------------------------
+
+TEST(IgemmFitsInt32, ExactBoundary) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int32_t>::max();
+  // 1·1·INT32_MAX == INT32_MAX: the last admissible config.
+  EXPECT_TRUE(igemm_fits_int32(1, 1, static_cast<std::size_t>(kMax)));
+  EXPECT_FALSE(igemm_fits_int32(1, 1, static_cast<std::size_t>(kMax) + 1));
+  // 510·255·16512 = 2,147,385,600 ≤ INT32_MAX; one more k-step exceeds.
+  EXPECT_TRUE(igemm_fits_int32(510, 255, 16512));
+  EXPECT_FALSE(igemm_fits_int32(510, 255, 16513));
+  // Degenerate operands always fit: the sum is identically zero.
+  EXPECT_TRUE(igemm_fits_int32(0, 255, 1u << 30));
+  EXPECT_TRUE(igemm_fits_int32(510, 0, 1u << 30));
+  EXPECT_TRUE(igemm_fits_int32(510, 255, 0));
+  // The per-term product alone can bust int32 — and the predicate must
+  // not itself overflow while deciding that.
+  EXPECT_FALSE(igemm_fits_int32(kMax, kMax, 1));
+  EXPECT_FALSE(igemm_fits_int32(1 << 20, 1 << 20, 4));
+}
+
+TEST(IgemmFitsInt32, BoundaryCodesRunExactInInt32) {
+  // One product at the very top of int32: 32767 · 65535 = 2,147,385,345.
+  const std::vector<std::int32_t> w{32767};
+  const std::vector<std::int32_t> x{65535};
+  ASSERT_TRUE(igemm_fits_int32(32767, 65535, 1));
+  const auto panel = igemm_pack_panel(w, 1, 1, false);
+  const std::vector<float> scale{1.0f}, bias{0.0f};
+  float got = 0.0f;
+  igemm_wx(1, 1, 1, panel.data(), x.data(), &got, scale.data(), bias.data(),
+           IgemmAccum::kInt32);
+  EXPECT_EQ(got, static_cast<float>(std::int64_t{32767} * 65535));
+}
+
+TEST(IgemmFitsInt32, WrapBeyondTheBoundIsWhyThePredicateGates) {
+  // Two such products overflow int32.  The kernel never runs int32 past
+  // the bound (that would be signed-overflow UB), so demonstrate the
+  // wrap in well-defined unsigned arithmetic: the mod-2^32 sum
+  // reinterpreted as int32 disagrees with the int64 truth.
+  const std::int64_t term = std::int64_t{32767} * 65535;
+  ASSERT_FALSE(igemm_fits_int32(32767, 65535, 2));
+  const std::int64_t truth = 2 * term;
+  const auto wrapped_bits =
+      static_cast<std::uint32_t>(2 * static_cast<std::uint64_t>(term));
+  const auto wrapped = static_cast<std::int32_t>(wrapped_bits);
+  EXPECT_NE(static_cast<std::int64_t>(wrapped), truth);
+  // The int64 path the predicate falls back to stays exact.
+  const std::vector<std::int32_t> w{32767, 32767};
+  const std::vector<std::int32_t> x{65535, 65535};
+  const auto panel = igemm_pack_panel(w, 1, 2, false);
+  const std::vector<float> scale{1.0f}, bias{0.0f};
+  float got = 0.0f;
+  igemm_wx(1, 1, 2, panel.data(), x.data(), &got, scale.data(), bias.data(),
+           IgemmAccum::kInt64);
+  EXPECT_EQ(got, static_cast<float>(truth));
+}
+
+// ---- panel packing ----------------------------------------------------------
+
+TEST(IgemmPackPanel, TransposeLaysOutColumnsAsRows) {
+  const std::vector<std::int32_t> codes{1, 2, 3, 4, 5, 6};  // 2×3
+  const auto flat = igemm_pack_panel(codes, 2, 3, false);
+  EXPECT_EQ(flat, (std::vector<std::int16_t>{1, 2, 3, 4, 5, 6}));
+  const auto t = igemm_pack_panel(codes, 2, 3, true);
+  EXPECT_EQ(t, (std::vector<std::int16_t>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(IgemmPackPanel, RejectsCodesOutsideInt16) {
+  std::vector<std::int32_t> codes{0, 1, 40000, 2};
+  EXPECT_THROW(igemm_pack_panel(codes, 2, 2, false), Error);
+  codes[2] = -40000;
+  EXPECT_THROW(igemm_pack_panel(codes, 2, 2, true), Error);
+  codes[2] = 32767;  // int16 max is fine
+  EXPECT_NO_THROW(igemm_pack_panel(codes, 2, 2, false));
+}
+
+}  // namespace
+}  // namespace ccq

@@ -4,6 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "ccq/core/trainer.hpp"
 #include "ccq/nn/loss.hpp"
@@ -167,6 +171,147 @@ TEST(IntegerEngineTest, MacsPerSampleMatchesRegistry) {
     registry_macs += s.model.registry().unit(i).macs;
   }
   EXPECT_EQ(net.macs_per_sample(8, 8), registry_macs);
+}
+
+// ---- blocked igemm datapath vs the naive specification ---------------------
+
+/// The headline igemm property at the engine level: the blocked packed-
+/// panel forward must be BIT-identical to the naive int64 triple loop
+/// (`forward_reference`) — same codes, same accumulation results, same
+/// float epilogue — for every layer mix, bit floor and thread count.
+void expect_bitwise_forward(EngineSetup& s) {
+  IntegerNetwork net = IntegerNetwork::compile(s.model);
+  const Tensor x = snap_input(s.val.all().images);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const ExecContext ctx(threads);
+    Workspace ws;
+    const Tensor fast = net.forward(x, ws, ctx);
+    const Tensor ref = net.forward_reference(x, ws, ctx);
+    ASSERT_EQ(fast.shape(), ref.shape());
+    const auto fp = fast.data();
+    const auto rp = ref.data();
+    for (std::size_t i = 0; i < fp.size(); ++i) {
+      ASSERT_EQ(fp[i], rp[i])
+          << "logit " << i << " diverged at threads=" << threads;
+    }
+  }
+}
+
+TEST(IntegerEngineTest, BlockedForwardBitIdenticalCnn4Bit) {
+  EngineSetup s = make_setup(quant::Policy::kMinMax, 1);
+  expect_bitwise_forward(s);
+}
+
+TEST(IntegerEngineTest, BlockedForwardBitIdenticalCnn2Bit) {
+  EngineSetup s = make_setup(quant::Policy::kPact, 2);
+  expect_bitwise_forward(s);
+}
+
+TEST(IntegerEngineTest, BlockedForwardBitIdenticalMlp) {
+  EngineSetup s = make_setup(quant::Policy::kMinMax, 0, /*use_cnn=*/false);
+  expect_bitwise_forward(s);
+}
+
+// ---- static accumulator selection ------------------------------------------
+
+TEST(IntegerEngineTest, CompiledPlansCarryPackedPanelsAndAccum) {
+  EngineSetup s = make_setup(quant::Policy::kMinMax, 1);
+  IntegerNetwork net = IntegerNetwork::compile(s.model);
+  for (std::size_t l = 0; l < net.layer_count(); ++l) {
+    const auto& plan = net.plan(l);
+    if (plan.kind != IntLayerPlan::Kind::kConv &&
+        plan.kind != IntLayerPlan::Kind::kLinear) {
+      continue;
+    }
+    ASSERT_EQ(plan.weight_panel.size(), plan.weight_codes.size());
+    EXPECT_GT(plan.in_code_bound, 0);
+    // This toy net's depths are tiny; every layer must pick int32.
+    EXPECT_EQ(plan.accum, IgemmAccum::kInt32);
+    EXPECT_TRUE(
+        igemm_fits_int32(plan.max_abs_code, plan.in_code_bound,
+                         plan.kind == IntLayerPlan::Kind::kConv
+                             ? plan.in_channels * plan.kernel * plan.kernel
+                             : plan.in_features));
+  }
+}
+
+/// A synthetic linear plan at the exact overflow boundary.  Codes of
+/// magnitude 255 against the 8-bit input bound (255) admit int32 up to
+/// depth 33025 (255·255·33025 = 2,147,450,625 ≤ INT32_MAX); one feature
+/// more must flip the plan to the int64 fallback.
+IntLayerPlan boundary_linear_plan(std::size_t in_features) {
+  IntLayerPlan plan;
+  plan.kind = IntLayerPlan::Kind::kLinear;
+  plan.name = "fc_boundary";
+  plan.in_features = in_features;
+  plan.out_features = 2;
+  plan.weight_bits = 8;
+  plan.weight_codes.assign(plan.out_features * in_features, 255);
+  plan.channel_scale.assign(plan.out_features, 1e-6f);
+  plan.bias.assign(plan.out_features, 0.0f);
+  return plan;
+}
+
+TEST(IntegerEngineTest, AccumulatorSelectionAtTheOverflowBoundary) {
+  const IntegerNetwork fits =
+      IntegerNetwork::from_plans({boundary_linear_plan(33025)});
+  EXPECT_EQ(fits.plan(0).accum, IgemmAccum::kInt32);
+  EXPECT_EQ(fits.plan(0).max_abs_code, 255);
+  EXPECT_EQ(fits.plan(0).in_code_bound, 255);
+
+  const IntegerNetwork falls_back =
+      IntegerNetwork::from_plans({boundary_linear_plan(33026)});
+  EXPECT_EQ(falls_back.plan(0).accum, IgemmAccum::kInt64);
+}
+
+TEST(IntegerEngineTest, Int64FallbackLayerStaysExact) {
+  // Worst-case inputs on the fallback layer: every activation snaps to
+  // the top input code (255), every weight code is 255, so each of the
+  // 33026 terms is 65025 and the true sum (2,147,548,650) exceeds
+  // INT32_MAX — an int32 accumulator would wrap.  The engine must have
+  // selected int64 and match the naive reference bit for bit.
+  const std::size_t k = 33026;
+  IntegerNetwork net = IntegerNetwork::from_plans({boundary_linear_plan(k)});
+  ASSERT_EQ(net.plan(0).accum, IgemmAccum::kInt64);
+  Tensor x({1, 1, 1, k});
+  for (auto& v : x.data()) v = 1.0f;  // snaps to code 255 everywhere
+  // The engine expects NCHW input, so flatten ahead of the linear plan.
+  IntLayerPlan flat;
+  flat.kind = IntLayerPlan::Kind::kFlatten;
+  flat.name = "flatten@0";
+  IntegerNetwork net2 =
+      IntegerNetwork::from_plans({flat, boundary_linear_plan(k)});
+  const Tensor fast = net2.forward(x);
+  const Tensor ref = net2.forward_reference(x);
+  ASSERT_EQ(fast.shape(), ref.shape());
+  for (std::size_t i = 0; i < fast.data().size(); ++i) {
+    EXPECT_EQ(fast.data()[i], ref.data()[i]);
+  }
+  // And the sum really does bust int32 — the fallback was load-bearing.
+  EXPECT_GT(std::int64_t{255} * 255 * static_cast<std::int64_t>(k),
+            std::int64_t{std::numeric_limits<std::int32_t>::max()});
+}
+
+// ---- encode_doubled envelope ------------------------------------------------
+
+TEST(IntegerEngineTest, EncodeDoubledRejectsCodesOutsideTheEnvelope) {
+  // A 2-bit grid with step 1 holds doubled codes in ±4; the value 3.0
+  // encodes to 6 — the silent std::lround narrowing this used to hide.
+  Tensor q({3});
+  q.data()[0] = 1.0f;
+  q.data()[1] = -2.0f;  // doubled code −4: exactly on the envelope, fine
+  q.data()[2] = 3.0f;   // doubled code 6: out of envelope
+  try {
+    encode_doubled(q, 1.0f, 2, "conv1");
+    FAIL() << "expected ccq::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("conv1"), std::string::npos);
+    EXPECT_NE(what.find("envelope"), std::string::npos);
+  }
+  q.data()[2] = 2.0f;  // doubled code 4: back inside
+  const auto codes = encode_doubled(q, 1.0f, 2, "conv1");
+  EXPECT_EQ(codes, (std::vector<std::int32_t>{2, -4, 4}));
 }
 
 TEST(IntegerEngineTest, RejectsResidualTopologies) {

@@ -299,6 +299,40 @@ TEST(ServeTest, ServedOutputsBitIdenticalForAnyWorkerCount) {
   }
 }
 
+TEST(ServeTest, ServedOutputsMatchThePrePackedNaiveForward) {
+  // Golden check for the blocked igemm datapath end to end: export the
+  // mixed 8/4/2 SimpleCNN, reload it (the load path re-packs the int16
+  // weight panels), serve it — and require every served logit to be
+  // bit-identical to `forward_reference`, the naive int64 triple loop
+  // that was the entire serving datapath before the blocked kernels.
+  auto model = make_mixed_model();
+  hw::IntegerNetwork direct = hw::IntegerNetwork::compile(model);
+  const Tensor x = make_inputs(24);
+  const Tensor golden = direct.forward_reference(x);
+
+  const std::string path = temp_path("ccq_serve_igemm_golden.ccqa");
+  export_artifact(direct, path);
+  hw::IntegerNetwork loaded = load_artifact(path);
+  for (std::size_t l = 0; l < loaded.layer_count(); ++l) {
+    const auto& plan = loaded.plan(l);
+    EXPECT_EQ(plan.weight_panel.size(), plan.weight_codes.size())
+        << "layer " << plan.name << " loaded without a packed panel";
+  }
+
+  ServeConfig config;
+  config.workers = 2;
+  config.max_batch = 5;
+  config.max_delay_us = 200;
+  ServeHarness harness(std::move(loaded), config);
+  const HarnessReport report = harness.run(x, /*producers=*/3);
+  ASSERT_EQ(report.outputs.size(), x.dim(0));
+  for (std::size_t i = 0; i < report.outputs.size(); ++i) {
+    EXPECT_EQ(max_row_diff(report.outputs[i], golden, i), 0.0f)
+        << "served sample " << i << " diverged from the naive reference";
+  }
+  fs::remove(path);
+}
+
 TEST(ServeTest, FlushesWhenBatchFills) {
   auto model = make_mixed_model();
   ServeConfig config;

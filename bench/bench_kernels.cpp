@@ -3,6 +3,9 @@
 // convolution, the quantizers, and the competition probe path.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "ccq/common/telemetry.hpp"
 #include "ccq/core/trainer.hpp"
 #include "ccq/hw/integer_engine.hpp"
@@ -298,27 +301,61 @@ hw::IntegerNetwork igemm_net(int bits) {
       {conv_plan(16, 32, "conv1"), conv_plan(32, 32, "conv2")});
 }
 
-/// The igemm speedup grid: blocked packed-panel forward vs the naive
-/// int64 triple loop (`forward_reference`) on the same compiled net.
-/// Args are {bits, blocked}; both paths run the identical workspace-
-/// leased datapath, so the time ratio isolates the kernel.  Outputs are
-/// bit-identical by construction (igemm_property_test), so only speed
-/// and the allocs_per_iter=0 warm contract are at stake here.
+/// Pins $CCQ_IGEMM_KERNEL for the duration of a bench so `from_plans`
+/// compiles every eligible layer with one named kernel, then restores
+/// whatever the user had exported.
+struct KernelEnvPin {
+  explicit KernelEnvPin(const char* kernel) {
+    const char* prev = std::getenv("CCQ_IGEMM_KERNEL");
+    if (prev != nullptr) saved_ = prev;
+    had_ = prev != nullptr;
+    if (kernel != nullptr) {
+      setenv("CCQ_IGEMM_KERNEL", kernel, 1);
+    } else {
+      unsetenv("CCQ_IGEMM_KERNEL");
+    }
+  }
+  ~KernelEnvPin() {
+    if (had_) {
+      setenv("CCQ_IGEMM_KERNEL", saved_.c_str(), 1);
+    } else {
+      unsetenv("CCQ_IGEMM_KERNEL");
+    }
+  }
+  std::string saved_;
+  bool had_ = false;
+};
+
+/// The igemm kernel grid: each registry variant against the naive int64
+/// triple loop (`forward_reference`) on the same compiled net.  Args are
+/// {bits, mode} with mode 0=reference, 1=scalar, 2=vec16, 3=vec-packed
+/// (the mode names index igemm_kernel_names()).  All modes run the
+/// identical workspace-leased datapath, so the time ratios isolate the
+/// microkernels.  Outputs are bit-identical by construction
+/// (igemm_property_test), so only speed and the allocs_per_iter=0 warm
+/// contract are at stake here.  8-bit skips vec-packed: its ±256 weight
+/// codes overflow the signed-8 lane format, so selection would silently
+/// fall back and mislabel the row.
 void BM_IgemmForward(benchmark::State& state) {
   const int bits = static_cast<int>(state.range(0));
-  const bool blocked = state.range(1) != 0;
-  hw::IntegerNetwork net = igemm_net(bits);
+  const auto mode = static_cast<std::size_t>(state.range(1));
+  static const char* const kModes[] = {nullptr, "scalar", "vec16",
+                                       "vec-packed"};
+  const bool reference = mode == 0;
+  const KernelEnvPin pin(kModes[mode]);
+  hw::IntegerNetwork net = igemm_net(bits);  // reads the pinned override
+  state.SetLabel(reference ? "reference" : kModes[mode]);
   Rng rng(3);
   Tensor x({4, 16, 16, 16});
   for (auto& v : x.data()) v = static_cast<float>(rng.uniform());
   Workspace ws;
   ExecContext ctx;  // serial: thread scaling is covered by *Threads benches
-  ws.recycle(blocked ? net.forward(x, ws, ctx)
-                     : net.forward_reference(x, ws, ctx));  // warm the pool
+  ws.recycle(reference ? net.forward_reference(x, ws, ctx)
+                       : net.forward(x, ws, ctx));  // warm the pool
   const AllocSnapshot before;
   for (auto _ : state) {
-    Tensor y = blocked ? net.forward(x, ws, ctx)
-                       : net.forward_reference(x, ws, ctx);
+    Tensor y = reference ? net.forward_reference(x, ws, ctx)
+                         : net.forward(x, ws, ctx);
     benchmark::DoNotOptimize(y.data().data());
     ws.recycle(std::move(y));
   }
@@ -329,10 +366,15 @@ void BM_IgemmForward(benchmark::State& state) {
 BENCHMARK(BM_IgemmForward)
     ->Args({2, 0})
     ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({2, 3})
     ->Args({4, 0})
     ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 3})
     ->Args({8, 0})
-    ->Args({8, 1});
+    ->Args({8, 1})
+    ->Args({8, 2});
 
 void BM_KlCalibration(benchmark::State& state) {
   Rng rng(5);

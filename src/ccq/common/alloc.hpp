@@ -54,20 +54,39 @@ constexpr bool enabled() { return false; }
 
 /// std::allocator drop-in that reports each allocation to alloc_stats.
 /// Stateless, so it adds no footprint and all instances compare equal.
-template <typename T>
+/// `Align` raises the storage alignment above the type's natural one —
+/// the integer pools use 64 so SIMD kernels can assume cache-line-aligned
+/// panel bases (vector *rows* may still be unaligned; kernels use
+/// unaligned loads and the alignment only buys split-free starts).
+template <typename T, std::size_t Align = alignof(T)>
 struct CountingAllocator {
   using value_type = T;
+  // Explicit rebind: the non-type Align parameter defeats the default
+  // allocator_traits rebind (which only handles type parameter packs).
+  template <typename U>
+  struct rebind {
+    using other = CountingAllocator<U, Align>;
+  };
 
   CountingAllocator() noexcept = default;
-  template <typename U>
-  CountingAllocator(const CountingAllocator<U>&) noexcept {}
+  template <typename U, std::size_t A>
+  CountingAllocator(const CountingAllocator<U, A>&) noexcept {}
 
   T* allocate(std::size_t n) {
     alloc_stats::record(n * sizeof(T));
-    return std::allocator<T>{}.allocate(n);
+    if constexpr (Align > alignof(std::max_align_t)) {
+      return static_cast<T*>(
+          ::operator new(n * sizeof(T), std::align_val_t{Align}));
+    } else {
+      return std::allocator<T>{}.allocate(n);
+    }
   }
   void deallocate(T* p, std::size_t n) noexcept {
-    std::allocator<T>{}.deallocate(p, n);
+    if constexpr (Align > alignof(std::max_align_t)) {
+      ::operator delete(p, n * sizeof(T), std::align_val_t{Align});
+    } else {
+      std::allocator<T>{}.deallocate(p, n);
+    }
   }
 
   friend bool operator==(const CountingAllocator&, const CountingAllocator&) {
@@ -78,9 +97,13 @@ struct CountingAllocator {
 /// Storage type for Tensor data and Workspace pool buffers.
 using FloatVec = std::vector<float, CountingAllocator<float>>;
 
-/// Storage type for the Workspace's integer pool (igemm activation-code
-/// and im2col buffers).  Counted by the same allocator so the warm
-/// zero-allocations contract covers the integer datapath too.
-using Int32Vec = std::vector<std::int32_t, CountingAllocator<std::int32_t>>;
+/// Storage types for the Workspace's integer pools (igemm activation
+/// codes, im2col buffers, and the vector kernels' repacked int16 / uint8
+/// activation panels).  Counted by the same allocator so the warm
+/// zero-allocations contract covers the integer datapath too, and
+/// 64-byte aligned for split-free vector loads from the buffer base.
+using Int32Vec = std::vector<std::int32_t, CountingAllocator<std::int32_t, 64>>;
+using Int16Vec = std::vector<std::int16_t, CountingAllocator<std::int16_t, 64>>;
+using ByteVec = std::vector<std::uint8_t, CountingAllocator<std::uint8_t, 64>>;
 
 }  // namespace ccq

@@ -69,7 +69,10 @@ enum class Gauge : int {
 
 enum class Timer : int {
   kGemm,              ///< blocked GEMM core (gemm / gemm_tn)
-  kIgemm,             ///< blocked integer GEMM (igemm_wx / igemm_xw)
+  kIgemm,             ///< blocked integer GEMM (igemm_run, all kernels)
+  kIgemmScalar,       ///< igemm per-kernel axis: scalar rank-1 kernel
+  kIgemmVec16,        ///< igemm per-kernel axis: vec16 SIMD kernel
+  kIgemmVecPacked,    ///< igemm per-kernel axis: vec-packed 8-bit kernel
   kConvForward,       ///< Conv2d::forward
   kConvBackward,      ///< Conv2d::backward
   kProbeEval,         ///< evaluate_batch (the competition probe primitive)

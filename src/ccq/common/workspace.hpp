@@ -90,10 +90,13 @@ class Workspace {
   /// Lease `n` floats of scratch (unspecified contents).
   FloatLease floats(std::size_t n) { return FloatLease(*this, n); }
 
-  // ---- integer buffer pool ----------------------------------------------
-  // Same bucket/arena machinery over int32 storage: the igemm deployment
-  // path leases activation-code and im2col column buffers here, so warm
-  // integer inference is allocation-free alongside the float pool.
+  // ---- integer buffer pools ---------------------------------------------
+  // Same bucket/arena machinery over int32 / int16 / byte storage: the
+  // igemm deployment path leases activation-code and im2col column
+  // buffers (int32) plus the vector kernels' repacked int16 / uint8
+  // activation panels here, so warm integer inference is allocation-free
+  // alongside the float pool.  All integer pool storage is 64-byte
+  // aligned (alloc.hpp) for split-free SIMD loads from the buffer base.
 
   /// A buffer of exactly `n` int32s with unspecified contents.
   Int32Vec acquire_ints(std::size_t n);
@@ -130,6 +133,76 @@ class Workspace {
   /// Lease `n` int32s of scratch (unspecified contents).
   IntLease ints(std::size_t n) { return IntLease(*this, n); }
 
+  /// A buffer of exactly `n` int16s with unspecified contents.
+  Int16Vec acquire_shorts(std::size_t n);
+
+  /// Return an int16 buffer to the calling thread's arena.
+  void release_shorts(Int16Vec&& buf);
+
+  /// RAII int16 scratch lease (vec16 igemm activation panels).
+  class ShortLease {
+   public:
+    ShortLease(Workspace& ws, std::size_t n)
+        : ws_(&ws), buf_(ws.acquire_shorts(n)) {}
+    ShortLease(ShortLease&& other) noexcept
+        : ws_(other.ws_), buf_(std::move(other.buf_)) {
+      other.ws_ = nullptr;
+    }
+    ShortLease& operator=(ShortLease&&) = delete;
+    ShortLease(const ShortLease&) = delete;
+    ShortLease& operator=(const ShortLease&) = delete;
+    ~ShortLease() {
+      if (ws_ != nullptr) ws_->release_shorts(std::move(buf_));
+    }
+
+    std::int16_t* data() { return buf_.data(); }
+    const std::int16_t* data() const { return buf_.data(); }
+    std::size_t size() const { return buf_.size(); }
+    std::span<std::int16_t> span() { return {buf_.data(), buf_.size()}; }
+
+   private:
+    Workspace* ws_;
+    Int16Vec buf_;
+  };
+
+  /// Lease `n` int16s of scratch (unspecified contents).
+  ShortLease shorts(std::size_t n) { return ShortLease(*this, n); }
+
+  /// A buffer of exactly `n` bytes with unspecified contents.
+  ByteVec acquire_bytes(std::size_t n);
+
+  /// Return a byte buffer to the calling thread's arena.
+  void release_bytes(ByteVec&& buf);
+
+  /// RAII byte scratch lease (vec-packed igemm activation panels).
+  class ByteLease {
+   public:
+    ByteLease(Workspace& ws, std::size_t n)
+        : ws_(&ws), buf_(ws.acquire_bytes(n)) {}
+    ByteLease(ByteLease&& other) noexcept
+        : ws_(other.ws_), buf_(std::move(other.buf_)) {
+      other.ws_ = nullptr;
+    }
+    ByteLease& operator=(ByteLease&&) = delete;
+    ByteLease(const ByteLease&) = delete;
+    ByteLease& operator=(const ByteLease&) = delete;
+    ~ByteLease() {
+      if (ws_ != nullptr) ws_->release_bytes(std::move(buf_));
+    }
+
+    std::uint8_t* data() { return buf_.data(); }
+    const std::uint8_t* data() const { return buf_.data(); }
+    std::size_t size() const { return buf_.size(); }
+    std::span<std::uint8_t> span() { return {buf_.data(), buf_.size()}; }
+
+   private:
+    Workspace* ws_;
+    ByteVec buf_;
+  };
+
+  /// Lease `n` bytes of scratch (unspecified contents).
+  ByteLease bytes(std::size_t n) { return ByteLease(*this, n); }
+
   // ---- pool-backed tensors (inline: header-only Tensor bridge) ----------
   /// Zero-filled tensor backed by pool storage.
   Tensor tensor(Shape shape) {
@@ -164,11 +237,14 @@ class Workspace {
   static Workspace& scratch();
 
  private:
-  // One free-list vector per power-of-two capacity bucket; float and
-  // int32 storage pool separately (buffers never change element type).
+  // One free-list vector per power-of-two capacity bucket; float, int32,
+  // int16 and byte storage pool separately (buffers never change element
+  // type).
   struct Arena {
     std::vector<std::vector<FloatVec>> buckets;
     std::vector<std::vector<Int32Vec>> int_buckets;
+    std::vector<std::vector<Int16Vec>> short_buckets;
+    std::vector<std::vector<ByteVec>> byte_buckets;
   };
 
   template <typename Vec>

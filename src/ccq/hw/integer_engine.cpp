@@ -253,6 +253,12 @@ void IntegerNetwork::finalize_plans() {
   // for averages, requantized back onto) the current grid, so they
   // preserve the bound.  0 marks an unquantized producer — the consumer
   // then accumulates in int64 unconditionally.
+  //
+  // $CCQ_IGEMM_KERNEL is read once for the whole network (kAuto when
+  // unset); each layer then resolves it against its own static bounds,
+  // so a 2-bit conv can run vec-packed while the int64-accumulating
+  // classifier head falls back to scalar in the same net.
+  const IgemmKernel requested = igemm_requested_kernel();
   std::int64_t in_bound = 255;
   for (auto& plan : plans_) {
     if (plan.kind == IntLayerPlan::Kind::kConv ||
@@ -264,15 +270,18 @@ void IntegerNetwork::finalize_plans() {
           conv ? plan.in_channels * plan.kernel * plan.kernel
                : plan.in_features;
       plan.max_abs_code = igemm_max_abs(plan.weight_codes);
-      // Conv consumes the panel on the left (out×patch); linear on the
-      // right, transposed, so outputs land row-major in (batch×out).
-      plan.weight_panel =
-          igemm_pack_panel(plan.weight_codes, rows, depth, /*transpose=*/!conv);
       plan.in_code_bound = in_bound;
       plan.accum =
           in_bound > 0 && igemm_fits_int32(plan.max_abs_code, in_bound, depth)
               ? IgemmAccum::kInt32
               : IgemmAccum::kInt64;
+      plan.igemm_kernel = igemm_select_kernel(requested, plan.max_abs_code,
+                                              plan.in_code_bound, plan.accum);
+      // Conv consumes the panel on the left (kWX, per-row epilogue);
+      // linear on the right (kXW), so outputs land row-major (batch×out).
+      plan.panel = igemm_pack(plan.weight_codes, rows, depth,
+                              conv ? IgemmForm::kWX : IgemmForm::kXW,
+                              plan.igemm_kernel);
       in_bound = plan.has_act && plan.act_bits < 16
                      ? (std::int64_t{1} << plan.act_bits) - 1
                      : 0;
@@ -368,14 +377,22 @@ Tensor IntegerNetwork::forward(const Tensor& x, Workspace& ws,
         to_int_codes(act, scale, xcodes.data());
         Tensor out = ws.tensor_uninit({n, plan.out_channels, oh, ow});
         Workspace::IntLease cols = ws.ints(patch * spatial);
+        IgemmOp op;
+        op.form = IgemmForm::kWX;
+        op.m = plan.out_channels;
+        op.n = spatial;
+        op.k = patch;
+        op.panel = &plan.panel;
+        op.epilogue = {plan.channel_scale.data(), plan.bias.data()};
+        op.accum = plan.accum;
+        op.x_bound = plan.in_code_bound;
+        op.ws = &ws;
         for (std::size_t img = 0; img < n; ++img) {
           im2col(xcodes.data() + img * plan.in_channels * h * w, g,
                  cols.data(), ctx);
-          igemm_wx(plan.out_channels, spatial, patch,
-                   plan.weight_panel.data(), cols.data(),
-                   out.data().data() + img * plan.out_channels * spatial,
-                   plan.channel_scale.data(), plan.bias.data(), plan.accum,
-                   ctx);
+          op.x = cols.data();
+          op.c = out.data().data() + img * plan.out_channels * spatial;
+          igemm_run(op, ctx);
         }
         ws.recycle(std::move(act));
         act = std::move(out);
@@ -390,10 +407,19 @@ Tensor IntegerNetwork::forward(const Tensor& x, Workspace& ws,
         Workspace::IntLease xcodes = ws.ints(act.numel());
         to_int_codes(act, scale, xcodes.data());
         Tensor out = ws.tensor_uninit({n, plan.out_features});
-        igemm_xw(n, plan.out_features, plan.in_features, xcodes.data(),
-                 plan.weight_panel.data(), out.data().data(),
-                 plan.channel_scale.data(), plan.bias.data(), plan.accum,
-                 ctx);
+        IgemmOp op;
+        op.form = IgemmForm::kXW;
+        op.m = n;
+        op.n = plan.out_features;
+        op.k = plan.in_features;
+        op.panel = &plan.panel;
+        op.x = xcodes.data();
+        op.c = out.data().data();
+        op.epilogue = {plan.channel_scale.data(), plan.bias.data()};
+        op.accum = plan.accum;
+        op.x_bound = plan.in_code_bound;
+        op.ws = &ws;
+        igemm_run(op, ctx);
         ws.recycle(std::move(act));
         act = std::move(out);
         apply_act(act, plan);

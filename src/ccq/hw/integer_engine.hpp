@@ -10,11 +10,14 @@
 //   * quantized weights are stored as k-bit integer codes plus a
 //     per-layer scale (per-channel after folding);
 //   * every convolution / fully-connected inner product runs through the
-//     blocked integer GEMM family (`ccq::igemm_wx`/`igemm_xw`, packed
-//     int16 weight panels, int32 accumulation with a statically bounded
-//     int64 fallback), then rescales; the naive int64 triple loop is
-//     kept as `forward_reference`, the golden datapath the blocked
-//     kernels are differentially tested against;
+//     igemm kernel-dispatch API (`ccq::IgemmOp` + `igemm_run`): at
+//     plan-finalize time each layer picks a named kernel variant from
+//     the registry (scalar / vec16 / vec-packed, overridable via
+//     `$CCQ_IGEMM_KERNEL`) based on its bit width and static code
+//     bounds, packs its weight codes into that kernel's panel layout,
+//     and accumulates in int32 with a statically bounded int64 fallback;
+//     the naive int64 triple loop is kept as `forward_reference`, the
+//     golden datapath every kernel is differentially tested against;
 //   * activations are re-quantized onto the next layer's input grid.
 //
 // Tests assert parity with the float-simulated forward pass — the
@@ -59,9 +62,12 @@ struct IntLayerPlan {
   std::size_t in_features = 0, out_features = 0;
 
   // igemm payload (derived — built by finalize, never serialized) --------
-  /// Packed int16 panel of `weight_codes`: row-major out×patch for conv,
-  /// transposed in_features×out_features for linear (right-hand operand).
-  std::vector<std::int16_t> weight_panel;
+  /// Kernel variant selected for this layer (igemm_select_kernel over
+  /// the layer's static bounds, seeded by `$CCQ_IGEMM_KERNEL`).
+  IgemmKernel igemm_kernel = IgemmKernel::kScalar;
+  /// `weight_codes` packed in `igemm_kernel`'s panel layout (kWX for
+  /// conv, kXW for linear — see igemm_pack).
+  IgemmPanel panel;
   std::int32_t max_abs_code = 0;   ///< max |weight code|
   /// Static bound on |incoming activation codes| (255 for the 8-bit
   /// input, (2^b − 1) after a b-bit activation grid); 0 = unknown.
@@ -103,11 +109,11 @@ class IntegerNetwork {
   static IntegerNetwork from_plans(std::vector<IntLayerPlan> plans);
 
   /// Run inference over an (N, C, H, W) batch; returns (N, classes)
-  /// logits.  All conv/linear arithmetic is integer, computed by the
-  /// blocked `ccq::igemm` kernels over the packed int16 weight panels
-  /// (bit-identical to `forward_reference` for every shape, bit width,
-  /// blocking and thread count — the differential property the igemm
-  /// test harness enforces).  The workspace overload recycles every
+  /// logits.  All conv/linear arithmetic is integer, executed by
+  /// `igemm_run` with each layer's selected kernel over its packed
+  /// weight panel (bit-identical to `forward_reference` for every
+  /// shape, bit width, kernel, blocking and thread count — the
+  /// differential property the igemm test harness enforces).  The workspace overload recycles every
   /// intermediate activation through the pool; recycle the returned
   /// logits too and warm repeated inference performs no float- or
   /// int-storage allocations.  The context overload names the thread
@@ -132,9 +138,13 @@ class IntegerNetwork {
   std::size_t macs_per_sample(std::size_t h, std::size_t w) const;
 
  private:
-  /// Build each plan's derived igemm payload (int16 panel, max |code|,
-  /// static accumulator choice) — runs once in compile()/from_plans(), so
-  /// artifact loads ship ready-packed panels.
+  /// Build each plan's derived igemm payload (kernel selection, packed
+  /// panel, max |code|, static accumulator choice) — runs once in
+  /// compile()/from_plans(), so artifact loads ship ready-packed panels
+  /// in the layout of the kernel that will execute them.  Reads
+  /// `$CCQ_IGEMM_KERNEL` once for the whole network; throws its
+  /// unknown-name error (listing available kernels) before any layer is
+  /// packed.
   void finalize_plans();
 
   std::vector<IntLayerPlan> plans_;

@@ -380,7 +380,17 @@ hw::IntegerNetwork load_artifact(const std::string& path) {
     reader.fail("trailing bytes after the declared " +
                 std::to_string(layer_count) + " layers");
   }
-  return hw::IntegerNetwork::from_plans(std::move(plans));
+  // from_plans re-finalizes: every layer selects its igemm kernel
+  // (honouring $CCQ_IGEMM_KERNEL) and re-packs its weight panel in that
+  // kernel's layout, so a loaded artifact serves with the same
+  // per-layer kernel choices a freshly compiled network would get on
+  // this host.  Re-throw with the artifact path so a bad kernel
+  // override at load time names what was being loaded.
+  try {
+    return hw::IntegerNetwork::from_plans(std::move(plans));
+  } catch (const Error& e) {
+    throw Error("artifact " + path + ": " + e.what());
+  }
 }
 
 }  // namespace ccq::serve

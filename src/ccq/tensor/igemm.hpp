@@ -2,28 +2,37 @@
 //
 // The integer engine (hw/integer_engine) computes every conv / linear
 // layer over k-bit integer codes; this kernel family gives that path the
-// same blocked/tiled treatment the float side gets from tensor/gemm:
+// same blocked/tiled treatment the float side gets from tensor/gemm —
+// plus explicitly vectorized microkernels behind a small named registry:
 //
-//   * weight codes are packed once (plan-compile time) into row-major
-//     `int16` panels (`igemm_pack_panel`) — ladder codes are doubled
-//     k-bit values with k <= 15, so they always fit;
+//   * weight codes are packed once (plan-compile / artifact-load time)
+//     into an `IgemmPanel` whose layout is owned by the kernel that will
+//     execute it (`igemm_pack`);
 //   * activation codes arrive as `int32` buffers (Workspace `ints()`
 //     leases, filled by the int overload of `im2col`);
-//   * the microkernel is a cache-blocked rank-1-update loop (column
-//     panels of `nc`, depth panels of `kc`, a register-resident
-//     accumulator strip per output row) with zero-multiplier skipping —
-//     quantized weights and ReLU-clipped activations are mostly zeros at
-//     low bit widths;
+//   * one igemm invocation is described by an `IgemmOp` — operand form,
+//     shapes, packed panel, activation codes, epilogue (per-channel
+//     scale/bias), accumulator width, blocking — and executed by
+//     `igemm_run`, which dispatches on the panel's kernel variant;
+//   * kernels: `scalar` (the cache-blocked rank-1-update loop, any
+//     accumulator), `vec16` (register-tiled int16×int16→int32 widening
+//     multiply-accumulate — `pmaddwd`-shaped, so SSE2/AVX2 intrinsics
+//     where the feature gate allows and a compiler-vectorizable portable
+//     loop elsewhere), `vec-packed` (weights and activations narrowed to
+//     8-bit lanes for 2–4-bit layers, doubling arithmetic density per
+//     vector op), and `auto` (pick the densest eligible kernel);
 //   * accumulation is `int32` when the statically computed bound
 //     max|a|·max|b|·k fits (see `igemm_fits_int32`), else `int64`.
 //
 // Exactness: integer arithmetic is associative, so *any* blocking
-// factor, panel order or thread partition produces the same sums —
-// provided no intermediate overflows.  The int32 bound guarantees that
-// for every partial sum (each is a subset of at most k terms of
-// magnitude <= max|a|·max|b|), so results are bit-identical to a naive
-// int64 triple loop for all blockings and thread counts
-// (tests/igemm_property_test.cpp enforces this differentially).
+// factor, panel order, lane width or thread partition produces the same
+// sums — provided no intermediate overflows.  The int32 bound guarantees
+// that for every partial sum (each is a subset of at most k terms of
+// magnitude <= max|a|·max|b|), and the vector kernels' eligibility rules
+// (below) extend the same argument to their narrower intermediates, so
+// results are bit-identical to a naive int64 triple loop for all kernels,
+// blockings and thread counts (tests/igemm_property_test.cpp enforces
+// this differentially).
 //
 // Activation codes are required to be representable in int32.  Codes on
 // a quantized activation grid (<16 bits) always are; unbounded float
@@ -33,9 +42,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ccq/common/exec.hpp"
+#include "ccq/common/workspace.hpp"
 #include "ccq/tensor/im2col.hpp"
 
 namespace ccq {
@@ -49,6 +60,9 @@ enum class IgemmAccum : std::uint8_t { kInt32, kInt64 };
 /// Cache-blocking factors.  The defaults mirror tensor/gemm (an `nc`
 /// column panel of int32 activations plus a `kc` depth slice stay
 /// L2-resident); tests sweep them to prove blocking never changes bits.
+/// The vector kernels honour `row_grain` (their parallel partition) and
+/// ignore `nc`/`kc` — their dot-product layout is depth-contiguous, so
+/// panelised rank-1 blocking does not apply.
 struct IgemmBlocking {
   std::size_t nc = 256;        ///< column-panel width (clamped to kIgemmMaxNc)
   std::size_t kc = 128;        ///< depth-panel height
@@ -56,7 +70,7 @@ struct IgemmBlocking {
 };
 
 /// Upper bound on the accumulator strip held per output row (stack
-/// storage in the microkernel); `nc` is clamped to it.
+/// storage in the scalar microkernel); `nc` is clamped to it.
 inline constexpr std::size_t kIgemmMaxNc = 512;
 
 /// True when k products of magnitude <= max_abs_a * max_abs_b plus their
@@ -65,23 +79,156 @@ inline constexpr std::size_t kIgemmMaxNc = 512;
 bool igemm_fits_int32(std::int64_t max_abs_a, std::int64_t max_abs_b,
                       std::size_t k);
 
-/// Pack int32 weight codes into an int16 panel.  `codes` is row-major
-/// rows×cols; `transpose` emits the cols×rows layout (linear layers feed
-/// the panel as the right-hand operand).  Throws ccq::Error naming the
-/// offending value when a code does not fit int16 — packed panels are a
-/// compile-time contract, not a silent narrowing.
+/// Largest |code| in a code vector (0 when empty).
+std::int32_t igemm_max_abs(const std::vector<std::int32_t>& codes);
+
+// ---- kernel registry --------------------------------------------------------
+
+/// Operand form of one igemm: which side the packed weight panel sits on.
+///   kWX — C[m,n] = Σ_k W[m,k]·X[k,n], per-*row* epilogue (conv after
+///         im2col: rows are output channels).
+///   kXW — C[m,n] = Σ_k X[m,k]·W[k,n], per-*column* epilogue (linear
+///         layers: rows are batch samples, columns output features).
+enum class IgemmForm : std::uint8_t { kWX, kXW };
+
+/// Named kernel variants.  `kAuto` is a selection policy, not an
+/// executable kernel: `igemm_select_kernel` resolves it (and any
+/// ineligible explicit request) to the densest eligible concrete kernel.
+enum class IgemmKernel : std::uint8_t {
+  kScalar,     ///< cache-blocked rank-1 updates; int32 or int64 accumulator
+  kVec16,      ///< int16×int16→int32 widening-MAC dot kernel (SIMD)
+  kVecPacked,  ///< 8-bit lanes (low-bit layers): 2× density over vec16
+  kAuto,       ///< resolve per layer from bit width / code bounds
+};
+
+/// Registry introspection: the names `$CCQ_IGEMM_KERNEL` accepts, in
+/// registry order ("scalar", "vec16", "vec-packed", "auto").
+std::vector<std::string> igemm_kernel_names();
+
+const char* igemm_kernel_str(IgemmKernel kernel);
+
+/// Parse a kernel name.  Throws ccq::Error naming the unknown value and
+/// listing the available kernels (mirroring the quant registry style).
+IgemmKernel igemm_kernel_from_str(const std::string& name);
+
+/// The kernel requested via `$CCQ_IGEMM_KERNEL` (kAuto when unset).
+/// Throws the igemm_kernel_from_str error on an unknown name — callers
+/// (plan finalize, artifact load) surface it with their own context.
+IgemmKernel igemm_requested_kernel();
+
+/// True when `kernel` can execute a problem with the given static
+/// operand bounds exactly:
+///   scalar     — always;
+///   vec16      — int32 accumulator and activation codes known to lie in
+///                [0, x_bound] with x_bound <= 32767 (codes narrow to
+///                int16 lanes; pairwise pmaddwd intermediates stay under
+///                the igemm_fits_int32 bound the caller established);
+///   vec-packed — additionally w_max <= 127 (int8 weight lanes),
+///                x_bound <= 255 (uint8 activation lanes) and
+///                2·w_max·x_bound <= 32767 so pairwise products cannot
+///                reach int16 saturation (true for every 2–4-bit ladder
+///                rung, and for wider codes against small grids).
+/// `x_bound` uses the engine's convention: > 0 asserts activation codes
+/// lie in [0, x_bound]; 0 means unknown (vector kernels ineligible).
+bool igemm_kernel_eligible(IgemmKernel kernel, std::int32_t w_max,
+                           std::int64_t x_bound, IgemmAccum accum);
+
+/// Resolve `requested` to a concrete executable kernel for a layer with
+/// the given static bounds: kAuto (and any ineligible explicit request)
+/// walks vec-packed → vec16 → scalar, preferring vec-packed only when
+/// this build carries 8-bit SIMD for it (otherwise its portable loop is
+/// no denser than vec16's).
+IgemmKernel igemm_select_kernel(IgemmKernel requested, std::int32_t w_max,
+                                std::int64_t x_bound, IgemmAccum accum);
+
+/// True when this build has narrow-lane SIMD for vec-packed (SSSE3/AVX2
+/// maddubs path) — the gate `igemm_select_kernel` consults for kAuto.
+bool igemm_packed_simd();
+
+// ---- packed weight panels ---------------------------------------------------
+
+/// Weight codes packed for one kernel variant.  The layout is owned by
+/// the kernel:
+///   scalar     — i16, kWX: row-major rows×depth; kXW: transposed
+///                depth×rows (the right-hand operand layout);
+///   vec16      — i16, row-major rows×stride "dot layout" (each output
+///                channel's codes contiguous over depth, zero-padded to
+///                a lane-multiple stride) for both forms;
+///   vec-packed — same dot layout in i8.
+/// Padding zeros contribute zero products, so the padded dot is exact.
+struct IgemmPanel {
+  IgemmKernel kernel = IgemmKernel::kScalar;  ///< layout owner
+  IgemmForm form = IgemmForm::kWX;
+  std::size_t rows = 0;    ///< output channels / features
+  std::size_t depth = 0;   ///< logical reduction length k
+  std::size_t stride = 0;  ///< elements per packed row (>= depth)
+  std::int32_t max_abs = 0;  ///< max |weight code|
+  std::vector<std::int16_t> i16;  ///< scalar / vec16 storage
+  std::vector<std::int8_t> i8;    ///< vec-packed storage
+
+  bool empty() const { return i16.empty() && i8.empty(); }
+};
+
+/// Pack `rows`×`depth` row-major weight codes for `kernel`/`form`.
+/// Throws ccq::Error naming the offending value when a code does not fit
+/// the kernel's lane type (int16, or int8 for vec-packed) — packed
+/// panels are a compile-time contract, not a silent narrowing.  `kernel`
+/// must be concrete (resolve kAuto with `igemm_select_kernel` first).
+IgemmPanel igemm_pack(const std::vector<std::int32_t>& codes,
+                      std::size_t rows, std::size_t depth, IgemmForm form,
+                      IgemmKernel kernel);
+
+// ---- the op descriptor ------------------------------------------------------
+
+/// Per-output-channel affine epilogue: C = float(acc) · scale + bias,
+/// indexed by row (kWX) or column (kXW).
+struct IgemmEpilogue {
+  const float* scale = nullptr;
+  const float* bias = nullptr;
+};
+
+/// One igemm invocation, fully described.  `x` is the activation code
+/// matrix in the form's natural layout (kWX: k×n feeding the panel from
+/// the right; kXW: m×k feeding it from the left).  `x_bound > 0` asserts
+/// the activation codes lie in [0, x_bound] (the engine's statically
+/// threaded per-layer bound); 0 = unknown, which confines execution to
+/// the scalar kernel.  `ws` provides pooled scratch for the vector
+/// kernels' activation repacking (nullptr → `Workspace::scratch()`).
+struct IgemmOp {
+  IgemmForm form = IgemmForm::kWX;
+  std::size_t m = 0, n = 0, k = 0;  ///< C is m×n over reduction depth k
+  const IgemmPanel* panel = nullptr;
+  const std::int32_t* x = nullptr;
+  float* c = nullptr;
+  IgemmEpilogue epilogue;
+  IgemmAccum accum = IgemmAccum::kInt64;
+  IgemmBlocking blocking = {};
+  std::int64_t x_bound = 0;
+  Workspace* ws = nullptr;
+};
+
+/// Execute an op with the kernel its panel was packed for.  Validates
+/// that the panel matches the op (form, shapes) and that the kernel is
+/// eligible for the op's bounds — a mismatch throws ccq::Error rather
+/// than risking inexact lanes.  Parallel over output rows; deterministic
+/// and bit-identical across kernels, blockings and thread counts.
+void igemm_run(const IgemmOp& op, const ExecContext& ctx = ExecContext::global());
+
+// ---- deprecated positional entry points -------------------------------------
+
+/// Pack int32 weight codes into a bare int16 panel in the *scalar*
+/// kernel's layout.  Superseded by `igemm_pack` (which owns layout per
+/// kernel variant); kept as the companion of the deprecated shims below.
 std::vector<std::int16_t> igemm_pack_panel(
     const std::vector<std::int32_t>& codes, std::size_t rows,
     std::size_t cols, bool transpose);
 
-/// Largest |code| in a code vector (0 when empty).
-std::int32_t igemm_max_abs(const std::vector<std::int32_t>& codes);
-
 /// C[m,n] = float(sum_k W[m,k] · X[k,n]) · scale[m] + bias[m]
-/// Weight-panel-left form (convolution after im2col): W is a packed
-/// int16 panel (lda = k), X an int32 code matrix (ldb = n), C float
-/// (ldc = n).  Scale/bias are per *row* (output channel).  Parallel over
-/// output rows; deterministic and exact for any thread count/blocking.
+/// Deprecated positional form (one release): runs the scalar kernel over
+/// a bare panel from `igemm_pack_panel(..., transpose=false)`.  Migrate
+/// to `IgemmOp{.form = IgemmForm::kWX, ...}` + `igemm_run`, which adds
+/// kernel dispatch (SIMD) and registry selection.
+[[deprecated("build an IgemmOp and call igemm_run instead")]]
 void igemm_wx(std::size_t m, std::size_t n, std::size_t k,
               const std::int16_t* w, const std::int32_t* x, float* c,
               const float* scale, const float* bias, IgemmAccum accum,
@@ -89,11 +236,10 @@ void igemm_wx(std::size_t m, std::size_t n, std::size_t k,
               const IgemmBlocking& blk = {});
 
 /// C[m,n] = float(sum_k X[m,k] · W[k,n]) · scale[n] + bias[n]
-/// Activation-left form (linear layers): X is the int32 activation code
-/// matrix (batch × in_features), W the *transposed* int16 weight panel
-/// (in_features × out_features), so C lands row-major in the output
-/// tensor's (batch × out_features) layout.  Scale/bias are per *column*
-/// (output feature).
+/// Deprecated positional form (one release): runs the scalar kernel over
+/// a bare panel from `igemm_pack_panel(..., transpose=true)`.  Migrate
+/// to `IgemmOp{.form = IgemmForm::kXW, ...}` + `igemm_run`.
+[[deprecated("build an IgemmOp and call igemm_run instead")]]
 void igemm_xw(std::size_t m, std::size_t n, std::size_t k,
               const std::int32_t* x, const std::int16_t* w, float* c,
               const float* scale, const float* bias, IgemmAccum accum,

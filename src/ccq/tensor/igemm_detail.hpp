@@ -1,0 +1,35 @@
+// Internal seam between the igemm dispatch layer (igemm.cpp) and the
+// vectorized microkernels (igemm_kernels.cpp, compiled with its own
+// optimisation flags).  Not installed API — include igemm.hpp instead.
+#pragma once
+
+#include <cstddef>
+
+#include "ccq/tensor/igemm.hpp"
+
+namespace ccq::igemm_detail {
+
+/// Dot-layout row padding (elements): depth is rounded up to a lane
+/// multiple so the inner loops carry no scalar tail.  16 int16 lanes
+/// covers SSE2 (8) and AVX2 (16); 32 8-bit lanes covers SSSE3 (16) and
+/// AVX2 (32).  Padding zeros contribute zero products — exactness holds.
+inline constexpr std::size_t kVec16Pad = 16;
+inline constexpr std::size_t kPackedPad = 32;
+
+inline constexpr std::size_t round_up(std::size_t n, std::size_t to) {
+  return (n + to - 1) / to * to;
+}
+
+/// Execute a validated vec16 / vec-packed op (igemm_run has already
+/// checked panel/form/shape/eligibility).  Both repack the activation
+/// side into a Workspace-leased dot panel, then run the register-tiled
+/// dot loops parallel over output rows.
+void run_vec16(const IgemmOp& op, const ExecContext& ctx);
+void run_vec_packed(const IgemmOp& op, const ExecContext& ctx);
+
+/// True when this translation unit was compiled with 8-bit-lane SIMD
+/// (SSSE3 maddubs or AVX2) — the build-level gate behind
+/// `igemm_packed_simd`.
+bool packed_simd();
+
+}  // namespace ccq::igemm_detail

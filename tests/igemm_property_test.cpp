@@ -1,17 +1,22 @@
-// Differential tests for the blocked integer GEMM family.
+// Differential tests for the igemm kernel-dispatch family.
 //
-// The contract under test: for every bit width, shape, blocking factor
-// and thread count, `igemm_wx` / `igemm_xw` are bit-identical to a naive
-// int64 triple loop — the 10-line reference below IS the specification,
-// the blocked kernel merely reorders exact integer arithmetic.  The
-// sweep includes degenerate shapes (k = 0, single-row, single-column)
-// and depths that straddle the int32/int64 accumulator bound, plus a
-// seeded randomized round of layer-like configs (fixed RNG, so failures
-// reproduce exactly).
+// The contract under test: for every bit width, shape, blocking factor,
+// thread count AND kernel variant (scalar / vec16 / vec-packed), packing
+// an `IgemmPanel` and executing the `IgemmOp` through `igemm_run` is
+// bit-identical to a naive int64 triple loop — the 10-line reference
+// below IS the specification; every kernel merely reorders exact integer
+// arithmetic.  The sweep includes degenerate shapes (k = 0, single-row,
+// single-column), alignment edges (depths straddling the SIMD lane
+// padding), depths that straddle the int32/int64 accumulator bound, and
+// a seeded randomized round of layer-like configs (fixed RNG, so
+// failures reproduce exactly).  Registry selection, the env override and
+// the deprecated positional shims are covered at the end.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -60,8 +65,8 @@ struct Problem {
   std::size_t m, n, k;
   std::vector<std::int32_t> w;   // m×k weight codes (row-major)
   std::vector<std::int32_t> x;   // k×n activation codes (row-major)
-  std::vector<float> row_scale, row_bias;  // per-row (igemm_wx)
-  std::vector<float> col_scale, col_bias;  // per-column (igemm_xw)
+  std::vector<float> row_scale, row_bias;  // per-row (kWX)
+  std::vector<float> col_scale, col_bias;  // per-column (kXW)
 };
 
 Problem make_problem(Rng& rng, std::size_t m, std::size_t n, std::size_t k,
@@ -96,41 +101,63 @@ Problem make_problem(Rng& rng, std::size_t m, std::size_t n, std::size_t k,
   return p;
 }
 
-/// Run both blocked forms against the references.  Exercises the int32
-/// path whenever the static bound admits it (that choice must not change
-/// bits) and the int64 path always.
+/// Every concrete kernel whose eligibility rule admits these bounds.
+std::vector<IgemmKernel> eligible_kernels(std::int32_t w_max,
+                                          std::int64_t x_bound,
+                                          IgemmAccum accum) {
+  std::vector<IgemmKernel> kernels{IgemmKernel::kScalar};
+  for (IgemmKernel k : {IgemmKernel::kVec16, IgemmKernel::kVecPacked}) {
+    if (igemm_kernel_eligible(k, w_max, x_bound, accum)) kernels.push_back(k);
+  }
+  return kernels;
+}
+
+/// Run both op forms through every eligible kernel × accumulator and
+/// demand bit-identity with the int64 reference.
 void expect_bit_identical(const Problem& p, const ExecContext& ctx,
                           const IgemmBlocking& blk) {
-  const std::vector<std::int16_t> w_panel =
-      igemm_pack_panel(p.w, p.m, p.k, /*transpose=*/false);
-  const std::vector<std::int16_t> wt_panel =
-      igemm_pack_panel(p.w, p.m, p.k, /*transpose=*/true);
-
-  std::vector<float> want(p.m * p.n), got(p.m * p.n);
-  const std::int64_t max_w = igemm_max_abs(p.w);
-  const std::int64_t max_x = igemm_max_abs(p.x);
+  const std::int32_t max_w = igemm_max_abs(p.w);
+  const std::int64_t x_bound =
+      std::max<std::int64_t>(igemm_max_abs(p.x), 1);
 
   std::vector<IgemmAccum> accums{IgemmAccum::kInt64};
-  if (igemm_fits_int32(max_w, max_x, p.k)) {
+  if (igemm_fits_int32(max_w, x_bound, p.k)) {
     accums.push_back(IgemmAccum::kInt32);
   }
 
   // W·X form (conv after im2col): W is m×k, X is k×n, per-row epilogue.
+  std::vector<float> want(p.m * p.n), got(p.m * p.n);
   ref_wx(p.m, p.n, p.k, p.w, p.x, p.row_scale, p.row_bias, want);
   for (IgemmAccum accum : accums) {
-    std::fill(got.begin(), got.end(), -7.0f);
-    igemm_wx(p.m, p.n, p.k, w_panel.data(), p.x.data(), got.data(),
-             p.row_scale.data(), p.row_bias.data(), accum, ctx, blk);
-    ASSERT_EQ(want, got) << "igemm_wx m=" << p.m << " n=" << p.n
-                         << " k=" << p.k << " threads=" << ctx.threads()
-                         << " nc=" << blk.nc << " kc=" << blk.kc
-                         << " accum=" << static_cast<int>(accum);
+    for (IgemmKernel kernel : eligible_kernels(max_w, x_bound, accum)) {
+      const IgemmPanel panel =
+          igemm_pack(p.w, p.m, p.k, IgemmForm::kWX, kernel);
+      IgemmOp op;
+      op.form = IgemmForm::kWX;
+      op.m = p.m;
+      op.n = p.n;
+      op.k = p.k;
+      op.panel = &panel;
+      op.x = p.x.data();
+      op.c = got.data();
+      op.epilogue = {p.row_scale.data(), p.row_bias.data()};
+      op.accum = accum;
+      op.blocking = blk;
+      op.x_bound = x_bound;
+      std::fill(got.begin(), got.end(), -7.0f);
+      igemm_run(op, ctx);
+      ASSERT_EQ(want, got)
+          << "kWX kernel=" << igemm_kernel_str(kernel) << " m=" << p.m
+          << " n=" << p.n << " k=" << p.k << " threads=" << ctx.threads()
+          << " nc=" << blk.nc << " kc=" << blk.kc
+          << " accum=" << static_cast<int>(accum);
+    }
   }
 
   // X·W form (linear): a batch of k-length activation rows (columns of
-  // the X above) against the transposed weight panel (k×m), so the
-  // output lands batch×m with per-column scale/bias — exactly how the
-  // engine drives linear layers.
+  // the X above) against the weight panel on the right, so the output
+  // lands batch×m with per-column scale/bias — exactly how the engine
+  // drives linear layers.
   const std::size_t batch = p.n == 0 ? 0 : std::min<std::size_t>(p.n, 6);
   std::vector<std::int32_t> xl(batch * p.k);
   for (std::size_t i = 0; i < batch; ++i)
@@ -142,13 +169,29 @@ void expect_bit_identical(const Problem& p, const ExecContext& ctx,
   std::vector<float> want2(batch * p.m), got2(batch * p.m);
   ref_xw(batch, p.m, p.k, xl, wt, p.row_scale, p.row_bias, want2);
   for (IgemmAccum accum : accums) {
-    std::fill(got2.begin(), got2.end(), -7.0f);
-    igemm_xw(batch, p.m, p.k, xl.data(), wt_panel.data(), got2.data(),
-             p.row_scale.data(), p.row_bias.data(), accum, ctx, blk);
-    ASSERT_EQ(want2, got2) << "igemm_xw batch=" << batch << " m=" << p.m
-                           << " k=" << p.k << " threads=" << ctx.threads()
-                           << " nc=" << blk.nc << " kc=" << blk.kc
-                           << " accum=" << static_cast<int>(accum);
+    for (IgemmKernel kernel : eligible_kernels(max_w, x_bound, accum)) {
+      const IgemmPanel panel =
+          igemm_pack(p.w, p.m, p.k, IgemmForm::kXW, kernel);
+      IgemmOp op;
+      op.form = IgemmForm::kXW;
+      op.m = batch;
+      op.n = p.m;
+      op.k = p.k;
+      op.panel = &panel;
+      op.x = xl.data();
+      op.c = got2.data();
+      op.epilogue = {p.row_scale.data(), p.row_bias.data()};
+      op.accum = accum;
+      op.blocking = blk;
+      op.x_bound = x_bound;
+      std::fill(got2.begin(), got2.end(), -7.0f);
+      igemm_run(op, ctx);
+      ASSERT_EQ(want2, got2)
+          << "kXW kernel=" << igemm_kernel_str(kernel) << " batch=" << batch
+          << " m=" << p.m << " k=" << p.k << " threads=" << ctx.threads()
+          << " nc=" << blk.nc << " kc=" << blk.kc
+          << " accum=" << static_cast<int>(accum);
+    }
   }
 }
 
@@ -171,7 +214,7 @@ struct Shape {
 
 class IgemmSweep : public ::testing::TestWithParam<std::tuple<int, Shape>> {};
 
-TEST_P(IgemmSweep, BitIdenticalAcrossBlockingsAndThreads) {
+TEST_P(IgemmSweep, BitIdenticalAcrossKernelsBlockingsAndThreads) {
   const int bits = std::get<0>(GetParam());
   const Shape s = std::get<1>(GetParam());
   // Doubled k-bit weight codes lie in ±2^bits; activations come from the
@@ -209,9 +252,33 @@ INSTANTIATE_TEST_SUITE_P(
                                          Shape{4, 600, 3},    // n > max nc
                                          Shape{6, 29, 64})));
 
+// Alignment edges: depths around the vec16 (16-lane) and vec-packed
+// (32-lane) padding boundaries, crossed with column counts around the
+// 4-wide register tile — the zero-padded lane tails and the dot1
+// column tail must not change a single bit.
+TEST(IgemmAlignmentEdge, LanePaddingAndColumnTails) {
+  Rng rng(0xA11C4ED);
+  for (std::size_t k : {std::size_t{1}, std::size_t{7}, std::size_t{15},
+                        std::size_t{16}, std::size_t{17}, std::size_t{31},
+                        std::size_t{32}, std::size_t{33}, std::size_t{63}}) {
+    for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{5}}) {
+      // 3-bit codes with 255-bound activations: both vector kernels
+      // eligible, so all three variants run per config.
+      const Problem p = make_problem(rng, 5, n, k, /*max_w=*/8,
+                                     /*max_x=*/255);
+      expect_bit_identical(p, ctx_for(2), {});
+      if (HasFatalFailure()) {
+        ADD_FAILURE() << "failing alignment edge: k=" << k << " n=" << n;
+        return;
+      }
+    }
+  }
+}
+
 // Depths that straddle the int32 accumulator bound at full 8-bit code
-// magnitudes: the kernel must agree with the reference on BOTH sides —
-// int32 just below the bound, forced int64 just above it.
+// magnitudes: the kernels must agree with the reference on BOTH sides —
+// int32 (and the vector kernels) just below the bound, forced int64
+// (scalar only) just above it.
 TEST(IgemmBoundStraddle, ExactAcrossTheAccumulatorBound) {
   const std::int32_t max_w = 256, max_x = 255;  // 8-bit envelope
   // 256·255·k ≤ INT32_MAX ⇔ k ≤ 32896 (65280·32896 = 2,147,450,880).
@@ -252,6 +319,205 @@ TEST(IgemmRandomized, TwoHundredLayerConfigs) {
   }
 }
 
+// ---- kernel registry --------------------------------------------------------
+
+TEST(IgemmRegistry, NamesRoundTripAndOrder) {
+  const std::vector<std::string> names = igemm_kernel_names();
+  ASSERT_EQ(names,
+            (std::vector<std::string>{"scalar", "vec16", "vec-packed",
+                                      "auto"}));
+  for (const std::string& name : names) {
+    EXPECT_EQ(igemm_kernel_str(igemm_kernel_from_str(name)), name);
+  }
+}
+
+TEST(IgemmRegistry, UnknownNameListsAvailableKernels) {
+  try {
+    igemm_kernel_from_str("warp9");
+    FAIL() << "expected ccq::Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("warp9"), std::string::npos) << msg;
+    for (const std::string& name : igemm_kernel_names()) {
+      EXPECT_NE(msg.find(name), std::string::npos)
+          << "error must list '" << name << "': " << msg;
+    }
+  }
+}
+
+TEST(IgemmRegistry, EligibilityRules) {
+  using K = IgemmKernel;
+  // Scalar runs anything.
+  EXPECT_TRUE(igemm_kernel_eligible(K::kScalar, 1 << 20, 0,
+                                    IgemmAccum::kInt64));
+  // Vector kernels need an int32 accumulator and a known activation bound.
+  EXPECT_FALSE(igemm_kernel_eligible(K::kVec16, 8, 255, IgemmAccum::kInt64));
+  EXPECT_FALSE(igemm_kernel_eligible(K::kVec16, 8, 0, IgemmAccum::kInt32));
+  EXPECT_TRUE(igemm_kernel_eligible(K::kVec16, 8, 255, IgemmAccum::kInt32));
+  EXPECT_TRUE(igemm_kernel_eligible(K::kVec16, 32767, 32767,
+                                    IgemmAccum::kInt32));
+  EXPECT_FALSE(igemm_kernel_eligible(K::kVec16, 40000, 255,
+                                     IgemmAccum::kInt32));
+  // vec-packed: int8 weights, uint8 activations, no int16 pair saturation.
+  EXPECT_TRUE(igemm_kernel_eligible(K::kVecPacked, 16, 255,
+                                    IgemmAccum::kInt32));
+  EXPECT_FALSE(igemm_kernel_eligible(K::kVecPacked, 128, 255,
+                                     IgemmAccum::kInt32));  // w > int8
+  EXPECT_FALSE(igemm_kernel_eligible(K::kVecPacked, 16, 256,
+                                     IgemmAccum::kInt32));  // x > uint8
+  // 2·127·255 = 64770 > 32767: saturation risk, must be rejected even
+  // though both lane types fit individually.
+  EXPECT_FALSE(igemm_kernel_eligible(K::kVecPacked, 127, 255,
+                                     IgemmAccum::kInt32));
+  EXPECT_TRUE(igemm_kernel_eligible(K::kVecPacked, 64, 255,
+                                    IgemmAccum::kInt32));
+  // kAuto is a policy, never directly executable.
+  EXPECT_FALSE(igemm_kernel_eligible(K::kAuto, 8, 255, IgemmAccum::kInt32));
+}
+
+TEST(IgemmRegistry, SelectionWalksTheDensityLadder) {
+  using K = IgemmKernel;
+  // Low-bit layer: auto picks vec-packed when the build carries 8-bit
+  // SIMD, vec16 otherwise.
+  const K low = igemm_select_kernel(K::kAuto, 8, 255, IgemmAccum::kInt32);
+  EXPECT_EQ(low, igemm_packed_simd() ? K::kVecPacked : K::kVec16);
+  // Saturation-risky bounds skip vec-packed regardless of build.
+  EXPECT_EQ(igemm_select_kernel(K::kAuto, 127, 255, IgemmAccum::kInt32),
+            K::kVec16);
+  // int64 accumulation confines execution to scalar.
+  EXPECT_EQ(igemm_select_kernel(K::kAuto, 8, 255, IgemmAccum::kInt64),
+            K::kScalar);
+  // An eligible explicit request is honoured as-is...
+  EXPECT_EQ(igemm_select_kernel(K::kVec16, 8, 255, IgemmAccum::kInt32),
+            K::kVec16);
+  EXPECT_EQ(igemm_select_kernel(K::kScalar, 8, 255, IgemmAccum::kInt32),
+            K::kScalar);
+  EXPECT_EQ(igemm_select_kernel(K::kVecPacked, 8, 255, IgemmAccum::kInt32),
+            K::kVecPacked);
+  // ...an ineligible one falls down the same ladder as kAuto.
+  EXPECT_EQ(igemm_select_kernel(K::kVecPacked, 8, 255, IgemmAccum::kInt64),
+            K::kScalar);
+}
+
+TEST(IgemmRegistry, EnvOverrideParsesAndRejects) {
+  const char* saved = std::getenv("CCQ_IGEMM_KERNEL");
+  const std::string restore = saved != nullptr ? saved : "";
+  unsetenv("CCQ_IGEMM_KERNEL");
+  EXPECT_EQ(igemm_requested_kernel(), IgemmKernel::kAuto);
+  setenv("CCQ_IGEMM_KERNEL", "scalar", 1);
+  EXPECT_EQ(igemm_requested_kernel(), IgemmKernel::kScalar);
+  setenv("CCQ_IGEMM_KERNEL", "vec16", 1);
+  EXPECT_EQ(igemm_requested_kernel(), IgemmKernel::kVec16);
+  setenv("CCQ_IGEMM_KERNEL", "hyperdrive", 1);
+  EXPECT_THROW(igemm_requested_kernel(), Error);
+  if (saved != nullptr) {
+    setenv("CCQ_IGEMM_KERNEL", restore.c_str(), 1);
+  } else {
+    unsetenv("CCQ_IGEMM_KERNEL");
+  }
+}
+
+// ---- op validation ----------------------------------------------------------
+
+TEST(IgemmRunValidation, RejectsMismatchedPanels) {
+  const std::vector<std::int32_t> codes{1, -2, 3, 4, -5, 6};  // 2×3
+  const IgemmPanel panel =
+      igemm_pack(codes, 2, 3, IgemmForm::kWX, IgemmKernel::kScalar);
+  const std::vector<std::int32_t> x(3, 1);
+  const std::vector<float> scale(2, 1.0f), bias(2, 0.0f);
+  std::vector<float> c(2);
+  IgemmOp op;
+  op.form = IgemmForm::kWX;
+  op.m = 2;
+  op.n = 1;
+  op.k = 3;
+  op.panel = &panel;
+  op.x = x.data();
+  op.c = c.data();
+  op.epilogue = {scale.data(), bias.data()};
+  op.accum = IgemmAccum::kInt64;
+  EXPECT_NO_THROW(igemm_run(op));
+
+  IgemmOp bad_form = op;
+  bad_form.form = IgemmForm::kXW;
+  bad_form.m = 1;
+  bad_form.n = 2;
+  EXPECT_THROW(igemm_run(bad_form), Error);
+
+  IgemmOp bad_depth = op;
+  bad_depth.k = 4;
+  EXPECT_THROW(igemm_run(bad_depth), Error);
+
+  IgemmOp no_panel = op;
+  no_panel.panel = nullptr;
+  EXPECT_THROW(igemm_run(no_panel), Error);
+}
+
+TEST(IgemmRunValidation, RejectsIneligibleKernelForOpBounds) {
+  const std::vector<std::int32_t> codes{1, -2, 3, 4, -5, 6};
+  const IgemmPanel panel =
+      igemm_pack(codes, 2, 3, IgemmForm::kWX, IgemmKernel::kVec16);
+  const std::vector<std::int32_t> x(3, 1);
+  const std::vector<float> scale(2, 1.0f), bias(2, 0.0f);
+  std::vector<float> c(2);
+  IgemmOp op;
+  op.form = IgemmForm::kWX;
+  op.m = 2;
+  op.n = 1;
+  op.k = 3;
+  op.panel = &panel;
+  op.x = x.data();
+  op.c = c.data();
+  op.epilogue = {scale.data(), bias.data()};
+  op.accum = IgemmAccum::kInt32;
+  op.x_bound = 255;
+  EXPECT_NO_THROW(igemm_run(op));
+  op.x_bound = 0;  // unknown activation bound: vec16 may not run
+  EXPECT_THROW(igemm_run(op), Error);
+  op.x_bound = 255;
+  op.accum = IgemmAccum::kInt64;  // vec16 is an int32-accumulator kernel
+  EXPECT_THROW(igemm_run(op), Error);
+}
+
+TEST(IgemmPack, DotLayoutPadsDepthToLaneMultiples) {
+  const std::vector<std::int32_t> codes{1, 2, 3, 4, 5, 6};  // 2×3
+  const IgemmPanel v16 =
+      igemm_pack(codes, 2, 3, IgemmForm::kWX, IgemmKernel::kVec16);
+  EXPECT_EQ(v16.stride, 16u);
+  ASSERT_EQ(v16.i16.size(), 2u * 16u);
+  EXPECT_EQ(v16.i16[0], 1);
+  EXPECT_EQ(v16.i16[2], 3);
+  EXPECT_EQ(v16.i16[3], 0);  // zero padding
+  EXPECT_EQ(v16.i16[16], 4);  // second row starts on the stride
+  EXPECT_EQ(v16.max_abs, 6);
+
+  const IgemmPanel v8 =
+      igemm_pack(codes, 2, 3, IgemmForm::kXW, IgemmKernel::kVecPacked);
+  EXPECT_EQ(v8.stride, 32u);
+  ASSERT_EQ(v8.i8.size(), 2u * 32u);
+  EXPECT_EQ(v8.i8[32], 4);
+  EXPECT_TRUE(v8.i16.empty());
+}
+
+TEST(IgemmPack, RejectsCodesOutsideTheKernelLaneType) {
+  std::vector<std::int32_t> codes{0, 1, 200, 2};
+  // 200 fits int16 lanes but not vec-packed's int8 lanes.
+  EXPECT_NO_THROW(
+      igemm_pack(codes, 2, 2, IgemmForm::kWX, IgemmKernel::kVec16));
+  EXPECT_THROW(
+      igemm_pack(codes, 2, 2, IgemmForm::kWX, IgemmKernel::kVecPacked),
+      Error);
+  codes[2] = 40000;  // beyond int16: every kernel rejects
+  EXPECT_THROW(
+      igemm_pack(codes, 2, 2, IgemmForm::kWX, IgemmKernel::kScalar), Error);
+  EXPECT_THROW(
+      igemm_pack(codes, 2, 2, IgemmForm::kWX, IgemmKernel::kVec16), Error);
+  // kAuto is not a packable layout.
+  codes[2] = 1;
+  EXPECT_THROW(igemm_pack(codes, 2, 2, IgemmForm::kWX, IgemmKernel::kAuto),
+               Error);
+}
+
 // ---- accumulator bound unit tests -------------------------------------------
 
 TEST(IgemmFitsInt32, ExactBoundary) {
@@ -277,11 +543,22 @@ TEST(IgemmFitsInt32, BoundaryCodesRunExactInInt32) {
   const std::vector<std::int32_t> w{32767};
   const std::vector<std::int32_t> x{65535};
   ASSERT_TRUE(igemm_fits_int32(32767, 65535, 1));
-  const auto panel = igemm_pack_panel(w, 1, 1, false);
+  const IgemmPanel panel =
+      igemm_pack(w, 1, 1, IgemmForm::kWX, IgemmKernel::kScalar);
   const std::vector<float> scale{1.0f}, bias{0.0f};
   float got = 0.0f;
-  igemm_wx(1, 1, 1, panel.data(), x.data(), &got, scale.data(), bias.data(),
-           IgemmAccum::kInt32);
+  IgemmOp op;
+  op.form = IgemmForm::kWX;
+  op.m = 1;
+  op.n = 1;
+  op.k = 1;
+  op.panel = &panel;
+  op.x = x.data();
+  op.c = &got;
+  op.epilogue = {scale.data(), bias.data()};
+  op.accum = IgemmAccum::kInt32;
+  op.x_bound = 65535;
+  igemm_run(op);
   EXPECT_EQ(got, static_cast<float>(std::int64_t{32767} * 65535));
 }
 
@@ -300,15 +577,26 @@ TEST(IgemmFitsInt32, WrapBeyondTheBoundIsWhyThePredicateGates) {
   // The int64 path the predicate falls back to stays exact.
   const std::vector<std::int32_t> w{32767, 32767};
   const std::vector<std::int32_t> x{65535, 65535};
-  const auto panel = igemm_pack_panel(w, 1, 2, false);
+  const IgemmPanel panel =
+      igemm_pack(w, 1, 2, IgemmForm::kWX, IgemmKernel::kScalar);
   const std::vector<float> scale{1.0f}, bias{0.0f};
   float got = 0.0f;
-  igemm_wx(1, 1, 2, panel.data(), x.data(), &got, scale.data(), bias.data(),
-           IgemmAccum::kInt64);
+  IgemmOp op;
+  op.form = IgemmForm::kWX;
+  op.m = 1;
+  op.n = 1;
+  op.k = 2;
+  op.panel = &panel;
+  op.x = x.data();
+  op.c = &got;
+  op.epilogue = {scale.data(), bias.data()};
+  op.accum = IgemmAccum::kInt64;
+  op.x_bound = 65535;
+  igemm_run(op);
   EXPECT_EQ(got, static_cast<float>(truth));
 }
 
-// ---- panel packing ----------------------------------------------------------
+// ---- legacy panel packing ---------------------------------------------------
 
 TEST(IgemmPackPanel, TransposeLaysOutColumnsAsRows) {
   const std::vector<std::int32_t> codes{1, 2, 3, 4, 5, 6};  // 2×3
@@ -326,6 +614,40 @@ TEST(IgemmPackPanel, RejectsCodesOutsideInt16) {
   codes[2] = 32767;  // int16 max is fine
   EXPECT_NO_THROW(igemm_pack_panel(codes, 2, 2, false));
 }
+
+// ---- deprecated positional shims --------------------------------------------
+// The one-release bridges must stay bit-identical to the new API while
+// they exist; silence our own deliberate use of them.
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(IgemmDeprecatedShims, MatchTheOpApiBitForBit) {
+  Rng rng(0x0DEAD);
+  const Problem p = make_problem(rng, 6, 37, 29, 8, 255);
+  std::vector<float> want(p.m * p.n), got(p.m * p.n);
+  ref_wx(p.m, p.n, p.k, p.w, p.x, p.row_scale, p.row_bias, want);
+  const auto panel = igemm_pack_panel(p.w, p.m, p.k, /*transpose=*/false);
+  igemm_wx(p.m, p.n, p.k, panel.data(), p.x.data(), got.data(),
+           p.row_scale.data(), p.row_bias.data(), IgemmAccum::kInt32);
+  EXPECT_EQ(want, got);
+
+  const auto t_panel = igemm_pack_panel(p.w, p.m, p.k, /*transpose=*/true);
+  std::vector<std::int32_t> xl(2 * p.k);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t pp = 0; pp < p.k; ++pp)
+      xl[i * p.k + pp] = p.x[pp * p.n + i];
+  std::vector<std::int32_t> wt(p.k * p.m);
+  for (std::size_t pp = 0; pp < p.k; ++pp)
+    for (std::size_t i = 0; i < p.m; ++i) wt[pp * p.m + i] = p.w[i * p.k + pp];
+  std::vector<float> want2(2 * p.m), got2(2 * p.m);
+  ref_xw(2, p.m, p.k, xl, wt, p.row_scale, p.row_bias, want2);
+  igemm_xw(2, p.m, p.k, xl.data(), t_panel.data(), got2.data(),
+           p.row_scale.data(), p.row_bias.data(), IgemmAccum::kInt32);
+  EXPECT_EQ(want2, got2);
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace ccq

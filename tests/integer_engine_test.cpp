@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <string>
 #include <vector>
@@ -223,7 +224,14 @@ TEST(IntegerEngineTest, CompiledPlansCarryPackedPanelsAndAccum) {
         plan.kind != IntLayerPlan::Kind::kLinear) {
       continue;
     }
-    ASSERT_EQ(plan.weight_panel.size(), plan.weight_codes.size());
+    ASSERT_FALSE(plan.panel.empty());
+    ASSERT_EQ(plan.panel.rows * plan.panel.depth, plan.weight_codes.size());
+    EXPECT_EQ(plan.panel.kernel, plan.igemm_kernel);
+    // Auto selection must land on the kernel the registry would pick for
+    // this layer's static bounds.
+    EXPECT_EQ(plan.igemm_kernel,
+              igemm_select_kernel(igemm_requested_kernel(), plan.max_abs_code,
+                                  plan.in_code_bound, plan.accum));
     EXPECT_GT(plan.in_code_bound, 0);
     // This toy net's depths are tiny; every layer must pick int32.
     EXPECT_EQ(plan.accum, IgemmAccum::kInt32);
@@ -290,6 +298,82 @@ TEST(IntegerEngineTest, Int64FallbackLayerStaysExact) {
   // And the sum really does bust int32 — the fallback was load-bearing.
   EXPECT_GT(std::int64_t{255} * 255 * static_cast<std::int64_t>(k),
             std::int64_t{std::numeric_limits<std::int32_t>::max()});
+}
+
+// ---- kernel selection / env override ----------------------------------------
+
+/// RAII save/restore of $CCQ_IGEMM_KERNEL so override tests cannot leak
+/// a forced kernel into the rest of the suite.
+struct KernelEnvGuard {
+  KernelEnvGuard() {
+    const char* cur = std::getenv("CCQ_IGEMM_KERNEL");
+    had = cur != nullptr;
+    if (had) saved = cur;
+  }
+  ~KernelEnvGuard() {
+    if (had) {
+      setenv("CCQ_IGEMM_KERNEL", saved.c_str(), 1);
+    } else {
+      unsetenv("CCQ_IGEMM_KERNEL");
+    }
+  }
+  bool had = false;
+  std::string saved;
+};
+
+TEST(IntegerEngineTest, KernelEnvOverridePinsEveryEligibleLayer) {
+  KernelEnvGuard guard;
+  EngineSetup s = make_setup(quant::Policy::kMinMax, 1);
+  const Tensor x = snap_input(s.val.all().images);
+
+  setenv("CCQ_IGEMM_KERNEL", "scalar", 1);
+  IntegerNetwork scalar_net = IntegerNetwork::compile(s.model);
+  for (std::size_t l = 0; l < scalar_net.layer_count(); ++l) {
+    const auto& plan = scalar_net.plan(l);
+    if (plan.kind != IntLayerPlan::Kind::kConv &&
+        plan.kind != IntLayerPlan::Kind::kLinear) {
+      continue;
+    }
+    EXPECT_EQ(plan.igemm_kernel, IgemmKernel::kScalar) << plan.name;
+    EXPECT_EQ(plan.panel.kernel, IgemmKernel::kScalar) << plan.name;
+  }
+
+  setenv("CCQ_IGEMM_KERNEL", "vec16", 1);
+  IntegerNetwork vec_net = IntegerNetwork::compile(s.model);
+  bool saw_vec16 = false;
+  for (std::size_t l = 0; l < vec_net.layer_count(); ++l) {
+    const auto& plan = vec_net.plan(l);
+    if (plan.kind != IntLayerPlan::Kind::kConv &&
+        plan.kind != IntLayerPlan::Kind::kLinear) {
+      continue;
+    }
+    // Eligible layers honour the override; ineligible ones (int64
+    // accumulator, unknown bound) may legally fall back.
+    if (plan.igemm_kernel == IgemmKernel::kVec16) saw_vec16 = true;
+  }
+  EXPECT_TRUE(saw_vec16) << "toy net has int32 layers; vec16 must engage";
+
+  // The kernel choice must never change a single output bit.
+  const Tensor a = scalar_net.forward(x);
+  const Tensor b = vec_net.forward(x);
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "logit " << i;
+  }
+}
+
+TEST(IntegerEngineTest, UnknownKernelOverrideNamesTheAvailableOnes) {
+  KernelEnvGuard guard;
+  EngineSetup s = make_setup(quant::Policy::kMinMax, 1);
+  setenv("CCQ_IGEMM_KERNEL", "tensor-core", 1);
+  try {
+    IntegerNetwork::compile(s.model);
+    FAIL() << "expected ccq::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("tensor-core"), std::string::npos);
+    EXPECT_NE(what.find("vec-packed"), std::string::npos);
+  }
 }
 
 // ---- encode_doubled envelope ------------------------------------------------

@@ -300,11 +300,12 @@ TEST(ServeTest, ServedOutputsBitIdenticalForAnyWorkerCount) {
 }
 
 TEST(ServeTest, ServedOutputsMatchThePrePackedNaiveForward) {
-  // Golden check for the blocked igemm datapath end to end: export the
-  // mixed 8/4/2 SimpleCNN, reload it (the load path re-packs the int16
-  // weight panels), serve it — and require every served logit to be
-  // bit-identical to `forward_reference`, the naive int64 triple loop
-  // that was the entire serving datapath before the blocked kernels.
+  // Golden check for the igemm datapath end to end: export the mixed
+  // 8/4/2 SimpleCNN, reload it (the load path selects a kernel per layer
+  // and re-packs the weight panels in that kernel's layout), serve it —
+  // and require every served logit to be bit-identical to
+  // `forward_reference`, the naive int64 triple loop that was the entire
+  // serving datapath before the blocked kernels.
   auto model = make_mixed_model();
   hw::IntegerNetwork direct = hw::IntegerNetwork::compile(model);
   const Tensor x = make_inputs(24);
@@ -315,8 +316,15 @@ TEST(ServeTest, ServedOutputsMatchThePrePackedNaiveForward) {
   hw::IntegerNetwork loaded = load_artifact(path);
   for (std::size_t l = 0; l < loaded.layer_count(); ++l) {
     const auto& plan = loaded.plan(l);
-    EXPECT_EQ(plan.weight_panel.size(), plan.weight_codes.size())
+    if (plan.kind != hw::IntLayerPlan::Kind::kConv &&
+        plan.kind != hw::IntLayerPlan::Kind::kLinear) {
+      continue;
+    }
+    EXPECT_FALSE(plan.panel.empty())
         << "layer " << plan.name << " loaded without a packed panel";
+    EXPECT_EQ(plan.panel.rows * plan.panel.depth, plan.weight_codes.size())
+        << "layer " << plan.name << " panel shape mismatch";
+    EXPECT_EQ(plan.panel.kernel, plan.igemm_kernel) << plan.name;
   }
 
   ServeConfig config;

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Run the BM_IgemmForward grid and snapshot it to BENCH_igemm.json.
+
+The snapshot is the committed baseline for the integer-inference kernel
+registry (scalar / vec16 / vec-packed vs the naive int64 reference).
+Typical use:
+
+    tools/bench_igemm.py --build build                 # run + compare + update
+    tools/bench_igemm.py --build build --check         # run + compare, no write
+    tools/bench_igemm.py --json out.json --check       # compare a saved run
+
+Comparison is per {bits, mode} row against the committed snapshot; a row
+regressing by more than --tolerance (default 25%, benchmarks on shared
+runners are noisy) fails the check.  Speedup columns are derived from the
+mode-0 reference row at the same bit width.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO / "BENCH_igemm.json"
+FILTER = "BM_IgemmForward"
+MODES = {0: "reference", 1: "scalar", 2: "vec16", 3: "vec-packed"}
+
+
+def run_bench(build_dir: pathlib.Path) -> dict:
+    exe = build_dir / "bench" / "bench_kernels"
+    if not exe.exists():
+        sys.exit(f"bench binary not found: {exe} (build the 'bench_kernels' target)")
+    cmd = [
+        str(exe),
+        f"--benchmark_filter={FILTER}",
+        "--benchmark_format=json",
+        "--benchmark_min_warmup_time=0.2",
+    ]
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    return json.loads(out.stdout)
+
+
+def parse_rows(raw: dict) -> dict:
+    """google-benchmark JSON -> {"<bits>/<mode-name>": row} with speedups."""
+    rows = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate" or FILTER not in b["name"]:
+            continue
+        # Name is BM_IgemmForward/<bits>/<mode>.
+        parts = b["name"].split("/")
+        bits, mode = int(parts[1]), int(parts[2])
+        rows[f"{bits}/{MODES[mode]}"] = {
+            "bits": bits,
+            "mode": MODES[mode],
+            "real_time_ns": b["real_time"],
+            "items_per_second": b.get("items_per_second"),
+            "allocs_per_iter": b.get("allocs_per_iter"),
+        }
+    for key, row in rows.items():
+        ref = rows.get(f"{row['bits']}/reference")
+        if ref and row["mode"] != "reference":
+            row["speedup_vs_reference"] = ref["real_time_ns"] / row["real_time_ns"]
+    if not rows:
+        sys.exit("no BM_IgemmForward rows in benchmark output")
+    return rows
+
+
+def compare(rows: dict, snapshot: dict, tolerance: float) -> bool:
+    ok = True
+    for key, base in snapshot.get("rows", {}).items():
+        cur = rows.get(key)
+        if cur is None:
+            print(f"MISSING  {key}: present in snapshot, absent from this run")
+            ok = False
+            continue
+        ratio = cur["real_time_ns"] / base["real_time_ns"]
+        verdict = "OK" if ratio <= 1.0 + tolerance else "REGRESSED"
+        if verdict != "OK":
+            ok = False
+        speed = cur.get("speedup_vs_reference")
+        speed_col = f"  {speed:6.2f}x vs ref" if speed else ""
+        print(
+            f"{verdict:9} {key:14} {cur['real_time_ns'] / 1e6:9.3f} ms "
+            f"(baseline {base['real_time_ns'] / 1e6:9.3f} ms, "
+            f"ratio {ratio:5.2f}){speed_col}"
+        )
+    for key in rows:
+        if key not in snapshot.get("rows", {}):
+            print(f"NEW      {key}: no baseline yet")
+    return ok
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", type=pathlib.Path, help="CMake build dir to run from")
+    ap.add_argument("--json", type=pathlib.Path, help="pre-recorded benchmark JSON")
+    ap.add_argument("--check", action="store_true", help="compare only, never write")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed slowdown vs snapshot before failing (fraction)")
+    args = ap.parse_args()
+
+    if args.json:
+        raw = json.loads(args.json.read_text())
+    elif args.build:
+        raw = run_bench(args.build)
+    else:
+        ap.error("one of --build or --json is required")
+    rows = parse_rows(raw)
+
+    ok = True
+    if SNAPSHOT.exists():
+        ok = compare(rows, json.loads(SNAPSHOT.read_text()), args.tolerance)
+    else:
+        print(f"no snapshot at {SNAPSHOT}; this run becomes the baseline")
+
+    if not args.check:
+        context = raw.get("context", {})
+        SNAPSHOT.write_text(json.dumps({
+            "benchmark": FILTER,
+            "context": {
+                "num_cpus": context.get("num_cpus"),
+                "mhz_per_cpu": context.get("mhz_per_cpu"),
+                "library_build_type": context.get("library_build_type"),
+            },
+            "rows": rows,
+        }, indent=2) + "\n")
+        print(f"wrote {SNAPSHOT}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -376,6 +376,105 @@ BENCHMARK(BM_IgemmForward)
     ->Args({8, 1})
     ->Args({8, 2});
 
+/// Deeper end-to-end net for the engine-forward snapshot: two conv
+/// blocks with max/avg pooling, a global-average head and an unfused
+/// float classifier.  Unlike `igemm_net` this exercises the whole fused
+/// datapath — u8 activation codes flowing through requantizing igemm
+/// epilogues, integer pooling on codes, and the final decode — not just
+/// the igemm core.
+hw::IntegerNetwork engine_net(int bits) {
+  Rng rng(23 + static_cast<std::uint64_t>(bits));
+  const std::int32_t top = 1 << bits;
+  auto conv_plan = [&](std::size_t in_c, std::size_t out_c, std::string name) {
+    hw::IntLayerPlan p;
+    p.kind = hw::IntLayerPlan::Kind::kConv;
+    p.name = std::move(name);
+    p.in_channels = in_c;
+    p.out_channels = out_c;
+    p.kernel = 3;
+    p.stride = 1;
+    p.pad = 1;
+    p.weight_bits = bits;
+    p.weight_codes.resize(out_c * in_c * 9);
+    for (auto& c : p.weight_codes) {
+      c = rng.uniform() < 0.4
+              ? 0
+              : static_cast<std::int32_t>(rng.uniform_int(2 * top + 1)) - top;
+    }
+    p.channel_scale.assign(out_c, 0.001f);
+    p.bias.assign(out_c, 0.01f);
+    p.has_act = true;
+    p.act_bits = bits;
+    p.act_clip = 1.0f;
+    return p;
+  };
+  auto pool_plan = [](hw::IntLayerPlan::Kind kind, std::string name) {
+    hw::IntLayerPlan p;
+    p.kind = kind;
+    p.name = std::move(name);
+    p.pool_kernel = 2;
+    p.pool_stride = 2;
+    return p;
+  };
+  hw::IntLayerPlan fc;
+  fc.kind = hw::IntLayerPlan::Kind::kLinear;
+  fc.name = "fc";
+  fc.in_features = 32;
+  fc.out_features = 10;
+  fc.weight_bits = bits;
+  fc.weight_codes.resize(fc.in_features * fc.out_features);
+  for (auto& c : fc.weight_codes) {
+    c = static_cast<std::int32_t>(rng.uniform_int(2 * top + 1)) - top;
+  }
+  fc.channel_scale.assign(fc.out_features, 0.001f);
+  fc.bias.assign(fc.out_features, 0.01f);
+  return hw::IntegerNetwork::from_plans(
+      {conv_plan(16, 32, "conv1"),
+       pool_plan(hw::IntLayerPlan::Kind::kMaxPool, "maxpool@1"),
+       conv_plan(32, 32, "conv2"),
+       pool_plan(hw::IntLayerPlan::Kind::kAvgPool, "avgpool@3"),
+       pool_plan(hw::IntLayerPlan::Kind::kGlobalAvgPool, "gap@4"),
+       std::move(fc)});
+}
+
+/// End-to-end engine forward, fused datapath vs the naive int64
+/// `forward_reference` oracle.  Args are {bits, mode} with mode
+/// 0=reference, 1=fused (auto kernel selection).  Outputs are
+/// bit-identical by construction (engine_datapath_test), so the rows
+/// track the fused datapath's speed and the allocs_per_iter=0 warm
+/// contract; BENCH_engine.json snapshots them.
+void BM_EngineForward(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const bool reference = state.range(1) == 0;
+  const KernelEnvPin pin(nullptr);  // auto selection
+  hw::IntegerNetwork net = engine_net(bits);
+  state.SetLabel(reference ? "reference" : "fused");
+  Rng rng(3);
+  Tensor x({4, 16, 16, 16});
+  for (auto& v : x.data()) v = static_cast<float>(rng.uniform());
+  Workspace ws;
+  ExecContext ctx;  // serial: thread scaling is covered by *Threads benches
+  ws.recycle(reference ? net.forward_reference(x, ws, ctx)
+                       : net.forward(x, ws, ctx));  // warm the pool
+  const AllocSnapshot before;
+  for (auto _ : state) {
+    Tensor y = reference ? net.forward_reference(x, ws, ctx)
+                         : net.forward(x, ws, ctx);
+    benchmark::DoNotOptimize(y.data().data());
+    ws.recycle(std::move(y));
+  }
+  report_allocs(state, before);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4 *
+                          static_cast<std::int64_t>(net.macs_per_sample(16, 16)));
+}
+BENCHMARK(BM_EngineForward)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1});
+
 void BM_KlCalibration(benchmark::State& state) {
   Rng rng(5);
   Tensor w = Tensor::randn({20000}, rng, 0.1f);

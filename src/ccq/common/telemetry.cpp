@@ -62,6 +62,7 @@ const char* timer_name(Timer id) {
     case Timer::kIgemmScalar: return "hw.igemm.scalar";
     case Timer::kIgemmVec16: return "hw.igemm.vec16";
     case Timer::kIgemmVecPacked: return "hw.igemm.vec_packed";
+    case Timer::kHwRequant: return "hw.requant";
     case Timer::kConvForward: return "conv.forward";
     case Timer::kConvBackward: return "conv.backward";
     case Timer::kProbeEval: return "probe.eval";

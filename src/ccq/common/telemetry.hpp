@@ -73,6 +73,7 @@ enum class Timer : int {
   kIgemmScalar,       ///< igemm per-kernel axis: scalar rank-1 kernel
   kIgemmVec16,        ///< igemm per-kernel axis: vec16 SIMD kernel
   kIgemmVecPacked,    ///< igemm per-kernel axis: vec-packed 8-bit kernel
+  kHwRequant,         ///< engine code-domain requant ops (input snap, pool means)
   kConvForward,       ///< Conv2d::forward
   kConvBackward,      ///< Conv2d::backward
   kProbeEval,         ///< evaluate_batch (the competition probe primitive)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace ccq::hw {
 
@@ -43,6 +44,46 @@ float integer_dot(const std::vector<std::int32_t>& a,
   return static_cast<float>(static_cast<double>(acc) *
                             static_cast<double>(fa.scale) *
                             static_cast<double>(fb.scale));
+}
+
+bool make_requant(double ratio, double bias_ratio, std::int64_t acc_bound,
+                  Requant& out) {
+  if (!std::isfinite(ratio) || !std::isfinite(bias_ratio) || acc_bound < 0) {
+    return false;
+  }
+  // Budget: |acc·M| <= 2^61 and |B| <= 2^61 keep acc·M + B inside int64
+  // with a sign bit to spare.  The multiplier cap follows from the
+  // accumulator bound; it also never exceeds what int32 holds.
+  constexpr std::int64_t kBudget = std::int64_t{1} << 61;
+  constexpr std::int32_t kMaxShift = 55;  // tiny ratios saturate here
+  const std::int64_t m_cap =
+      std::min<std::int64_t>(std::numeric_limits<std::int32_t>::max(),
+                             kBudget / std::max<std::int64_t>(acc_bound, 1));
+  if (m_cap < 1) return false;
+
+  std::int32_t shift = 1;
+  std::int64_t m = 0;
+  if (ratio != 0.0) {
+    int exp = 0;
+    std::frexp(std::fabs(ratio), &exp);  // |ratio| = f·2^exp, f ∈ [0.5, 1)
+    shift = 31 - exp;  // normalises |M| = |ratio|·2^shift into [2^30, 2^31)
+    if (shift > kMaxShift) shift = kMaxShift;
+    if (shift < 1) return false;  // ratio too large for a 31-bit multiplier
+    m = std::llround(ratio * std::ldexp(1.0, shift));
+    // Walk the shift down until the multiplier fits the overflow budget
+    // (each step halves it); normalisation usually fits immediately.
+    while (shift > 1 && (m > m_cap || m < -m_cap)) {
+      --shift;
+      m = std::llround(ratio * std::ldexp(1.0, shift));
+    }
+    if (m > m_cap || m < -m_cap) return false;
+  }
+  const double scaled_bias = bias_ratio * std::ldexp(1.0, shift);
+  if (std::fabs(scaled_bias) > static_cast<double>(kBudget)) return false;
+  out.multiplier = static_cast<std::int32_t>(m);
+  out.shift = shift;
+  out.bias = std::llround(scaled_bias);
+  return true;
 }
 
 bool representable(const Tensor& values, const FixedPointFormat& format,

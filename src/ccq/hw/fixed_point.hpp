@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ccq/tensor/requant.hpp"
 #include "ccq/tensor/tensor.hpp"
 
 namespace ccq::hw {
@@ -44,5 +45,25 @@ float integer_dot(const std::vector<std::int32_t>& a,
 /// (i.e. encode→decode is the identity) within `tol`.
 bool representable(const Tensor& values, const FixedPointFormat& format,
                    float tol = 1e-6f);
+
+/// Pick fixed-point requantization parameters (see tensor/requant.hpp)
+/// approximating
+///   code ≈ round(acc·ratio + bias_ratio)
+/// for every accumulator with |acc| <= acc_bound.  `ratio` is the
+/// channel's scale divided by the output activation scale; `bias_ratio`
+/// the folded bias over the same scale.  The shift is chosen to
+/// normalise |multiplier| into [2^30, 2^31) when the overflow budget
+/// allows (|acc·M| <= 2^61 and |B| <= 2^61 must both hold, keeping
+/// acc·M + B inside int64), so the approximation error of M·2^-shift vs
+/// `ratio` is at most 2^-31 relative.  Degenerate channels (ratio == 0,
+/// e.g. a folded BN gamma of zero) get multiplier 0 — the channel
+/// collapses to its bias, exactly as the float epilogue would.
+///
+/// Returns false when no in-budget parameters exist (non-finite inputs,
+/// an unknown/overflowing accumulator bound, or magnitudes outside what
+/// 31 multiplier bits can express) — the caller then keeps the float
+/// epilogue for that layer instead of fusing.
+bool make_requant(double ratio, double bias_ratio, std::int64_t acc_bound,
+                  Requant& out);
 
 }  // namespace ccq::hw

@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <set>
+#include <type_traits>
 
+#include "ccq/common/telemetry.hpp"
+#include "ccq/hw/fixed_point.hpp"
 #include "ccq/nn/conv.hpp"
 #include "ccq/nn/linear.hpp"
 #include "ccq/nn/norm.hpp"
 #include "ccq/nn/pool.hpp"
 #include "ccq/quant/act_quant.hpp"
+#include "ccq/quant/weight_hooks.hpp"
 
 namespace ccq::hw {
 
@@ -17,7 +22,9 @@ namespace {
 constexpr float kInputScale = 1.0f / 255.0f;  // 8-bit input quantization
 
 /// Infer the uniform grid spacing of a quantized tensor from its distinct
-/// values.  Returns 0 when the tensor is constant (degenerate layer).
+/// values (the legacy path — hooks now report their step directly via
+/// QuantizerHook::grid_step).  Returns 0 when the tensor is constant
+/// (degenerate layer).
 float infer_step(const Tensor& q) {
   std::set<float> values(q.data().begin(), q.data().end());
   float step = 0.0f;
@@ -30,6 +37,33 @@ float infer_step(const Tensor& q) {
     }
     prev = v;
     first = false;
+  }
+  return step;
+}
+
+/// Checked fallback around `infer_step` for hooks that do not report
+/// grid_step(): after inferring the step from the tensor's distinct
+/// values, verify every value actually sits on the half-step grid.  A
+/// mis-inferred step (non-uniform grids such as per-channel clips) used
+/// to corrupt the compiled codes silently; now it fails loudly, naming
+/// the layer and the quantization policy.
+float infer_step_checked(const Tensor& q, const std::string& layer,
+                         const nn::QuantizerHook* hook) {
+  const float step = infer_step(q);
+  if (step == 0.0f) return 0.0f;  // constant tensor, caller substitutes 1
+  const float half = step / 2.0f;
+  for (float v : q.data()) {
+    const float c = v / half;
+    if (std::fabs(c - std::round(c)) > 1e-3f) {
+      const auto* wh = dynamic_cast<const quant::WeightQuantHook*>(hook);
+      const std::string policy = wh != nullptr ? wh->policy_name() : "unknown";
+      throw Error("integer engine: layer '" + layer + "' (policy " + policy +
+                  "): grid-step inference failed — weight value " +
+                  std::to_string(v) + " is not on the inferred step " +
+                  std::to_string(step) +
+                  "; the quantizer hook must report grid_step() for "
+                  "non-uniform grids");
+    }
   }
   return step;
 }
@@ -122,7 +156,12 @@ IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
     CCQ_CHECK(hook->bits() < 16,
               "integer engine requires quantized weights (<16 bits)");
     const Tensor q = hook->quantize(weight.value);
-    float step = infer_step(q);
+    // Prefer the hook's own grid metadata — the exact float the quantizer
+    // snapped to, with no O(n log n) distinct-value walk.  Hooks that
+    // cannot report a step (non-uniform grids) fall through to the
+    // checked inference fallback.
+    float step = hook->grid_step();
+    if (step <= 0.0f) step = infer_step_checked(q, plan.name, hook);
     if (step == 0.0f) step = 1.0f;  // constant (all-zero) weights
     plan.weight_codes = encode_doubled(q, step, hook->bits(), plan.name);
     plan.weight_bits = hook->bits();
@@ -282,6 +321,60 @@ void IntegerNetwork::finalize_plans() {
       plan.panel = igemm_pack(plan.weight_codes, rows, depth,
                               conv ? IgemmForm::kWX : IgemmForm::kXW,
                               plan.igemm_kernel);
+      // Fused fixed-point requantization: fold channel_scale/bias and
+      // the activation grid into int32-multiplier requant parameters so
+      // the igemm epilogue writes the next layer's codes directly.
+      // Fusion needs integer codes arriving (in_bound > 0), a quantized
+      // output grid, and a static accumulator bound inside make_requant's
+      // 2^61 budget — anything else keeps the float epilogue.
+      //
+      // Artifact-loaded plans arrive with the per-channel `requant`
+      // parameters populated and keep them verbatim (serving replays the
+      // exporter's exact fixed-point path); only `out_qmax` / `acc_bound`
+      // — exact integer functions of act_bits / weight codes / geometry,
+      // not serialized — are rederived here.  Freshly compiled and
+      // synthetic plans compute everything.
+      const bool fusable =
+          plan.has_act && plan.act_bits < 16 && in_bound > 0;
+      std::int64_t bound = -1;  // -1 = overflows the budget, unfusable
+      if (fusable) {
+        constexpr std::int64_t kBudget = std::int64_t{1} << 61;
+        const auto w = static_cast<std::int64_t>(plan.max_abs_code);
+        if (w == 0 || depth == 0) {
+          bound = 0;
+        } else if (in_bound <= kBudget / w &&
+                   w * in_bound <= kBudget / static_cast<std::int64_t>(depth)) {
+          bound = w * in_bound * static_cast<std::int64_t>(depth);
+        }
+      }
+      if (!plan.requant.empty()) {
+        CCQ_CHECK(fusable && bound >= 0,
+                  "integer engine: layer '" + plan.name +
+                      "' carries requant parameters but is not fusable "
+                      "(inconsistent artifact)");
+        plan.requant_fused = true;
+        plan.out_qmax = static_cast<std::int32_t>((1 << plan.act_bits) - 1);
+        plan.acc_bound = bound;
+      } else if (bound >= 0) {
+        const float out_scale = act_scale(plan);
+        std::vector<Requant> rq(rows);
+        bool ok = true;
+        for (std::size_t c = 0; c < rows && ok; ++c) {
+          const double ratio =
+              static_cast<double>(plan.channel_scale[c]) / out_scale;
+          const double bias_ratio =
+              static_cast<double>(plan.bias[c]) / out_scale;
+          ok = make_requant(ratio, bias_ratio, bound, rq[c]);
+        }
+        if (ok) {
+          plan.requant = std::move(rq);
+          plan.requant_fused = true;
+          plan.out_qmax =
+              static_cast<std::int32_t>((1 << plan.act_bits) - 1);
+          plan.acc_bound = bound;
+        }
+      }
+      if (plan.requant.empty()) plan.requant_fused = false;
       in_bound = plan.has_act && plan.act_bits < 16
                      ? (std::int64_t{1} << plan.act_bits) - 1
                      : 0;
@@ -296,22 +389,8 @@ const IntLayerPlan& IntegerNetwork::plan(std::size_t i) const {
 
 namespace {
 
-/// Quantize a float activation tensor onto a uniform grid, writing the
-/// integer codes (as exact floats, ready for im2col) into `codes`.
-/// Reference-path twin of `to_int_codes`.
-void to_codes(const Tensor& x, float scale, Tensor& codes) {
-  codes.resize(x.shape());
-  auto xp = x.data();
-  auto cp = codes.data();
-  for (std::size_t i = 0; i < xp.size(); ++i) {
-    cp[i] = std::round(xp[i] / scale);
-  }
-}
-
-/// Same grid snap, straight into an int32 code buffer for igemm.
-/// std::lround and std::round share the round-half-away rule over the
-/// identical float quotient, so these codes equal the reference path's
-/// lround(to_codes(...)) bit for bit.
+/// Grid snap of a float activation straight into an int32 code buffer
+/// (the float-fallback path; the code domain never leaves integers).
 void to_int_codes(const Tensor& x, float scale, std::int32_t* codes) {
   auto xp = x.data();
   for (std::size_t i = 0; i < xp.size(); ++i) {
@@ -336,6 +415,200 @@ void apply_act(Tensor& x, const IntLayerPlan& plan) {
   }
 }
 
+// ---- code-domain helpers ---------------------------------------------------
+//
+// While every layer keeps a quantized activation grid, the engine carries
+// the activation *codes* (u8 for grids up to 8 bits, i16 above; exact
+// int32 in the reference path) instead of a float tensor.  These helpers
+// are shared by forward and forward_reference so the two datapaths stay
+// bit-identical by construction.
+
+/// Valid-window pool output extent (matches nn::MaxPool2d/AvgPool2d).
+inline std::size_t pool_out(std::size_t in, std::size_t k, std::size_t s) {
+  return (in - k) / s + 1;
+}
+
+/// Round-half-up integer mean of non-negative codes — the code-domain
+/// equivalent of float-averaging grid values and re-snapping (means of
+/// non-negative values round half away from zero = half up).
+inline std::int64_t mean_code(std::int64_t sum, std::int64_t cnt) {
+  return (2 * sum + cnt) / (2 * cnt);
+}
+
+/// Snap a float tensor whose values lie on (or near) the grid `scale`
+/// onto integer codes in [0, qmax].  Used for the 8-bit input snap and
+/// for re-entering the code domain after an unfused layer's apply_act
+/// (where the snap is exact: every value is already k·scale).
+template <typename T>
+void snap_codes(const Tensor& t, float scale, std::int64_t qmax, T* dst) {
+  auto p = t.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    dst[i] = static_cast<T>(
+        std::clamp<long>(std::lround(p[i] / scale), 0L,
+                         static_cast<long>(qmax)));
+  }
+}
+
+/// Decode codes back to a float tensor: value = code · scale.
+template <typename T>
+Tensor decode_codes(const T* src, const Shape& shape, float scale,
+                    Workspace& ws) {
+  Tensor out = ws.tensor_uninit(shape);
+  auto p = out.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = static_cast<float>(src[i]) * scale;
+  }
+  return out;
+}
+
+/// Integer max pool over code planes (exact: max commutes with the
+/// positive decode scale).
+template <typename T>
+void pool_max_codes(const T* src, T* dst, std::size_t n, std::size_t c,
+                    std::size_t h, std::size_t w, std::size_t k,
+                    std::size_t s) {
+  const std::size_t oh = pool_out(h, k, s), ow = pool_out(w, k, s);
+  for (std::size_t i = 0; i < n * c; ++i) {
+    const T* plane = src + i * h * w;
+    T* out = dst + i * oh * ow;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        T best = plane[oy * s * w + ox * s];
+        for (std::size_t ky = 0; ky < k; ++ky) {
+          for (std::size_t kx = 0; kx < k; ++kx) {
+            best = std::max(best, plane[(oy * s + ky) * w + (ox * s + kx)]);
+          }
+        }
+        out[oy * ow + ox] = best;
+      }
+    }
+  }
+}
+
+/// Integer average pool over code planes; each window mean is
+/// requantized back onto the grid with mean_code.
+template <typename T>
+void pool_avg_codes(const T* src, T* dst, std::size_t n, std::size_t c,
+                    std::size_t h, std::size_t w, std::size_t k,
+                    std::size_t s) {
+  const std::size_t oh = pool_out(h, k, s), ow = pool_out(w, k, s);
+  const auto cnt = static_cast<std::int64_t>(k * k);
+  for (std::size_t i = 0; i < n * c; ++i) {
+    const T* plane = src + i * h * w;
+    T* out = dst + i * oh * ow;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        std::int64_t sum = 0;
+        for (std::size_t ky = 0; ky < k; ++ky) {
+          for (std::size_t kx = 0; kx < k; ++kx) {
+            sum += plane[(oy * s + ky) * w + (ox * s + kx)];
+          }
+        }
+        out[oy * ow + ox] = static_cast<T>(mean_code(sum, cnt));
+      }
+    }
+  }
+}
+
+/// Integer global average pool: (n, c, h, w) codes → (n, c) codes.
+template <typename T>
+void gap_codes(const T* src, T* dst, std::size_t n, std::size_t c,
+               std::size_t hw) {
+  for (std::size_t i = 0; i < n * c; ++i) {
+    std::int64_t sum = 0;
+    for (std::size_t j = 0; j < hw; ++j) sum += src[i * hw + j];
+    dst[i] = static_cast<T>(mean_code(sum, static_cast<std::int64_t>(hw)));
+  }
+}
+
+/// Typed scratch lease for activation codes (u8 / i16 / exact i32).
+template <typename T>
+auto code_lease(Workspace& ws, std::size_t n) {
+  if constexpr (std::is_same_v<T, std::uint8_t>) {
+    return ws.bytes(n);
+  } else if constexpr (std::is_same_v<T, std::int16_t>) {
+    return ws.shorts(n);
+  } else {
+    return ws.ints(n);
+  }
+}
+
+/// Point an IgemmOp at a typed activation buffer (x / x8 / x16 by type).
+template <typename T>
+void set_igemm_x(IgemmOp& op, const T* x) {
+  if constexpr (std::is_same_v<T, std::uint8_t>) {
+    op.x8 = x;
+  } else if constexpr (std::is_same_v<T, std::int16_t>) {
+    op.x16 = x;
+  } else {
+    op.x = x;
+  }
+}
+
+/// Owner of the flowing activation codes in forward(): exactly one of
+/// the u8 / i16 leases is engaged while the network stays in the code
+/// domain (leases have deleted move-assignment, hence the optionals).
+class CodeStore {
+ public:
+  bool engaged() const { return b8_.has_value() || i16_.has_value(); }
+  bool is_u8() const { return b8_.has_value(); }
+  void adopt(Workspace::ByteLease lease) {
+    reset();
+    b8_.emplace(std::move(lease));
+  }
+  void adopt(Workspace::ShortLease lease) {
+    reset();
+    i16_.emplace(std::move(lease));
+  }
+  void reset() {
+    b8_.reset();
+    i16_.reset();
+  }
+  const std::uint8_t* u8() const { return b8_->data(); }
+  const std::int16_t* i16() const { return i16_->data(); }
+  /// Call `f` with the engaged typed code pointer.
+  template <typename F>
+  void visit(F&& f) const {
+    if (b8_.has_value()) {
+      f(static_cast<const std::uint8_t*>(b8_->data()));
+    } else {
+      f(static_cast<const std::int16_t*>(i16_->data()));
+    }
+  }
+
+ private:
+  std::optional<Workspace::ByteLease> b8_;
+  std::optional<Workspace::ShortLease> i16_;
+};
+
+/// Issue one igemm per image of a conv layer over typed activation
+/// codes.  `op` arrives fully configured except the per-image x / output
+/// pointers; exactly one of out8/out16/outf is non-null, matching the
+/// op's epilogue configuration (requant vs float).
+template <typename TIn>
+void conv_images(IgemmOp op, const TIn* src, std::size_t n,
+                 const ConvGeometry& g, std::uint8_t* out8,
+                 std::int16_t* out16, float* outf, Workspace& ws,
+                 const ExecContext& ctx) {
+  const std::size_t spatial = g.out_spatial();
+  const std::size_t patch = g.patch_size();
+  const std::size_t in_stride = g.in_channels * g.in_h * g.in_w;
+  const std::size_t out_stride = op.m * spatial;
+  auto cols = code_lease<TIn>(ws, patch * spatial);
+  for (std::size_t img = 0; img < n; ++img) {
+    im2col(src + img * in_stride, g, cols.data(), ctx);
+    set_igemm_x(op, static_cast<const TIn*>(cols.data()));
+    if (out8 != nullptr) {
+      op.out8 = out8 + img * out_stride;
+    } else if (out16 != nullptr) {
+      op.out16 = out16 + img * out_stride;
+    } else {
+      op.c = outf + img * out_stride;
+    }
+    igemm_run(op, ctx);
+  }
+}
+
 }  // namespace
 
 Tensor IntegerNetwork::forward(const Tensor& x) const {
@@ -349,22 +622,54 @@ Tensor IntegerNetwork::forward(const Tensor& x, Workspace& ws) const {
 Tensor IntegerNetwork::forward(const Tensor& x, Workspace& ws,
                                const ExecContext& ctx) const {
   CCQ_CHECK(x.rank() == 4, "integer engine expects NCHW input");
-  Tensor act = ws.tensor_uninit(x.shape());
-  std::copy(x.data().begin(), x.data().end(), act.data().begin());
+  // Representation state: while every layer keeps a quantized activation
+  // grid the batch flows as integer codes (`codes` engaged, described by
+  // `shape`/`scale`); after the first unquantized producer (e.g. the
+  // classifier head) it falls back to the float tensor `act`.  The code
+  // rep at a conv/linear's input coincides exactly with the plan's
+  // in_code_bound > 0, which is what finalize based fusion on.
+  CodeStore codes;
+  Tensor act;
+  Shape shape = x.shape();
   float scale = kInputScale;
-  // Snap the input onto its 8-bit grid (standard input quantization).
   {
-    auto p = act.data();
-    for (auto& v : p) {
-      v = std::clamp(std::round(v / kInputScale), 0.0f, 255.0f) *
-          kInputScale;
-    }
+    // Snap the input onto its 8-bit grid (standard input quantization).
+    telemetry::ScopedTimer timer(telemetry::Timer::kHwRequant);
+    Workspace::ByteLease input = ws.bytes(x.numel());
+    snap_codes(x, kInputScale, 255, input.data());
+    codes.adopt(std::move(input));
   }
+
+  // After an unfused conv/linear: apply the float activation, then either
+  // re-enter the code domain (quantized activation — the snap is exact
+  // because apply_act already placed every value on the grid, and the
+  // next plan's in_code_bound was threaded assuming codes) or stay float.
+  auto unfused_output = [&](Tensor out, const IntLayerPlan& plan) {
+    apply_act(out, plan);
+    if (plan.has_act && plan.act_bits < 16) {
+      scale = act_scale(plan);
+      const std::int64_t qmax = (std::int64_t{1} << plan.act_bits) - 1;
+      telemetry::ScopedTimer timer(telemetry::Timer::kHwRequant);
+      if (qmax <= 255) {
+        Workspace::ByteLease lease = ws.bytes(out.numel());
+        snap_codes(out, scale, qmax, lease.data());
+        codes.adopt(std::move(lease));
+      } else {
+        Workspace::ShortLease lease = ws.shorts(out.numel());
+        snap_codes(out, scale, qmax, lease.data());
+        codes.adopt(std::move(lease));
+      }
+      ws.recycle(std::move(out));
+    } else {
+      codes.reset();
+      act = std::move(out);
+    }
+  };
 
   for (const auto& plan : plans_) {
     switch (plan.kind) {
       case IntLayerPlan::Kind::kConv: {
-        const std::size_t n = act.dim(0), h = act.dim(2), w = act.dim(3);
+        const std::size_t n = shape[0], h = shape[2], w = shape[3];
         const ConvGeometry g{.in_channels = plan.in_channels,
                              .in_h = h,
                              .in_w = w,
@@ -372,96 +677,215 @@ Tensor IntegerNetwork::forward(const Tensor& x, Workspace& ws,
                              .stride = plan.stride,
                              .pad = plan.pad};
         const std::size_t oh = g.out_h(), ow = g.out_w();
-        const std::size_t patch = g.patch_size(), spatial = g.out_spatial();
-        Workspace::IntLease xcodes = ws.ints(act.numel());
-        to_int_codes(act, scale, xcodes.data());
-        Tensor out = ws.tensor_uninit({n, plan.out_channels, oh, ow});
-        Workspace::IntLease cols = ws.ints(patch * spatial);
+        const std::size_t spatial = g.out_spatial();
         IgemmOp op;
         op.form = IgemmForm::kWX;
         op.m = plan.out_channels;
         op.n = spatial;
-        op.k = patch;
+        op.k = g.patch_size();
         op.panel = &plan.panel;
-        op.epilogue = {plan.channel_scale.data(), plan.bias.data()};
         op.accum = plan.accum;
         op.x_bound = plan.in_code_bound;
         op.ws = &ws;
-        for (std::size_t img = 0; img < n; ++img) {
-          im2col(xcodes.data() + img * plan.in_channels * h * w, g,
-                 cols.data(), ctx);
-          op.x = cols.data();
-          op.c = out.data().data() + img * plan.out_channels * spatial;
-          igemm_run(op, ctx);
+        const Shape out_shape = {n, plan.out_channels, oh, ow};
+        if (codes.engaged() && plan.requant_fused) {
+          // Fused path: the igemm epilogue writes the next layer's
+          // codes; no float tensor is materialised at the boundary.
+          op.requant = plan.requant.data();
+          op.requant_qmax = plan.out_qmax;
+          const std::size_t elems = n * plan.out_channels * spatial;
+          if (plan.out_qmax <= 255) {
+            Workspace::ByteLease out = ws.bytes(elems);
+            codes.visit([&](const auto* src) {
+              conv_images(op, src, n, g, out.data(), nullptr, nullptr, ws,
+                          ctx);
+            });
+            codes.adopt(std::move(out));
+          } else {
+            Workspace::ShortLease out = ws.shorts(elems);
+            codes.visit([&](const auto* src) {
+              conv_images(op, src, n, g, nullptr, out.data(), nullptr, ws,
+                          ctx);
+            });
+            codes.adopt(std::move(out));
+          }
+          scale = act_scale(plan);
+        } else {
+          op.epilogue = {plan.channel_scale.data(), plan.bias.data()};
+          Tensor out = ws.tensor_uninit(out_shape);
+          if (codes.engaged()) {
+            codes.visit([&](const auto* src) {
+              conv_images(op, src, n, g, nullptr, nullptr,
+                          out.data().data(), ws, ctx);
+            });
+            codes.reset();
+          } else {
+            Workspace::IntLease xcodes = ws.ints(act.numel());
+            to_int_codes(act, scale, xcodes.data());
+            conv_images(op,
+                        static_cast<const std::int32_t*>(xcodes.data()), n,
+                        g, nullptr, nullptr, out.data().data(), ws, ctx);
+            ws.recycle(std::move(act));
+          }
+          unfused_output(std::move(out), plan);
         }
-        ws.recycle(std::move(act));
-        act = std::move(out);
-        apply_act(act, plan);
-        if (plan.has_act && plan.act_bits < 16) scale = act_scale(plan);
+        shape = out_shape;
         break;
       }
       case IntLayerPlan::Kind::kLinear: {
-        CCQ_CHECK(act.rank() == 2 && act.dim(1) == plan.in_features,
+        CCQ_CHECK(shape.size() == 2 && shape[1] == plan.in_features,
                   "linear input mismatch in integer engine");
-        const std::size_t n = act.dim(0);
-        Workspace::IntLease xcodes = ws.ints(act.numel());
-        to_int_codes(act, scale, xcodes.data());
-        Tensor out = ws.tensor_uninit({n, plan.out_features});
+        const std::size_t n = shape[0];
         IgemmOp op;
         op.form = IgemmForm::kXW;
         op.m = n;
         op.n = plan.out_features;
         op.k = plan.in_features;
         op.panel = &plan.panel;
-        op.x = xcodes.data();
-        op.c = out.data().data();
-        op.epilogue = {plan.channel_scale.data(), plan.bias.data()};
         op.accum = plan.accum;
         op.x_bound = plan.in_code_bound;
         op.ws = &ws;
-        igemm_run(op, ctx);
-        ws.recycle(std::move(act));
-        act = std::move(out);
-        apply_act(act, plan);
-        if (plan.has_act && plan.act_bits < 16) scale = act_scale(plan);
+        const Shape out_shape = {n, plan.out_features};
+        if (codes.engaged() && plan.requant_fused) {
+          op.requant = plan.requant.data();
+          op.requant_qmax = plan.out_qmax;
+          const std::size_t elems = n * plan.out_features;
+          if (plan.out_qmax <= 255) {
+            Workspace::ByteLease out = ws.bytes(elems);
+            op.out8 = out.data();
+            codes.visit([&](const auto* src) {
+              set_igemm_x(op, src);
+              igemm_run(op, ctx);
+            });
+            codes.adopt(std::move(out));
+          } else {
+            Workspace::ShortLease out = ws.shorts(elems);
+            op.out16 = out.data();
+            codes.visit([&](const auto* src) {
+              set_igemm_x(op, src);
+              igemm_run(op, ctx);
+            });
+            codes.adopt(std::move(out));
+          }
+          scale = act_scale(plan);
+        } else {
+          op.epilogue = {plan.channel_scale.data(), plan.bias.data()};
+          Tensor out = ws.tensor_uninit(out_shape);
+          op.c = out.data().data();
+          if (codes.engaged()) {
+            codes.visit([&](const auto* src) {
+              set_igemm_x(op, src);
+              igemm_run(op, ctx);
+            });
+            codes.reset();
+          } else {
+            Workspace::IntLease xcodes = ws.ints(act.numel());
+            to_int_codes(act, scale, xcodes.data());
+            op.x = xcodes.data();
+            igemm_run(op, ctx);
+            ws.recycle(std::move(act));
+          }
+          unfused_output(std::move(out), plan);
+        }
+        shape = out_shape;
         break;
       }
-      case IntLayerPlan::Kind::kMaxPool: {
-        nn::MaxPool2d pool(plan.pool_kernel, plan.pool_stride);
-        pool.set_training(false);  // inference: skip the argmax cache
-        Tensor out = pool.forward(act, ws);
-        ws.recycle(std::move(act));
-        act = std::move(out);
-        break;
-      }
+      case IntLayerPlan::Kind::kMaxPool:
       case IntLayerPlan::Kind::kAvgPool: {
-        nn::AvgPool2d pool(plan.pool_kernel, plan.pool_stride);
-        pool.set_training(false);
-        Tensor out = pool.forward(act, ws);
-        ws.recycle(std::move(act));
-        act = std::move(out);
-        // Averaging leaves the grid; requantize onto the current scale
-        // (what a fixed-point datapath does after a mean).
-        auto p = act.data();
-        for (auto& v : p) v = std::round(v / scale) * scale;
+        const bool avg = plan.kind == IntLayerPlan::Kind::kAvgPool;
+        if (codes.engaged()) {
+          const std::size_t n = shape[0], c = shape[1], h = shape[2],
+                            w = shape[3];
+          const std::size_t oh =
+              pool_out(h, plan.pool_kernel, plan.pool_stride);
+          const std::size_t ow =
+              pool_out(w, plan.pool_kernel, plan.pool_stride);
+          const std::size_t elems = n * c * oh * ow;
+          if (codes.is_u8()) {
+            Workspace::ByteLease out = ws.bytes(elems);
+            if (avg) {
+              telemetry::ScopedTimer timer(telemetry::Timer::kHwRequant);
+              pool_avg_codes(codes.u8(), out.data(), n, c, h, w,
+                             plan.pool_kernel, plan.pool_stride);
+            } else {
+              pool_max_codes(codes.u8(), out.data(), n, c, h, w,
+                             plan.pool_kernel, plan.pool_stride);
+            }
+            codes.adopt(std::move(out));
+          } else {
+            Workspace::ShortLease out = ws.shorts(elems);
+            if (avg) {
+              telemetry::ScopedTimer timer(telemetry::Timer::kHwRequant);
+              pool_avg_codes(codes.i16(), out.data(), n, c, h, w,
+                             plan.pool_kernel, plan.pool_stride);
+            } else {
+              pool_max_codes(codes.i16(), out.data(), n, c, h, w,
+                             plan.pool_kernel, plan.pool_stride);
+            }
+            codes.adopt(std::move(out));
+          }
+          shape = {n, c, oh, ow};
+        } else if (avg) {
+          nn::AvgPool2d pool(plan.pool_kernel, plan.pool_stride);
+          pool.set_training(false);
+          Tensor out = pool.forward(act, ws);
+          ws.recycle(std::move(act));
+          act = std::move(out);
+          // Averaging leaves the grid; requantize onto the current scale
+          // (what a fixed-point datapath does after a mean).
+          auto p = act.data();
+          for (auto& v : p) v = std::round(v / scale) * scale;
+          shape = act.shape();
+        } else {
+          nn::MaxPool2d pool(plan.pool_kernel, plan.pool_stride);
+          pool.set_training(false);  // inference: skip the argmax cache
+          Tensor out = pool.forward(act, ws);
+          ws.recycle(std::move(act));
+          act = std::move(out);
+          shape = act.shape();
+        }
         break;
       }
       case IntLayerPlan::Kind::kGlobalAvgPool: {
-        nn::GlobalAvgPool gap;
-        gap.set_training(false);
-        Tensor out = gap.forward(act, ws);
-        ws.recycle(std::move(act));
-        act = std::move(out);
-        auto p = act.data();
-        for (auto& v : p) v = std::round(v / scale) * scale;
+        if (codes.engaged()) {
+          const std::size_t n = shape[0], c = shape[1];
+          const std::size_t hw = shape[2] * shape[3];
+          telemetry::ScopedTimer timer(telemetry::Timer::kHwRequant);
+          if (codes.is_u8()) {
+            Workspace::ByteLease out = ws.bytes(n * c);
+            gap_codes(codes.u8(), out.data(), n, c, hw);
+            codes.adopt(std::move(out));
+          } else {
+            Workspace::ShortLease out = ws.shorts(n * c);
+            gap_codes(codes.i16(), out.data(), n, c, hw);
+            codes.adopt(std::move(out));
+          }
+          shape = {n, c};
+        } else {
+          nn::GlobalAvgPool gap;
+          gap.set_training(false);
+          Tensor out = gap.forward(act, ws);
+          ws.recycle(std::move(act));
+          act = std::move(out);
+          auto p = act.data();
+          for (auto& v : p) v = std::round(v / scale) * scale;
+          shape = act.shape();
+        }
         break;
       }
       case IntLayerPlan::Kind::kFlatten: {
-        // In-place reshape: same element count, only the shape changes.
-        act.resize({act.dim(0), act.numel() / act.dim(0)});
+        // Shape-only: codes/float storage is untouched.
+        shape = {shape[0], shape_numel(shape) / shape[0]};
+        if (!codes.engaged()) act.resize(shape);
         break;
       }
     }
+  }
+  if (codes.engaged()) {
+    // Fully quantized network: decode the final codes once at the edge.
+    codes.visit(
+        [&](const auto* src) { act = decode_codes(src, shape, scale, ws); });
+    codes.reset();
   }
   return act;
 }
@@ -473,22 +897,45 @@ Tensor IntegerNetwork::forward_reference(const Tensor& x) const {
 Tensor IntegerNetwork::forward_reference(const Tensor& x, Workspace& ws,
                                          const ExecContext& ctx) const {
   CCQ_CHECK(x.rank() == 4, "integer engine expects NCHW input");
-  Tensor act = ws.tensor_uninit(x.shape());
-  std::copy(x.data().begin(), x.data().end(), act.data().begin());
-  Tensor codes = ws.tensor_uninit(x.shape());  // reused by conv/linear
+  // Mirror of forward()'s representation state with exact int32 codes:
+  // identical branching and identical requant_apply / pool helpers, but
+  // naive int64 triple loops instead of the packed kernels — integer
+  // arithmetic is associative, so the two are bit-identical.
+  std::optional<Workspace::IntLease> codes;
+  Tensor act;
+  Shape shape = x.shape();
   float scale = kInputScale;
   {
-    auto p = act.data();
-    for (auto& v : p) {
-      v = std::clamp(std::round(v / kInputScale), 0.0f, 255.0f) *
-          kInputScale;
-    }
+    telemetry::ScopedTimer timer(telemetry::Timer::kHwRequant);
+    codes.emplace(ws.ints(x.numel()));
+    snap_codes(x, kInputScale, 255, codes->data());
   }
+
+  auto adopt = [&](Workspace::IntLease lease) {
+    codes.reset();
+    codes.emplace(std::move(lease));
+  };
+
+  auto unfused_output = [&](Tensor out, const IntLayerPlan& plan) {
+    apply_act(out, plan);
+    if (plan.has_act && plan.act_bits < 16) {
+      scale = act_scale(plan);
+      const std::int64_t qmax = (std::int64_t{1} << plan.act_bits) - 1;
+      telemetry::ScopedTimer timer(telemetry::Timer::kHwRequant);
+      Workspace::IntLease lease = ws.ints(out.numel());
+      snap_codes(out, scale, qmax, lease.data());
+      adopt(std::move(lease));
+      ws.recycle(std::move(out));
+    } else {
+      codes.reset();
+      act = std::move(out);
+    }
+  };
 
   for (const auto& plan : plans_) {
     switch (plan.kind) {
       case IntLayerPlan::Kind::kConv: {
-        const std::size_t n = act.dim(0), h = act.dim(2), w = act.dim(3);
+        const std::size_t n = shape[0], h = shape[2], w = shape[3];
         const ConvGeometry g{.in_channels = plan.in_channels,
                              .in_h = h,
                              .in_w = w,
@@ -497,15 +944,35 @@ Tensor IntegerNetwork::forward_reference(const Tensor& x, Workspace& ws,
                              .pad = plan.pad};
         const std::size_t oh = g.out_h(), ow = g.out_w();
         const std::size_t patch = g.patch_size(), spatial = g.out_spatial();
-        to_codes(act, scale, codes);
-        Tensor out = ws.tensor_uninit({n, plan.out_channels, oh, ow});
-        Workspace::FloatLease cols = ws.floats(patch * spatial);
+        const Shape out_shape = {n, plan.out_channels, oh, ow};
+        const bool fused = codes.has_value() && plan.requant_fused;
+        // Source codes: the flowing int32 codes, or a fresh snap of the
+        // float activation on the fallback path.
+        std::optional<Workspace::IntLease> snap;
+        const std::int32_t* src = nullptr;
+        if (codes.has_value()) {
+          src = codes->data();
+        } else {
+          snap.emplace(ws.ints(act.numel()));
+          to_int_codes(act, scale, snap->data());
+          src = snap->data();
+        }
+        Workspace::IntLease cols = ws.ints(patch * spatial);
+        std::optional<Workspace::IntLease> out_codes;
+        Tensor out;
+        if (fused) {
+          out_codes.emplace(ws.ints(n * plan.out_channels * spatial));
+        } else {
+          out = ws.tensor_uninit(out_shape);
+        }
         for (std::size_t img = 0; img < n; ++img) {
-          const float* src =
-              codes.data().data() + img * plan.in_channels * h * w;
-          im2col(src, g, cols.data(), ctx);
-          float* dst =
-              out.data().data() + img * plan.out_channels * spatial;
+          im2col(src + img * plan.in_channels * h * w, g, cols.data(), ctx);
+          float* dstf = fused ? nullptr
+                              : out.data().data() +
+                                    img * plan.out_channels * spatial;
+          std::int32_t* dstc =
+              fused ? out_codes->data() + img * plan.out_channels * spatial
+                    : nullptr;
           // Integer MACs are exact, so any partition over the disjoint
           // output-channel rows is trivially deterministic.
           parallel_for(ctx, plan.out_channels, 4,
@@ -517,85 +984,156 @@ Tensor IntegerNetwork::forward_reference(const Tensor& x, Workspace& ws,
                 for (std::size_t p = 0; p < patch; ++p) {
                   acc += static_cast<std::int64_t>(wrow[p]) *
                          static_cast<std::int64_t>(
-                             std::lround(cols.data()[p * spatial + s]));
+                             cols.data()[p * spatial + s]);
                 }
-                dst[oc * spatial + s] =
-                    static_cast<float>(acc) * plan.channel_scale[oc] +
-                    plan.bias[oc];
+                if (fused) {
+                  dstc[oc * spatial + s] =
+                      requant_apply(acc, plan.requant[oc], plan.out_qmax);
+                } else {
+                  dstf[oc * spatial + s] =
+                      static_cast<float>(acc) * plan.channel_scale[oc] +
+                      plan.bias[oc];
+                }
               }
             }
           });
         }
-        ws.recycle(std::move(act));
-        act = std::move(out);
-        apply_act(act, plan);
-        if (plan.has_act && plan.act_bits < 16) scale = act_scale(plan);
+        if (!codes.has_value()) ws.recycle(std::move(act));
+        if (fused) {
+          adopt(std::move(*out_codes));
+          scale = act_scale(plan);
+        } else {
+          unfused_output(std::move(out), plan);
+        }
+        shape = out_shape;
         break;
       }
       case IntLayerPlan::Kind::kLinear: {
-        CCQ_CHECK(act.rank() == 2 && act.dim(1) == plan.in_features,
+        CCQ_CHECK(shape.size() == 2 && shape[1] == plan.in_features,
                   "linear input mismatch in integer engine");
-        const std::size_t n = act.dim(0);
-        to_codes(act, scale, codes);
-        Tensor out = ws.tensor_uninit({n, plan.out_features});
+        const std::size_t n = shape[0];
+        const Shape out_shape = {n, plan.out_features};
+        const bool fused = codes.has_value() && plan.requant_fused;
+        std::optional<Workspace::IntLease> snap;
+        const std::int32_t* src = nullptr;
+        if (codes.has_value()) {
+          src = codes->data();
+        } else {
+          snap.emplace(ws.ints(act.numel()));
+          to_int_codes(act, scale, snap->data());
+          src = snap->data();
+        }
+        std::optional<Workspace::IntLease> out_codes;
+        Tensor out;
+        if (fused) {
+          out_codes.emplace(ws.ints(n * plan.out_features));
+        } else {
+          out = ws.tensor_uninit(out_shape);
+        }
         for (std::size_t img = 0; img < n; ++img) {
-          const float* arow = codes.data().data() + img * plan.in_features;
+          const std::int32_t* arow = src + img * plan.in_features;
           for (std::size_t oc = 0; oc < plan.out_features; ++oc) {
             const std::int32_t* wrow =
                 plan.weight_codes.data() + oc * plan.in_features;
             std::int64_t acc = 0;
             for (std::size_t p = 0; p < plan.in_features; ++p) {
               acc += static_cast<std::int64_t>(wrow[p]) *
-                     static_cast<std::int64_t>(std::lround(arow[p]));
+                     static_cast<std::int64_t>(arow[p]);
             }
-            out(img, oc) =
-                static_cast<float>(acc) * plan.channel_scale[oc] +
-                plan.bias[oc];
+            if (fused) {
+              out_codes->data()[img * plan.out_features + oc] =
+                  requant_apply(acc, plan.requant[oc], plan.out_qmax);
+            } else {
+              out(img, oc) =
+                  static_cast<float>(acc) * plan.channel_scale[oc] +
+                  plan.bias[oc];
+            }
           }
         }
-        ws.recycle(std::move(act));
-        act = std::move(out);
-        apply_act(act, plan);
-        if (plan.has_act && plan.act_bits < 16) scale = act_scale(plan);
+        if (!codes.has_value()) ws.recycle(std::move(act));
+        if (fused) {
+          adopt(std::move(*out_codes));
+          scale = act_scale(plan);
+        } else {
+          unfused_output(std::move(out), plan);
+        }
+        shape = out_shape;
         break;
       }
-      case IntLayerPlan::Kind::kMaxPool: {
-        nn::MaxPool2d pool(plan.pool_kernel, plan.pool_stride);
-        pool.set_training(false);  // inference: skip the argmax cache
-        Tensor out = pool.forward(act, ws);
-        ws.recycle(std::move(act));
-        act = std::move(out);
-        break;
-      }
+      case IntLayerPlan::Kind::kMaxPool:
       case IntLayerPlan::Kind::kAvgPool: {
-        nn::AvgPool2d pool(plan.pool_kernel, plan.pool_stride);
-        pool.set_training(false);
-        Tensor out = pool.forward(act, ws);
-        ws.recycle(std::move(act));
-        act = std::move(out);
-        // Averaging leaves the grid; requantize onto the current scale
-        // (what a fixed-point datapath does after a mean).
-        auto p = act.data();
-        for (auto& v : p) v = std::round(v / scale) * scale;
+        const bool avg = plan.kind == IntLayerPlan::Kind::kAvgPool;
+        if (codes.has_value()) {
+          const std::size_t n = shape[0], c = shape[1], h = shape[2],
+                            w = shape[3];
+          const std::size_t oh =
+              pool_out(h, plan.pool_kernel, plan.pool_stride);
+          const std::size_t ow =
+              pool_out(w, plan.pool_kernel, plan.pool_stride);
+          Workspace::IntLease out = ws.ints(n * c * oh * ow);
+          if (avg) {
+            telemetry::ScopedTimer timer(telemetry::Timer::kHwRequant);
+            pool_avg_codes(codes->data(), out.data(), n, c, h, w,
+                           plan.pool_kernel, plan.pool_stride);
+          } else {
+            pool_max_codes(codes->data(), out.data(), n, c, h, w,
+                           plan.pool_kernel, plan.pool_stride);
+          }
+          adopt(std::move(out));
+          shape = {n, c, oh, ow};
+        } else if (avg) {
+          nn::AvgPool2d pool(plan.pool_kernel, plan.pool_stride);
+          pool.set_training(false);
+          Tensor out = pool.forward(act, ws);
+          ws.recycle(std::move(act));
+          act = std::move(out);
+          // Averaging leaves the grid; requantize onto the current scale
+          // (what a fixed-point datapath does after a mean).
+          auto p = act.data();
+          for (auto& v : p) v = std::round(v / scale) * scale;
+          shape = act.shape();
+        } else {
+          nn::MaxPool2d pool(plan.pool_kernel, plan.pool_stride);
+          pool.set_training(false);  // inference: skip the argmax cache
+          Tensor out = pool.forward(act, ws);
+          ws.recycle(std::move(act));
+          act = std::move(out);
+          shape = act.shape();
+        }
         break;
       }
       case IntLayerPlan::Kind::kGlobalAvgPool: {
-        nn::GlobalAvgPool gap;
-        gap.set_training(false);
-        Tensor out = gap.forward(act, ws);
-        ws.recycle(std::move(act));
-        act = std::move(out);
-        auto p = act.data();
-        for (auto& v : p) v = std::round(v / scale) * scale;
+        if (codes.has_value()) {
+          const std::size_t n = shape[0], c = shape[1];
+          const std::size_t hw = shape[2] * shape[3];
+          telemetry::ScopedTimer timer(telemetry::Timer::kHwRequant);
+          Workspace::IntLease out = ws.ints(n * c);
+          gap_codes(codes->data(), out.data(), n, c, hw);
+          adopt(std::move(out));
+          shape = {n, c};
+        } else {
+          nn::GlobalAvgPool gap;
+          gap.set_training(false);
+          Tensor out = gap.forward(act, ws);
+          ws.recycle(std::move(act));
+          act = std::move(out);
+          auto p = act.data();
+          for (auto& v : p) v = std::round(v / scale) * scale;
+          shape = act.shape();
+        }
         break;
       }
       case IntLayerPlan::Kind::kFlatten: {
-        act.resize({act.dim(0), act.numel() / act.dim(0)});
+        shape = {shape[0], shape_numel(shape) / shape[0]};
+        if (!codes.has_value()) act.resize(shape);
         break;
       }
     }
   }
-  ws.recycle(std::move(codes));
+  if (codes.has_value()) {
+    act = decode_codes(codes->data(), shape, scale, ws);
+    codes.reset();
+  }
   return act;
 }
 

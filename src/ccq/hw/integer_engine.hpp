@@ -18,7 +18,14 @@
 //     and accumulates in int32 with a statically bounded int64 fallback;
 //     the naive int64 triple loop is kept as `forward_reference`, the
 //     golden datapath every kernel is differentially tested against;
-//   * activations are re-quantized onto the next layer's input grid.
+//   * activations flow layer-to-layer as integer *codes* (u8 for grids
+//     up to 8 bits, i16 above) with no intermediate float tensor: each
+//     layer's BN fold and the next grid's quantization are folded into
+//     per-channel fixed-point requant parameters (hw::make_requant) and
+//     fused into the igemm epilogue, which writes requantized codes
+//     directly.  Layers whose output is not on a quantized grid (e.g. a
+//     classifier head) keep the float epilogue, and the engine falls
+//     back to the float-boundary datapath from there on.
 //
 // Tests assert parity with the float-simulated forward pass — the
 // property that makes training-time accuracy numbers meaningful for the
@@ -81,6 +88,25 @@ struct IntLayerPlan {
   int act_bits = 32;
   float act_clip = 0.0f;  ///< PACT α or fixed clip
 
+  // Fused fixed-point requantization ------------------------------------
+  /// Per-output-channel requant parameters folding this layer's
+  /// channel_scale/bias *and* its activation quantization into the igemm
+  /// epilogue, so the kernel writes the next layer's codes directly.
+  /// Built by finalize (hw::make_requant against the layer's static
+  /// accumulator bound) when the layer has a quantized activation and
+  /// integer codes arriving; serialized in CCQA v2 artifacts so serving
+  /// replays the exporter's exact parameters.  Empty ⇒ unfused: the
+  /// layer keeps the float epilogue (+ apply_act) instead.
+  std::vector<Requant> requant;
+  /// True when `requant` is populated and the layer's output flows as
+  /// codes (u8 when out_qmax <= 255, i16 otherwise).
+  bool requant_fused = false;
+  /// Output code ceiling for the fused path: 2^act_bits − 1.
+  std::int32_t out_qmax = 0;
+  /// Static bound on |accumulator| the requant parameters were built
+  /// for: max_abs_code · in_code_bound · depth.
+  std::int64_t acc_bound = 0;
+
   // Pool payload ---------------------------------------------------------
   std::size_t pool_kernel = 2, pool_stride = 2;
 };
@@ -124,8 +150,12 @@ class IntegerNetwork {
   Tensor forward(const Tensor& x, Workspace& ws, const ExecContext& ctx) const;
 
   /// Specification datapath: the naive triple loop over int codes with
-  /// unconditional int64 accumulation.  Kept as the golden reference the
-  /// blocked path is differentially tested against; not a serving path.
+  /// unconditional int64 accumulation, applying the *same*
+  /// `requant_apply` to its exact accumulators on fused layers (and the
+  /// same float epilogue on unfused ones).  Integer arithmetic is
+  /// associative, so the fused/blocked path is bit-identical to this
+  /// oracle for every kernel, blocking and thread count; not a serving
+  /// path.
   Tensor forward_reference(const Tensor& x) const;
   Tensor forward_reference(const Tensor& x, Workspace& ws,
                            const ExecContext& ctx) const;

@@ -79,6 +79,13 @@ class QuantizerHook {
   /// Current weight bit width (32 means "not quantized").
   virtual int bits() const = 0;
 
+  /// Uniform grid spacing of the most recent quantize() output, or 0
+  /// when unknown / non-uniform (e.g. per-channel grids).  The integer
+  /// engine consumes this to encode weight codes without re-inferring
+  /// the step from the tensor's distinct values; hooks that quantize
+  /// onto a single uniform grid should override it.
+  virtual float grid_step() const { return 0.0f; }
+
   /// Hooks with learnable state (e.g. LSQ step size) expose it here so
   /// the owning layer registers it with the optimizer.
   virtual void collect_parameters(std::vector<Parameter*>& out) { (void)out; }

@@ -35,6 +35,7 @@ void DoReFaWeightHook::quantize_into(const Tensor& w, Tensor& dst) {
     max_tanh = std::max(max_tanh, std::fabs(t[i]));
   }
   dst.resize(w.shape());
+  last_max_tanh_ = max_tanh;
   if (max_tanh == 0.0f) {  // all-zero weights
     dst.fill(0.0f);
     return;
@@ -209,6 +210,11 @@ Tensor LsqWeightHook::backward(const Tensor& w, Tensor grad_q) {
 
 void LsqWeightHook::collect_parameters(std::vector<nn::Parameter*>& out) {
   out.push_back(&step_);
+}
+
+float LsqWeightHook::grid_step() const {
+  if (bits_ >= 32 || !initialised_) return 0.0f;
+  return std::max(step_.value.at(0), 1e-8f);
 }
 
 // ---- PerChannel ------------------------------------------------------------

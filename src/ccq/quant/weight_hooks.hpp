@@ -57,8 +57,19 @@ class DoReFaWeightHook : public WeightQuantHook {
   void quantize_into(const Tensor& w, Tensor& dst) override;
   std::string policy_name() const override { return "DoReFa"; }
 
+  /// DoReFa's grid is half-offset with spacing 2·out_scale/(2^k − 1);
+  /// out_scale is the max|tanh(w)| captured on the last quantize (1 when
+  /// not scale-preserving).  0 before the first quantize or for all-zero
+  /// weights (degenerate grid).
+  float grid_step() const override {
+    if (bits_ >= 32 || last_max_tanh_ == 0.0f) return 0.0f;
+    const float out_scale = scale_preserving_ ? last_max_tanh_ : 1.0f;
+    return 2.0f * out_scale / static_cast<float>(unsigned_levels(bits_));
+  }
+
  private:
   bool scale_preserving_;
+  float last_max_tanh_ = 0.0f;       ///< max|tanh(w)| of the last quantize
   std::vector<float> tanh_scratch_;  ///< reused across forwards
 };
 
@@ -69,6 +80,11 @@ class WrpnWeightHook : public WeightQuantHook {
   void quantize_into(const Tensor& w, Tensor& dst) override;
   Tensor backward(const Tensor& w, Tensor grad_q) override;
   std::string policy_name() const override { return "WRPN"; }
+
+  float grid_step() const override {
+    return bits_ >= 32 ? 0.0f
+                       : 1.0f / static_cast<float>(symmetric_levels(bits_));
+  }
 };
 
 /// SAWB: symmetric clip derived from the first two absolute moments with
@@ -84,6 +100,12 @@ class SawbWeightHook : public WeightQuantHook {
   /// α(c1, c2) for a given bit width (exposed for tests).
   static float clip_for(const Tensor& w, int bits);
 
+  float grid_step() const override {
+    return bits_ >= 32 || last_clip_ <= 0.0f
+               ? 0.0f
+               : last_clip_ / static_cast<float>(symmetric_levels(bits_));
+  }
+
  private:
   float last_clip_ = 0.0f;
 };
@@ -98,6 +120,11 @@ class LqNetsWeightHook : public WeightQuantHook {
   float last_scale() const { return last_scale_; }
   /// Alternating scale fit (exposed for tests). Returns the clip = s·n.
   static float fit_scale(const Tensor& w, int bits, int iterations = 5);
+
+  /// The fitted scale *is* the grid step.
+  float grid_step() const override {
+    return bits_ >= 32 || last_scale_ <= 0.0f ? 0.0f : last_scale_;
+  }
 
  private:
   float last_scale_ = 0.0f;
@@ -123,6 +150,10 @@ class LsqWeightHook : public WeightQuantHook {
   }
 
   float step() const { return step_.value.at(0); }
+
+  /// The learned step (with the same 1e-8 floor quantize applies); 0
+  /// until the first quantize initialises it.
+  float grid_step() const override;
 
  private:
   nn::Parameter step_;
@@ -162,6 +193,11 @@ class MinMaxWeightHook : public WeightQuantHook {
     auto_clip_ = false;
   }
   float clip() const { return clip_; }
+
+  float grid_step() const override {
+    return bits_ >= 32 ? 0.0f
+                       : clip_ / static_cast<float>(symmetric_levels(bits_));
+  }
 
  private:
   bool auto_clip_;

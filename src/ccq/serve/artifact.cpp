@@ -37,12 +37,28 @@ class ByteWriter {
     const auto* p = reinterpret_cast<const char*>(&v);
     buf_.append(p, sizeof(T));
   }
+  /// LEB128: 7 value bits per byte, high bit = continuation.  Counts and
+  /// geometry dims are almost always < 128, so they cost one byte instead
+  /// of a fixed-width field — the slack that pays for the per-channel
+  /// requant record inside the artifact's 4× compression budget.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      pod(static_cast<std::uint8_t>(v | 0x80));
+      v >>= 7;
+    }
+    pod(static_cast<std::uint8_t>(v));
+  }
+  /// Zigzag-mapped varint for small signed values (0, −1, 1, −2, …).
+  void zigzag(std::int64_t v) {
+    varint((static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63));
+  }
   void str(const std::string& s) {
-    pod(static_cast<std::uint32_t>(s.size()));
+    varint(s.size());
     buf_.append(s.data(), s.size());
   }
   void floats(const std::vector<float>& v) {
-    pod(static_cast<std::uint64_t>(v.size()));
+    varint(v.size());
     buf_.append(reinterpret_cast<const char*>(v.data()),
                 v.size() * sizeof(float));
   }
@@ -74,15 +90,29 @@ class ByteReader {
     pos_ += sizeof(T);
     return v;
   }
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const auto b = pod<std::uint8_t>();
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) return v;
+    }
+    fail("varint runs past 10 bytes");
+  }
+  std::int64_t zigzag() {
+    const std::uint64_t u = varint();
+    return static_cast<std::int64_t>(u >> 1) ^
+           -static_cast<std::int64_t>(u & 1);
+  }
   std::string str() {
-    const auto n = pod<std::uint32_t>();
+    const auto n = static_cast<std::size_t>(varint());
     need(n, "a " + std::to_string(n) + "-byte name");
     std::string s = data_.substr(pos_, n);
     pos_ += n;
     return s;
   }
   std::vector<float> floats() {
-    const auto n = pod<std::uint64_t>();
+    const auto n = varint();
     need(n * sizeof(float), std::to_string(n) + " floats");
     std::vector<float> v(static_cast<std::size_t>(n));
     std::memcpy(v.data(), data_.data() + pos_, v.size() * sizeof(float));
@@ -143,17 +173,31 @@ void write_plan(ByteWriter& w, const hw::IntLayerPlan& plan) {
                           plan.stride, plan.pad, plan.in_features,
                           plan.out_features, plan.pool_kernel,
                           plan.pool_stride}) {
-    w.pod(static_cast<std::uint32_t>(dim));
+    w.varint(dim);
   }
   const PackedCodes packed = pack_codes(plan.weight_codes);
-  w.pod(packed.min_code);
-  w.pod(packed.divisor);
+  w.zigzag(packed.min_code);
+  w.varint(packed.divisor);
   w.pod(packed.bits);
-  w.pod(packed.count);
-  w.pod(static_cast<std::uint64_t>(packed.bytes.size()));
+  w.varint(packed.count);
+  w.varint(packed.bytes.size());
   w.raw(packed.bytes.data(), packed.bytes.size());
   w.floats(plan.channel_scale);
   w.floats(plan.bias);
+  // v2: fused fixed-point requantization record.  Only the per-channel
+  // parameters are stored; `out_qmax` and `acc_bound` are exact integer
+  // functions of the serialized act_bits / weight codes / geometry, so
+  // `finalize_plans` rederives them at load time and the exporter and
+  // loader always agree.
+  w.pod(static_cast<std::uint8_t>(plan.requant_fused ? 1 : 0));
+  if (plan.requant_fused) {
+    w.varint(plan.requant.size());
+    for (const Requant& rq : plan.requant) {
+      w.pod(rq.multiplier);
+      w.pod(static_cast<std::uint8_t>(rq.shift));
+      w.zigzag(rq.bias);
+    }
+  }
 }
 
 hw::IntLayerPlan read_plan(ByteReader& r) {
@@ -173,14 +217,14 @@ hw::IntLayerPlan read_plan(ByteReader& r) {
                            &plan.stride, &plan.pad, &plan.in_features,
                            &plan.out_features, &plan.pool_kernel,
                            &plan.pool_stride}) {
-    *dim = r.pod<std::uint32_t>();
+    *dim = static_cast<std::size_t>(r.varint());
   }
   PackedCodes packed;
-  packed.min_code = r.pod<std::int32_t>();
-  packed.divisor = r.pod<std::uint32_t>();
+  packed.min_code = static_cast<std::int32_t>(r.zigzag());
+  packed.divisor = static_cast<std::uint32_t>(r.varint());
   packed.bits = r.pod<std::uint8_t>();
-  packed.count = r.pod<std::uint64_t>();
-  const auto byte_count = r.pod<std::uint64_t>();
+  packed.count = r.varint();
+  const auto byte_count = r.varint();
   const std::size_t expect_bytes =
       (static_cast<std::size_t>(packed.count) * packed.bits + 7) / 8;
   if (byte_count != expect_bytes) {
@@ -194,6 +238,17 @@ hw::IntLayerPlan read_plan(ByteReader& r) {
   plan.weight_codes = codes;
   plan.channel_scale = r.floats();
   plan.bias = r.floats();
+  plan.requant_fused = r.pod<std::uint8_t>() != 0;
+  if (plan.requant_fused) {
+    plan.requant.resize(static_cast<std::size_t>(r.varint()));
+    for (Requant& rq : plan.requant) {
+      rq.multiplier = r.pod<std::int32_t>();
+      rq.shift = r.pod<std::uint8_t>();
+      rq.bias = r.zigzag();
+    }
+  }
+  // out_qmax / acc_bound are not serialized: finalize_plans rederives
+  // them from act_bits and the unpacked weight codes.
   return plan;
 }
 
@@ -230,6 +285,27 @@ void validate_plan(ByteReader& r, const hw::IntLayerPlan& plan,
     if (plan.has_act && (plan.act_bits < 1 || plan.act_bits > 32)) {
       r.fail("activation bits " + std::to_string(plan.act_bits) +
              " out of range (" + at + ")");
+    }
+    if (plan.requant_fused) {
+      if (plan.requant.size() != rows) {
+        r.fail("fused requant record holds " +
+               std::to_string(plan.requant.size()) +
+               " channels, expected " + std::to_string(rows) + " (" + at +
+               ")");
+      }
+      if (!plan.has_act || plan.act_bits >= 16) {
+        r.fail("fused requant record on a layer without a quantized "
+               "activation grid (" + at + ")");
+      }
+      for (const Requant& rq : plan.requant) {
+        if (rq.shift < 1 || rq.shift > 62) {
+          r.fail("fused requant shift " + std::to_string(rq.shift) +
+                 " outside [1, 62] (" + at + ")");
+        }
+      }
+    } else if (!plan.requant.empty()) {
+      r.fail("unfused layer carries " + std::to_string(plan.requant.size()) +
+             " requant channels (" + at + ")");
     }
   } else if (!plan.weight_codes.empty()) {
     r.fail("a pooling/reshape layer carries " +

@@ -10,12 +10,21 @@
 // whole-payload checksum.  A ResNet-20-class model on an 8/4/2 ladder
 // packs 4–16× smaller than its float snapshot.
 //
-// Layout (little-endian):
+// Layout (little-endian; counts, geometry dims and small signed values
+// are LEB128 varints — zigzag-mapped when signed — so the per-channel
+// requant record fits inside the same 4× compression budget as v1):
 //   header  : magic "CCQA", u32 version, u32 layer_count,
 //             u64 payload_bytes, u64 fnv1a(payload)
 //   payload : one record per layer — name, kind, geometry, activation
 //             grid, packed weight codes (min_code + divisor + bit width,
-//             values LSB-first), per-channel scale + bias arrays.
+//             values LSB-first), per-channel scale + bias arrays, and
+//             (version 2) the fused requantization record: a fused flag,
+//             then per channel {i32 multiplier, u8 shift, zigzag bias}.
+//             Serializing the requant parameters — instead of recomputing
+//             them at load time — guarantees a served artifact replays
+//             the exporter's exact integer datapath; `out_qmax` and
+//             `acc_bound` are exact integer functions of the serialized
+//             fields and are rederived by `finalize_plans` at load.
 //
 // Writes are crash-safe (temp file + atomic rename, common/fileio) and
 // loads verify the checksum before parsing, so an interrupted export can
@@ -39,7 +48,11 @@
 namespace ccq::serve {
 
 inline constexpr char kArtifactMagic[4] = {'C', 'C', 'Q', 'A'};
-inline constexpr std::uint32_t kArtifactVersion = 1;
+/// Version 2: adds the fused fixed-point requantization record per layer.
+/// Older versions are rejected with a named diagnostic — requant fusion
+/// changes the layer boundary numerics, so silently serving a v1 artifact
+/// through the fused datapath would not replay the exporter's outputs.
+inline constexpr std::uint32_t kArtifactVersion = 2;
 
 /// Bit-packed integer codes: value[i] = min_code + divisor · packed[i],
 /// each packed entry `bits` wide, appended LSB-first.  `divisor` is the

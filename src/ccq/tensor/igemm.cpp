@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <limits>
+#include <type_traits>
 
 #include "ccq/common/error.hpp"
 #include "ccq/common/telemetry.hpp"
@@ -17,11 +18,14 @@ namespace {
 /// depth is walked in kc panels with the zero-multiplier skip of
 /// tensor/gemm.  Integer math is exact, so the jc/pc blocking order
 /// cannot change the result — only overflow could, and the caller's
-/// accumulator choice rules that out.
-template <typename TA, typename TB, typename Acc, bool kPerRowScale>
+/// accumulator choice rules that out.  The epilogue policy (float affine
+/// or fixed-point requant, igemm_detail) consumes each finished
+/// accumulator; for the float policy the expression shape matches the
+/// naive engine loop, so outputs match it bit for bit.
+template <typename TA, typename TB, typename Acc, bool kPerRowScale,
+          typename Epi>
 void igemm_rows(std::size_t row0, std::size_t row1, std::size_t n,
-                std::size_t k, const TA* a, const TB* b, float* c,
-                const float* scale, const float* bias,
+                std::size_t k, const TA* a, const TB* b, const Epi& epi,
                 const IgemmBlocking& blk) {
   const std::size_t nc_max = std::min(std::max<std::size_t>(blk.nc, 1),
                                       kIgemmMaxNc);
@@ -43,13 +47,8 @@ void igemm_rows(std::size_t row0, std::size_t row1, std::size_t n,
           }
         }
       }
-      // Epilogue: identical expression shape to the naive engine loop
-      // (float(acc) * scale + bias), so outputs match it bit for bit.
-      float* crow = c + i * n + jc;
       for (std::size_t j = 0; j < nc; ++j) {
-        const float s = kPerRowScale ? scale[i] : scale[jc + j];
-        const float o = kPerRowScale ? bias[i] : bias[jc + j];
-        crow[j] = static_cast<float>(acc[j]) * s + o;
+        epi.store(i * n + jc + j, kPerRowScale ? i : jc + j, acc[j]);
       }
     }
   }
@@ -58,30 +57,34 @@ void igemm_rows(std::size_t row0, std::size_t row1, std::size_t n,
 /// Scalar-kernel execution of a validated IgemmOp.  kWX reads the panel
 /// as the left operand (rows×depth row-major); kXW reads it as the right
 /// operand (depth×rows) — both are the layouts igemm_pack emits for
-/// IgemmKernel::kScalar.
+/// IgemmKernel::kScalar.  Dispatches over the op's activation code type
+/// and epilogue policy (igemm_detail::with_x / dispatch_epilogue).
 void run_scalar(const IgemmOp& op, const ExecContext& ctx) {
   const std::int16_t* w = op.panel->i16.data();
-  const float* scale = op.epilogue.scale;
-  const float* bias = op.epilogue.bias;
   const std::size_t grain = std::max<std::size_t>(op.blocking.row_grain, 1);
-  parallel_for(ctx, op.m, grain, [&](std::size_t row0, std::size_t row1) {
-    if (op.form == IgemmForm::kWX) {
-      if (op.accum == IgemmAccum::kInt32) {
-        igemm_rows<std::int16_t, std::int32_t, std::int32_t, true>(
-            row0, row1, op.n, op.k, w, op.x, op.c, scale, bias, op.blocking);
-      } else {
-        igemm_rows<std::int16_t, std::int32_t, std::int64_t, true>(
-            row0, row1, op.n, op.k, w, op.x, op.c, scale, bias, op.blocking);
-      }
-    } else {
-      if (op.accum == IgemmAccum::kInt32) {
-        igemm_rows<std::int32_t, std::int16_t, std::int32_t, false>(
-            row0, row1, op.n, op.k, op.x, w, op.c, scale, bias, op.blocking);
-      } else {
-        igemm_rows<std::int32_t, std::int16_t, std::int64_t, false>(
-            row0, row1, op.n, op.k, op.x, w, op.c, scale, bias, op.blocking);
-      }
-    }
+  igemm_detail::with_x(op, [&](const auto* x) {
+    using TX = std::remove_cv_t<std::remove_pointer_t<decltype(x)>>;
+    igemm_detail::dispatch_epilogue(op, [&](const auto& epi) {
+      parallel_for(ctx, op.m, grain, [&](std::size_t row0, std::size_t row1) {
+        if (op.form == IgemmForm::kWX) {
+          if (op.accum == IgemmAccum::kInt32) {
+            igemm_rows<std::int16_t, TX, std::int32_t, true>(
+                row0, row1, op.n, op.k, w, x, epi, op.blocking);
+          } else {
+            igemm_rows<std::int16_t, TX, std::int64_t, true>(
+                row0, row1, op.n, op.k, w, x, epi, op.blocking);
+          }
+        } else {
+          if (op.accum == IgemmAccum::kInt32) {
+            igemm_rows<TX, std::int16_t, std::int32_t, false>(
+                row0, row1, op.n, op.k, x, w, epi, op.blocking);
+          } else {
+            igemm_rows<TX, std::int16_t, std::int64_t, false>(
+                row0, row1, op.n, op.k, x, w, epi, op.blocking);
+          }
+        }
+      });
+    });
   });
 }
 
@@ -293,11 +296,25 @@ void igemm_run(const IgemmOp& op, const ExecContext& ctx) {
                 ", depth " + std::to_string(op.k) + ")");
   }
   if (op.m == 0 || op.n == 0) return;
-  CCQ_CHECK(op.c != nullptr, "igemm_run: null output");
-  CCQ_CHECK(op.epilogue.scale != nullptr && op.epilogue.bias != nullptr,
-            "igemm_run: null epilogue scale/bias");
-  CCQ_CHECK(op.k == 0 || op.x != nullptr,
-            "igemm_run: null activation codes");
+  if (op.requant != nullptr) {
+    CCQ_CHECK((op.out8 != nullptr) != (op.out16 != nullptr),
+              "igemm_run: requant epilogue needs exactly one code output "
+              "(out8 or out16)");
+    CCQ_CHECK(op.c == nullptr,
+              "igemm_run: requant epilogue and float output are exclusive");
+    CCQ_CHECK(op.requant_qmax > 0, "igemm_run: requant_qmax must be positive");
+  } else {
+    CCQ_CHECK(op.out8 == nullptr && op.out16 == nullptr,
+              "igemm_run: code outputs need requant parameters");
+    CCQ_CHECK(op.c != nullptr, "igemm_run: null output");
+    CCQ_CHECK(op.epilogue.scale != nullptr && op.epilogue.bias != nullptr,
+              "igemm_run: null epilogue scale/bias");
+  }
+  const int x_inputs = (op.x != nullptr ? 1 : 0) + (op.x8 != nullptr ? 1 : 0) +
+                       (op.x16 != nullptr ? 1 : 0);
+  CCQ_CHECK(op.k == 0 ? x_inputs <= 1 : x_inputs == 1,
+            "igemm_run: exactly one activation code input (x, x8 or x16) "
+            "must be set");
   if (!igemm_kernel_eligible(panel.kernel, panel.max_abs, op.x_bound,
                              op.accum)) {
     throw Error(
@@ -340,14 +357,15 @@ void igemm_wx(std::size_t m, std::size_t n, std::size_t k,
               const ExecContext& ctx, const IgemmBlocking& blk) {
   telemetry::ScopedTimer timer(telemetry::Timer::kIgemm);
   telemetry::ScopedTimer kt(telemetry::Timer::kIgemmScalar);
+  const igemm_detail::FloatEpilogue epi{scale, bias, c};
   const std::size_t grain = std::max<std::size_t>(blk.row_grain, 1);
   parallel_for(ctx, m, grain, [&](std::size_t row0, std::size_t row1) {
     if (accum == IgemmAccum::kInt32) {
       igemm_rows<std::int16_t, std::int32_t, std::int32_t, true>(
-          row0, row1, n, k, w, x, c, scale, bias, blk);
+          row0, row1, n, k, w, x, epi, blk);
     } else {
       igemm_rows<std::int16_t, std::int32_t, std::int64_t, true>(
-          row0, row1, n, k, w, x, c, scale, bias, blk);
+          row0, row1, n, k, w, x, epi, blk);
     }
   });
 }
@@ -358,14 +376,15 @@ void igemm_xw(std::size_t m, std::size_t n, std::size_t k,
               const ExecContext& ctx, const IgemmBlocking& blk) {
   telemetry::ScopedTimer timer(telemetry::Timer::kIgemm);
   telemetry::ScopedTimer kt(telemetry::Timer::kIgemmScalar);
+  const igemm_detail::FloatEpilogue epi{scale, bias, c};
   const std::size_t grain = std::max<std::size_t>(blk.row_grain, 1);
   parallel_for(ctx, m, grain, [&](std::size_t row0, std::size_t row1) {
     if (accum == IgemmAccum::kInt32) {
       igemm_rows<std::int32_t, std::int16_t, std::int32_t, false>(
-          row0, row1, n, k, x, w, c, scale, bias, blk);
+          row0, row1, n, k, x, w, epi, blk);
     } else {
       igemm_rows<std::int32_t, std::int16_t, std::int64_t, false>(
-          row0, row1, n, k, x, w, c, scale, bias, blk);
+          row0, row1, n, k, x, w, epi, blk);
     }
   });
 }

@@ -8,12 +8,15 @@
 //   * weight codes are packed once (plan-compile / artifact-load time)
 //     into an `IgemmPanel` whose layout is owned by the kernel that will
 //     execute it (`igemm_pack`);
-//   * activation codes arrive as `int32` buffers (Workspace `ints()`
-//     leases, filled by the int overload of `im2col`);
+//   * activation codes arrive as `u8` / `i16` / `int32` buffers
+//     (Workspace leases, filled by the matching `im2col` overload — the
+//     fused datapath keeps layer outputs in their narrow code type);
 //   * one igemm invocation is described by an `IgemmOp` — operand form,
 //     shapes, packed panel, activation codes, epilogue (per-channel
-//     scale/bias), accumulator width, blocking — and executed by
-//     `igemm_run`, which dispatches on the panel's kernel variant;
+//     float scale/bias, or fixed-point requantization writing the next
+//     layer's codes directly), accumulator width, blocking — and
+//     executed by `igemm_run`, which dispatches on the panel's kernel
+//     variant;
 //   * kernels: `scalar` (the cache-blocked rank-1-update loop, any
 //     accumulator), `vec16` (register-tiled int16×int16→int32 widening
 //     multiply-accumulate — `pmaddwd`-shaped, so SSE2/AVX2 intrinsics
@@ -48,6 +51,7 @@
 #include "ccq/common/exec.hpp"
 #include "ccq/common/workspace.hpp"
 #include "ccq/tensor/im2col.hpp"
+#include "ccq/tensor/requant.hpp"
 
 namespace ccq {
 
@@ -187,20 +191,38 @@ struct IgemmEpilogue {
   const float* bias = nullptr;
 };
 
-/// One igemm invocation, fully described.  `x` is the activation code
-/// matrix in the form's natural layout (kWX: k×n feeding the panel from
-/// the right; kXW: m×k feeding it from the left).  `x_bound > 0` asserts
-/// the activation codes lie in [0, x_bound] (the engine's statically
-/// threaded per-layer bound); 0 = unknown, which confines execution to
-/// the scalar kernel.  `ws` provides pooled scratch for the vector
-/// kernels' activation repacking (nullptr → `Workspace::scratch()`).
+/// One igemm invocation, fully described.  The activation code matrix is
+/// given through exactly one of `x` / `x8` / `x16`, in the form's
+/// natural layout (kWX: k×n feeding the panel from the right; kXW: m×k
+/// feeding it from the left) — the narrow overloads let the fused
+/// integer datapath hand layer outputs straight back in without a
+/// widening pass.  The result goes to exactly one of:
+///   * `c` — float epilogue: C = float(acc)·scale + bias (per row for
+///     kWX, per column for kXW);
+///   * `out8` / `out16` — requant epilogue: each accumulator is
+///     requantized by the matching per-channel `requant` entry
+///     (requant_apply, codes clamped to [0, requant_qmax]) and written
+///     as the next layer's activation code.  The caller must have built
+///     the Requant parameters against this op's true accumulator bound
+///     (hw::make_requant) — that is what keeps acc·M + B inside int64.
+/// `x_bound > 0` asserts the activation codes lie in [0, x_bound] (the
+/// engine's statically threaded per-layer bound); 0 = unknown, which
+/// confines execution to the scalar kernel.  `ws` provides pooled
+/// scratch for the vector kernels' activation repacking (nullptr →
+/// `Workspace::scratch()`).
 struct IgemmOp {
   IgemmForm form = IgemmForm::kWX;
   std::size_t m = 0, n = 0, k = 0;  ///< C is m×n over reduction depth k
   const IgemmPanel* panel = nullptr;
-  const std::int32_t* x = nullptr;
-  float* c = nullptr;
+  const std::int32_t* x = nullptr;    ///< int32 activation codes, or
+  const std::uint8_t* x8 = nullptr;   ///< u8 codes (fused datapath), or
+  const std::int16_t* x16 = nullptr;  ///< i16 codes (9–15-bit grids)
+  float* c = nullptr;                 ///< float-epilogue output, or
+  std::uint8_t* out8 = nullptr;       ///< requantized u8 codes, or
+  std::int16_t* out16 = nullptr;      ///< requantized i16 codes
   IgemmEpilogue epilogue;
+  const Requant* requant = nullptr;  ///< per-channel params (m or n entries)
+  std::int32_t requant_qmax = 0;     ///< code ceiling: 2^act_bits − 1
   IgemmAccum accum = IgemmAccum::kInt64;
   IgemmBlocking blocking = {};
   std::int64_t x_bound = 0;

@@ -436,42 +436,39 @@ constexpr bool kPackedSimd = false;
 /// `grain` chunks; 4-wide register tiling over j with a dot1 tail.  The
 /// epilogue channel index is the row for kPerRow (kWX) and the column
 /// otherwise (kXW) — the only asymmetry between the two forms once both
-/// operands are in dot layout.
-template <bool kPerRow, typename TA, typename TB>
+/// operands are in dot layout.  `Epi` is one of the igemm_detail
+/// epilogue policies (float affine or fixed-point requant).
+template <bool kPerRow, typename TA, typename TB, typename Epi>
 void dot_driver(std::size_t m, std::size_t n, std::size_t kp, const TA* a,
-                const TB* b, float* c, const float* scale, const float* bias,
-                std::size_t grain, const ExecContext& ctx) {
+                const TB* b, const Epi& epi, std::size_t grain,
+                const ExecContext& ctx) {
   parallel_for(ctx, m, grain, [&](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
       const TA* arow = a + i * kp;
-      float* crow = c + i * n;
       std::size_t j = 0;
       for (; j + 4 <= n; j += 4) {
         std::int32_t out[4];
         dot4(arow, b + j * kp, b + (j + 1) * kp, b + (j + 2) * kp,
              b + (j + 3) * kp, kp, out);
         for (std::size_t t = 0; t < 4; ++t) {
-          const float s = kPerRow ? scale[i] : scale[j + t];
-          const float o = kPerRow ? bias[i] : bias[j + t];
-          crow[j + t] = static_cast<float>(out[t]) * s + o;
+          epi.store(i * n + j + t, kPerRow ? i : j + t, out[t]);
         }
       }
       for (; j < n; ++j) {
         const std::int32_t d = dot1(arow, b + j * kp, kp);
-        const float s = kPerRow ? scale[i] : scale[j];
-        const float o = kPerRow ? bias[i] : bias[j];
-        crow[j] = static_cast<float>(d) * s + o;
+        epi.store(i * n + j, kPerRow ? i : j, d);
       }
     }
   });
 }
 
 /// Repack the activation codes into a dot-layout panel of `Dst` lanes:
-/// kWX transposes the k×n matrix to n rows of k codes; kXW narrows the
-/// m×k rows in place.  Rows are zero-padded to `kp`.  Eligibility
+/// kWX transposes the k×n matrix to n rows of k codes; kXW narrows (or,
+/// when the fused datapath already delivers `Dst`-typed codes, copies)
+/// the m×k rows in place.  Rows are zero-padded to `kp`.  Eligibility
 /// (igemm_run) guarantees every code fits `Dst`.
-template <typename Dst>
-void pack_x(const IgemmOp& op, std::size_t kp, Dst* xp,
+template <typename Dst, typename Src>
+void pack_x(const Src* x, const IgemmOp& op, std::size_t kp, Dst* xp,
             const ExecContext& ctx) {
   const std::size_t xrows = op.form == IgemmForm::kWX ? op.n : op.m;
   parallel_for(ctx, xrows, 64, [&](std::size_t r0, std::size_t r1) {
@@ -479,10 +476,10 @@ void pack_x(const IgemmOp& op, std::size_t kp, Dst* xp,
       Dst* row = xp + r * kp;
       if (op.form == IgemmForm::kWX) {
         for (std::size_t p = 0; p < op.k; ++p) {
-          row[p] = static_cast<Dst>(op.x[p * op.n + r]);
+          row[p] = static_cast<Dst>(x[p * op.n + r]);
         }
       } else {
-        const std::int32_t* xrow = op.x + r * op.k;
+        const Src* xrow = x + r * op.k;
         for (std::size_t p = 0; p < op.k; ++p) {
           row[p] = static_cast<Dst>(xrow[p]);
         }
@@ -502,15 +499,19 @@ void run_vec16(const IgemmOp& op, const ExecContext& ctx) {
   const std::size_t xrows = op.form == IgemmForm::kWX ? op.n : op.m;
   Workspace& ws = op.ws != nullptr ? *op.ws : Workspace::scratch();
   Workspace::ShortLease xp = ws.shorts(xrows * kp);
-  pack_x<std::int16_t>(op, kp, xp.data(), ctx);
+  with_x(op, [&](const auto* x) {
+    pack_x<std::int16_t>(x, op, kp, xp.data(), ctx);
+  });
   const std::size_t grain = std::max<std::size_t>(op.blocking.row_grain, 1);
-  if (op.form == IgemmForm::kWX) {
-    dot_driver<true>(op.m, op.n, kp, panel.i16.data(), xp.data(), op.c,
-                     op.epilogue.scale, op.epilogue.bias, grain, ctx);
-  } else {
-    dot_driver<false>(op.m, op.n, kp, xp.data(), panel.i16.data(), op.c,
-                      op.epilogue.scale, op.epilogue.bias, grain, ctx);
-  }
+  dispatch_epilogue(op, [&](const auto& epi) {
+    if (op.form == IgemmForm::kWX) {
+      dot_driver<true>(op.m, op.n, kp, panel.i16.data(), xp.data(), epi,
+                       grain, ctx);
+    } else {
+      dot_driver<false>(op.m, op.n, kp, xp.data(), panel.i16.data(), epi,
+                        grain, ctx);
+    }
+  });
 }
 
 void run_vec_packed(const IgemmOp& op, const ExecContext& ctx) {
@@ -519,15 +520,19 @@ void run_vec_packed(const IgemmOp& op, const ExecContext& ctx) {
   const std::size_t xrows = op.form == IgemmForm::kWX ? op.n : op.m;
   Workspace& ws = op.ws != nullptr ? *op.ws : Workspace::scratch();
   Workspace::ByteLease xp = ws.bytes(xrows * kp);
-  pack_x<std::uint8_t>(op, kp, xp.data(), ctx);
+  with_x(op, [&](const auto* x) {
+    pack_x<std::uint8_t>(x, op, kp, xp.data(), ctx);
+  });
   const std::size_t grain = std::max<std::size_t>(op.blocking.row_grain, 1);
-  if (op.form == IgemmForm::kWX) {
-    dot_driver<true>(op.m, op.n, kp, panel.i8.data(), xp.data(), op.c,
-                     op.epilogue.scale, op.epilogue.bias, grain, ctx);
-  } else {
-    dot_driver<false>(op.m, op.n, kp, xp.data(), panel.i8.data(), op.c,
-                      op.epilogue.scale, op.epilogue.bias, grain, ctx);
-  }
+  dispatch_epilogue(op, [&](const auto& epi) {
+    if (op.form == IgemmForm::kWX) {
+      dot_driver<true>(op.m, op.n, kp, panel.i8.data(), xp.data(), epi,
+                       grain, ctx);
+    } else {
+      dot_driver<false>(op.m, op.n, kp, xp.data(), panel.i8.data(), epi,
+                        grain, ctx);
+    }
+  });
 }
 
 }  // namespace ccq::igemm_detail

@@ -57,6 +57,16 @@ void im2col(const std::int32_t* image, const ConvGeometry& g,
   im2col_impl(image, g, columns, ctx);
 }
 
+void im2col(const std::uint8_t* image, const ConvGeometry& g,
+            std::uint8_t* columns, const ExecContext& ctx) {
+  im2col_impl(image, g, columns, ctx);
+}
+
+void im2col(const std::int16_t* image, const ConvGeometry& g,
+            std::int16_t* columns, const ExecContext& ctx) {
+  im2col_impl(image, g, columns, ctx);
+}
+
 void col2im(const float* columns, const ConvGeometry& g, float* image,
             const ExecContext& ctx) {
   const std::size_t oh = g.out_h();

@@ -47,6 +47,16 @@ void im2col(const std::int32_t* image, const ConvGeometry& g,
             std::int32_t* columns,
             const ExecContext& ctx = ExecContext::global());
 
+/// Narrow activation-code overloads for the fused integer datapath,
+/// where layer outputs stay u8 (grids up to 8 bits) or i16 codes and
+/// are lowered without ever widening to int32 or float.
+void im2col(const std::uint8_t* image, const ConvGeometry& g,
+            std::uint8_t* columns,
+            const ExecContext& ctx = ExecContext::global());
+void im2col(const std::int16_t* image, const ConvGeometry& g,
+            std::int16_t* columns,
+            const ExecContext& ctx = ExecContext::global());
+
 /// Scatter-add a column matrix back to image gradient layout.  `image`
 /// must be pre-zeroed by the caller (we accumulate).  Parallel over
 /// channels: rows of one channel scatter only into that channel's plane,

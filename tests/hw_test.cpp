@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "ccq/hw/fixed_point.hpp"
 #include "ccq/hw/mac_model.hpp"
@@ -180,6 +182,110 @@ TEST(ProfileTest, RegistryProfileTracksCurrentBits) {
   ASSERT_EQ(profile.size(), 1u);
   EXPECT_EQ(profile[0].weight_bits, 4);
   EXPECT_EQ(profile[0].macs, 5000u);
+}
+
+// ---- fixed-point requantization ---------------------------------------------
+
+TEST(RequantTest, RneShiftRoundsTiesToEven) {
+  // Halves land on the even neighbour, both signs.
+  EXPECT_EQ(rne_shift(1, 1), 0);    //  0.5 →  0
+  EXPECT_EQ(rne_shift(3, 1), 2);    //  1.5 →  2
+  EXPECT_EQ(rne_shift(5, 1), 2);    //  2.5 →  2
+  EXPECT_EQ(rne_shift(-1, 1), 0);   // −0.5 →  0
+  EXPECT_EQ(rne_shift(-3, 1), -2);  // −1.5 → −2
+  EXPECT_EQ(rne_shift(-5, 1), -2);  // −2.5 → −2
+  // Wider shifts: tie needs the remainder to be exactly half a ulp.
+  EXPECT_EQ(rne_shift(12, 3), 2);   // 1.5   → 2 (tie, odd floor)
+  EXPECT_EQ(rne_shift(20, 3), 2);   // 2.5   → 2 (tie, even floor)
+  EXPECT_EQ(rne_shift(13, 3), 2);   // 1.625 → 2 (above half)
+  EXPECT_EQ(rne_shift(11, 3), 1);   // 1.375 → 1 (below half)
+  EXPECT_EQ(rne_shift(-12, 3), -2); // −1.5  → −2
+  EXPECT_EQ(rne_shift(-20, 3), -2); // −2.5  → −2
+}
+
+TEST(RequantTest, RequantApplyClampsToTheCodeRange) {
+  Requant r;
+  ASSERT_TRUE(make_requant(1.0, 0.0, 1 << 20, r));
+  EXPECT_EQ(requant_apply(-5, r, 255), 0);     // negative pre-activation
+  EXPECT_EQ(requant_apply(7, r, 255), 7);      // identity inside the range
+  EXPECT_EQ(requant_apply(9000, r, 255), 255); // saturates at qmax
+}
+
+TEST(RequantTest, MakeRequantApproximatesTheRatioTightly) {
+  // A normalised multiplier carries >= 30 significant bits, so the
+  // fixed-point ratio M·2^−shift tracks the real ratio to ~2^−31
+  // relative — far below one output code over any in-budget range.
+  for (double ratio : {1e-4, 0.37, 0.5, 1.0, 3.25, 1e3, -0.42}) {
+    Requant r;
+    ASSERT_TRUE(make_requant(ratio, 0.0, std::int64_t{1} << 20, r)) << ratio;
+    EXPECT_GE(r.shift, 1);
+    EXPECT_LE(r.shift, 62);
+    const double approx = std::ldexp(static_cast<double>(r.multiplier),
+                                     -r.shift);
+    EXPECT_LE(std::fabs(approx - ratio), std::fabs(ratio) * 1e-9) << ratio;
+  }
+}
+
+TEST(RequantTest, MakeRequantFoldsTheBias) {
+  // bias_ratio pre-scales by 2^shift so the epilogue adds it in integer
+  // form; check the reconstructed offset and an end-to-end apply.
+  Requant r;
+  ASSERT_TRUE(make_requant(0.5, 10.25, 1 << 20, r));
+  const double back = std::ldexp(static_cast<double>(r.bias), -r.shift);
+  EXPECT_NEAR(back, 10.25, 1e-9);
+  EXPECT_EQ(requant_apply(100, r, 255), 60);  // 100·0.5 + 10.25 → 60.25 → 60
+}
+
+TEST(RequantTest, MakeRequantZeroScaleChannelYieldsZeroCodes) {
+  // A dead channel (γ = 0 after BN folding) must still fuse: M = 0 and
+  // every accumulator maps to code 0.
+  Requant r;
+  ASSERT_TRUE(make_requant(0.0, 0.0, std::int64_t{1} << 40, r));
+  EXPECT_EQ(r.multiplier, 0);
+  for (std::int64_t acc : {std::int64_t{-100000}, std::int64_t{0},
+                           std::int64_t{1} << 40}) {
+    EXPECT_EQ(requant_apply(acc, r, 255), 0) << acc;
+  }
+}
+
+TEST(RequantTest, MakeRequantSupportsNegativeRatios) {
+  // Negative folded scales (γ < 0) carry the sign in the multiplier.
+  Requant r;
+  ASSERT_TRUE(make_requant(-0.5, 4.0, 1 << 20, r));
+  EXPECT_LT(r.multiplier, 0);
+  EXPECT_EQ(requant_apply(4, r, 255), 2);   // −2 + 4 = 2
+  EXPECT_EQ(requant_apply(-8, r, 255), 8);  //  4 + 4 = 8
+}
+
+TEST(RequantTest, MakeRequantRefusesOutOfBudgetParameters) {
+  Requant r;
+  // Non-finite inputs.
+  EXPECT_FALSE(make_requant(std::numeric_limits<double>::quiet_NaN(), 0.0,
+                            1 << 20, r));
+  EXPECT_FALSE(make_requant(1.0, std::numeric_limits<double>::infinity(),
+                            1 << 20, r));
+  // Ratio too large for a 31-bit multiplier at shift >= 1.
+  EXPECT_FALSE(make_requant(1e10, 0.0, 1 << 20, r));
+  // Accumulator bound so large no multiplier stays inside 2^61.
+  EXPECT_FALSE(make_requant(0.9, 0.0, std::int64_t{1} << 61, r));
+  // Bias outside the 2^61 budget.
+  EXPECT_FALSE(make_requant(1.0, 1e30, 1 << 20, r));
+  // Negative bound marks an unfusable layer.
+  EXPECT_FALSE(make_requant(1.0, 0.0, -1, r));
+}
+
+TEST(RequantTest, MakeRequantRespectsTheAccumulatorBudget) {
+  // |acc·M| <= 2^61 for every |acc| <= acc_bound: the multiplier cap
+  // shrinks as the bound grows.
+  for (int log_bound : {20, 40, 55, 60}) {
+    const std::int64_t bound = std::int64_t{1} << log_bound;
+    Requant r;
+    ASSERT_TRUE(make_requant(0.37, 0.1, bound, r)) << log_bound;
+    const std::int64_t budget = std::int64_t{1} << 61;
+    EXPECT_LE(std::abs(static_cast<std::int64_t>(r.multiplier)),
+              budget / bound)
+        << log_bound;
+  }
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 
 #include "ccq/common/error.hpp"
 #include "ccq/common/rng.hpp"
+#include "ccq/hw/fixed_point.hpp"
 #include "ccq/tensor/igemm.hpp"
 
 namespace ccq {
@@ -613,6 +614,170 @@ TEST(IgemmPackPanel, RejectsCodesOutsideInt16) {
   EXPECT_THROW(igemm_pack_panel(codes, 2, 2, true), Error);
   codes[2] = 32767;  // int16 max is fine
   EXPECT_NO_THROW(igemm_pack_panel(codes, 2, 2, false));
+}
+
+// ---- requant epilogue differential ------------------------------------------
+
+/// The fused-datapath spec: every kernel's requant epilogue must equal a
+/// naive int64 accumulation followed by `requant_apply` — same integer
+/// associativity argument as the float epilogue, now in the multiplier
+/// domain.  Sweeps u8 and i16 code inputs/outputs, per-row (kWX) and
+/// per-column (kXW) channel mapping, kernels, threads and a k-splitting
+/// blocking (the epilogue must fire only after the full reduction).
+TEST(IgemmRequantEpilogue, MatchesNaiveRequantApplyAcrossKernels) {
+  Rng rng(0xCC01);
+  struct Cfg {
+    std::size_t m, n, k;
+    std::int32_t max_w, max_x, qmax;
+  };
+  const Cfg configs[] = {
+      {8, 33, 27, 7, 3, 255},      // vec-packed-eligible bounds, u8 codes
+      {6, 18, 40, 100, 255, 255},  // full 8-bit input grid, u8 codes
+      {5, 21, 16, 40, 1000, 4095}, // 10-bit codes: i16 in, i16 out
+  };
+  for (const Cfg& cfg : configs) {
+    std::vector<std::int32_t> w(cfg.m * cfg.k), x(cfg.k * cfg.n);
+    for (auto& v : w) {
+      v = static_cast<std::int32_t>(rng.uniform_int(2 * cfg.max_w + 1)) -
+          cfg.max_w;
+    }
+    for (auto& v : x) {
+      v = static_cast<std::int32_t>(rng.uniform_int(cfg.max_x + 1));
+    }
+    const bool u8_codes = cfg.max_x <= 255 && cfg.qmax <= 255;
+    std::vector<std::uint8_t> x8(x.begin(), x.end());
+    std::vector<std::int16_t> x16(x.begin(), x.end());
+
+    // Realistic per-channel parameters straight from make_requant.
+    const std::int64_t bound = std::int64_t{cfg.max_w} * cfg.max_x *
+                               static_cast<std::int64_t>(cfg.k);
+    std::vector<Requant> rq(cfg.m);
+    for (auto& r : rq) {
+      ASSERT_TRUE(hw::make_requant(rng.uniform(0.001, 0.05),
+                                   rng.uniform(-3.0, 3.0), bound, r));
+    }
+
+    // Naive spec: exact int64 accumulation, then requant_apply.
+    std::vector<std::int32_t> want(cfg.m * cfg.n);
+    for (std::size_t i = 0; i < cfg.m; ++i) {
+      for (std::size_t j = 0; j < cfg.n; ++j) {
+        std::int64_t acc = 0;
+        for (std::size_t p = 0; p < cfg.k; ++p) {
+          acc += std::int64_t{w[i * cfg.k + p]} *
+                 std::int64_t{x[p * cfg.n + j]};
+        }
+        want[i * cfg.n + j] = requant_apply(acc, rq[i], cfg.qmax);
+      }
+    }
+
+    const std::int32_t max_abs = igemm_max_abs(w);
+    std::vector<IgemmAccum> accums{IgemmAccum::kInt64};
+    if (igemm_fits_int32(max_abs, cfg.max_x, cfg.k)) {
+      accums.push_back(IgemmAccum::kInt32);
+    }
+    const IgemmBlocking blockings[] = {{}, {.nc = 8, .kc = 7}};
+    for (IgemmAccum accum : accums) {
+      for (IgemmKernel kernel : eligible_kernels(max_abs, cfg.max_x, accum)) {
+        const IgemmPanel panel =
+            igemm_pack(w, cfg.m, cfg.k, IgemmForm::kWX, kernel);
+        for (const IgemmBlocking& blk : blockings) {
+          for (std::size_t threads : {1, 2, 4}) {
+            IgemmOp op;
+            op.form = IgemmForm::kWX;
+            op.m = cfg.m;
+            op.n = cfg.n;
+            op.k = cfg.k;
+            op.panel = &panel;
+            op.accum = accum;
+            op.blocking = blk;
+            op.x_bound = cfg.max_x;
+            op.requant = rq.data();
+            op.requant_qmax = cfg.qmax;
+            std::vector<std::uint8_t> got8(cfg.m * cfg.n, 0xEE);
+            std::vector<std::int16_t> got16(cfg.m * cfg.n, -7);
+            if (u8_codes) {
+              op.x8 = x8.data();
+              op.out8 = got8.data();
+            } else {
+              op.x16 = x16.data();
+              op.out16 = got16.data();
+            }
+            igemm_run(op, ctx_for(threads));
+            for (std::size_t i = 0; i < want.size(); ++i) {
+              const std::int32_t got =
+                  u8_codes ? static_cast<std::int32_t>(got8[i])
+                           : static_cast<std::int32_t>(got16[i]);
+              ASSERT_EQ(got, want[i])
+                  << "kWX kernel=" << igemm_kernel_str(kernel)
+                  << " accum=" << static_cast<int>(accum)
+                  << " threads=" << threads << " nc=" << blk.nc
+                  << " kc=" << blk.kc << " idx=" << i;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// kXW form (linear layers): activations on the left, requant entries
+/// indexed by output column.
+TEST(IgemmRequantEpilogue, PerColumnRequantMatchesNaiveInXwForm) {
+  Rng rng(0xCC02);
+  const std::size_t batch = 5, out = 9, k = 31;
+  std::vector<std::int32_t> wt(k * out), x(batch * k);
+  for (auto& v : wt) {
+    v = static_cast<std::int32_t>(rng.uniform_int(31)) - 15;
+  }
+  for (auto& v : x) {
+    v = static_cast<std::int32_t>(rng.uniform_int(256));
+  }
+  std::vector<std::uint8_t> x8(x.begin(), x.end());
+  const std::int64_t bound = std::int64_t{15} * 255 * k;
+  std::vector<Requant> rq(out);
+  for (auto& r : rq) {
+    ASSERT_TRUE(hw::make_requant(rng.uniform(0.001, 0.05),
+                                 rng.uniform(-3.0, 3.0), bound, r));
+  }
+  std::vector<std::int32_t> want(batch * out);
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < out; ++j) {
+      std::int64_t acc = 0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += std::int64_t{x[i * k + p]} * std::int64_t{wt[p * out + j]};
+      }
+      want[i * out + j] = requant_apply(acc, rq[j], 255);
+    }
+  }
+  // Pack via the kXW form: igemm_pack takes the weight as rows×depth.
+  std::vector<std::int32_t> w_rows(out * k);
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t j = 0; j < out; ++j) {
+      w_rows[j * k + p] = wt[p * out + j];
+    }
+  }
+  const std::int32_t max_abs = igemm_max_abs(w_rows);
+  for (IgemmKernel kernel : eligible_kernels(max_abs, 255, IgemmAccum::kInt32)) {
+    const IgemmPanel panel = igemm_pack(w_rows, out, k, IgemmForm::kXW, kernel);
+    IgemmOp op;
+    op.form = IgemmForm::kXW;
+    op.m = batch;
+    op.n = out;
+    op.k = k;
+    op.panel = &panel;
+    op.accum = IgemmAccum::kInt32;
+    op.x_bound = 255;
+    op.x8 = x8.data();
+    op.requant = rq.data();
+    op.requant_qmax = 255;
+    std::vector<std::uint8_t> got(batch * out, 0xEE);
+    op.out8 = got.data();
+    igemm_run(op, ctx_for(2));
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(static_cast<std::int32_t>(got[i]), want[i])
+          << "kXW kernel=" << igemm_kernel_str(kernel) << " idx=" << i;
+    }
+  }
 }
 
 // ---- deprecated positional shims --------------------------------------------

@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -137,6 +138,17 @@ TEST(ArtifactTest, RoundTripIsBitIdentical) {
     EXPECT_EQ(a.bias, b.bias);
     EXPECT_EQ(a.act_bits, b.act_bits);
     EXPECT_EQ(a.act_clip, b.act_clip);
+    // The v2 requant record round-trips verbatim, and the rederived
+    // integer fields (out_qmax / acc_bound) agree with the exporter's.
+    EXPECT_EQ(a.requant_fused, b.requant_fused);
+    EXPECT_EQ(a.out_qmax, b.out_qmax);
+    EXPECT_EQ(a.acc_bound, b.acc_bound);
+    ASSERT_EQ(a.requant.size(), b.requant.size());
+    for (std::size_t c = 0; c < a.requant.size(); ++c) {
+      EXPECT_EQ(a.requant[c].multiplier, b.requant[c].multiplier);
+      EXPECT_EQ(a.requant[c].shift, b.requant[c].shift);
+      EXPECT_EQ(a.requant[c].bias, b.requant[c].bias);
+    }
   }
 
   const Tensor x = make_inputs(20);
@@ -180,6 +192,36 @@ TEST(ArtifactTest, ChecksumDetectsCorruption) {
   const std::string message = error_message([&] { load_artifact(path); });
   EXPECT_NE(message.find(path), std::string::npos) << message;
   EXPECT_NE(message.find("checksum"), std::string::npos) << message;
+  fs::remove(path);
+}
+
+TEST(ArtifactTest, OldVersionRejectedWithNamedDiagnostic) {
+  // A v1 artifact predates the fused requantization record: silently
+  // parsing it with v2 field layouts would misload, so the version gate
+  // must fire first (before any payload parsing) and name both versions.
+  auto model = make_mixed_model();
+  const std::string path = temp_path("ccq_serve_oldversion.ccqa");
+  export_artifact(model, path);
+
+  // Rewrite the header's version field (bytes 4..7, after the magic).
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  const std::uint32_t old_version = 1;
+  std::memcpy(bytes.data() + 4, &old_version, sizeof(old_version));
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const std::string message = error_message([&] { load_artifact(path); });
+  EXPECT_NE(message.find(path), std::string::npos) << message;
+  EXPECT_NE(message.find("unsupported version 1"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("version " + std::to_string(kArtifactVersion)),
+            std::string::npos)
+      << message;
   fs::remove(path);
 }
 

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Run a benchmark grid and snapshot it to a committed BENCH_*.json.
+
+Two suites cover the integer-inference datapath:
+
+  igemm   BM_IgemmForward -> BENCH_igemm.json
+          the kernel registry (scalar / vec16 / vec-packed) vs the naive
+          int64 reference, on a two-conv net whose quantized activations
+          make every layer fuse its requantization into the epilogue
+  engine  BM_EngineForward -> BENCH_engine.json
+          the end-to-end fused engine forward (u8 codes through igemm
+          epilogues, integer pooling, final decode) vs forward_reference
+
+Typical use:
+
+    tools/bench_snapshot.py --build build                 # all suites: run + compare + update
+    tools/bench_snapshot.py --build build --suite engine  # one suite
+    tools/bench_snapshot.py --build build --check         # run + compare, no write
+    tools/bench_snapshot.py --json out.json --suite igemm --check
+
+Comparison is per {bits, mode} row against the committed snapshot; a row
+regressing by more than --tolerance (default 25%, benchmarks on shared
+runners are noisy) fails the check.  Speedup columns are derived from the
+mode-0 reference row at the same bit width.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SUITES = {
+    "igemm": {
+        "filter": "BM_IgemmForward",
+        "snapshot": REPO / "BENCH_igemm.json",
+        "modes": {0: "reference", 1: "scalar", 2: "vec16", 3: "vec-packed"},
+    },
+    "engine": {
+        "filter": "BM_EngineForward",
+        "snapshot": REPO / "BENCH_engine.json",
+        "modes": {0: "reference", 1: "fused"},
+    },
+}
+
+
+def run_bench(build_dir: pathlib.Path, bench_filter: str) -> dict:
+    exe = build_dir / "bench" / "bench_kernels"
+    if not exe.exists():
+        sys.exit(f"bench binary not found: {exe} (build the 'bench_kernels' target)")
+    cmd = [
+        str(exe),
+        f"--benchmark_filter={bench_filter}",
+        "--benchmark_format=json",
+        "--benchmark_min_warmup_time=0.2",
+    ]
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    return json.loads(out.stdout)
+
+
+def parse_rows(raw: dict, suite: dict) -> dict:
+    """google-benchmark JSON -> {"<bits>/<mode-name>": row} with speedups."""
+    bench_filter, modes = suite["filter"], suite["modes"]
+    rows = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate" or bench_filter not in b["name"]:
+            continue
+        # Name is <filter>/<bits>/<mode>.
+        parts = b["name"].split("/")
+        bits, mode = int(parts[1]), int(parts[2])
+        rows[f"{bits}/{modes[mode]}"] = {
+            "bits": bits,
+            "mode": modes[mode],
+            "real_time_ns": b["real_time"],
+            "items_per_second": b.get("items_per_second"),
+            "allocs_per_iter": b.get("allocs_per_iter"),
+        }
+    for key, row in rows.items():
+        ref = rows.get(f"{row['bits']}/reference")
+        if ref and row["mode"] != "reference":
+            row["speedup_vs_reference"] = ref["real_time_ns"] / row["real_time_ns"]
+    if not rows:
+        sys.exit(f"no {bench_filter} rows in benchmark output")
+    return rows
+
+
+def compare(rows: dict, snapshot: dict, tolerance: float) -> bool:
+    ok = True
+    for key, base in snapshot.get("rows", {}).items():
+        cur = rows.get(key)
+        if cur is None:
+            print(f"MISSING  {key}: present in snapshot, absent from this run")
+            ok = False
+            continue
+        ratio = cur["real_time_ns"] / base["real_time_ns"]
+        verdict = "OK" if ratio <= 1.0 + tolerance else "REGRESSED"
+        if verdict != "OK":
+            ok = False
+        speed = cur.get("speedup_vs_reference")
+        speed_col = f"  {speed:6.2f}x vs ref" if speed else ""
+        print(
+            f"{verdict:9} {key:14} {cur['real_time_ns'] / 1e6:9.3f} ms "
+            f"(baseline {base['real_time_ns'] / 1e6:9.3f} ms, "
+            f"ratio {ratio:5.2f}){speed_col}"
+        )
+    for key in rows:
+        if key not in snapshot.get("rows", {}):
+            print(f"NEW      {key}: no baseline yet")
+    return ok
+
+
+def run_suite(name: str, args: argparse.Namespace, raw: dict | None) -> bool:
+    suite = SUITES[name]
+    snapshot_path = suite["snapshot"]
+    if raw is None:
+        raw = run_bench(args.build, suite["filter"])
+    rows = parse_rows(raw, suite)
+
+    print(f"== suite {name} ({suite['filter']}) ==")
+    ok = True
+    if snapshot_path.exists():
+        ok = compare(rows, json.loads(snapshot_path.read_text()), args.tolerance)
+    else:
+        print(f"no snapshot at {snapshot_path}; this run becomes the baseline")
+
+    if not args.check:
+        context = raw.get("context", {})
+        snapshot_path.write_text(json.dumps({
+            "benchmark": suite["filter"],
+            "context": {
+                "num_cpus": context.get("num_cpus"),
+                "mhz_per_cpu": context.get("mhz_per_cpu"),
+                "library_build_type": context.get("library_build_type"),
+            },
+            "rows": rows,
+        }, indent=2) + "\n")
+        print(f"wrote {snapshot_path}")
+    return ok
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--build", type=pathlib.Path, help="CMake build dir to run from")
+    ap.add_argument("--json", type=pathlib.Path, help="pre-recorded benchmark JSON")
+    ap.add_argument("--suite", choices=[*SUITES, "all"], default="all",
+                    help="which benchmark grid to run (default: all)")
+    ap.add_argument("--check", action="store_true", help="compare only, never write")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed slowdown vs snapshot before failing (fraction)")
+    args = ap.parse_args()
+
+    names = list(SUITES) if args.suite == "all" else [args.suite]
+    raw = None
+    if args.json:
+        if args.suite == "all":
+            ap.error("--json holds one recorded grid; name it with --suite")
+        raw = json.loads(args.json.read_text())
+    elif not args.build:
+        ap.error("one of --build or --json is required")
+
+    ok = True
+    for name in names:
+        ok = run_suite(name, args, raw) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

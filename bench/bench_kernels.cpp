@@ -89,8 +89,9 @@ void BM_ConvForwardThreads(benchmark::State& state) {
   nn::Conv2d conv(channels, channels, 3, 1, 1, false, rng);
   conv.set_exec_context(&ctx);
   Tensor x = Tensor::randn({8, channels, 16, 16}, rng);
+  Workspace ws;
   for (auto _ : state) {
-    Tensor y = conv.forward(x);
+    Tensor y = conv.forward(x, ws);
     benchmark::DoNotOptimize(y.data().data());
   }
   state.SetItemsProcessed(
@@ -111,11 +112,12 @@ void BM_ConvBackwardThreads(benchmark::State& state) {
   nn::Conv2d conv(channels, channels, 3, 1, 1, false, rng);
   conv.set_exec_context(&ctx);
   Tensor x = Tensor::randn({8, channels, 16, 16}, rng);
-  Tensor y = conv.forward(x);
+  Workspace ws;
+  Tensor y = conv.forward(x, ws);
   Tensor gy = Tensor::randn(y.shape(), rng);
   for (auto _ : state) {
     conv.weight().zero_grad();
-    Tensor gx = conv.backward(gy);
+    Tensor gx = conv.backward(gy, ws);
     benchmark::DoNotOptimize(gx.data().data());
   }
 }
@@ -150,11 +152,12 @@ void BM_ConvBackward(benchmark::State& state) {
   Rng rng(3);
   nn::Conv2d conv(channels, channels, 3, 1, 1, false, rng);
   Tensor x = Tensor::randn({8, channels, 16, 16}, rng);
-  Tensor y = conv.forward(x);
+  Workspace ws;
+  Tensor y = conv.forward(x, ws);
   Tensor gy = Tensor::randn(y.shape(), rng);
   for (auto _ : state) {
     conv.weight().zero_grad();
-    Tensor gx = conv.backward(gy);
+    Tensor gx = conv.backward(gy, ws);
     benchmark::DoNotOptimize(gx.data().data());
   }
 }

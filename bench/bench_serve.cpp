@@ -1,16 +1,32 @@
-// Serving benchmarks: throughput and latency of the dynamic-batching
-// inference server across the batch-size × worker-count grid, plus the
-// zero-allocation claim — steady-state serving performs no float-storage
-// allocations (workspace-pooled staging/logits, capacity-reusing reply
-// tensors).  Build with -DCCQ_COUNT_ALLOCS=ON to see the alloc columns:
+// Serving benchmarks: closed- and open-loop traffic against the
+// registry-routed server, plus the zero-allocation claim — steady-state
+// serving performs no float-storage allocations (workspace-pooled
+// staging/logits, capacity-reusing reply tensors).
+//
+//   * BM_ServeClosedLoop — P producers submit-wait-submit as fast as
+//     replies return: measures capacity; p50/p99 are exact per-request
+//     round trips from the harness.
+//   * BM_ServeOpenLoop — submissions paced at a fixed offered rate,
+//     rejections shed: measures latency under a load you chose; p50/p99
+//     come from the server's `serve.<model>.latency` histogram and the
+//     shed rate is reported alongside (a saturated row is meaningless
+//     without it).
+//   * BM_ServeLatency — single request on an idle server: the floor the
+//     batching delay adds to.
+//
+// Snapshotted into BENCH_serve.json by `tools/bench_snapshot.py --suite
+// serve`.  Build with -DCCQ_COUNT_ALLOCS=ON to see the alloc columns:
 //
 //   cmake -B build -DCMAKE_BUILD_TYPE=Release -DCCQ_COUNT_ALLOCS=ON
 //   ./build/bench/bench_serve
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "ccq/common/alloc.hpp"
+#include "ccq/common/telemetry.hpp"
 #include "ccq/models/simple.hpp"
 #include "ccq/serve/harness.hpp"
 
@@ -47,13 +63,14 @@ hw::IntegerNetwork bench_network() {
   for (std::size_t i = 0; i < registry.size(); ++i) {
     registry.set_ladder_pos(i, i % 3);
   }
+  Workspace ws;
   model.set_training(true);
   Tensor calib({8, 3, 16, 16});
   auto cd = calib.data();
   for (std::size_t i = 0; i < cd.size(); ++i) {
     cd[i] = static_cast<float>((i * 2654435761u >> 8) & 255u) / 255.0f;
   }
-  model.forward(calib);
+  model.forward(calib, ws);
   model.set_training(false);
   return hw::IntegerNetwork::compile(model);
 }
@@ -67,57 +84,117 @@ Tensor bench_samples(std::size_t n) {
   return x;
 }
 
-/// End-to-end throughput of the batching server: one iteration pushes a
-/// wave of requests and waits for every reply.  Inputs and reply tensors
-/// are reused across waves, so warm iterations perform zero
-/// float-storage allocations end to end.  Axes: max_batch × workers.
-void BM_ServeThroughput(benchmark::State& state) {
+void report_quantiles(benchmark::State& state,
+                      std::vector<std::uint64_t>& latencies) {
+  if (latencies.empty()) return;
+  std::sort(latencies.begin(), latencies.end());
+  auto nearest = [&](double q) {
+    std::size_t rank = static_cast<std::size_t>(
+        q * static_cast<double>(latencies.size()) + 0.5);
+    rank = std::min(std::max<std::size_t>(rank, 1), latencies.size());
+    return static_cast<double>(latencies[rank - 1]) / 1e3;
+  };
+  state.counters["p50_us"] = benchmark::Counter(nearest(0.50));
+  state.counters["p99_us"] = benchmark::Counter(nearest(0.99));
+}
+
+/// Closed loop: P producers in lock-step with the server (submit → wait
+/// → next).  Measures capacity; retries queue-full rejections, so every
+/// sample is eventually served.  Axes: producers × workers.
+void BM_ServeClosedLoop(benchmark::State& state) {
   serve::ServeConfig config;
-  config.max_batch = static_cast<std::size_t>(state.range(0));
   config.workers = static_cast<std::size_t>(state.range(1));
-  config.max_delay_us = 200;
-  config.queue_capacity = 256;
-  serve::InferenceServer server(bench_network(), config);
+  serve::InferenceServer server(config);
+  serve::ModelConfig mc;
+  mc.max_batch = 8;
+  mc.max_delay_us = 200;
+  mc.queue_capacity = 256;
+  server.load("bench", bench_network(), mc);
+  serve::ServeHarness harness(server, "bench");
 
   const std::size_t wave = 64;
   const Tensor samples = bench_samples(wave);
-  const Shape chw{3, 16, 16};
-  const std::size_t sample_floats = shape_numel(chw);
-  std::vector<Tensor> inputs(wave), outputs(wave);
-  for (std::size_t i = 0; i < wave; ++i) {
-    inputs[i] = Tensor(chw);
-    const auto src = samples.data().subspan(i * sample_floats, sample_floats);
-    std::copy(src.begin(), src.end(), inputs[i].data().begin());
-  }
-  std::vector<std::future<void>> replies;
-  replies.reserve(wave);
+  serve::HarnessOptions options;
+  options.producers = static_cast<std::size_t>(state.range(0));
 
-  auto push_wave = [&] {
-    replies.clear();
-    for (std::size_t i = 0; i < wave; ++i) {
-      replies.push_back(server.submit(inputs[i], outputs[i]));
-    }
-    for (auto& reply : replies) reply.get();
-  };
-
-  push_wave();  // warm every worker's workspace and the reply tensors
+  harness.run(samples, options);  // warm workspaces and reply tensors
   const AllocSnapshot before;
+  std::vector<std::uint64_t> latencies;
   for (auto _ : state) {
-    push_wave();
-    benchmark::DoNotOptimize(outputs.data());
+    const serve::HarnessReport report = harness.run(samples, options);
+    latencies.insert(latencies.end(), report.latency_ns.begin(),
+                     report.latency_ns.end());
+    benchmark::DoNotOptimize(report.outputs.data());
   }
   report_allocs(state, before);
+  report_quantiles(state, latencies);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(wave));
 }
-BENCHMARK(BM_ServeThroughput)
-    ->ArgNames({"max_batch", "workers"})
+BENCHMARK(BM_ServeClosedLoop)
+    ->ArgNames({"producers", "workers"})
     ->Args({1, 1})
-    ->Args({8, 1})
-    ->Args({8, 2})
+    ->Args({4, 1})
+    ->Args({4, 2})
     ->Args({8, 4})
-    ->Args({16, 2})
-    ->Args({16, 4})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Open loop: submissions paced at a fixed aggregate offered rate,
+/// rejections shed.  The latency distribution comes from the server's
+/// own `serve.bench.latency` histogram (log₂ buckets — factor-of-two
+/// resolution, which is what the offered-load sweep needs), the shed
+/// rate from the report.  Axis: offered requests/second, swept across
+/// the saturation knee.
+void BM_ServeOpenLoop(benchmark::State& state) {
+  serve::ServeConfig config;
+  config.workers = 2;
+  serve::InferenceServer server(config);
+  serve::ModelConfig mc;
+  mc.max_batch = 8;
+  mc.max_delay_us = 1000;
+  mc.queue_capacity = 64;
+  server.load("bench", bench_network(), mc);
+  serve::ServeHarness harness(server, "bench");
+
+  const Tensor samples = bench_samples(256);
+  serve::HarnessOptions options;
+  options.producers = 4;
+  options.offered_rps = static_cast<double>(state.range(0));
+
+  harness.run(samples, {.producers = 4});  // warm (closed loop, no pacing)
+  const bool metrics_were_on = telemetry::metrics_enabled();
+  telemetry::set_metrics_enabled(true);
+  telemetry::reset_metrics();
+  std::size_t offered = 0, served = 0, shed = 0;
+  for (auto _ : state) {
+    const serve::HarnessReport report = harness.run(samples, options);
+    offered += samples.dim(0);
+    served += report.requests;
+    shed += report.rejected;
+    benchmark::DoNotOptimize(report.outputs.data());
+  }
+  const int timer = telemetry::find_named_metric(telemetry::NamedKind::kTimer,
+                                                 "serve.bench.latency");
+  if (timer >= 0) {
+    const telemetry::TimerStats stats = telemetry::named_timer_stats(timer);
+    state.counters["p50_us"] = benchmark::Counter(
+        static_cast<double>(telemetry::approx_quantile(stats, 0.50)) / 1e3);
+    state.counters["p99_us"] = benchmark::Counter(
+        static_cast<double>(telemetry::approx_quantile(stats, 0.99)) / 1e3);
+  }
+  state.counters["shed_rate"] = benchmark::Counter(
+      offered == 0 ? 0.0
+                   : static_cast<double>(shed) / static_cast<double>(offered));
+  telemetry::set_metrics_enabled(metrics_were_on);
+  state.SetItemsProcessed(static_cast<std::int64_t>(served));
+}
+BENCHMARK(BM_ServeOpenLoop)
+    ->ArgNames({"offered_rps"})
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Arg(64000)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
@@ -125,9 +202,12 @@ BENCHMARK(BM_ServeThroughput)
 /// idle server: the floor the dynamic-batching delay adds to.
 void BM_ServeLatency(benchmark::State& state) {
   serve::ServeConfig config;
-  config.max_batch = 1;  // flush immediately: pure per-request latency
   config.workers = static_cast<std::size_t>(state.range(0));
-  serve::InferenceServer server(bench_network(), config);
+  serve::InferenceServer server(config);
+  serve::ModelConfig mc;
+  mc.max_batch = 1;  // flush immediately: pure per-request latency
+  const serve::ModelHandle handle =
+      server.load("bench", bench_network(), mc);
 
   Tensor sample = bench_samples(1).reshaped({3, 16, 16});
   Tensor out;
@@ -138,14 +218,14 @@ void BM_ServeLatency(benchmark::State& state) {
     std::vector<std::future<void>> warm;
     warm.reserve(warm_outs.size());
     for (Tensor& warm_out : warm_outs) {
-      warm.push_back(server.submit(sample, warm_out));
+      warm.push_back(server.submit(handle, sample, warm_out));
     }
     for (auto& reply : warm) reply.get();
   }
-  server.submit(sample, out).get();  // …and the reply tensor
+  server.submit(handle, sample, out).get();  // …and the reply tensor
   const AllocSnapshot before;
   for (auto _ : state) {
-    server.submit(sample, out).get();
+    server.submit(handle, sample, out).get();
     benchmark::DoNotOptimize(out.data().data());
   }
   report_allocs(state, before);

@@ -72,7 +72,8 @@ int main() {
     return std::clamp(std::round(v * 255.0f), 0.0f, 255.0f) / 255.0f;
   });
   model.set_training(false);
-  const Tensor float_logits = model.forward(x);
+  Workspace ws;
+  const Tensor float_logits = model.forward(x, ws);
   const Tensor int_logits = engine.forward(x);
   const float float_acc =
       nn::SoftmaxCrossEntropy::accuracy(float_logits, batch.labels);
@@ -101,9 +102,12 @@ int main() {
 
   serve::ServeConfig sc;
   sc.workers = 2;
-  sc.max_batch = 8;
-  serve::ServeHarness harness(serve::load_artifact(artifact_path), sc);
-  const auto served = harness.run(x, /*producers=*/2);
+  serve::InferenceServer server(sc);
+  serve::ModelConfig smc;
+  smc.max_batch = 8;
+  server.load("deploy", artifact_path, smc);
+  serve::ServeHarness harness(server, "deploy");
+  const auto served = harness.run(x, {.producers = 2});
   float max_diff = 0.0f;
   for (std::size_t i = 0; i < served.outputs.size(); ++i) {
     for (std::size_t c = 0; c < served.outputs[i].dim(0); ++c) {

@@ -116,6 +116,29 @@ void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
   }
 }
 
+TimerStats stats_of(const TimerCell& cell) {
+  TimerStats stats;
+  stats.count = cell.count.load(std::memory_order_relaxed);
+  stats.total_ns = cell.total_ns.load(std::memory_order_relaxed);
+  const std::uint64_t min = cell.min_ns.load(std::memory_order_relaxed);
+  stats.min_ns = stats.count == 0 ? 0 : min;
+  stats.max_ns = cell.max_ns.load(std::memory_order_relaxed);
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    stats.buckets[static_cast<std::size_t>(b)] =
+        cell.buckets[static_cast<std::size_t>(b)].load(
+            std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+void reset_cell(TimerCell& cell) {
+  cell.count.store(0, std::memory_order_relaxed);
+  cell.total_ns.store(0, std::memory_order_relaxed);
+  cell.min_ns.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  cell.max_ns.store(0, std::memory_order_relaxed);
+  for (auto& b : cell.buckets) b.store(0, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 void add(Counter id, std::uint64_t delta) {
@@ -159,19 +182,96 @@ double gauge_value(Gauge id) {
 }
 
 TimerStats timer_stats(Timer id) {
-  const TimerCell& cell = g_timers[static_cast<std::size_t>(id)];
-  TimerStats stats;
-  stats.count = cell.count.load(std::memory_order_relaxed);
-  stats.total_ns = cell.total_ns.load(std::memory_order_relaxed);
-  const std::uint64_t min = cell.min_ns.load(std::memory_order_relaxed);
-  stats.min_ns = stats.count == 0 ? 0 : min;
-  stats.max_ns = cell.max_ns.load(std::memory_order_relaxed);
-  for (int b = 0; b < kHistogramBuckets; ++b) {
-    stats.buckets[static_cast<std::size_t>(b)] =
-        cell.buckets[static_cast<std::size_t>(b)].load(
-            std::memory_order_relaxed);
+  return stats_of(g_timers[static_cast<std::size_t>(id)]);
+}
+
+// ---- named metrics ---------------------------------------------------------
+// Fixed-capacity slot arrays (stable addresses, no reallocation) so the
+// record path stays lock-free; only registration takes the mutex.
+
+namespace {
+
+struct NamedRegistry {
+  std::mutex mutex;
+  // One name table per kind; slot i of the matching storage array
+  // belongs to names[i].  size() doubles as the next free id.
+  std::array<std::vector<std::string>, 3> names;
+};
+
+NamedRegistry& named_registry() {
+  static NamedRegistry registry;
+  return registry;
+}
+
+std::array<std::atomic<std::uint64_t>, kMaxNamedMetrics> g_named_counters{};
+std::array<std::atomic<std::uint64_t>, kMaxNamedMetrics> g_named_gauges{};
+std::array<TimerCell, kMaxNamedMetrics> g_named_timers{};
+
+}  // namespace
+
+int named_metric(NamedKind kind, const std::string& name) {
+  NamedRegistry& registry = named_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto& names = registry.names[static_cast<std::size_t>(kind)];
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
   }
-  return stats;
+  CCQ_CHECK(names.size() < kMaxNamedMetrics,
+            "named metric capacity (" + std::to_string(kMaxNamedMetrics) +
+                ") exhausted registering " + name);
+  names.push_back(name);
+  return static_cast<int>(names.size() - 1);
+}
+
+int find_named_metric(NamedKind kind, const std::string& name) {
+  NamedRegistry& registry = named_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto& names = registry.names[static_cast<std::size_t>(kind)];
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void add_named(int counter_id, std::uint64_t delta) {
+  if (!metrics_enabled() || counter_id < 0) return;
+  g_named_counters[static_cast<std::size_t>(counter_id)].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+void set_named_gauge(int gauge_id, double value) {
+  if (!metrics_enabled() || gauge_id < 0) return;
+  g_named_gauges[static_cast<std::size_t>(gauge_id)].store(
+      std::bit_cast<std::uint64_t>(value), std::memory_order_relaxed);
+}
+
+void record_named_duration(int timer_id, std::uint64_t ns) {
+  if (!metrics_enabled() || timer_id < 0) return;
+  TimerCell& cell = g_named_timers[static_cast<std::size_t>(timer_id)];
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.total_ns.fetch_add(ns, std::memory_order_relaxed);
+  atomic_min(cell.min_ns, ns);
+  atomic_max(cell.max_ns, ns);
+  cell.buckets[static_cast<std::size_t>(bucket_of(ns))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t named_counter_value(int counter_id) {
+  if (counter_id < 0) return 0;
+  return g_named_counters[static_cast<std::size_t>(counter_id)].load(
+      std::memory_order_relaxed);
+}
+
+double named_gauge_value(int gauge_id) {
+  if (gauge_id < 0) return 0.0;
+  return std::bit_cast<double>(
+      g_named_gauges[static_cast<std::size_t>(gauge_id)].load(
+          std::memory_order_relaxed));
+}
+
+TimerStats named_timer_stats(int timer_id) {
+  if (timer_id < 0) return TimerStats{};
+  return stats_of(g_named_timers[static_cast<std::size_t>(timer_id)]);
 }
 
 std::uint64_t approx_quantile(const TimerStats& stats, double q) {
@@ -192,14 +292,49 @@ std::uint64_t approx_quantile(const TimerStats& stats, double q) {
 void reset_metrics() {
   for (auto& c : g_counters) c.store(0, std::memory_order_relaxed);
   for (auto& g : g_gauges) g.store(0, std::memory_order_relaxed);
-  for (auto& cell : g_timers) {
-    cell.count.store(0, std::memory_order_relaxed);
-    cell.total_ns.store(0, std::memory_order_relaxed);
-    cell.min_ns.store(~std::uint64_t{0}, std::memory_order_relaxed);
-    cell.max_ns.store(0, std::memory_order_relaxed);
-    for (auto& b : cell.buckets) b.store(0, std::memory_order_relaxed);
-  }
+  for (auto& cell : g_timers) reset_cell(cell);
+  // Named slots are zeroed but stay registered: ids handed out earlier
+  // remain valid across test-style resets.
+  for (auto& c : g_named_counters) c.store(0, std::memory_order_relaxed);
+  for (auto& g : g_named_gauges) g.store(0, std::memory_order_relaxed);
+  for (auto& cell : g_named_timers) reset_cell(cell);
 }
+
+namespace {
+
+Json timer_json(const TimerStats& stats) {
+  Json t = Json::object();
+  t.set("count", static_cast<double>(stats.count));
+  t.set("total_ns", static_cast<double>(stats.total_ns));
+  t.set("min_ns", static_cast<double>(stats.min_ns));
+  t.set("max_ns", static_cast<double>(stats.max_ns));
+  t.set("mean_ns", stats.count == 0
+                       ? 0.0
+                       : static_cast<double>(stats.total_ns) /
+                             static_cast<double>(stats.count));
+  // Histogram as [upper_bound_ns, count] pairs for non-empty buckets.
+  Json hist = Json::array();
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const std::uint64_t n = stats.buckets[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    Json pair = Json::array();
+    pair.push_back(static_cast<double>(b >= 63 ? ~std::uint64_t{0}
+                                               : (std::uint64_t{1} << b)));
+    pair.push_back(static_cast<double>(n));
+    hist.push_back(std::move(pair));
+  }
+  t.set("histogram_ns", std::move(hist));
+  return t;
+}
+
+// Snapshot one kind's registered names (ids are the indices).
+std::vector<std::string> named_names(NamedKind kind) {
+  NamedRegistry& registry = named_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return registry.names[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace
 
 Json metrics_to_json() {
   Json root = Json::object();
@@ -209,6 +344,11 @@ Json metrics_to_json() {
     counters.set(counter_name(id),
                  static_cast<double>(counter_value(id)));
   }
+  const auto counter_names = named_names(NamedKind::kCounter);
+  for (std::size_t i = 0; i < counter_names.size(); ++i) {
+    counters.set(counter_names[i], static_cast<double>(named_counter_value(
+                                       static_cast<int>(i))));
+  }
   root.set("counters", std::move(counters));
 
   Json gauges = Json::object();
@@ -216,34 +356,21 @@ Json metrics_to_json() {
     const auto id = static_cast<Gauge>(i);
     gauges.set(gauge_name(id), gauge_value(id));
   }
+  const auto gauge_names = named_names(NamedKind::kGauge);
+  for (std::size_t i = 0; i < gauge_names.size(); ++i) {
+    gauges.set(gauge_names[i], named_gauge_value(static_cast<int>(i)));
+  }
   root.set("gauges", std::move(gauges));
 
   Json timers = Json::object();
   for (int i = 0; i < static_cast<int>(Timer::kCount); ++i) {
     const auto id = static_cast<Timer>(i);
-    const TimerStats stats = timer_stats(id);
-    Json t = Json::object();
-    t.set("count", static_cast<double>(stats.count));
-    t.set("total_ns", static_cast<double>(stats.total_ns));
-    t.set("min_ns", static_cast<double>(stats.min_ns));
-    t.set("max_ns", static_cast<double>(stats.max_ns));
-    t.set("mean_ns", stats.count == 0
-                         ? 0.0
-                         : static_cast<double>(stats.total_ns) /
-                               static_cast<double>(stats.count));
-    // Histogram as [upper_bound_ns, count] pairs for non-empty buckets.
-    Json hist = Json::array();
-    for (int b = 0; b < kHistogramBuckets; ++b) {
-      const std::uint64_t n = stats.buckets[static_cast<std::size_t>(b)];
-      if (n == 0) continue;
-      Json pair = Json::array();
-      pair.push_back(static_cast<double>(b >= 63 ? ~std::uint64_t{0}
-                                                 : (std::uint64_t{1} << b)));
-      pair.push_back(static_cast<double>(n));
-      hist.push_back(std::move(pair));
-    }
-    t.set("histogram_ns", std::move(hist));
-    timers.set(timer_name(id), std::move(t));
+    timers.set(timer_name(id), timer_json(timer_stats(id)));
+  }
+  const auto timer_names = named_names(NamedKind::kTimer);
+  for (std::size_t i = 0; i < timer_names.size(); ++i) {
+    timers.set(timer_names[i],
+               timer_json(named_timer_stats(static_cast<int>(i))));
   }
   root.set("timers", std::move(timers));
   return root;

@@ -134,6 +134,38 @@ std::uint64_t counter_value(Counter id);
 double gauge_value(Gauge id);
 TimerStats timer_stats(Timer id);
 
+// ---- named (dynamic) metrics -----------------------------------------------
+// The enum registry covers process-wide series whose names are known at
+// compile time.  Subsystems that host a runtime-determined *set* of
+// instances — the serving stack's per-model `serve.<model>.*` series —
+// register named metrics instead: registration (cold path, model load)
+// interns the name under a mutex and hands back a stable id; recording
+// through the id is the same lock-free fixed-storage scheme as the enum
+// metrics, so per-model accounting adds nothing to the hot path beyond
+// one extra atomic op per event.  Capacity is fixed
+// (`kMaxNamedMetrics` per kind); exhausting it throws at registration
+// time with the offending name.  Re-registering a name returns the
+// existing id, so a hot-swapped model keeps accumulating into the same
+// series across versions.
+
+inline constexpr std::size_t kMaxNamedMetrics = 256;
+
+enum class NamedKind : int { kCounter, kGauge, kTimer };
+
+/// Register (or look up) a named metric; returns its stable id.
+int named_metric(NamedKind kind, const std::string& name);
+
+void add_named(int counter_id, std::uint64_t delta = 1);
+void set_named_gauge(int gauge_id, double value);
+void record_named_duration(int timer_id, std::uint64_t ns);
+
+std::uint64_t named_counter_value(int counter_id);
+double named_gauge_value(int gauge_id);
+TimerStats named_timer_stats(int timer_id);
+
+/// Look up a registered name; returns -1 when absent (no registration).
+int find_named_metric(NamedKind kind, const std::string& name);
+
 /// Approximate quantile from a log₂-bucket histogram: the upper bound of
 /// the bucket holding the ceil(q·count)-th sample (0 when empty).
 /// Resolution is a factor of two — enough for p50/p99 latency reporting.

@@ -35,9 +35,10 @@ std::vector<double> fisher_sensitivity(models::QuantModel& model,
   for (auto* p : model.parameters()) p->zero_grad();
   model.set_training(true);
   nn::SoftmaxCrossEntropy loss;
-  const Tensor logits = model.forward(batch.images);
+  Workspace& ws = Workspace::scratch();
+  const Tensor logits = model.forward(batch.images, ws);
   loss.forward(logits, batch.labels);
-  model.backward(loss.backward());
+  model.backward(loss.backward(), ws);
 
   // Map parameter gradients back to registry units by name.
   std::vector<double> sensitivity(registry.size(), 0.0);

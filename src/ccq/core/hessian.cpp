@@ -28,9 +28,10 @@ Tensor layer_gradient(models::QuantModel& model, const data::Batch& batch,
   for (auto* p : model.parameters()) p->zero_grad();
   model.set_training(true);
   nn::SoftmaxCrossEntropy loss;
-  const Tensor logits = model.forward(batch.images);
+  Workspace& ws = Workspace::scratch();
+  const Tensor logits = model.forward(batch.images, ws);
   loss.forward(logits, batch.labels);
-  model.backward(loss.backward());
+  model.backward(loss.backward(), ws);
   return weight.grad;
 }
 

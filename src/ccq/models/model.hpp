@@ -43,8 +43,6 @@ class QuantModel {
   quant::LayerRegistry& registry() { return *registry_; }
   const quant::LayerRegistry& registry() const { return *registry_; }
 
-  Tensor forward(const Tensor& x) { return net_->forward(x); }
-  Tensor backward(const Tensor& grad) { return net_->backward(grad); }
   Tensor forward(const Tensor& x, Workspace& ws) {
     return net_->forward(x, ws);
   }

@@ -13,8 +13,6 @@ class ReLU : public Module {
  public:
   Tensor forward(const Tensor& x, Workspace& ws) override;
   Tensor backward(const Tensor& grad_out, Workspace& ws) override;
-  using Module::forward;
-  using Module::backward;
   std::string type_name() const override { return "ReLU"; }
 
  private:

@@ -28,8 +28,6 @@ class Sequential : public Module {
 
   Tensor forward(const Tensor& x, Workspace& ws) override;
   Tensor backward(const Tensor& grad_out, Workspace& ws) override;
-  using Module::forward;
-  using Module::backward;
   void collect_parameters(std::vector<Parameter*>& out) override;
   void collect_buffers(std::vector<NamedBuffer>& out) override;
   void set_training(bool training) override;
@@ -54,8 +52,6 @@ class Residual : public Module {
 
   Tensor forward(const Tensor& x, Workspace& ws) override;
   Tensor backward(const Tensor& grad_out, Workspace& ws) override;
-  using Module::forward;
-  using Module::backward;
   void collect_parameters(std::vector<Parameter*>& out) override;
   void collect_buffers(std::vector<NamedBuffer>& out) override;
   void set_training(bool training) override;

@@ -20,8 +20,6 @@ class Conv2d : public Module {
 
   Tensor forward(const Tensor& x, Workspace& ws) override;
   Tensor backward(const Tensor& grad_out, Workspace& ws) override;
-  using Module::forward;
-  using Module::backward;
   void collect_parameters(std::vector<Parameter*>& out) override;
   std::string type_name() const override { return "Conv2d"; }
 

@@ -110,16 +110,6 @@ class Module {
   /// matching forward in training mode.
   virtual Tensor backward(const Tensor& grad_out, Workspace& ws) = 0;
 
-  /// Legacy entry points: route through the process-global scratch
-  /// workspace, so existing call sites keep their signature and still
-  /// pool.  Non-virtual by design — derived classes implement the
-  /// two-argument overloads (and re-expose these with
-  /// `using Module::forward;` / `using Module::backward;`).
-  Tensor forward(const Tensor& x) { return forward(x, Workspace::scratch()); }
-  Tensor backward(const Tensor& grad_out) {
-    return backward(grad_out, Workspace::scratch());
-  }
-
   /// Append this module's own parameters (containers recurse).
   virtual void collect_parameters(std::vector<Parameter*>& out) { (void)out; }
 

@@ -13,8 +13,6 @@ class MaxPool2d : public Module {
   MaxPool2d(std::size_t kernel, std::size_t stride);
   Tensor forward(const Tensor& x, Workspace& ws) override;
   Tensor backward(const Tensor& grad_out, Workspace& ws) override;
-  using Module::forward;
-  using Module::backward;
   std::string type_name() const override { return "MaxPool2d"; }
   std::size_t kernel() const { return kernel_; }
   std::size_t stride() const { return stride_; }
@@ -31,8 +29,6 @@ class AvgPool2d : public Module {
   AvgPool2d(std::size_t kernel, std::size_t stride);
   Tensor forward(const Tensor& x, Workspace& ws) override;
   Tensor backward(const Tensor& grad_out, Workspace& ws) override;
-  using Module::forward;
-  using Module::backward;
   std::string type_name() const override { return "AvgPool2d"; }
   std::size_t kernel() const { return kernel_; }
   std::size_t stride() const { return stride_; }
@@ -47,8 +43,6 @@ class GlobalAvgPool : public Module {
  public:
   Tensor forward(const Tensor& x, Workspace& ws) override;
   Tensor backward(const Tensor& grad_out, Workspace& ws) override;
-  using Module::forward;
-  using Module::backward;
   std::string type_name() const override { return "GlobalAvgPool"; }
 
  private:
@@ -60,8 +54,6 @@ class Flatten : public Module {
  public:
   Tensor forward(const Tensor& x, Workspace& ws) override;
   Tensor backward(const Tensor& grad_out, Workspace& ws) override;
-  using Module::forward;
-  using Module::backward;
   std::string type_name() const override { return "Flatten"; }
 
  private:

@@ -31,8 +31,6 @@ class ClipActQuant : public QuantAct {
   explicit ClipActQuant(float clip = 1.0f);
   Tensor forward(const Tensor& x, Workspace& ws) override;
   Tensor backward(const Tensor& grad_out, Workspace& ws) override;
-  using Module::forward;
-  using Module::backward;
   std::string type_name() const override { return "ClipActQuant"; }
   float clip() const { return clip_; }
 
@@ -52,8 +50,6 @@ class PactActivation : public QuantAct {
                           std::string name = "pact");
   Tensor forward(const Tensor& x, Workspace& ws) override;
   Tensor backward(const Tensor& grad_out, Workspace& ws) override;
-  using Module::forward;
-  using Module::backward;
   void collect_parameters(std::vector<nn::Parameter*>& out) override;
   std::string type_name() const override { return "PactActivation"; }
 

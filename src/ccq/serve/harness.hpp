@@ -1,43 +1,92 @@
-// ServeHarness: drive an InferenceServer with concurrent producers.
+// ServeHarness: drive a multi-model server with concurrent producers.
 //
-// Tests and the `ccq serve-bench` CLI need the same machinery: split a
-// batch of samples across P producer threads, submit every sample
-// (retrying typed admission rejections with a short backoff), wait for
-// all replies and hand the outputs back in sample order — the shape that
-// makes bit-identity checks against a direct `IntegerNetwork::forward`
-// one `max_abs_diff` call.
+// Tests, the `ccq serve-bench` CLI and the TCP load generator need the
+// same machinery: split a batch of samples across P producer threads,
+// route every sample to a *named* model, wait for the replies and hand
+// back outputs in sample order — the shape that makes bit-identity
+// checks against a direct `IntegerNetwork::forward` one `max_abs_diff`
+// call.  On top of the PR-4 closed loop, this version adds:
+//
+//   * registry routing — the harness targets a model *name*, resolving a
+//     fresh handle per submission, so a hot-swap mid-run redirects later
+//     submissions to the new version while earlier ones finish on the
+//     old.  `HarnessReport::versions` records which version served each
+//     sample — the observable a swap test asserts on;
+//   * a scripted swap hook — `swap_after`/`on_swap` fire a callback
+//     (e.g. `server.load(...)` of v2) exactly once after N admitted
+//     submissions, from a producer thread, mid-traffic;
+//   * an open loop — `offered_rps > 0` paces submissions at a fixed
+//     offered rate instead of waiting for each reply (closed loop
+//     measures capacity, open loop measures latency under a load you
+//     chose; the serve bench sweeps it).  Open-loop rejections are shed,
+//     not retried — that is the point of offered load;
+//   * a TCP mode — the same drive through `TcpClient` connections
+//     against a `TcpServer` port, one connection per producer.
 #pragma once
 
-#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "ccq/serve/server.hpp"
 
 namespace ccq::serve {
 
+struct HarnessOptions {
+  std::size_t producers = 1;
+  /// 0 = closed loop (submit → wait → next; per-request round-trip
+  /// latencies are exact).  > 0 = open loop: pace submissions at this
+  /// aggregate offered rate, shed rejections, wait for stragglers at the
+  /// end; latency distributions then live in the server's telemetry
+  /// histograms (`serve.*.latency`).
+  double offered_rps = 0.0;
+  /// After this many admitted submissions, run `on_swap` exactly once
+  /// from a producer thread (0 = never).
+  std::size_t swap_after = 0;
+  std::function<void()> on_swap;
+};
+
 struct HarnessReport {
-  /// Per-sample logits, in the order samples appeared in the input batch.
+  /// Per-sample logits, in input-batch order.  Open loop: an empty
+  /// tensor where the submission was shed.
   std::vector<Tensor> outputs;
+  /// The model version that served each sample (0 where shed) — the
+  /// observable hot-swap tests assert on.
+  std::vector<std::uint64_t> versions;
   std::size_t requests = 0;   ///< admitted submissions
-  std::size_t rejected = 0;   ///< QueueFullError rejections (then retried)
+  std::size_t rejected = 0;   ///< admission rejections (retried or shed)
   double wall_seconds = 0.0;  ///< first submit → last reply
+  /// Exact per-request round-trip latencies (closed loop and TCP mode;
+  /// empty in the in-process open loop — read the telemetry histograms).
+  std::vector<std::uint64_t> latency_ns;
+
+  /// Quantile over `latency_ns` (nearest-rank); 0 when empty.
+  std::uint64_t latency_quantile_ns(double q) const;
 };
 
 class ServeHarness {
  public:
-  ServeHarness(hw::IntegerNetwork net, ServeConfig config)
-      : server_(std::move(net), config) {}
+  /// Drive `server`'s model `model` in process.  Both must outlive the
+  /// harness; the server is borrowed, not owned, so one server can sit
+  /// behind many harnesses (and keep its models across runs).
+  ServeHarness(InferenceServer& server, std::string model);
 
-  /// Submit every sample of an NCHW batch from `producers` threads
-  /// (sample i goes to producer i % producers, each producer submits its
-  /// samples in order) and block until all replies arrived.  Rejected
-  /// submissions are retried after a short backoff and counted.
-  HarnessReport run(const Tensor& samples, std::size_t producers);
+  /// Drive model `model` behind a TCP front end at `host:port` (one
+  /// `TcpClient` connection per producer).  Closed loop only.
+  ServeHarness(std::string host, std::uint16_t port, std::string model);
 
-  InferenceServer& server() { return server_; }
+  /// Submit every sample of an NCHW batch (sample i goes to producer
+  /// i % producers, each producer submits its share in order) and block
+  /// until all replies arrived.  Closed loop retries queue-full
+  /// rejections with a short backoff; open loop sheds them.
+  HarnessReport run(const Tensor& samples, const HarnessOptions& options = {});
 
  private:
-  InferenceServer server_;
+  InferenceServer* server_ = nullptr;  ///< in-process mode
+  std::string host_;                   ///< TCP mode
+  std::uint16_t port_ = 0;
+  std::string model_;
 };
 
 }  // namespace ccq::serve

@@ -1,0 +1,204 @@
+#include "ccq/serve/protocol.hpp"
+
+#include <cstring>
+
+namespace ccq::serve::wire {
+
+namespace {
+
+// Local LEB128 writer/reader over std::string buffers — same encoding
+// family as the .ccqa payload (artifact.cpp keeps its own copy: the two
+// formats version independently and neither wants a shared header to
+// couple them).
+
+void put_u8(std::string& buf, std::uint8_t v) {
+  buf.push_back(static_cast<char>(v));
+}
+
+void put_varint(std::string& buf, std::uint64_t v) {
+  while (v >= 0x80) {
+    put_u8(buf, static_cast<std::uint8_t>(v | 0x80));
+    v >>= 7;
+  }
+  put_u8(buf, static_cast<std::uint8_t>(v));
+}
+
+void put_str(std::string& buf, const std::string& s) {
+  put_varint(buf, s.size());
+  buf.append(s);
+}
+
+void put_floats(std::string& buf, const std::vector<float>& v) {
+  put_varint(buf, v.size());
+  if (!v.empty()) {
+    buf.append(reinterpret_cast<const char*>(v.data()),
+               v.size() * sizeof(float));
+  }
+}
+
+/// Bounds-checked cursor over one decoded frame body.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1, "a tag byte");
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      need(1, "a varint byte");
+      const auto b = static_cast<std::uint8_t>(data_[pos_++]);
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) return v;
+    }
+    throw ProtocolError("varint runs past 10 bytes");
+  }
+  std::string str() {
+    const std::uint64_t n = varint();
+    need(n, "a " + std::to_string(n) + "-byte string");
+    std::string s(data_.substr(pos_, static_cast<std::size_t>(n)));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+  std::vector<float> floats() {
+    const std::uint64_t n = varint();
+    need(n * sizeof(float), std::to_string(n) + " floats");
+    std::vector<float> v(static_cast<std::size_t>(n));
+    if (n > 0) {
+      std::memcpy(v.data(), data_.data() + pos_, v.size() * sizeof(float));
+      pos_ += v.size() * sizeof(float);
+    }
+    return v;
+  }
+  void finish(const char* what) const {
+    if (pos_ != data_.size()) {
+      throw ProtocolError(std::string(what) + " carries " +
+                          std::to_string(data_.size() - pos_) +
+                          " trailing bytes");
+    }
+  }
+
+ private:
+  void need(std::uint64_t n, const std::string& what) const {
+    if (data_.size() - pos_ < n) {
+      throw ProtocolError("body truncated while reading " + what);
+    }
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---- framing ---------------------------------------------------------------
+
+void append_frame(std::string& buffer, std::string_view body) {
+  if (body.size() > kMaxFrameBytes) {
+    throw ProtocolError("frame body of " + std::to_string(body.size()) +
+                        " bytes exceeds the " +
+                        std::to_string(kMaxFrameBytes) + "-byte cap");
+  }
+  const auto len = static_cast<std::uint32_t>(body.size());
+  char prefix[4];
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  buffer.append(prefix, 4);
+  buffer.append(body);
+}
+
+bool extract_frame(std::string& buffer, std::string& body) {
+  if (buffer.size() < 4) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer[i]))
+           << (8 * i);
+  }
+  if (len > kMaxFrameBytes) {
+    throw ProtocolError("declared frame length " + std::to_string(len) +
+                        " exceeds the " + std::to_string(kMaxFrameBytes) +
+                        "-byte cap");
+  }
+  if (buffer.size() - 4 < len) return false;
+  body.assign(buffer, 4, len);
+  buffer.erase(0, 4 + static_cast<std::size_t>(len));
+  return true;
+}
+
+// ---- messages --------------------------------------------------------------
+
+std::string encode_request(const InferRequest& request) {
+  std::string body;
+  put_u8(body, static_cast<std::uint8_t>(MessageType::kInferRequest));
+  put_str(body, request.model);
+  put_varint(body, request.version);
+  put_varint(body, request.channels);
+  put_varint(body, request.height);
+  put_varint(body, request.width);
+  put_floats(body, request.data);
+  return body;
+}
+
+InferRequest decode_request(std::string_view body) {
+  Cursor c(body);
+  const auto tag = c.u8();
+  if (tag != static_cast<std::uint8_t>(MessageType::kInferRequest)) {
+    throw ProtocolError("expected an InferRequest (tag 1), got tag " +
+                        std::to_string(tag));
+  }
+  InferRequest request;
+  request.model = c.str();
+  request.version = c.varint();
+  request.channels = static_cast<std::size_t>(c.varint());
+  request.height = static_cast<std::size_t>(c.varint());
+  request.width = static_cast<std::size_t>(c.varint());
+  request.data = c.floats();
+  c.finish("InferRequest");
+  const std::size_t numel = request.channels * request.height * request.width;
+  if (request.data.size() != numel) {
+    throw ProtocolError(
+        "InferRequest geometry " + std::to_string(request.channels) + "x" +
+        std::to_string(request.height) + "x" + std::to_string(request.width) +
+        " wants " + std::to_string(numel) + " floats, got " +
+        std::to_string(request.data.size()));
+  }
+  return request;
+}
+
+std::string encode_reply(const InferReply& reply) {
+  std::string body;
+  if (reply.ok) {
+    put_u8(body, static_cast<std::uint8_t>(MessageType::kReplyOk));
+    put_varint(body, reply.version);
+    put_floats(body, reply.logits);
+  } else {
+    put_u8(body, static_cast<std::uint8_t>(MessageType::kReplyError));
+    put_str(body, reply.error);
+  }
+  return body;
+}
+
+InferReply decode_reply(std::string_view body) {
+  Cursor c(body);
+  const auto tag = c.u8();
+  InferReply reply;
+  if (tag == static_cast<std::uint8_t>(MessageType::kReplyOk)) {
+    reply.ok = true;
+    reply.version = c.varint();
+    reply.logits = c.floats();
+    c.finish("InferReply");
+  } else if (tag == static_cast<std::uint8_t>(MessageType::kReplyError)) {
+    reply.ok = false;
+    reply.error = c.str();
+    c.finish("InferReply");
+  } else {
+    throw ProtocolError("expected an InferReply (tag 2 or 3), got tag " +
+                        std::to_string(tag));
+  }
+  return reply;
+}
+
+}  // namespace ccq::serve::wire

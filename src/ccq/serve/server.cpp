@@ -1,16 +1,26 @@
 #include "ccq/serve/server.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "ccq/common/telemetry.hpp"
+#include "ccq/serve/artifact.hpp"
 
 namespace ccq::serve {
 
-InferenceServer::InferenceServer(hw::IntegerNetwork net, ServeConfig config)
-    : net_(std::move(net)), config_(config) {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point flush_deadline(const detail::LoadedModel& model) {
+  return model.queue.front().enqueue_tp +
+         std::chrono::microseconds(model.config.max_delay_us);
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(ServeConfig config) : config_(config) {
   CCQ_CHECK(config_.workers >= 1, "server needs at least one worker");
-  CCQ_CHECK(config_.max_batch >= 1, "max_batch must be at least 1");
-  CCQ_CHECK(config_.queue_capacity >= 1, "queue_capacity must be at least 1");
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -19,44 +29,128 @@ InferenceServer::InferenceServer(hw::IntegerNetwork net, ServeConfig config)
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
-std::future<void> InferenceServer::submit(const Tensor& sample, Tensor& out) {
+ModelHandle InferenceServer::load(std::string name, hw::IntegerNetwork net,
+                                  ModelConfig config) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw ServerStoppedError();
+  }
+  ModelHandle handle = registry_.publish(std::move(name), std::move(net),
+                                         config);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A shutdown racing the publish: delist again so nothing dangles in
+    // the registry without a worker pool behind it.
+    if (stopping_) {
+      registry_.take(handle.model_->name, handle.model_->version);
+      throw ServerStoppedError();
+    }
+    handle.model_->owner = this;
+    active_.push_back(handle.model_);
+  }
+  return handle;
+}
+
+ModelHandle InferenceServer::load(std::string name,
+                                  const std::string& artifact_path,
+                                  ModelConfig config) {
+  return load(std::move(name), load_artifact(artifact_path), config);
+}
+
+void InferenceServer::unload(const std::string& name) {
+  retire(registry_.take_all(name));
+}
+
+void InferenceServer::unload(const std::string& name, std::uint64_t version) {
+  retire(registry_.take(name, version));
+}
+
+void InferenceServer::retire(const std::vector<ModelPtr>& models) {
+  if (models.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const ModelPtr& model : models) {
+      model->retired = true;
+      if (model->queue.empty() && model->in_flight == 0) {
+        active_.erase(std::remove(active_.begin(), active_.end(), model),
+                      active_.end());
+      }
+    }
+  }
+  // Wake the pool: retired queues flush immediately (no deadline hold).
+  work_cv_.notify_all();
+}
+
+ModelHandle InferenceServer::resolve(const std::string& name) const {
+  return registry_.resolve(name);
+}
+
+ModelHandle InferenceServer::resolve(const std::string& name,
+                                     std::uint64_t version) const {
+  return registry_.resolve(name, version);
+}
+
+std::future<void> InferenceServer::submit(const ModelHandle& model,
+                                          const Tensor& sample, Tensor& out) {
   CCQ_CHECK(sample.rank() == 3,
             "submit expects one CHW sample, got rank " +
                 std::to_string(sample.rank()));
-  Request request;
+  detail::LoadedModel& loaded = model.model();
+  detail::Request request;
   request.input = &sample;
   request.output = &out;
   request.enqueue_ns = telemetry::ScopedTimer::now_ns();
-  request.enqueue_tp = std::chrono::steady_clock::now();
+  request.enqueue_tp = Clock::now();
   std::future<void> future = request.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    CCQ_CHECK(loaded.owner == this,
+              "ModelHandle for " + loaded.name + " v" +
+                  std::to_string(loaded.version) +
+                  " was not loaded into this server");
     if (stopping_) {
       telemetry::add(telemetry::Counter::kServeRejected);
+      telemetry::add_named(loaded.metrics.rejected);
       throw ServerStoppedError();
     }
-    if (queue_.size() >= config_.queue_capacity) {
+    if (loaded.retired) {
       telemetry::add(telemetry::Counter::kServeRejected);
-      throw QueueFullError(config_.queue_capacity);
+      telemetry::add_named(loaded.metrics.rejected);
+      throw ModelRetiredError(loaded.name, loaded.version);
     }
-    if (sample_shape_.empty()) {
-      sample_shape_ = sample.shape();
+    if (loaded.queue.size() >= loaded.config.queue_capacity) {
+      telemetry::add(telemetry::Counter::kServeRejected);
+      telemetry::add_named(loaded.metrics.rejected);
+      throw QueueFullError(loaded.name, loaded.config.queue_capacity);
+    }
+    if (loaded.pinned_shape.empty()) {
+      loaded.pinned_shape = sample.shape();
     } else {
-      CCQ_CHECK(sample.shape() == sample_shape_,
+      CCQ_CHECK(sample.shape() == loaded.pinned_shape,
                 "sample shape " + shape_str(sample.shape()) +
-                    " does not match this server's pinned input shape " +
-                    shape_str(sample_shape_));
+                    " does not match the input shape " +
+                    shape_str(loaded.pinned_shape) + " pinned for model " +
+                    loaded.name + " v" + std::to_string(loaded.version));
     }
-    queue_.push_back(std::move(request));
+    loaded.queue.push_back(std::move(request));
+    ++total_queued_;
     telemetry::add(telemetry::Counter::kServeRequests);
+    telemetry::add_named(loaded.metrics.requests);
     telemetry::set_gauge(telemetry::Gauge::kServeQueueDepth,
-                         static_cast<double>(queue_.size()));
+                         static_cast<double>(total_queued_));
+    telemetry::set_named_gauge(loaded.metrics.queue_depth,
+                               static_cast<double>(loaded.queue.size()));
   }
-  // notify_all: a worker parked on the batch-fill deadline only re-checks
+  // notify_all: a worker parked on a batch-fill deadline only re-checks
   // its predicate on wakeup, and the notified thread is not guaranteed to
   // be the one able to take the work.
   work_cv_.notify_all();
   return future;
+}
+
+std::future<void> InferenceServer::submit(const std::string& name,
+                                          const Tensor& sample, Tensor& out) {
+  return submit(resolve(name), sample, out);
 }
 
 void InferenceServer::worker_loop() {
@@ -65,49 +159,95 @@ void InferenceServer::worker_loop() {
   // never contend for the process-global pool.
   Workspace ws;
   const ExecContext ctx(config_.intra_op_threads);
-  const auto delay = std::chrono::microseconds(config_.max_delay_us);
-  std::vector<Request> batch;
-  batch.reserve(config_.max_batch);
+  std::vector<detail::Request> batch;
+
+  // A model's queue flushes when the batch is full, the oldest request's
+  // deadline passed, or batching no longer pays (stop / retirement —
+  // drain latency beats utilisation on the way out).
+  const auto flushable = [this](const detail::LoadedModel& model,
+                                Clock::time_point now) {
+    if (model.queue.empty()) return false;
+    if (stopping_ || model.retired) return true;
+    if (model.queue.size() >= model.config.max_batch) return true;
+    return now >= flush_deadline(model);
+  };
 
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stopping_) return;  // drained: stop only once the queue is empty
+    work_cv_.wait(lock, [&] { return stopping_ || total_queued_ > 0; });
+    if (total_queued_ == 0) {
+      if (stopping_) return;  // drained: stop only once every queue is empty
       continue;
     }
-    // Dynamic batching: hold the flush until the batch fills or the
-    // oldest request's deadline passes.  A stop request flushes
-    // immediately — drain latency beats utilisation during shutdown.
-    if (!stopping_ && queue_.size() < config_.max_batch) {
-      const auto deadline = queue_.front().enqueue_tp + delay;
-      work_cv_.wait_until(lock, deadline, [&] {
-        return stopping_ || queue_.size() >= config_.max_batch;
+    // Pick the flushable model whose front request waited longest
+    // (oldest-first across models keeps tail latency fair under mixed
+    // traffic).  If nothing is flushable yet, park until the earliest
+    // batch-fill deadline and rescan.
+    const auto now = Clock::now();
+    ModelPtr target;
+    for (const ModelPtr& model : active_) {
+      if (!flushable(*model, now)) continue;
+      if (!target ||
+          model->queue.front().enqueue_tp < target->queue.front().enqueue_tp) {
+        target = model;
+      }
+    }
+    if (!target) {
+      auto earliest = Clock::time_point::max();
+      for (const ModelPtr& model : active_) {
+        if (model->queue.empty()) continue;
+        earliest = std::min(earliest, flush_deadline(*model));
+      }
+      if (earliest == Clock::time_point::max()) continue;
+      work_cv_.wait_until(lock, earliest, [&] {
+        if (stopping_) return true;
+        const auto tick = Clock::now();
+        return std::any_of(
+            active_.begin(), active_.end(),
+            [&](const ModelPtr& model) { return flushable(*model, tick); });
       });
+      continue;  // rescan with fresh deadlines
     }
-    if (queue_.empty()) continue;  // another worker flushed it meanwhile
-    const std::size_t take = std::min(queue_.size(), config_.max_batch);
+
+    detail::LoadedModel& model = *target;
+    const std::size_t take = std::min(model.queue.size(),
+                                      model.config.max_batch);
     batch.clear();
+    batch.reserve(take);
     for (std::size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+      batch.push_back(std::move(model.queue.front()));
+      model.queue.pop_front();
     }
-    in_flight_ += take;
+    model.in_flight += take;
+    total_queued_ -= take;
+    total_in_flight_ += take;
     telemetry::set_gauge(telemetry::Gauge::kServeQueueDepth,
-                         static_cast<double>(queue_.size()));
+                         static_cast<double>(total_queued_));
+    telemetry::set_named_gauge(model.metrics.queue_depth,
+                               static_cast<double>(model.queue.size()));
+    const bool more_work = total_queued_ > 0;
     lock.unlock();
-    run_batch(batch, ws, ctx);
+    if (more_work) work_cv_.notify_all();  // more work queued: wake peers
+    run_batch(model, batch, ws, ctx);
     lock.lock();
-    in_flight_ -= take;
-    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    model.in_flight -= take;
+    total_in_flight_ -= take;
+    if (model.retired && model.queue.empty() && model.in_flight == 0) {
+      active_.erase(std::remove(active_.begin(), active_.end(), target),
+                    active_.end());
+    }
+    if (total_queued_ == 0 && total_in_flight_ == 0) idle_cv_.notify_all();
   }
 }
 
-void InferenceServer::run_batch(std::vector<Request>& batch, Workspace& ws,
-                                const ExecContext& ctx) const {
+void InferenceServer::run_batch(detail::LoadedModel& model,
+                                std::vector<detail::Request>& batch,
+                                Workspace& ws, const ExecContext& ctx) const {
   const std::size_t n = batch.size();
   telemetry::add(telemetry::Counter::kServeBatches);
+  telemetry::add_named(model.metrics.batches);
   telemetry::record_duration(telemetry::Timer::kServeBatchSize, n);
+  telemetry::record_named_duration(model.metrics.batch_size, n);
   try {
     const Shape& chw = batch.front().input->shape();
     Tensor staging = ws.tensor_uninit({n, chw[0], chw[1], chw[2]});
@@ -118,7 +258,7 @@ void InferenceServer::run_batch(std::vector<Request>& batch, Workspace& ws,
                 staging.data().begin() +
                     static_cast<std::ptrdiff_t>(i * sample_floats));
     }
-    Tensor logits = net_.forward(staging, ws, ctx);
+    Tensor logits = model.net.forward(staging, ws, ctx);
     ws.recycle(std::move(staging));
     const std::size_t classes = logits.dim(1);
     for (std::size_t i = 0; i < n; ++i) {
@@ -126,9 +266,10 @@ void InferenceServer::run_batch(std::vector<Request>& batch, Workspace& ws,
       out.resize({classes});
       const auto row = logits.data().subspan(i * classes, classes);
       std::copy(row.begin(), row.end(), out.data().begin());
-      telemetry::record_duration(
-          telemetry::Timer::kServeLatency,
-          telemetry::ScopedTimer::now_ns() - batch[i].enqueue_ns);
+      const std::uint64_t latency =
+          telemetry::ScopedTimer::now_ns() - batch[i].enqueue_ns;
+      telemetry::record_duration(telemetry::Timer::kServeLatency, latency);
+      telemetry::record_named_duration(model.metrics.latency, latency);
       batch[i].promise.set_value();
     }
     ws.recycle(std::move(logits));
@@ -136,7 +277,7 @@ void InferenceServer::run_batch(std::vector<Request>& batch, Workspace& ws,
     // A failed batch fails each of its requests; later batches are
     // unaffected (the engine has no mutable state).
     const std::exception_ptr error = std::current_exception();
-    for (Request& request : batch) {
+    for (detail::Request& request : batch) {
       try {
         request.promise.set_exception(error);
       } catch (const std::future_error&) {
@@ -148,7 +289,8 @@ void InferenceServer::run_batch(std::vector<Request>& batch, Workspace& ws,
 
 void InferenceServer::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+  idle_cv_.wait(lock,
+                [&] { return total_queued_ == 0 && total_in_flight_ == 0; });
 }
 
 void InferenceServer::shutdown() {
@@ -164,7 +306,16 @@ void InferenceServer::shutdown() {
 
 std::size_t InferenceServer::queue_depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return total_queued_;
+}
+
+std::size_t InferenceServer::queue_depth(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t depth = 0;
+  for (const ModelPtr& model : active_) {
+    if (model->name == name) depth += model->queue.size();
+  }
+  return depth;
 }
 
 }  // namespace ccq::serve

@@ -1,39 +1,46 @@
-// In-process inference server over the integer engine.
+// Multi-model inference server over the integer engine.
 //
 // The ROADMAP north star is serving, and mixed precision only pays off
-// when the deployment stack exploits it (HAQ's argument): this module
-// turns a packed artifact / compiled `IntegerNetwork` into a running
-// service.  Architecture:
+// when the deployment stack exploits it (HAQ's argument).  This module
+// is the execution half of the fleet front end: a shared worker pool
+// draining the per-model request queues of a `ModelRegistry`
+// (serve/registry.hpp is the routing half).  Architecture:
 //
-//   * a bounded MPSC request queue — producers `submit()` single CHW
-//     samples and get a future; admission control rejects on a full
-//     queue with a *typed* error (`QueueFullError`) instead of queueing
-//     unboundedly, so overload surfaces at the caller immediately;
-//   * dynamic batching — a worker flushes a batch when `max_batch`
-//     requests are waiting or the oldest has waited `max_delay_us`,
-//     trading latency for MAC-array utilisation.  Per-sample outputs of
-//     the integer engine are independent of batch composition, so served
-//     results are bit-identical to a direct `IntegerNetwork::forward`
-//     regardless of how requests were coalesced (regression-tested);
-//   * N worker threads, each owning a warm `Workspace` (steady-state
-//     serving performs zero float-storage allocations) and its own
-//     `ExecContext` (the process-global pool does not support concurrent
-//     drivers);
+//   * a registry of named, versioned models — `load()` publishes a
+//     compiled network (or a packed .ccqa artifact) as the new current
+//     version of a name, `resolve()` pins a version behind an opaque
+//     refcounted `ModelHandle`, and `submit(handle, sample, out)`
+//     routes one CHW sample to exactly that version.  Hot-swap is just
+//     `load()` again under the same name: requests admitted against the
+//     old version finish on the old version's network (bit-identical to
+//     its artifact), new resolutions get the new one, and nothing is
+//     lost or double-served across the cutover (regression-tested);
+//   * per-model bounded queues — admission control rejects on a full
+//     model queue with a *typed* error (`QueueFullError`, naming the
+//     model) instead of queueing unboundedly, so overload surfaces at
+//     the caller immediately, per model;
+//   * dynamic batching per model — a worker flushes a model's queue
+//     when `max_batch` requests wait or the oldest has waited
+//     `max_delay_us` (both per-model `ModelConfig` knobs).  Per-sample
+//     outputs of the integer engine are independent of batch
+//     composition, so served results are bit-identical to a direct
+//     `IntegerNetwork::forward` regardless of coalescing;
+//   * N shared worker threads, each owning a warm `Workspace` and a
+//     private `ExecContext` (server-wide `ServeConfig` knobs), picking
+//     the flushable model with the oldest waiting request;
 //   * graceful drain — `shutdown()` stops admissions, serves everything
-//     already queued, then joins the workers.  The destructor does the
-//     same.
+//     already queued (for every model), then joins the workers.
 //
-// Instrumented via ccq::telemetry (enable with CCQ_METRICS=1):
-// serve.requests / serve.rejected / serve.batches counters, a
-// serve.queue_depth gauge, a serve.latency enqueue→reply histogram
-// (p50/p99 via `telemetry::approx_quantile`) and a serve.batch_size
-// histogram.  docs/SERVING.md covers the tuning knobs.
+// Instrumented via ccq::telemetry (enable with CCQ_METRICS=1): the
+// process-wide `serve.*` counters/gauges/histograms aggregate across
+// models, and every model additionally records the same series under
+// `serve.<name>.*` (named metrics; versions of one name share a
+// series).  docs/SERVING.md covers the tuning knobs and the hot-swap
+// protocol; docs/OBSERVABILITY.md the metric tables.
 #pragma once
 
-#include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -41,25 +48,24 @@
 
 #include "ccq/common/exec.hpp"
 #include "ccq/common/workspace.hpp"
-#include "ccq/hw/integer_engine.hpp"
+#include "ccq/serve/registry.hpp"
 
 namespace ccq::serve {
 
+/// Server-wide knobs.  The batching/admission knobs that used to live
+/// here are per-model now — see `ModelConfig` (serve/registry.hpp).
 struct ServeConfig {
-  std::size_t workers = 1;     ///< batch-executing threads
-  std::size_t max_batch = 8;   ///< flush when this many requests wait …
-  std::uint64_t max_delay_us = 1000;  ///< … or the oldest waited this long
-  std::size_t queue_capacity = 64;    ///< admission bound (reject beyond)
-  std::size_t intra_op_threads = 1;   ///< kernel threads per worker
+  std::size_t workers = 1;           ///< batch-executing threads (shared pool)
+  std::size_t intra_op_threads = 1;  ///< kernel threads per worker
 };
 
-/// Admission rejected: the bounded queue already holds `queue_capacity`
-/// requests.  Callers shed load or retry after a delay.
+/// Admission rejected: the model's bounded queue already holds
+/// `queue_capacity` requests.  Callers shed load or retry after a delay.
 class QueueFullError : public Error {
  public:
-  explicit QueueFullError(std::size_t capacity)
-      : Error("serve queue full (capacity " + std::to_string(capacity) +
-              "): request rejected") {}
+  QueueFullError(const std::string& model, std::size_t capacity)
+      : Error("serve queue for model " + model + " full (capacity " +
+              std::to_string(capacity) + "): request rejected") {}
 };
 
 /// Admission rejected: the server is shutting down (or already stopped).
@@ -70,55 +76,91 @@ class ServerStoppedError : public Error {
 
 class InferenceServer {
  public:
-  /// Takes ownership of the compiled network and starts the workers.
-  explicit InferenceServer(hw::IntegerNetwork net, ServeConfig config = {});
+  /// Start the shared worker pool; models are loaded separately.
+  explicit InferenceServer(ServeConfig config = {});
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Enqueue one CHW sample.  The reply lands in `out` (resized to the
-  /// logit shape, reusing its capacity — steady-state callers that keep
-  /// the same tensor see zero allocations) and the future becomes ready
-  /// once it is written.  Both `sample` and `out` must stay alive and
-  /// untouched until then.  Throws QueueFullError / ServerStoppedError
-  /// on admission failure, ccq::Error on a shape mismatch with earlier
-  /// requests; inference failures surface through the future.
-  std::future<void> submit(const Tensor& sample, Tensor& out);
+  /// Publish `net` as the next version of `name` and start serving it:
+  /// an atomic cutover — `resolve(name)` switches to the new version the
+  /// moment load returns, while requests already admitted (or still
+  /// submitted through old handles) finish on their admitted version.
+  /// Returns a handle pinning the new version.
+  ModelHandle load(std::string name, hw::IntegerNetwork net,
+                   ModelConfig config = {});
 
-  /// Block until the queue is empty and no batch is in flight.
+  /// Load a packed .ccqa artifact (serve/artifact.hpp) and publish it.
+  ModelHandle load(std::string name, const std::string& artifact_path,
+                   ModelConfig config = {});
+
+  /// Close admissions for every version of `name` (one version with the
+  /// second form) and delist it from the registry.  Requests already
+  /// queued are still served; later submits through stale handles
+  /// reject with ModelRetiredError.  Unknown names are a no-op.
+  void unload(const std::string& name);
+  void unload(const std::string& name, std::uint64_t version);
+
+  /// Pin the current (or an explicit) version of `name`.  Throws
+  /// ModelNotFoundError when absent.
+  ModelHandle resolve(const std::string& name) const;
+  ModelHandle resolve(const std::string& name, std::uint64_t version) const;
+
+  const ModelRegistry& registry() const { return registry_; }
+
+  /// Enqueue one CHW sample for the version pinned by `model`.  The
+  /// reply lands in `out` (resized to the logit shape, reusing its
+  /// capacity) and the future becomes ready once it is written.  Both
+  /// `sample` and `out` must stay alive and untouched until then.
+  /// Throws QueueFullError / ServerStoppedError / ModelRetiredError on
+  /// admission failure, ccq::Error on a shape mismatch with earlier
+  /// requests to the same version; inference failures surface through
+  /// the future.
+  std::future<void> submit(const ModelHandle& model, const Tensor& sample,
+                           Tensor& out);
+
+  /// Convenience: resolve `name`'s current version and submit to it.
+  std::future<void> submit(const std::string& name, const Tensor& sample,
+                           Tensor& out);
+
+  /// Block until every model's queue is empty and no batch is in flight.
   void drain();
 
   /// Stop admissions, serve every queued request, join the workers.
   /// Idempotent.
   void shutdown();
 
+  /// Total queued requests across all models / for one model (all
+  /// versions of the name).
   std::size_t queue_depth() const;
+  std::size_t queue_depth(const std::string& name) const;
+
   const ServeConfig& config() const { return config_; }
-  const hw::IntegerNetwork& network() const { return net_; }
 
  private:
-  struct Request {
-    const Tensor* input;
-    Tensor* output;
-    std::promise<void> promise;
-    std::uint64_t enqueue_ns;  ///< telemetry clock (serve.latency)
-    std::chrono::steady_clock::time_point enqueue_tp;  ///< batching deadline
-  };
+  using ModelPtr = std::shared_ptr<detail::LoadedModel>;
 
   void worker_loop();
-  void run_batch(std::vector<Request>& batch, Workspace& ws,
+  void run_batch(detail::LoadedModel& model,
+                 std::vector<detail::Request>& batch, Workspace& ws,
                  const ExecContext& ctx) const;
+  /// Mark `models` retired and prune already-idle ones from the scan
+  /// list (the worker pool prunes the rest as their queues drain).
+  void retire(const std::vector<ModelPtr>& models);
 
-  hw::IntegerNetwork net_;
+  ModelRegistry registry_;
   ServeConfig config_;
 
   mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< queue gained work / stop requested
-  std::condition_variable idle_cv_;  ///< queue drained and workers idle
-  std::deque<Request> queue_;
-  Shape sample_shape_;  ///< pinned by the first submit
-  std::size_t in_flight_ = 0;
+  std::condition_variable work_cv_;  ///< queues gained work / stop requested
+  std::condition_variable idle_cv_;  ///< all queues drained and workers idle
+  /// Model versions the workers scan: every loaded version, including
+  /// retired ones still draining.  Entries leave when retired with an
+  /// empty queue and nothing in flight.
+  std::vector<ModelPtr> active_;
+  std::size_t total_queued_ = 0;
+  std::size_t total_in_flight_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -347,46 +347,4 @@ void igemm_run(const IgemmOp& op, const ExecContext& ctx) {
   }
 }
 
-// ---- deprecated positional shims --------------------------------------------
-// One-release bridges: run the scalar kernel exactly as the pre-registry
-// API did.  New call sites should pack an IgemmPanel and call igemm_run.
-
-void igemm_wx(std::size_t m, std::size_t n, std::size_t k,
-              const std::int16_t* w, const std::int32_t* x, float* c,
-              const float* scale, const float* bias, IgemmAccum accum,
-              const ExecContext& ctx, const IgemmBlocking& blk) {
-  telemetry::ScopedTimer timer(telemetry::Timer::kIgemm);
-  telemetry::ScopedTimer kt(telemetry::Timer::kIgemmScalar);
-  const igemm_detail::FloatEpilogue epi{scale, bias, c};
-  const std::size_t grain = std::max<std::size_t>(blk.row_grain, 1);
-  parallel_for(ctx, m, grain, [&](std::size_t row0, std::size_t row1) {
-    if (accum == IgemmAccum::kInt32) {
-      igemm_rows<std::int16_t, std::int32_t, std::int32_t, true>(
-          row0, row1, n, k, w, x, epi, blk);
-    } else {
-      igemm_rows<std::int16_t, std::int32_t, std::int64_t, true>(
-          row0, row1, n, k, w, x, epi, blk);
-    }
-  });
-}
-
-void igemm_xw(std::size_t m, std::size_t n, std::size_t k,
-              const std::int32_t* x, const std::int16_t* w, float* c,
-              const float* scale, const float* bias, IgemmAccum accum,
-              const ExecContext& ctx, const IgemmBlocking& blk) {
-  telemetry::ScopedTimer timer(telemetry::Timer::kIgemm);
-  telemetry::ScopedTimer kt(telemetry::Timer::kIgemmScalar);
-  const igemm_detail::FloatEpilogue epi{scale, bias, c};
-  const std::size_t grain = std::max<std::size_t>(blk.row_grain, 1);
-  parallel_for(ctx, m, grain, [&](std::size_t row0, std::size_t row1) {
-    if (accum == IgemmAccum::kInt32) {
-      igemm_rows<std::int32_t, std::int16_t, std::int32_t, false>(
-          row0, row1, n, k, x, w, epi, blk);
-    } else {
-      igemm_rows<std::int32_t, std::int16_t, std::int64_t, false>(
-          row0, row1, n, k, x, w, epi, blk);
-    }
-  });
-}
-
 }  // namespace ccq

@@ -236,36 +236,11 @@ struct IgemmOp {
 /// and bit-identical across kernels, blockings and thread counts.
 void igemm_run(const IgemmOp& op, const ExecContext& ctx = ExecContext::global());
 
-// ---- deprecated positional entry points -------------------------------------
-
 /// Pack int32 weight codes into a bare int16 panel in the *scalar*
-/// kernel's layout.  Superseded by `igemm_pack` (which owns layout per
-/// kernel variant); kept as the companion of the deprecated shims below.
+/// kernel's layout.  `igemm_pack` owns layout per kernel variant and
+/// routes here for the scalar rows; exposed for packing tests.
 std::vector<std::int16_t> igemm_pack_panel(
     const std::vector<std::int32_t>& codes, std::size_t rows,
     std::size_t cols, bool transpose);
-
-/// C[m,n] = float(sum_k W[m,k] · X[k,n]) · scale[m] + bias[m]
-/// Deprecated positional form (one release): runs the scalar kernel over
-/// a bare panel from `igemm_pack_panel(..., transpose=false)`.  Migrate
-/// to `IgemmOp{.form = IgemmForm::kWX, ...}` + `igemm_run`, which adds
-/// kernel dispatch (SIMD) and registry selection.
-[[deprecated("build an IgemmOp and call igemm_run instead")]]
-void igemm_wx(std::size_t m, std::size_t n, std::size_t k,
-              const std::int16_t* w, const std::int32_t* x, float* c,
-              const float* scale, const float* bias, IgemmAccum accum,
-              const ExecContext& ctx = ExecContext::global(),
-              const IgemmBlocking& blk = {});
-
-/// C[m,n] = float(sum_k X[m,k] · W[k,n]) · scale[n] + bias[n]
-/// Deprecated positional form (one release): runs the scalar kernel over
-/// a bare panel from `igemm_pack_panel(..., transpose=true)`.  Migrate
-/// to `IgemmOp{.form = IgemmForm::kXW, ...}` + `igemm_run`.
-[[deprecated("build an IgemmOp and call igemm_run instead")]]
-void igemm_xw(std::size_t m, std::size_t n, std::size_t k,
-              const std::int32_t* x, const std::int16_t* w, float* c,
-              const float* scale, const float* bias, IgemmAccum accum,
-              const ExecContext& ctx = ExecContext::global(),
-              const IgemmBlocking& blk = {});
 
 }  // namespace ccq

@@ -49,6 +49,7 @@ TEST(FailureInjectionTest, SingleClassDatasetTrainsWithoutCrashing) {
 }
 
 TEST(FailureInjectionTest, TinyImagesSurviveTheConvStack) {
+  Workspace ws;
   // 4×4 inputs through SimpleCNN's three stride-2 stages bottom out at
   // 1×1 — the geometry code must not underflow.
   models::ModelConfig mc;
@@ -60,7 +61,7 @@ TEST(FailureInjectionTest, TinyImagesSurviveTheConvStack) {
       models::make_simple_cnn(mc, factory, quant::BitLadder({8, 2}));
   Rng rng(2);
   Tensor x = Tensor::rand_uniform({2, 3, 4, 4}, rng, 0.0f, 1.0f);
-  EXPECT_EQ(model.forward(x).shape(), (Shape{2, 3}));
+  EXPECT_EQ(model.forward(x, ws).shape(), (Shape{2, 3}));
 }
 
 TEST(FailureInjectionTest, CcqWithZeroMaxStepsDoesNothing) {

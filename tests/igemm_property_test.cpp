@@ -780,39 +780,5 @@ TEST(IgemmRequantEpilogue, PerColumnRequantMatchesNaiveInXwForm) {
   }
 }
 
-// ---- deprecated positional shims --------------------------------------------
-// The one-release bridges must stay bit-identical to the new API while
-// they exist; silence our own deliberate use of them.
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(IgemmDeprecatedShims, MatchTheOpApiBitForBit) {
-  Rng rng(0x0DEAD);
-  const Problem p = make_problem(rng, 6, 37, 29, 8, 255);
-  std::vector<float> want(p.m * p.n), got(p.m * p.n);
-  ref_wx(p.m, p.n, p.k, p.w, p.x, p.row_scale, p.row_bias, want);
-  const auto panel = igemm_pack_panel(p.w, p.m, p.k, /*transpose=*/false);
-  igemm_wx(p.m, p.n, p.k, panel.data(), p.x.data(), got.data(),
-           p.row_scale.data(), p.row_bias.data(), IgemmAccum::kInt32);
-  EXPECT_EQ(want, got);
-
-  const auto t_panel = igemm_pack_panel(p.w, p.m, p.k, /*transpose=*/true);
-  std::vector<std::int32_t> xl(2 * p.k);
-  for (std::size_t i = 0; i < 2; ++i)
-    for (std::size_t pp = 0; pp < p.k; ++pp)
-      xl[i * p.k + pp] = p.x[pp * p.n + i];
-  std::vector<std::int32_t> wt(p.k * p.m);
-  for (std::size_t pp = 0; pp < p.k; ++pp)
-    for (std::size_t i = 0; i < p.m; ++i) wt[pp * p.m + i] = p.w[i * p.k + pp];
-  std::vector<float> want2(2 * p.m), got2(2 * p.m);
-  ref_xw(2, p.m, p.k, xl, wt, p.row_scale, p.row_bias, want2);
-  igemm_xw(2, p.m, p.k, xl.data(), t_panel.data(), got2.data(),
-           p.row_scale.data(), p.row_bias.data(), IgemmAccum::kInt32);
-  EXPECT_EQ(want2, got2);
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace
 }  // namespace ccq

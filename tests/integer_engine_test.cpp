@@ -71,12 +71,13 @@ EngineSetup make_setup(quant::Policy policy, std::size_t ladder_floor_pos,
 }
 
 void expect_parity(EngineSetup& s, float logit_tol, float min_label_agreement) {
+  Workspace ws;
   IntegerNetwork net = IntegerNetwork::compile(s.model);
   const data::Batch batch = s.val.all();
   const Tensor x = snap_input(batch.images);
 
   s.model.set_training(false);
-  const Tensor ref = s.model.forward(x);
+  const Tensor ref = s.model.forward(x, ws);
   const Tensor out = net.forward(x);
   ASSERT_EQ(out.shape(), ref.shape());
 
@@ -152,12 +153,13 @@ TEST(IntegerEngineTest, ParityMlp) {
 }
 
 TEST(IntegerEngineTest, AccuracyMatchesFloatSimulation) {
+  Workspace ws;
   EngineSetup s = make_setup(quant::Policy::kPact, 1);
   IntegerNetwork net = IntegerNetwork::compile(s.model);
   const data::Batch batch = s.val.all();
   const Tensor x = snap_input(batch.images);
   s.model.set_training(false);
-  const Tensor ref = s.model.forward(x);
+  const Tensor ref = s.model.forward(x, ws);
   const Tensor out = net.forward(x);
   const float ref_acc = nn::SoftmaxCrossEntropy::accuracy(ref, batch.labels);
   const float int_acc = nn::SoftmaxCrossEntropy::accuracy(out, batch.labels);

@@ -22,12 +22,13 @@ quant::QuantFactory pact_factory() {
 }
 
 TEST(SimpleCnnTest, ForwardShapeAndRegistry) {
+  Workspace ws;
   auto model = make_simple_cnn(tiny_config(), pact_factory(),
                                quant::BitLadder({8, 4, 2}));
   EXPECT_EQ(model.registry().size(), 5u);
   Rng rng(1);
   Tensor x = Tensor::rand_uniform({2, 3, 8, 8}, rng, 0.0f, 1.0f);
-  const Tensor y = model.forward(x);
+  const Tensor y = model.forward(x, ws);
   EXPECT_EQ(y.shape(), (Shape{2, 10}));
 }
 
@@ -41,25 +42,27 @@ TEST(SimpleCnnTest, StartsAtFullPrecision) {
 }
 
 TEST(SimpleCnnTest, BackwardProducesInputGradient) {
+  Workspace ws;
   auto model = make_simple_cnn(tiny_config(), pact_factory(),
                                quant::BitLadder({8, 4, 2}));
   Rng rng(2);
   Tensor x = Tensor::rand_uniform({2, 3, 8, 8}, rng, 0.0f, 1.0f);
   nn::SoftmaxCrossEntropy loss;
-  const Tensor logits = model.forward(x);
+  const Tensor logits = model.forward(x, ws);
   loss.forward(logits, {0, 1});
-  const Tensor gx = model.backward(loss.backward());
+  const Tensor gx = model.backward(loss.backward(), ws);
   EXPECT_EQ(gx.shape(), x.shape());
   EXPECT_FALSE(gx.has_nonfinite());
 }
 
 TEST(MlpTest, RegistryHasThreeUnits) {
+  Workspace ws;
   auto model = make_mlp(tiny_config(), pact_factory(),
                         quant::BitLadder({8, 4, 2}), 16);
   EXPECT_EQ(model.registry().size(), 3u);
   Rng rng(3);
   Tensor x = Tensor::rand_uniform({4, 3, 8, 8}, rng, 0.0f, 1.0f);
-  EXPECT_EQ(model.forward(x).shape(), (Shape{4, 10}));
+  EXPECT_EQ(model.forward(x, ws).shape(), (Shape{4, 10}));
 }
 
 TEST(ResNet20Test, LayerCountMatchesTopology) {
@@ -71,42 +74,46 @@ TEST(ResNet20Test, LayerCountMatchesTopology) {
 }
 
 TEST(ResNet20Test, ForwardShape) {
+  Workspace ws;
   auto model = make_resnet20(tiny_config(16), pact_factory(),
                              quant::BitLadder({8, 4, 2}));
   Rng rng(4);
   Tensor x = Tensor::rand_uniform({2, 3, 16, 16}, rng, 0.0f, 1.0f);
-  EXPECT_EQ(model.forward(x).shape(), (Shape{2, 10}));
+  EXPECT_EQ(model.forward(x, ws).shape(), (Shape{2, 10}));
 }
 
 TEST(ResNet20Test, QuantizedForwardStaysFinite) {
+  Workspace ws;
   auto model = make_resnet20(tiny_config(16), pact_factory(),
                              quant::BitLadder({8, 4, 2}));
   model.registry().set_all(2);  // everything at 2 bits
   Rng rng(5);
   Tensor x = Tensor::rand_uniform({2, 3, 16, 16}, rng, 0.0f, 1.0f);
-  const Tensor y = model.forward(x);
+  const Tensor y = model.forward(x, ws);
   EXPECT_FALSE(y.has_nonfinite());
   EXPECT_NEAR(model.registry().compression_ratio(), 16.0, 1e-6);
 }
 
 TEST(ResNet18Test, LayerCountMatchesTopology) {
+  Workspace ws;
   auto model = make_resnet18(tiny_config(16, 0.125f), pact_factory(),
                              quant::BitLadder({8, 4, 2}));
   // stem + 8 blocks × 2 convs + 3 projections + fc = 21 units.
   EXPECT_EQ(model.registry().size(), 21u);
   Rng rng(6);
   Tensor x = Tensor::rand_uniform({1, 3, 16, 16}, rng, 0.0f, 1.0f);
-  EXPECT_EQ(model.forward(x).shape(), (Shape{1, 10}));
+  EXPECT_EQ(model.forward(x, ws).shape(), (Shape{1, 10}));
 }
 
 TEST(ResNet50Test, LayerCountMatchesTopology) {
+  Workspace ws;
   auto model = make_resnet50(tiny_config(16, 0.0625f), pact_factory(),
                              quant::BitLadder({8, 4, 2}));
   // stem + 16 bottlenecks × 3 convs + 4 projections + fc = 54 units.
   EXPECT_EQ(model.registry().size(), 54u);
   Rng rng(7);
   Tensor x = Tensor::rand_uniform({1, 3, 16, 16}, rng, 0.0f, 1.0f);
-  EXPECT_EQ(model.forward(x).shape(), (Shape{1, 10}));
+  EXPECT_EQ(model.forward(x, ws).shape(), (Shape{1, 10}));
 }
 
 TEST(ResNetTest, MacsArePositiveAndOrdered) {
@@ -133,6 +140,7 @@ TEST(ResNetTest, WidthMultiplierScalesParameters) {
 }
 
 TEST(ResNetTest, DeterministicInitialisation) {
+  Workspace ws;
   auto a = make_resnet20(tiny_config(16), pact_factory(),
                          quant::BitLadder({8, 4, 2}));
   auto b = make_resnet20(tiny_config(16), pact_factory(),
@@ -141,7 +149,7 @@ TEST(ResNetTest, DeterministicInitialisation) {
   Tensor x = Tensor::rand_uniform({1, 3, 16, 16}, rng, 0.0f, 1.0f);
   a.set_training(false);
   b.set_training(false);
-  EXPECT_EQ(max_abs_diff(a.forward(x), b.forward(x)), 0.0f);
+  EXPECT_EQ(max_abs_diff(a.forward(x, ws), b.forward(x, ws)), 0.0f);
 }
 
 TEST(ResNetTest, UniqueParameterNames) {

@@ -40,13 +40,14 @@ Tensor weighted_sqloss_grad(const Tensor& y) {
 /// its input gradient against central differences.
 void check_module_grads(Module& module, Tensor x, float tol = 2e-2f,
                         double eps = 1e-3) {
+  Workspace ws;
   module.set_training(true);
   auto loss_fn = [&]() {
-    return static_cast<double>(weighted_sqloss(module.forward(x)));
+    return static_cast<double>(weighted_sqloss(module.forward(x, ws)));
   };
-  const Tensor y = module.forward(x);
+  const Tensor y = module.forward(x, ws);
   for (auto* p : module.parameters()) p->zero_grad();
-  const Tensor gx = module.backward(weighted_sqloss_grad(y));
+  const Tensor gx = module.backward(weighted_sqloss_grad(y), ws);
 
   for (auto* p : module.parameters()) {
     const auto r = check_parameter_grad(*p, loss_fn, eps);
@@ -93,6 +94,7 @@ Tensor naive_conv(const Tensor& x, const Tensor& w, std::size_t stride,
 }
 
 TEST(Conv2dTest, ForwardMatchesNaive) {
+  Workspace ws;
   Rng rng(1);
   for (auto [stride, pad] : {std::pair<std::size_t, std::size_t>{1, 1},
                              {2, 1},
@@ -100,7 +102,7 @@ TEST(Conv2dTest, ForwardMatchesNaive) {
                              {2, 0}}) {
     Conv2d conv(3, 4, 3, stride, pad, /*bias=*/false, rng);
     Tensor x = Tensor::randn({2, 3, 7, 6}, rng);
-    const Tensor y = conv.forward(x);
+    const Tensor y = conv.forward(x, ws);
     const Tensor ref = naive_conv(x, conv.weight().value, stride, pad);
     ASSERT_EQ(y.shape(), ref.shape());
     EXPECT_LT(max_abs_diff(y, ref), 1e-4f)
@@ -109,13 +111,14 @@ TEST(Conv2dTest, ForwardMatchesNaive) {
 }
 
 TEST(Conv2dTest, BiasIsAddedPerChannel) {
+  Workspace ws;
   Rng rng(2);
   Conv2d conv(1, 2, 1, 1, 0, /*bias=*/true, rng);
   conv.weight().value.fill(0.0f);
   conv.bias().value.at(0) = 1.5f;
   conv.bias().value.at(1) = -2.0f;
   Tensor x = Tensor::randn({1, 1, 2, 2}, rng);
-  const Tensor y = conv.forward(x);
+  const Tensor y = conv.forward(x, ws);
   EXPECT_FLOAT_EQ(y(0, 0, 0, 0), 1.5f);
   EXPECT_FLOAT_EQ(y(0, 1, 1, 1), -2.0f);
 }
@@ -140,21 +143,23 @@ TEST(Conv2dTest, MacsPerSample) {
 }
 
 TEST(Conv2dTest, RejectsWrongChannelCount) {
+  Workspace ws;
   Rng rng(6);
   Conv2d conv(3, 4, 3, 1, 1, false, rng);
-  EXPECT_THROW(conv.forward(Tensor({1, 2, 5, 5})), Error);
-  EXPECT_THROW(conv.forward(Tensor({5, 5})), Error);
+  EXPECT_THROW(conv.forward(Tensor({1, 2, 5, 5}), ws), Error);
+  EXPECT_THROW(conv.forward(Tensor({5, 5}), ws), Error);
 }
 
 // ---- Linear ----------------------------------------------------------------
 
 TEST(LinearTest, ForwardIsAffine) {
+  Workspace ws;
   Rng rng(7);
   Linear fc(2, 2, true, rng);
   fc.weight().value = Tensor({2, 2}, std::vector<float>{1, 2, 3, 4});
   fc.bias().value = Tensor({2}, std::vector<float>{10, 20});
   Tensor x({1, 2}, std::vector<float>{1, 1});
-  const Tensor y = fc.forward(x);
+  const Tensor y = fc.forward(x, ws);
   EXPECT_FLOAT_EQ(y(0, 0), 13.0f);  // 1+2+10
   EXPECT_FLOAT_EQ(y(0, 1), 27.0f);  // 3+4+20
 }
@@ -168,11 +173,12 @@ TEST(LinearTest, GradCheck) {
 // ---- BatchNorm2d -----------------------------------------------------------
 
 TEST(BatchNormTest, NormalisesBatchStatistics) {
+  Workspace ws;
   Rng rng(9);
   BatchNorm2d bn(3);
   Tensor x = Tensor::randn({4, 3, 5, 5}, rng, 3.0f);
   x += 2.0f;
-  const Tensor y = bn.forward(x);
+  const Tensor y = bn.forward(x, ws);
   // Per-channel mean ≈ 0, var ≈ 1 after normalisation (γ=1, β=0).
   for (std::size_t c = 0; c < 3; ++c) {
     double mean = 0.0, var = 0.0;
@@ -191,27 +197,29 @@ TEST(BatchNormTest, NormalisesBatchStatistics) {
 }
 
 TEST(BatchNormTest, RunningStatsConvergeToDataStats) {
+  Workspace ws;
   Rng rng(10);
   BatchNorm2d bn(1, /*momentum=*/0.5f);
   for (int i = 0; i < 20; ++i) {
     Tensor x = Tensor::randn({8, 1, 4, 4}, rng, 2.0f);
     x += 3.0f;
-    bn.forward(x);
+    bn.forward(x, ws);
   }
   EXPECT_NEAR(bn.running_mean().at(0), 3.0f, 0.3f);
   EXPECT_NEAR(bn.running_var().at(0), 4.0f, 0.8f);
 }
 
 TEST(BatchNormTest, EvalModeUsesRunningStats) {
+  Workspace ws;
   Rng rng(11);
   BatchNorm2d bn(1);
   Tensor x = Tensor::randn({4, 1, 3, 3}, rng);
-  bn.forward(x);  // populate running stats a bit
+  bn.forward(x, ws);  // populate running stats a bit
   bn.set_training(false);
   // In eval mode the same input twice gives the same output (no batch
   // statistics involvement).
-  const Tensor y1 = bn.forward(x);
-  const Tensor y2 = bn.forward(x);
+  const Tensor y1 = bn.forward(x, ws);
+  const Tensor y2 = bn.forward(x, ws);
   EXPECT_EQ(max_abs_diff(y1, y2), 0.0f);
 }
 
@@ -233,36 +241,40 @@ TEST(BatchNormTest, AffineParamsExemptFromWeightDecay) {
 // ---- Activations / pooling -------------------------------------------------
 
 TEST(ReLUTest, ForwardClampsNegative) {
+  Workspace ws;
   ReLU relu;
   Tensor x = Tensor::from({-1, 0, 2});
-  const Tensor y = relu.forward(x);
+  const Tensor y = relu.forward(x, ws);
   EXPECT_EQ(y(0), 0.0f);
   EXPECT_EQ(y(1), 0.0f);
   EXPECT_EQ(y(2), 2.0f);
 }
 
 TEST(ReLUTest, BackwardMasks) {
+  Workspace ws;
   ReLU relu;
   Tensor x = Tensor::from({-1, 3});
-  relu.forward(x);
-  const Tensor g = relu.backward(Tensor::from({5, 7}));
+  relu.forward(x, ws);
+  const Tensor g = relu.backward(Tensor::from({5, 7}), ws);
   EXPECT_EQ(g(0), 0.0f);
   EXPECT_EQ(g(1), 7.0f);
 }
 
 TEST(MaxPoolTest, ForwardPicksMax) {
+  Workspace ws;
   MaxPool2d pool(2, 2);
   Tensor x({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
-  const Tensor y = pool.forward(x);
+  const Tensor y = pool.forward(x, ws);
   EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
   EXPECT_FLOAT_EQ(y(0, 0, 0, 0), 5.0f);
 }
 
 TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  Workspace ws;
   MaxPool2d pool(2, 2);
   Tensor x({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
-  pool.forward(x);
-  const Tensor g = pool.backward(Tensor({1, 1, 1, 1}, 2.0f));
+  pool.forward(x, ws);
+  const Tensor g = pool.backward(Tensor({1, 1, 1, 1}, 2.0f), ws);
   EXPECT_FLOAT_EQ(g(0, 0, 0, 1), 2.0f);
   EXPECT_FLOAT_EQ(g(0, 0, 0, 0), 0.0f);
 }
@@ -274,9 +286,10 @@ TEST(AvgPoolTest, GradCheckViaModule) {
 }
 
 TEST(GlobalAvgPoolTest, ForwardAverages) {
+  Workspace ws;
   GlobalAvgPool gap;
   Tensor x({1, 2, 2, 2}, std::vector<float>{1, 2, 3, 4, 10, 10, 10, 10});
-  const Tensor y = gap.forward(x);
+  const Tensor y = gap.forward(x, ws);
   EXPECT_EQ(y.shape(), (Shape{1, 2}));
   EXPECT_FLOAT_EQ(y(0, 0), 2.5f);
   EXPECT_FLOAT_EQ(y(0, 1), 10.0f);
@@ -289,11 +302,12 @@ TEST(GlobalAvgPoolTest, GradCheck) {
 }
 
 TEST(FlattenTest, RoundTripsShape) {
+  Workspace ws;
   Flatten flatten;
   Tensor x({2, 3, 4, 5});
-  const Tensor y = flatten.forward(x);
+  const Tensor y = flatten.forward(x, ws);
   EXPECT_EQ(y.shape(), (Shape{2, 60}));
-  const Tensor g = flatten.backward(Tensor({2, 60}));
+  const Tensor g = flatten.backward(Tensor({2, 60}), ws);
   EXPECT_EQ(g.shape(), x.shape());
 }
 
@@ -340,21 +354,23 @@ TEST(SequentialTest, VisitReachesNestedModules) {
 }
 
 TEST(ResidualTest, IdentityShortcutAdds) {
+  Workspace ws;
   Rng rng(19);
   auto main = std::make_unique<Sequential>();
   main->add<Linear>(3, 3, false, rng);
   Residual res(std::move(main), nullptr, nullptr);
   Tensor x = Tensor::randn({2, 3}, rng);
-  const Tensor y = res.forward(x);
+  const Tensor y = res.forward(x, ws);
   EXPECT_EQ(y.shape(), x.shape());
 }
 
 TEST(ResidualTest, MismatchedIdentityThrows) {
+  Workspace ws;
   Rng rng(20);
   auto main = std::make_unique<Sequential>();
   main->add<Linear>(3, 5, false, rng);  // changes width
   Residual res(std::move(main), nullptr, nullptr);
-  EXPECT_THROW(res.forward(Tensor::randn({2, 3}, rng)), Error);
+  EXPECT_THROW(res.forward(Tensor::randn({2, 3}, rng), ws), Error);
 }
 
 TEST(ResidualTest, GradCheckWithProjection) {

@@ -129,20 +129,21 @@ TEST(SgdTest, ZeroGradClears) {
 }
 
 TEST(SgdTest, ConvergesOnLeastSquares) {
+  Workspace ws;
   // Fit y = 2x − 1 with a single Linear layer.
   Rng rng(3);
   Linear fc(1, 1, true, rng);
   Sgd opt(fc.parameters(), {.lr = 0.1, .momentum = 0.9, .weight_decay = 0.0});
   for (int it = 0; it < 300; ++it) {
     Tensor x = Tensor::rand_uniform({8, 1}, rng, -1.0f, 1.0f);
-    Tensor y = fc.forward(x);
+    Tensor y = fc.forward(x, ws);
     Tensor grad(y.shape());
     for (std::size_t i = 0; i < 8; ++i) {
       const float target = 2.0f * x(i, 0) - 1.0f;
       grad(i, 0) = (y(i, 0) - target) / 8.0f;
     }
     opt.zero_grad();
-    fc.backward(grad);
+    fc.backward(grad, ws);
     opt.step();
   }
   EXPECT_NEAR(fc.weight().value(0, 0), 2.0f, 0.05f);

@@ -50,19 +50,20 @@ TEST(AdamTest, RespectsPerParameterScales) {
 }
 
 TEST(AdamTest, ConvergesOnLeastSquares) {
+  Workspace ws;
   Rng rng(4);
   Linear fc(1, 1, true, rng);
   Adam opt(fc.parameters(), {.lr = 0.05});
   for (int it = 0; it < 400; ++it) {
     Tensor x = Tensor::rand_uniform({8, 1}, rng, -1.0f, 1.0f);
-    Tensor y = fc.forward(x);
+    Tensor y = fc.forward(x, ws);
     Tensor grad(y.shape());
     for (std::size_t i = 0; i < 8; ++i) {
       const float target = -1.5f * x(i, 0) + 0.5f;
       grad(i, 0) = (y(i, 0) - target) / 8.0f;
     }
     opt.zero_grad();
-    fc.backward(grad);
+    fc.backward(grad, ws);
     opt.step();
   }
   EXPECT_NEAR(fc.weight().value(0, 0), -1.5f, 0.05f);

@@ -174,14 +174,15 @@ TEST(DeterminismTest, TransposeFreeTnMatchesTransposePath) {
 
 TEST(DeterminismTest, ConvForwardBackwardBitIdenticalAcrossThreadCounts) {
   auto run = [](const ExecContext* ctx) {
+    Workspace ws;
     Rng rng(21);
     nn::Conv2d conv(5, 7, 3, 1, 1, true, rng);
     conv.set_exec_context(ctx);
     Tensor x = Tensor::randn({6, 5, 9, 9}, rng);
-    Tensor y = conv.forward(x);
+    Tensor y = conv.forward(x, ws);
     Rng grng(22);
     Tensor gy = Tensor::randn(y.shape(), grng);
-    Tensor gx = conv.backward(gy);
+    Tensor gx = conv.backward(gy, ws);
     return std::tuple<Tensor, Tensor, Tensor>{
         std::move(y), std::move(gx), conv.weight().grad};
   };
@@ -199,6 +200,7 @@ TEST(DeterminismTest, ConvForwardBackwardBitIdenticalAcrossThreadCounts) {
 /// the post-step parameter bytes.
 std::vector<float> train_step_params(std::size_t threads) {
   ExecContext::set_global_threads(threads);
+  Workspace ws;
   Rng rng(31);
   nn::Conv2d conv(3, 4, 3, 1, 1, true, rng);
   nn::Linear fc(4 * 8 * 8, 10, true, rng);
@@ -211,12 +213,12 @@ std::vector<float> train_step_params(std::size_t threads) {
   fc.collect_parameters(params);
   nn::Sgd sgd(params, {.lr = 0.1, .momentum = 0.9, .weight_decay = 1e-4});
 
-  Tensor h = conv.forward(x);
-  Tensor logits = fc.forward(h.reshaped({8, 4 * 8 * 8}));
+  Tensor h = conv.forward(x, ws);
+  Tensor logits = fc.forward(h.reshaped({8, 4 * 8 * 8}), ws);
   nn::SoftmaxCrossEntropy loss;
   loss.forward(logits, labels);
-  Tensor gh = fc.backward(loss.backward());
-  conv.backward(gh.reshaped(h.shape()));
+  Tensor gh = fc.backward(loss.backward(), ws);
+  conv.backward(gh.reshaped(h.shape()), ws);
   sgd.step();
 
   std::vector<float> out;

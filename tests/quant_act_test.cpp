@@ -10,21 +10,23 @@ namespace ccq::quant {
 namespace {
 
 TEST(ClipActTest, FullPrecisionIsClippedRelu) {
+  Workspace ws;
   ClipActQuant act(1.0f);
   act.set_bits(32);
   Tensor x = Tensor::from({-0.5f, 0.4f, 1.7f});
-  const Tensor y = act.forward(x);
+  const Tensor y = act.forward(x, ws);
   EXPECT_FLOAT_EQ(y(0), 0.0f);
   EXPECT_FLOAT_EQ(y(1), 0.4f);
   EXPECT_FLOAT_EQ(y(2), 1.0f);
 }
 
 TEST(ClipActTest, QuantizedOutputOnGrid) {
+  Workspace ws;
   ClipActQuant act(1.0f);
   act.set_bits(2);
   Rng rng(1);
   Tensor x = Tensor::rand_uniform({1000}, rng, -0.5f, 1.5f);
-  const Tensor y = act.forward(x);
+  const Tensor y = act.forward(x, ws);
   std::set<float> values(y.data().begin(), y.data().end());
   EXPECT_LE(values.size(), 4u);  // {0, 1/3, 2/3, 1}
   EXPECT_GE(y.min(), 0.0f);
@@ -32,23 +34,25 @@ TEST(ClipActTest, QuantizedOutputOnGrid) {
 }
 
 TEST(ClipActTest, BackwardMasksOutsideActiveRange) {
+  Workspace ws;
   ClipActQuant act(1.0f);
   act.set_bits(4);
   Tensor x = Tensor::from({-0.1f, 0.5f, 1.2f});
-  act.forward(x);
-  const Tensor g = act.backward(Tensor({3}, 2.0f));
+  act.forward(x, ws);
+  const Tensor g = act.backward(Tensor({3}, 2.0f), ws);
   EXPECT_EQ(g(0), 0.0f);
   EXPECT_EQ(g(1), 2.0f);
   EXPECT_EQ(g(2), 0.0f);
 }
 
 TEST(ClipActTest, BitsSwitchTakesEffectImmediately) {
+  Workspace ws;
   ClipActQuant act(1.0f);
   Tensor x = Tensor::from({0.4f});
   act.set_bits(32);
-  EXPECT_FLOAT_EQ(act.forward(x)(0), 0.4f);
+  EXPECT_FLOAT_EQ(act.forward(x, ws)(0), 0.4f);
   act.set_bits(1);
-  const float q = act.forward(x)(0);
+  const float q = act.forward(x, ws)(0);
   EXPECT_TRUE(q == 0.0f || q == 1.0f);
 }
 
@@ -60,34 +64,38 @@ TEST(ClipActTest, InvalidConfigThrows) {
 }
 
 TEST(PactTest, ForwardClipsAtAlpha) {
+  Workspace ws;
   PactActivation act(2.0f);
   act.set_bits(32);
   Tensor x = Tensor::from({-1.0f, 1.0f, 3.0f});
-  const Tensor y = act.forward(x);
+  const Tensor y = act.forward(x, ws);
   EXPECT_FLOAT_EQ(y(0), 0.0f);
   EXPECT_FLOAT_EQ(y(1), 1.0f);
   EXPECT_FLOAT_EQ(y(2), 2.0f);
 }
 
 TEST(PactTest, QuantizedLevelsScaleWithAlpha) {
+  Workspace ws;
   PactActivation act(4.0f);
   act.set_bits(2);
   Tensor x = Tensor::from({1.4f});
   // Grid over [0, 4] with 3 steps: {0, 4/3, 8/3, 4}; 1.4 → 4/3.
-  EXPECT_NEAR(act.forward(x)(0), 4.0f / 3.0f, 1e-5f);
+  EXPECT_NEAR(act.forward(x, ws)(0), 4.0f / 3.0f, 1e-5f);
 }
 
 TEST(PactTest, AlphaReceivesSaturatedGradient) {
+  Workspace ws;
   PactActivation act(1.0f);
   act.set_bits(4);
   Tensor x = Tensor::from({0.5f, 2.0f, 3.0f});  // two saturated
-  act.forward(x);
+  act.forward(x, ws);
   act.alpha_param().zero_grad();
-  act.backward(Tensor({3}, 1.0f));
+  act.backward(Tensor({3}, 1.0f), ws);
   EXPECT_FLOAT_EQ(act.alpha_param().grad.at(0), 2.0f);
 }
 
 TEST(PactTest, AlphaGradientMatchesNumericWithoutDiscretisation) {
+  Workspace ws;
   // PACT's published ∂y/∂α rule (1 where x ≥ α, 0 elsewhere) is exact for
   // the clipping function itself; with discretisation enabled the rule is
   // an STE approximation, so the numeric comparison uses 32-bit mode and
@@ -103,14 +111,14 @@ TEST(PactTest, AlphaGradientMatchesNumericWithoutDiscretisation) {
   Tensor coeff = Tensor::randn({64}, rng);
 
   act.alpha_param().zero_grad();
-  act.forward(x);
-  act.backward(coeff);
+  act.forward(x, ws);
+  act.backward(coeff, ws);
   const float analytic = act.alpha_param().grad.at(0);
 
   const double eps = 1e-3;
   auto loss_at = [&](float a) {
     act.alpha_param().value.at(0) = a;
-    const Tensor y = act.forward(x);
+    const Tensor y = act.forward(x, ws);
     double acc = 0.0;
     for (std::size_t i = 0; i < 64; ++i) acc += coeff.at(i) * y.at(i);
     return acc;
@@ -125,11 +133,12 @@ TEST(PactTest, AlphaGradientMatchesNumericWithoutDiscretisation) {
 }
 
 TEST(PactTest, InputGradientMasksLikePact) {
+  Workspace ws;
   PactActivation act(1.0f);
   act.set_bits(4);
   Tensor x = Tensor::from({-0.5f, 0.5f, 1.5f});
-  act.forward(x);
-  const Tensor g = act.backward(Tensor({3}, 3.0f));
+  act.forward(x, ws);
+  const Tensor g = act.backward(Tensor({3}, 3.0f), ws);
   EXPECT_EQ(g(0), 0.0f);  // below zero
   EXPECT_EQ(g(1), 3.0f);  // pass-through
   EXPECT_EQ(g(2), 0.0f);  // saturated (gradient went to α)
@@ -145,11 +154,12 @@ TEST(PactTest, AlphaIsRegisteredParameter) {
 }
 
 TEST(PactTest, AlphaFloorPreventsCollapse) {
+  Workspace ws;
   PactActivation act(6.0f);
   act.set_bits(4);
   act.alpha_param().value.at(0) = -5.0f;  // pathological update
   Tensor x = Tensor::from({0.5f});
-  const Tensor y = act.forward(x);  // must not divide by ≤ 0
+  const Tensor y = act.forward(x, ws);  // must not divide by ≤ 0
   EXPECT_TRUE(std::isfinite(y(0)));
   EXPECT_GE(y(0), 0.0f);
 }

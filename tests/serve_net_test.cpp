@@ -1,0 +1,322 @@
+// Wire protocol and TCP front-end tests.
+//
+// Layer by layer: framing round-trips through arbitrarily chunked
+// receive buffers and rejects hostile lengths before allocating; the
+// body codec round-trips every float bit pattern exactly and throws
+// named `ProtocolError`s on garbage; and the socket stack end to end
+// returns logits bit-identical to an in-process `submit` from many
+// concurrent clients — the property that makes the TCP boundary
+// transparent to the serving contract.
+//
+// Labelled `serve` and run under the TSan quick tier
+// (`CCQ_THREADS=4 ctest -L "parallel|telemetry|serve"`).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ccq/models/simple.hpp"
+#include "ccq/serve/harness.hpp"
+#include "ccq/serve/net.hpp"
+
+namespace ccq::serve {
+namespace {
+
+Tensor make_inputs(std::size_t n) {
+  Tensor x({n, 3, 8, 8});
+  auto data = x.data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>((i * 2654435761u >> 8) & 255u) / 255.0f;
+  }
+  return x;
+}
+
+hw::IntegerNetwork make_network() {
+  models::ModelConfig mc;
+  mc.num_classes = 5;
+  mc.image_size = 8;
+  mc.width_multiplier = 0.25f;
+  quant::QuantFactory factory{.policy = quant::Policy::kMinMax};
+  auto model =
+      models::make_simple_cnn(mc, factory, quant::BitLadder({8, 4, 2}));
+  quant::LayerRegistry& registry = model.registry();
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    registry.set_ladder_pos(i, i % 3);
+  }
+  Workspace ws;
+  model.set_training(true);
+  model.forward(make_inputs(16), ws);
+  model.set_training(false);
+  return hw::IntegerNetwork::compile(model);
+}
+
+std::string error_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+bool bits_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+// ---- framing ---------------------------------------------------------------
+
+TEST(WireFramingTest, RoundTripsThroughByteWiseFeeds) {
+  std::string stream;
+  wire::append_frame(stream, "first body");
+  wire::append_frame(stream, "");  // empty bodies are legal frames
+  wire::append_frame(stream, std::string(1000, 'x'));
+
+  // Feed the receive buffer one byte at a time, the worst fragmentation
+  // a socket can produce.
+  std::string receive, body;
+  std::vector<std::string> bodies;
+  for (const char c : stream) {
+    receive.push_back(c);
+    while (wire::extract_frame(receive, body)) bodies.push_back(body);
+  }
+  EXPECT_TRUE(receive.empty());
+  ASSERT_EQ(bodies.size(), 3u);
+  EXPECT_EQ(bodies[0], "first body");
+  EXPECT_EQ(bodies[1], "");
+  EXPECT_EQ(bodies[2], std::string(1000, 'x'));
+}
+
+TEST(WireFramingTest, PartialFrameLeavesBufferUntouched) {
+  std::string stream;
+  wire::append_frame(stream, "payload");
+  std::string receive = stream.substr(0, stream.size() - 1);
+  const std::string before = receive;
+  std::string body;
+  EXPECT_FALSE(wire::extract_frame(receive, body));
+  EXPECT_EQ(receive, before);
+}
+
+TEST(WireFramingTest, HostileLengthRejectedBeforeAllocation) {
+  // A declared length just past the cap must throw, not allocate 4 GiB.
+  const std::uint32_t declared = wire::kMaxFrameBytes + 1;
+  std::string receive(4, '\0');
+  std::memcpy(receive.data(), &declared, sizeof(declared));
+  std::string body;
+  const std::string message =
+      error_message([&] { wire::extract_frame(receive, body); });
+  EXPECT_NE(message.find("wire protocol"), std::string::npos) << message;
+  EXPECT_NE(message.find("frame"), std::string::npos) << message;
+
+  std::string out;
+  EXPECT_THROW(
+      wire::append_frame(out, std::string(wire::kMaxFrameBytes + 1, 'x')),
+      wire::ProtocolError);
+}
+
+// ---- body codec ------------------------------------------------------------
+
+TEST(WireCodecTest, RequestRoundTripsBitIdentically) {
+  wire::InferRequest request;
+  request.model = "resnet20-cifar";
+  request.version = 7;
+  request.channels = 2;
+  request.height = 2;
+  request.width = 3;
+  // Adversarial float bit patterns: ±0, denormal, inf, NaN payloads —
+  // the codec ships raw IEEE-754 bits and must preserve every one.
+  request.data = {0.0f,
+                  -0.0f,
+                  1e-42f,
+                  std::numeric_limits<float>::infinity(),
+                  std::numeric_limits<float>::quiet_NaN(),
+                  -1.5f,
+                  3.25f,
+                  255.0f,
+                  -1e38f,
+                  1e-38f,
+                  0.1f,
+                  42.0f};
+  const std::string body = wire::encode_request(request);
+  const wire::InferRequest decoded = wire::decode_request(body);
+  EXPECT_EQ(decoded.model, request.model);
+  EXPECT_EQ(decoded.version, request.version);
+  EXPECT_EQ(decoded.channels, request.channels);
+  EXPECT_EQ(decoded.height, request.height);
+  EXPECT_EQ(decoded.width, request.width);
+  EXPECT_TRUE(bits_equal(decoded.data, request.data));
+}
+
+TEST(WireCodecTest, ReplyRoundTripsBothArms) {
+  wire::InferReply ok;
+  ok.ok = true;
+  ok.version = 3;
+  ok.logits = {-0.0f, 1.25f, std::numeric_limits<float>::quiet_NaN()};
+  const wire::InferReply ok2 = wire::decode_reply(wire::encode_reply(ok));
+  EXPECT_TRUE(ok2.ok);
+  EXPECT_EQ(ok2.version, 3u);
+  EXPECT_TRUE(bits_equal(ok2.logits, ok.logits));
+  EXPECT_TRUE(ok2.error.empty());
+
+  wire::InferReply err;
+  err.ok = false;
+  err.error = "serve queue for model m full (capacity 4): request rejected";
+  const wire::InferReply err2 = wire::decode_reply(wire::encode_reply(err));
+  EXPECT_FALSE(err2.ok);
+  EXPECT_EQ(err2.error, err.error);
+  EXPECT_TRUE(err2.logits.empty());
+}
+
+TEST(WireCodecTest, GarbageRejectedWithNamedErrors) {
+  wire::InferRequest request;
+  request.model = "m";
+  request.channels = 1;
+  request.height = 1;
+  request.width = 2;
+  request.data = {1.0f, 2.0f};
+  const std::string body = wire::encode_request(request);
+
+  // Wrong tag: a reply body handed to the request decoder (and vice
+  // versa), plus an outright unknown tag.
+  const std::string bad_tag_msg = error_message(
+      [&] { wire::decode_request(wire::encode_reply(wire::InferReply{})); });
+  EXPECT_NE(bad_tag_msg.find("tag"), std::string::npos) << bad_tag_msg;
+  std::string unknown = body;
+  unknown[0] = static_cast<char>(0x7f);
+  EXPECT_THROW(wire::decode_request(unknown), wire::ProtocolError);
+  EXPECT_THROW(wire::decode_reply(unknown), wire::ProtocolError);
+
+  // Truncation at every byte boundary must throw, never read past the
+  // end or silently succeed.
+  for (std::size_t cut = 1; cut < body.size(); ++cut) {
+    EXPECT_THROW(wire::decode_request(body.substr(0, cut)),
+                 wire::ProtocolError)
+        << "cut at " << cut;
+  }
+
+  // Trailing garbage after a valid message.
+  EXPECT_THROW(wire::decode_request(body + "z"), wire::ProtocolError);
+
+  // Geometry that disagrees with the float count.
+  wire::InferRequest skewed = request;
+  skewed.width = 3;  // declares 3 floats, carries 2
+  skewed.data = {1.0f, 2.0f};
+  const std::string skew_msg = error_message([&] {
+    wire::decode_request(wire::encode_request(skewed));
+  });
+  EXPECT_NE(skew_msg.find("geometry"), std::string::npos) << skew_msg;
+}
+
+// ---- TCP end to end --------------------------------------------------------
+
+wire::InferRequest request_for(const Tensor& x, std::size_t i,
+                               std::string model) {
+  wire::InferRequest request;
+  request.model = std::move(model);
+  request.channels = x.dim(1);
+  request.height = x.dim(2);
+  request.width = x.dim(3);
+  const std::size_t numel = x.dim(1) * x.dim(2) * x.dim(3);
+  const auto src = x.data().subspan(i * numel, numel);
+  request.data.assign(src.begin(), src.end());
+  return request;
+}
+
+TEST(TcpServeTest, ConcurrentClientsBitIdenticalToInProcess) {
+  hw::IntegerNetwork net = make_network();
+  const Tensor x = make_inputs(24);
+  const Tensor reference = net.forward(x);
+
+  ServeConfig config;
+  config.workers = 2;
+  InferenceServer server(config);
+  ModelConfig mc;
+  mc.max_batch = 5;
+  mc.max_delay_us = 200;
+  server.load("tcp", std::move(net), mc);
+  TcpServer front(server, 0);  // ephemeral port
+  ASSERT_NE(front.port(), 0);
+
+  constexpr std::size_t kClients = 4;
+  std::vector<wire::InferReply> replies(x.dim(0));
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      TcpClient client("127.0.0.1", front.port());
+      for (std::size_t i = c; i < x.dim(0); i += kClients) {
+        replies[i] = client.infer(request_for(x, i, "tcp"));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (std::size_t i = 0; i < x.dim(0); ++i) {
+    ASSERT_TRUE(replies[i].ok) << "sample " << i << ": " << replies[i].error;
+    EXPECT_EQ(replies[i].version, 1u);
+    ASSERT_EQ(replies[i].logits.size(), reference.dim(1));
+    for (std::size_t k = 0; k < replies[i].logits.size(); ++k) {
+      EXPECT_EQ(replies[i].logits[k], reference(i, k))
+          << "sample " << i << " logit " << k;
+    }
+  }
+}
+
+TEST(TcpServeTest, ErrorRepliesCarryServerDiagnostics) {
+  InferenceServer server;
+  server.load("known", make_network());
+  TcpServer front(server, 0);
+  TcpClient client("127.0.0.1", front.port());
+  const Tensor x = make_inputs(1);
+
+  // Unknown model: the registry's diagnostic crosses the wire.
+  wire::InferReply reply = client.infer(request_for(x, 0, "missing"));
+  EXPECT_FALSE(reply.ok);
+  EXPECT_NE(reply.error.find("missing"), std::string::npos) << reply.error;
+
+  // Unknown version of a known model.
+  wire::InferRequest versioned = request_for(x, 0, "known");
+  versioned.version = 99;
+  reply = client.infer(versioned);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_NE(reply.error.find("known"), std::string::npos) << reply.error;
+
+  // The connection survived both errors: a good request still works.
+  reply = client.infer(request_for(x, 0, "known"));
+  EXPECT_TRUE(reply.ok) << reply.error;
+}
+
+TEST(TcpServeTest, HarnessTcpModeMatchesDirectForward) {
+  hw::IntegerNetwork net = make_network();
+  const Tensor x = make_inputs(12);
+  const Tensor reference = net.forward(x);
+
+  InferenceServer server;
+  ModelConfig mc;
+  mc.max_batch = 3;
+  mc.max_delay_us = 200;
+  server.load("bench", std::move(net), mc);
+  TcpServer front(server, 0);
+
+  ServeHarness harness("127.0.0.1", front.port(), "bench");
+  const HarnessReport report = harness.run(x, {.producers = 3});
+  EXPECT_EQ(report.requests, x.dim(0));
+  ASSERT_EQ(report.outputs.size(), x.dim(0));
+  EXPECT_EQ(report.latency_ns.size(), x.dim(0));  // TCP mode is exact
+  for (std::size_t i = 0; i < x.dim(0); ++i) {
+    EXPECT_EQ(report.versions[i], 1u);
+    ASSERT_EQ(report.outputs[i].dim(0), reference.dim(1));
+    for (std::size_t k = 0; k < reference.dim(1); ++k) {
+      EXPECT_EQ(report.outputs[i](k), reference(i, k))
+          << "sample " << i << " logit " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccq::serve

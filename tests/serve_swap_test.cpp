@@ -1,0 +1,243 @@
+// Hot-swap correctness for the registry-routed server.
+//
+// The contract under test (ISSUE 8 tentpole): publishing v2 of a name
+// under live traffic is an atomic cutover — requests admitted against
+// v1 finish on v1's network bit-identically, requests admitted after
+// the publish are served by v2 bit-identically, and across the cutover
+// nothing is lost, rejected or double-served.  `HarnessReport::versions`
+// records which version served each sample, so bit-identity is asserted
+// *per admitted version*, not just per sample.
+//
+// Labelled `serve` and run under the TSan quick tier
+// (`CCQ_THREADS=4 ctest -L "parallel|telemetry|serve"`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ccq/models/simple.hpp"
+#include "ccq/serve/harness.hpp"
+
+namespace ccq::serve {
+namespace {
+
+Tensor make_inputs(std::size_t n) {
+  Tensor x({n, 3, 8, 8});
+  auto data = x.data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>((i * 2654435761u >> 8) & 255u) / 255.0f;
+  }
+  return x;
+}
+
+/// A calibrated SimpleCNN whose layer i sits at ladder position
+/// i mod `stride` of an 8/4/2 ladder.  Different strides give genuinely
+/// different integer networks over the same input/output shapes — the
+/// raw material for v1-vs-v2 swap tests.
+hw::IntegerNetwork make_network(std::size_t stride) {
+  models::ModelConfig mc;
+  mc.num_classes = 5;
+  mc.image_size = 8;
+  mc.width_multiplier = 0.25f;
+  quant::QuantFactory factory{.policy = quant::Policy::kMinMax};
+  auto model =
+      models::make_simple_cnn(mc, factory, quant::BitLadder({8, 4, 2}));
+  quant::LayerRegistry& registry = model.registry();
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    registry.set_ladder_pos(i, i % stride);
+  }
+  Workspace ws;
+  model.set_training(true);
+  model.forward(make_inputs(16), ws);
+  model.set_training(false);
+  return hw::IntegerNetwork::compile(model);
+}
+
+float max_row_diff(const Tensor& row, const Tensor& batch, std::size_t i) {
+  float diff = 0.0f;
+  for (std::size_t c = 0; c < row.dim(0); ++c) {
+    diff = std::max(diff, std::abs(row(c) - batch(i, c)));
+  }
+  return diff;
+}
+
+TEST(ServeSwapTest, MidTrafficSwapLosesNothingAndStaysBitIdentical) {
+  hw::IntegerNetwork v1 = make_network(3);
+  hw::IntegerNetwork v2 = make_network(1);  // all layers at 8 bits
+  const Tensor x = make_inputs(48);
+  const Tensor ref_v1 = v1.forward(x);
+  const Tensor ref_v2 = v2.forward(x);
+  ASSERT_NE(max_abs_diff(ref_v1, ref_v2), 0.0f)
+      << "v1 and v2 must disagree for version attribution to be testable";
+
+  ServeConfig config;
+  config.workers = 2;
+  InferenceServer server(config);
+  ModelConfig mc;
+  mc.max_batch = 4;
+  mc.max_delay_us = 200;
+  server.load("canary", std::move(v1), mc);
+
+  HarnessOptions options;
+  options.producers = 4;
+  options.swap_after = 16;  // fire the publish mid-traffic
+  options.on_swap = [&] { server.load("canary", std::move(v2), mc); };
+  ServeHarness harness(server, "canary");
+  const HarnessReport report = harness.run(x, options);
+
+  // Zero lost, zero rejected: every sample got exactly one reply.
+  EXPECT_EQ(report.requests, x.dim(0));
+  EXPECT_EQ(report.rejected, 0u);
+  ASSERT_EQ(report.outputs.size(), x.dim(0));
+  ASSERT_EQ(report.versions.size(), x.dim(0));
+
+  // Both versions actually served traffic …
+  std::set<std::uint64_t> seen(report.versions.begin(), report.versions.end());
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{1, 2}));
+
+  // … and every sample is bit-identical to the direct forward of the
+  // version that admitted it.
+  for (std::size_t i = 0; i < x.dim(0); ++i) {
+    const Tensor& ref = report.versions[i] == 1 ? ref_v1 : ref_v2;
+    EXPECT_EQ(max_row_diff(report.outputs[i], ref, i), 0.0f)
+        << "sample " << i << " served by v" << report.versions[i];
+  }
+
+  // After the run the registry's current version is v2; v1 stays
+  // resolvable by number until unloaded.
+  const auto versions = server.registry().versions("canary");
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0].version, 1u);
+  EXPECT_FALSE(versions[0].current);
+  EXPECT_EQ(versions[1].version, 2u);
+  EXPECT_TRUE(versions[1].current);
+}
+
+TEST(ServeSwapTest, PinnedHandleKeepsServingItsVersionAfterSwap) {
+  InferenceServer server;
+  ModelConfig mc;
+  mc.max_batch = 1;  // flush immediately: no cross-version batching noise
+  const ModelHandle h1 = server.load("pinned", make_network(3), mc);
+  server.load("pinned", make_network(1), mc);
+
+  const Tensor x = make_inputs(4);
+  const Tensor ref_v1 = h1.network().forward(x);
+  const Tensor ref_v2 = server.resolve("pinned").network().forward(x);
+  EXPECT_EQ(h1.version(), 1u);
+  EXPECT_EQ(server.resolve("pinned").version(), 2u);
+  EXPECT_EQ(server.resolve("pinned", 1).version(), 1u);
+
+  const Shape chw{3, 8, 8};
+  for (std::size_t i = 0; i < x.dim(0); ++i) {
+    Tensor sample(chw);
+    const auto src = x.data().subspan(i * shape_numel(chw), shape_numel(chw));
+    std::copy(src.begin(), src.end(), sample.data().begin());
+
+    Tensor via_handle, via_name;
+    server.submit(h1, sample, via_handle).get();
+    server.submit("pinned", sample, via_name).get();
+    EXPECT_EQ(max_row_diff(via_handle, ref_v1, i), 0.0f) << i;
+    EXPECT_EQ(max_row_diff(via_name, ref_v2, i), 0.0f) << i;
+  }
+}
+
+TEST(ServeSwapTest, UnloadServesQueuedThenRejectsStaleHandles) {
+  InferenceServer server;
+  ModelConfig mc;
+  mc.max_batch = 16;
+  mc.max_delay_us = 60'000'000;  // the unload, not the clock, must flush
+  const ModelHandle handle = server.load("retiring", make_network(3), mc);
+
+  const Shape chw{3, 8, 8};
+  std::vector<Tensor> inputs, outputs(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    inputs.push_back(make_inputs(1).reshaped(chw));
+  }
+  std::vector<std::future<void>> replies;
+  for (std::size_t i = 0; i < 3; ++i) {
+    replies.push_back(server.submit(handle, inputs[i], outputs[i]));
+  }
+
+  server.unload("retiring");
+  // Queued requests admitted before the unload still complete …
+  for (auto& reply : replies) reply.get();
+  for (const Tensor& out : outputs) EXPECT_EQ(out.rank(), 1u);
+  server.drain();
+  EXPECT_EQ(server.queue_depth(), 0u);
+
+  // … while the name is delisted and the stale handle rejects by name
+  // and version.
+  EXPECT_FALSE(server.registry().has("retiring"));
+  EXPECT_THROW(server.resolve("retiring"), ModelNotFoundError);
+  Tensor late_in = make_inputs(1).reshaped(chw);
+  Tensor late_out;
+  try {
+    server.submit(handle, late_in, late_out);
+    FAIL() << "stale handle accepted after unload";
+  } catch (const ModelRetiredError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("retiring"), std::string::npos) << message;
+    EXPECT_NE(message.find("v1"), std::string::npos) << message;
+  }
+}
+
+TEST(ServeSwapTest, UnloadOneVersionKeepsTheOtherCurrent) {
+  InferenceServer server;
+  server.load("partial", make_network(3));
+  const ModelHandle h2 = server.load("partial", make_network(1));
+
+  server.unload("partial", 1);
+  const auto versions = server.registry().versions("partial");
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_EQ(versions[0].version, 2u);
+  EXPECT_TRUE(versions[0].current);
+  EXPECT_EQ(server.resolve("partial").version(), 2u);
+  EXPECT_THROW(server.resolve("partial", 1), ModelNotFoundError);
+
+  // v2 still serves.
+  Tensor sample = make_inputs(1).reshaped({3, 8, 8});
+  Tensor out;
+  server.submit(h2, sample, out).get();
+  EXPECT_EQ(out.rank(), 1u);
+}
+
+TEST(ServeSwapTest, OpenLoopShedsRejectionsInsteadOfRetrying) {
+  InferenceServer server;
+  ModelConfig mc;
+  mc.max_batch = 2;
+  mc.max_delay_us = 200;
+  mc.queue_capacity = 2;  // tiny: a fast open loop must overrun it
+  server.load("openloop", make_network(3), mc);
+  const Tensor x = make_inputs(32);
+  const Tensor ref = server.resolve("openloop").network().forward(x);
+
+  HarnessOptions options;
+  options.producers = 2;
+  options.offered_rps = 50'000.0;  // far beyond capacity of queue 2
+  ServeHarness harness(server, "openloop");
+  const HarnessReport report = harness.run(x, options);
+
+  // Every sample was either answered or shed — never both, never lost.
+  EXPECT_EQ(report.requests + report.rejected, x.dim(0));
+  ASSERT_EQ(report.outputs.size(), x.dim(0));
+  std::size_t answered = 0;
+  for (std::size_t i = 0; i < x.dim(0); ++i) {
+    if (report.outputs[i].rank() == 0) {
+      EXPECT_EQ(report.versions[i], 0u) << i;  // shed
+      continue;
+    }
+    ++answered;
+    EXPECT_EQ(report.versions[i], 1u) << i;
+    EXPECT_EQ(max_row_diff(report.outputs[i], ref, i), 0.0f) << i;
+  }
+  EXPECT_EQ(answered, report.requests);
+  // Exact latencies are a closed-loop observable; open loop reads the
+  // telemetry histograms instead.
+  EXPECT_TRUE(report.latency_ns.empty());
+}
+
+}  // namespace
+}  // namespace ccq::serve

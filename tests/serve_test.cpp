@@ -1,8 +1,9 @@
 // Tests for ccq::serve: packed artifact round-trips, crash-safe writes,
-// and the dynamic-batching inference server — admission control, flush
+// and the registry-routed inference server — admission control, flush
 // triggers, drain/shutdown semantics and the headline property that
 // served outputs are bit-identical to a direct integer forward for any
-// worker count and batch composition.
+// worker count and batch composition.  Hot-swap and wire-protocol
+// coverage live in serve_swap_test.cpp / serve_net_test.cpp.
 //
 // Labelled `serve` and run under the TSan quick tier
 // (`CCQ_THREADS=4 ctest -L "parallel|telemetry|serve"`).
@@ -15,6 +16,7 @@
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ccq/common/fileio.hpp"
@@ -58,8 +60,9 @@ models::QuantModel make_mixed_model() {
   for (std::size_t i = 0; i < registry.size(); ++i) {
     registry.set_ladder_pos(i, i % 3);
   }
+  Workspace ws;
   model.set_training(true);
-  model.forward(make_inputs(16));
+  model.forward(make_inputs(16), ws);
   model.set_training(false);
   return model;
 }
@@ -329,14 +332,18 @@ TEST(ServeTest, ServedOutputsBitIdenticalForAnyWorkerCount) {
   for (std::size_t workers : {1u, 2u, 4u}) {
     ServeConfig config;
     config.workers = workers;
-    config.max_batch = 5;  // batches never align with producer strides
-    config.max_delay_us = 200;
-    ServeHarness harness(hw::IntegerNetwork::compile(model), config);
-    const HarnessReport report = harness.run(x, /*producers=*/4);
+    InferenceServer server(config);
+    ModelConfig mc;
+    mc.max_batch = 5;  // batches never align with producer strides
+    mc.max_delay_us = 200;
+    server.load("mixed", hw::IntegerNetwork::compile(model), mc);
+    ServeHarness harness(server, "mixed");
+    const HarnessReport report = harness.run(x, {.producers = 4});
     ASSERT_EQ(report.outputs.size(), x.dim(0));
     for (std::size_t i = 0; i < report.outputs.size(); ++i) {
       EXPECT_EQ(max_row_diff(report.outputs[i], reference, i), 0.0f)
           << "sample " << i << " with " << workers << " workers";
+      EXPECT_EQ(report.versions[i], 1u);
     }
   }
 }
@@ -371,10 +378,13 @@ TEST(ServeTest, ServedOutputsMatchThePrePackedNaiveForward) {
 
   ServeConfig config;
   config.workers = 2;
-  config.max_batch = 5;
-  config.max_delay_us = 200;
-  ServeHarness harness(std::move(loaded), config);
-  const HarnessReport report = harness.run(x, /*producers=*/3);
+  InferenceServer server(config);
+  ModelConfig mc;
+  mc.max_batch = 5;
+  mc.max_delay_us = 200;
+  server.load("golden", std::move(loaded), mc);
+  ServeHarness harness(server, "golden");
+  const HarnessReport report = harness.run(x, {.producers = 3});
   ASSERT_EQ(report.outputs.size(), x.dim(0));
   for (std::size_t i = 0; i < report.outputs.size(); ++i) {
     EXPECT_EQ(max_row_diff(report.outputs[i], golden, i), 0.0f)
@@ -385,11 +395,12 @@ TEST(ServeTest, ServedOutputsMatchThePrePackedNaiveForward) {
 
 TEST(ServeTest, FlushesWhenBatchFills) {
   auto model = make_mixed_model();
-  ServeConfig config;
-  config.workers = 1;
-  config.max_batch = 4;
-  config.max_delay_us = 5'000'000;  // only a full batch can flush this fast
-  InferenceServer server(hw::IntegerNetwork::compile(model), config);
+  InferenceServer server;
+  ModelConfig mc;
+  mc.max_batch = 4;
+  mc.max_delay_us = 5'000'000;  // only a full batch can flush this fast
+  const ModelHandle handle =
+      server.load("fill", hw::IntegerNetwork::compile(model), mc);
 
   const Tensor x = make_inputs(4);
   std::vector<Tensor> inputs(4), outputs(4);
@@ -399,7 +410,7 @@ TEST(ServeTest, FlushesWhenBatchFills) {
     inputs[i] = Tensor(chw);
     const auto src = x.data().subspan(i * shape_numel(chw), shape_numel(chw));
     std::copy(src.begin(), src.end(), inputs[i].data().begin());
-    replies.push_back(server.submit(inputs[i], outputs[i]));
+    replies.push_back(server.submit(handle, inputs[i], outputs[i]));
   }
   // The 4th submit fills the batch; replies must arrive long before the
   // 5-second delay deadline.
@@ -411,31 +422,33 @@ TEST(ServeTest, FlushesWhenBatchFills) {
 
 TEST(ServeTest, FlushesOnDelayDeadline) {
   auto model = make_mixed_model();
-  ServeConfig config;
-  config.workers = 1;
-  config.max_batch = 64;  // never fills: only the deadline can flush
-  config.max_delay_us = 20'000;
-  InferenceServer server(hw::IntegerNetwork::compile(model), config);
+  InferenceServer server;
+  ModelConfig mc;
+  mc.max_batch = 64;  // never fills: only the deadline can flush
+  mc.max_delay_us = 20'000;
+  server.load("deadline", hw::IntegerNetwork::compile(model), mc);
 
   Tensor input = make_inputs(1);
   Tensor sample({input.dim(1), input.dim(2), input.dim(3)});
   std::copy(input.data().begin(), input.data().end(), sample.data().begin());
   Tensor out;
-  auto reply = server.submit(sample, out);
+  // Submit through the name-resolving convenience overload.
+  auto reply = server.submit("deadline", sample, out);
   ASSERT_EQ(reply.wait_for(std::chrono::seconds(10)),
             std::future_status::ready);
   reply.get();
   EXPECT_EQ(out.rank(), 1u);
 }
 
-TEST(ServeTest, RejectsWhenQueueIsFull) {
+TEST(ServeTest, RejectsWhenQueueIsFullNamingTheModel) {
   auto model = make_mixed_model();
-  ServeConfig config;
-  config.workers = 1;
-  config.max_batch = 16;        // larger than capacity …
-  config.queue_capacity = 4;    // … so the queue fills while the worker
-  config.max_delay_us = 100'000;  // waits out the batch-fill deadline
-  InferenceServer server(hw::IntegerNetwork::compile(model), config);
+  InferenceServer server;
+  ModelConfig mc;
+  mc.max_batch = 16;          // larger than capacity …
+  mc.queue_capacity = 4;      // … so the queue fills while the worker
+  mc.max_delay_us = 100'000;  // waits out the batch-fill deadline
+  const ModelHandle handle =
+      server.load("bounded", hw::IntegerNetwork::compile(model), mc);
 
   const Shape chw{3, 8, 8};
   std::vector<Tensor> inputs, outputs;
@@ -445,9 +458,13 @@ TEST(ServeTest, RejectsWhenQueueIsFull) {
   }
   std::vector<std::future<void>> replies;
   for (std::size_t i = 0; i < 4; ++i) {
-    replies.push_back(server.submit(inputs[i], outputs[i]));
+    replies.push_back(server.submit(handle, inputs[i], outputs[i]));
   }
-  EXPECT_THROW(server.submit(inputs[4], outputs[4]), QueueFullError);
+  EXPECT_EQ(server.queue_depth("bounded"), 4u);
+  const std::string message =
+      error_message([&] { server.submit(handle, inputs[4], outputs[4]); });
+  EXPECT_NE(message.find("bounded"), std::string::npos) << message;
+  EXPECT_NE(message.find("capacity 4"), std::string::npos) << message;
   server.shutdown();  // flushes the queued four immediately
   for (auto& reply : replies) reply.get();
 }
@@ -456,23 +473,27 @@ TEST(ServeTest, DrainWaitsForAllReplies) {
   auto model = make_mixed_model();
   ServeConfig config;
   config.workers = 2;
-  config.max_batch = 3;
-  config.max_delay_us = 500;
-  ServeHarness harness(hw::IntegerNetwork::compile(model), config);
+  InferenceServer server(config);
+  ModelConfig mc;
+  mc.max_batch = 3;
+  mc.max_delay_us = 500;
+  server.load("drain", hw::IntegerNetwork::compile(model), mc);
+  ServeHarness harness(server, "drain");
   // run() already joins all futures; drain() afterwards must return
   // immediately with nothing queued or in flight.
-  harness.run(make_inputs(12), /*producers=*/3);
-  harness.server().drain();
-  EXPECT_EQ(harness.server().queue_depth(), 0u);
+  harness.run(make_inputs(12), {.producers = 3});
+  server.drain();
+  EXPECT_EQ(server.queue_depth(), 0u);
 }
 
 TEST(ServeTest, ShutdownServesQueuedRequestsThenRejects) {
   auto model = make_mixed_model();
-  ServeConfig config;
-  config.workers = 1;
-  config.max_batch = 16;
-  config.max_delay_us = 60'000'000;  // effectively never flushes on its own
-  InferenceServer server(hw::IntegerNetwork::compile(model), config);
+  InferenceServer server;
+  ModelConfig mc;
+  mc.max_batch = 16;
+  mc.max_delay_us = 60'000'000;  // effectively never flushes on its own
+  const ModelHandle handle =
+      server.load("slow", hw::IntegerNetwork::compile(model), mc);
 
   // Build every input/output up front: the server keeps pointers into
   // these vectors, so they must not reallocate after the first submit.
@@ -483,7 +504,7 @@ TEST(ServeTest, ShutdownServesQueuedRequestsThenRejects) {
   }
   std::vector<std::future<void>> replies;
   for (std::size_t i = 0; i < 3; ++i) {
-    replies.push_back(server.submit(inputs[i], outputs[i]));
+    replies.push_back(server.submit(handle, inputs[i], outputs[i]));
   }
   server.shutdown();  // graceful: queued work is served before exit
   for (auto& reply : replies) reply.get();
@@ -491,37 +512,109 @@ TEST(ServeTest, ShutdownServesQueuedRequestsThenRejects) {
 
   Tensor late_in = make_inputs(1).reshaped(chw);
   Tensor late_out;
-  EXPECT_THROW(server.submit(late_in, late_out), ServerStoppedError);
+  EXPECT_THROW(server.submit(handle, late_in, late_out), ServerStoppedError);
 }
 
 TEST(ServeTest, RejectsMismatchedSampleShapes) {
   auto model = make_mixed_model();
-  InferenceServer server(hw::IntegerNetwork::compile(model), {});
+  InferenceServer server;
+  const ModelHandle handle =
+      server.load("shapes", hw::IntegerNetwork::compile(model));
   Tensor batch_in = make_inputs(1);
   Tensor out;
-  EXPECT_THROW(server.submit(batch_in, out), Error);  // rank 4, not CHW
+  EXPECT_THROW(server.submit(handle, batch_in, out), Error);  // rank 4
 
   Tensor first = make_inputs(1).reshaped({3, 8, 8});
-  auto reply = server.submit(first, out);
+  auto reply = server.submit(handle, first, out);
   Tensor odd({3, 4, 4});
   Tensor odd_out;
-  EXPECT_THROW(server.submit(odd, odd_out), Error);
+  EXPECT_THROW(server.submit(handle, odd, odd_out), Error);
   reply.get();
+}
+
+TEST(ServeTest, SubmitToUnknownNameThrowsModelNotFound) {
+  InferenceServer server;
+  Tensor sample({3, 8, 8});
+  Tensor out;
+  const std::string message =
+      error_message([&] { server.submit("absent", sample, out); });
+  EXPECT_NE(message.find("absent"), std::string::npos) << message;
+  EXPECT_THROW(server.resolve("absent"), ModelNotFoundError);
 }
 
 TEST(ServeTest, HarnessRetriesRejectionsToCompletion) {
   auto model = make_mixed_model();
-  ServeConfig config;
-  config.workers = 1;
-  config.max_batch = 2;
-  config.max_delay_us = 100;
-  config.queue_capacity = 2;  // tiny: 4 producers must hit rejections
-  ServeHarness harness(hw::IntegerNetwork::compile(model), config);
+  InferenceServer server;
+  ModelConfig mc;
+  mc.max_batch = 2;
+  mc.max_delay_us = 100;
+  mc.queue_capacity = 2;  // tiny: 4 producers must hit rejections
+  server.load("tiny", hw::IntegerNetwork::compile(model), mc);
+  ServeHarness harness(server, "tiny");
   const Tensor x = make_inputs(32);
-  const HarnessReport report = harness.run(x, /*producers=*/4);
+  const HarnessReport report = harness.run(x, {.producers = 4});
   EXPECT_EQ(report.requests, 32u);
   ASSERT_EQ(report.outputs.size(), 32u);
   for (const Tensor& out : report.outputs) EXPECT_EQ(out.rank(), 1u);
+}
+
+TEST(ServeTest, TwoModelsServeConcurrentlyOnOnePool) {
+  // Two distinct artifacts behind one shared worker pool: interleaved
+  // traffic to both names must stay bit-identical to each model's own
+  // direct forward (requests are never cross-batched between models).
+  auto mixed = make_mixed_model();
+  hw::IntegerNetwork mixed_net = hw::IntegerNetwork::compile(mixed);
+
+  models::ModelConfig mc8;
+  mc8.num_classes = 5;
+  mc8.image_size = 8;
+  mc8.width_multiplier = 0.25f;
+  quant::QuantFactory factory{.policy = quant::Policy::kMinMax};
+  auto uniform =
+      models::make_simple_cnn(mc8, factory, quant::BitLadder({8, 4, 2}));
+  {
+    quant::LayerRegistry& registry = uniform.registry();
+    for (std::size_t i = 0; i < registry.size(); ++i) {
+      registry.set_ladder_pos(i, 0);  // uniform 8-bit: differs from mixed
+    }
+    Workspace ws;
+    uniform.set_training(true);
+    uniform.forward(make_inputs(16), ws);
+    uniform.set_training(false);
+  }
+  hw::IntegerNetwork uniform_net = hw::IntegerNetwork::compile(uniform);
+
+  const Tensor x = make_inputs(16);
+  const Tensor ref_mixed = mixed_net.forward(x);
+  const Tensor ref_uniform = uniform_net.forward(x);
+  ASSERT_NE(max_abs_diff(ref_mixed, ref_uniform), 0.0f)
+      << "models must be distinguishable for this test to mean anything";
+
+  ServeConfig config;
+  config.workers = 2;
+  InferenceServer server(config);
+  ModelConfig serve_mc;
+  serve_mc.max_batch = 3;
+  serve_mc.max_delay_us = 200;
+  server.load("mixed", std::move(mixed_net), serve_mc);
+  server.load("uniform", std::move(uniform_net), serve_mc);
+  EXPECT_EQ(server.registry().names().size(), 2u);
+
+  ServeHarness drive_mixed(server, "mixed");
+  ServeHarness drive_uniform(server, "uniform");
+  HarnessReport report_mixed, report_uniform;
+  std::thread t([&] { report_mixed = drive_mixed.run(x, {.producers = 2}); });
+  report_uniform = drive_uniform.run(x, {.producers = 2});
+  t.join();
+
+  ASSERT_EQ(report_mixed.outputs.size(), x.dim(0));
+  ASSERT_EQ(report_uniform.outputs.size(), x.dim(0));
+  for (std::size_t i = 0; i < x.dim(0); ++i) {
+    EXPECT_EQ(max_row_diff(report_mixed.outputs[i], ref_mixed, i), 0.0f)
+        << "mixed sample " << i;
+    EXPECT_EQ(max_row_diff(report_uniform.outputs[i], ref_uniform, i), 0.0f)
+        << "uniform sample " << i;
+  }
 }
 
 }  // namespace

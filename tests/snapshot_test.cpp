@@ -48,6 +48,7 @@ TEST(SnapshotTest, RoundTripsParametersAndPrecision) {
 }
 
 TEST(SnapshotTest, RestoredModelComputesIdentically) {
+  Workspace ws;
   data::SyntheticConfig dc;
   dc.num_classes = 4;
   dc.samples_per_class = 10;
@@ -64,8 +65,8 @@ TEST(SnapshotTest, RestoredModelComputesIdentically) {
   const data::Batch batch = ds.all();
   model.set_training(false);
   restored.set_training(false);
-  EXPECT_EQ(max_abs_diff(model.forward(batch.images),
-                         restored.forward(batch.images)),
+  EXPECT_EQ(max_abs_diff(model.forward(batch.images, ws),
+                         restored.forward(batch.images, ws)),
             0.0f);
   std::remove(path.c_str());
 }
@@ -94,6 +95,7 @@ TEST(SnapshotTest, OffLadderBitsRejected) {
 }
 
 TEST(SnapshotTest, BnRunningStatsRoundTrip) {
+  Workspace ws;
   // Running statistics are buffers, not parameters — they must still be
   // persisted or a restored model evaluates with uncalibrated BN.
   data::SyntheticConfig dc;
@@ -127,8 +129,8 @@ TEST(SnapshotTest, BnRunningStatsRoundTrip) {
   model.set_training(false);
   restored.set_training(false);
   const data::Batch batch = val.all();
-  EXPECT_EQ(max_abs_diff(model.forward(batch.images),
-                         restored.forward(batch.images)),
+  EXPECT_EQ(max_abs_diff(model.forward(batch.images, ws),
+                         restored.forward(batch.images, ws)),
             0.0f);
   std::remove(path.c_str());
 }

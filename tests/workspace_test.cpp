@@ -190,7 +190,7 @@ TEST(WorkspaceArenaTest, ParallelWorkersNeverShareBuffers) {
   EXPECT_LE(ws.pooled_buffers(), ctx.threads());
 }
 
-// ---- bit-identity with the legacy entry points ---------------------------
+// ---- bit-identity between the scratch pool and a local workspace ----------
 
 TEST(WorkspaceBitIdentityTest, Conv2dForwardBackwardMatchLegacy) {
   Rng rng(5);
@@ -198,9 +198,9 @@ TEST(WorkspaceBitIdentityTest, Conv2dForwardBackwardMatchLegacy) {
   const Tensor x = random_input({2, 3, 8, 8}, 21);
   const Tensor g = random_input({2, 8, 8, 8}, 22);
 
-  const Tensor y_legacy = conv.forward(x);  // scratch-workspace shim
+  const Tensor y_legacy = conv.forward(x, Workspace::scratch());
   for (auto* p : conv.parameters()) p->zero_grad();
-  const Tensor gx_legacy = conv.backward(g);
+  const Tensor gx_legacy = conv.backward(g, Workspace::scratch());
 
   Workspace ws;
   const Tensor y_ws = conv.forward(x, ws);
@@ -217,9 +217,9 @@ TEST(WorkspaceBitIdentityTest, LinearForwardBackwardMatchLegacy) {
   const Tensor x = random_input({4, 24}, 31);
   const Tensor g = random_input({4, 10}, 32);
 
-  const Tensor y_legacy = fc.forward(x);
+  const Tensor y_legacy = fc.forward(x, Workspace::scratch());
   for (auto* p : fc.parameters()) p->zero_grad();
-  const Tensor gx_legacy = fc.backward(g);
+  const Tensor gx_legacy = fc.backward(g, Workspace::scratch());
 
   Workspace ws;
   const Tensor y_ws = fc.forward(x, ws);
@@ -245,7 +245,7 @@ TEST(WorkspaceBitIdentityTest, ResNetForwardMatchesAcrossThreadCounts) {
   auto model = tiny_resnet();
   model.set_training(false);
 
-  const Tensor y_legacy = model.forward(x);  // scratch workspace, serial
+  const Tensor y_legacy = model.forward(x, Workspace::scratch());  // serial
   for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
     ExecContext ctx(threads);
     model.net().set_exec_context(&ctx);
@@ -262,9 +262,9 @@ TEST(WorkspaceBitIdentityTest, ResNetTrainStepMatchesLegacy) {
   const Tensor g = random_input({2, 10}, 52);
 
   auto a = tiny_resnet();
-  a.forward(x);
+  a.forward(x, Workspace::scratch());
   for (auto* p : a.parameters()) p->zero_grad();
-  const Tensor gx_legacy = a.backward(g);
+  const Tensor gx_legacy = a.backward(g, Workspace::scratch());
 
   auto b = tiny_resnet();  // same seed -> identical parameters
   Workspace ws;

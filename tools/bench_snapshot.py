@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Run a benchmark grid and snapshot it to a committed BENCH_*.json.
 
-Two suites cover the integer-inference datapath:
+Three suites cover the integer-inference datapath and the serving stack:
 
   igemm   BM_IgemmForward -> BENCH_igemm.json
           the kernel registry (scalar / vec16 / vec-packed) vs the naive
@@ -10,6 +10,10 @@ Two suites cover the integer-inference datapath:
   engine  BM_EngineForward -> BENCH_engine.json
           the end-to-end fused engine forward (u8 codes through igemm
           epilogues, integer pooling, final decode) vs forward_reference
+  serve   BM_Serve* (bench_serve binary) -> BENCH_serve.json
+          the registry-routed inference server: closed-loop capacity
+          (producers x workers), an open-loop offered-load sweep with
+          p50/p99 latency and shed rate, and idle round-trip latency
 
 Typical use:
 
@@ -18,10 +22,12 @@ Typical use:
     tools/bench_snapshot.py --build build --check         # run + compare, no write
     tools/bench_snapshot.py --json out.json --suite igemm --check
 
-Comparison is per {bits, mode} row against the committed snapshot; a row
-regressing by more than --tolerance (default 25%, benchmarks on shared
-runners are noisy) fails the check.  Speedup columns are derived from the
-mode-0 reference row at the same bit width.
+Comparison is per row against the committed snapshot; a row regressing
+by more than --tolerance (default 25%, benchmarks on shared runners are
+noisy) fails the check.  igemm/engine speedup columns are derived from
+the mode-0 reference row at the same bit width.  Open-loop serve rows
+are wall-clock-paced by construction, so their regression signal is the
+p99_us column, reported alongside.
 """
 
 import argparse
@@ -34,24 +40,38 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 SUITES = {
     "igemm": {
         "filter": "BM_IgemmForward",
+        "binary": "bench_kernels",
         "snapshot": REPO / "BENCH_igemm.json",
         "modes": {0: "reference", 1: "scalar", 2: "vec16", 3: "vec-packed"},
     },
     "engine": {
         "filter": "BM_EngineForward",
+        "binary": "bench_kernels",
         "snapshot": REPO / "BENCH_engine.json",
         "modes": {0: "reference", 1: "fused"},
     },
+    "serve": {
+        "filter": "BM_Serve",
+        "binary": "bench_serve",
+        "snapshot": REPO / "BENCH_serve.json",
+    },
 }
 
+# google-benchmark reports real_time in the benchmark's chosen unit.
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
-def run_bench(build_dir: pathlib.Path, bench_filter: str) -> dict:
-    exe = build_dir / "bench" / "bench_kernels"
+
+def real_time_ns(b: dict) -> float:
+    return b["real_time"] * UNIT_TO_NS.get(b.get("time_unit", "ns"), 1.0)
+
+
+def run_bench(build_dir: pathlib.Path, suite: dict) -> dict:
+    exe = build_dir / "bench" / suite["binary"]
     if not exe.exists():
-        sys.exit(f"bench binary not found: {exe} (build the 'bench_kernels' target)")
+        sys.exit(f"bench binary not found: {exe} (build the '{suite['binary']}' target)")
     cmd = [
         str(exe),
-        f"--benchmark_filter={bench_filter}",
+        f"--benchmark_filter={suite['filter']}",
         "--benchmark_format=json",
         "--benchmark_min_warmup_time=0.2",
     ]
@@ -59,7 +79,7 @@ def run_bench(build_dir: pathlib.Path, bench_filter: str) -> dict:
     return json.loads(out.stdout)
 
 
-def parse_rows(raw: dict, suite: dict) -> dict:
+def parse_mode_rows(raw: dict, suite: dict) -> dict:
     """google-benchmark JSON -> {"<bits>/<mode-name>": row} with speedups."""
     bench_filter, modes = suite["filter"], suite["modes"]
     rows = {}
@@ -72,7 +92,7 @@ def parse_rows(raw: dict, suite: dict) -> dict:
         rows[f"{bits}/{modes[mode]}"] = {
             "bits": bits,
             "mode": modes[mode],
-            "real_time_ns": b["real_time"],
+            "real_time_ns": real_time_ns(b),
             "items_per_second": b.get("items_per_second"),
             "allocs_per_iter": b.get("allocs_per_iter"),
         }
@@ -80,8 +100,45 @@ def parse_rows(raw: dict, suite: dict) -> dict:
         ref = rows.get(f"{row['bits']}/reference")
         if ref and row["mode"] != "reference":
             row["speedup_vs_reference"] = ref["real_time_ns"] / row["real_time_ns"]
+    return rows
+
+
+def parse_serve_rows(raw: dict) -> dict:
+    """bench_serve JSON -> rows keyed closed/pPwW, open/Rrps, latency/wW."""
+    rows = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        parts = b["name"].split("/")
+        args = {}
+        for p in parts[1:]:
+            if ":" in p:
+                k, v = p.split(":", 1)
+                args[k] = int(v)
+        if parts[0] == "BM_ServeClosedLoop":
+            key = f"closed/p{args['producers']}w{args['workers']}"
+        elif parts[0] == "BM_ServeOpenLoop":
+            key = f"open/{args['offered_rps']}rps"
+        elif parts[0] == "BM_ServeLatency":
+            key = f"latency/w{args['workers']}"
+        else:
+            continue
+        rows[key] = {
+            "real_time_ns": real_time_ns(b),
+            "items_per_second": b.get("items_per_second"),
+            "p50_us": b.get("p50_us"),
+            "p99_us": b.get("p99_us"),
+            "shed_rate": b.get("shed_rate"),
+            "allocs_per_iter": b.get("allocs_per_iter"),
+        }
+    return rows
+
+
+def parse_rows(raw: dict, suite: dict) -> dict:
+    rows = (parse_mode_rows(raw, suite) if "modes" in suite
+            else parse_serve_rows(raw))
     if not rows:
-        sys.exit(f"no {bench_filter} rows in benchmark output")
+        sys.exit(f"no {suite['filter']} rows in benchmark output")
     return rows
 
 
@@ -98,11 +155,14 @@ def compare(rows: dict, snapshot: dict, tolerance: float) -> bool:
         if verdict != "OK":
             ok = False
         speed = cur.get("speedup_vs_reference")
-        speed_col = f"  {speed:6.2f}x vs ref" if speed else ""
+        extra = f"  {speed:6.2f}x vs ref" if speed else ""
+        p99 = cur.get("p99_us")
+        if p99:
+            extra += f"  p99 {p99:8.0f} us"
         print(
             f"{verdict:9} {key:14} {cur['real_time_ns'] / 1e6:9.3f} ms "
             f"(baseline {base['real_time_ns'] / 1e6:9.3f} ms, "
-            f"ratio {ratio:5.2f}){speed_col}"
+            f"ratio {ratio:5.2f}){extra}"
         )
     for key in rows:
         if key not in snapshot.get("rows", {}):
@@ -114,7 +174,7 @@ def run_suite(name: str, args: argparse.Namespace, raw: dict | None) -> bool:
     suite = SUITES[name]
     snapshot_path = suite["snapshot"]
     if raw is None:
-        raw = run_bench(args.build, suite["filter"])
+        raw = run_bench(args.build, suite)
     rows = parse_rows(raw, suite)
 
     print(f"== suite {name} ({suite['filter']}) ==")

@@ -17,17 +17,26 @@
 //       Pack a quantized snapshot into the bit-packed serving artifact
 //       (weights stored at their final ladder precision; same model/data
 //       flags as the run that produced the snapshot).
-//   ccq serve-bench [--artifact model.ccqa] --workers 2 --max-batch 8 …
-//       Drive the dynamic-batching inference server with concurrent
-//       producers and report throughput / latency / rejections.
+//   ccq serve --listen 7070 [--artifact model.ccqa] [--name m] …
+//       Host a model behind the TCP front end (serve/net.hpp) until
+//       stdin closes; clients speak the length-prefixed wire protocol
+//       of serve/protocol.hpp (documented in docs/SERVING.md).
+//   ccq serve-bench [--artifact model.ccqa] [--tcp] [--rate R] …
+//       Drive the registry-routed inference server with concurrent
+//       producers — closed loop by default, open loop at a fixed
+//       offered rate with --rate, over a socket with --tcp — and
+//       report throughput / p50/p99 latency / rejections.
 //   ccq policies
 //       List the available quantization policies.
 //
 // All experiments run on the procedural synthetic datasets (see
 // DESIGN.md §2); sizes are flags.
 #include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <iostream>
+#include <limits>
+#include <memory>
 
 #include "ccq/common/args.hpp"
 #include "ccq/common/env.hpp"
@@ -46,6 +55,7 @@
 #include "ccq/models/simple.hpp"
 #include "ccq/serve/artifact.hpp"
 #include "ccq/serve/harness.hpp"
+#include "ccq/serve/net.hpp"
 
 namespace {
 
@@ -302,36 +312,90 @@ int cmd_export(const Args& args) {
   return 0;
 }
 
+// Shared by `serve` and `serve-bench`: the network to host — a packed
+// artifact when --artifact is given, else a random-weight model
+// quantized to the ladder floor (serving cost does not depend on what
+// the weights are).
+hw::IntegerNetwork serve_network(const Args& args) {
+  const std::string artifact = args.get("artifact", "");
+  if (!artifact.empty()) return serve::load_artifact(artifact);
+  const quant::BitLadder ladder(args.get_int_list("ladder", {8, 4, 2}));
+  auto model = build_model(args, 10, ladder);
+  quant::LayerRegistry& registry = model.registry();
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    registry.set_ladder_pos(i, registry.ladder().size() - 1);
+  }
+  return hw::IntegerNetwork::compile(model);
+}
+
+std::string serve_model_name(const Args& args) {
+  const std::string name = args.get("name", "");
+  if (!name.empty()) return name;
+  const std::string artifact = args.get("artifact", "");
+  if (!artifact.empty()) {
+    return std::filesystem::path(artifact).stem().string();
+  }
+  return "model";
+}
+
+int cmd_serve(const Args& args) {
+  configure_telemetry(args);
+  const auto port = args.get_int("listen", -1);
+  CCQ_CHECK(port >= 0 && port <= 65535,
+            "serve needs --listen <port> (0 picks an ephemeral port)");
+
+  serve::ServeConfig sc;
+  sc.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+  sc.intra_op_threads =
+      static_cast<std::size_t>(args.get_int("intra-op", 1));
+  serve::InferenceServer server(sc);
+  serve::ModelConfig mc;
+  mc.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 8));
+  mc.max_delay_us =
+      static_cast<std::uint64_t>(args.get_int("max-delay-us", 1000));
+  mc.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 64));
+  const std::string name = serve_model_name(args);
+  const serve::ModelHandle handle = server.load(name, serve_network(args), mc);
+
+  serve::TcpServer front(server, static_cast<std::uint16_t>(port));
+  std::cout << "serving model \"" << name << "\" v" << handle.version()
+            << " on 127.0.0.1:" << front.port() << " (" << sc.workers
+            << " workers, max_batch " << mc.max_batch
+            << ")\nclose stdin (Ctrl-D) to stop\n";
+  // Serve until stdin closes: connection threads do all the work.
+  std::cin.ignore(std::numeric_limits<std::streamsize>::max());
+  front.stop();
+  server.shutdown();
+  finish_telemetry(args);
+  return 0;
+}
+
 int cmd_serve_bench(const Args& args) {
   configure_telemetry(args);
   telemetry::set_metrics_enabled(true);  // latency percentiles need timers
-  hw::IntegerNetwork net = [&] {
-    const std::string artifact = args.get("artifact", "");
-    if (!artifact.empty()) return serve::load_artifact(artifact);
-    // No artifact: random-weight model quantized to the ladder floor —
-    // serving throughput does not depend on what the weights are.
-    const quant::BitLadder ladder(args.get_int_list("ladder", {8, 4, 2}));
-    auto model = build_model(args, 10, ladder);
-    quant::LayerRegistry& registry = model.registry();
-    for (std::size_t i = 0; i < registry.size(); ++i) {
-      registry.set_ladder_pos(i, registry.ladder().size() - 1);
-    }
-    return hw::IntegerNetwork::compile(model);
-  }();
+  hw::IntegerNetwork net = serve_network(args);
   CCQ_CHECK(net.plan(0).kind == hw::IntLayerPlan::Kind::kConv,
             "serve-bench drives image models (first layer must be a conv)");
 
   serve::ServeConfig sc;
   sc.workers = static_cast<std::size_t>(args.get_int("workers", 2));
-  sc.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 8));
-  sc.max_delay_us =
-      static_cast<std::uint64_t>(args.get_int("max-delay-us", 200));
-  sc.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 64));
   sc.intra_op_threads =
       static_cast<std::size_t>(args.get_int("intra-op", 1));
+  serve::ModelConfig mc;
+  mc.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 8));
+  mc.max_delay_us =
+      static_cast<std::uint64_t>(args.get_int("max-delay-us", 200));
+  mc.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 64));
   const auto requests = static_cast<std::size_t>(args.get_int("requests", 512));
-  const auto producers = static_cast<std::size_t>(args.get_int("producers", 4));
   const auto image = static_cast<std::size_t>(args.get_int("image", 16));
+  const double rate = args.get_double("rate", 0.0);  // 0 = closed loop
+  const bool tcp = args.get_flag("tcp");
+  CCQ_CHECK(!(tcp && rate > 0.0),
+            "--tcp is closed-loop only (drop --rate for the socket path)");
+
+  serve::HarnessOptions options;
+  options.producers = static_cast<std::size_t>(args.get_int("producers", 4));
+  options.offered_rps = rate;
 
   Tensor samples({requests, net.plan(0).in_channels, image, image});
   auto data = samples.data();
@@ -339,15 +403,44 @@ int cmd_serve_bench(const Args& args) {
     data[i] = static_cast<float>((i * 2654435761u >> 8) & 255u) / 255.0f;
   }
 
-  serve::ServeHarness harness(std::move(net), sc);
-  const auto report = harness.run(samples, producers);
-  harness.server().shutdown();
+  const std::string name = serve_model_name(args);
+  serve::InferenceServer server(sc);
+  server.load(name, std::move(net), mc);
+  std::unique_ptr<serve::TcpServer> front;
+  std::unique_ptr<serve::ServeHarness> harness;
+  if (tcp) {
+    front = std::make_unique<serve::TcpServer>(server, 0);
+    harness = std::make_unique<serve::ServeHarness>(
+        "127.0.0.1", front->port(), name);
+  } else {
+    harness = std::make_unique<serve::ServeHarness>(server, name);
+  }
+  const auto report = harness->run(samples, options);
+  if (front) front->stop();
+  server.shutdown();
 
-  const auto latency = telemetry::timer_stats(telemetry::Timer::kServeLatency);
+  // Exact quantiles in closed-loop/TCP mode; the model's telemetry
+  // histogram (factor-of-two buckets) in the open loop, where the
+  // harness sheds instead of waiting.
+  const char* approx = report.latency_ns.empty() ? "< " : "";
+  std::uint64_t p50 = report.latency_quantile_ns(0.5);
+  std::uint64_t p99 = report.latency_quantile_ns(0.99);
+  if (report.latency_ns.empty()) {
+    const int timer = telemetry::find_named_metric(
+        telemetry::NamedKind::kTimer, "serve." + name + ".latency");
+    const auto latency = telemetry::named_timer_stats(timer);
+    p50 = telemetry::approx_quantile(latency, 0.5);
+    p99 = telemetry::approx_quantile(latency, 0.99);
+  }
   const auto batches = telemetry::timer_stats(telemetry::Timer::kServeBatchSize);
-  std::cout << report.requests << " requests, " << producers
-            << " producers, " << sc.workers << " workers, max_batch "
-            << sc.max_batch << ":\n  "
+  std::cout << report.requests << " served"
+            << (rate > 0.0
+                    ? " (offered " + Table::fmt(rate, 0) + " rps, shed " +
+                          std::to_string(report.rejected) + ")"
+                    : "")
+            << ", " << options.producers << " producers, " << sc.workers
+            << " workers, max_batch " << mc.max_batch << (tcp ? ", tcp" : "")
+            << ":\n  "
             << Table::fmt(static_cast<double>(report.requests) /
                               report.wall_seconds,
                           1)
@@ -357,9 +450,9 @@ int cmd_serve_bench(const Args& args) {
                               : static_cast<double>(batches.total_ns) /
                                     static_cast<double>(batches.count),
                           2)
-            << ", rejected " << report.rejected << "\n  latency p50 < "
-            << telemetry::approx_quantile(latency, 0.5) / 1000 << "us, p99 < "
-            << telemetry::approx_quantile(latency, 0.99) / 1000 << "us\n";
+            << ", rejected " << report.rejected << "\n  latency p50 "
+            << approx << p50 / 1000 << "us, p99 " << approx << p99 / 1000
+            << "us\n";
   finish_telemetry(args);
   return 0;
 }
@@ -382,7 +475,8 @@ void usage() {
       "  oneshot   one-shot quantize + fine-tune baseline\n"
       "  power     iso-throughput power of precision configurations\n"
       "  export    pack a snapshot into the bit-packed serving artifact\n"
-      "  serve-bench  drive the dynamic-batching inference server\n"
+      "  serve     host a model behind the TCP front end (--listen <port>)\n"
+      "  serve-bench  drive the registry-routed inference server\n"
       "  policies  list quantization policies\n"
       "common flags: --arch resnet20|resnet18|resnet50|simplecnn|mlp\n"
       "  --policy pact|dorefa|wrpn|sawb|lqnets|lsq|minmax|perchannel\n"
@@ -397,9 +491,13 @@ void usage() {
       "  --metrics-out m.json   counters/timers report (also $CCQ_METRICS)\n"
       "  --progress [--verbose] per-step progress lines\n"
       "export flags: --snapshot s.bin --out model.ccqa\n"
+      "serve flags: --listen 7070 --artifact model.ccqa --name m\n"
+      "  --workers 2 --max-batch 8 --max-delay-us 1000 --queue-cap 64\n"
       "serve-bench flags: --artifact model.ccqa (else random weights)\n"
       "  --workers 2 --max-batch 8 --max-delay-us 200 --queue-cap 64\n"
-      "  --intra-op 1 --requests 512 --producers 4\n";
+      "  --intra-op 1 --requests 512 --producers 4\n"
+      "  --rate R   open loop at R offered req/s (default: closed loop)\n"
+      "  --tcp      drive through a loopback TCP front end\n";
 }
 
 }  // namespace
@@ -415,6 +513,7 @@ int main(int argc, char** argv) {
     if (args.command() == "oneshot") return cmd_oneshot(args);
     if (args.command() == "power") return cmd_power(args);
     if (args.command() == "export") return cmd_export(args);
+    if (args.command() == "serve") return cmd_serve(args);
     if (args.command() == "serve-bench") return cmd_serve_bench(args);
     if (args.command() == "policies") return cmd_policies();
     usage();

@@ -216,9 +216,11 @@ int named_metric(NamedKind kind, const std::string& name) {
   for (std::size_t i = 0; i < names.size(); ++i) {
     if (names[i] == name) return static_cast<int>(i);
   }
-  CCQ_CHECK(names.size() < kMaxNamedMetrics,
-            "named metric capacity (" + std::to_string(kMaxNamedMetrics) +
-                ") exhausted registering " + name);
+  // Capacity exhaustion degrades to "metrics disabled for this series"
+  // (-1 no-ops through every record path) rather than throwing: the
+  // serving stack registers per-model series at load time, and a
+  // telemetry capacity limit must not turn into a model-load failure.
+  if (names.size() >= kMaxNamedMetrics) return -1;
   names.push_back(name);
   return static_cast<int>(names.size() - 1);
 }

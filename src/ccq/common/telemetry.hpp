@@ -143,8 +143,10 @@ TimerStats timer_stats(Timer id);
 // through the id is the same lock-free fixed-storage scheme as the enum
 // metrics, so per-model accounting adds nothing to the hot path beyond
 // one extra atomic op per event.  Capacity is fixed
-// (`kMaxNamedMetrics` per kind); exhausting it throws at registration
-// time with the offending name.  Re-registering a name returns the
+// (`kMaxNamedMetrics` per kind); once exhausted, registration returns
+// -1 — the id every record/query path treats as "metrics disabled" —
+// so a telemetry capacity limit never turns into a load failure in the
+// subsystem registering the series.  Re-registering a name returns the
 // existing id, so a hot-swapped model keeps accumulating into the same
 // series across versions.
 
@@ -152,7 +154,8 @@ inline constexpr std::size_t kMaxNamedMetrics = 256;
 
 enum class NamedKind : int { kCounter, kGauge, kTimer };
 
-/// Register (or look up) a named metric; returns its stable id.
+/// Register (or look up) a named metric; returns its stable id, or -1
+/// when capacity is exhausted (recording through -1 is a no-op).
 int named_metric(NamedKind kind, const std::string& name);
 
 void add_named(int counter_id, std::uint64_t delta = 1);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <set>
 #include <type_traits>
@@ -1170,6 +1171,91 @@ std::size_t IntegerNetwork::macs_per_sample(std::size_t h,
     }
   }
   return total;
+}
+
+void IntegerNetwork::check_input(std::size_t channels, std::size_t height,
+                                 std::size_t width) const {
+  const std::string geometry = std::to_string(channels) + "x" +
+                               std::to_string(height) + "x" +
+                               std::to_string(width);
+  CCQ_CHECK(channels != 0 && height != 0 && width != 0,
+            "input sample " + geometry + " has a zero dimension");
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  CCQ_CHECK(height <= kMax / channels && width <= kMax / (channels * height),
+            "input sample " + geometry + " overflows size_t");
+  bool spatial = true;  // CHW code/activation map vs flattened features
+  std::size_t c = channels, h = height, w = width;
+  std::size_t features = 0;
+  for (const auto& plan : plans_) {
+    switch (plan.kind) {
+      case IntLayerPlan::Kind::kConv: {
+        CCQ_CHECK(spatial, "conv layer " + plan.name +
+                               " reached after the activation map was "
+                               "flattened (input sample " +
+                               geometry + ")");
+        CCQ_CHECK(c == plan.in_channels,
+                  "conv layer " + plan.name + " expects " +
+                      std::to_string(plan.in_channels) +
+                      " input channels but input sample " + geometry +
+                      " reaches it with " + std::to_string(c));
+        CCQ_CHECK(h + 2 * plan.pad >= plan.kernel &&
+                      w + 2 * plan.pad >= plan.kernel,
+                  "conv layer " + plan.name + " kernel " +
+                      std::to_string(plan.kernel) +
+                      " exceeds its padded input for input sample " +
+                      geometry);
+        c = plan.out_channels;
+        h = (h + 2 * plan.pad - plan.kernel) / plan.stride + 1;
+        w = (w + 2 * plan.pad - plan.kernel) / plan.stride + 1;
+        break;
+      }
+      case IntLayerPlan::Kind::kLinear:
+        CCQ_CHECK(!spatial, "linear layer " + plan.name +
+                                " reached with an unflattened activation "
+                                "map (input sample " +
+                                geometry + ")");
+        CCQ_CHECK(features == plan.in_features,
+                  "linear layer " + plan.name + " expects " +
+                      std::to_string(plan.in_features) +
+                      " features but input sample " + geometry +
+                      " reaches it with " + std::to_string(features));
+        features = plan.out_features;
+        break;
+      case IntLayerPlan::Kind::kMaxPool:
+      case IntLayerPlan::Kind::kAvgPool:
+        CCQ_CHECK(spatial, "pool layer " + plan.name +
+                               " reached after the activation map was "
+                               "flattened (input sample " +
+                               geometry + ")");
+        CCQ_CHECK(h >= plan.pool_kernel && w >= plan.pool_kernel,
+                  "pool layer " + plan.name + " window " +
+                      std::to_string(plan.pool_kernel) +
+                      " exceeds its input for input sample " + geometry);
+        h = (h - plan.pool_kernel) / plan.pool_stride + 1;
+        w = (w - plan.pool_kernel) / plan.pool_stride + 1;
+        break;
+      case IntLayerPlan::Kind::kGlobalAvgPool:
+        CCQ_CHECK(spatial, "global-avg-pool layer " + plan.name +
+                               " reached after the activation map was "
+                               "flattened (input sample " +
+                               geometry + ")");
+        spatial = false;
+        features = c;
+        break;
+      case IntLayerPlan::Kind::kFlatten:
+        if (spatial) {
+          // Checked product: conv layers can grow the channel count, so
+          // the entry overflow guard does not bound c·h·w here.
+          CCQ_CHECK(h <= kMax / c && w <= kMax / (c * h),
+                    "flatten layer " + plan.name +
+                        " feature count overflows size_t for input sample " +
+                        geometry);
+          spatial = false;
+          features = c * h * w;
+        }
+        break;
+    }
+  }
 }
 
 }  // namespace ccq::hw

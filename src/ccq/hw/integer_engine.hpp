@@ -167,6 +167,16 @@ class IntegerNetwork {
   /// geometry (populated during the first forward).
   std::size_t macs_per_sample(std::size_t h, std::size_t w) const;
 
+  /// Validate one C×H×W sample geometry against the compiled plans
+  /// without running inference: zero/overflowing dims, per-layer channel
+  /// counts, conv/pool kernel bounds, and the flatten→linear feature
+  /// contract.  Throws ccq::Error naming the first inconsistent layer.
+  /// Serving admission calls this so an untrusted request is rejected
+  /// before its dimensions can size any engine loop (or pin a model's
+  /// batch shape).
+  void check_input(std::size_t channels, std::size_t height,
+                   std::size_t width) const;
+
  private:
   /// Build each plan's derived igemm payload (kernel selection, packed
   /// panel, max |code|, static accumulator choice) — runs once in

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -61,13 +62,28 @@ struct TcpServer::Impl {
   std::uint16_t port = 0;
   std::atomic<bool> stopping{false};
   std::thread accept_thread;
-  std::mutex conn_mutex;  ///< guards conn_fds/conn_threads
-  std::vector<int> conn_fds;
-  std::vector<std::thread> conn_threads;
+
+  /// One live connection.  Keyed by a monotonic id, never by the raw fd:
+  /// a closed fd number is recycled by the next descriptor the process
+  /// opens, so an fd-keyed table would let stop() shut down an unrelated
+  /// socket through a stale entry.
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  std::mutex conn_mutex;  ///< guards conns/finished/next_conn_id
+  std::uint64_t next_conn_id = 0;
+  std::map<std::uint64_t, Conn> conns;  ///< live connections
+  /// Threads of connections that already exited, awaiting a (near-
+  /// instant) join — the accept loop reaps these per accept, stop()
+  /// reaps the rest, so the server never accumulates one un-reaped
+  /// thread object per connection over its lifetime.
+  std::vector<std::thread> finished;
 
   explicit Impl(InferenceServer& server_in) : server(server_in) {}
 
-  void serve_connection(int fd) {
+  void serve_connection(std::uint64_t id, int fd) {
     std::string buffer;
     std::string frame;
     std::string out_bytes;
@@ -100,7 +116,29 @@ struct TcpServer::Impl {
     } catch (const wire::ProtocolError&) {
       // Unframeable stream — nothing sane to reply to; close below.
     }
+    // Deregister before closing: past the close() the fd number is up
+    // for recycling, and stop() must never find it in the table.  The
+    // thread handle moves to the reap list (a thread cannot join
+    // itself); if stop() already emptied the table it owns the handle
+    // and will join it directly.
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex);
+      const auto it = conns.find(id);
+      if (it != conns.end()) {
+        finished.push_back(std::move(it->second.thread));
+        conns.erase(it);
+      }
+    }
     ::close(fd);
+  }
+
+  void reap_finished() {
+    std::vector<std::thread> done;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex);
+      done.swap(finished);
+    }
+    for (std::thread& thread : done) thread.join();
   }
 
   void accept_loop() {
@@ -116,9 +154,15 @@ struct TcpServer::Impl {
       }
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      reap_finished();  // joins only already-exited connection threads
+      // Hold conn_mutex across thread start: the connection's own
+      // deregistration takes the same mutex, so its entry is always
+      // installed before it can exit.
       std::lock_guard<std::mutex> lock(conn_mutex);
-      conn_fds.push_back(fd);
-      conn_threads.emplace_back([this, fd] { serve_connection(fd); });
+      const std::uint64_t id = next_conn_id++;
+      Conn& conn = conns[id];
+      conn.fd = fd;
+      conn.thread = std::thread([this, id, fd] { serve_connection(id, fd); });
     }
   }
 };
@@ -167,9 +211,19 @@ void TcpServer::stop() {
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(impl_->conn_mutex);
-    for (int fd : impl_->conn_fds) ::shutdown(fd, SHUT_RDWR);
-    impl_->conn_fds.clear();
-    threads.swap(impl_->conn_threads);
+    // Every fd still in the table is still owned by its connection
+    // thread (deregistration precedes close under this mutex), so the
+    // shutdown() can never hit a recycled descriptor.  Closing stays
+    // with the connection thread — exactly one close per fd.
+    for (auto& [id, conn] : impl_->conns) {
+      ::shutdown(conn.fd, SHUT_RDWR);
+      threads.push_back(std::move(conn.thread));
+    }
+    impl_->conns.clear();
+    for (std::thread& thread : impl_->finished) {
+      threads.push_back(std::move(thread));
+    }
+    impl_->finished.clear();
   }
   for (auto& thread : threads) thread.join();
 }

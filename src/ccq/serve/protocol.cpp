@@ -64,6 +64,12 @@ class Cursor {
   }
   std::vector<float> floats() {
     const std::uint64_t n = varint();
+    // Divide, don't multiply: n * sizeof(float) wraps for a hostile
+    // count near 2^64 and would sail past the bounds check below.
+    if (n > data_.size() / sizeof(float)) {
+      throw ProtocolError("body truncated while reading " + std::to_string(n) +
+                          " floats");
+    }
     need(n * sizeof(float), std::to_string(n) + " floats");
     std::vector<float> v(static_cast<std::size_t>(n));
     if (n > 0) {
@@ -157,13 +163,33 @@ InferRequest decode_request(std::string_view body) {
   request.width = static_cast<std::size_t>(c.varint());
   request.data = c.floats();
   c.finish("InferRequest");
-  const std::size_t numel = request.channels * request.height * request.width;
+  const std::string geometry = std::to_string(request.channels) + "x" +
+                               std::to_string(request.height) + "x" +
+                               std::to_string(request.width);
+  // Checked geometry product: a hostile frame can declare dims whose
+  // product wraps std::size_t (e.g. 2^32 x 2^32 x 1 "equals" zero
+  // floats) and would otherwise be admitted with garbage dimensions.
+  // Every dim is capped by the most floats one frame can carry, so the
+  // staged products below never exceed kMaxFloats^2 < 2^45 — no wrap.
+  constexpr std::uint64_t kMaxFloats = kMaxFrameBytes / sizeof(float);
+  if (request.channels == 0 || request.height == 0 || request.width == 0 ||
+      request.channels > kMaxFloats || request.height > kMaxFloats ||
+      request.width > kMaxFloats) {
+    throw ProtocolError("InferRequest geometry " + geometry +
+                        " has a zero dimension or exceeds the " +
+                        std::to_string(kMaxFloats) + "-float frame cap");
+  }
+  std::uint64_t numel =
+      static_cast<std::uint64_t>(request.channels) * request.height;
+  if (numel <= kMaxFloats) numel *= request.width;
+  if (numel > kMaxFloats) {
+    throw ProtocolError("InferRequest geometry " + geometry + " exceeds the " +
+                        std::to_string(kMaxFloats) + "-float frame cap");
+  }
   if (request.data.size() != numel) {
-    throw ProtocolError(
-        "InferRequest geometry " + std::to_string(request.channels) + "x" +
-        std::to_string(request.height) + "x" + std::to_string(request.width) +
-        " wants " + std::to_string(numel) + " floats, got " +
-        std::to_string(request.data.size()));
+    throw ProtocolError("InferRequest geometry " + geometry + " wants " +
+                        std::to_string(numel) + " floats, got " +
+                        std::to_string(request.data.size()));
   }
   return request;
 }

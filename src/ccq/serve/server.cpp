@@ -69,6 +69,7 @@ void InferenceServer::retire(const std::vector<ModelPtr>& models) {
   if (models.empty()) return;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    ++work_generation_;  // retired queues flush immediately: force rescans
     for (const ModelPtr& model : models) {
       model->retired = true;
       if (model->queue.empty() && model->in_flight == 0) {
@@ -124,6 +125,17 @@ std::future<void> InferenceServer::submit(const ModelHandle& model,
       throw QueueFullError(loaded.name, loaded.config.queue_capacity);
     }
     if (loaded.pinned_shape.empty()) {
+      // Only a geometry the compiled network accepts may pin the batch
+      // shape: over the TCP front end the first request is untrusted,
+      // and an unchecked pin would both drive the engine's conv loops
+      // from hostile dims and poison every later well-formed submit.
+      try {
+        loaded.net.check_input(sample.dim(0), sample.dim(1), sample.dim(2));
+      } catch (const Error&) {
+        telemetry::add(telemetry::Counter::kServeRejected);
+        telemetry::add_named(loaded.metrics.rejected);
+        throw;
+      }
       loaded.pinned_shape = sample.shape();
     } else {
       CCQ_CHECK(sample.shape() == loaded.pinned_shape,
@@ -133,6 +145,7 @@ std::future<void> InferenceServer::submit(const ModelHandle& model,
                     loaded.name + " v" + std::to_string(loaded.version));
     }
     loaded.queue.push_back(std::move(request));
+    ++work_generation_;
     ++total_queued_;
     telemetry::add(telemetry::Counter::kServeRequests);
     telemetry::add_named(loaded.metrics.requests);
@@ -199,8 +212,14 @@ void InferenceServer::worker_loop() {
         earliest = std::min(earliest, flush_deadline(*model));
       }
       if (earliest == Clock::time_point::max()) continue;
+      // `earliest` is stale the moment queue state changes: a new submit
+      // to a model with a shorter max_delay_us creates an earlier
+      // deadline, and re-parking until the old one would violate that
+      // model's latency bound.  The generation bump makes the predicate
+      // pass so the outer loop re-derives the deadline set.
+      const std::uint64_t parked_generation = work_generation_;
       work_cv_.wait_until(lock, earliest, [&] {
-        if (stopping_) return true;
+        if (stopping_ || work_generation_ != parked_generation) return true;
         const auto tick = Clock::now();
         return std::any_of(
             active_.begin(), active_.end(),

@@ -114,9 +114,11 @@ class InferenceServer {
   /// capacity) and the future becomes ready once it is written.  Both
   /// `sample` and `out` must stay alive and untouched until then.
   /// Throws QueueFullError / ServerStoppedError / ModelRetiredError on
-  /// admission failure, ccq::Error on a shape mismatch with earlier
-  /// requests to the same version; inference failures surface through
-  /// the future.
+  /// admission failure, ccq::Error when the sample geometry fails the
+  /// network's own shape check (`IntegerNetwork::check_input` — only a
+  /// validated geometry ever pins a version's batch shape) or mismatches
+  /// earlier requests to the same version; inference failures surface
+  /// through the future.
   std::future<void> submit(const ModelHandle& model, const Tensor& sample,
                            Tensor& out);
 
@@ -159,6 +161,13 @@ class InferenceServer {
   /// retired ones still draining.  Entries leave when retired with an
   /// empty queue and nothing in flight.
   std::vector<ModelPtr> active_;
+  /// Bumped (under mutex_) whenever queue state changes in a way that
+  /// can move a flush deadline earlier — a submit, a retirement.  A
+  /// worker parked on the earliest deadline it computed re-parks only
+  /// while the generation holds, so a new submission with a shorter
+  /// per-model max_delay_us forces a rescan instead of waiting out a
+  /// stale later deadline.
+  std::uint64_t work_generation_ = 0;
   std::size_t total_queued_ = 0;
   std::size_t total_in_flight_ = 0;
   bool stopping_ = false;

@@ -417,5 +417,63 @@ TEST(IntegerEngineTest, RejectsFullPrecisionLayers) {
   EXPECT_THROW(IntegerNetwork::compile(s.model), Error);
 }
 
+TEST(IntegerEngineTest, CheckInputValidatesGeometryAgainstPlans) {
+  // Hand-built conv(3→4,k3,p1) → maxpool(2/2) → flatten → linear(64→5):
+  // the 3×8×8 input it was planned for propagates cleanly, everything
+  // else names the first inconsistent layer without running inference.
+  std::vector<IntLayerPlan> plans(4);
+  plans[0].kind = IntLayerPlan::Kind::kConv;
+  plans[0].name = "conv0";
+  plans[0].in_channels = 3;
+  plans[0].out_channels = 4;
+  plans[0].kernel = 3;
+  plans[0].stride = 1;
+  plans[0].pad = 1;
+  plans[0].weight_codes.assign(4 * 3 * 3 * 3, 1);
+  plans[0].weight_bits = 8;
+  plans[0].channel_scale.assign(4, 0.01f);
+  plans[0].bias.assign(4, 0.0f);
+  plans[1].kind = IntLayerPlan::Kind::kMaxPool;
+  plans[1].name = "maxpool@1";
+  plans[1].pool_kernel = 2;
+  plans[1].pool_stride = 2;
+  plans[2].kind = IntLayerPlan::Kind::kFlatten;
+  plans[2].name = "flatten@2";
+  plans[3].kind = IntLayerPlan::Kind::kLinear;
+  plans[3].name = "fc";
+  plans[3].in_features = 4 * 4 * 4;
+  plans[3].out_features = 5;
+  plans[3].weight_codes.assign(5 * 64, 1);
+  plans[3].weight_bits = 8;
+  plans[3].channel_scale.assign(5, 0.01f);
+  plans[3].bias.assign(5, 0.0f);
+  const IntegerNetwork net = IntegerNetwork::from_plans(std::move(plans));
+
+  EXPECT_NO_THROW(net.check_input(3, 8, 8));
+
+  const auto message_of = [&](std::size_t c, std::size_t h, std::size_t w) {
+    try {
+      net.check_input(c, h, w);
+    } catch (const Error& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  // Wrong channel count names the conv.
+  std::string msg = message_of(7, 8, 8);
+  EXPECT_NE(msg.find("conv0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("channels"), std::string::npos) << msg;
+  // Spatial dims that shrink to the wrong flattened width name the fc.
+  msg = message_of(3, 4, 4);
+  EXPECT_NE(msg.find("fc"), std::string::npos) << msg;
+  // Zero and wrap-inducing dims are rejected up front.
+  EXPECT_NE(message_of(3, 0, 8).find("zero dimension"), std::string::npos);
+  msg = message_of(std::size_t{1} << 40, std::size_t{1} << 40, 1);
+  EXPECT_NE(msg.find("overflows"), std::string::npos) << msg;
+  // Spatial input smaller than the pool window names the pool.
+  msg = message_of(3, 1, 1);
+  EXPECT_NE(msg.find("maxpool@1"), std::string::npos) << msg;
+}
+
 }  // namespace
 }  // namespace ccq::hw

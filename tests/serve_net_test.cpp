@@ -213,6 +213,61 @@ TEST(WireCodecTest, GarbageRejectedWithNamedErrors) {
   EXPECT_NE(skew_msg.find("geometry"), std::string::npos) << skew_msg;
 }
 
+TEST(WireCodecTest, OverflowingGeometryRejected) {
+  // channels × height wraps std::size_t to 0: the unchecked multiply
+  // used to admit this zero-float frame with 2^32-sized dims, handing
+  // the engine garbage loop bounds over an empty buffer.
+  wire::InferRequest hostile;
+  hostile.model = "m";
+  hostile.channels = std::size_t{1} << 32;
+  hostile.height = std::size_t{1} << 32;
+  hostile.width = 1;
+  const std::string wrap_msg = error_message(
+      [&] { wire::decode_request(wire::encode_request(hostile)); });
+  EXPECT_NE(wrap_msg.find("frame cap"), std::string::npos) << wrap_msg;
+
+  // Zero dims reject even though the (empty) float count "matches".
+  wire::InferRequest zero;
+  zero.model = "m";
+  zero.channels = 0;
+  zero.height = 4;
+  zero.width = 4;
+  EXPECT_THROW(wire::decode_request(wire::encode_request(zero)),
+               wire::ProtocolError);
+
+  // One dim past the frame's float capacity rejects before any multiply.
+  wire::InferRequest wide;
+  wide.model = "m";
+  wide.channels = 1;
+  wide.height = 1;
+  wide.width = wire::kMaxFrameBytes / sizeof(float) + 1;
+  EXPECT_THROW(wire::decode_request(wire::encode_request(wide)),
+               wire::ProtocolError);
+}
+
+TEST(WireCodecTest, HostileFloatCountRejectedBeforeWrap) {
+  // A declared float count of 2^62 makes n·sizeof(float) wrap to zero;
+  // the decoder must reject it as truncation, not read past the end or
+  // try to allocate.
+  std::string body;
+  body.push_back('\x01');  // tag: InferRequest
+  body.push_back('\x01');  // model name length 1 …
+  body.push_back('m');     // … "m"
+  body.push_back('\x00');  // version 0
+  body.push_back('\x01');  // channels 1
+  body.push_back('\x01');  // height 1
+  body.push_back('\x01');  // width 1
+  std::uint64_t n = std::uint64_t{1} << 62;  // float count varint
+  while (n >= 0x80) {
+    body.push_back(static_cast<char>(n | 0x80));
+    n >>= 7;
+  }
+  body.push_back(static_cast<char>(n));
+  const std::string message =
+      error_message([&] { wire::decode_request(body); });
+  EXPECT_NE(message.find("truncated"), std::string::npos) << message;
+}
+
 // ---- TCP end to end --------------------------------------------------------
 
 wire::InferRequest request_for(const Tensor& x, std::size_t i,

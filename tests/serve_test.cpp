@@ -532,6 +532,40 @@ TEST(ServeTest, RejectsMismatchedSampleShapes) {
   reply.get();
 }
 
+TEST(ServeTest, WrongGeometryFirstRequestRejectedWithoutPoisoningPin) {
+  auto model = make_mixed_model();
+  InferenceServer server;
+  const ModelHandle handle =
+      server.load("geometry", hw::IntegerNetwork::compile(model));
+  // A wrong-geometry *first* request must be rejected at admission (the
+  // network expects 3 input channels), not pin its shape — over the TCP
+  // front end it is untrusted, and an unchecked pin would both size the
+  // conv loops from its dims and reject every later well-formed submit.
+  Tensor bogus({7, 8, 8});
+  Tensor bogus_out;
+  const std::string message =
+      error_message([&] { server.submit(handle, bogus, bogus_out); });
+  EXPECT_NE(message.find("channels"), std::string::npos) << message;
+
+  Tensor good = make_inputs(1).reshaped({3, 8, 8});
+  Tensor out;
+  server.submit(handle, good, out).get();  // pin is clean: this serves
+  EXPECT_EQ(out.rank(), 1u);
+  EXPECT_EQ(out.dim(0), 5u);
+}
+
+TEST(ServeTest, ZeroDimSampleRejectedAtAdmission) {
+  auto model = make_mixed_model();
+  InferenceServer server;
+  const ModelHandle handle =
+      server.load("zerodim", hw::IntegerNetwork::compile(model));
+  Tensor zero({3, 0, 8});
+  Tensor out;
+  const std::string message =
+      error_message([&] { server.submit(handle, zero, out); });
+  EXPECT_NE(message.find("zero dimension"), std::string::npos) << message;
+}
+
 TEST(ServeTest, SubmitToUnknownNameThrowsModelNotFound) {
   InferenceServer server;
   Tensor sample({3, 8, 8});

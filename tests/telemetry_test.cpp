@@ -323,5 +323,30 @@ TEST(CcqControllerTest, StepBeforeInitThrows) {
   EXPECT_THROW(controller.save_state(temp_path("ccq_uninit.state")), Error);
 }
 
+TEST(NamedMetricsTest, CapacityExhaustionDisablesInsteadOfThrowing) {
+  // The serving stack registers per-model series at model-load time; a
+  // telemetry capacity limit must degrade that model's metrics to
+  // no-ops, never fail the load.  Fill the counter table …
+  using telemetry::NamedKind;
+  int last = -1;
+  for (std::size_t i = 0; i < telemetry::kMaxNamedMetrics; ++i) {
+    last = telemetry::named_metric(NamedKind::kCounter,
+                                   "test.cap." + std::to_string(i));
+    if (last < 0) break;  // table partially used by earlier registrants
+  }
+  // … then one past capacity returns -1 rather than throwing, recording
+  // through -1 no-ops, and existing names still resolve to their slots.
+  const int overflow =
+      telemetry::named_metric(NamedKind::kCounter, "test.cap.overflow");
+  EXPECT_EQ(overflow, -1);
+  EXPECT_NO_THROW(telemetry::add_named(overflow));
+  EXPECT_EQ(telemetry::named_counter_value(overflow), 0u);
+  EXPECT_EQ(telemetry::named_metric(NamedKind::kCounter, "test.cap.0"),
+            telemetry::find_named_metric(NamedKind::kCounter, "test.cap.0"));
+  EXPECT_EQ(telemetry::find_named_metric(NamedKind::kCounter,
+                                         "test.cap.overflow"),
+            -1);
+}
+
 }  // namespace
 }  // namespace ccq::core

@@ -51,7 +51,10 @@ int total_steps_remaining(const quant::LayerRegistry& registry) {
 // guarantee.  Same-machine resume is the contract (see OBSERVABILITY.md).
 
 constexpr std::uint64_t kStateMagic = 0x3143515443435131ULL;  // "1QCTQC1"
-constexpr std::uint32_t kStateVersion = 1;
+/// v2 appends the rung trail (the ladder pick history) after the
+/// recovery target; v1 states load with an empty trail.
+constexpr std::uint32_t kStateVersion = 2;
+constexpr std::uint32_t kStateVersionNoTrail = 1;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -287,6 +290,8 @@ const StepRecord& CcqController::step() {
   record.recovery_epochs = recovery_epochs;
   record.val_acc_after_recovery = acc;
   record.compression = registry.compression_ratio();
+  trail_.push_back(
+      TrailStep{winner, registry.unit(winner).ladder_pos, acc});
   CCQ_LOG_INFO << "CCQ step " << step_ << ": " << record.layer_name << " -> "
                << record.new_bits << "b, acc " << std::to_string(acc)
                << " (valley " << record.val_acc_before_recovery
@@ -328,6 +333,12 @@ void CcqController::save_state_stream(std::ostream& os) const {
   write_pod(os, static_cast<std::int32_t>(planned_steps_));
   write_pod(os, result_.baseline_accuracy);
   write_pod(os, recovery_target_);
+  write_pod(os, static_cast<std::uint64_t>(trail_.size()));
+  for (const TrailStep& t : trail_) {
+    write_pod(os, static_cast<std::uint32_t>(t.layer));
+    write_pod(os, static_cast<std::uint32_t>(t.ladder_pos));
+    write_pod(os, t.val_acc);
+  }
   write_rng_state(os, rng_.state());
   write_rng_state(os, loader_.rng_state());
 
@@ -360,8 +371,13 @@ bool CcqController::load_state(const std::string& path) {
 
   CCQ_CHECK(read_pod<std::uint64_t>(is) == kStateMagic,
             path + " is not a CCQ controller state file");
-  CCQ_CHECK(read_pod<std::uint32_t>(is) == kStateVersion,
-            "unsupported controller state version");
+  const auto state_version = read_pod<std::uint32_t>(is);
+  CCQ_CHECK(state_version == kStateVersion ||
+                state_version == kStateVersionNoTrail,
+            "unsupported controller state version " +
+                std::to_string(state_version) + " (this build reads " +
+                std::to_string(kStateVersionNoTrail) + " and " +
+                std::to_string(kStateVersion) + ")");
   CCQ_CHECK(read_pod<std::uint64_t>(is) == model_.registry().size(),
             "controller state layer count mismatch");
   step_ = read_pod<std::int32_t>(is);
@@ -369,6 +385,23 @@ bool CcqController::load_state(const std::string& path) {
   planned_steps_ = read_pod<std::int32_t>(is);
   result_.baseline_accuracy = read_pod<float>(is);
   recovery_target_ = read_pod<float>(is);
+  trail_.clear();
+  if (state_version >= 2) {
+    const auto trail_count = read_pod<std::uint64_t>(is);
+    CCQ_CHECK(trail_count <= static_cast<std::uint64_t>(step_),
+              "controller state trail longer than its step count");
+    trail_.reserve(static_cast<std::size_t>(trail_count));
+    for (std::uint64_t i = 0; i < trail_count; ++i) {
+      TrailStep t;
+      t.layer = read_pod<std::uint32_t>(is);
+      t.ladder_pos = read_pod<std::uint32_t>(is);
+      t.val_acc = read_pod<float>(is);
+      CCQ_CHECK(t.layer < model_.registry().size(),
+                "controller state trail names layer " +
+                    std::to_string(t.layer) + " outside the registry");
+      trail_.push_back(t);
+    }
+  }
   rng_.set_state(read_rng_state(is));
   loader_.set_rng_state(read_rng_state(is));
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ccq/core/ccq.hpp"
+#include "ccq/core/trail.hpp"
 
 namespace ccq::core {
 
@@ -110,6 +111,14 @@ class CcqController {
   int steps_completed() const { return step_; }
   float baseline_accuracy() const { return result_.baseline_accuracy; }
 
+  /// The ladder pick history so far: one entry per committed step, in
+  /// commit order.  Replayed against the final weights it reconstructs
+  /// every intermediate mixed-precision configuration — the operating
+  /// points a CCQA v3 multi-point artifact ships (serve/artifact).
+  /// Persisted in the controller state (v2) so a resumed run keeps
+  /// appending, and in the snapshot via `save_snapshot`'s trail overload.
+  const RungTrail& trail() const { return trail_; }
+
   /// Final evaluation + accumulated records.  A resumed controller's
   /// result covers only the steps/epochs executed since `load_state`.
   CcqResult result();
@@ -152,6 +161,7 @@ class CcqController {
   HedgeCompetition hedge_;
 
   CcqResult result_;
+  RungTrail trail_;
   float recovery_target_ = 0.0f;
   int planned_steps_ = 0;
   int step_ = 0;

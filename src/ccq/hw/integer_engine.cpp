@@ -144,6 +144,7 @@ std::vector<std::int32_t> encode_doubled(const Tensor& q, float step,
 
 IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
   IntegerNetwork net;
+  std::vector<IntLayerPlan> plans;
   nn::Sequential& seq = model.net();
   float input_scale = kInputScale;  // scale of the incoming activations
 
@@ -219,7 +220,7 @@ IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
                       plan.out_channels, folded,
                       conv.has_bias() ? &conv.bias().value : nullptr, plan);
       if (plan.has_act) input_scale = act_scale(plan);
-      net.plans_.push_back(std::move(plan));
+      plans.push_back(std::move(plan));
     } else if (type == "Linear") {
       auto& fc = dynamic_cast<nn::Linear&>(module);
       IntLayerPlan plan;
@@ -238,7 +239,7 @@ IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
                       identity, fc.has_bias() ? &fc.bias().value : nullptr,
                       plan);
       if (plan.has_act) input_scale = act_scale(plan);
-      net.plans_.push_back(std::move(plan));
+      plans.push_back(std::move(plan));
     } else if (type == "MaxPool2d") {
       auto& pool = dynamic_cast<nn::MaxPool2d&>(module);
       IntLayerPlan plan;
@@ -246,7 +247,7 @@ IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
       plan.name = type + "@" + std::to_string(i);
       plan.pool_kernel = pool.kernel();
       plan.pool_stride = pool.stride();
-      net.plans_.push_back(plan);
+      plans.push_back(plan);
     } else if (type == "AvgPool2d") {
       auto& pool = dynamic_cast<nn::AvgPool2d&>(module);
       IntLayerPlan plan;
@@ -254,17 +255,17 @@ IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
       plan.name = type + "@" + std::to_string(i);
       plan.pool_kernel = pool.kernel();
       plan.pool_stride = pool.stride();
-      net.plans_.push_back(plan);
+      plans.push_back(plan);
     } else if (type == "GlobalAvgPool") {
       IntLayerPlan plan;
       plan.kind = IntLayerPlan::Kind::kGlobalAvgPool;
       plan.name = type + "@" + std::to_string(i);
-      net.plans_.push_back(plan);
+      plans.push_back(plan);
     } else if (type == "Flatten") {
       IntLayerPlan plan;
       plan.kind = IntLayerPlan::Kind::kFlatten;
       plan.name = type + "@" + std::to_string(i);
-      net.plans_.push_back(plan);
+      plans.push_back(plan);
     } else if (type == "Residual") {
       throw Error(
           "integer engine supports sequential topologies only; residual "
@@ -273,7 +274,9 @@ IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
       throw Error("integer engine: unsupported module " + type);
     }
   }
-  CCQ_CHECK(!net.plans_.empty(), "empty model");
+  CCQ_CHECK(!plans.empty(), "empty model");
+  net.rungs_.push_back(std::move(plans));
+  net.rung_info_.push_back(RungInfo{});
   net.finalize_plans();
   return net;
 }
@@ -281,26 +284,65 @@ IntegerNetwork IntegerNetwork::compile(models::QuantModel& model) {
 IntegerNetwork IntegerNetwork::from_plans(std::vector<IntLayerPlan> plans) {
   CCQ_CHECK(!plans.empty(), "cannot build an integer network from 0 plans");
   IntegerNetwork net;
-  net.plans_ = std::move(plans);
+  net.rungs_.push_back(std::move(plans));
+  net.rung_info_.push_back(RungInfo{});
   net.finalize_plans();
   return net;
 }
 
-void IntegerNetwork::finalize_plans() {
-  // Static bound on |incoming activation codes|, threaded layer to layer:
-  // the input snap is 8-bit (codes in [0, 255]); a b-bit activation grid
-  // emits codes in [0, 2^b − 1]; pooling and flatten keep values on (or,
-  // for averages, requantized back onto) the current grid, so they
-  // preserve the bound.  0 marks an unquantized producer — the consumer
-  // then accumulates in int64 unconditionally.
-  //
-  // $CCQ_IGEMM_KERNEL is read once for the whole network (kAuto when
-  // unset); each layer then resolves it against its own static bounds,
-  // so a 2-bit conv can run vec-packed while the int64-accumulating
-  // classifier head falls back to scalar in the same net.
-  const IgemmKernel requested = igemm_requested_kernel();
+IntegerNetwork IntegerNetwork::from_rungs(
+    std::vector<std::vector<IntLayerPlan>> rungs, std::vector<RungInfo> info) {
+  CCQ_CHECK(!rungs.empty(), "cannot build an integer network from 0 rungs");
+  CCQ_CHECK(rungs.size() == info.size(),
+            "rung info covers " + std::to_string(info.size()) +
+                " rungs, plan sets cover " + std::to_string(rungs.size()));
+  const std::vector<IntLayerPlan>& top = rungs.front();
+  CCQ_CHECK(!top.empty(), "cannot build an integer network from 0 plans");
+  for (std::size_t r = 1; r < rungs.size(); ++r) {
+    CCQ_CHECK(rungs[r].size() == top.size(),
+              "rung " + std::to_string(r) + " holds " +
+                  std::to_string(rungs[r].size()) + " layers, rung 0 holds " +
+                  std::to_string(top.size()));
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      const IntLayerPlan& a = top[i];
+      const IntLayerPlan& b = rungs[r][i];
+      // Rungs are precision variants of one network: the layer sequence
+      // and geometry are invariant, so check_input / shape pinning done
+      // against rung 0 hold for every rung.
+      CCQ_CHECK(a.name == b.name && a.kind == b.kind,
+                "rung " + std::to_string(r) + " layer " + std::to_string(i) +
+                    " ('" + b.name + "') does not match rung 0 ('" + a.name +
+                    "')");
+      CCQ_CHECK(a.in_channels == b.in_channels &&
+                    a.out_channels == b.out_channels && a.kernel == b.kernel &&
+                    a.stride == b.stride && a.pad == b.pad &&
+                    a.in_features == b.in_features &&
+                    a.out_features == b.out_features &&
+                    a.pool_kernel == b.pool_kernel &&
+                    a.pool_stride == b.pool_stride,
+                "rung " + std::to_string(r) + " layer '" + b.name +
+                    "' changes geometry across rungs");
+    }
+  }
+  IntegerNetwork net;
+  net.rungs_ = std::move(rungs);
+  net.rung_info_ = std::move(info);
+  net.finalize_plans();
+  return net;
+}
+
+namespace {
+
+/// One rung's finalize pass.  Static bound on |incoming activation
+/// codes|, threaded layer to layer: the input snap is 8-bit (codes in
+/// [0, 255]); a b-bit activation grid emits codes in [0, 2^b − 1];
+/// pooling and flatten keep values on (or, for averages, requantized
+/// back onto) the current grid, so they preserve the bound.  0 marks an
+/// unquantized producer — the consumer then accumulates in int64
+/// unconditionally.
+void finalize_rung(std::vector<IntLayerPlan>& plans, IgemmKernel requested) {
   std::int64_t in_bound = 255;
-  for (auto& plan : plans_) {
+  for (auto& plan : plans) {
     if (plan.kind == IntLayerPlan::Kind::kConv ||
         plan.kind == IntLayerPlan::Kind::kLinear) {
       const bool conv = plan.kind == IntLayerPlan::Kind::kConv;
@@ -383,9 +425,34 @@ void IntegerNetwork::finalize_plans() {
   }
 }
 
+}  // namespace
+
+void IntegerNetwork::finalize_plans() {
+  // $CCQ_IGEMM_KERNEL is read once for the whole network (kAuto when
+  // unset); each layer then resolves it against its own static bounds,
+  // so a 2-bit conv can run vec-packed while the int64-accumulating
+  // classifier head falls back to scalar in the same net.  Multi-point
+  // networks finalize every rung independently — each serving point
+  // gets its own kernel selection, accumulator proof and requant
+  // rederivation against its own bit widths.
+  const IgemmKernel requested = igemm_requested_kernel();
+  for (auto& plans : rungs_) finalize_rung(plans, requested);
+}
+
 const IntLayerPlan& IntegerNetwork::plan(std::size_t i) const {
-  CCQ_CHECK(i < plans_.size(), "plan index out of range");
-  return plans_[i];
+  return plan(0, i);
+}
+
+const IntLayerPlan& IntegerNetwork::plan(std::size_t rung,
+                                         std::size_t i) const {
+  CCQ_CHECK(rung < rungs_.size(), "rung index out of range");
+  CCQ_CHECK(i < rungs_[rung].size(), "plan index out of range");
+  return rungs_[rung][i];
+}
+
+const RungInfo& IntegerNetwork::rung_info(std::size_t rung) const {
+  CCQ_CHECK(rung < rung_info_.size(), "rung index out of range");
+  return rung_info_[rung];
 }
 
 namespace {
@@ -622,6 +689,13 @@ Tensor IntegerNetwork::forward(const Tensor& x, Workspace& ws) const {
 
 Tensor IntegerNetwork::forward(const Tensor& x, Workspace& ws,
                                const ExecContext& ctx) const {
+  return forward(x, ws, ctx, 0);
+}
+
+Tensor IntegerNetwork::forward(const Tensor& x, Workspace& ws,
+                               const ExecContext& ctx,
+                               std::size_t rung) const {
+  CCQ_CHECK(rung < rungs_.size(), "rung index out of range");
   CCQ_CHECK(x.rank() == 4, "integer engine expects NCHW input");
   // Representation state: while every layer keeps a quantized activation
   // grid the batch flows as integer codes (`codes` engaged, described by
@@ -667,7 +741,7 @@ Tensor IntegerNetwork::forward(const Tensor& x, Workspace& ws,
     }
   };
 
-  for (const auto& plan : plans_) {
+  for (const auto& plan : rungs_[rung]) {
     switch (plan.kind) {
       case IntLayerPlan::Kind::kConv: {
         const std::size_t n = shape[0], h = shape[2], w = shape[3];
@@ -897,6 +971,13 @@ Tensor IntegerNetwork::forward_reference(const Tensor& x) const {
 
 Tensor IntegerNetwork::forward_reference(const Tensor& x, Workspace& ws,
                                          const ExecContext& ctx) const {
+  return forward_reference(x, ws, ctx, 0);
+}
+
+Tensor IntegerNetwork::forward_reference(const Tensor& x, Workspace& ws,
+                                         const ExecContext& ctx,
+                                         std::size_t rung) const {
+  CCQ_CHECK(rung < rungs_.size(), "rung index out of range");
   CCQ_CHECK(x.rank() == 4, "integer engine expects NCHW input");
   // Mirror of forward()'s representation state with exact int32 codes:
   // identical branching and identical requant_apply / pool helpers, but
@@ -933,7 +1014,7 @@ Tensor IntegerNetwork::forward_reference(const Tensor& x, Workspace& ws,
     }
   };
 
-  for (const auto& plan : plans_) {
+  for (const auto& plan : rungs_[rung]) {
     switch (plan.kind) {
       case IntLayerPlan::Kind::kConv: {
         const std::size_t n = shape[0], h = shape[2], w = shape[3];
@@ -1140,9 +1221,11 @@ Tensor IntegerNetwork::forward_reference(const Tensor& x, Workspace& ws,
 
 std::size_t IntegerNetwork::macs_per_sample(std::size_t h,
                                             std::size_t w) const {
+  // Geometry is invariant across rungs (from_rungs checks it), so the
+  // MAC count and input validation below read rung 0.
   std::size_t total = 0;
   std::size_t cur_h = h, cur_w = w;
-  for (const auto& plan : plans_) {
+  for (const auto& plan : rungs_.front()) {
     switch (plan.kind) {
       case IntLayerPlan::Kind::kConv: {
         const ConvGeometry g{.in_channels = plan.in_channels,
@@ -1186,7 +1269,7 @@ void IntegerNetwork::check_input(std::size_t channels, std::size_t height,
   bool spatial = true;  // CHW code/activation map vs flattened features
   std::size_t c = channels, h = height, w = width;
   std::size_t features = 0;
-  for (const auto& plan : plans_) {
+  for (const auto& plan : rungs_.front()) {
     switch (plan.kind) {
       case IntLayerPlan::Kind::kConv: {
         CCQ_CHECK(spatial, "conv layer " + plan.name +

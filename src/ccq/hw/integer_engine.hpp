@@ -111,6 +111,16 @@ struct IntLayerPlan {
   std::size_t pool_kernel = 2, pool_stride = 2;
 };
 
+/// Provenance of one serving rung (operating point) of a multi-point
+/// network: which controller trail step produced its configuration and
+/// the validation accuracy the controller recorded there.  Rung 0 is the
+/// highest-precision (most accurate) point; the last rung is the final,
+/// lowest-precision configuration of the descent.
+struct RungInfo {
+  std::int32_t trail_step = -1;  ///< −1 = the final configuration
+  float val_acc = 0.0f;          ///< 0 when unknown
+};
+
 /// Encode a grid-valued tensor as doubled integer codes: q = (step/2)·c.
 /// Doubling covers both zero-centred grids (codes even) and half-offset
 /// grids like DoReFa's (codes odd).  Throws ccq::Error naming `layer`
@@ -134,6 +144,17 @@ class IntegerNetwork {
   /// loader's responsibility.  Throws on an empty plan list.
   static IntegerNetwork from_plans(std::vector<IntLayerPlan> plans);
 
+  /// Build a multi-point network: one plan set per serving rung, all
+  /// over the same layer sequence (same names, kinds and geometry —
+  /// only precision-dependent fields may differ).  Each rung re-runs
+  /// kernel selection, the accumulator proof and requant rederivation
+  /// through `finalize_plans`, so every operating point serves through
+  /// the kernels a fresh compile would pick.  `info` records each rung's
+  /// provenance and must match `rungs` in length.  Throws on zero rungs,
+  /// inconsistent layer sequences, or a length mismatch.
+  static IntegerNetwork from_rungs(std::vector<std::vector<IntLayerPlan>> rungs,
+                                   std::vector<RungInfo> info);
+
   /// Run inference over an (N, C, H, W) batch; returns (N, classes)
   /// logits.  All conv/linear arithmetic is integer, executed by
   /// `igemm_run` with each layer's selected kernel over its packed
@@ -148,6 +169,12 @@ class IntegerNetwork {
   Tensor forward(const Tensor& x) const;
   Tensor forward(const Tensor& x, Workspace& ws) const;
   Tensor forward(const Tensor& x, Workspace& ws, const ExecContext& ctx) const;
+  /// Run inference at serving rung `rung` (multi-point networks; the
+  /// rung-less overloads serve rung 0, the highest-precision point).
+  /// Every rung is bit-identical to `forward_reference` at the same
+  /// rung.  Throws on an out-of-range rung.
+  Tensor forward(const Tensor& x, Workspace& ws, const ExecContext& ctx,
+                 std::size_t rung) const;
 
   /// Specification datapath: the naive triple loop over int codes with
   /// unconditional int64 accumulation, applying the *same*
@@ -159,9 +186,18 @@ class IntegerNetwork {
   Tensor forward_reference(const Tensor& x) const;
   Tensor forward_reference(const Tensor& x, Workspace& ws,
                            const ExecContext& ctx) const;
+  Tensor forward_reference(const Tensor& x, Workspace& ws,
+                           const ExecContext& ctx, std::size_t rung) const;
 
-  std::size_t layer_count() const { return plans_.size(); }
+  std::size_t layer_count() const { return rungs_.front().size(); }
   const IntLayerPlan& plan(std::size_t i) const;
+
+  /// Number of serving rungs (≥ 1; single-point networks have exactly 1).
+  std::size_t rung_count() const { return rungs_.size(); }
+  /// Layer plan `i` at serving rung `rung`.
+  const IntLayerPlan& plan(std::size_t rung, std::size_t i) const;
+  /// Provenance of rung `rung` (all-default for single-point networks).
+  const RungInfo& rung_info(std::size_t rung) const;
 
   /// Total integer MAC operations for one sample at the compiled input
   /// geometry (populated during the first forward).
@@ -180,14 +216,20 @@ class IntegerNetwork {
  private:
   /// Build each plan's derived igemm payload (kernel selection, packed
   /// panel, max |code|, static accumulator choice) — runs once in
-  /// compile()/from_plans(), so artifact loads ship ready-packed panels
-  /// in the layout of the kernel that will execute them.  Reads
-  /// `$CCQ_IGEMM_KERNEL` once for the whole network; throws its
-  /// unknown-name error (listing available kernels) before any layer is
-  /// packed.
+  /// compile()/from_plans()/from_rungs(), per rung, so artifact loads
+  /// ship ready-packed panels in the layout of the kernel that will
+  /// execute them.  Reads `$CCQ_IGEMM_KERNEL` once for the whole
+  /// network; throws its unknown-name error (listing available kernels)
+  /// before any layer is packed.
   void finalize_plans();
 
-  std::vector<IntLayerPlan> plans_;
+  /// Plan sets, one per serving rung; invariant: non-empty, all rungs
+  /// hold the same layer sequence (count / name / kind / geometry).
+  /// Rung 0 is the highest-precision point.  Plans are immutable after
+  /// finalize, so switching the served rung between batches is just an
+  /// index change — nothing to synchronize.
+  std::vector<std::vector<IntLayerPlan>> rungs_;
+  std::vector<RungInfo> rung_info_;  ///< parallel to rungs_
 };
 
 }  // namespace ccq::hw

@@ -1,0 +1,85 @@
+#include "ccq/serve/adaptive.hpp"
+
+#include <algorithm>
+
+#include "ccq/common/error.hpp"
+
+namespace ccq::serve {
+
+OperatingPointController::OperatingPointController(OperatingPointPolicy policy,
+                                                   std::size_t rung_count,
+                                                   int latency_timer,
+                                                   int rung_gauge,
+                                                   int switch_counter)
+    : policy_(policy),
+      rung_count_(rung_count),
+      latency_timer_(latency_timer),
+      rung_gauge_(rung_gauge),
+      switch_counter_(switch_counter) {
+  CCQ_CHECK(rung_count_ >= 1, "a model serves at least one rung");
+  if (rung_count_ > 1 && policy_.fixed_rung < 0) {
+    CCQ_CHECK(policy_.restore_depth < policy_.degrade_depth,
+              "operating-point policy needs restore_depth (" +
+                  std::to_string(policy_.restore_depth) +
+                  ") < degrade_depth (" +
+                  std::to_string(policy_.degrade_depth) +
+                  ") — the gap is the hysteresis band");
+  }
+  if (policy_.fixed_rung >= 0) {
+    CCQ_CHECK(static_cast<std::size_t>(policy_.fixed_rung) < rung_count_,
+              "fixed_rung " + std::to_string(policy_.fixed_rung) +
+                  " out of range: model has " + std::to_string(rung_count_) +
+                  " rung(s)");
+    current_ = static_cast<std::size_t>(policy_.fixed_rung);
+  }
+  telemetry::set_named_gauge(rung_gauge_, static_cast<double>(current_));
+}
+
+bool OperatingPointController::latency_degrade() {
+  if (policy_.degrade_p99_us == 0 || latency_timer_ < 0) return false;
+  const telemetry::TimerStats stats =
+      telemetry::named_timer_stats(latency_timer_);
+  // p99 over the window since the last decision: subtract the previous
+  // snapshot bucket-wise so one historical spike cannot hold the model
+  // degraded forever.
+  telemetry::TimerStats window;
+  window.count = stats.count - last_stats_.count;
+  for (int b = 0; b < telemetry::kHistogramBuckets; ++b) {
+    window.buckets[b] = stats.buckets[b] - last_stats_.buckets[b];
+  }
+  last_stats_ = stats;
+  if (window.count == 0) return false;
+  const std::uint64_t p99_ns = telemetry::approx_quantile(window, 0.99);
+  return p99_ns > policy_.degrade_p99_us * 1000;
+}
+
+std::size_t OperatingPointController::decide(std::size_t queue_depth,
+                                             std::uint64_t now_ns) {
+  if (rung_count_ == 1 || policy_.fixed_rung >= 0) return current_;
+
+  // Evaluate the latency trigger unconditionally so the snapshot window
+  // advances every decision, not only when depth is quiet.
+  const bool hot_latency = latency_degrade();
+
+  if (switched_once_ &&
+      now_ns - last_switch_ns_ < policy_.min_dwell_us * 1000) {
+    return current_;
+  }
+
+  std::size_t next = current_;
+  if (queue_depth >= policy_.degrade_depth || hot_latency) {
+    next = std::min(current_ + 1, rung_count_ - 1);
+  } else if (queue_depth <= policy_.restore_depth && current_ > 0) {
+    next = current_ - 1;
+  }
+  if (next != current_) {
+    current_ = next;
+    last_switch_ns_ = now_ns;
+    switched_once_ = true;
+    telemetry::add_named(switch_counter_);
+    telemetry::set_named_gauge(rung_gauge_, static_cast<double>(current_));
+  }
+  return current_;
+}
+
+}  // namespace ccq::serve

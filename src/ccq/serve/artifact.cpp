@@ -7,6 +7,7 @@
 #include <fstream>
 #include <numeric>
 #include <type_traits>
+#include <utility>
 
 #include "ccq/common/fileio.hpp"
 
@@ -162,6 +163,65 @@ const char* kind_str(hw::IntLayerPlan::Kind kind) {
   return "?";
 }
 
+void write_packed_codes(ByteWriter& w, const std::vector<std::int32_t>& codes) {
+  const PackedCodes packed = pack_codes(codes);
+  w.zigzag(packed.min_code);
+  w.varint(packed.divisor);
+  w.pod(packed.bits);
+  w.varint(packed.count);
+  w.varint(packed.bytes.size());
+  w.raw(packed.bytes.data(), packed.bytes.size());
+}
+
+std::vector<std::int32_t> read_packed_codes(ByteReader& r) {
+  PackedCodes packed;
+  packed.min_code = static_cast<std::int32_t>(r.zigzag());
+  packed.divisor = static_cast<std::uint32_t>(r.varint());
+  packed.bits = r.pod<std::uint8_t>();
+  packed.count = r.varint();
+  const auto byte_count = r.varint();
+  const std::size_t expect_bytes =
+      (static_cast<std::size_t>(packed.count) * packed.bits + 7) / 8;
+  if (byte_count != expect_bytes) {
+    r.fail("packed code stream holds " + std::to_string(byte_count) +
+           " bytes, but " + std::to_string(packed.count) + " codes at " +
+           std::to_string(int(packed.bits)) + " bits need " +
+           std::to_string(expect_bytes));
+  }
+  packed.bytes = r.raw(static_cast<std::size_t>(byte_count));
+  return unpack_codes(packed);
+}
+
+// The fused fixed-point requantization record.  Only the per-channel
+// parameters are stored; `out_qmax` and `acc_bound` are exact integer
+// functions of the serialized act_bits / weight codes / geometry, so
+// `finalize_plans` rederives them at load time and the exporter and
+// loader always agree.
+void write_requant(ByteWriter& w, const hw::IntLayerPlan& plan) {
+  w.pod(static_cast<std::uint8_t>(plan.requant_fused ? 1 : 0));
+  if (plan.requant_fused) {
+    w.varint(plan.requant.size());
+    for (const Requant& rq : plan.requant) {
+      w.pod(rq.multiplier);
+      w.pod(static_cast<std::uint8_t>(rq.shift));
+      w.zigzag(rq.bias);
+    }
+  }
+}
+
+void read_requant(ByteReader& r, hw::IntLayerPlan& plan) {
+  plan.requant.clear();
+  plan.requant_fused = r.pod<std::uint8_t>() != 0;
+  if (plan.requant_fused) {
+    plan.requant.resize(static_cast<std::size_t>(r.varint()));
+    for (Requant& rq : plan.requant) {
+      rq.multiplier = r.pod<std::int32_t>();
+      rq.shift = r.pod<std::uint8_t>();
+      rq.bias = r.zigzag();
+    }
+  }
+}
+
 void write_plan(ByteWriter& w, const hw::IntLayerPlan& plan) {
   w.str(plan.name);
   w.pod(static_cast<std::uint8_t>(plan.kind));
@@ -175,29 +235,10 @@ void write_plan(ByteWriter& w, const hw::IntLayerPlan& plan) {
                           plan.pool_stride}) {
     w.varint(dim);
   }
-  const PackedCodes packed = pack_codes(plan.weight_codes);
-  w.zigzag(packed.min_code);
-  w.varint(packed.divisor);
-  w.pod(packed.bits);
-  w.varint(packed.count);
-  w.varint(packed.bytes.size());
-  w.raw(packed.bytes.data(), packed.bytes.size());
+  write_packed_codes(w, plan.weight_codes);
   w.floats(plan.channel_scale);
   w.floats(plan.bias);
-  // v2: fused fixed-point requantization record.  Only the per-channel
-  // parameters are stored; `out_qmax` and `acc_bound` are exact integer
-  // functions of the serialized act_bits / weight codes / geometry, so
-  // `finalize_plans` rederives them at load time and the exporter and
-  // loader always agree.
-  w.pod(static_cast<std::uint8_t>(plan.requant_fused ? 1 : 0));
-  if (plan.requant_fused) {
-    w.varint(plan.requant.size());
-    for (const Requant& rq : plan.requant) {
-      w.pod(rq.multiplier);
-      w.pod(static_cast<std::uint8_t>(rq.shift));
-      w.zigzag(rq.bias);
-    }
-  }
+  write_requant(w, plan);
 }
 
 hw::IntLayerPlan read_plan(ByteReader& r) {
@@ -219,37 +260,72 @@ hw::IntLayerPlan read_plan(ByteReader& r) {
                            &plan.pool_stride}) {
     *dim = static_cast<std::size_t>(r.varint());
   }
-  PackedCodes packed;
-  packed.min_code = static_cast<std::int32_t>(r.zigzag());
-  packed.divisor = static_cast<std::uint32_t>(r.varint());
-  packed.bits = r.pod<std::uint8_t>();
-  packed.count = r.varint();
-  const auto byte_count = r.varint();
-  const std::size_t expect_bytes =
-      (static_cast<std::size_t>(packed.count) * packed.bits + 7) / 8;
-  if (byte_count != expect_bytes) {
-    r.fail("packed code stream holds " + std::to_string(byte_count) +
-           " bytes, but " + std::to_string(packed.count) + " codes at " +
-           std::to_string(int(packed.bits)) + " bits need " +
-           std::to_string(expect_bytes));
-  }
-  packed.bytes = r.raw(static_cast<std::size_t>(byte_count));
-  const std::vector<std::int32_t> codes = unpack_codes(packed);
-  plan.weight_codes = codes;
+  plan.weight_codes = read_packed_codes(r);
   plan.channel_scale = r.floats();
   plan.bias = r.floats();
-  plan.requant_fused = r.pod<std::uint8_t>() != 0;
-  if (plan.requant_fused) {
-    plan.requant.resize(static_cast<std::size_t>(r.varint()));
-    for (Requant& rq : plan.requant) {
-      rq.multiplier = r.pod<std::int32_t>();
-      rq.shift = r.pod<std::uint8_t>();
-      rq.bias = r.zigzag();
-    }
-  }
+  read_requant(r, plan);
   // out_qmax / acc_bound are not serialized: finalize_plans rederives
   // them from act_bits and the unpacked weight codes.
   return plan;
+}
+
+// ---- v3 delta sections -----------------------------------------------------
+// A delta record rewrites the precision-dependent halves of one layer
+// plan relative to the next-lower rung: the codes section (weight bits +
+// packed codes) and/or the metadata section (activation grid, channel
+// scales, folded biases, requant record).  Identity and geometry never
+// appear — they are invariant across rungs and live in the base records.
+
+constexpr std::uint8_t kDeltaCodes = 1;  // flag bit 0
+constexpr std::uint8_t kDeltaMeta = 2;   // flag bit 1
+
+void write_delta_codes(ByteWriter& w, const hw::IntLayerPlan& plan) {
+  w.pod(static_cast<std::uint8_t>(plan.weight_bits));
+  write_packed_codes(w, plan.weight_codes);
+}
+
+void read_delta_codes(ByteReader& r, hw::IntLayerPlan& plan) {
+  plan.weight_bits = r.pod<std::uint8_t>();
+  plan.weight_codes = read_packed_codes(r);
+}
+
+void write_delta_meta(ByteWriter& w, const hw::IntLayerPlan& plan) {
+  w.pod(static_cast<std::uint8_t>(plan.has_act ? 1 : 0));
+  w.pod(static_cast<std::uint8_t>(plan.act_bits));
+  w.pod(plan.act_clip);
+  w.floats(plan.channel_scale);
+  w.floats(plan.bias);
+  write_requant(w, plan);
+}
+
+void read_delta_meta(ByteReader& r, hw::IntLayerPlan& plan) {
+  plan.has_act = r.pod<std::uint8_t>() != 0;
+  plan.act_bits = r.pod<std::uint8_t>();
+  plan.act_clip = r.pod<float>();
+  plan.channel_scale = r.floats();
+  plan.bias = r.floats();
+  read_requant(r, plan);
+}
+
+bool codes_equal(const hw::IntLayerPlan& a, const hw::IntLayerPlan& b) {
+  return a.weight_bits == b.weight_bits && a.weight_codes == b.weight_codes;
+}
+
+bool meta_equal(const hw::IntLayerPlan& a, const hw::IntLayerPlan& b) {
+  if (a.has_act != b.has_act || a.act_bits != b.act_bits ||
+      a.act_clip != b.act_clip || a.channel_scale != b.channel_scale ||
+      a.bias != b.bias || a.requant_fused != b.requant_fused ||
+      a.requant.size() != b.requant.size()) {
+    return false;
+  }
+  for (std::size_t c = 0; c < a.requant.size(); ++c) {
+    if (a.requant[c].multiplier != b.requant[c].multiplier ||
+        a.requant[c].shift != b.requant[c].shift ||
+        a.requant[c].bias != b.requant[c].bias) {
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Structural validation with expected-vs-found messages per layer.
@@ -374,19 +450,66 @@ std::vector<std::int32_t> unpack_codes(const PackedCodes& packed) {
   return codes;
 }
 
-void export_artifact(const hw::IntegerNetwork& net, const std::string& path) {
+namespace {
+
+/// v2 payload: full layer records of one rung.
+std::string encode_single_payload(const hw::IntegerNetwork& net,
+                                  std::size_t rung) {
   ByteWriter payload;
   for (std::size_t i = 0; i < net.layer_count(); ++i) {
-    write_plan(payload, net.plan(i));
+    write_plan(payload, net.plan(rung, i));
   }
-  const std::string& body = payload.bytes();
-  const std::uint64_t checksum = fnv1a(body.data(), body.size());
+  return payload.bytes();
+}
 
+/// v3 payload: rung table, base records, chained deltas (see artifact.hpp).
+std::string encode_multi_payload(const hw::IntegerNetwork& net) {
+  const std::size_t rungs = net.rung_count();
+  const std::size_t base = rungs - 1;
+  ByteWriter payload;
+  payload.varint(rungs);
+  for (std::size_t r = 0; r < rungs; ++r) {
+    payload.zigzag(net.rung_info(r).trail_step);
+    payload.pod(net.rung_info(r).val_acc);
+  }
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    write_plan(payload, net.plan(base, i));
+  }
+  for (std::size_t r = base; r-- > 0;) {
+    std::vector<std::pair<std::size_t, std::uint8_t>> deltas;
+    for (std::size_t i = 0; i < net.layer_count(); ++i) {
+      std::uint8_t flags = 0;
+      if (!codes_equal(net.plan(r, i), net.plan(r + 1, i))) {
+        flags |= kDeltaCodes;
+      }
+      if (!meta_equal(net.plan(r, i), net.plan(r + 1, i))) {
+        flags |= kDeltaMeta;
+      }
+      if (flags != 0) deltas.emplace_back(i, flags);
+    }
+    payload.varint(deltas.size());
+    for (const auto& [i, flags] : deltas) {
+      payload.varint(i);
+      payload.pod(flags);
+      if (flags & kDeltaCodes) write_delta_codes(payload, net.plan(r, i));
+      if (flags & kDeltaMeta) write_delta_meta(payload, net.plan(r, i));
+    }
+  }
+  return payload.bytes();
+}
+
+/// Fixed header size: 4-byte magic, u32 version, u32 layer count,
+/// u64 payload length, u64 checksum.
+constexpr std::size_t kHeaderBytes = 28;
+
+void write_artifact_file(const std::string& path, std::uint32_t version,
+                         std::size_t layer_count, const std::string& body) {
+  const std::uint64_t checksum = fnv1a(body.data(), body.size());
   atomic_write_file(path, [&](std::ostream& os) {
     ByteWriter header;
     header.raw(kArtifactMagic, sizeof(kArtifactMagic));
-    header.pod(kArtifactVersion);
-    header.pod(static_cast<std::uint32_t>(net.layer_count()));
+    header.pod(version);
+    header.pod(static_cast<std::uint32_t>(layer_count));
     header.pod(static_cast<std::uint64_t>(body.size()));
     header.pod(checksum);
     os.write(header.bytes().data(),
@@ -395,11 +518,17 @@ void export_artifact(const hw::IntegerNetwork& net, const std::string& path) {
   });
 }
 
-void export_artifact(models::QuantModel& model, const std::string& path) {
-  export_artifact(hw::IntegerNetwork::compile(model), path);
-}
+/// Everything a CCQA file holds, decoded and validated but not yet
+/// compiled into kernels — shared by load_artifact and inspect_artifact.
+struct ParsedArtifact {
+  std::uint32_t version = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t payload_bytes = 0;
+  std::vector<std::vector<hw::IntLayerPlan>> rungs;  ///< rung 0 = top
+  std::vector<hw::RungInfo> info;
+};
 
-hw::IntegerNetwork load_artifact(const std::string& path) {
+ParsedArtifact parse_artifact(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   CCQ_CHECK(static_cast<bool>(is), "cannot open artifact: " + path);
 
@@ -423,10 +552,19 @@ hw::IntegerNetwork load_artifact(const std::string& path) {
   const std::uint64_t payload_bytes = read_u64();
   const std::uint64_t checksum = read_u64();
   if (!is) throw Error("artifact " + path + ": truncated header");
-  if (version != kArtifactVersion) {
-    throw Error("artifact " + path + ": unsupported version " +
-                std::to_string(version) + " (this build reads version " +
-                std::to_string(kArtifactVersion) + ")");
+  // Version negotiation happens here, before a single payload byte is
+  // read: the header layout is shared by every version, so an old
+  // reader meeting a new file (and vice versa) always reaches this
+  // diagnostic rather than a parse error deep inside a payload it was
+  // never built to understand.
+  if (version != kArtifactVersion && version != kArtifactVersionMulti) {
+    throw Error(
+        "artifact " + path + ": unsupported version " +
+        std::to_string(version) + " (this build reads version " +
+        std::to_string(kArtifactVersion) + " and version " +
+        std::to_string(kArtifactVersionMulti) +
+        "); regenerate it with this build: ccq export --snapshot "
+        "<snapshot.bin> --out " + path);
   }
 
   std::string body(static_cast<std::size_t>(payload_bytes), '\0');
@@ -443,29 +581,305 @@ hw::IntegerNetwork load_artifact(const std::string& path) {
                 hex(checksum) + ", payload hashes to " + hex(computed) +
                 ") — file is corrupt");
   }
+  // Reject bytes past the declared payload, like the payload-internal
+  // exhaustion check below: an artifact with trailing garbage was not
+  // written by this exporter, however plausible its prefix.
+  if (is.peek() != std::ifstream::traits_type::eof()) {
+    throw Error("artifact " + path + ": file holds bytes past the declared " +
+                std::to_string(payload_bytes) +
+                "-byte payload — truncated or concatenated write?");
+  }
 
+  ParsedArtifact parsed;
+  parsed.version = version;
+  parsed.payload_bytes = payload_bytes;
+  parsed.file_bytes = payload_bytes + kHeaderBytes;
   ByteReader reader(std::move(body), path);
-  std::vector<hw::IntLayerPlan> plans;
-  plans.reserve(layer_count);
-  for (std::uint32_t i = 0; i < layer_count; ++i) {
-    plans.push_back(read_plan(reader));
-    validate_plan(reader, plans.back(), i);
+
+  if (version == kArtifactVersion) {
+    std::vector<hw::IntLayerPlan> plans;
+    plans.reserve(layer_count);
+    for (std::uint32_t i = 0; i < layer_count; ++i) {
+      plans.push_back(read_plan(reader));
+      validate_plan(reader, plans.back(), i);
+    }
+    parsed.rungs.push_back(std::move(plans));
+    parsed.info.push_back(hw::RungInfo{});
+  } else {
+    const auto rung_count = static_cast<std::size_t>(reader.varint());
+    if (rung_count < 2) {
+      reader.fail("multi-point artifact declares " +
+                  std::to_string(rung_count) +
+                  " rungs (a v3 file carries at least 2)");
+    }
+    parsed.info.resize(rung_count);
+    for (auto& info : parsed.info) {
+      info.trail_step = static_cast<std::int32_t>(reader.zigzag());
+      info.val_acc = reader.pod<float>();
+    }
+    parsed.rungs.resize(rung_count);
+    auto& base = parsed.rungs.back();
+    base.reserve(layer_count);
+    for (std::uint32_t i = 0; i < layer_count; ++i) {
+      base.push_back(read_plan(reader));
+      validate_plan(reader, base.back(), i);
+    }
+    for (std::size_t r = rung_count - 1; r-- > 0;) {
+      parsed.rungs[r] = parsed.rungs[r + 1];
+      const auto delta_count = static_cast<std::size_t>(reader.varint());
+      std::size_t prev_index = 0;
+      bool first = true;
+      for (std::size_t d = 0; d < delta_count; ++d) {
+        reader.set_context("");
+        const auto index = static_cast<std::size_t>(reader.varint());
+        if (index >= layer_count) {
+          reader.fail("rung " + std::to_string(r) + " delta names layer " +
+                      std::to_string(index) + " of " +
+                      std::to_string(layer_count));
+        }
+        if (!first && index <= prev_index) {
+          reader.fail("rung " + std::to_string(r) +
+                      " deltas are not in ascending layer order");
+        }
+        first = false;
+        prev_index = index;
+        hw::IntLayerPlan& plan = parsed.rungs[r][index];
+        reader.set_context(plan.name);
+        const auto flags = reader.pod<std::uint8_t>();
+        if (flags == 0 || (flags & ~(kDeltaCodes | kDeltaMeta)) != 0) {
+          reader.fail("rung " + std::to_string(r) + " delta carries flags " +
+                      std::to_string(flags));
+        }
+        if (flags & kDeltaCodes) read_delta_codes(reader, plan);
+        if (flags & kDeltaMeta) read_delta_meta(reader, plan);
+      }
+      for (std::size_t i = 0; i < parsed.rungs[r].size(); ++i) {
+        validate_plan(reader, parsed.rungs[r][i], i);
+      }
+    }
   }
   reader.set_context("");
   if (!reader.exhausted()) {
     reader.fail("trailing bytes after the declared " +
                 std::to_string(layer_count) + " layers");
   }
-  // from_plans re-finalizes: every layer selects its igemm kernel
-  // (honouring $CCQ_IGEMM_KERNEL) and re-packs its weight panel in that
-  // kernel's layout, so a loaded artifact serves with the same
-  // per-layer kernel choices a freshly compiled network would get on
-  // this host.  Re-throw with the artifact path so a bad kernel
-  // override at load time names what was being loaded.
+  return parsed;
+}
+
+}  // namespace
+
+void export_artifact(const hw::IntegerNetwork& net, const std::string& path) {
+  if (net.rung_count() == 1) {
+    write_artifact_file(path, kArtifactVersion, net.layer_count(),
+                        encode_single_payload(net, 0));
+  } else {
+    write_artifact_file(path, kArtifactVersionMulti, net.layer_count(),
+                        encode_multi_payload(net));
+  }
+}
+
+void export_artifact(models::QuantModel& model, const std::string& path) {
+  export_artifact(hw::IntegerNetwork::compile(model), path);
+}
+
+hw::IntegerNetwork load_artifact(const std::string& path) {
+  ParsedArtifact parsed = parse_artifact(path);
+  // from_plans / from_rungs re-finalize: every layer of every rung
+  // selects its igemm kernel (honouring $CCQ_IGEMM_KERNEL) and re-packs
+  // its weight panel in that kernel's layout, so a loaded artifact
+  // serves with the same per-layer kernel choices a freshly compiled
+  // network would get on this host.  Re-throw with the artifact path so
+  // a bad kernel override at load time names what was being loaded.
   try {
-    return hw::IntegerNetwork::from_plans(std::move(plans));
+    if (parsed.version == kArtifactVersion) {
+      return hw::IntegerNetwork::from_plans(std::move(parsed.rungs.front()));
+    }
+    return hw::IntegerNetwork::from_rungs(std::move(parsed.rungs),
+                                          std::move(parsed.info));
   } catch (const Error& e) {
     throw Error("artifact " + path + ": " + e.what());
+  }
+}
+
+ArtifactInfo inspect_artifact(const std::string& path) {
+  ParsedArtifact parsed = parse_artifact(path);
+  ArtifactInfo info;
+  info.version = parsed.version;
+  info.rung_count = parsed.rungs.size();
+  info.layer_count = parsed.rungs.front().size();
+  info.file_bytes = parsed.file_bytes;
+  info.payload_bytes = parsed.payload_bytes;
+  info.rungs = parsed.info;
+  info.layers.reserve(info.layer_count);
+  for (std::size_t i = 0; i < info.layer_count; ++i) {
+    ArtifactLayerInfo layer;
+    layer.name = parsed.rungs.front()[i].name;
+    layer.kind = kind_str(parsed.rungs.front()[i].kind);
+    for (const auto& rung : parsed.rungs) {
+      const hw::IntLayerPlan& plan = rung[i];
+      const bool weighted = plan.kind == hw::IntLayerPlan::Kind::kConv ||
+                            plan.kind == hw::IntLayerPlan::Kind::kLinear;
+      layer.weight_bits.push_back(weighted ? plan.weight_bits : 0);
+      layer.act_bits.push_back(plan.has_act ? plan.act_bits : 0);
+      layer.requant_fused.push_back(plan.requant_fused);
+    }
+    info.layers.push_back(std::move(layer));
+  }
+  // fp32-equivalent of the serialized tensors at one rung (weights,
+  // per-channel scales, folded biases) — rung choice is irrelevant, the
+  // counts are geometry, which is rung-invariant.
+  for (const auto& plan : parsed.rungs.front()) {
+    info.float_bytes += 4 * (plan.weight_codes.size() +
+                             plan.channel_scale.size() + plan.bias.size());
+  }
+  return info;
+}
+
+// ---- multi-point build -----------------------------------------------------
+
+namespace {
+
+/// Scoped restore of every non-frozen layer's ladder position —
+/// build_multipoint re-bins the registry per candidate rung and must
+/// put the model back even when a compile throws.
+class LadderPositionGuard {
+ public:
+  explicit LadderPositionGuard(quant::LayerRegistry& registry)
+      : registry_(registry) {
+    saved_.resize(registry.size());
+    for (std::size_t i = 0; i < registry.size(); ++i) {
+      saved_[i] = registry.unit(i).ladder_pos;
+    }
+  }
+  ~LadderPositionGuard() {
+    for (std::size_t i = 0; i < registry_.size(); ++i) {
+      if (registry_.unit(i).frozen) continue;
+      if (registry_.unit(i).ladder_pos != saved_[i]) {
+        registry_.set_ladder_pos(i, saved_[i]);
+      }
+    }
+  }
+  LadderPositionGuard(const LadderPositionGuard&) = delete;
+  LadderPositionGuard& operator=(const LadderPositionGuard&) = delete;
+
+ private:
+  quant::LayerRegistry& registry_;
+  std::vector<std::size_t> saved_;
+};
+
+/// Ladder positions of configuration t: every non-frozen layer starts at
+/// position 0 (the descent's initial quantization) and the first `t`
+/// trail steps are replayed on top.
+std::vector<std::size_t> config_at(const quant::LayerRegistry& registry,
+                                   const core::RungTrail& trail,
+                                   std::size_t t) {
+  std::vector<std::size_t> pos(registry.size(), 0);
+  for (std::size_t s = 0; s < t; ++s) {
+    const core::TrailStep& step = trail[s];
+    CCQ_CHECK(step.layer < registry.size(),
+              "rung trail step " + std::to_string(s) + " names layer " +
+                  std::to_string(step.layer) + " outside the registry");
+    CCQ_CHECK(!registry.unit(step.layer).frozen,
+              "rung trail step " + std::to_string(s) + " moves frozen layer " +
+                  registry.unit(step.layer).name);
+    CCQ_CHECK(step.ladder_pos < registry.ladder().size(),
+              "rung trail step " + std::to_string(s) + " puts layer " +
+                  registry.unit(step.layer).name + " at ladder position " +
+                  std::to_string(step.ladder_pos) + ", off the ladder (" +
+                  registry.ladder().str() + ")");
+    pos[step.layer] = step.ladder_pos;
+  }
+  return pos;
+}
+
+}  // namespace
+
+hw::IntegerNetwork build_multipoint(models::QuantModel& model,
+                                    const core::RungTrail& trail,
+                                    const MultiPointOptions& options) {
+  CCQ_CHECK(options.rungs >= 2,
+            "a multi-point artifact needs at least 2 rungs (use "
+            "export_artifact for a single operating point)");
+  CCQ_CHECK(options.size_budget >= 1.0, "size budget below 1x is unmeetable");
+  CCQ_CHECK(!trail.empty(),
+            "model has no rung trail — multi-point export needs the ladder "
+            "pick history (re-run `ccq run` with this build so the snapshot "
+            "records it)");
+  quant::LayerRegistry& registry = model.registry();
+  const std::size_t total = trail.size();
+
+  // The model must sit at the trail's final configuration: the replay
+  // quantizes the *final* weights at historical bit widths, so a trail
+  // that disagrees with the model would fabricate rungs the descent
+  // never visited.
+  const std::vector<std::size_t> final_pos = config_at(registry, trail, total);
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    if (registry.unit(i).frozen) continue;
+    CCQ_CHECK(registry.unit(i).ladder_pos == final_pos[i],
+              "rung trail ends with layer " + registry.unit(i).name +
+                  " at ladder position " + std::to_string(final_pos[i]) +
+                  ", but the model sits at " +
+                  std::to_string(registry.unit(i).ladder_pos) +
+                  " — snapshot and trail disagree");
+  }
+
+  LadderPositionGuard restore(registry);
+  const std::string single_payload =
+      encode_single_payload(hw::IntegerNetwork::compile(model), 0);
+  const auto budget =
+      static_cast<double>(single_payload.size() + kHeaderBytes) *
+                      options.size_budget;
+
+  // Candidate selection: `rungs` trail points evenly spaced over a span
+  // ending at the final configuration.  When the encoding busts the
+  // budget, shorten the span one step — candidates crowd toward the
+  // final configuration, deltas shrink, and the encoding approaches the
+  // single-point size.  One step (not a halving): the widest fitting
+  // span keeps the most rungs after deduplication, and a trail is at
+  // most 2× the layer count, so the retries stay cheap.
+  std::size_t span = total;
+  for (;;) {
+    std::vector<std::size_t> steps;
+    for (std::size_t j = 0; j < options.rungs; ++j) {
+      const std::size_t t =
+          total - span + span * j / (options.rungs - 1);
+      if (steps.empty() || t > steps.back()) steps.push_back(t);
+    }
+    std::vector<std::vector<hw::IntLayerPlan>> rungs;
+    std::vector<hw::RungInfo> info;
+    for (std::size_t t : steps) {
+      const std::vector<std::size_t> pos = config_at(registry, trail, t);
+      for (std::size_t i = 0; i < registry.size(); ++i) {
+        if (registry.unit(i).frozen) continue;
+        if (registry.unit(i).ladder_pos != pos[i]) {
+          registry.set_ladder_pos(i, pos[i]);
+        }
+      }
+      const hw::IntegerNetwork compiled = hw::IntegerNetwork::compile(model);
+      std::vector<hw::IntLayerPlan> plans;
+      plans.reserve(compiled.layer_count());
+      for (std::size_t i = 0; i < compiled.layer_count(); ++i) {
+        plans.push_back(compiled.plan(i));
+      }
+      rungs.push_back(std::move(plans));
+      hw::RungInfo rung;
+      rung.trail_step =
+          t == total ? -1 : static_cast<std::int32_t>(t);
+      rung.val_acc = t > 0 ? trail[t - 1].val_acc : 0.0f;
+      info.push_back(rung);
+    }
+    hw::IntegerNetwork net =
+        hw::IntegerNetwork::from_rungs(std::move(rungs), std::move(info));
+    const std::string multi_payload = encode_multi_payload(net);
+    if (static_cast<double>(multi_payload.size() + kHeaderBytes) <= budget) {
+      return net;
+    }
+    CCQ_CHECK(span > 1,
+              "multi-point artifact cannot meet the " +
+                  std::to_string(options.size_budget) +
+                  "x size budget even with adjacent rungs — raise "
+                  "MultiPointOptions::size_budget");
+    span -= 1;
   }
 }
 

@@ -26,6 +26,23 @@
 //             `acc_bound` are exact integer functions of the serialized
 //             fields and are rederived by `finalize_plans` at load.
 //
+// Version 3 — multi-point artifacts — keeps the same 28-byte header (so
+// any reader negotiates the version before touching the payload) and
+// replaces the payload with:
+//   varint rung_count R, then per rung {zigzag trail_step, f32 val_acc};
+//   the *base* rung (index R−1, the lowest-precision final configuration)
+//   as R full v2-format layer records; then, for each higher rung
+//   r = R−2 … 0, a chained delta against rung r+1: varint delta_count,
+//   then per delta {varint layer_index, u8 flags} with flag bit 0
+//   carrying a codes section (u8 weight_bits + packed codes) and bit 1 a
+//   metadata section (activation grid, channel scales, folded biases,
+//   requant record).  Layer identity and geometry are stored once, in
+//   the base records.  Weight codes are shared across rungs by
+//   construction — a layer's codes are re-encoded only at the rung where
+//   its precision actually changes — which is what keeps a ≥3-rung
+//   artifact within `MultiPointOptions::size_budget` of the single-point
+//   export (`build_multipoint` measures and enforces it).
+//
 // Writes are crash-safe (temp file + atomic rename, common/fileio) and
 // loads verify the checksum before parsing, so an interrupted export can
 // never leave a half-parseable artifact behind.
@@ -42,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "ccq/core/trail.hpp"
 #include "ccq/hw/integer_engine.hpp"
 #include "ccq/models/model.hpp"
 
@@ -53,6 +71,10 @@ inline constexpr char kArtifactMagic[4] = {'C', 'C', 'Q', 'A'};
 /// changes the layer boundary numerics, so silently serving a v1 artifact
 /// through the fused datapath would not replay the exporter's outputs.
 inline constexpr std::uint32_t kArtifactVersion = 2;
+/// Version 3: the multi-point (multi-rung) payload described above.
+/// Single-point networks still export as v2, so existing readers keep
+/// working until a model actually ships more than one operating point.
+inline constexpr std::uint32_t kArtifactVersionMulti = 3;
 
 /// Bit-packed integer codes: value[i] = min_code + divisor · packed[i],
 /// each packed entry `bits` wide, appended LSB-first.  `divisor` is the
@@ -81,9 +103,71 @@ void export_artifact(const hw::IntegerNetwork& net, const std::string& path);
 /// `IntegerNetwork::compile` contract) and export it.
 void export_artifact(models::QuantModel& model, const std::string& path);
 
-/// Load a packed artifact back into a runnable integer network.  Throws
-/// ccq::Error naming the file, the offending layer and the expected vs
-/// found geometry/bits on any header, checksum or per-layer mismatch.
+/// Load a packed artifact (v2 single-point or v3 multi-point) back into
+/// a runnable integer network.  Throws ccq::Error naming the file, the
+/// offending layer and the expected vs found geometry/bits on any
+/// header, checksum or per-layer mismatch; an unsupported version fails
+/// before any payload byte is read, naming the found and supported
+/// versions and the regeneration command.
 hw::IntegerNetwork load_artifact(const std::string& path);
+
+// ---- multi-point (adaptive-precision) export -------------------------------
+
+struct MultiPointOptions {
+  /// Operating points to ship, highest precision first.  ≥ 2 (a single
+  /// point is just `export_artifact`).  Candidate rungs are spaced
+  /// evenly over the trail; identical configurations are deduplicated,
+  /// so the artifact may carry fewer rungs than requested.
+  std::size_t rungs = 3;
+  /// Size ceiling as a multiple of the single-point artifact.  When the
+  /// evenly spaced candidates bust it, the span shrinks toward the final
+  /// configuration (smaller deltas) until the encoding fits; if even a
+  /// two-rung artifact cannot fit, build_multipoint throws.
+  double size_budget = 1.5;
+};
+
+/// Replay `trail` (the controller's ladder pick history — see
+/// core/trail.hpp) against `model`'s *final* trained weights and compile
+/// one plan set per selected operating point, returning a multi-rung
+/// network ready for `export_artifact` (which writes it as CCQA v3) or
+/// direct serving.  The model must currently sit at the trail's final
+/// configuration; its ladder positions are restored on return.  Rung 0
+/// is the earliest (highest-precision) selected configuration, the last
+/// rung the final one.  Throws on an empty trail, a trail inconsistent
+/// with the model, or an unmeetable size budget.
+hw::IntegerNetwork build_multipoint(models::QuantModel& model,
+                                    const core::RungTrail& trail,
+                                    const MultiPointOptions& options);
+
+// ---- inspection ------------------------------------------------------------
+
+/// Per-layer précis of an artifact, one entry per rung for the
+/// precision-dependent fields.
+struct ArtifactLayerInfo {
+  std::string name;
+  std::string kind;
+  std::vector<int> weight_bits;    ///< per rung; 0 for pool/reshape layers
+  std::vector<int> act_bits;       ///< per rung; 0 when no activation grid
+  std::vector<bool> requant_fused; ///< per rung
+};
+
+/// Summary returned by `inspect_artifact` (the `ccq inspect` payload).
+struct ArtifactInfo {
+  std::uint32_t version = 0;
+  std::size_t rung_count = 0;
+  std::size_t layer_count = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t payload_bytes = 0;
+  /// fp32-equivalent bytes of the serialized tensors (weight codes,
+  /// channel scales, folded biases at one rung) — the denominator of the
+  /// packed-vs-float compression ratio `ccq inspect` prints.
+  std::uint64_t float_bytes = 0;
+  std::vector<hw::RungInfo> rungs;  ///< per-rung provenance (v3; one default entry for v2)
+  std::vector<ArtifactLayerInfo> layers;
+};
+
+/// Parse and validate an artifact (v2 or v3) without building kernels or
+/// packing panels.  Same failure contract as `load_artifact`.
+ArtifactInfo inspect_artifact(const std::string& path);
 
 }  // namespace ccq::serve

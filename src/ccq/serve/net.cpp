@@ -99,10 +99,20 @@ struct TcpServer::Impl {
           const Tensor sample(
               {request.channels, request.height, request.width},
               std::move(request.data));
-          server.submit(model, sample, output).get();
+          SubmitOptions options;
+          std::int32_t served_rung = -1;
+          if (request.has_point) {
+            options.rung = request.point;
+            options.served_rung = &served_rung;
+          }
+          server.submit(model, sample, output, options).get();
           reply.ok = true;
           reply.version = model.version();
           reply.logits.assign(output.data().begin(), output.data().end());
+          if (request.has_point) {
+            reply.has_rung = true;
+            reply.rung = static_cast<std::uint32_t>(served_rung);
+          }
         } catch (const wire::ProtocolError&) {
           throw;  // malformed bytes: drop the connection, not just the call
         } catch (const std::exception& error) {

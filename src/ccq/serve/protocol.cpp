@@ -28,6 +28,11 @@ void put_str(std::string& buf, const std::string& s) {
   buf.append(s);
 }
 
+void put_zigzag(std::string& buf, std::int64_t v) {
+  put_varint(buf, (static_cast<std::uint64_t>(v) << 1) ^
+                      static_cast<std::uint64_t>(v >> 63));
+}
+
 void put_floats(std::string& buf, const std::vector<float>& v) {
   put_varint(buf, v.size());
   if (!v.empty()) {
@@ -78,6 +83,13 @@ class Cursor {
     }
     return v;
   }
+  std::int64_t zigzag() {
+    const std::uint64_t u = varint();
+    return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  }
+  /// True once the body is fully consumed — how optional trailing
+  /// fields detect their own absence.
+  bool done() const { return pos_ == data_.size(); }
   void finish(const char* what) const {
     if (pos_ != data_.size()) {
       throw ProtocolError(std::string(what) + " carries " +
@@ -136,6 +148,18 @@ bool extract_frame(std::string& buffer, std::string& body) {
 
 // ---- messages --------------------------------------------------------------
 
+namespace {
+
+// Optional trailing fields: {u8 field tag, value} pairs after the fixed
+// fields.  Old decoders treat any trailing byte as garbage (their
+// `finish` fires), and new decoders reject unknown tags the same way —
+// extensibility without weakening the trailing-garbage rejection the
+// codec tests lock in.
+constexpr std::uint8_t kFieldPoint = 1;  ///< InferRequest: zigzag rung override
+constexpr std::uint8_t kFieldRung = 1;   ///< InferReply: varint served rung
+
+}  // namespace
+
 std::string encode_request(const InferRequest& request) {
   std::string body;
   put_u8(body, static_cast<std::uint8_t>(MessageType::kInferRequest));
@@ -145,6 +169,10 @@ std::string encode_request(const InferRequest& request) {
   put_varint(body, request.height);
   put_varint(body, request.width);
   put_floats(body, request.data);
+  if (request.has_point) {
+    put_u8(body, kFieldPoint);
+    put_zigzag(body, request.point);
+  }
   return body;
 }
 
@@ -162,6 +190,16 @@ InferRequest decode_request(std::string_view body) {
   request.height = static_cast<std::size_t>(c.varint());
   request.width = static_cast<std::size_t>(c.varint());
   request.data = c.floats();
+  while (!c.done()) {
+    const auto field = c.u8();
+    if (field == kFieldPoint && !request.has_point) {
+      request.has_point = true;
+      request.point = static_cast<std::int32_t>(c.zigzag());
+    } else {
+      throw ProtocolError("InferRequest carries unknown trailing field tag " +
+                          std::to_string(field));
+    }
+  }
   c.finish("InferRequest");
   const std::string geometry = std::to_string(request.channels) + "x" +
                                std::to_string(request.height) + "x" +
@@ -200,6 +238,10 @@ std::string encode_reply(const InferReply& reply) {
     put_u8(body, static_cast<std::uint8_t>(MessageType::kReplyOk));
     put_varint(body, reply.version);
     put_floats(body, reply.logits);
+    if (reply.has_rung) {
+      put_u8(body, kFieldRung);
+      put_varint(body, reply.rung);
+    }
   } else {
     put_u8(body, static_cast<std::uint8_t>(MessageType::kReplyError));
     put_str(body, reply.error);
@@ -215,6 +257,16 @@ InferReply decode_reply(std::string_view body) {
     reply.ok = true;
     reply.version = c.varint();
     reply.logits = c.floats();
+    while (!c.done()) {
+      const auto field = c.u8();
+      if (field == kFieldRung && !reply.has_rung) {
+        reply.has_rung = true;
+        reply.rung = static_cast<std::uint32_t>(c.varint());
+      } else {
+        throw ProtocolError("InferReply carries unknown trailing field tag " +
+                            std::to_string(field));
+      }
+    }
     c.finish("InferReply");
   } else if (tag == static_cast<std::uint8_t>(MessageType::kReplyError)) {
     reply.ok = false;

@@ -74,6 +74,15 @@ enum class MessageType : std::uint8_t {
 
 /// One inference call: route `data` (a C×H×W sample, row-major) to
 /// `model` at `version` (0 = whatever version is current server-side).
+///
+/// The operating-point override travels as an *optional trailing field*
+/// ({u8 field tag, zigzag varint} after `data`, present only when
+/// `has_point`; unknown tags are rejected): an old
+/// client simply never emits it and decodes as before, while an old
+/// server receiving the tag rejects the frame with its existing
+/// trailing-bytes ProtocolError instead of silently ignoring the
+/// override — a request that asks for a precision the server cannot
+/// honour must not be served at an arbitrary one.
 struct InferRequest {
   std::string model;
   std::uint64_t version = 0;
@@ -81,15 +90,22 @@ struct InferRequest {
   std::size_t height = 0;
   std::size_t width = 0;
   std::vector<float> data;
+  bool has_point = false;       ///< operating-point tag present
+  std::int32_t point = -1;      ///< requested serving rung (−1 = server picks)
 };
 
 /// The answer: logits plus the version that actually served the request
 /// (so clients observe hot-swaps), or the server-side error message.
+/// `rung` is echoed (same optional-trailing-field scheme) only when the
+/// request carried an operating-point tag, so replies to untagged
+/// requests stay byte-identical to the previous protocol revision.
 struct InferReply {
   bool ok = false;
   std::uint64_t version = 0;    ///< served version (ok replies)
   std::vector<float> logits;    ///< ok replies
   std::string error;            ///< error replies
+  bool has_rung = false;        ///< serving-rung tag present
+  std::uint32_t rung = 0;       ///< rung that served the request
 };
 
 std::string encode_request(const InferRequest& request);

@@ -28,6 +28,12 @@ LoadedModel::LoadedModel(std::string name_in, std::uint64_t version_in,
       telemetry::named_metric(NamedKind::kTimer, prefix + "latency");
   metrics.batch_size =
       telemetry::named_metric(NamedKind::kTimer, prefix + "batch_size");
+  metrics.rung = telemetry::named_metric(NamedKind::kGauge, prefix + "rung");
+  metrics.rung_switches =
+      telemetry::named_metric(NamedKind::kCounter, prefix + "rung_switches");
+  point = OperatingPointController(config.adaptive, net.rung_count(),
+                                   metrics.latency, metrics.rung,
+                                   metrics.rung_switches);
 }
 
 }  // namespace detail

@@ -42,6 +42,7 @@
 
 #include "ccq/common/error.hpp"
 #include "ccq/hw/integer_engine.hpp"
+#include "ccq/serve/adaptive.hpp"
 
 namespace ccq::serve {
 
@@ -55,6 +56,9 @@ struct ModelConfig {
   std::size_t max_batch = 8;          ///< flush when this many requests wait …
   std::uint64_t max_delay_us = 1000;  ///< … or the oldest waited this long
   std::size_t queue_capacity = 64;    ///< per-model admission bound
+  /// Operating-point (serving rung) selection for multi-point models —
+  /// inert on single-rung networks.  See serve/adaptive.hpp.
+  OperatingPointPolicy adaptive;
 };
 
 /// Resolution failed: no model (or no such version) under that name.
@@ -82,6 +86,12 @@ struct Request {
   std::promise<void> promise;
   std::uint64_t enqueue_ns = 0;  ///< telemetry clock (serve latency)
   std::chrono::steady_clock::time_point enqueue_tp;  ///< batching deadline
+  /// Explicit operating-point override (validated at admission); −1 =
+  /// let the model's OperatingPointController choose at flush time.
+  std::int32_t rung = -1;
+  /// When non-null, receives the rung that actually served the request
+  /// (written before the promise is fulfilled).
+  std::int32_t* served_rung = nullptr;
 };
 
 /// One loaded model version: the compiled network plus its serving
@@ -106,6 +116,8 @@ struct LoadedModel {
     int queue_depth = -1;
     int latency = -1;
     int batch_size = -1;
+    int rung = -1;           ///< gauge: rung currently selected
+    int rung_switches = -1;  ///< counter: operating-point transitions
   } metrics;
 
   // ---- queue state: guarded by the owning InferenceServer's mutex ----
@@ -114,6 +126,9 @@ struct LoadedModel {
   Shape pinned_shape;        ///< sample shape, pinned by the first submit
   std::size_t in_flight = 0;
   bool retired = false;      ///< unloaded: admissions closed, queue drains
+  /// Rung selector — decisions happen at batch-flush time under the
+  /// owner's mutex, hence queue state.
+  OperatingPointController point;
 };
 
 }  // namespace detail

@@ -93,13 +93,25 @@ ModelHandle InferenceServer::resolve(const std::string& name,
 
 std::future<void> InferenceServer::submit(const ModelHandle& model,
                                           const Tensor& sample, Tensor& out) {
+  return submit(model, sample, out, SubmitOptions{});
+}
+
+std::future<void> InferenceServer::submit(const ModelHandle& model,
+                                          const Tensor& sample, Tensor& out,
+                                          const SubmitOptions& options) {
   CCQ_CHECK(sample.rank() == 3,
             "submit expects one CHW sample, got rank " +
                 std::to_string(sample.rank()));
   detail::LoadedModel& loaded = model.model();
+  CCQ_CHECK(options.rung < static_cast<std::int32_t>(loaded.net.rung_count()),
+            "operating-point override " + std::to_string(options.rung) +
+                " out of range: model " + loaded.name + " serves " +
+                std::to_string(loaded.net.rung_count()) + " rung(s)");
   detail::Request request;
   request.input = &sample;
   request.output = &out;
+  request.rung = options.rung < 0 ? -1 : options.rung;
+  request.served_rung = options.served_rung;
   request.enqueue_ns = telemetry::ScopedTimer::now_ns();
   request.enqueue_tp = Clock::now();
   std::future<void> future = request.promise.get_future();
@@ -229,14 +241,27 @@ void InferenceServer::worker_loop() {
     }
 
     detail::LoadedModel& model = *target;
-    const std::size_t take = std::min(model.queue.size(),
-                                      model.config.max_batch);
+    // Fix the batch's operating point before touching the queue: the
+    // front request's explicit override wins, otherwise the model's
+    // controller decides from the observed queue depth.  Only requests
+    // compatible with that rung (no preference, or the same override)
+    // join the batch — a batch is always one precision, structurally.
+    const std::int32_t batch_rung =
+        model.queue.front().rung >= 0
+            ? model.queue.front().rung
+            : static_cast<std::int32_t>(model.point.decide(
+                  model.queue.size(), telemetry::ScopedTimer::now_ns()));
+    const std::size_t limit = std::min(model.queue.size(),
+                                       model.config.max_batch);
     batch.clear();
-    batch.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(model.queue.front()));
+    batch.reserve(limit);
+    while (batch.size() < limit) {
+      detail::Request& front = model.queue.front();
+      if (front.rung >= 0 && front.rung != batch_rung) break;
+      batch.push_back(std::move(front));
       model.queue.pop_front();
     }
+    const std::size_t take = batch.size();
     model.in_flight += take;
     total_queued_ -= take;
     total_in_flight_ += take;
@@ -247,7 +272,7 @@ void InferenceServer::worker_loop() {
     const bool more_work = total_queued_ > 0;
     lock.unlock();
     if (more_work) work_cv_.notify_all();  // more work queued: wake peers
-    run_batch(model, batch, ws, ctx);
+    run_batch(model, batch, ws, ctx, static_cast<std::size_t>(batch_rung));
     lock.lock();
     model.in_flight -= take;
     total_in_flight_ -= take;
@@ -261,7 +286,8 @@ void InferenceServer::worker_loop() {
 
 void InferenceServer::run_batch(detail::LoadedModel& model,
                                 std::vector<detail::Request>& batch,
-                                Workspace& ws, const ExecContext& ctx) const {
+                                Workspace& ws, const ExecContext& ctx,
+                                std::size_t rung) const {
   const std::size_t n = batch.size();
   telemetry::add(telemetry::Counter::kServeBatches);
   telemetry::add_named(model.metrics.batches);
@@ -277,7 +303,7 @@ void InferenceServer::run_batch(detail::LoadedModel& model,
                 staging.data().begin() +
                     static_cast<std::ptrdiff_t>(i * sample_floats));
     }
-    Tensor logits = model.net.forward(staging, ws, ctx);
+    Tensor logits = model.net.forward(staging, ws, ctx, rung);
     ws.recycle(std::move(staging));
     const std::size_t classes = logits.dim(1);
     for (std::size_t i = 0; i < n; ++i) {
@@ -285,6 +311,9 @@ void InferenceServer::run_batch(detail::LoadedModel& model,
       out.resize({classes});
       const auto row = logits.data().subspan(i * classes, classes);
       std::copy(row.begin(), row.end(), out.data().begin());
+      if (batch[i].served_rung != nullptr) {
+        *batch[i].served_rung = static_cast<std::int32_t>(rung);
+      }
       const std::uint64_t latency =
           telemetry::ScopedTimer::now_ns() - batch[i].enqueue_ns;
       telemetry::record_duration(telemetry::Timer::kServeLatency, latency);

@@ -74,6 +74,20 @@ class ServerStoppedError : public Error {
   ServerStoppedError() : Error("inference server is stopped") {}
 };
 
+/// Per-request submission knobs (the no-options overloads pass
+/// defaults).
+struct SubmitOptions {
+  /// Operating-point override: serve this request at exactly rung
+  /// `rung` of the model's artifact.  −1 = let the model's
+  /// `OperatingPointController` choose at flush time.  Out-of-range
+  /// overrides are rejected at admission (ccq::Error naming the model's
+  /// rung count).
+  std::int32_t rung = -1;
+  /// When non-null, receives the rung that served the request, written
+  /// before its future becomes ready.  Must stay alive until then.
+  std::int32_t* served_rung = nullptr;
+};
+
 class InferenceServer {
  public:
   /// Start the shared worker pool; models are loaded separately.
@@ -121,6 +135,10 @@ class InferenceServer {
   /// through the future.
   std::future<void> submit(const ModelHandle& model, const Tensor& sample,
                            Tensor& out);
+  /// As above with per-request options (operating-point override /
+  /// served-rung report-back).
+  std::future<void> submit(const ModelHandle& model, const Tensor& sample,
+                           Tensor& out, const SubmitOptions& options);
 
   /// Convenience: resolve `name`'s current version and submit to it.
   std::future<void> submit(const std::string& name, const Tensor& sample,
@@ -146,7 +164,7 @@ class InferenceServer {
   void worker_loop();
   void run_batch(detail::LoadedModel& model,
                  std::vector<detail::Request>& batch, Workspace& ws,
-                 const ExecContext& ctx) const;
+                 const ExecContext& ctx, std::size_t rung) const;
   /// Mark `models` retired and prune already-idle ones from the scan
   /// list (the worker pool prunes the rest as their queues drain).
   void retire(const std::vector<ModelPtr>& models);

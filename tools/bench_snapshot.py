@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
 """Run a benchmark grid and snapshot it to a committed BENCH_*.json.
 
-Three suites cover the integer-inference datapath and the serving stack:
+Four suites cover the integer-inference datapath and the serving stack:
 
-  igemm   BM_IgemmForward -> BENCH_igemm.json
-          the kernel registry (scalar / vec16 / vec-packed) vs the naive
-          int64 reference, on a two-conv net whose quantized activations
-          make every layer fuse its requantization into the epilogue
-  engine  BM_EngineForward -> BENCH_engine.json
-          the end-to-end fused engine forward (u8 codes through igemm
-          epilogues, integer pooling, final decode) vs forward_reference
-  serve   BM_Serve* (bench_serve binary) -> BENCH_serve.json
-          the registry-routed inference server: closed-loop capacity
-          (producers x workers), an open-loop offered-load sweep with
-          p50/p99 latency and shed rate, and idle round-trip latency
+  igemm     BM_IgemmForward -> BENCH_igemm.json
+            the kernel registry (scalar / vec16 / vec-packed) vs the naive
+            int64 reference, on a two-conv net whose quantized activations
+            make every layer fuse its requantization into the epilogue
+  engine    BM_EngineForward -> BENCH_engine.json
+            the end-to-end fused engine forward (u8 codes through igemm
+            epilogues, integer pooling, final decode) vs forward_reference
+  serve     BM_Serve* (bench_serve binary) -> BENCH_serve.json
+            the registry-routed inference server: closed-loop capacity
+            (producers x workers), an open-loop offered-load sweep with
+            p50/p99 latency and shed rate, and idle round-trip latency
+  adaptive  BM_Adaptive* (bench_serve binary) -> BENCH_adaptive.json
+            adaptive-precision serving: the per-rung price list (closed
+            loop, 3-rung artifact pinned at each rung) and a scripted
+            up-then-down load ramp through the saturation knee.  The ramp
+            row is wall-clock-paced by construction; its regression
+            signal is the rung_switches / deepest_rung / final_rung /
+            shed_rate counters, not real time
 
 Typical use:
 
@@ -54,6 +61,11 @@ SUITES = {
         "filter": "BM_Serve",
         "binary": "bench_serve",
         "snapshot": REPO / "BENCH_serve.json",
+    },
+    "adaptive": {
+        "filter": "BM_Adaptive",
+        "binary": "bench_serve",
+        "snapshot": REPO / "BENCH_adaptive.json",
     },
 }
 
@@ -121,6 +133,10 @@ def parse_serve_rows(raw: dict) -> dict:
             key = f"open/{args['offered_rps']}rps"
         elif parts[0] == "BM_ServeLatency":
             key = f"latency/w{args['workers']}"
+        elif parts[0] == "BM_AdaptiveRung":
+            key = f"rung/{args['rung']}"
+        elif parts[0] == "BM_AdaptiveLoadRamp":
+            key = "ramp"
         else:
             continue
         rows[key] = {
@@ -131,6 +147,9 @@ def parse_serve_rows(raw: dict) -> dict:
             "shed_rate": b.get("shed_rate"),
             "allocs_per_iter": b.get("allocs_per_iter"),
         }
+        for counter in ("rung_switches", "deepest_rung", "final_rung"):
+            if counter in b:
+                rows[key][counter] = b[counter]
     return rows
 
 

@@ -16,7 +16,13 @@
 //   ccq export --snapshot s.bin --out model.ccqa …
 //       Pack a quantized snapshot into the bit-packed serving artifact
 //       (weights stored at their final ladder precision; same model/data
-//       flags as the run that produced the snapshot).
+//       flags as the run that produced the snapshot).  --rungs K builds
+//       a multi-point (CCQA v3) artifact instead, replaying the rung
+//       trail the snapshot recorded.
+//   ccq inspect --artifact model.ccqa
+//       Describe a packed artifact without serving it: format version,
+//       per-layer bits at every rung, requant coverage, and the packed
+//       size against the fp32 equivalent of the same tensors.
 //   ccq serve --listen 7070 [--artifact model.ccqa] [--name m] …
 //       Host a model behind the TCP front end (serve/net.hpp) until
 //       stdin closes; clients speak the length-prefixed wire protocol
@@ -191,7 +197,9 @@ int finish_run(const Args& args, Experiment& exp,
 
   const std::string snapshot = args.get("snapshot", "");
   if (!snapshot.empty()) {
-    core::save_snapshot(exp.model, snapshot);
+    // The trail rides along so `export --rungs K` can replay the
+    // descent's intermediate configurations as serving rungs.
+    core::save_snapshot(exp.model, snapshot, controller.trail());
     std::cout << "snapshot -> " << snapshot << "\n";
   }
   const std::string state = args.get("state", "");
@@ -300,7 +308,25 @@ int cmd_export(const Args& args) {
   Experiment exp = prepare(args, /*pretrain=*/false);
   CCQ_CHECK(core::load_snapshot(exp.model, snapshot),
             "snapshot not found: " + snapshot);
-  serve::export_artifact(exp.model, out);
+  const auto rungs = static_cast<std::size_t>(args.get_int("rungs", 1));
+  if (rungs >= 2) {
+    const core::RungTrail trail = core::load_trail(snapshot);
+    CCQ_CHECK(!trail.empty(),
+              "snapshot " + snapshot +
+                  " records no rung trail — re-run `ccq run --snapshot ...` "
+                  "with this build so multi-point export can replay the "
+                  "ladder pick history");
+    serve::MultiPointOptions mp;
+    mp.rungs = rungs;
+    mp.size_budget = args.get_double("rung-budget", 1.5);
+    const hw::IntegerNetwork net =
+        serve::build_multipoint(exp.model, trail, mp);
+    serve::export_artifact(net, out);
+    std::cout << "multi-point artifact: " << net.rung_count()
+              << " serving rungs\n";
+  } else {
+    serve::export_artifact(exp.model, out);
+  }
   const auto artifact_bytes = std::filesystem::file_size(out);
   const auto snapshot_bytes = std::filesystem::file_size(snapshot);
   std::cout << "artifact -> " << out << " (" << artifact_bytes << " bytes, "
@@ -310,6 +336,72 @@ int cmd_export(const Args& args) {
             << "x smaller than the " << snapshot_bytes
             << "-byte float snapshot)\n";
   return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  const std::string path = args.get("artifact", "");
+  CCQ_CHECK(!path.empty(), "inspect needs --artifact <model.ccqa>");
+  const serve::ArtifactInfo info = serve::inspect_artifact(path);
+  std::cout << path << ": CCQA v" << info.version << ", " << info.layer_count
+            << " layers, " << info.rung_count
+            << (info.rung_count == 1 ? " rung, " : " rungs, ")
+            << info.file_bytes << " bytes (" << info.payload_bytes
+            << " payload)\n";
+  if (info.rung_count > 1) {
+    Table rungs({"rung", "trail step", "val top-1"});
+    for (std::size_t r = 0; r < info.rungs.size(); ++r) {
+      rungs.add_row({std::to_string(r),
+                     info.rungs[r].trail_step < 0
+                         ? "final"
+                         : std::to_string(info.rungs[r].trail_step),
+                     info.rungs[r].val_acc > 0.0f
+                         ? Table::fmt(100.0 * info.rungs[r].val_acc, 1)
+                         : "-"});
+    }
+    rungs.print(std::cout);
+  }
+  // Per-rung values joined r0/r1/…: one row per layer stays readable at
+  // any rung count.
+  const auto joined = [](const std::vector<int>& v) {
+    std::string s;
+    for (int x : v) {
+      s += (s.empty() ? "" : "/") + (x == 0 ? std::string("-")
+                                            : std::to_string(x));
+    }
+    return s;
+  };
+  Table layers({"layer", "kind", "w bits", "act bits", "requant"});
+  for (const serve::ArtifactLayerInfo& layer : info.layers) {
+    std::string requant;
+    for (const bool fused : layer.requant_fused) {
+      requant += (requant.empty() ? "" : "/") + std::string(fused ? "y" : "n");
+    }
+    layers.add_row({layer.name, layer.kind, joined(layer.weight_bits),
+                    joined(layer.act_bits), requant});
+  }
+  layers.print(std::cout);
+  std::cout << "packed "
+            << Table::fmt(static_cast<double>(info.float_bytes) /
+                              static_cast<double>(info.file_bytes),
+                          2)
+            << "x smaller than the " << info.float_bytes
+            << "-byte fp32 equivalent of the same tensors\n";
+  return 0;
+}
+
+// Adaptive serving knobs shared by `serve` and `serve-bench` — inert
+// unless the loaded artifact carries more than one rung.
+serve::OperatingPointPolicy adaptive_policy_from(const Args& args) {
+  serve::OperatingPointPolicy policy;
+  policy.degrade_depth =
+      static_cast<std::size_t>(args.get_int("degrade-depth", 16));
+  policy.restore_depth =
+      static_cast<std::size_t>(args.get_int("restore-depth", 2));
+  policy.degrade_p99_us =
+      static_cast<std::uint64_t>(args.get_int("degrade-p99-us", 0));
+  policy.min_dwell_us = static_cast<std::uint64_t>(args.get_int("dwell-us", 0));
+  policy.fixed_rung = args.get_int("rung", -1);
+  return policy;
 }
 
 // Shared by `serve` and `serve-bench`: the network to host — a packed
@@ -354,6 +446,7 @@ int cmd_serve(const Args& args) {
   mc.max_delay_us =
       static_cast<std::uint64_t>(args.get_int("max-delay-us", 1000));
   mc.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 64));
+  mc.adaptive = adaptive_policy_from(args);
   const std::string name = serve_model_name(args);
   const serve::ModelHandle handle = server.load(name, serve_network(args), mc);
 
@@ -386,6 +479,7 @@ int cmd_serve_bench(const Args& args) {
   mc.max_delay_us =
       static_cast<std::uint64_t>(args.get_int("max-delay-us", 200));
   mc.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 64));
+  mc.adaptive = adaptive_policy_from(args);
   const auto requests = static_cast<std::size_t>(args.get_int("requests", 512));
   const auto image = static_cast<std::size_t>(args.get_int("image", 16));
   const double rate = args.get_double("rate", 0.0);  // 0 = closed loop
@@ -475,6 +569,7 @@ void usage() {
       "  oneshot   one-shot quantize + fine-tune baseline\n"
       "  power     iso-throughput power of precision configurations\n"
       "  export    pack a snapshot into the bit-packed serving artifact\n"
+      "  inspect   describe a packed artifact (--artifact model.ccqa)\n"
       "  serve     host a model behind the TCP front end (--listen <port>)\n"
       "  serve-bench  drive the registry-routed inference server\n"
       "  policies  list quantization policies\n"
@@ -491,13 +586,17 @@ void usage() {
       "  --metrics-out m.json   counters/timers report (also $CCQ_METRICS)\n"
       "  --progress [--verbose] per-step progress lines\n"
       "export flags: --snapshot s.bin --out model.ccqa\n"
+      "  --rungs K --rung-budget 1.5   multi-point (CCQA v3) artifact\n"
       "serve flags: --listen 7070 --artifact model.ccqa --name m\n"
       "  --workers 2 --max-batch 8 --max-delay-us 1000 --queue-cap 64\n"
       "serve-bench flags: --artifact model.ccqa (else random weights)\n"
       "  --workers 2 --max-batch 8 --max-delay-us 200 --queue-cap 64\n"
       "  --intra-op 1 --requests 512 --producers 4\n"
       "  --rate R   open loop at R offered req/s (default: closed loop)\n"
-      "  --tcp      drive through a loopback TCP front end\n";
+      "  --tcp      drive through a loopback TCP front end\n"
+      "adaptive flags (serve / serve-bench, multi-rung artifacts):\n"
+      "  --degrade-depth 16 --restore-depth 2   queue-depth hysteresis\n"
+      "  --degrade-p99-us 0 --dwell-us 0 --rung -1 (pin one rung)\n";
 }
 
 }  // namespace
@@ -513,6 +612,7 @@ int main(int argc, char** argv) {
     if (args.command() == "oneshot") return cmd_oneshot(args);
     if (args.command() == "power") return cmd_power(args);
     if (args.command() == "export") return cmd_export(args);
+    if (args.command() == "inspect") return cmd_inspect(args);
     if (args.command() == "serve") return cmd_serve(args);
     if (args.command() == "serve-bench") return cmd_serve_bench(args);
     if (args.command() == "policies") return cmd_policies();

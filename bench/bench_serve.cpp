@@ -13,6 +13,12 @@
 //     without it).
 //   * BM_ServeLatency — single request on an idle server: the floor the
 //     batching delay adds to.
+//   * BM_ServeMixedPriority — two models at a 4:1 fair-share weight
+//     ratio under a mixed-priority (low/normal/high) open-loop sweep:
+//     per-class p50/p99 from the `serve.<model>.latency.<class>`
+//     histograms and the shed split per class.  Shed rates here (and in
+//     the open-loop rows) are computed against `HarnessReport::offered`
+//     — true submission attempts — not the sample count.
 //   * BM_AdaptiveRung — the per-rung price list: closed-loop capacity of
 //     a 3-rung multi-point artifact pinned at each serving rung.
 //   * BM_AdaptiveLoadRamp — a scripted up-then-down offered-load ramp
@@ -31,6 +37,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "ccq/common/alloc.hpp"
@@ -205,9 +213,9 @@ void BM_ServeOpenLoop(benchmark::State& state) {
   std::size_t offered = 0, served = 0, shed = 0;
   for (auto _ : state) {
     const serve::HarnessReport report = harness.run(samples, options);
-    offered += samples.dim(0);
+    offered += report.offered;
     served += report.requests;
-    shed += report.rejected;
+    shed += report.rejected + report.shed;
     benchmark::DoNotOptimize(report.outputs.data());
   }
   const int timer = telemetry::find_named_metric(telemetry::NamedKind::kTimer,
@@ -274,6 +282,102 @@ BENCHMARK(BM_ServeLatency)
     ->Arg(4)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
+
+/// Two models sharing one pool at a 4:1 fair-share weight ratio, each
+/// under an open-loop mixed-priority load (samples cycle through
+/// low/normal/high).  Per-class p50/p99 come from the per-model
+/// `serve.<model>.latency.<class>` histograms merged across the two
+/// models; the shed split per class from `serve.<model>.shed.<class>`.
+/// Axis: total offered requests/second across both models.
+void BM_ServeMixedPriority(benchmark::State& state) {
+  serve::ServeConfig config;
+  config.workers = 2;
+  serve::InferenceServer server(config);
+  serve::ModelConfig heavy;
+  heavy.max_batch = 8;
+  heavy.max_delay_us = 1000;
+  heavy.queue_capacity = 64;
+  heavy.weight = 4.0;
+  serve::ModelConfig light = heavy;
+  light.weight = 1.0;
+  server.load("bench-heavy", bench_network(), heavy);
+  server.load("bench-light", bench_network(), light);
+  serve::ServeHarness drive_heavy(server, "bench-heavy");
+  serve::ServeHarness drive_light(server, "bench-light");
+
+  const Tensor samples = bench_samples(128);
+  serve::HarnessOptions options;
+  options.producers = 2;
+  options.offered_rps = static_cast<double>(state.range(0)) / 2.0;  // per model
+  options.priorities.resize(samples.dim(0));
+  for (std::size_t i = 0; i < options.priorities.size(); ++i) {
+    options.priorities[i] = static_cast<serve::Priority>(i % 3);
+  }
+
+  drive_heavy.run(samples, {.producers = 2});  // warm (closed loop)
+  drive_light.run(samples, {.producers = 2});
+  const bool metrics_were_on = telemetry::metrics_enabled();
+  telemetry::set_metrics_enabled(true);
+  telemetry::reset_metrics();
+  std::size_t offered = 0, served = 0, shed = 0;
+  for (auto _ : state) {
+    serve::HarnessReport heavy_report;
+    std::thread heavy_thread(
+        [&] { heavy_report = drive_heavy.run(samples, options); });
+    const serve::HarnessReport light_report =
+        drive_light.run(samples, options);
+    heavy_thread.join();
+    offered += heavy_report.offered + light_report.offered;
+    served += heavy_report.requests + light_report.requests;
+    shed += heavy_report.rejected + heavy_report.shed + light_report.rejected +
+            light_report.shed;
+    benchmark::DoNotOptimize(heavy_report.outputs.data());
+    benchmark::DoNotOptimize(light_report.outputs.data());
+  }
+  const char* const models[] = {"bench-heavy", "bench-light"};
+  for (int p = 0; p < static_cast<int>(serve::kPriorityCount); ++p) {
+    const std::string cls = serve::priority_name(static_cast<serve::Priority>(p));
+    telemetry::TimerStats merged;
+    std::uint64_t class_shed = 0;
+    for (const char* model : models) {
+      const std::string prefix = std::string("serve.") + model + ".";
+      const int timer = telemetry::find_named_metric(
+          telemetry::NamedKind::kTimer, prefix + "latency." + cls);
+      if (timer >= 0) {
+        const telemetry::TimerStats stats = telemetry::named_timer_stats(timer);
+        merged.count += stats.count;
+        for (int b = 0; b < telemetry::kHistogramBuckets; ++b) {
+          merged.buckets[static_cast<std::size_t>(b)] +=
+              stats.buckets[static_cast<std::size_t>(b)];
+        }
+      }
+      const int shed_counter = telemetry::find_named_metric(
+          telemetry::NamedKind::kCounter, prefix + "shed." + cls);
+      if (shed_counter >= 0) {
+        class_shed += telemetry::named_counter_value(shed_counter);
+      }
+    }
+    state.counters["p50_" + cls + "_us"] = benchmark::Counter(
+        static_cast<double>(telemetry::approx_quantile(merged, 0.50)) / 1e3);
+    state.counters["p99_" + cls + "_us"] = benchmark::Counter(
+        static_cast<double>(telemetry::approx_quantile(merged, 0.99)) / 1e3);
+    state.counters["shed_" + cls] = benchmark::Counter(
+        static_cast<double>(class_shed) /
+        static_cast<double>(state.iterations()));
+  }
+  state.counters["shed_rate"] = benchmark::Counter(
+      offered == 0 ? 0.0
+                   : static_cast<double>(shed) / static_cast<double>(offered));
+  telemetry::set_metrics_enabled(metrics_were_on);
+  state.SetItemsProcessed(static_cast<std::int64_t>(served));
+}
+BENCHMARK(BM_ServeMixedPriority)
+    ->ArgNames({"offered_rps"})
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Arg(64000)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 /// The per-rung price list: closed-loop capacity of the 3-rung artifact
 /// pinned at each serving rung (`adaptive.fixed_rung`).  Rung 0 is the
@@ -354,8 +458,8 @@ void BM_AdaptiveLoadRamp(benchmark::State& state) {
   std::int32_t deepest = 0;
   for (auto _ : state) {
     const serve::HarnessReport report = harness.run(samples, options);
-    offered += samples.dim(0);
-    shed += report.rejected;
+    offered += report.offered;
+    shed += report.rejected + report.shed;
     for (const std::int32_t rung : report.rungs) {
       deepest = std::max(deepest, rung);
     }

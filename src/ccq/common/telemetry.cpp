@@ -38,6 +38,8 @@ const char* counter_name(Counter id) {
     case Counter::kServeRequests: return "serve.requests";
     case Counter::kServeRejected: return "serve.rejected";
     case Counter::kServeBatches: return "serve.batches";
+    case Counter::kServeShed: return "serve.shed";
+    case Counter::kServeDeadlineMiss: return "serve.deadline_miss";
     case Counter::kCount: break;
   }
   return "?";

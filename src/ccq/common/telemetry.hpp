@@ -55,6 +55,9 @@ enum class Counter : int {
   kServeRequests,     ///< inference requests admitted to the serve queue
   kServeRejected,     ///< inference requests rejected (queue full / stopped)
   kServeBatches,      ///< dynamic batches flushed by serve workers
+  kServeShed,         ///< requests shed by admission control (rejected at the
+                      ///< door on a full queue, or evicted for priority)
+  kServeDeadlineMiss, ///< requests dropped expired at dequeue time
   kCount
 };
 

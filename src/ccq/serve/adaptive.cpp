@@ -25,6 +25,9 @@ OperatingPointController::OperatingPointController(OperatingPointPolicy policy,
                   std::to_string(policy_.degrade_depth) +
                   ") — the gap is the hysteresis band");
   }
+  CCQ_CHECK(policy_.degrade_miss_rate >= 0.0 && policy_.degrade_miss_rate <= 1.0,
+            "degrade_miss_rate must be within [0, 1], got " +
+                std::to_string(policy_.degrade_miss_rate));
   if (policy_.fixed_rung >= 0) {
     CCQ_CHECK(static_cast<std::size_t>(policy_.fixed_rung) < rung_count_,
               "fixed_rung " + std::to_string(policy_.fixed_rung) +
@@ -53,28 +56,51 @@ bool OperatingPointController::latency_degrade() {
   return p99_ns > policy_.degrade_p99_us * 1000;
 }
 
-std::size_t OperatingPointController::decide(std::size_t queue_depth,
-                                             std::uint64_t now_ns) {
+bool OperatingPointController::deadline_degrade(const LoadSignals& signals) {
+  if (policy_.degrade_miss_rate <= 0.0) return false;
+  if (signals.admitted < last_admitted_ ||
+      signals.deadline_misses < last_misses_) {
+    // Counters went backwards: the caller mixed signal sources (the
+    // two-argument `decide` carries no counters) or reset them.  An
+    // unsigned window would wrap to ~2^64 and degrade forever —
+    // resnapshot instead and report a quiet window.
+    last_admitted_ = signals.admitted;
+    last_misses_ = signals.deadline_misses;
+    return false;
+  }
+  // Window against the previous decision, like the latency trigger.
+  const std::uint64_t admitted = signals.admitted - last_admitted_;
+  const std::uint64_t misses = signals.deadline_misses - last_misses_;
+  last_admitted_ = signals.admitted;
+  last_misses_ = signals.deadline_misses;
+  if (admitted == 0) return misses > 0;
+  return static_cast<double>(misses) >
+         policy_.degrade_miss_rate * static_cast<double>(admitted);
+}
+
+std::size_t OperatingPointController::decide(const LoadSignals& signals) {
   if (rung_count_ == 1 || policy_.fixed_rung >= 0) return current_;
 
-  // Evaluate the latency trigger unconditionally so the snapshot window
-  // advances every decision, not only when depth is quiet.
+  // Evaluate the windowed triggers unconditionally so their snapshots
+  // advance every decision, not only when depth is quiet.
   const bool hot_latency = latency_degrade();
+  const bool hot_deadlines = deadline_degrade(signals);
 
   if (switched_once_ &&
-      now_ns - last_switch_ns_ < policy_.min_dwell_us * 1000) {
+      signals.now_ns - last_switch_ns_ < policy_.min_dwell_us * 1000) {
     return current_;
   }
 
   std::size_t next = current_;
-  if (queue_depth >= policy_.degrade_depth || hot_latency) {
+  if (signals.queue_depth >= policy_.degrade_depth || hot_latency ||
+      hot_deadlines) {
     next = std::min(current_ + 1, rung_count_ - 1);
-  } else if (queue_depth <= policy_.restore_depth && current_ > 0) {
+  } else if (signals.queue_depth <= policy_.restore_depth && current_ > 0) {
     next = current_ - 1;
   }
   if (next != current_) {
     current_ = next;
-    last_switch_ns_ = now_ns;
+    last_switch_ns_ = signals.now_ns;
     switched_once_ = true;
     telemetry::add_named(switch_counter_);
     telemetry::set_named_gauge(rung_gauge_, static_cast<double>(current_));

@@ -51,11 +51,29 @@ struct OperatingPointPolicy {
   /// `serve.<name>.latency` histogram, measured between decisions)
   /// exceeds this many microseconds.  0 disables the latency trigger.
   std::uint64_t degrade_p99_us = 0;
+  /// Also degrade on deadline pressure: when the fraction of admitted
+  /// requests that expired at dequeue, measured between decisions,
+  /// exceeds this rate.  Misses are a sharper degrade signal than raw
+  /// depth — a deep queue of lax-deadline requests is healthy, a
+  /// shallow queue that keeps expiring is not.  0 disables; must be
+  /// within [0, 1].
+  double degrade_miss_rate = 0.0;
   /// Minimum time between consecutive rung switches.  0 = none.
   std::uint64_t min_dwell_us = 0;
   /// Pin the model to one rung (index into the artifact's rungs),
   /// disabling load-driven switching.  −1 = adaptive.
   std::int32_t fixed_rung = -1;
+};
+
+/// Everything a flush-time rung decision looks at.  The server fills
+/// the deadline-pressure fields from the model's lifetime counters (the
+/// controller windows them itself); the two-argument `decide` overload
+/// leaves them zero, which keeps the miss trigger inert.
+struct LoadSignals {
+  std::size_t queue_depth = 0;
+  std::uint64_t now_ns = 0;           ///< decision timestamp (server clock)
+  std::uint64_t admitted = 0;         ///< requests admitted, lifetime
+  std::uint64_t deadline_misses = 0;  ///< requests expired at dequeue, lifetime
 };
 
 /// One model's rung selector.  Not thread-safe by itself: `decide()` and
@@ -74,11 +92,15 @@ class OperatingPointController {
                            int latency_timer, int rung_gauge,
                            int switch_counter);
 
-  /// Pick the rung for the batch being flushed, given the model's queue
-  /// depth at decision time.  Steps at most one rung per call and
-  /// records the gauge/counter on a switch.  `now_ns` is the
-  /// steady-clock timestamp of the decision (telemetry clock).
-  std::size_t decide(std::size_t queue_depth, std::uint64_t now_ns);
+  /// Pick the rung for the batch being flushed.  Steps at most one rung
+  /// per call and records the gauge/counter on a switch.
+  std::size_t decide(const LoadSignals& signals);
+
+  /// Depth-and-latency-only convenience (the deadline-pressure trigger
+  /// stays inert): `now_ns` is the decision timestamp (server clock).
+  std::size_t decide(std::size_t queue_depth, std::uint64_t now_ns) {
+    return decide(LoadSignals{queue_depth, now_ns, 0, 0});
+  }
 
   /// Rung currently selected (what `decide` returned last).
   std::size_t current() const { return current_; }
@@ -88,6 +110,8 @@ class OperatingPointController {
 
  private:
   bool latency_degrade();  ///< p99-since-last-decision above threshold?
+  /// Miss-rate-since-last-decision above policy's degrade_miss_rate?
+  bool deadline_degrade(const LoadSignals& signals);
 
   OperatingPointPolicy policy_;
   std::size_t rung_count_ = 1;
@@ -101,6 +125,11 @@ class OperatingPointController {
   /// Histogram state at the previous decision — p99 is computed over the
   /// *delta* so an old latency spike cannot pin the model degraded.
   telemetry::TimerStats last_stats_;
+  /// Counter state at the previous decision — the miss-rate trigger
+  /// windows the same way, so one historical expiry burst cannot pin
+  /// the model degraded.
+  std::uint64_t last_admitted_ = 0;
+  std::uint64_t last_misses_ = 0;
 };
 
 }  // namespace ccq::serve

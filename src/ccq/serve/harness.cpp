@@ -104,13 +104,26 @@ HarnessReport ServeHarness::run(const Tensor& samples,
                   " requests, the batch holds " + std::to_string(n));
   }
 
+  CCQ_CHECK(options.priorities.empty() || options.priorities.size() == n,
+            "per-sample priorities must match the sample count (" +
+                std::to_string(options.priorities.size()) + " vs " +
+                std::to_string(n) + ")");
+  const auto priority_of = [&](std::size_t i) {
+    return options.priorities.empty() ? options.priority
+                                      : options.priorities[i];
+  };
+
   HarnessReport report;
   report.outputs.resize(n);
   report.versions.assign(n, 0);
   report.rungs.assign(n, -1);
   std::vector<std::uint64_t> latencies(n, 0);
   std::vector<char> answered(n, 0);
+  std::atomic<std::size_t> offered{0};
+  std::atomic<std::size_t> admitted{0};
   std::atomic<std::size_t> rejected{0};
+  std::atomic<std::size_t> shed{0};
+  std::atomic<std::size_t> deadline_missed{0};
   SwapTrigger swap{options};
   // First producer failure, rethrown after the join (an exception
   // escaping a thread would terminate the process instead).
@@ -144,10 +157,20 @@ HarnessReport ServeHarness::run(const Tensor& samples,
           request.has_point = true;
           request.point = options.rung;
         }
+        if (priority_of(i) != Priority::kNormal) {
+          request.has_priority = true;
+          request.priority = static_cast<std::uint8_t>(priority_of(i));
+        }
+        if (options.deadline_us > 0) {
+          request.has_deadline = true;
+          request.deadline_us = options.deadline_us;
+        }
         for (;;) {
+          offered.fetch_add(1, std::memory_order_relaxed);
           const auto sent = Clock::now();
           const wire::InferReply reply = client.infer(request);
           if (reply.ok) {
+            admitted.fetch_add(1, std::memory_order_relaxed);
             latencies[i] = static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     Clock::now() - sent)
@@ -163,12 +186,22 @@ HarnessReport ServeHarness::run(const Tensor& samples,
             swap.on_admit();
             break;
           }
-          // Typed errors flattened to strings by the wire: only a full
-          // queue is retryable; anything else is a real failure.
-          if (reply.error.find("full (capacity") == std::string::npos) {
+          // Typed errors flattened to strings by the wire: a full queue
+          // or a priority eviction is retryable, an expired deadline is
+          // final (the budget was consumed queueing), anything else is
+          // a real failure.
+          if (reply.error.find("full (capacity") != std::string::npos) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+          } else if (reply.error.find("shed to admit") != std::string::npos) {
+            admitted.fetch_add(1, std::memory_order_relaxed);
+            shed.fetch_add(1, std::memory_order_relaxed);
+          } else if (reply.error.find("missed its") != std::string::npos) {
+            admitted.fetch_add(1, std::memory_order_relaxed);
+            deadline_missed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          } else {
             throw Error("tcp serve request failed: " + reply.error);
           }
-          rejected.fetch_add(1, std::memory_order_relaxed);
           std::this_thread::sleep_for(std::chrono::microseconds(50));
         }
       }
@@ -179,12 +212,14 @@ HarnessReport ServeHarness::run(const Tensor& samples,
     std::vector<std::pair<std::size_t, std::future<void>>> pending;
     SubmitOptions submit_options;
     submit_options.rung = options.rung;
+    submit_options.deadline_us = options.deadline_us;
     for (std::size_t i = p; i < n; i += producers) {
       if (open_loop) {
         std::this_thread::sleep_until(
             start + (offer_at.empty() ? offer_interval * static_cast<long>(i)
                                       : offer_at[i]));
       }
+      submit_options.priority = priority_of(i);
       for (;;) {
         const ModelHandle handle = server_->resolve(model_);
         try {
@@ -194,6 +229,8 @@ HarnessReport ServeHarness::run(const Tensor& samples,
           submit_options.served_rung = &report.rungs[i];
           std::future<void> reply = server_->submit(
               handle, inputs[i], report.outputs[i], submit_options);
+          offered.fetch_add(1, std::memory_order_relaxed);
+          admitted.fetch_add(1, std::memory_order_relaxed);
           report.versions[i] = handle.version();
           swap.on_admit();
           if (open_loop) {
@@ -208,9 +245,23 @@ HarnessReport ServeHarness::run(const Tensor& samples,
           }
           break;
         } catch (const QueueFullError&) {
+          offered.fetch_add(1, std::memory_order_relaxed);
           rejected.fetch_add(1, std::memory_order_relaxed);
           if (open_loop) break;  // shed: offered load is offered, not owed
           std::this_thread::sleep_for(std::chrono::microseconds(50));
+        } catch (const RequestShedError&) {
+          // Admitted, then evicted for higher-priority traffic while we
+          // waited on the reply (closed loop only — the open loop parks
+          // its futures in `pending`).  Retry: a fresh offer.
+          shed.fetch_add(1, std::memory_order_relaxed);
+          report.versions[i] = 0;
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        } catch (const DeadlineExceededError&) {
+          // Admitted, then expired queueing.  No retry — the budget the
+          // caller set was consumed; the sample stays unanswered.
+          deadline_missed.fetch_add(1, std::memory_order_relaxed);
+          report.versions[i] = 0;
+          break;
         } catch (const ModelRetiredError&) {
           // Raced an unload/swap between resolve and submit: the next
           // resolve finds the current version.
@@ -218,8 +269,18 @@ HarnessReport ServeHarness::run(const Tensor& samples,
       }
     }
     for (auto& [i, reply] : pending) {
-      reply.get();
-      answered[i] = 1;
+      try {
+        reply.get();
+        answered[i] = 1;
+      } catch (const RequestShedError&) {
+        shed.fetch_add(1, std::memory_order_relaxed);
+        report.versions[i] = 0;
+        report.rungs[i] = -1;
+      } catch (const DeadlineExceededError&) {
+        deadline_missed.fetch_add(1, std::memory_order_relaxed);
+        report.versions[i] = 0;
+        report.rungs[i] = -1;
+      }
     }
   };
 
@@ -238,7 +299,11 @@ HarnessReport ServeHarness::run(const Tensor& samples,
   if (first_error) std::rethrow_exception(first_error);
   report.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+  report.offered = offered.load(std::memory_order_relaxed);
+  report.admitted = admitted.load(std::memory_order_relaxed);
   report.rejected = rejected.load(std::memory_order_relaxed);
+  report.shed = shed.load(std::memory_order_relaxed);
+  report.deadline_missed = deadline_missed.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < n; ++i) {
     if (!answered[i]) continue;
     ++report.requests;

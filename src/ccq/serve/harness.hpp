@@ -21,7 +21,14 @@
 //     chose; the serve bench sweeps it).  Open-loop rejections are shed,
 //     not retried — that is the point of offered load;
 //   * a TCP mode — the same drive through `TcpClient` connections
-//     against a `TcpServer` port, one connection per producer.
+//     against a `TcpServer` port, one connection per producer;
+//   * SLA knobs — a service class per submission (uniform or
+//     per-sample) and an optional queueing deadline, plus honest load
+//     accounting: `offered` counts every submission *attempt* (a
+//     closed-loop retry burst is many offers, not one), `admitted`
+//     counts admissions, and `offered == admitted + rejected` always —
+//     so a shed rate computed against `offered` reflects the true
+//     offered load.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +74,17 @@ struct HarnessOptions {
   /// from a producer thread (0 = never).
   std::size_t swap_after = 0;
   std::function<void()> on_swap;
+  /// Service class attached to every submission.
+  Priority priority = Priority::kNormal;
+  /// Per-sample service classes (overrides `priority` when non-empty;
+  /// size must equal the sample count) — how a mixed-priority load is
+  /// scripted deterministically.
+  std::vector<Priority> priorities;
+  /// Queueing budget attached to every submission (0 = none).  A
+  /// request that exceeds it is dropped at dequeue time and counted in
+  /// `HarnessReport::deadline_missed`, never retried — the budget was
+  /// the point.
+  std::uint64_t deadline_us = 0;
 };
 
 struct HarnessReport {
@@ -80,8 +98,19 @@ struct HarnessReport {
   /// TCP mode without `tag_points`) — the observable the adaptive
   /// serving tests assert on.
   std::vector<std::int32_t> rungs;
-  std::size_t requests = 0;   ///< admitted submissions
-  std::size_t rejected = 0;   ///< admission rejections (retried or shed)
+  std::size_t requests = 0;   ///< samples that got a served reply
+  /// Submission *attempts*: every call at the admission door, so a
+  /// closed-loop retry burst counts once per retry.  Always equals
+  /// `admitted + rejected` — the denominator a shed rate is honest
+  /// against.
+  std::size_t offered = 0;
+  std::size_t admitted = 0;  ///< attempts accepted by admission control
+  std::size_t rejected = 0;  ///< attempts rejected at the door (queue full)
+  /// Admitted requests evicted by a higher-priority arrival (closed
+  /// loop retries them; each retry is a fresh offer).
+  std::size_t shed = 0;
+  /// Admitted requests dropped expired at dequeue time (never retried).
+  std::size_t deadline_missed = 0;
   double wall_seconds = 0.0;  ///< first submit → last reply
   /// Exact per-request round-trip latencies (closed loop and TCP mode;
   /// empty in the in-process open loop — read the telemetry histograms).

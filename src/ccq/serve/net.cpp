@@ -105,6 +105,11 @@ struct TcpServer::Impl {
             options.rung = request.point;
             options.served_rung = &served_rung;
           }
+          if (request.has_priority) {
+            // Range-checked by the decoder (0..2).
+            options.priority = static_cast<Priority>(request.priority);
+          }
+          if (request.has_deadline) options.deadline_us = request.deadline_us;
           server.submit(model, sample, output, options).get();
           reply.ok = true;
           reply.version = model.version();

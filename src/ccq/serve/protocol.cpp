@@ -156,7 +156,11 @@ namespace {
 // extensibility without weakening the trailing-garbage rejection the
 // codec tests lock in.
 constexpr std::uint8_t kFieldPoint = 1;  ///< InferRequest: zigzag rung override
+constexpr std::uint8_t kFieldPriority = 2;  ///< InferRequest: varint class
+constexpr std::uint8_t kFieldDeadline = 3;  ///< InferRequest: varint budget us
 constexpr std::uint8_t kFieldRung = 1;   ///< InferReply: varint served rung
+
+constexpr std::uint64_t kMaxPriority = 2;  ///< highest service class on the wire
 
 }  // namespace
 
@@ -172,6 +176,14 @@ std::string encode_request(const InferRequest& request) {
   if (request.has_point) {
     put_u8(body, kFieldPoint);
     put_zigzag(body, request.point);
+  }
+  if (request.has_priority) {
+    put_u8(body, kFieldPriority);
+    put_varint(body, request.priority);
+  }
+  if (request.has_deadline) {
+    put_u8(body, kFieldDeadline);
+    put_varint(body, request.deadline_us);
   }
   return body;
 }
@@ -195,6 +207,26 @@ InferRequest decode_request(std::string_view body) {
     if (field == kFieldPoint && !request.has_point) {
       request.has_point = true;
       request.point = static_cast<std::int32_t>(c.zigzag());
+    } else if (field == kFieldPriority && !request.has_priority) {
+      const std::uint64_t priority = c.varint();
+      if (priority > kMaxPriority) {
+        throw ProtocolError("InferRequest priority " +
+                            std::to_string(priority) +
+                            " out of range (0 low … 2 high)");
+      }
+      request.has_priority = true;
+      request.priority = static_cast<std::uint8_t>(priority);
+    } else if (field == kFieldDeadline && !request.has_deadline) {
+      const std::uint64_t deadline_us = c.varint();
+      if (deadline_us == 0) {
+        // A zero budget would mean "no deadline" while claiming one —
+        // reject the ambiguity instead of guessing (omit the tag).
+        throw ProtocolError(
+            "InferRequest deadline_us must be positive (omit the tag for "
+            "no deadline)");
+      }
+      request.has_deadline = true;
+      request.deadline_us = deadline_us;
     } else {
       throw ProtocolError("InferRequest carries unknown trailing field tag " +
                           std::to_string(field));

@@ -75,14 +75,19 @@ enum class MessageType : std::uint8_t {
 /// One inference call: route `data` (a C×H×W sample, row-major) to
 /// `model` at `version` (0 = whatever version is current server-side).
 ///
-/// The operating-point override travels as an *optional trailing field*
-/// ({u8 field tag, zigzag varint} after `data`, present only when
-/// `has_point`; unknown tags are rejected): an old
-/// client simply never emits it and decodes as before, while an old
-/// server receiving the tag rejects the frame with its existing
-/// trailing-bytes ProtocolError instead of silently ignoring the
-/// override — a request that asks for a precision the server cannot
-/// honour must not be served at an arbitrary one.
+/// The operating-point override, priority and deadline travel as
+/// *optional trailing fields* ({u8 field tag, varint value} after
+/// `data`; zigzag for the signed rung override) — tag 1 = rung
+/// override, tag 2 = priority, tag 3 = deadline_us.  A frame with none
+/// of them is byte-identical to the pre-SLA protocol revisions
+/// (golden-frame-tested), unknown or duplicate tags are rejected, and
+/// an old server receiving a tag rejects the frame with its existing
+/// trailing-bytes ProtocolError instead of silently ignoring it — a
+/// request asking for a QoS the server cannot honour must not be
+/// served at an arbitrary one.  Hostile values are rejected at decode:
+/// a priority beyond the enum, a deadline of 0 (the tag would claim a
+/// budget while meaning "none" — omit it instead).  A u64-max deadline
+/// is legal and saturates server-side instead of wrapping.
 struct InferRequest {
   std::string model;
   std::uint64_t version = 0;
@@ -92,6 +97,10 @@ struct InferRequest {
   std::vector<float> data;
   bool has_point = false;       ///< operating-point tag present
   std::int32_t point = -1;      ///< requested serving rung (−1 = server picks)
+  bool has_priority = false;    ///< priority tag present
+  std::uint8_t priority = 1;    ///< service class (0 low, 1 normal, 2 high)
+  bool has_deadline = false;    ///< deadline tag present
+  std::uint64_t deadline_us = 0;  ///< queueing budget from admission
 };
 
 /// The answer: logits plus the version that actually served the request

@@ -1,6 +1,7 @@
 #include "ccq/serve/registry.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "ccq/common/telemetry.hpp"
 
@@ -31,6 +32,17 @@ LoadedModel::LoadedModel(std::string name_in, std::uint64_t version_in,
   metrics.rung = telemetry::named_metric(NamedKind::kGauge, prefix + "rung");
   metrics.rung_switches =
       telemetry::named_metric(NamedKind::kCounter, prefix + "rung_switches");
+  metrics.deadline_miss =
+      telemetry::named_metric(NamedKind::kCounter, prefix + "deadline_miss");
+  for (std::size_t p = 0; p < kPriorityCount; ++p) {
+    const std::string suffix = priority_name(static_cast<Priority>(p));
+    metrics.shed[p] = telemetry::named_metric(NamedKind::kCounter,
+                                              prefix + "shed." + suffix);
+    metrics.latency_by_priority[p] = telemetry::named_metric(
+        NamedKind::kTimer, prefix + "latency." + suffix);
+  }
+  metrics.p99_vs_slo =
+      telemetry::named_metric(NamedKind::kGauge, prefix + "p99_vs_slo");
   point = OperatingPointController(config.adaptive, net.rung_count(),
                                    metrics.latency, metrics.rung,
                                    metrics.rung_switches);
@@ -43,6 +55,9 @@ ModelHandle ModelRegistry::publish(std::string name, hw::IntegerNetwork net,
   CCQ_CHECK(!name.empty(), "model name must be non-empty");
   CCQ_CHECK(config.max_batch >= 1, "max_batch must be at least 1");
   CCQ_CHECK(config.queue_capacity >= 1, "queue_capacity must be at least 1");
+  CCQ_CHECK(config.weight > 0.0 && std::isfinite(config.weight),
+            "model weight must be positive and finite, got " +
+                std::to_string(config.weight));
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entries_[name];
   auto model = std::make_shared<detail::LoadedModel>(

@@ -30,9 +30,7 @@
 // registry never touches it.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <map>
 #include <memory>
@@ -43,6 +41,7 @@
 #include "ccq/common/error.hpp"
 #include "ccq/hw/integer_engine.hpp"
 #include "ccq/serve/adaptive.hpp"
+#include "ccq/serve/sla.hpp"
 
 namespace ccq::serve {
 
@@ -56,6 +55,15 @@ struct ModelConfig {
   std::size_t max_batch = 8;          ///< flush when this many requests wait …
   std::uint64_t max_delay_us = 1000;  ///< … or the oldest waited this long
   std::size_t queue_capacity = 64;    ///< per-model admission bound
+  /// Fair-share weight against the other models on the same server: the
+  /// worker pool serves flushable models in proportion to their weights
+  /// (virtual-time accounting, serve/sla.hpp).  Must be positive and
+  /// finite; 1.0 = an equal share.
+  double weight = 1.0;
+  /// p99 latency target in microseconds for the `serve.<name>.p99_vs_slo`
+  /// gauge (ratio of observed p99 to this target; > 1 = violating).
+  /// 0 disables the gauge.
+  std::uint64_t slo_us = 0;
   /// Operating-point (serving rung) selection for multi-point models —
   /// inert on single-rung networks.  See serve/adaptive.hpp.
   OperatingPointPolicy adaptive;
@@ -84,8 +92,15 @@ struct Request {
   const Tensor* input = nullptr;
   Tensor* output = nullptr;
   std::promise<void> promise;
-  std::uint64_t enqueue_ns = 0;  ///< telemetry clock (serve latency)
-  std::chrono::steady_clock::time_point enqueue_tp;  ///< batching deadline
+  /// Admission instant on the server clock (real steady clock, or the
+  /// injected `ServeConfig::now_fn`): anchors the batching deadline,
+  /// the latency sample and the request deadline.
+  std::uint64_t enqueue_ns = 0;
+  Priority priority = Priority::kNormal;
+  /// Absolute expiry instant (server clock); 0 = no deadline.  Expiry
+  /// is checked at dequeue time, never at admission.
+  std::uint64_t deadline_ns = 0;
+  std::uint64_t deadline_us = 0;  ///< original budget (for diagnostics)
   /// Explicit operating-point override (validated at admission); −1 =
   /// let the model's OperatingPointController choose at flush time.
   std::int32_t rung = -1;
@@ -118,14 +133,26 @@ struct LoadedModel {
     int batch_size = -1;
     int rung = -1;           ///< gauge: rung currently selected
     int rung_switches = -1;  ///< counter: operating-point transitions
+    int deadline_miss = -1;  ///< counter: requests dropped expired at dequeue
+    /// Counters: requests shed by admission control (rejected at the
+    /// door or evicted for higher-priority traffic), per service class.
+    std::array<int, kPriorityCount> shed = {-1, -1, -1};
+    /// Timers: the latency series split by service class.
+    std::array<int, kPriorityCount> latency_by_priority = {-1, -1, -1};
+    int p99_vs_slo = -1;     ///< gauge: observed p99 / slo_us (when set)
   } metrics;
 
   // ---- queue state: guarded by the owning InferenceServer's mutex ----
   InferenceServer* owner = nullptr;  ///< server this version was loaded into
-  std::deque<Request> queue;
+  SlaQueue<Request> queue;
   Shape pinned_shape;        ///< sample shape, pinned by the first submit
   std::size_t in_flight = 0;
   bool retired = false;      ///< unloaded: admissions closed, queue drains
+  /// Virtual time accrued by the fair scheduler (served samples /
+  /// config.weight) — the worker pool flushes the least-vtime model.
+  double vtime = 0.0;
+  std::uint64_t admitted = 0;         ///< requests admitted, lifetime
+  std::uint64_t deadline_misses = 0;  ///< requests expired at dequeue, lifetime
   /// Rung selector — decisions happen at batch-flush time under the
   /// owner's mutex, hence queue state.
   OperatingPointController point;

@@ -15,10 +15,15 @@
 //     old version finish on the old version's network (bit-identical to
 //     its artifact), new resolutions get the new one, and nothing is
 //     lost or double-served across the cutover (regression-tested);
-//   * per-model bounded queues — admission control rejects on a full
-//     model queue with a *typed* error (`QueueFullError`, naming the
-//     model) instead of queueing unboundedly, so overload surfaces at
-//     the caller immediately, per model;
+//   * per-model bounded queues with priority admission — a full model
+//     queue sheds its lowest-priority request (typed `RequestShedError`
+//     through the evicted future) to admit strictly higher-priority
+//     traffic, and rejects the incomer with `QueueFullError` otherwise,
+//     so overload surfaces immediately and never at a high-priority
+//     caller while lower-priority work is queued.  Requests carrying a
+//     `deadline_us` budget that expires while queued are dropped at
+//     dequeue time (typed `DeadlineExceededError`) instead of wasting a
+//     batch slot — serve/sla.hpp holds the policy primitives;
 //   * dynamic batching per model — a worker flushes a model's queue
 //     when `max_batch` requests wait or the oldest has waited
 //     `max_delay_us` (both per-model `ModelConfig` knobs).  Per-sample
@@ -27,7 +32,11 @@
 //     `IntegerNetwork::forward` regardless of coalescing;
 //   * N shared worker threads, each owning a warm `Workspace` and a
 //     private `ExecContext` (server-wide `ServeConfig` knobs), picking
-//     the flushable model with the oldest waiting request;
+//     the next model to flush by weighted fair scheduling: every model
+//     accrues virtual time at `samples / ModelConfig::weight` as it is
+//     served and the flushable model with the least virtual time goes
+//     next, so a hot model gets its weight's share and no more while a
+//     quiet model's batch is never starved behind it;
 //   * graceful drain — `shutdown()` stops admissions, serves everything
 //     already queued (for every model), then joins the workers.
 //
@@ -41,6 +50,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -57,10 +67,23 @@ namespace ccq::serve {
 struct ServeConfig {
   std::size_t workers = 1;           ///< batch-executing threads (shared pool)
   std::size_t intra_op_threads = 1;  ///< kernel threads per worker
+  /// Injectable clock (nanoseconds, monotone non-decreasing; must be
+  /// callable from any thread).  Null = the real steady clock.  Every
+  /// time-dependent serving decision — batching deadlines, request
+  /// deadlines, latency samples, operating-point dwell — reads this
+  /// seam, which is how `tests/serve_sla_test.cpp` asserts scheduler
+  /// properties exactly under a virtual clock.  With an injected clock
+  /// workers never park on a timer: deadlines are (re)evaluated at
+  /// queue events (submit / retire / shutdown), so virtual-clock tests
+  /// drive flushes explicitly (e.g. by filling `max_batch`).
+  std::function<std::uint64_t()> now_fn;
 };
 
 /// Admission rejected: the model's bounded queue already holds
-/// `queue_capacity` requests.  Callers shed load or retry after a delay.
+/// `queue_capacity` requests, none of them lower-priority than the
+/// incoming request (a lower-priority one would have been shed to make
+/// room — see `RequestShedError` in serve/sla.hpp).  Callers shed load
+/// or retry after a delay.
 class QueueFullError : public Error {
  public:
   QueueFullError(const std::string& model, std::size_t capacity)
@@ -77,6 +100,16 @@ class ServerStoppedError : public Error {
 /// Per-request submission knobs (the no-options overloads pass
 /// defaults).
 struct SubmitOptions {
+  /// Service class.  A full queue sheds its lowest-priority request
+  /// (FIFO within the class) to admit a strictly higher-priority one;
+  /// batches serve higher classes first.
+  Priority priority = Priority::kNormal;
+  /// Queueing budget in microseconds, relative to admission; 0 = none.
+  /// A request not dequeued into a batch within the budget is dropped
+  /// at dequeue time — its future fails with `DeadlineExceededError`
+  /// and no batch slot is spent on it.  The deadline bounds queueing,
+  /// not execution: once batched, the request is served.
+  std::uint64_t deadline_us = 0;
   /// Operating-point override: serve this request at exactly rung
   /// `rung` of the model's artifact.  −1 = let the model's
   /// `OperatingPointController` choose at flush time.  Out-of-range
@@ -161,6 +194,10 @@ class InferenceServer {
  private:
   using ModelPtr = std::shared_ptr<detail::LoadedModel>;
 
+  /// The server clock: `config_.now_fn` when injected, else the
+  /// monotonic telemetry clock.  Called both under and outside mutex_.
+  std::uint64_t now_ns() const;
+
   void worker_loop();
   void run_batch(detail::LoadedModel& model,
                  std::vector<detail::Request>& batch, Workspace& ws,
@@ -186,6 +223,10 @@ class InferenceServer {
   /// per-model max_delay_us forces a rescan instead of waiting out a
   /// stale later deadline.
   std::uint64_t work_generation_ = 0;
+  /// The fair scheduler's virtual clock: the vtime of the most recently
+  /// picked model.  A model going idle→busy rejoins at this value, so
+  /// idle time never accrues into a catch-up burst (serve/sla.hpp).
+  double vclock_ = 0.0;
   std::size_t total_queued_ = 0;
   std::size_t total_in_flight_ = 0;
   bool stopping_ = false;

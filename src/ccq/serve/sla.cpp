@@ -1,0 +1,22 @@
+#include "ccq/serve/sla.hpp"
+
+namespace ccq::serve {
+
+const char* priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::kLow: return "low";
+    case Priority::kNormal: return "normal";
+    case Priority::kHigh: return "high";
+  }
+  return "?";
+}
+
+Priority priority_from_string(const std::string& name) {
+  if (name == "low") return Priority::kLow;
+  if (name == "normal") return Priority::kNormal;
+  if (name == "high") return Priority::kHigh;
+  throw Error("unknown priority \"" + name +
+              "\" (expected low, normal or high)");
+}
+
+}  // namespace ccq::serve

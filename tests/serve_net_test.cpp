@@ -8,14 +8,22 @@
 // concurrent clients — the property that makes the TCP boundary
 // transparent to the serving contract.
 //
+// The SLA wire fields (priority tag 2, deadline tag 3) get the same
+// treatment: round-trips in every combination, rejection of hostile
+// values (priority past the enum, zero deadlines), truncation at every
+// byte of a fully-tagged frame, and a golden byte-for-byte check that
+// an untagged request still encodes exactly as it did before the tags
+// existed — old clients and new servers interoperate.
+//
 // Labelled `serve` and run under the TSan quick tier
-// (`CCQ_THREADS=4 ctest -L "parallel|telemetry|serve"`).
+// (`CCQ_THREADS=4 ctest -L "parallel|telemetry|serve|igemm|engine|adaptive|sla"`).
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <cstring>
 #include <functional>
 #include <limits>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -268,6 +276,153 @@ TEST(WireCodecTest, HostileFloatCountRejectedBeforeWrap) {
   EXPECT_NE(message.find("truncated"), std::string::npos) << message;
 }
 
+// ---- SLA wire fields -------------------------------------------------------
+
+wire::InferRequest small_request() {
+  wire::InferRequest request;
+  request.model = "m";
+  request.channels = 1;
+  request.height = 1;
+  request.width = 2;
+  request.data = {1.0f, 2.0f};
+  return request;
+}
+
+TEST(WireSlaFieldTest, TagsRoundTripInEveryCombination) {
+  // Each optional field independently, then all three together — the
+  // decoder must not care which subset is present.
+  for (const bool with_point : {false, true}) {
+    for (const bool with_priority : {false, true}) {
+      for (const bool with_deadline : {false, true}) {
+        wire::InferRequest request = small_request();
+        if (with_point) {
+          request.has_point = true;
+          request.point = -1;  // zigzag: "serve at the current rung"
+        }
+        if (with_priority) {
+          request.has_priority = true;
+          request.priority = 2;
+        }
+        if (with_deadline) {
+          request.has_deadline = true;
+          request.deadline_us = 1500;
+        }
+        const wire::InferRequest decoded =
+            wire::decode_request(wire::encode_request(request));
+        EXPECT_EQ(decoded.has_point, with_point);
+        EXPECT_EQ(decoded.has_priority, with_priority);
+        EXPECT_EQ(decoded.has_deadline, with_deadline);
+        if (with_point) EXPECT_EQ(decoded.point, -1);
+        if (with_priority) EXPECT_EQ(decoded.priority, 2);
+        if (with_deadline) EXPECT_EQ(decoded.deadline_us, 1500u);
+      }
+    }
+  }
+}
+
+TEST(WireSlaFieldTest, UntaggedRequestBytesNeverChanged) {
+  // Golden bytes: a request with no optional fields must encode exactly
+  // as it did before the SLA tags existed, so pre-SLA clients and
+  // servers interoperate with tagged ones.  Any byte here changing is a
+  // wire break, not a refactor.
+  const wire::InferRequest request = small_request();
+  std::string golden;
+  golden.push_back('\x01');  // tag: InferRequest
+  golden.push_back('\x01');  // model name length 1 …
+  golden.push_back('m');     // … "m"
+  golden.push_back('\x00');  // version 0
+  golden.push_back('\x01');  // channels 1
+  golden.push_back('\x01');  // height 1
+  golden.push_back('\x02');  // width 2
+  golden.push_back('\x02');  // float count 2
+  const float floats[2] = {1.0f, 2.0f};
+  golden.append(reinterpret_cast<const char*>(floats), sizeof(floats));
+  EXPECT_EQ(wire::encode_request(request), golden);
+}
+
+TEST(WireSlaFieldTest, HostilePriorityAndDeadlineValuesRejected) {
+  // Priority past the highest service class.
+  wire::InferRequest loud = small_request();
+  loud.has_priority = true;
+  loud.priority = 3;
+  const std::string range_msg = error_message(
+      [&] { wire::decode_request(wire::encode_request(loud)); });
+  EXPECT_NE(range_msg.find("out of range"), std::string::npos) << range_msg;
+
+  // A zero deadline claims a budget while meaning "none": rejected.
+  wire::InferRequest zero = small_request();
+  zero.has_deadline = true;
+  zero.deadline_us = 0;
+  // The encoder would skip a zero via has_deadline, so force the bytes.
+  std::string body = wire::encode_request(small_request());
+  body.push_back('\x03');  // deadline tag …
+  body.push_back('\x00');  // … budget 0
+  const std::string zero_msg =
+      error_message([&] { wire::decode_request(body); });
+  EXPECT_NE(zero_msg.find("must be positive"), std::string::npos) << zero_msg;
+
+  // A u64-max budget is legal on the wire (admission saturates it).
+  wire::InferRequest forever = small_request();
+  forever.has_deadline = true;
+  forever.deadline_us = std::numeric_limits<std::uint64_t>::max();
+  const wire::InferRequest decoded =
+      wire::decode_request(wire::encode_request(forever));
+  EXPECT_EQ(decoded.deadline_us, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(WireSlaFieldTest, DuplicateAndUnknownTagsRejected) {
+  const std::string base = wire::encode_request(small_request());
+  for (const char tag : {'\x01', '\x02', '\x03'}) {
+    // Two copies of the same optional field: the second falls through
+    // to the unknown-tag arm — a frame states each fact at most once.
+    std::string body = base;
+    for (int copy = 0; copy < 2; ++copy) {
+      body.push_back(tag);
+      body.push_back('\x01');  // a valid value for all three fields
+    }
+    const std::string message =
+        error_message([&] { wire::decode_request(body); });
+    EXPECT_NE(message.find("unknown trailing field"), std::string::npos)
+        << "tag " << static_cast<int>(tag) << ": " << message;
+  }
+  // A tag past the known set rejects outright.
+  std::string body = base;
+  body.push_back('\x04');
+  body.push_back('\x01');
+  EXPECT_THROW(wire::decode_request(body), wire::ProtocolError);
+}
+
+TEST(WireSlaFieldTest, FullyTaggedFrameTruncationLegalOnlyAtFieldBoundaries) {
+  // Optional trailing fields make some truncations *legal*: a cut at a
+  // field boundary is just a shorter valid message (that is the
+  // backward-compatibility property).  Every other cut — anywhere
+  // inside a field, including between a tag byte and its value — must
+  // reject.  Build the boundary set by encoding with progressively
+  // more fields so the test cannot drift from the encoder.
+  wire::InferRequest request = small_request();
+  std::set<std::size_t> boundaries;
+  boundaries.insert(wire::encode_request(request).size());
+  request.has_point = true;
+  request.point = 1;
+  boundaries.insert(wire::encode_request(request).size());
+  request.has_priority = true;
+  request.priority = 2;
+  boundaries.insert(wire::encode_request(request).size());
+  request.has_deadline = true;
+  request.deadline_us = 300;  // two varint bytes: cuts land mid-field
+  const std::string body = wire::encode_request(request);
+
+  for (std::size_t cut = 1; cut <= body.size(); ++cut) {
+    const std::string prefix = body.substr(0, cut);
+    if (boundaries.count(cut) > 0 || cut == body.size()) {
+      EXPECT_NO_THROW(wire::decode_request(prefix)) << "cut at " << cut;
+    } else {
+      EXPECT_THROW(wire::decode_request(prefix), wire::ProtocolError)
+          << "cut at " << cut;
+    }
+  }
+}
+
 // ---- TCP end to end --------------------------------------------------------
 
 wire::InferRequest request_for(const Tensor& x, std::size_t i,
@@ -371,6 +526,80 @@ TEST(TcpServeTest, HarnessTcpModeMatchesDirectForward) {
           << "sample " << i << " logit " << k;
     }
   }
+}
+
+TEST(TcpServeTest, DeadlineMissCrossesTheWireAsTypedError) {
+  // One worker, a queue that never flushes on fill or age: the only
+  // event that can wake the worker is the request's own deadline, so
+  // the miss is deterministic — and it must come back over the wire as
+  // the typed diagnostic, not a generic failure.
+  ServeConfig config;
+  config.workers = 1;
+  InferenceServer server(config);
+  ModelConfig mc;
+  mc.max_batch = 8;
+  mc.max_delay_us = std::numeric_limits<std::uint64_t>::max();
+  server.load("slow", make_network(), mc);
+  TcpServer front(server, 0);
+  TcpClient client("127.0.0.1", front.port());
+  const Tensor x = make_inputs(1);
+
+  wire::InferRequest request = request_for(x, 0, "slow");
+  request.has_deadline = true;
+  request.deadline_us = 1;  // expires while queued, guaranteed
+  wire::InferReply reply = client.infer(request);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_NE(reply.error.find("missed its 1us deadline"), std::string::npos)
+      << reply.error;
+
+  // The connection survived the miss: the next request works the same.
+  reply = client.infer(request);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_NE(reply.error.find("missed its"), std::string::npos) << reply.error;
+}
+
+TEST(TcpServeTest, HighPriorityEvictsQueuedLowOverTcp) {
+  // A tagged high-priority request arriving over TCP must displace an
+  // in-process low-priority request from a full queue — the wire field
+  // reaches the same admission policy as a direct submit.
+  ServeConfig config;
+  config.workers = 1;
+  InferenceServer server(config);
+  ModelConfig mc;
+  mc.queue_capacity = 1;
+  mc.max_batch = 4;  // > capacity: nothing flushes until shutdown forces it
+  mc.max_delay_us = std::numeric_limits<std::uint64_t>::max();
+  const ModelHandle handle = server.load("contested", make_network(), mc);
+  TcpServer front(server, 0);
+
+  const Tensor x = make_inputs(2);
+  const Tensor low_sample = make_inputs(1).reshaped({3, 8, 8});
+  Tensor low_out;
+  SubmitOptions low;
+  low.priority = Priority::kLow;
+  std::future<void> low_reply =
+      server.submit(handle, low_sample, low_out, low);
+
+  wire::InferReply high_reply;
+  std::thread tcp_client([&] {
+    TcpClient client("127.0.0.1", front.port());
+    wire::InferRequest request = request_for(x, 1, "contested");
+    request.has_priority = true;
+    request.priority = 2;  // high
+    high_reply = client.infer(request);
+  });
+
+  // The eviction happens synchronously inside the high's admission, so
+  // waiting on the low's future cannot hang: it fails the moment the
+  // TCP request is admitted.
+  EXPECT_THROW(low_reply.get(), RequestShedError);
+
+  // Shutdown force-flushes the queue; the high-priority request is the
+  // one that got served.
+  server.shutdown();
+  tcp_client.join();
+  ASSERT_TRUE(high_reply.ok) << high_reply.error;
+  EXPECT_EQ(high_reply.logits.size(), 5u);
 }
 
 }  // namespace

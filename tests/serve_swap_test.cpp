@@ -8,8 +8,13 @@
 // records which version served each sample, so bit-identity is asserted
 // *per admitted version*, not just per sample.
 //
+// PR 10 adds the SLA interaction: a mid-traffic swap under saturating
+// mixed-priority load must keep the admission guarantee — high-priority
+// traffic is never shed while lower-priority work is queued, on either
+// side of the cutover.
+//
 // Labelled `serve` and run under the TSan quick tier
-// (`CCQ_THREADS=4 ctest -L "parallel|telemetry|serve"`).
+// (`CCQ_THREADS=4 ctest -L "parallel|telemetry|serve|igemm|engine|adaptive|sla"`).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -18,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "ccq/common/telemetry.hpp"
 #include "ccq/models/simple.hpp"
 #include "ccq/serve/harness.hpp"
 
@@ -202,6 +208,78 @@ TEST(ServeSwapTest, UnloadOneVersionKeepsTheOtherCurrent) {
   Tensor out;
   server.submit(h2, sample, out).get();
   EXPECT_EQ(out.rank(), 1u);
+}
+
+TEST(ServeSwapTest, MidTrafficSwapNeverShedsHighPriorityTraffic) {
+  // Hot-swap × priority shed: version cutover under saturating mixed-
+  // priority load must not weaken the admission guarantee — a high-
+  // priority request is never shed (evicted or door-rejected) while
+  // lower-priority work is queued, before, during, or after the swap.
+  // Producer 0 carries every high-priority sample (closed loop: one in
+  // flight at a time), the other producers hammer with lows against a
+  // 2-deep queue, so eviction pressure is constant while the high class
+  // can never fill the queue by itself.
+  const bool metrics_were = telemetry::metrics_enabled();
+  telemetry::set_metrics_enabled(true);
+  telemetry::reset_metrics();
+
+  hw::IntegerNetwork v1 = make_network(3);
+  hw::IntegerNetwork v2 = make_network(1);
+  const Tensor x = make_inputs(64);
+  const Tensor ref_v1 = v1.forward(x);
+  const Tensor ref_v2 = v2.forward(x);
+
+  ServeConfig config;
+  config.workers = 2;
+  InferenceServer server(config);
+  ModelConfig mc;
+  mc.max_batch = 4;
+  mc.max_delay_us = 200;
+  mc.queue_capacity = 2;  // tiny: lows constantly shed each other
+  server.load("contended", std::move(v1), mc);
+
+  HarnessOptions options;
+  options.producers = 8;
+  options.priorities.assign(x.dim(0), Priority::kLow);
+  for (std::size_t i = 0; i < x.dim(0); i += 8) {
+    options.priorities[i] = Priority::kHigh;  // producer 0's samples
+  }
+  options.swap_after = 24;
+  options.on_swap = [&] { server.load("contended", std::move(v2), mc); };
+  ServeHarness harness(server, "contended");
+  const HarnessReport report = harness.run(x, options);
+
+  // The closed loop retries every rejection and eviction, so nothing is
+  // lost, and the offered/admitted split stays internally consistent.
+  EXPECT_EQ(report.requests, x.dim(0));
+  EXPECT_EQ(report.offered, report.admitted + report.rejected);
+  EXPECT_EQ(report.admitted, report.requests + report.shed);
+  EXPECT_EQ(report.deadline_missed, 0u);
+
+  // The swap fired mid-traffic and both versions stayed bit-identical.
+  std::set<std::uint64_t> seen(report.versions.begin(), report.versions.end());
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{1, 2}));
+  for (std::size_t i = 0; i < x.dim(0); ++i) {
+    const Tensor& ref = report.versions[i] == 1 ? ref_v1 : ref_v2;
+    EXPECT_EQ(max_row_diff(report.outputs[i], ref, i), 0.0f)
+        << "sample " << i << " served by v" << report.versions[i];
+  }
+
+  // The SLA guarantee across the cutover: every shed — eviction victim
+  // or door rejection — was low-priority.  Both versions share the
+  // per-name counters, so this covers the whole run.
+  const int shed_high = telemetry::find_named_metric(
+      telemetry::NamedKind::kCounter, "serve.contended.shed.high");
+  const int shed_low = telemetry::find_named_metric(
+      telemetry::NamedKind::kCounter, "serve.contended.shed.low");
+  ASSERT_GE(shed_high, 0);
+  ASSERT_GE(shed_low, 0);
+  EXPECT_EQ(telemetry::named_counter_value(shed_high), 0u);
+  EXPECT_EQ(telemetry::named_counter_value(shed_low),
+            report.shed + report.rejected);
+
+  server.shutdown();
+  telemetry::set_metrics_enabled(metrics_were);
 }
 
 TEST(ServeSwapTest, OpenLoopShedsRejectionsInsteadOfRetrying) {

@@ -13,7 +13,10 @@ Four suites cover the integer-inference datapath and the serving stack:
   serve     BM_Serve* (bench_serve binary) -> BENCH_serve.json
             the registry-routed inference server: closed-loop capacity
             (producers x workers), an open-loop offered-load sweep with
-            p50/p99 latency and shed rate, and idle round-trip latency
+            p50/p99 latency and shed rate, idle round-trip latency, and
+            a two-model weighted mixed-priority sweep with per-class
+            p50/p99 and the shed split (shed rates are fractions of
+            offered submission attempts, not the sample count)
   adaptive  BM_Adaptive* (bench_serve binary) -> BENCH_adaptive.json
             adaptive-precision serving: the per-rung price list (closed
             loop, 3-rung artifact pinned at each rung) and a scripted
@@ -131,6 +134,8 @@ def parse_serve_rows(raw: dict) -> dict:
             key = f"closed/p{args['producers']}w{args['workers']}"
         elif parts[0] == "BM_ServeOpenLoop":
             key = f"open/{args['offered_rps']}rps"
+        elif parts[0] == "BM_ServeMixedPriority":
+            key = f"mixed/{args['offered_rps']}rps"
         elif parts[0] == "BM_ServeLatency":
             key = f"latency/w{args['workers']}"
         elif parts[0] == "BM_AdaptiveRung":
@@ -150,6 +155,11 @@ def parse_serve_rows(raw: dict) -> dict:
         for counter in ("rung_switches", "deepest_rung", "final_rung"):
             if counter in b:
                 rows[key][counter] = b[counter]
+        # Mixed-priority rows: per-class latency quantiles + shed split.
+        for cls in ("low", "normal", "high"):
+            for counter in (f"p50_{cls}_us", f"p99_{cls}_us", f"shed_{cls}"):
+                if counter in b:
+                    rows[key][counter] = b[counter]
     return rows
 
 

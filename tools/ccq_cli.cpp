@@ -401,7 +401,14 @@ serve::OperatingPointPolicy adaptive_policy_from(const Args& args) {
       static_cast<std::uint64_t>(args.get_int("degrade-p99-us", 0));
   policy.min_dwell_us = static_cast<std::uint64_t>(args.get_int("dwell-us", 0));
   policy.fixed_rung = args.get_int("rung", -1);
+  policy.degrade_miss_rate = args.get_double("degrade-miss-rate", 0.0);
   return policy;
+}
+
+// SLA knobs shared by `serve` and `serve-bench`.
+void apply_sla_flags(const Args& args, serve::ModelConfig& mc) {
+  mc.weight = args.get_double("weight", 1.0);
+  mc.slo_us = static_cast<std::uint64_t>(args.get_int("slo-us", 0));
 }
 
 // Shared by `serve` and `serve-bench`: the network to host — a packed
@@ -447,6 +454,7 @@ int cmd_serve(const Args& args) {
       static_cast<std::uint64_t>(args.get_int("max-delay-us", 1000));
   mc.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 64));
   mc.adaptive = adaptive_policy_from(args);
+  apply_sla_flags(args, mc);
   const std::string name = serve_model_name(args);
   const serve::ModelHandle handle = server.load(name, serve_network(args), mc);
 
@@ -480,6 +488,7 @@ int cmd_serve_bench(const Args& args) {
       static_cast<std::uint64_t>(args.get_int("max-delay-us", 200));
   mc.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 64));
   mc.adaptive = adaptive_policy_from(args);
+  apply_sla_flags(args, mc);
   const auto requests = static_cast<std::size_t>(args.get_int("requests", 512));
   const auto image = static_cast<std::size_t>(args.get_int("image", 16));
   const double rate = args.get_double("rate", 0.0);  // 0 = closed loop
@@ -490,6 +499,9 @@ int cmd_serve_bench(const Args& args) {
   serve::HarnessOptions options;
   options.producers = static_cast<std::size_t>(args.get_int("producers", 4));
   options.offered_rps = rate;
+  options.priority = serve::priority_from_string(args.get("priority", "normal"));
+  options.deadline_us =
+      static_cast<std::uint64_t>(args.get_int("deadline-us", 0));
 
   Tensor samples({requests, net.plan(0).in_channels, image, image});
   auto data = samples.data();
@@ -528,10 +540,7 @@ int cmd_serve_bench(const Args& args) {
   }
   const auto batches = telemetry::timer_stats(telemetry::Timer::kServeBatchSize);
   std::cout << report.requests << " served"
-            << (rate > 0.0
-                    ? " (offered " + Table::fmt(rate, 0) + " rps, shed " +
-                          std::to_string(report.rejected) + ")"
-                    : "")
+            << (rate > 0.0 ? " (offered " + Table::fmt(rate, 0) + " rps)" : "")
             << ", " << options.producers << " producers, " << sc.workers
             << " workers, max_batch " << mc.max_batch << (tcp ? ", tcp" : "")
             << ":\n  "
@@ -544,9 +553,11 @@ int cmd_serve_bench(const Args& args) {
                               : static_cast<double>(batches.total_ns) /
                                     static_cast<double>(batches.count),
                           2)
-            << ", rejected " << report.rejected << "\n  latency p50 "
-            << approx << p50 / 1000 << "us, p99 " << approx << p99 / 1000
-            << "us\n";
+            << "\n  offered " << report.offered << ", admitted "
+            << report.admitted << ", rejected " << report.rejected << ", shed "
+            << report.shed << ", deadline missed " << report.deadline_missed
+            << "\n  latency p50 " << approx << p50 / 1000 << "us, p99 "
+            << approx << p99 / 1000 << "us\n";
   finish_telemetry(args);
   return 0;
 }
@@ -589,14 +600,19 @@ void usage() {
       "  --rungs K --rung-budget 1.5   multi-point (CCQA v3) artifact\n"
       "serve flags: --listen 7070 --artifact model.ccqa --name m\n"
       "  --workers 2 --max-batch 8 --max-delay-us 1000 --queue-cap 64\n"
+      "  --weight 1.0 (fair-share weight) --slo-us 0 (p99 target gauge)\n"
       "serve-bench flags: --artifact model.ccqa (else random weights)\n"
       "  --workers 2 --max-batch 8 --max-delay-us 200 --queue-cap 64\n"
       "  --intra-op 1 --requests 512 --producers 4\n"
       "  --rate R   open loop at R offered req/s (default: closed loop)\n"
       "  --tcp      drive through a loopback TCP front end\n"
+      "  --weight 1.0 --slo-us 0   model SLA knobs (as for serve)\n"
+      "  --priority low|normal|high   service class on every request\n"
+      "  --deadline-us 0   queueing budget per request (0 = none)\n"
       "adaptive flags (serve / serve-bench, multi-rung artifacts):\n"
       "  --degrade-depth 16 --restore-depth 2   queue-depth hysteresis\n"
-      "  --degrade-p99-us 0 --dwell-us 0 --rung -1 (pin one rung)\n";
+      "  --degrade-p99-us 0 --dwell-us 0 --rung -1 (pin one rung)\n"
+      "  --degrade-miss-rate 0.0   deadline-miss fraction that degrades\n";
 }
 
 }  // namespace
